@@ -1,0 +1,82 @@
+// Ablations A1 and A2 (DESIGN.md): the design choices the paper calls out.
+//
+//   A1 (Section 4.5): omit redundant root-to-node path filters via the
+//      U-P / F-P / I-P schema marking, vs always joining Paths.
+//   A2 (Section 4.2): FK equijoins for single-step child/parent PPFs, vs
+//      Dewey theta-joins with LENGTH level checks.
+
+#include "bench/harness.h"
+
+namespace xprel::bench {
+namespace {
+
+// Queries dominated by the choice under test.
+constexpr NamedQuery kA1Queries[] = {
+    {"Q1", "/site/regions/*/item"},
+    {"Q2",
+     "/site/closed_auctions/closed_auction/annotation/description/parlist/"
+     "listitem/text/keyword"},
+    {"Q5", "/site/regions/*/item[parent::namerica or parent::samerica]"},
+    {"Q22", "/site/regions/namerica/item | /site/regions/samerica/item"},
+    {"Q23", "/site/people/person[address and (phone or homepage)]"},
+};
+
+constexpr NamedQuery kA2Queries[] = {
+    {"Q1", "/site/regions/*/item"},
+    {"Q9",
+     "/site/open_auctions/open_auction[@id='open_auction0']/bidder/"
+     "preceding-sibling::bidder"},
+    {"Q23", "/site/people/person[address and (phone or homepage)]"},
+    {"QA",
+     "/site/open_auctions/open_auction[bidder/date = interval/start]"},
+};
+
+int Main() {
+  int reps = EnvInt("XPREL_REPS", 3);
+  double scale = EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+
+  engine::EngineOptions base;
+  base.enable_accel = false;
+  base.enable_edge = false;
+
+  engine::EngineOptions no_omit = base;
+  no_omit.ppf_options.omit_redundant_path_filters = false;
+
+  engine::EngineOptions no_fk = base;
+  no_fk.ppf_options.fk_joins_for_child_parent = false;
+
+  std::printf("Ablations (times in ms, avg of %d)\n", reps);
+
+  auto on = BuildXMark("defaults", scale, base);
+  auto a1 = BuildXMark("A1: always join Paths", scale, no_omit);
+  auto a2 = BuildXMark("A2: Dewey joins for child/parent", scale, no_fk);
+
+  std::printf("\n== A1: redundant path-filter omission (Section 4.5) ==\n");
+  std::printf("%-5s %9s %9s %9s\n", "query", "nodes", "omit=on", "omit=off");
+  for (const NamedQuery& q : kA1Queries) {
+    Timing with = TimeQuery(*on->engine, engine::Backend::kPpf, q.xpath, reps);
+    Timing without =
+        TimeQuery(*a1->engine, engine::Backend::kPpf, q.xpath, reps);
+    std::printf("%-5s %9zu", q.id, with.nodes);
+    PrintCell(with);
+    PrintCell(without);
+    std::printf("\n");
+  }
+
+  std::printf("\n== A2: FK vs Dewey joins for child/parent (Section 4.2) ==\n");
+  std::printf("%-5s %9s %9s %9s\n", "query", "nodes", "fk", "dewey");
+  for (const NamedQuery& q : kA2Queries) {
+    Timing fk = TimeQuery(*on->engine, engine::Backend::kPpf, q.xpath, reps);
+    Timing dw = TimeQuery(*a2->engine, engine::Backend::kPpf, q.xpath, reps);
+    std::printf("%-5s %9zu", q.id, fk.nodes);
+    PrintCell(fk);
+    PrintCell(dw);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xprel::bench
+
+int main() { return xprel::bench::Main(); }

@@ -1,0 +1,16 @@
+// Experiment E4 (paper Appendix C, DBLP table): five-system comparison on
+// the DBLP-like bibliography.
+
+#include "bench/systems_table.h"
+
+int main() {
+  using namespace xprel::bench;
+  int reps = EnvInt("XPREL_REPS", 3);
+  int records = EnvInt("XPREL_DBLP_RECORDS", 20000);
+  std::printf("E4 / Appendix C (DBLP): systems comparison "
+              "(times in ms, avg of %d)\n", reps);
+  auto corpus = BuildDblp("DBLP", records);
+  RunSystemsTable(*corpus, kDblpQueries,
+                  sizeof(kDblpQueries) / sizeof(kDblpQueries[0]), reps);
+  return 0;
+}

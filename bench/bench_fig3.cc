@@ -1,0 +1,68 @@
+// Experiment E1 (paper Figure 3): schema-aware vs schema-oblivious
+// PPF-based processing, on XMark (small + large) and DBLP.
+//
+// Reproduces the figure's two series as a table: per query, the result
+// cardinality and the average execution time of
+//   * PPF            — schema-aware PPF translation on the schema-aware store,
+//   * Edge-like PPF  — the same PPF machinery on the Edge mapping.
+
+#include "bench/harness.h"
+
+namespace xprel::bench {
+namespace {
+
+void RunSet(const Corpus& corpus, const NamedQuery* queries, size_t count,
+            int reps) {
+  std::printf("\n== %s ==\n", corpus.label.c_str());
+  std::printf("%-5s %9s %9s %9s %7s\n", "query", "nodes", "PPF",
+              "EdgePPF", "ratio");
+  for (size_t i = 0; i < count; ++i) {
+    Timing ppf =
+        TimeQuery(*corpus.engine, engine::Backend::kPpf, queries[i].xpath,
+                  reps);
+    Timing edge = TimeQuery(*corpus.engine, engine::Backend::kEdgePpf,
+                            queries[i].xpath, reps);
+    std::printf("%-5s %9zu", queries[i].id, ppf.nodes);
+    PrintCell(ppf);
+    PrintCell(edge);
+    if (ppf.supported && edge.supported && ppf.ms > 0) {
+      std::printf(" %6.1fx", edge.ms / ppf.ms);
+    }
+    std::printf("\n");
+  }
+}
+
+int Main() {
+  int reps = EnvInt("XPREL_REPS", 3);
+  double small = EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+  double large = EnvDouble("XPREL_XMARK_LARGE_SCALE", 0.25);
+  int dblp_records = EnvInt("XPREL_DBLP_RECORDS", 20000);
+
+  std::printf("E1 / Figure 3: schema-aware vs schema-oblivious PPF "
+              "(times in ms, avg of %d)\n", reps);
+
+  engine::EngineOptions opts;
+  opts.enable_accel = false;  // only the two PPF stores are needed
+
+  {
+    auto corpus = BuildXMark("XMark small", small, opts);
+    RunSet(*corpus, kXMarkQueries,
+           sizeof(kXMarkQueries) / sizeof(kXMarkQueries[0]), reps);
+  }
+  {
+    auto corpus = BuildXMark("XMark large", large, opts);
+    RunSet(*corpus, kXMarkQueries,
+           sizeof(kXMarkQueries) / sizeof(kXMarkQueries[0]), reps);
+  }
+  {
+    auto corpus = BuildDblp("DBLP", dblp_records, opts);
+    RunSet(*corpus, kDblpQueries,
+           sizeof(kDblpQueries) / sizeof(kDblpQueries[0]), reps);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xprel::bench
+
+int main() { return xprel::bench::Main(); }

@@ -1,0 +1,17 @@
+// Experiment E3 (paper Figure 4 / Appendix C, large document): five-system
+// comparison on the large XMark document (~2.5x small by default; set
+// XPREL_XMARK_LARGE_SCALE=1.0 for the paper's 10x analogue).
+
+#include "bench/systems_table.h"
+
+int main() {
+  using namespace xprel::bench;
+  int reps = EnvInt("XPREL_REPS", 2);
+  double large = EnvDouble("XPREL_XMARK_LARGE_SCALE", 0.25);
+  std::printf("E3 / Figure 4 + Appendix C (large): systems comparison "
+              "(times in ms, avg of %d)\n", reps);
+  auto corpus = BuildXMark("XMark large", large);
+  RunSystemsTable(*corpus, kXMarkQueries,
+                  sizeof(kXMarkQueries) / sizeof(kXMarkQueries[0]), reps);
+  return 0;
+}

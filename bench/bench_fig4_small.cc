@@ -1,0 +1,16 @@
+// Experiment E2 (paper Figure 4 / Appendix C, small document): five-system
+// comparison on the small XMark document.
+
+#include "bench/systems_table.h"
+
+int main() {
+  using namespace xprel::bench;
+  int reps = EnvInt("XPREL_REPS", 3);
+  double small = EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+  std::printf("E2 / Figure 4 + Appendix C (small): systems comparison "
+              "(times in ms, avg of %d)\n", reps);
+  auto corpus = BuildXMark("XMark small", small);
+  RunSystemsTable(*corpus, kXMarkQueries,
+                  sizeof(kXMarkQueries) / sizeof(kXMarkQueries[0]), reps);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// A3: microbenchmarks of the supporting substrates (google-benchmark):
+// Dewey encoding operations, the regex engine, B+-tree access paths, and
+// the key codec.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "encoding/dewey.h"
+#include "rel/btree.h"
+#include "rel/key_codec.h"
+#include "rex/regex.h"
+
+namespace xprel {
+namespace {
+
+using encoding::Dewey;
+
+void BM_DeweyChild(benchmark::State& state) {
+  std::string parent = Dewey::FromComponents({1, 4, 2, 9});
+  uint32_t ordinal = 1;
+  for (auto _ : state) {
+    std::string child = Dewey::Child(parent, ordinal++ & 0xFFFF);
+    benchmark::DoNotOptimize(child);
+  }
+}
+BENCHMARK(BM_DeweyChild);
+
+void BM_DeweyIsDescendant(benchmark::State& state) {
+  std::string a = Dewey::FromComponents({1, 4, 2});
+  std::string d = Dewey::FromComponents({1, 4, 2, 9, 17});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dewey::IsDescendant(d, a));
+  }
+}
+BENCHMARK(BM_DeweyIsDescendant);
+
+void BM_RegexCompilePathPattern(benchmark::State& state) {
+  for (auto _ : state) {
+    auto re = rex::Regex::Compile("^/site/regions/[^/]+/item/(.+/)?keyword$");
+    benchmark::DoNotOptimize(re);
+  }
+}
+BENCHMARK(BM_RegexCompilePathPattern);
+
+void BM_RegexMatchPath(benchmark::State& state) {
+  auto re = rex::Regex::Compile("^/site/(.+/)?keyword$").value();
+  std::string path =
+      "/site/regions/namerica/item/description/parlist/listitem/text/keyword";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.Matches(path));
+  }
+}
+BENCHMARK(BM_RegexMatchPath);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rel::BTree tree;
+    std::vector<std::string> keys;
+    keys.reserve(static_cast<size_t>(state.range(0)));
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      keys.push_back(rel::EncodeKey({rel::Value::Int(
+          static_cast<int64_t>(rng()) % 1000000)}));
+    }
+    state.ResumeTiming();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      tree.Insert(keys[i], static_cast<rel::RowId>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  rel::BTree tree;
+  const int64_t n = 100000;
+  for (int64_t i = 0; i < n; ++i) {
+    tree.Insert(rel::EncodeKey({rel::Value::Int(i)}),
+                static_cast<rel::RowId>(i));
+  }
+  std::string lo = rel::EncodeKey({rel::Value::Int(n / 4)});
+  std::string hi = rel::EncodeKey({rel::Value::Int(n / 4 + state.range(0))});
+  for (auto _ : state) {
+    size_t count = 0;
+    for (auto it = tree.Scan(lo, hi); it.Valid(); it.Next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeRangeScan)->Arg(100)->Arg(10000);
+
+void BM_KeyCodecEncode(benchmark::State& state) {
+  std::string dewey = Dewey::FromComponents({1, 3, 200, 5, 17});
+  for (auto _ : state) {
+    std::string key = rel::EncodeKey(
+        {rel::Value::Bytes(dewey), rel::Value::Int(42)});
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_KeyCodecEncode);
+
+}  // namespace
+}  // namespace xprel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+#ifndef XPREL_BENCH_HARNESS_H_
+#define XPREL_BENCH_HARNESS_H_
+
+// Shared scaffolding for the paper-table benchmark binaries (bench_fig3,
+// bench_fig4_*, bench_dblp, bench_ablation). Each binary prints the same
+// rows as the corresponding paper table/figure: query id, result node
+// count, and per-system times in milliseconds.
+//
+// Environment knobs:
+//   XPREL_XMARK_SMALL_SCALE  (default 0.1  — the paper's 12 MB analogue)
+//   XPREL_XMARK_LARGE_SCALE  (default 0.25 — wall-clock-conservative "large";
+//                             set 1.0 for the paper's 113 MB analogue)
+//   XPREL_DBLP_RECORDS       (default 20000 inproceedings)
+//   XPREL_REPS               (default 3 — timing repetitions, averaged)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dblp.h"
+#include "data/xmark.h"
+#include "engine/engine.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel::bench {
+
+struct NamedQuery {
+  const char* id;
+  const char* xpath;
+};
+
+// The paper's XPathMark subset (Appendix B) + Q-A; same list as the tests.
+inline constexpr NamedQuery kXMarkQueries[] = {
+    {"Q1", "/site/regions/*/item"},
+    {"Q2",
+     "/site/closed_auctions/closed_auction/annotation/description/parlist/"
+     "listitem/text/keyword"},
+    {"Q3", "//keyword"},
+    {"Q4", "/descendant-or-self::listitem/descendant-or-self::keyword"},
+    {"Q5", "/site/regions/*/item[parent::namerica or parent::samerica]"},
+    {"Q6", "//keyword/ancestor::listitem"},
+    {"Q7", "//keyword/ancestor-or-self::mail"},
+    {"Q9",
+     "/site/open_auctions/open_auction[@id='open_auction0']/bidder/"
+     "preceding-sibling::bidder"},
+    {"Q10", "/site/regions/*/item[@id='item0']/following::item"},
+    {"Q11",
+     "/site/open_auctions/open_auction/bidder[personref/@person='person1']"
+     "/preceding::bidder[personref/@person='person0']"},
+    {"Q12", "//item[@featured='yes']"},
+    {"Q13", "//*[@id]"},
+    {"Q21",
+     "/site/regions/*/item[@id='item0']/description//keyword/text()"},
+    {"Q22", "/site/regions/namerica/item | /site/regions/samerica/item"},
+    {"Q23", "/site/people/person[address and (phone or homepage)]"},
+    {"Q24", "/site/people/person[not(homepage)]"},
+    {"QA",
+     "/site/open_auctions/open_auction[bidder/date = interval/start]"},
+};
+
+inline constexpr NamedQuery kDblpQueries[] = {
+    {"QD1",
+     "//inproceedings/title[preceding-sibling::author = "
+     "'Harold G. Longbotham']"},
+    {"QD2", "/dblp/inproceedings[year>=1994]//sup"},
+    {"QD3", "/dblp/inproceedings/title/sup"},
+    {"QD4", "//i[parent::*/parent::sub/ancestor::article]"},
+    {"QD5", "/dblp/inproceedings[author=/dblp/book/author]/title"},
+};
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+struct Corpus {
+  std::string label;
+  xml::Document doc;
+  xsd::Schema schema;
+  std::unique_ptr<xsd::SchemaGraph> graph;
+  std::unique_ptr<engine::XPathEngine> engine;
+};
+
+inline std::unique_ptr<Corpus> BuildCorpus(std::string label,
+                                           xml::Document doc, const char* xsd,
+                                           engine::EngineOptions options = {}) {
+  auto c = std::make_unique<Corpus>();
+  c->label = std::move(label);
+  c->doc = std::move(doc);
+  auto schema = xsd::ParseXsd(xsd);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    std::exit(1);
+  }
+  c->schema = std::move(schema).value();
+  auto graph = xsd::SchemaGraph::Build(c->schema);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+    std::exit(1);
+  }
+  c->graph = std::make_unique<xsd::SchemaGraph>(std::move(graph).value());
+  auto eng = engine::XPathEngine::Build(c->doc, *c->graph, options);
+  if (!eng.ok()) {
+    std::fprintf(stderr, "engine: %s\n", eng.status().ToString().c_str());
+    std::exit(1);
+  }
+  c->engine = std::move(eng).value();
+  return c;
+}
+
+inline std::unique_ptr<Corpus> BuildXMark(const char* label, double scale,
+                                          engine::EngineOptions options = {}) {
+  data::XMarkOptions opt;
+  opt.scale = scale;
+  std::fprintf(stderr, "[build] XMark %s (scale %.3g)...\n", label, scale);
+  return BuildCorpus(label, data::GenerateXMark(opt), data::XMarkXsd(),
+                     options);
+}
+
+inline std::unique_ptr<Corpus> BuildDblp(const char* label, int inproceedings,
+                                         engine::EngineOptions options = {}) {
+  data::DblpOptions opt;
+  opt.inproceedings = inproceedings;
+  opt.articles = inproceedings / 2;
+  opt.books = std::max(20, inproceedings / 160);
+  std::fprintf(stderr, "[build] DBLP %s (%d inproceedings)...\n", label,
+               inproceedings);
+  return BuildCorpus(label, data::GenerateDblp(opt), data::DblpXsd(), options);
+}
+
+struct Timing {
+  bool supported = false;
+  double ms = 0;
+  size_t nodes = 0;
+  std::string error;
+};
+
+// Runs the query `reps` times and averages the wall-clock time.
+inline Timing TimeQuery(const engine::XPathEngine& eng,
+                        engine::Backend backend, const char* xpath, int reps) {
+  Timing t;
+  double total = 0;
+  for (int i = 0; i < reps; ++i) {
+    auto r = eng.Run(backend, xpath);
+    if (!r.ok()) {
+      t.error = r.status().ToString();
+      return t;
+    }
+    total += r.value().elapsed_ms;
+    t.nodes = r.value().nodes.size();
+  }
+  t.supported = true;
+  t.ms = total / reps;
+  return t;
+}
+
+inline void PrintCell(const Timing& t) {
+  if (t.supported) {
+    std::printf(" %9.2f", t.ms);
+  } else {
+    std::printf(" %9s", "N/A");
+  }
+}
+
+}  // namespace xprel::bench
+
+#endif  // XPREL_BENCH_HARNESS_H_

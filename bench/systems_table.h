@@ -1,0 +1,43 @@
+#ifndef XPREL_BENCH_SYSTEMS_TABLE_H_
+#define XPREL_BENCH_SYSTEMS_TABLE_H_
+
+// Shared printer for the Appendix C style five-system comparison tables
+// (experiments E2-E4): per query, the result cardinality and average times
+// for PPF, Edge-like PPF, staircase ("MonetDB-like"), the conventional
+// per-step translation ("commercial"), and the XPath Accelerator.
+
+#include "bench/harness.h"
+
+namespace xprel::bench {
+
+inline void RunSystemsTable(const Corpus& corpus, const NamedQuery* queries,
+                            size_t count, int reps) {
+  std::printf("\n== %s ==\n", corpus.label.c_str());
+  std::printf("%-5s %9s %9s %9s %9s %9s %9s\n", "query", "nodes", "PPF",
+              "EdgePPF", "MonetDB*", "Commerc*", "XPAccel");
+  for (size_t i = 0; i < count; ++i) {
+    Timing ppf = TimeQuery(*corpus.engine, engine::Backend::kPpf,
+                           queries[i].xpath, reps);
+    Timing edge = TimeQuery(*corpus.engine, engine::Backend::kEdgePpf,
+                            queries[i].xpath, reps);
+    Timing stair = TimeQuery(*corpus.engine, engine::Backend::kStaircase,
+                             queries[i].xpath, reps);
+    Timing naive = TimeQuery(*corpus.engine, engine::Backend::kNaive,
+                             queries[i].xpath, reps);
+    Timing accel = TimeQuery(*corpus.engine, engine::Backend::kAccelerator,
+                             queries[i].xpath, reps);
+    std::printf("%-5s %9zu", queries[i].id, ppf.nodes);
+    PrintCell(ppf);
+    PrintCell(edge);
+    PrintCell(stair);
+    PrintCell(naive);
+    PrintCell(accel);
+    std::printf("\n");
+  }
+  std::printf("(MonetDB* = staircase-join stand-in; Commerc* = conventional "
+              "per-step translation stand-in; N/A = unsupported)\n");
+}
+
+}  // namespace xprel::bench
+
+#endif  // XPREL_BENCH_SYSTEMS_TABLE_H_

@@ -1,0 +1,176 @@
+#include "accel/accel_store.h"
+
+#include <algorithm>
+
+namespace xprel::accel {
+
+using rel::TableSchema;
+using rel::Value;
+using rel::ValueType;
+
+Result<std::unique_ptr<AccelStore>> AccelStore::Create(
+    const xml::Document& doc) {
+  std::unique_ptr<AccelStore> store(new AccelStore());
+
+  // Walk elements in document (preorder) order assigning pre ranks, and in
+  // a second pass compute post ranks and subtree sizes.
+  struct Elem {
+    xml::NodeId node;
+    int32_t parent_pre;
+    int32_t level;
+  };
+  std::vector<Elem> elems;
+  for (xml::NodeId id = 1; id <= doc.size(); ++id) {
+    if (!doc.IsElement(id)) continue;
+    elems.push_back({id, -1, doc.node(id).depth});
+  }
+  std::map<xml::NodeId, int32_t> pre_of;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    pre_of[elems[i].node] = static_cast<int32_t>(i + 1);
+  }
+  for (Elem& e : elems) {
+    xml::NodeId p = doc.node(e.node).parent;
+    e.parent_pre = p == xml::kNoNode ? -1 : pre_of[p];
+  }
+
+  // Post ranks via a DFS that numbers children before parents. Since the
+  // element list is preorder, post order can be computed by a stack scan.
+  size_t n = elems.size();
+  std::vector<int32_t> post(n, 0), size(n, 0);
+  {
+    std::vector<int32_t> post_counter(1, 0);
+    // subtree size: count of elements with deeper level until the next
+    // element at the same or shallower level.
+    for (size_t i = 0; i < n; ++i) {
+      size_t j = i + 1;
+      while (j < n && elems[j].level > elems[i].level) ++j;
+      size[i] = static_cast<int32_t>(j - i - 1);
+    }
+    // post rank: position in postorder traversal = pre + size adjusted;
+    // compute directly: postorder index = index of node in the sequence
+    // sorted by (end of subtree, depth descending). Simpler: recursive
+    // numbering using the size array.
+    int32_t counter = 0;
+    // Iterative postorder over the preorder array: a node is emitted after
+    // its subtree, i.e. nodes sorted by (i + size[i], -level) ascending.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      size_t end_a = a + static_cast<size_t>(size[a]);
+      size_t end_b = b + static_cast<size_t>(size[b]);
+      if (end_a != end_b) return end_a < end_b;
+      return elems[a].level > elems[b].level;
+    });
+    for (size_t i : order) post[i] = ++counter;
+    (void)post_counter;
+    (void)counter;
+  }
+
+  store->regions_.resize(n);
+  store->names_.resize(n);
+  store->texts_.resize(n);
+  store->children_.resize(n);
+  store->attrs_.resize(n);
+  store->origin_.resize(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    encoding::Region& r = store->regions_[i];
+    r.pre = static_cast<int32_t>(i + 1);
+    r.post = post[i];
+    r.level = elems[i].level;
+    r.size = size[i];
+    r.parent_pre = elems[i].parent_pre;
+
+    const xml::Node& node = doc.node(elems[i].node);
+    store->names_[i] = node.name;
+    std::string text;
+    for (xml::NodeId c : node.children) {
+      if (doc.node(c).kind == xml::NodeKind::kText) text += doc.node(c).text;
+    }
+    store->texts_[i] = std::move(text);
+    for (const xml::Attribute& a : node.attributes) {
+      store->attrs_[i][a.name] = a.value;
+    }
+    store->origin_[i] = elems[i].node;
+    store->by_name_[node.name].push_back(static_cast<int32_t>(i + 1));
+    if (elems[i].parent_pre > 0) {
+      store->children_[static_cast<size_t>(elems[i].parent_pre - 1)].push_back(
+          static_cast<int32_t>(i + 1));
+    }
+  }
+  store->pre_of_ = std::move(pre_of);
+
+  // Relational image.
+  {
+    TableSchema accel;
+    accel.name = kAccelTable;
+    accel.columns = {{kPreColumn, ValueType::kInt64, false},
+                     {kPostColumn, ValueType::kInt64, false},
+                     {kLevelColumn, ValueType::kInt64, false},
+                     {kSizeColumn, ValueType::kInt64, false},
+                     {kParColumn, ValueType::kInt64, true},
+                     {kNameColumn, ValueType::kString, false},
+                     {kTextColumn, ValueType::kString, true}};
+    accel.indexes = {
+        {"pk_Accel_pre", {0}, true},
+        {"idx_Accel_post", {1}, false},
+        {"idx_Accel_par", {4}, false},
+        {"idx_Accel_name_pre", {5, 0}, false},
+    };
+    auto t = store->db_.CreateTable(std::move(accel));
+    if (!t.ok()) return t.status();
+    for (size_t i = 0; i < n; ++i) {
+      const encoding::Region& r = store->regions_[i];
+      XPREL_RETURN_IF_ERROR(t.value()->Insert(
+          {Value::Int(r.pre), Value::Int(r.post), Value::Int(r.level),
+           Value::Int(r.size),
+           r.parent_pre > 0 ? Value::Int(r.parent_pre) : Value::Null(),
+           Value::Str(store->names_[i]), Value::Str(store->texts_[i])}));
+    }
+  }
+  {
+    TableSchema attr;
+    attr.name = kAttrTable;
+    attr.columns = {{kAttrElemColumn, ValueType::kInt64, false},
+                    {kAttrNameColumn, ValueType::kString, false},
+                    {kAttrValueColumn, ValueType::kString, false}};
+    attr.indexes = {
+        {"idx_AccelAttr_elem", {0}, false},
+        {"idx_AccelAttr_name_value", {1, 2}, false},
+    };
+    auto t = store->db_.CreateTable(std::move(attr));
+    if (!t.ok()) return t.status();
+    for (size_t i = 0; i < n; ++i) {
+      for (const auto& [name, value] : store->attrs_[i]) {
+        XPREL_RETURN_IF_ERROR(
+            t.value()->Insert({Value::Int(static_cast<int64_t>(i + 1)),
+                               Value::Str(name), Value::Str(value)}));
+      }
+    }
+  }
+  return store;
+}
+
+const std::string* AccelStore::FindAttribute(int32_t pre,
+                                             const std::string& name) const {
+  const auto& m = attrs_[static_cast<size_t>(pre - 1)];
+  auto it = m.find(name);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+bool AccelStore::HasAnyAttribute(int32_t pre) const {
+  return !attrs_[static_cast<size_t>(pre - 1)].empty();
+}
+
+const std::vector<int32_t>* AccelStore::PresByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+int32_t AccelStore::PreOf(xml::NodeId node) const {
+  auto it = pre_of_.find(node);
+  return it == pre_of_.end() ? -1 : it->second;
+}
+
+}  // namespace xprel::accel

@@ -1,0 +1,85 @@
+#ifndef XPREL_ACCEL_ACCEL_STORE_H_
+#define XPREL_ACCEL_ACCEL_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "encoding/region.h"
+#include "rel/table.h"
+#include "xml/document.h"
+
+namespace xprel::accel {
+
+inline constexpr char kAccelTable[] = "Accel";
+inline constexpr char kAttrTable[] = "AccelAttr";
+inline constexpr char kPreColumn[] = "pre";
+inline constexpr char kPostColumn[] = "post";
+inline constexpr char kLevelColumn[] = "level";
+inline constexpr char kSizeColumn[] = "size_";
+inline constexpr char kParColumn[] = "par_pre";
+inline constexpr char kNameColumn[] = "name";
+inline constexpr char kTextColumn[] = "text";
+inline constexpr char kAttrElemColumn[] = "elem_pre";
+inline constexpr char kAttrNameColumn[] = "attr_name";
+inline constexpr char kAttrValueColumn[] = "value";
+
+// The XPath Accelerator document encoding (Grust et al.): one row per
+// element with its pre/post region, level, subtree size and parent pre,
+// stored both as relational tables (for the window-based SQL translation)
+// and as in-memory arrays (for the staircase-join evaluator).
+class AccelStore {
+ public:
+  static Result<std::unique_ptr<AccelStore>> Create(const xml::Document& doc);
+
+  rel::Database& db() { return db_; }
+  const rel::Database& db() const { return db_; }
+
+  int32_t element_count() const { return static_cast<int32_t>(regions_.size()); }
+  // 1-based pre rank accessors (pre == position in the preorder element
+  // sequence).
+  const encoding::Region& region(int32_t pre) const {
+    return regions_[static_cast<size_t>(pre - 1)];
+  }
+  const std::string& name(int32_t pre) const {
+    return names_[static_cast<size_t>(pre - 1)];
+  }
+  const std::string& text(int32_t pre) const {
+    return texts_[static_cast<size_t>(pre - 1)];
+  }
+  const std::vector<int32_t>& children(int32_t pre) const {
+    return children_[static_cast<size_t>(pre - 1)];
+  }
+  // Attribute value, or nullptr.
+  const std::string* FindAttribute(int32_t pre, const std::string& name) const;
+  bool HasAnyAttribute(int32_t pre) const;
+
+  // Sorted pre ranks of all elements with the given tag.
+  const std::vector<int32_t>* PresByName(const std::string& name) const;
+
+  // Document node of a pre rank.
+  xml::NodeId NodeOf(int32_t pre) const {
+    return origin_[static_cast<size_t>(pre - 1)];
+  }
+  // Pre rank of an element node, or -1.
+  int32_t PreOf(xml::NodeId node) const;
+
+ private:
+  AccelStore() = default;
+
+  rel::Database db_;
+  std::vector<encoding::Region> regions_;
+  std::vector<std::string> names_;
+  std::vector<std::string> texts_;
+  std::vector<std::vector<int32_t>> children_;
+  std::vector<std::map<std::string, std::string>> attrs_;
+  std::map<std::string, std::vector<int32_t>> by_name_;
+  std::vector<xml::NodeId> origin_;
+  std::map<xml::NodeId, int32_t> pre_of_;
+};
+
+}  // namespace xprel::accel
+
+#endif  // XPREL_ACCEL_ACCEL_STORE_H_

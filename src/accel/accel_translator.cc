@@ -1,0 +1,426 @@
+#include "accel/accel_translator.h"
+
+#include <cmath>
+#include <string>
+
+#include "accel/accel_store.h"
+#include "translate/ppf.h"
+#include "xpath/parser.h"
+
+namespace xprel::accel {
+
+using rel::Add;
+using rel::Bin;
+using rel::Col;
+using rel::Exists;
+using rel::LitInt;
+using rel::LitStr;
+using rel::SelectStmt;
+using rel::SqlExpr;
+using rel::SqlExprPtr;
+using rel::Value;
+using translate::TranslatedQuery;
+using xpath::Axis;
+using xpath::CompOp;
+using xpath::Expr;
+using xpath::LocationPath;
+using xpath::NodeTestKind;
+using xpath::Step;
+using xpath::XPathExpr;
+
+namespace {
+
+SqlExpr::BinOp SqlOpOf(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return SqlExpr::BinOp::kEq;
+    case CompOp::kNe:
+      return SqlExpr::BinOp::kNe;
+    case CompOp::kLt:
+      return SqlExpr::BinOp::kLt;
+    case CompOp::kLe:
+      return SqlExpr::BinOp::kLe;
+    case CompOp::kGt:
+      return SqlExpr::BinOp::kGt;
+    case CompOp::kGe:
+      return SqlExpr::BinOp::kGe;
+  }
+  return SqlExpr::BinOp::kEq;
+}
+
+class AccelBranchTranslator {
+ public:
+  enum class ValueMode { kNone, kText };
+
+  Result<std::unique_ptr<SelectStmt>> Translate(const LocationPath& path,
+                                                ValueMode& mode) {
+    if (path.steps.empty()) {
+      return Status::Unsupported("a bare '/' selects the document root node");
+    }
+    LocationPath work = xpath::ClonePath(path);
+    mode = ValueMode::kNone;
+    const Step& last = work.steps.back();
+    if (last.test == NodeTestKind::kText) {
+      if (last.axis != Axis::kChild || !last.predicates.empty()) {
+        return Status::Unsupported("text() only as a plain final step");
+      }
+      work.steps.pop_back();
+      mode = ValueMode::kText;
+      if (work.steps.empty()) {
+        return Status::Unsupported("text() of the document root");
+      }
+    }
+    work = translate::MergeConnectors(work);
+    if (work.steps.back().axis == Axis::kAttribute) {
+      return Status::Unsupported(
+          "accelerator: attribute value projection not implemented");
+    }
+
+    stmt_ = std::make_unique<SelectStmt>();
+    std::string prev;
+    for (const Step& step : work.steps) {
+      auto alias = ProcessStep(step, prev);
+      if (!alias.ok()) return alias.status();
+      prev = alias.value();
+    }
+    stmt_->distinct = true;
+    stmt_->select.push_back({Col(prev, kPreColumn), "pre"});
+    if (mode == ValueMode::kText) {
+      stmt_->select.push_back({Col(prev, kTextColumn), "value"});
+      AddWhere(Bin(SqlExpr::BinOp::kNe, Col(prev, kTextColumn), LitStr("")));
+    }
+    stmt_->order_by.push_back({Col(prev, kPreColumn), true});
+    return std::move(stmt_);
+  }
+
+ private:
+  std::string NewAlias() { return "V" + std::to_string(++alias_count_); }
+  std::string NewAttrAlias() { return "W" + std::to_string(++attr_count_); }
+
+  void AddWhere(SqlExprPtr cond) {
+    stmt_->where = rel::And(std::move(stmt_->where), std::move(cond));
+  }
+
+  // Adds one step's alias with its window conditions; returns the alias.
+  Result<std::string> ProcessStep(const Step& step, const std::string& prev) {
+    if (step.axis == Axis::kAttribute) {
+      return Status::Unsupported(
+          "accelerator: attribute steps only in predicates");
+    }
+    std::string alias = NewAlias();
+    stmt_->from.push_back({kAccelTable, alias});
+
+    if (step.test == NodeTestKind::kName) {
+      AddWhere(rel::Eq(Col(alias, kNameColumn), LitStr(step.name)));
+    }
+
+    auto pre = [&](const std::string& a) { return Col(a, kPreColumn); };
+    auto post = [&](const std::string& a) { return Col(a, kPostColumn); };
+    auto level = [&](const std::string& a) { return Col(a, kLevelColumn); };
+    auto window_end = [&](const std::string& a) {
+      return Add(Col(a, kPreColumn), Col(a, kSizeColumn));
+    };
+
+    if (prev.empty()) {
+      // Context is the virtual document root.
+      switch (step.axis) {
+        case Axis::kChild:
+          AddWhere(rel::Eq(level(alias), LitInt(1)));
+          break;
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf:
+          break;  // every element qualifies
+        default:
+          AddWhere(rel::Eq(LitInt(1), LitInt(0)));  // nothing there
+          break;
+      }
+    } else {
+      switch (step.axis) {
+        case Axis::kChild:
+          // The window + level conditions define "child"; the par_pre
+          // equality is implied but gives the planner an equijoin for
+          // upward navigation.
+          AddWhere(rel::And(
+              rel::And(Bin(SqlExpr::BinOp::kGt, pre(alias), pre(prev)),
+                       Bin(SqlExpr::BinOp::kLe, pre(alias),
+                           window_end(prev))),
+              rel::And(rel::Eq(level(alias), Add(level(prev), LitInt(1))),
+                       rel::Eq(Col(alias, kParColumn), pre(prev)))));
+          break;
+        case Axis::kDescendant:
+          AddWhere(
+              rel::And(Bin(SqlExpr::BinOp::kGt, pre(alias), pre(prev)),
+                       Bin(SqlExpr::BinOp::kLe, pre(alias),
+                           window_end(prev))));
+          break;
+        case Axis::kDescendantOrSelf:
+          AddWhere(
+              rel::And(Bin(SqlExpr::BinOp::kGe, pre(alias), pre(prev)),
+                       Bin(SqlExpr::BinOp::kLe, pre(alias),
+                           window_end(prev))));
+          break;
+        case Axis::kSelf:
+          AddWhere(rel::Eq(pre(alias), pre(prev)));
+          break;
+        case Axis::kParent:
+          AddWhere(rel::Eq(pre(alias), Col(prev, kParColumn)));
+          break;
+        case Axis::kAncestor:
+          AddWhere(
+              rel::And(Bin(SqlExpr::BinOp::kLt, pre(alias), pre(prev)),
+                       Bin(SqlExpr::BinOp::kGt, post(alias), post(prev))));
+          break;
+        case Axis::kAncestorOrSelf:
+          AddWhere(
+              rel::And(Bin(SqlExpr::BinOp::kLe, pre(alias), pre(prev)),
+                       Bin(SqlExpr::BinOp::kGe, post(alias), post(prev))));
+          break;
+        case Axis::kFollowing:
+          AddWhere(Bin(SqlExpr::BinOp::kGt, pre(alias), window_end(prev)));
+          break;
+        case Axis::kPreceding:
+          AddWhere(
+              rel::And(Bin(SqlExpr::BinOp::kLt, pre(alias), pre(prev)),
+                       Bin(SqlExpr::BinOp::kLt, post(alias), post(prev))));
+          break;
+        case Axis::kFollowingSibling:
+          AddWhere(rel::And(
+              rel::Eq(Col(alias, kParColumn), Col(prev, kParColumn)),
+              Bin(SqlExpr::BinOp::kGt, pre(alias), pre(prev))));
+          break;
+        case Axis::kPrecedingSibling:
+          AddWhere(rel::And(
+              rel::Eq(Col(alias, kParColumn), Col(prev, kParColumn)),
+              Bin(SqlExpr::BinOp::kLt, pre(alias), pre(prev))));
+          break;
+        case Axis::kAttribute:
+          return Status::Unsupported("accelerator: attribute step");
+      }
+    }
+
+    for (const xpath::ExprPtr& pred : step.predicates) {
+      auto cond = TranslatePredicate(alias, *pred);
+      if (!cond.ok()) return cond.status();
+      AddWhere(std::move(cond).value());
+    }
+    return alias;
+  }
+
+  static bool IsAttributeOnlyPath(const LocationPath& path) {
+    return !path.absolute && path.steps.size() == 1 &&
+           path.steps[0].axis == Axis::kAttribute &&
+           path.steps[0].predicates.empty();
+  }
+
+  SqlExprPtr AttrCondition(const std::string& ctx_alias, const Step& step,
+                           const SqlExpr* lit, CompOp op) {
+    auto sub = std::make_unique<SelectStmt>();
+    std::string aa = NewAttrAlias();
+    sub->from.push_back({kAttrTable, aa});
+    sub->where =
+        rel::Eq(Col(aa, kAttrElemColumn), Col(ctx_alias, kPreColumn));
+    if (step.test == NodeTestKind::kName) {
+      sub->where = rel::And(
+          std::move(sub->where),
+          rel::Eq(Col(aa, kAttrNameColumn), LitStr(step.name)));
+    }
+    if (lit != nullptr) {
+      sub->where = rel::And(std::move(sub->where),
+                            Bin(SqlOpOf(op), Col(aa, kAttrValueColumn),
+                                rel::CloneSqlExpr(*lit)));
+    }
+    return Exists(std::move(sub));
+  }
+
+  Result<SqlExprPtr> TranslatePredicate(const std::string& ctx_alias,
+                                        const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr: {
+        auto a = TranslatePredicate(ctx_alias, *expr.children[0]);
+        if (!a.ok()) return a.status();
+        auto b = TranslatePredicate(ctx_alias, *expr.children[1]);
+        if (!b.ok()) return b.status();
+        return expr.kind == Expr::Kind::kAnd
+                   ? rel::And(std::move(a).value(), std::move(b).value())
+                   : rel::Or(std::move(a).value(), std::move(b).value());
+      }
+      case Expr::Kind::kNot: {
+        auto a = TranslatePredicate(ctx_alias, *expr.children[0]);
+        if (!a.ok()) return a.status();
+        return rel::Not(std::move(a).value());
+      }
+      case Expr::Kind::kPath: {
+        if (IsAttributeOnlyPath(expr.path)) {
+          return AttrCondition(ctx_alias, expr.path.steps[0], nullptr,
+                               CompOp::kEq);
+        }
+        return ExistsForPath(ctx_alias, expr.path, nullptr, CompOp::kEq,
+                             nullptr);
+      }
+      case Expr::Kind::kComparison: {
+        const Expr& lhs = *expr.children[0];
+        const Expr& rhs = *expr.children[1];
+        if (lhs.kind == Expr::Kind::kPosition ||
+            rhs.kind == Expr::Kind::kPosition) {
+          return Status::Unsupported("position() is not translatable");
+        }
+        auto literal_of = [](const Expr& e) -> SqlExprPtr {
+          if (e.kind == Expr::Kind::kString) return LitStr(e.str_value);
+          if (e.kind == Expr::Kind::kNumber) {
+            double intpart = 0;
+            if (std::modf(e.num_value, &intpart) == 0.0) {
+              return LitInt(static_cast<int64_t>(intpart));
+            }
+            return rel::Lit(Value::Real(e.num_value));
+          }
+          return nullptr;
+        };
+        bool lhs_path = lhs.kind == Expr::Kind::kPath;
+        bool rhs_path = rhs.kind == Expr::Kind::kPath;
+        if (lhs_path && rhs_path) {
+          return ExistsForPath(ctx_alias, lhs.path, nullptr, expr.op,
+                               &rhs.path);
+        }
+        if (!lhs_path && !rhs_path) {
+          return Status::Unsupported("constant comparison");
+        }
+        const LocationPath& path = lhs_path ? lhs.path : rhs.path;
+        SqlExprPtr lit = literal_of(lhs_path ? rhs : lhs);
+        if (lit == nullptr) {
+          return Status::Unsupported("unsupported comparison operand");
+        }
+        CompOp op = expr.op;
+        if (!lhs_path) {
+          switch (op) {
+            case CompOp::kLt:
+              op = CompOp::kGt;
+              break;
+            case CompOp::kLe:
+              op = CompOp::kGe;
+              break;
+            case CompOp::kGt:
+              op = CompOp::kLt;
+              break;
+            case CompOp::kGe:
+              op = CompOp::kLe;
+              break;
+            default:
+              break;
+          }
+        }
+        if (IsAttributeOnlyPath(path)) {
+          return AttrCondition(ctx_alias, path.steps[0], lit.get(), op);
+        }
+        return ExistsForPath(ctx_alias, path, lit.get(), op, nullptr);
+      }
+      case Expr::Kind::kString:
+      case Expr::Kind::kNumber:
+      case Expr::Kind::kPosition:
+        return Status::Unsupported("constant / position predicates");
+    }
+    return Status::Internal("unhandled predicate kind");
+  }
+
+  Result<SqlExprPtr> ExistsForPath(const std::string& ctx_alias,
+                                   const LocationPath& path,
+                                   const SqlExpr* lit, CompOp op,
+                                   const LocationPath* join_path) {
+    auto sub = std::make_unique<SelectStmt>();
+    std::swap(stmt_, sub);
+    auto restore = [&]() { std::swap(stmt_, sub); };
+
+    auto chain = [&](const LocationPath& raw, bool* attr_final)
+        -> Result<std::string> {
+      LocationPath p = translate::MergeConnectors(raw);
+      std::string prev = p.absolute ? "" : ctx_alias;
+      *attr_final = false;
+      for (size_t i = 0; i < p.steps.size(); ++i) {
+        const Step& step = p.steps[i];
+        if (step.axis == Axis::kAttribute) {
+          if (i + 1 != p.steps.size()) {
+            return Status::Unsupported("attribute steps only at path end");
+          }
+          *attr_final = true;
+          return prev;  // the owner alias; caller uses AttrCondition
+        }
+        auto alias = ProcessStep(step, prev);
+        if (!alias.ok()) return alias.status();
+        prev = alias.value();
+      }
+      return prev;
+    };
+
+    bool attr_final = false;
+    auto final_alias = chain(path, &attr_final);
+    if (!final_alias.ok()) {
+      restore();
+      return final_alias.status();
+    }
+    if (attr_final) {
+      SqlExprPtr cond = AttrCondition(
+          final_alias.value(), path.steps.back(), lit, op);
+      AddWhere(std::move(cond));
+    } else if (lit != nullptr) {
+      AddWhere(Bin(SqlOpOf(op), Col(final_alias.value(), kTextColumn),
+                   rel::CloneSqlExpr(*lit)));
+    }
+    if (join_path != nullptr) {
+      bool attr2 = false;
+      auto alias2 = chain(*join_path, &attr2);
+      if (!alias2.ok()) {
+        restore();
+        return alias2.status();
+      }
+      if (attr2) {
+        restore();
+        return Status::Unsupported(
+            "accelerator: attribute operand in a join clause");
+      }
+      AddWhere(Bin(SqlOpOf(op), Col(final_alias.value(), kTextColumn),
+                   Col(alias2.value(), kTextColumn)));
+    }
+    restore();
+    return Exists(std::move(sub));
+  }
+
+  std::unique_ptr<SelectStmt> stmt_;
+  int alias_count_ = 0;
+  int attr_count_ = 0;
+};
+
+}  // namespace
+
+Result<TranslatedQuery> AcceleratorTranslator::Translate(
+    const XPathExpr& expr) const {
+  XPathExpr expanded = translate::ExpandOrSelfSteps(expr);
+  TranslatedQuery out;
+  bool mode_set = false;
+  AccelBranchTranslator::ValueMode overall =
+      AccelBranchTranslator::ValueMode::kNone;
+  for (const LocationPath& branch : expanded.branches) {
+    AccelBranchTranslator bt;
+    AccelBranchTranslator::ValueMode mode;
+    auto stmt = bt.Translate(branch, mode);
+    if (!stmt.ok()) return stmt.status();
+    if (mode_set && mode != overall) {
+      return Status::Unsupported(
+          "union branches project incompatible results");
+    }
+    overall = mode;
+    mode_set = true;
+    out.sql.selects.push_back(std::move(stmt).value());
+  }
+  out.projects_value = overall != AccelBranchTranslator::ValueMode::kNone;
+  out.statically_empty = out.sql.selects.empty();
+  return out;
+}
+
+Result<TranslatedQuery> AcceleratorTranslator::TranslateString(
+    std::string_view xpath) const {
+  auto parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return Translate(parsed.value());
+}
+
+}  // namespace xprel::accel

@@ -1,0 +1,30 @@
+#ifndef XPREL_ACCEL_ACCEL_TRANSLATOR_H_
+#define XPREL_ACCEL_ACCEL_TRANSLATOR_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "translate/translator.h"
+#include "xpath/ast.h"
+
+namespace xprel::accel {
+
+// Conventional XPath Accelerator translation (Grust et al., TODS 2004):
+// one Accel self-join per XPath step, with pre/post window conditions using
+// the *Staked-Out Query Window Sizes* bounds (descendant windows closed by
+// pre <= context.pre + context.size, so a B-tree range scan can stop).
+// This is the baseline the paper reimplements for its Figure 4 comparison.
+// There is no path index: every step costs a join.
+class AcceleratorTranslator {
+ public:
+  AcceleratorTranslator() = default;
+
+  Result<translate::TranslatedQuery> Translate(
+      const xpath::XPathExpr& expr) const;
+  Result<translate::TranslatedQuery> TranslateString(
+      std::string_view xpath) const;
+};
+
+}  // namespace xprel::accel
+
+#endif  // XPREL_ACCEL_ACCEL_TRANSLATOR_H_

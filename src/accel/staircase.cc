@@ -1,0 +1,442 @@
+#include "accel/staircase.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "translate/ppf.h"
+#include "xpath/parser.h"
+
+namespace xprel::accel {
+
+using encoding::Region;
+using xpath::Axis;
+using xpath::CompOp;
+using xpath::Expr;
+using xpath::LocationPath;
+using xpath::NodeTestKind;
+using xpath::Step;
+using xpath::XPathExpr;
+
+namespace {
+
+void SortUnique(std::vector<int32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+// Emits pre ranks matching `step`'s name test within [lo, hi] using the
+// name index when the test is a name, else the raw range.
+template <typename Fn>
+void ScanRange(const AccelStore& store, const Step& step, int32_t lo,
+               int32_t hi, Fn&& emit) {
+  if (lo > hi) return;
+  if (step.test == NodeTestKind::kName) {
+    const std::vector<int32_t>* pres = store.PresByName(step.name);
+    if (pres == nullptr) return;
+    auto it = std::lower_bound(pres->begin(), pres->end(), lo);
+    for (; it != pres->end() && *it <= hi; ++it) emit(*it);
+    return;
+  }
+  for (int32_t p = lo; p <= hi; ++p) emit(p);
+}
+
+}  // namespace
+
+bool StaircaseEvaluator::MatchesTest(int32_t pre, const Step& step) const {
+  switch (step.test) {
+    case NodeTestKind::kName:
+      return store_.name(pre) == step.name;
+    case NodeTestKind::kWildcard:
+    case NodeTestKind::kAnyNode:
+      return true;
+    case NodeTestKind::kText:
+      return false;
+  }
+  return false;
+}
+
+Result<std::vector<int32_t>> StaircaseEvaluator::ApplyAxis(
+    const std::vector<int32_t>& context, const Step& step,
+    bool from_root) const {
+  std::vector<int32_t> out;
+  int32_t n = store_.element_count();
+
+  if (from_root) {
+    switch (step.axis) {
+      case Axis::kChild:
+        if (n >= 1 && MatchesTest(1, step)) out.push_back(1);
+        return out;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+        ScanRange(store_, step, 1, n, [&](int32_t p) { out.push_back(p); });
+        return out;
+      default:
+        return out;
+    }
+  }
+
+  switch (step.axis) {
+    case Axis::kChild:
+      for (int32_t c : context) {
+        for (int32_t k : store_.children(c)) {
+          if (MatchesTest(k, step)) out.push_back(k);
+        }
+      }
+      SortUnique(out);
+      return out;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      // Staircase pruning: skip contexts covered by an earlier window.
+      int32_t covered_until = 0;  // last pre covered so far
+      bool or_self = step.axis == Axis::kDescendantOrSelf;
+      for (int32_t c : context) {
+        const Region& r = store_.region(c);
+        int32_t lo = std::max(or_self ? r.pre : r.pre + 1,
+                              covered_until + 1);
+        int32_t hi = r.pre + r.size;
+        ScanRange(store_, step, lo, hi, [&](int32_t p) { out.push_back(p); });
+        covered_until = std::max(covered_until, hi);
+      }
+      SortUnique(out);
+      return out;
+    }
+    case Axis::kSelf:
+      for (int32_t c : context) {
+        if (MatchesTest(c, step)) out.push_back(c);
+      }
+      return out;
+    case Axis::kParent: {
+      for (int32_t c : context) {
+        int32_t p = store_.region(c).parent_pre;
+        if (p > 0 && MatchesTest(p, step)) out.push_back(p);
+      }
+      SortUnique(out);
+      return out;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      std::set<int32_t> seen;
+      for (int32_t c : context) {
+        int32_t cur = step.axis == Axis::kAncestorOrSelf
+                          ? c
+                          : store_.region(c).parent_pre;
+        while (cur > 0 && seen.insert(cur).second) {
+          cur = store_.region(cur).parent_pre;
+        }
+      }
+      for (int32_t p : seen) {
+        if (MatchesTest(p, step)) out.push_back(p);
+      }
+      return out;
+    }
+    case Axis::kFollowing: {
+      if (context.empty()) return out;
+      // The earliest context window opens the largest following region.
+      int32_t min_end = INT32_MAX;
+      for (int32_t c : context) {
+        const Region& r = store_.region(c);
+        min_end = std::min(min_end, r.pre + r.size);
+      }
+      ScanRange(store_, step, min_end + 1, n,
+                [&](int32_t p) { out.push_back(p); });
+      return out;
+    }
+    case Axis::kPreceding: {
+      if (context.empty()) return out;
+      // The latest context dominates (see header notes).
+      int32_t c = context.back();
+      const Region& r = store_.region(c);
+      ScanRange(store_, step, 1, r.pre - 1, [&](int32_t p) {
+        if (store_.region(p).post < r.post) out.push_back(p);
+      });
+      return out;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      for (int32_t c : context) {
+        int32_t parent = store_.region(c).parent_pre;
+        if (parent <= 0) continue;
+        for (int32_t s : store_.children(parent)) {
+          bool after = s > c;
+          if (step.axis == Axis::kFollowingSibling ? after : (s < c)) {
+            if (MatchesTest(s, step)) out.push_back(s);
+          }
+        }
+      }
+      SortUnique(out);
+      return out;
+    }
+    case Axis::kAttribute:
+      for (int32_t c : context) {
+        if (step.test == NodeTestKind::kName) {
+          if (store_.FindAttribute(c, step.name) != nullptr) out.push_back(c);
+        } else if (store_.HasAnyAttribute(c)) {
+          out.push_back(c);
+        }
+      }
+      return out;
+  }
+  return out;
+}
+
+Result<std::vector<int32_t>> StaircaseEvaluator::ApplyStep(
+    const std::vector<int32_t>& context, const Step& step,
+    bool from_root) const {
+  auto candidates = ApplyAxis(context, step, from_root);
+  if (!candidates.ok()) return candidates.status();
+  if (step.predicates.empty()) return candidates;
+  std::vector<int32_t> filtered;
+  for (int32_t p : candidates.value()) {
+    bool keep = true;
+    for (const xpath::ExprPtr& pred : step.predicates) {
+      auto r = EvalPredicate(*pred, p);
+      if (!r.ok()) return r.status();
+      if (!r.value()) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) filtered.push_back(p);
+  }
+  return filtered;
+}
+
+Result<std::vector<int32_t>> StaircaseEvaluator::EvaluatePath(
+    const LocationPath& path, const std::vector<int32_t>* ctx) const {
+  if (path.steps.empty()) {
+    return Status::Unsupported("a bare '/' selects the document root node");
+  }
+  bool from_root = ctx == nullptr || path.absolute;
+  std::vector<int32_t> context;
+  if (!from_root) context = *ctx;
+
+  size_t step_count = path.steps.size();
+  bool text_mode = false;
+  const Step& last = path.steps.back();
+  if (last.test == NodeTestKind::kText) {
+    if (last.axis != Axis::kChild || !last.predicates.empty()) {
+      return Status::Unsupported("text() only as a plain final step");
+    }
+    --step_count;
+    text_mode = true;
+    if (step_count == 0) {
+      return Status::Unsupported("text() of the document root");
+    }
+  }
+
+  for (size_t i = 0; i < step_count; ++i) {
+    auto next = ApplyStep(context, path.steps[i], from_root && i == 0);
+    if (!next.ok()) return next.status();
+    context = std::move(next).value();
+    if (context.empty()) break;
+  }
+  if (text_mode) {
+    std::vector<int32_t> out;
+    for (int32_t p : context) {
+      if (!store_.text(p).empty()) out.push_back(p);
+    }
+    return out;
+  }
+  return context;
+}
+
+Result<StaircaseEvaluator::PathValues> StaircaseEvaluator::PredicatePathValues(
+    int32_t pre, const LocationPath& raw_path) const {
+  PathValues out;
+  LocationPath path = translate::MergeConnectors(raw_path);
+  if (path.steps.empty()) return out;
+  std::vector<int32_t> ctx = {pre};
+
+  size_t step_count = path.steps.size();
+  bool text_mode = false;
+  const Step& last = path.steps.back();
+  if (last.test == NodeTestKind::kText && last.axis == Axis::kChild &&
+      last.predicates.empty()) {
+    --step_count;
+    text_mode = true;
+  }
+  bool attr_mode = path.steps[step_count - 1].axis == Axis::kAttribute;
+
+  std::vector<int32_t> context = path.absolute ? std::vector<int32_t>{} : ctx;
+  for (size_t i = 0; i < step_count; ++i) {
+    auto next =
+        ApplyStep(context, path.steps[i], path.absolute && i == 0);
+    if (!next.ok()) return next.status();
+    context = std::move(next).value();
+    if (context.empty()) return out;
+  }
+
+  if (attr_mode) {
+    const Step& astep = path.steps[step_count - 1];
+    for (int32_t p : context) {
+      if (astep.test == NodeTestKind::kName) {
+        const std::string* v = store_.FindAttribute(p, astep.name);
+        if (v != nullptr) {
+          out.values.push_back(*v);
+          out.exists = true;
+        }
+      } else {
+        out.exists = store_.HasAnyAttribute(p) || out.exists;
+      }
+    }
+    return out;
+  }
+  for (int32_t p : context) {
+    const std::string& v = store_.text(p);
+    if (text_mode && v.empty()) continue;
+    out.values.push_back(v);
+    out.exists = true;
+  }
+  if (text_mode && out.values.empty()) out.exists = false;
+  return out;
+}
+
+namespace {
+
+bool CompareStrings(const std::string& a, const std::string& b, CompOp op) {
+  int c = a.compare(b);
+  switch (op) {
+    case CompOp::kEq:
+      return c == 0;
+    case CompOp::kNe:
+      return c != 0;
+    case CompOp::kLt:
+      return c < 0;
+    case CompOp::kLe:
+      return c <= 0;
+    case CompOp::kGt:
+      return c > 0;
+    case CompOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+bool CompareNumbers(double a, double b, CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return a == b;
+    case CompOp::kNe:
+      return a != b;
+    case CompOp::kLt:
+      return a < b;
+    case CompOp::kLe:
+      return a <= b;
+    case CompOp::kGt:
+      return a > b;
+    case CompOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> StaircaseEvaluator::EvalPredicate(const Expr& expr,
+                                               int32_t pre) const {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd: {
+      auto a = EvalPredicate(*expr.children[0], pre);
+      if (!a.ok()) return a.status();
+      if (!a.value()) return false;
+      return EvalPredicate(*expr.children[1], pre);
+    }
+    case Expr::Kind::kOr: {
+      auto a = EvalPredicate(*expr.children[0], pre);
+      if (!a.ok()) return a.status();
+      if (a.value()) return true;
+      return EvalPredicate(*expr.children[1], pre);
+    }
+    case Expr::Kind::kNot: {
+      auto a = EvalPredicate(*expr.children[0], pre);
+      if (!a.ok()) return a.status();
+      return !a.value();
+    }
+    case Expr::Kind::kPath: {
+      auto pv = PredicatePathValues(pre, expr.path);
+      if (!pv.ok()) return pv.status();
+      return pv.value().exists;
+    }
+    case Expr::Kind::kString:
+      return !expr.str_value.empty();
+    case Expr::Kind::kNumber:
+    case Expr::Kind::kPosition:
+      return Status::Unsupported("position() predicates are not supported");
+    case Expr::Kind::kComparison: {
+      const Expr& lhs = *expr.children[0];
+      const Expr& rhs = *expr.children[1];
+      if (lhs.kind == Expr::Kind::kPosition ||
+          rhs.kind == Expr::Kind::kPosition) {
+        return Status::Unsupported("position() predicates are not supported");
+      }
+      auto values_of = [&](const Expr& e) -> Result<PathValues> {
+        if (e.kind == Expr::Kind::kPath) {
+          return PredicatePathValues(pre, e.path);
+        }
+        PathValues v;
+        if (e.kind == Expr::Kind::kString) {
+          v.values.push_back(e.str_value);
+          v.exists = true;
+        }
+        return v;
+      };
+      bool lhs_number = lhs.kind == Expr::Kind::kNumber;
+      bool rhs_number = rhs.kind == Expr::Kind::kNumber;
+      if (lhs_number && rhs_number) {
+        return CompareNumbers(lhs.num_value, rhs.num_value, expr.op);
+      }
+      if (lhs_number || rhs_number) {
+        const Expr& other = lhs_number ? rhs : lhs;
+        double num = lhs_number ? lhs.num_value : rhs.num_value;
+        auto pv = values_of(other);
+        if (!pv.ok()) return pv.status();
+        for (const std::string& v : pv.value().values) {
+          auto d = ParseDouble(v);
+          if (!d) continue;
+          bool match = lhs_number ? CompareNumbers(num, *d, expr.op)
+                                  : CompareNumbers(*d, num, expr.op);
+          if (match) return true;
+        }
+        return false;
+      }
+      auto l = values_of(lhs);
+      if (!l.ok()) return l.status();
+      auto r = values_of(rhs);
+      if (!r.ok()) return r.status();
+      for (const std::string& a : l.value().values) {
+        for (const std::string& b : r.value().values) {
+          if (CompareStrings(a, b, expr.op)) return true;
+        }
+      }
+      return false;
+    }
+  }
+  return Status::Internal("unhandled predicate expression");
+}
+
+Result<std::vector<int32_t>> StaircaseEvaluator::Evaluate(
+    const XPathExpr& expr) const {
+  // Expansion removes -or-self name tests and stray connectors; merging
+  // folds the remaining '//' connectors into strict descendant steps
+  // (correct at the document root too; see translate/ppf.h).
+  XPathExpr expanded = translate::ExpandOrSelfSteps(expr);
+  std::vector<int32_t> out;
+  for (LocationPath& branch : expanded.branches) {
+    branch = translate::MergeConnectors(branch);
+    auto r = EvaluatePath(branch, nullptr);
+    if (!r.ok()) return r.status();
+    out.insert(out.end(), r.value().begin(), r.value().end());
+  }
+  SortUnique(out);
+  return out;
+}
+
+Result<std::vector<int32_t>> StaircaseEvaluator::EvaluateString(
+    std::string_view xpath) const {
+  auto parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return Evaluate(parsed.value());
+}
+
+}  // namespace xprel::accel

@@ -1,0 +1,65 @@
+#ifndef XPREL_ACCEL_STAIRCASE_H_
+#define XPREL_ACCEL_STAIRCASE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "accel/accel_store.h"
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace xprel::accel {
+
+// Staircase-join XPath evaluation over the pre/post encoding — the
+// library's stand-in for MonetDB/XQuery (paper Section 5.2 credits the
+// staircase join for MonetDB's wins on the '//'-heavy queries). Contexts
+// are kept as sorted pre-rank lists; each hierarchy step:
+//
+//   * descendant: the context "staircase" is pruned — a context covered by
+//     a predecessor's subtree window contributes nothing — then each
+//     surviving window is answered with one name-index range probe, so the
+//     document region is scanned at most once;
+//   * ancestor: a merged parent-chain walk with a seen-set, O(result);
+//   * following: a single open window starting at the earliest context's
+//     subtree end;
+//   * preceding: a single window from the latest context, filtered by post.
+//
+// Value semantics follow the library conventions (see
+// xpatheval/evaluator.h); position() predicates are unsupported.
+class StaircaseEvaluator {
+ public:
+  explicit StaircaseEvaluator(const AccelStore& store) : store_(store) {}
+
+  // Returns matching pre ranks in document order.
+  Result<std::vector<int32_t>> Evaluate(const xpath::XPathExpr& expr) const;
+  Result<std::vector<int32_t>> EvaluateString(std::string_view xpath) const;
+
+ private:
+  // Applies axis+test of `step` to a sorted context list.
+  Result<std::vector<int32_t>> ApplyAxis(const std::vector<int32_t>& context,
+                                         const xpath::Step& step,
+                                         bool from_root) const;
+  Result<std::vector<int32_t>> ApplyStep(const std::vector<int32_t>& context,
+                                         const xpath::Step& step,
+                                         bool from_root) const;
+  Result<std::vector<int32_t>> EvaluatePath(const xpath::LocationPath& path,
+                                            const std::vector<int32_t>* ctx)
+      const;
+
+  bool MatchesTest(int32_t pre, const xpath::Step& step) const;
+
+  Result<bool> EvalPredicate(const xpath::Expr& expr, int32_t pre) const;
+  struct PathValues {
+    std::vector<std::string> values;
+    bool exists = false;
+  };
+  Result<PathValues> PredicatePathValues(int32_t pre,
+                                         const xpath::LocationPath& path)
+      const;
+
+  const AccelStore& store_;
+};
+
+}  // namespace xprel::accel
+
+#endif  // XPREL_ACCEL_STAIRCASE_H_

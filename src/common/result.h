@@ -1,0 +1,68 @@
+#ifndef XPREL_COMMON_RESULT_H_
+#define XPREL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace xprel {
+
+// Result<T> is either a value of type T or a non-OK Status — the library's
+// substitute for exceptions (see DESIGN.md, Conventions). Typical use:
+//
+//   Result<XPathExpr> r = ParseXPath(text);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Status of a failed result; Status::Ok() when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error
+// Status out of the enclosing function.
+#define XPREL_ASSIGN_OR_RETURN(lhs, expr)          \
+  do {                                             \
+    auto _res = (expr);                            \
+    if (!_res.ok()) return _res.status();          \
+    lhs = std::move(_res).value();                 \
+  } while (false)
+
+}  // namespace xprel
+
+#endif  // XPREL_COMMON_RESULT_H_

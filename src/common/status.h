@@ -1,0 +1,71 @@
+#ifndef XPREL_COMMON_STATUS_H_
+#define XPREL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace xprel {
+
+// Error categories used across the library. Kept deliberately small: the
+// code that produced the error carries the detail in the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // XML / XSD / XPath / regex syntax error
+  kNotFound,          // named entity (table, column, type) missing
+  kUnsupported,       // feature outside the supported subset
+  kInternal,          // invariant violation inside the library
+};
+
+// Returns a stable human-readable name, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+// Exception-free error propagation, RocksDB-style. A Status is either OK or
+// carries a code plus message. Functions that can fail return Status (or
+// Result<T>, below) instead of throwing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Evaluates an expression yielding Status; returns it from the enclosing
+// function if not OK.
+#define XPREL_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::xprel::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace xprel
+
+#endif  // XPREL_COMMON_STATUS_H_

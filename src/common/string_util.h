@@ -1,0 +1,38 @@
+#ifndef XPREL_COMMON_STRING_UTIL_H_
+#define XPREL_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xprel {
+
+// Splits `s` on `sep`, keeping empty pieces ("a//b" on '/' -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Removes ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+// Strict integer / double parsing; nullopt on any trailing garbage.
+std::optional<int64_t> ParseInt64(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// Lowercases ASCII letters only.
+std::string AsciiToLower(std::string_view s);
+
+// Formats a byte string as hex pairs, e.g. "\x01\xAB" -> "01ab". Used for
+// printing Dewey positions in SQL text and debug output.
+std::string HexEncode(std::string_view bytes);
+
+}  // namespace xprel
+
+#endif  // XPREL_COMMON_STRING_UTIL_H_

@@ -1,0 +1,234 @@
+#include "data/dblp.h"
+
+#include <string>
+#include <vector>
+
+#include "data/rng.h"
+
+namespace xprel::data {
+
+namespace {
+
+const char* kTopics[] = {
+    "Query Optimization", "Index Structures",   "Stream Processing",
+    "XML Shredding",      "Join Algorithms",    "Concurrency Control",
+    "Data Integration",   "Schema Mapping",     "View Maintenance",
+    "Access Methods",     "Buffer Management",  "Cost Models",
+};
+constexpr size_t kTopicCount = sizeof(kTopics) / sizeof(kTopics[0]);
+
+const char* kVenues[] = {"VLDB", "SIGMOD", "ICDE", "EDBT", "CIKM", "WIDM"};
+const char* kJournals[] = {"TODS", "VLDB Journal", "TKDE", "Inf. Syst."};
+
+class DblpBuilder {
+ public:
+  explicit DblpBuilder(const DblpOptions& options)
+      : options_(options), rng_(options.seed) {
+    int pool = std::max(16, options.inproceedings / 4);
+    for (int i = 0; i < pool; ++i) {
+      authors_.push_back("Author " + Family(i));
+    }
+    // Book authors come from the head of the pool so the QD5 join hits a
+    // sizeable fraction of inproceedings.
+    book_pool_ = std::max(4, pool * 15 / 100);
+  }
+
+  xml::Document Build() {
+    b_.StartElement("dblp");
+    for (int i = 0; i < options_.inproceedings; ++i) Inproceedings(i);
+    for (int i = 0; i < options_.articles; ++i) Article(i);
+    for (int i = 0; i < options_.books; ++i) Book(i);
+    b_.EndElement();
+    return std::move(b_).Finish();
+  }
+
+ private:
+  static std::string Family(int i) {
+    static const char* kFamilies[] = {"Smith",  "Mueller", "Tanaka",
+                                      "Garcia", "Papadias", "Kim",
+                                      "Ivanov", "Rossi",    "Chen",
+                                      "Dubois"};
+    return std::string(kFamilies[i % 10]) + std::to_string(i / 10);
+  }
+
+  const std::string& RandomAuthor() {
+    return authors_[rng_.Below(authors_.size())];
+  }
+  const std::string& RandomBookAuthor() {
+    return authors_[rng_.Below(static_cast<uint64_t>(book_pool_))];
+  }
+
+  std::string Topic() { return kTopics[rng_.Below(kTopicCount)]; }
+
+  // Emits a title element; markup (sup/sub/i) with the given shape:
+  //   0 = plain, 1 = title/sup, 2 = title/sub/sup/i (the QD4 shape),
+  //   3 = title/sup/sub nesting.
+  void Title(int shape) {
+    b_.StartElement("title");
+    b_.AddText(Topic() + " ");
+    switch (shape) {
+      case 1:
+        b_.AddTextElement("sup", std::to_string(rng_.Range(2, 9)));
+        break;
+      case 2:
+        b_.StartElement("sub");
+        b_.AddText("k");
+        b_.StartElement("sup");
+        b_.AddText("n");
+        b_.AddTextElement("i", "j");
+        b_.EndElement();
+        b_.EndElement();
+        break;
+      case 3:
+        b_.StartElement("sup");
+        b_.AddText("2");
+        b_.AddTextElement("sub", "i");
+        b_.EndElement();
+        break;
+      default:
+        b_.AddText("Revisited");
+        break;
+    }
+    b_.EndElement();
+  }
+
+  int RandomTitleShape() {
+    // ~8% of titles carry markup.
+    uint64_t r = rng_.Below(100);
+    if (r < 4) return 1;
+    if (r < 6) return 3;
+    return 0;
+  }
+
+  void Inproceedings(int i) {
+    b_.StartElement("inproceedings");
+    b_.AddAttribute("key", "conf/x/" + std::to_string(i));
+    // QD1 fixture: 'Harold G. Longbotham' authors exactly two papers.
+    if (i == 10 || i == 20) {
+      b_.AddTextElement("author", "Harold G. Longbotham");
+    }
+    int nauthors = 1 + static_cast<int>(rng_.Below(3));
+    for (int a = 0; a < nauthors; ++a) {
+      b_.AddTextElement("author", RandomAuthor());
+    }
+    Title(RandomTitleShape());
+    b_.AddTextElement("pages", std::to_string(rng_.Range(1, 500)) + "-" +
+                                   std::to_string(rng_.Range(501, 999)));
+    b_.AddTextElement("year", std::to_string(rng_.Range(1984, 2005)));
+    b_.AddTextElement("booktitle", kVenues[rng_.Below(6)]);
+    b_.AddTextElement("url", "db/conf/x/" + std::to_string(i) + ".html");
+    b_.EndElement();
+  }
+
+  void Article(int i) {
+    b_.StartElement("article");
+    b_.AddAttribute("key", "journals/x/" + std::to_string(i));
+    int nauthors = 1 + static_cast<int>(rng_.Below(3));
+    for (int a = 0; a < nauthors; ++a) {
+      b_.AddTextElement("author", RandomAuthor());
+    }
+    // QD4 fixture: exactly one article title with the sub/<sup>/i shape.
+    Title(i == 0 ? 2 : RandomTitleShape());
+    b_.AddTextElement("journal", kJournals[rng_.Below(4)]);
+    b_.AddTextElement("year", std::to_string(rng_.Range(1984, 2005)));
+    if (rng_.Chance(1, 2)) {
+      b_.AddTextElement("volume", std::to_string(rng_.Range(1, 40)));
+    }
+    b_.EndElement();
+  }
+
+  void Book(int i) {
+    b_.StartElement("book");
+    b_.AddAttribute("key", "books/x/" + std::to_string(i));
+    int nauthors = 1 + static_cast<int>(rng_.Below(2));
+    for (int a = 0; a < nauthors; ++a) {
+      b_.AddTextElement("author", RandomBookAuthor());
+    }
+    Title(0);
+    b_.AddTextElement("publisher", "Example Press");
+    b_.AddTextElement("year", std::to_string(rng_.Range(1984, 2005)));
+    b_.EndElement();
+  }
+
+  DblpOptions options_;
+  Rng rng_;
+  std::vector<std::string> authors_;
+  int book_pool_;
+  xml::Builder b_;
+};
+
+}  // namespace
+
+xml::Document GenerateDblp(const DblpOptions& options) {
+  DblpBuilder builder(options);
+  return builder.Build();
+}
+
+const char* DblpXsd() {
+  return R"XSD(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="dblp">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="inproceedings" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="article" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="book" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+
+  <xs:element name="inproceedings">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="author" maxOccurs="unbounded"/>
+      <xs:element ref="title"/>
+      <xs:element name="pages" type="xs:string"/>
+      <xs:element ref="year"/>
+      <xs:element name="booktitle" type="xs:string"/>
+      <xs:element name="url" type="xs:string"/>
+    </xs:sequence><xs:attribute name="key"/></xs:complexType>
+  </xs:element>
+
+  <xs:element name="article">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="author" maxOccurs="unbounded"/>
+      <xs:element ref="title"/>
+      <xs:element name="journal" type="xs:string"/>
+      <xs:element ref="year"/>
+      <xs:element name="volume" type="xs:string" minOccurs="0"/>
+    </xs:sequence><xs:attribute name="key"/></xs:complexType>
+  </xs:element>
+
+  <xs:element name="book">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="author" maxOccurs="unbounded"/>
+      <xs:element ref="title"/>
+      <xs:element name="publisher" type="xs:string"/>
+      <xs:element ref="year"/>
+    </xs:sequence><xs:attribute name="key"/></xs:complexType>
+  </xs:element>
+
+  <xs:element name="author" type="xs:string"/>
+  <xs:element name="year" type="xs:string"/>
+
+  <xs:element name="title">
+    <xs:complexType mixed="true"><xs:sequence>
+      <xs:element ref="sup" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="sub" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="i" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="sup">
+    <xs:complexType mixed="true"><xs:sequence>
+      <xs:element ref="sub" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="i" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="sub">
+    <xs:complexType mixed="true"><xs:sequence>
+      <xs:element ref="sup" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="i" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="i" type="xs:string"/>
+</xs:schema>
+)XSD";
+}
+
+}  // namespace xprel::data

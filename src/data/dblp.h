@@ -1,0 +1,34 @@
+#ifndef XPREL_DATA_DBLP_H_
+#define XPREL_DATA_DBLP_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace xprel::data {
+
+// Deterministic DBLP-like bibliography generator (stand-in for the paper's
+// 130 MB DBLP dump; see DESIGN.md). Record mix mirrors DBLP:
+// inproceedings / article / book, each with author+, title, year, venue.
+// Titles occasionally contain sup/sub/i markup (recursive sub <-> sup
+// nesting), which is what QD2-QD4 probe. Fixtures:
+//   * the author 'Harold G. Longbotham' appears on exactly two
+//     inproceedings, before the title element (QD1);
+//   * book authors are drawn from the same pool as inproceedings authors,
+//     so the QD5 value join selects a large fraction of titles;
+//   * at least one <i> nested as sub/<something>/i under an article (QD4).
+struct DblpOptions {
+  int inproceedings = 4000;
+  int articles = 2000;
+  int books = 120;
+  uint64_t seed = 7;
+};
+
+xml::Document GenerateDblp(const DblpOptions& options);
+
+// The XML Schema the generated bibliographies conform to.
+const char* DblpXsd();
+
+}  // namespace xprel::data
+
+#endif  // XPREL_DATA_DBLP_H_

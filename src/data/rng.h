@@ -1,0 +1,39 @@
+#ifndef XPREL_DATA_RNG_H_
+#define XPREL_DATA_RNG_H_
+
+#include <cstdint>
+
+namespace xprel::data {
+
+// SplitMix64: tiny deterministic PRNG so generated datasets are stable
+// across platforms and standard-library versions (std::mt19937
+// distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xprel::data
+
+#endif  // XPREL_DATA_RNG_H_

@@ -1,0 +1,570 @@
+#include "data/xmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "data/rng.h"
+
+namespace xprel::data {
+
+namespace {
+
+const char* kWords[] = {
+    "quality",  "vintage", "premium", "classic",  "rare",    "limited",
+    "handmade", "antique", "modern",  "portable", "durable", "compact",
+    "elegant",  "sturdy",  "golden",  "silver",   "crimson", "emerald",
+    "walnut",   "marble",  "velvet",  "ceramic",  "brass",   "ivory",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* kCountries[] = {"United States", "Germany", "Greece",
+                            "Japan",         "Brazil",  "Canada"};
+
+class XMarkBuilder {
+ public:
+  explicit XMarkBuilder(const XMarkOptions& options)
+      : rng_(options.seed),
+        items_(std::max<int>(6, static_cast<int>(21750 * options.scale))),
+        persons_(std::max<int>(4, static_cast<int>(25500 * options.scale))),
+        open_auctions_(
+            std::max<int>(2, static_cast<int>(12000 * options.scale))),
+        closed_auctions_(
+            std::max<int>(2, static_cast<int>(9750 * options.scale))),
+        categories_(std::max<int>(2, static_cast<int>(1000 * options.scale))) {}
+
+  xml::Document Build() {
+    b_.StartElement("site");
+    Regions();
+    Categories();
+    CatGraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    b_.EndElement();
+    return std::move(b_).Finish();
+  }
+
+ private:
+  std::string Word() { return kWords[rng_.Below(kWordCount)]; }
+
+  std::string Sentence(int words) {
+    std::string out;
+    for (int i = 0; i < words; ++i) {
+      if (i > 0) out += " ";
+      out += Word();
+    }
+    return out;
+  }
+
+  // A `text` element: mixed content with some keyword / bold / emph
+  // children. `keywords` forces the exact keyword count when >= 0.
+  void TextElement(int keywords) {
+    b_.StartElement("text");
+    b_.AddText(Sentence(3 + static_cast<int>(rng_.Below(5))) + " ");
+    int n = keywords >= 0 ? keywords
+                          : static_cast<int>(rng_.Below(3));  // 0..2
+    for (int i = 0; i < n; ++i) {
+      if (rng_.Chance(1, 4)) {
+        // Keyword nested in markup.
+        b_.StartElement(rng_.Chance(1, 2) ? "bold" : "emph");
+        b_.AddText(Word() + " ");
+        b_.AddTextElement("keyword", Word());
+        b_.EndElement();
+      } else {
+        b_.AddTextElement("keyword", Word());
+      }
+      b_.AddText(" " + Word());
+    }
+    b_.EndElement();
+  }
+
+  // description -> text | parlist (recursion through listitem).
+  void Description(int depth, int forced_keywords = -1) {
+    b_.StartElement("description");
+    if (forced_keywords >= 0) {
+      TextElement(forced_keywords);
+    } else if (depth < 3 && rng_.Chance(3, 10)) {
+      Parlist(depth + 1);
+    } else {
+      TextElement(-1);
+    }
+    b_.EndElement();
+  }
+
+  void Parlist(int depth) {
+    b_.StartElement("parlist");
+    int items = 1 + static_cast<int>(rng_.Below(3));
+    for (int i = 0; i < items; ++i) {
+      b_.StartElement("listitem");
+      if (depth < 3 && rng_.Chance(1, 5)) {
+        Parlist(depth + 1);
+      } else {
+        TextElement(-1);
+      }
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Mail() {
+    b_.StartElement("mail");
+    b_.AddTextElement("from", "Person " + std::to_string(rng_.Below(
+                                  static_cast<uint64_t>(persons_))));
+    b_.AddTextElement("to", "Person " + std::to_string(rng_.Below(
+                                static_cast<uint64_t>(persons_))));
+    b_.AddTextElement("date", Date());
+    TextElement(-1);
+    b_.EndElement();
+  }
+
+  std::string Date() {
+    return std::to_string(rng_.Range(1998, 2005)) + "-" +
+           std::to_string(rng_.Range(1, 12)) + "-" +
+           std::to_string(rng_.Range(1, 28));
+  }
+
+  void Item(int id) {
+    b_.StartElement("item");
+    b_.AddAttribute("id", "item" + std::to_string(id));
+    if (rng_.Chance(1, 10)) b_.AddAttribute("featured", "yes");
+    b_.AddTextElement("location", kCountries[rng_.Below(6)]);
+    b_.AddTextElement("quantity", std::to_string(rng_.Range(1, 10)));
+    b_.AddTextElement("name", Word() + " " + Word());
+    b_.AddTextElement("payment", "Creditcard");
+    // item0 gets exactly one keyword in its description (Q21).
+    Description(0, id == 0 ? 1 : -1);
+    b_.AddTextElement("shipping", "Will ship internationally");
+    int cats = static_cast<int>(rng_.Below(3));
+    for (int c = 0; c < cats; ++c) {
+      b_.StartElement("incategory");
+      b_.AddAttribute("category", "category" + std::to_string(rng_.Below(
+                                      static_cast<uint64_t>(categories_))));
+      b_.EndElement();
+    }
+    if (rng_.Chance(2, 5)) {
+      b_.StartElement("mailbox");
+      int mails = 1 + static_cast<int>(rng_.Below(2));
+      for (int m = 0; m < mails; ++m) Mail();
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Regions() {
+    // Region shares: namerica gets 40% (Q5 expects namerica+samerica to
+    // hold about half the items), the rest split the remainder.
+    struct RegionShare {
+      const char* name;
+      int share;  // tenths
+    };
+    const RegionShare regions[] = {{"africa", 1},   {"asia", 2},
+                                   {"australia", 1}, {"europe", 1},
+                                   {"namerica", 4},  {"samerica", 1}};
+    b_.StartElement("regions");
+    int next_id = 0;
+    for (const RegionShare& r : regions) {
+      b_.StartElement(r.name);
+      int count = items_ * r.share / 10;
+      if (std::string(r.name) == "samerica") {
+        count = items_ - next_id;  // the remainder, so totals are exact
+      }
+      // "item0" must be first in document order (Q10): africa is emitted
+      // first and ids ascend globally.
+      for (int i = 0; i < count; ++i) Item(next_id++);
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Categories() {
+    b_.StartElement("categories");
+    for (int i = 0; i < categories_; ++i) {
+      b_.StartElement("category");
+      b_.AddAttribute("id", "category" + std::to_string(i));
+      b_.AddTextElement("name", Word() + " goods");
+      Description(1);
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void CatGraph() {
+    b_.StartElement("catgraph");
+    for (int i = 0; i < categories_ * 2; ++i) {
+      b_.StartElement("edge");
+      b_.AddAttribute("from", "category" + std::to_string(rng_.Below(
+                                  static_cast<uint64_t>(categories_))));
+      b_.AddAttribute("to", "category" + std::to_string(rng_.Below(
+                                static_cast<uint64_t>(categories_))));
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void People() {
+    b_.StartElement("people");
+    for (int i = 0; i < persons_; ++i) {
+      b_.StartElement("person");
+      b_.AddAttribute("id", "person" + std::to_string(i));
+      b_.AddTextElement("name", "Person " + std::to_string(i));
+      b_.AddTextElement("emailaddress",
+                        "mailto:person" + std::to_string(i) + "@example.com");
+      if (rng_.Chance(1, 2)) {
+        b_.AddTextElement("phone", "+1 (" + std::to_string(rng_.Range(100, 999)) +
+                                       ") " + std::to_string(rng_.Range(1000000, 9999999)));
+      }
+      if (rng_.Chance(3, 5)) {
+        b_.StartElement("address");
+        b_.AddTextElement("street", std::to_string(rng_.Range(1, 99)) + " " +
+                                        Word() + " St");
+        b_.AddTextElement("city", Word());
+        b_.AddTextElement("country", kCountries[rng_.Below(6)]);
+        b_.AddTextElement("zipcode", std::to_string(rng_.Range(10000, 99999)));
+        b_.EndElement();
+      }
+      if (rng_.Chance(2, 5)) {
+        b_.AddTextElement("homepage",
+                          "http://example.com/~person" + std::to_string(i));
+      }
+      if (rng_.Chance(3, 10)) {
+        b_.AddTextElement("creditcard",
+                          std::to_string(rng_.Range(1000, 9999)) + " " +
+                              std::to_string(rng_.Range(1000, 9999)));
+      }
+      if (rng_.Chance(4, 5)) {
+        b_.StartElement("profile");
+        b_.AddAttribute("income", std::to_string(rng_.Range(9000, 200000)));
+        int interests = static_cast<int>(rng_.Below(3));
+        for (int k = 0; k < interests; ++k) {
+          b_.StartElement("interest");
+          b_.AddAttribute("category",
+                          "category" + std::to_string(rng_.Below(
+                              static_cast<uint64_t>(categories_))));
+          b_.EndElement();
+        }
+        if (rng_.Chance(1, 2)) b_.AddTextElement("education", "Graduate School");
+        if (rng_.Chance(1, 2)) b_.AddTextElement("gender", rng_.Chance(1, 2) ? "male" : "female");
+        b_.AddTextElement("business", rng_.Chance(1, 2) ? "Yes" : "No");
+        if (rng_.Chance(1, 2)) {
+          b_.AddTextElement("age", std::to_string(rng_.Range(18, 80)));
+        }
+        b_.EndElement();
+      }
+      if (rng_.Chance(1, 2)) {
+        b_.StartElement("watches");
+        int watches = 1 + static_cast<int>(rng_.Below(3));
+        for (int w = 0; w < watches; ++w) {
+          b_.StartElement("watch");
+          b_.AddAttribute("open_auction",
+                          "open_auction" + std::to_string(rng_.Below(
+                              static_cast<uint64_t>(open_auctions_))));
+          b_.EndElement();
+        }
+        b_.EndElement();
+      }
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Bidder(const std::string& person, const std::string& date) {
+    b_.StartElement("bidder");
+    b_.AddTextElement("date", date);
+    b_.AddTextElement("time", std::to_string(rng_.Range(0, 23)) + ":" +
+                                  std::to_string(rng_.Range(10, 59)));
+    b_.StartElement("personref");
+    b_.AddAttribute("person", person);
+    b_.EndElement();
+    b_.AddTextElement("increase", std::to_string(rng_.Range(1, 50)) + ".00");
+    b_.EndElement();
+  }
+
+  std::string RandomPerson() {
+    // persons 0 and 1 are reserved for the Q11 fixture.
+    return "person" +
+           std::to_string(2 + rng_.Below(static_cast<uint64_t>(
+                                  std::max(1, persons_ - 2))));
+  }
+
+  void OpenAuctions() {
+    b_.StartElement("open_auctions");
+    for (int i = 0; i < open_auctions_; ++i) {
+      b_.StartElement("open_auction");
+      b_.AddAttribute("id", "open_auction" + std::to_string(i));
+      b_.AddTextElement("initial", std::to_string(rng_.Range(1, 200)) + ".00");
+      if (rng_.Chance(1, 2)) {
+        b_.AddTextElement("reserve", std::to_string(rng_.Range(1, 300)) + ".00");
+      }
+      std::string interval_start = Date();
+      // Q-A fixture: occasionally a bidder's date equals interval/start.
+      bool join_match = rng_.Chance(1, 150);
+      // Q9 fixture: open_auction0 has exactly four bidders. Auctions 1 and
+      // 2 host the Q11 person0/person1 bids, so they need at least one.
+      int bidders = i == 0 ? 4 : static_cast<int>(rng_.Below(4));
+      if ((i == 1 || i == 2) && bidders == 0) bidders = 1;
+      for (int k = 0; k < bidders; ++k) {
+        std::string person = RandomPerson();
+        // Q11 fixture: person0 bids once in auction 1, person1 bids once in
+        // auction 2 (person0's bid precedes person1's in document order).
+        if (i == 1 && k == 0) person = "person0";
+        if (i == 2 && k == 0) person = "person1";
+        std::string date = join_match && k == 0 ? interval_start : Date();
+        Bidder(person, date);
+      }
+      b_.AddTextElement("current", std::to_string(rng_.Range(1, 500)) + ".00");
+      if (rng_.Chance(1, 3)) b_.AddTextElement("privacy", "Yes");
+      b_.StartElement("itemref");
+      b_.AddAttribute("item", "item" + std::to_string(rng_.Below(
+                                  static_cast<uint64_t>(items_))));
+      b_.EndElement();
+      b_.StartElement("seller");
+      b_.AddAttribute("person", RandomPerson());
+      b_.EndElement();
+      b_.StartElement("annotation");
+      if (rng_.Chance(1, 2)) {
+        b_.StartElement("author");
+        b_.AddAttribute("person", RandomPerson());
+        b_.EndElement();
+      }
+      Description(1);
+      if (rng_.Chance(1, 2)) b_.AddTextElement("happiness", std::to_string(rng_.Range(1, 10)));
+      b_.EndElement();
+      b_.AddTextElement("quantity", std::to_string(rng_.Range(1, 5)));
+      b_.AddTextElement("type", rng_.Chance(1, 2) ? "Regular" : "Featured");
+      b_.StartElement("interval");
+      b_.AddTextElement("start", interval_start);
+      b_.AddTextElement("end", Date());
+      b_.EndElement();
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void ClosedAuctions() {
+    b_.StartElement("closed_auctions");
+    for (int i = 0; i < closed_auctions_; ++i) {
+      b_.StartElement("closed_auction");
+      b_.StartElement("seller");
+      b_.AddAttribute("person", RandomPerson());
+      b_.EndElement();
+      b_.StartElement("buyer");
+      b_.AddAttribute("person", RandomPerson());
+      b_.EndElement();
+      b_.StartElement("itemref");
+      b_.AddAttribute("item", "item" + std::to_string(rng_.Below(
+                                  static_cast<uint64_t>(items_))));
+      b_.EndElement();
+      b_.AddTextElement("price", std::to_string(rng_.Range(1, 500)) + ".00");
+      b_.AddTextElement("date", Date());
+      b_.AddTextElement("quantity", std::to_string(rng_.Range(1, 5)));
+      b_.AddTextElement("type", rng_.Chance(1, 2) ? "Regular" : "Featured");
+      b_.StartElement("annotation");
+      if (rng_.Chance(1, 2)) {
+        b_.StartElement("author");
+        b_.AddAttribute("person", RandomPerson());
+        b_.EndElement();
+      }
+      Description(1);
+      if (rng_.Chance(1, 2)) b_.AddTextElement("happiness", std::to_string(rng_.Range(1, 10)));
+      b_.EndElement();
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  Rng rng_;
+  int items_;
+  int persons_;
+  int open_auctions_;
+  int closed_auctions_;
+  int categories_;
+  xml::Builder b_;
+};
+
+}  // namespace
+
+xml::Document GenerateXMark(const XMarkOptions& options) {
+  XMarkBuilder builder(options);
+  return builder.Build();
+}
+
+const char* XMarkXsd() {
+  return R"XSD(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="site">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="regions"/><xs:element ref="categories"/>
+      <xs:element ref="catgraph"/><xs:element ref="people"/>
+      <xs:element ref="open_auctions"/><xs:element ref="closed_auctions"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+
+  <xs:element name="regions">
+    <xs:complexType><xs:sequence>
+      <xs:element name="africa"><xs:complexType><xs:sequence><xs:element ref="item" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+      <xs:element name="asia"><xs:complexType><xs:sequence><xs:element ref="item" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+      <xs:element name="australia"><xs:complexType><xs:sequence><xs:element ref="item" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+      <xs:element name="europe"><xs:complexType><xs:sequence><xs:element ref="item" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+      <xs:element name="namerica"><xs:complexType><xs:sequence><xs:element ref="item" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+      <xs:element name="samerica"><xs:complexType><xs:sequence><xs:element ref="item" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+
+  <xs:element name="item">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="location"/><xs:element ref="quantity"/>
+      <xs:element ref="name"/><xs:element ref="payment"/>
+      <xs:element ref="description"/><xs:element ref="shipping"/>
+      <xs:element ref="incategory" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="mailbox" minOccurs="0"/>
+    </xs:sequence>
+    <xs:attribute name="id"/><xs:attribute name="featured"/>
+    </xs:complexType>
+  </xs:element>
+
+  <xs:element name="location" type="xs:string"/>
+  <xs:element name="quantity" type="xs:string"/>
+  <xs:element name="name" type="xs:string"/>
+  <xs:element name="payment" type="xs:string"/>
+  <xs:element name="shipping" type="xs:string"/>
+  <xs:element name="incategory"><xs:complexType><xs:attribute name="category"/></xs:complexType></xs:element>
+  <xs:element name="mailbox"><xs:complexType><xs:sequence><xs:element ref="mail" minOccurs="0" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+  <xs:element name="mail">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="from"/><xs:element ref="to"/>
+      <xs:element ref="date"/><xs:element ref="text"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="from" type="xs:string"/>
+  <xs:element name="to" type="xs:string"/>
+  <xs:element name="date" type="xs:string"/>
+
+  <xs:element name="description">
+    <xs:complexType><xs:choice>
+      <xs:element ref="text"/><xs:element ref="parlist"/>
+    </xs:choice></xs:complexType>
+  </xs:element>
+  <xs:element name="text">
+    <xs:complexType mixed="true"><xs:sequence>
+      <xs:element ref="keyword" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="bold" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element ref="emph" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="keyword" type="xs:string"/>
+  <xs:element name="bold"><xs:complexType mixed="true"><xs:sequence><xs:element ref="keyword" minOccurs="0" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+  <xs:element name="emph"><xs:complexType mixed="true"><xs:sequence><xs:element ref="keyword" minOccurs="0" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+  <xs:element name="parlist"><xs:complexType><xs:sequence><xs:element ref="listitem" minOccurs="0" maxOccurs="unbounded"/></xs:sequence></xs:complexType></xs:element>
+  <xs:element name="listitem">
+    <xs:complexType><xs:choice>
+      <xs:element ref="text"/><xs:element ref="parlist"/>
+    </xs:choice></xs:complexType>
+  </xs:element>
+
+  <xs:element name="categories">
+    <xs:complexType><xs:sequence><xs:element ref="category" maxOccurs="unbounded"/></xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="category">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="name"/><xs:element ref="description"/>
+    </xs:sequence><xs:attribute name="id"/></xs:complexType>
+  </xs:element>
+  <xs:element name="catgraph">
+    <xs:complexType><xs:sequence><xs:element name="edge" minOccurs="0" maxOccurs="unbounded"><xs:complexType><xs:attribute name="from"/><xs:attribute name="to"/></xs:complexType></xs:element></xs:sequence></xs:complexType>
+  </xs:element>
+
+  <xs:element name="people">
+    <xs:complexType><xs:sequence><xs:element ref="person" minOccurs="0" maxOccurs="unbounded"/></xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="person">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="name"/><xs:element ref="emailaddress"/>
+      <xs:element ref="phone" minOccurs="0"/>
+      <xs:element ref="address" minOccurs="0"/>
+      <xs:element ref="homepage" minOccurs="0"/>
+      <xs:element ref="creditcard" minOccurs="0"/>
+      <xs:element ref="profile" minOccurs="0"/>
+      <xs:element ref="watches" minOccurs="0"/>
+    </xs:sequence><xs:attribute name="id"/></xs:complexType>
+  </xs:element>
+  <xs:element name="emailaddress" type="xs:string"/>
+  <xs:element name="phone" type="xs:string"/>
+  <xs:element name="homepage" type="xs:string"/>
+  <xs:element name="creditcard" type="xs:string"/>
+  <xs:element name="address">
+    <xs:complexType><xs:sequence>
+      <xs:element name="street" type="xs:string"/><xs:element name="city" type="xs:string"/>
+      <xs:element name="country" type="xs:string"/><xs:element name="zipcode" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="profile">
+    <xs:complexType><xs:sequence>
+      <xs:element name="interest" minOccurs="0" maxOccurs="unbounded"><xs:complexType><xs:attribute name="category"/></xs:complexType></xs:element>
+      <xs:element name="education" type="xs:string" minOccurs="0"/>
+      <xs:element name="gender" type="xs:string" minOccurs="0"/>
+      <xs:element name="business" type="xs:string"/>
+      <xs:element name="age" type="xs:string" minOccurs="0"/>
+    </xs:sequence><xs:attribute name="income"/></xs:complexType>
+  </xs:element>
+  <xs:element name="watches">
+    <xs:complexType><xs:sequence><xs:element name="watch" minOccurs="0" maxOccurs="unbounded"><xs:complexType><xs:attribute name="open_auction"/></xs:complexType></xs:element></xs:sequence></xs:complexType>
+  </xs:element>
+
+  <xs:element name="open_auctions">
+    <xs:complexType><xs:sequence><xs:element ref="open_auction" minOccurs="0" maxOccurs="unbounded"/></xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="open_auction">
+    <xs:complexType><xs:sequence>
+      <xs:element name="initial" type="xs:string"/>
+      <xs:element name="reserve" type="xs:string" minOccurs="0"/>
+      <xs:element ref="bidder" minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element name="current" type="xs:string"/>
+      <xs:element name="privacy" type="xs:string" minOccurs="0"/>
+      <xs:element ref="itemref"/>
+      <xs:element ref="seller"/>
+      <xs:element ref="annotation"/>
+      <xs:element ref="quantity"/>
+      <xs:element name="type" type="xs:string"/>
+      <xs:element name="interval"><xs:complexType><xs:sequence>
+        <xs:element name="start" type="xs:string"/><xs:element name="end" type="xs:string"/>
+      </xs:sequence></xs:complexType></xs:element>
+    </xs:sequence><xs:attribute name="id"/></xs:complexType>
+  </xs:element>
+  <xs:element name="bidder">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="date"/><xs:element name="time" type="xs:string"/>
+      <xs:element name="personref"><xs:complexType><xs:attribute name="person"/></xs:complexType></xs:element>
+      <xs:element name="increase" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="itemref"><xs:complexType><xs:attribute name="item"/></xs:complexType></xs:element>
+  <xs:element name="seller"><xs:complexType><xs:attribute name="person"/></xs:complexType></xs:element>
+  <xs:element name="annotation">
+    <xs:complexType><xs:sequence>
+      <xs:element name="author" minOccurs="0"><xs:complexType><xs:attribute name="person"/></xs:complexType></xs:element>
+      <xs:element ref="description" minOccurs="0"/>
+      <xs:element name="happiness" type="xs:string" minOccurs="0"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+
+  <xs:element name="closed_auctions">
+    <xs:complexType><xs:sequence><xs:element ref="closed_auction" minOccurs="0" maxOccurs="unbounded"/></xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="closed_auction">
+    <xs:complexType><xs:sequence>
+      <xs:element ref="seller"/>
+      <xs:element name="buyer"><xs:complexType><xs:attribute name="person"/></xs:complexType></xs:element>
+      <xs:element ref="itemref"/>
+      <xs:element name="price" type="xs:string"/>
+      <xs:element ref="date"/>
+      <xs:element ref="quantity"/>
+      <xs:element name="type" type="xs:string"/>
+      <xs:element ref="annotation"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>
+)XSD";
+}
+
+}  // namespace xprel::data

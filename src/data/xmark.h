@@ -1,0 +1,39 @@
+#ifndef XPREL_DATA_XMARK_H_
+#define XPREL_DATA_XMARK_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace xprel::data {
+
+// Deterministic XMark-like auction-site generator (the paper's synthetic
+// workload; see DESIGN.md for the substitution note). Entity counts follow
+// the real XMark ratios — at scale 1.0: 21750 items, 25500 persons, 12000
+// open auctions, 9750 closed auctions, 1000 categories — so the paper's
+// 12 MB document corresponds to scale 0.1.
+//
+// The generator plants the fixtures the XPathMark queries probe:
+//   * item ids "item0", "item1", ... with "item0" first in document order
+//     (Q10, Q21), ~10% @featured='yes' (Q12);
+//   * "open_auction0" carries four bidders (Q9);
+//   * person ids "person0"/"person1" each place exactly one bid, person0's
+//     before person1's (Q11);
+//   * item0's description contains exactly one keyword (Q21);
+//   * a small fraction of open auctions have a bidder date equal to their
+//     interval start (Q-A's join clause);
+//   * descriptions recurse through parlist/listitem (Q2, Q4, Q6), mailboxes
+//     carry keyword-bearing mails (Q7).
+struct XMarkOptions {
+  double scale = 0.1;
+  uint64_t seed = 42;
+};
+
+xml::Document GenerateXMark(const XMarkOptions& options);
+
+// The XML Schema the generated documents conform to.
+const char* XMarkXsd();
+
+}  // namespace xprel::data
+
+#endif  // XPREL_DATA_XMARK_H_

@@ -1,0 +1,102 @@
+#include "encoding/dewey.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace xprel::encoding {
+
+void Dewey::AppendComponent(std::string& pos, uint32_t ordinal) {
+  assert(ordinal <= kMaxComponent);
+  pos.push_back(static_cast<char>((ordinal >> 16) & 0x7F));
+  pos.push_back(static_cast<char>((ordinal >> 8) & 0xFF));
+  pos.push_back(static_cast<char>(ordinal & 0xFF));
+}
+
+std::string Dewey::FromComponents(const std::vector<uint32_t>& components) {
+  std::string pos;
+  pos.reserve(components.size() * 3);
+  for (uint32_t c : components) AppendComponent(pos, c);
+  return pos;
+}
+
+std::string Dewey::Child(std::string_view parent, uint32_t ordinal) {
+  std::string pos(parent);
+  AppendComponent(pos, ordinal);
+  return pos;
+}
+
+Result<std::vector<uint32_t>> Dewey::ToComponents(std::string_view pos) {
+  if (pos.size() % 3 != 0) {
+    return Status::InvalidArgument("dewey: length not a multiple of 3");
+  }
+  std::vector<uint32_t> out;
+  out.reserve(pos.size() / 3);
+  for (size_t i = 0; i < pos.size(); i += 3) {
+    uint8_t b0 = static_cast<uint8_t>(pos[i]);
+    uint8_t b1 = static_cast<uint8_t>(pos[i + 1]);
+    uint8_t b2 = static_cast<uint8_t>(pos[i + 2]);
+    if (b0 & 0x80) {
+      return Status::InvalidArgument("dewey: component top bit set");
+    }
+    out.push_back((static_cast<uint32_t>(b0) << 16) |
+                  (static_cast<uint32_t>(b1) << 8) | b2);
+  }
+  return out;
+}
+
+uint32_t Dewey::LastOrdinal(std::string_view pos) {
+  if (pos.size() < 3) return 0;
+  size_t i = pos.size() - 3;
+  return (static_cast<uint32_t>(static_cast<uint8_t>(pos[i])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(pos[i + 1])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(pos[i + 2]));
+}
+
+std::string Dewey::UpperBound(std::string_view pos) {
+  std::string out(pos);
+  out.push_back(kMaxByte);
+  return out;
+}
+
+bool Dewey::IsDescendant(std::string_view descendant,
+                         std::string_view ancestor) {
+  // Lemma 1: d(n2) > d(n1) and d(n2) < d(n1) || 0xFF.
+  return descendant > ancestor && descendant < UpperBound(ancestor);
+}
+
+bool Dewey::IsFollowing(std::string_view pos, std::string_view ref) {
+  // Lemma 2: d(n2) > d(n1) || 0xFF.
+  return pos > UpperBound(ref);
+}
+
+bool Dewey::IsPreceding(std::string_view pos, std::string_view ref) {
+  // Symmetric to Lemma 2 (Table 2 row 5): d(n1) > d(n2) || 0xFF.
+  return ref > UpperBound(pos);
+}
+
+std::string Dewey::ToDotted(std::string_view pos) {
+  auto comps = ToComponents(pos);
+  if (!comps.ok()) return "<invalid>";
+  std::string out;
+  for (size_t i = 0; i < comps.value().size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(comps.value()[i]);
+  }
+  return out;
+}
+
+Result<std::string> Dewey::FromDotted(std::string_view dotted) {
+  std::string pos;
+  if (dotted.empty()) return pos;
+  for (const std::string& part : SplitString(dotted, '.')) {
+    auto v = ParseInt64(part);
+    if (!v || *v < 0 || *v > kMaxComponent) {
+      return Status::InvalidArgument("dewey: bad component '" + part + "'");
+    }
+    AppendComponent(pos, static_cast<uint32_t>(*v));
+  }
+  return pos;
+}
+
+}  // namespace xprel::encoding

@@ -1,0 +1,81 @@
+#ifndef XPREL_ENCODING_DEWEY_H_
+#define XPREL_ENCODING_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xprel::encoding {
+
+// Binary-string Dewey positions, exactly as in paper Section 4.2:
+//
+//   d(n) = C1 || C2 || ... || Ck
+//
+// where each component Ci is 3 bytes with the first bit zero, so components
+// range over [0, 0x7FFFFF]. The empty string is the (virtual) position above
+// the root; the root element is the single component "1".
+//
+// Because every component's first byte is <= 0x7F, appending the byte 0xFF
+// (the paper's `|| 'F'`) to a position yields a string lexicographically
+// greater than every descendant's position and smaller than every following
+// node's position — this is what Lemmas 1 and 2 rest on. All structural
+// relationships (Table 2) reduce to plain byte-wise comparisons, which is
+// what the relational engine executes.
+class Dewey {
+ public:
+  static constexpr uint32_t kMaxComponent = 0x7FFFFF;
+  static constexpr char kMaxByte = static_cast<char>(0xFF);
+
+  // Encodes one 3-byte component. `ordinal` must be <= kMaxComponent.
+  static void AppendComponent(std::string& pos, uint32_t ordinal);
+
+  // Builds a position from component values, e.g. {1,1,2} for "1.1.2".
+  static std::string FromComponents(const std::vector<uint32_t>& components);
+
+  // Child position of `parent` with the given 1-based local order.
+  static std::string Child(std::string_view parent, uint32_t ordinal);
+
+  // Splits a binary position back into component values. Errors if the
+  // length is not a multiple of 3 or a component has its top bit set.
+  static Result<std::vector<uint32_t>> ToComponents(std::string_view pos);
+
+  // Number of components == node level (root = 1).
+  static int Level(std::string_view pos) { return static_cast<int>(pos.size() / 3); }
+
+  // Position of the parent (empty for the root).
+  static std::string_view Parent(std::string_view pos) {
+    return pos.substr(0, pos.size() >= 3 ? pos.size() - 3 : 0);
+  }
+
+  // Local order encoded in the last component; 0 for the empty position.
+  static uint32_t LastOrdinal(std::string_view pos);
+
+  // d || 0xFF — the upper bound used by the BETWEEN conditions of Table 2.
+  static std::string UpperBound(std::string_view pos);
+
+  // Structural predicates (Lemmas 1-2 and their axis variants). `a` and `d`
+  // are full binary positions.
+  static bool IsDescendant(std::string_view descendant, std::string_view ancestor);
+  static bool IsAncestor(std::string_view ancestor, std::string_view descendant) {
+    return IsDescendant(descendant, ancestor);
+  }
+  // Document-order "following" (after `ref` and not its descendant).
+  static bool IsFollowing(std::string_view pos, std::string_view ref);
+  // Document-order "preceding" (before `ref` and not its ancestor).
+  static bool IsPreceding(std::string_view pos, std::string_view ref);
+  static bool IsSibling(std::string_view a, std::string_view b) {
+    return a.size() == b.size() && !a.empty() && Parent(a) == Parent(b);
+  }
+
+  // Human-readable form "1.1.2" for debugging and SQL text.
+  static std::string ToDotted(std::string_view pos);
+  // Parses "1.1.2" back to the binary form.
+  static Result<std::string> FromDotted(std::string_view dotted);
+};
+
+}  // namespace xprel::encoding
+
+#endif  // XPREL_ENCODING_DEWEY_H_

@@ -1,0 +1,48 @@
+#ifndef XPREL_ENCODING_REGION_H_
+#define XPREL_ENCODING_REGION_H_
+
+#include <cstdint>
+
+namespace xprel::encoding {
+
+// Pre/post region encoding used by the XPath Accelerator baseline
+// (Grust et al., TODS 2004). `pre` is the preorder rank, `post` the
+// postorder rank, `level` the depth (root = 1), `size` the number of
+// descendants, and `parent_pre` the preorder rank of the parent (-1 at the
+// root).
+//
+// Axis windows in the pre/post plane:
+//   descendant(v):  pre in (v.pre, v.pre + v.size],  equivalently
+//                   pre > v.pre  AND  post < v.post
+//   ancestor(v):    pre < v.pre  AND  post > v.post
+//   following(v):   pre > v.pre  AND  post > v.post
+//   preceding(v):   pre < v.pre  AND  post < v.post
+//
+// The "Staked-Out Query Window Sizes" optimization replaces the open-ended
+// descendant condition with the bounded window pre <= v.pre + v.size, which
+// lets a B-tree range scan stop early; our Accelerator translator emits the
+// bounded form.
+struct Region {
+  int32_t pre = 0;
+  int32_t post = 0;
+  int32_t level = 0;
+  int32_t size = 0;
+  int32_t parent_pre = -1;
+
+  bool IsDescendantOf(const Region& v) const {
+    return pre > v.pre && post < v.post;
+  }
+  bool IsAncestorOf(const Region& v) const {
+    return pre < v.pre && post > v.post;
+  }
+  bool IsFollowing(const Region& v) const {
+    return pre > v.pre && post > v.post;
+  }
+  bool IsPreceding(const Region& v) const {
+    return pre < v.pre && post < v.post;
+  }
+};
+
+}  // namespace xprel::encoding
+
+#endif  // XPREL_ENCODING_REGION_H_

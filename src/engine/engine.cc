@@ -1,0 +1,189 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "accel/accel_translator.h"
+#include "accel/staircase.h"
+#include "translate/edge_translator.h"
+
+namespace xprel::engine {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kPpf:
+      return "PPF";
+    case Backend::kEdgePpf:
+      return "Edge-like PPF";
+    case Backend::kAccelerator:
+      return "XPath Accelerator";
+    case Backend::kStaircase:
+      return "Staircase (MonetDB-like)";
+    case Backend::kNaive:
+      return "Conventional per-step";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<XPathEngine>> XPathEngine::Build(
+    const xml::Document& doc, const xsd::SchemaGraph& graph,
+    EngineOptions options) {
+  std::unique_ptr<XPathEngine> engine(new XPathEngine());
+  engine->doc_ = &doc;
+  engine->graph_ = &graph;
+  engine->options_ = options;
+  if (options.enable_ppf) {
+    auto store = shred::SchemaAwareStore::Create(graph);
+    if (!store.ok()) return store.status();
+    engine->ppf_store_ = std::move(store).value();
+    auto id = engine->ppf_store_->LoadDocument(doc);
+    if (!id.ok()) return id.status();
+  }
+  if (options.enable_edge) {
+    auto store = shred::EdgeStore::Create();
+    if (!store.ok()) return store.status();
+    engine->edge_store_ = std::move(store).value();
+    auto id = engine->edge_store_->LoadDocument(doc);
+    if (!id.ok()) return id.status();
+  }
+  if (options.enable_accel) {
+    auto store = accel::AccelStore::Create(doc);
+    if (!store.ok()) return store.status();
+    engine->accel_store_ = std::move(store).value();
+  }
+  return engine;
+}
+
+Result<std::string> XPathEngine::TranslateToSql(Backend backend,
+                                                std::string_view xpath) const {
+  switch (backend) {
+    case Backend::kPpf: {
+      if (ppf_store_ == nullptr) return Status::InvalidArgument("PPF disabled");
+      translate::PpfTranslator t(ppf_store_->mapping(), options_.ppf_options);
+      auto q = t.TranslateString(xpath);
+      if (!q.ok()) return q.status();
+      return q.value().ToSqlString();
+    }
+    case Backend::kNaive: {
+      if (ppf_store_ == nullptr) return Status::InvalidArgument("PPF disabled");
+      translate::PpfTranslator t(ppf_store_->mapping(),
+                                 translate::NaiveTranslateOptions());
+      auto q = t.TranslateString(xpath);
+      if (!q.ok()) return q.status();
+      return q.value().ToSqlString();
+    }
+    case Backend::kEdgePpf: {
+      translate::EdgePpfTranslator t;
+      auto q = t.TranslateString(xpath);
+      if (!q.ok()) return q.status();
+      return q.value().ToSqlString();
+    }
+    case Backend::kAccelerator: {
+      accel::AcceleratorTranslator t;
+      auto q = t.TranslateString(xpath);
+      if (!q.ok()) return q.status();
+      return q.value().ToSqlString();
+    }
+    case Backend::kStaircase:
+      return Status::InvalidArgument(
+          "the staircase backend evaluates natively, without SQL");
+  }
+  return Status::Internal("unknown backend");
+}
+
+Result<QueryOutcome> XPathEngine::Run(Backend backend,
+                                      std::string_view xpath) const {
+  QueryOutcome out;
+  auto start = std::chrono::steady_clock::now();
+
+  switch (backend) {
+    case Backend::kPpf:
+    case Backend::kNaive: {
+      if (ppf_store_ == nullptr) return Status::InvalidArgument("PPF disabled");
+      translate::PpfTranslator t(ppf_store_->mapping(),
+                                 backend == Backend::kPpf
+                                     ? options_.ppf_options
+                                     : translate::NaiveTranslateOptions());
+      auto q = t.TranslateString(xpath);
+      if (!q.ok()) return q.status();
+      out.sql = q.value().ToSqlString();
+      if (!q.value().statically_empty) {
+        auto r = rel::ExecuteQuery(ppf_store_->db(), q.value().sql, &out.stats);
+        if (!r.ok()) return r.status();
+        for (const rel::Row& row : r.value().rows) {
+          const auto* origin = ppf_store_->FindOrigin(row[0].AsInt());
+          if (origin == nullptr) {
+            return Status::Internal("unknown element id in result");
+          }
+          out.nodes.push_back(origin->node);
+        }
+      }
+      break;
+    }
+    case Backend::kEdgePpf: {
+      if (edge_store_ == nullptr) {
+        return Status::InvalidArgument("Edge backend disabled");
+      }
+      translate::EdgePpfTranslator t;
+      auto q = t.TranslateString(xpath);
+      if (!q.ok()) return q.status();
+      out.sql = q.value().ToSqlString();
+      auto r = rel::ExecuteQuery(edge_store_->db(), q.value().sql, &out.stats);
+      if (!r.ok()) return r.status();
+      for (const rel::Row& row : r.value().rows) {
+        const auto* origin = edge_store_->FindOrigin(row[0].AsInt());
+        if (origin == nullptr) {
+          return Status::Internal("unknown element id in result");
+        }
+        out.nodes.push_back(origin->node);
+      }
+      break;
+    }
+    case Backend::kAccelerator: {
+      if (accel_store_ == nullptr) {
+        return Status::InvalidArgument("Accelerator backend disabled");
+      }
+      accel::AcceleratorTranslator t;
+      auto q = t.TranslateString(xpath);
+      if (!q.ok()) return q.status();
+      out.sql = q.value().ToSqlString();
+      auto r = rel::ExecuteQuery(accel_store_->db(), q.value().sql, &out.stats);
+      if (!r.ok()) return r.status();
+      for (const rel::Row& row : r.value().rows) {
+        out.nodes.push_back(
+            accel_store_->NodeOf(static_cast<int32_t>(row[0].AsInt())));
+      }
+      break;
+    }
+    case Backend::kStaircase: {
+      if (accel_store_ == nullptr) {
+        return Status::InvalidArgument("Accelerator backend disabled");
+      }
+      accel::StaircaseEvaluator eval(*accel_store_);
+      auto r = eval.EvaluateString(xpath);
+      if (!r.ok()) return r.status();
+      for (int32_t pre : r.value()) {
+        out.nodes.push_back(accel_store_->NodeOf(pre));
+      }
+      out.stats.output_rows = out.nodes.size();
+      break;
+    }
+  }
+
+  std::sort(out.nodes.begin(), out.nodes.end());
+  out.nodes.erase(std::unique(out.nodes.begin(), out.nodes.end()),
+                  out.nodes.end());
+  out.elapsed_ms = MsSince(start);
+  return out;
+}
+
+}  // namespace xprel::engine

@@ -1,0 +1,81 @@
+#ifndef XPREL_ENGINE_ENGINE_H_
+#define XPREL_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accel/accel_store.h"
+#include "common/result.h"
+#include "rel/query.h"
+#include "shred/edge_loader.h"
+#include "shred/schema_loader.h"
+#include "translate/translator.h"
+#include "xml/document.h"
+#include "xsd/schema_graph.h"
+
+namespace xprel::engine {
+
+// The five execution strategies the paper's Section 5 compares.
+enum class Backend {
+  kPpf,          // the contribution: schema-aware PPF translation (Section 4)
+  kEdgePpf,      // PPF over the schema-oblivious Edge mapping (Section 5.1)
+  kAccelerator,  // XPath Accelerator window translation (Grust et al.)
+  kStaircase,    // staircase-join evaluation (the MonetDB/XQuery stand-in)
+  kNaive,        // conventional per-step schema-aware translation
+                 // (the commercial built-in shredding stand-in)
+};
+
+const char* BackendName(Backend b);
+
+struct EngineOptions {
+  bool enable_ppf = true;
+  bool enable_edge = true;
+  bool enable_accel = true;  // serves both kAccelerator and kStaircase
+  translate::TranslateOptions ppf_options;
+};
+
+struct QueryOutcome {
+  std::vector<xml::NodeId> nodes;  // document order
+  std::string sql;                 // empty for the staircase backend
+  rel::QueryStats stats;
+  double elapsed_ms = 0;
+};
+
+// One document loaded under every enabled storage mapping, queryable
+// through any backend. The document and schema must outlive the engine.
+//
+//   auto engine = XPathEngine::Build(doc, schema_graph);
+//   auto out = engine->Run(Backend::kPpf, "/site/regions/*/item");
+class XPathEngine {
+ public:
+  static Result<std::unique_ptr<XPathEngine>> Build(
+      const xml::Document& doc, const xsd::SchemaGraph& graph,
+      EngineOptions options = {});
+
+  Result<QueryOutcome> Run(Backend backend, std::string_view xpath) const;
+
+  // Translation only (no execution); not meaningful for kStaircase.
+  Result<std::string> TranslateToSql(Backend backend,
+                                     std::string_view xpath) const;
+
+  const shred::SchemaAwareStore* ppf_store() const { return ppf_store_.get(); }
+  const shred::EdgeStore* edge_store() const { return edge_store_.get(); }
+  const accel::AccelStore* accel_store() const { return accel_store_.get(); }
+  const xml::Document& document() const { return *doc_; }
+
+ private:
+  XPathEngine() = default;
+
+  const xml::Document* doc_ = nullptr;
+  const xsd::SchemaGraph* graph_ = nullptr;
+  EngineOptions options_;
+  std::unique_ptr<shred::SchemaAwareStore> ppf_store_;
+  std::unique_ptr<shred::EdgeStore> edge_store_;
+  std::unique_ptr<accel::AccelStore> accel_store_;
+};
+
+}  // namespace xprel::engine
+
+#endif  // XPREL_ENGINE_ENGINE_H_

@@ -1,0 +1,283 @@
+#include "rel/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xprel::rel {
+
+// Node layout. Leaves hold sorted (key, row) entries and a next-leaf link;
+// internal nodes hold sorted separator keys and children, with
+// children[i] covering keys < keys[i] and children.back() the rest.
+struct BTree::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct BTree::LeafNode : BTree::Node {
+  LeafNode() : Node(true) {}
+  std::vector<std::string> keys;
+  std::vector<RowId> rows;
+  LeafNode* next = nullptr;
+};
+
+struct BTree::InternalNode : BTree::Node {
+  InternalNode() : Node(false) {}
+  std::vector<std::string> keys;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+BTree::BTree() : root_(std::make_unique<LeafNode>()) {}
+BTree::~BTree() = default;
+BTree::BTree(BTree&&) noexcept = default;
+BTree& BTree::operator=(BTree&&) noexcept = default;
+
+namespace {
+
+// First position whose key is >= `key` (lower bound).
+size_t LowerBound(const std::vector<std::string>& keys, std::string_view key) {
+  return static_cast<size_t>(
+      std::lower_bound(keys.begin(), keys.end(), key,
+                       [](const std::string& a, std::string_view b) {
+                         return std::string_view(a) < b;
+                       }) -
+      keys.begin());
+}
+
+// First position whose key is > `key` (upper bound). Used on insert so that
+// duplicate keys keep insertion order.
+size_t UpperBound(const std::vector<std::string>& keys, std::string_view key) {
+  return static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key,
+                       [](std::string_view a, const std::string& b) {
+                         return a < std::string_view(b);
+                       }) -
+      keys.begin());
+}
+
+}  // namespace
+
+BTree::LeafNode* BTree::FindLeaf(std::string_view key) const {
+  // Search descent uses lower-bound: with duplicate keys, a leaf split can
+  // leave entries equal to the separator on its left sibling, so the
+  // leftmost candidate leaf is the child at the first separator >= key;
+  // later duplicates are reached through the leaf links.
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* in = static_cast<InternalNode*>(node);
+    size_t i = LowerBound(in->keys, key);
+    node = in->children[i].get();
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+void BTree::InsertIntoLeaf(LeafNode* leaf, std::string_view key, RowId row,
+                           std::string* split_key, Node** split_node) {
+  size_t pos = UpperBound(leaf->keys, key);
+  leaf->keys.insert(leaf->keys.begin() + static_cast<ptrdiff_t>(pos),
+                    std::string(key));
+  leaf->rows.insert(leaf->rows.begin() + static_cast<ptrdiff_t>(pos), row);
+  if (leaf->keys.size() <= kLeafCapacity) {
+    *split_node = nullptr;
+    return;
+  }
+  // Split in half; the right sibling's first key becomes the separator.
+  auto right = std::make_unique<LeafNode>();
+  size_t mid = leaf->keys.size() / 2;
+  right->keys.assign(std::make_move_iterator(leaf->keys.begin() + mid),
+                     std::make_move_iterator(leaf->keys.end()));
+  right->rows.assign(leaf->rows.begin() + static_cast<ptrdiff_t>(mid),
+                     leaf->rows.end());
+  leaf->keys.resize(mid);
+  leaf->rows.resize(mid);
+  right->next = leaf->next;
+  LeafNode* right_raw = right.get();
+  leaf->next = right_raw;
+  *split_key = right_raw->keys.front();
+  *split_node = right.release();
+}
+
+void BTree::InsertIntoInternal(InternalNode* node, std::string_view key,
+                               RowId row, std::string* split_key,
+                               Node** split_node) {
+  size_t i = UpperBound(node->keys, key);
+  Node* child = node->children[i].get();
+  std::string child_split_key;
+  Node* child_split = nullptr;
+  if (child->is_leaf) {
+    InsertIntoLeaf(static_cast<LeafNode*>(child), key, row, &child_split_key,
+                   &child_split);
+  } else {
+    InsertIntoInternal(static_cast<InternalNode*>(child), key, row,
+                       &child_split_key, &child_split);
+  }
+  *split_node = nullptr;
+  if (child_split == nullptr) return;
+
+  node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(i),
+                    std::move(child_split_key));
+  node->children.insert(node->children.begin() + static_cast<ptrdiff_t>(i) + 1,
+                        std::unique_ptr<Node>(child_split));
+  if (node->keys.size() <= kInternalCapacity) return;
+
+  // Split: middle key moves up.
+  auto right = std::make_unique<InternalNode>();
+  size_t mid = node->keys.size() / 2;
+  *split_key = std::move(node->keys[mid]);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() +
+                                             static_cast<ptrdiff_t>(mid) + 1),
+                     std::make_move_iterator(node->keys.end()));
+  for (size_t c = mid + 1; c < node->children.size(); ++c) {
+    right->children.push_back(std::move(node->children[c]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  *split_node = right.release();
+}
+
+void BTree::Insert(std::string_view key, RowId row) {
+  std::string split_key;
+  Node* split = nullptr;
+  if (root_->is_leaf) {
+    InsertIntoLeaf(static_cast<LeafNode*>(root_.get()), key, row, &split_key,
+                   &split);
+  } else {
+    InsertIntoInternal(static_cast<InternalNode*>(root_.get()), key, row,
+                       &split_key, &split);
+  }
+  if (split != nullptr) {
+    auto new_root = std::make_unique<InternalNode>();
+    new_root->keys.push_back(std::move(split_key));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::unique_ptr<Node>(split));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  ++size_;
+}
+
+std::string_view BTree::Iterator::key() const {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  return leaf->keys[index_];
+}
+
+RowId BTree::Iterator::row() const {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  return leaf->rows[index_];
+}
+
+void BTree::Iterator::CheckEnd() {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  if (leaf == nullptr) return;
+  if (index_ >= leaf->keys.size()) {
+    // Advance to the next non-empty leaf.
+    const LeafNode* next = leaf->next;
+    while (next != nullptr && next->keys.empty()) next = next->next;
+    leaf_ = next;
+    index_ = 0;
+    if (leaf_ == nullptr) return;
+    leaf = static_cast<const LeafNode*>(leaf_);
+  }
+  if (!unbounded_ && std::string_view(leaf->keys[index_]) >= end_) {
+    leaf_ = nullptr;
+  }
+}
+
+void BTree::Iterator::Next() {
+  ++index_;
+  CheckEnd();
+}
+
+BTree::Iterator BTree::Scan(std::string_view lower,
+                            std::string_view upper) const {
+  Iterator it;
+  LeafNode* leaf = FindLeaf(lower);
+  it.leaf_ = leaf;
+  it.index_ = LowerBound(leaf->keys, lower);
+  it.end_ = std::string(upper);
+  it.unbounded_ = false;
+  it.CheckEnd();
+  return it;
+}
+
+BTree::Iterator BTree::ScanFrom(std::string_view lower) const {
+  Iterator it;
+  LeafNode* leaf = FindLeaf(lower);
+  it.leaf_ = leaf;
+  it.index_ = LowerBound(leaf->keys, lower);
+  it.unbounded_ = true;
+  it.CheckEnd();
+  return it;
+}
+
+BTree::Iterator BTree::ScanAll() const {
+  Iterator it;
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = static_cast<InternalNode*>(node)->children.front().get();
+  }
+  it.leaf_ = static_cast<LeafNode*>(node);
+  it.index_ = 0;
+  it.unbounded_ = true;
+  it.CheckEnd();
+  return it;
+}
+
+std::vector<RowId> BTree::Lookup(std::string_view key) const {
+  std::vector<RowId> out;
+  LeafNode* leaf = FindLeaf(key);
+  size_t i = LowerBound(leaf->keys, key);
+  Iterator it;
+  it.leaf_ = leaf;
+  it.index_ = i;
+  it.unbounded_ = true;
+  it.CheckEnd();
+  while (it.Valid() && it.key() == key) {
+    out.push_back(it.row());
+    it.Next();
+  }
+  return out;
+}
+
+bool BTree::CheckInvariants() const {
+  // Walk the tree checking key ordering within nodes and across separators.
+  struct Walker {
+    bool ok = true;
+    size_t counted = 0;
+    const std::string* last_key = nullptr;
+
+    void Visit(const Node* node, const std::string* lo, const std::string* hi) {
+      if (!ok) return;
+      if (node->is_leaf) {
+        const auto* leaf = static_cast<const LeafNode*>(node);
+        for (const std::string& k : leaf->keys) {
+          if (lo && k < *lo) ok = false;
+          // Duplicates may equal the upper separator (see FindLeaf).
+          if (hi && k > *hi) ok = false;
+          if (last_key && k < *last_key) ok = false;
+          last_key = &k;
+          ++counted;
+        }
+        return;
+      }
+      const auto* in = static_cast<const InternalNode*>(node);
+      if (in->children.size() != in->keys.size() + 1) {
+        ok = false;
+        return;
+      }
+      for (size_t i = 0; i + 1 < in->keys.size(); ++i) {
+        if (in->keys[i + 1] < in->keys[i]) ok = false;
+      }
+      for (size_t i = 0; i < in->children.size(); ++i) {
+        const std::string* child_lo = (i == 0) ? lo : &in->keys[i - 1];
+        const std::string* child_hi = (i == in->keys.size()) ? hi : &in->keys[i];
+        Visit(in->children[i].get(), child_lo, child_hi);
+      }
+    }
+  };
+  Walker w;
+  w.Visit(root_.get(), nullptr, nullptr);
+  return w.ok && w.counted == size_;
+}
+
+}  // namespace xprel::rel

@@ -1,0 +1,88 @@
+#ifndef XPREL_REL_BTREE_H_
+#define XPREL_REL_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xprel::rel {
+
+using RowId = uint32_t;
+
+// An in-memory B+-tree multimap from encoded byte-string keys (see
+// key_codec.h) to row ids — the engine's analogue of the standard B-tree
+// indexes the paper creates on `id`, each parent foreign key, and the
+// composite (dewey_pos, path_id) (Section 3.1).
+//
+// Duplicate keys are allowed. Entries with equal keys are returned in
+// insertion order. The tree supports insertion and range scans; the loaders
+// are append-only so deletion is not implemented.
+class BTree {
+ public:
+  static constexpr size_t kLeafCapacity = 64;
+  static constexpr size_t kInternalCapacity = 64;
+
+  BTree();
+  ~BTree();
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  void Insert(std::string_view key, RowId row);
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  // Forward iterator over (key, row) entries within a byte range.
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    std::string_view key() const;
+    RowId row() const;
+    void Next();
+
+   private:
+    friend class BTree;
+    const void* leaf_ = nullptr;  // LeafNode*
+    size_t index_ = 0;
+    std::string end_;    // exclusive upper bound; empty + unbounded_ = none
+    bool unbounded_ = false;
+    void CheckEnd();
+  };
+
+  // Entries with key in [lower, upper). Pass `unbounded_upper` to scan to
+  // the end.
+  Iterator Scan(std::string_view lower, std::string_view upper) const;
+  Iterator ScanFrom(std::string_view lower) const;
+  Iterator ScanAll() const;
+
+  // All rows whose key equals `key` exactly.
+  std::vector<RowId> Lookup(std::string_view key) const;
+
+  // Verifies structural invariants (key ordering, fill, linkage); used by
+  // tests. Returns false if any invariant is broken.
+  bool CheckInvariants() const;
+
+ private:
+  struct LeafNode;
+  struct InternalNode;
+  struct Node;
+
+  LeafNode* FindLeaf(std::string_view key) const;
+  // Splits `node` (full) and returns the separator key + new right sibling.
+  void InsertIntoLeaf(LeafNode* leaf, std::string_view key, RowId row,
+                      std::string* split_key, Node** split_node);
+  void InsertIntoInternal(InternalNode* node, std::string_view key, RowId row,
+                          std::string* split_key, Node** split_node);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace xprel::rel
+
+#endif  // XPREL_REL_BTREE_H_

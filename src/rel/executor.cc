@@ -1,0 +1,582 @@
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "rel/key_codec.h"
+#include "rel/query.h"
+
+namespace xprel::rel {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value semantics: SQL comparison with implicit numeric coercion.
+// ---------------------------------------------------------------------------
+
+bool IsStringLike(const Value& v) {
+  return v.type() == ValueType::kString || v.type() == ValueType::kBytes;
+}
+
+bool IsNumeric(const Value& v) {
+  return v.type() == ValueType::kInt64 || v.type() == ValueType::kDouble;
+}
+
+// Three-valued comparison: nullopt = unknown (SQL NULL semantics, and also
+// "string does not parse as a number" in a numeric comparison).
+std::optional<int> CompareValues(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  if (IsStringLike(a) && IsStringLike(b)) {
+    int c = a.AsStringLike().compare(b.AsStringLike());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (IsNumeric(a) || IsNumeric(b)) {
+    auto x = a.ToNumber();
+    auto y = b.ToNumber();
+    if (!x || !y) return std::nullopt;
+    return *x < *y ? -1 : (*x > *y ? 1 : 0);
+  }
+  return std::nullopt;
+}
+
+// SQL LIKE with % and _ wildcards.
+bool MatchLike(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer algorithm with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+// Truth of a boolean Value (null = unknown).
+enum class Truth { kTrue, kFalse, kUnknown };
+
+Truth TruthOf(const Value& v) {
+  if (v.is_null()) return Truth::kUnknown;
+  if (v.type() == ValueType::kInt64) {
+    return v.AsInt() != 0 ? Truth::kTrue : Truth::kFalse;
+  }
+  return Truth::kFalse;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation context
+// ---------------------------------------------------------------------------
+
+struct ExecContext {
+  QueryStats* stats = nullptr;
+  // Lazily built hash tables for kHashProbe steps, keyed by step address.
+  std::map<const AccessStep*, std::map<std::string, std::vector<RowId>>>
+      hash_tables;
+};
+
+Value EvalExpr(const Plan& plan, const SqlExpr& e, const Row& row,
+               ExecContext& ctx);
+
+bool ExecExists(const Plan& subplan, const Row& outer_row, ExecContext& ctx);
+
+Value EvalExpr(const Plan& plan, const SqlExpr& e, const Row& row,
+               ExecContext& ctx) {
+  switch (e.kind) {
+    case SqlExpr::Kind::kColumn: {
+      int slot = plan.layout.SlotOf(e.table_alias, e.column);
+      assert(slot >= 0 && "unresolvable column; planner should have caught");
+      return row[static_cast<size_t>(slot)];
+    }
+    case SqlExpr::Kind::kLiteral:
+      return e.literal;
+    case SqlExpr::Kind::kBinary: {
+      if (e.op == SqlExpr::BinOp::kAnd || e.op == SqlExpr::BinOp::kOr) {
+        Truth a = TruthOf(EvalExpr(plan, *e.args[0], row, ctx));
+        // Short-circuit.
+        if (e.op == SqlExpr::BinOp::kAnd && a == Truth::kFalse) {
+          return Value::Int(0);
+        }
+        if (e.op == SqlExpr::BinOp::kOr && a == Truth::kTrue) {
+          return Value::Int(1);
+        }
+        Truth b = TruthOf(EvalExpr(plan, *e.args[1], row, ctx));
+        if (e.op == SqlExpr::BinOp::kAnd) {
+          if (b == Truth::kFalse) return Value::Int(0);
+          if (a == Truth::kTrue && b == Truth::kTrue) return Value::Int(1);
+          return Value::Null();
+        }
+        if (b == Truth::kTrue) return Value::Int(1);
+        if (a == Truth::kFalse && b == Truth::kFalse) return Value::Int(0);
+        return Value::Null();
+      }
+      Value a = EvalExpr(plan, *e.args[0], row, ctx);
+      Value b = EvalExpr(plan, *e.args[1], row, ctx);
+      auto cmp = CompareValues(a, b);
+      if (!cmp) return Value::Null();
+      bool r = false;
+      switch (e.op) {
+        case SqlExpr::BinOp::kEq:
+          r = *cmp == 0;
+          break;
+        case SqlExpr::BinOp::kNe:
+          r = *cmp != 0;
+          break;
+        case SqlExpr::BinOp::kLt:
+          r = *cmp < 0;
+          break;
+        case SqlExpr::BinOp::kLe:
+          r = *cmp <= 0;
+          break;
+        case SqlExpr::BinOp::kGt:
+          r = *cmp > 0;
+          break;
+        case SqlExpr::BinOp::kGe:
+          r = *cmp >= 0;
+          break;
+        default:
+          return Value::Null();
+      }
+      return Value::Int(r ? 1 : 0);
+    }
+    case SqlExpr::Kind::kNot: {
+      Truth t = TruthOf(EvalExpr(plan, *e.args[0], row, ctx));
+      if (t == Truth::kUnknown) return Value::Null();
+      return Value::Int(t == Truth::kFalse ? 1 : 0);
+    }
+    case SqlExpr::Kind::kBetween: {
+      Value v = EvalExpr(plan, *e.args[0], row, ctx);
+      Value lo = EvalExpr(plan, *e.args[1], row, ctx);
+      Value hi = EvalExpr(plan, *e.args[2], row, ctx);
+      auto c1 = CompareValues(v, lo);
+      auto c2 = CompareValues(v, hi);
+      if (!c1 || !c2) return Value::Null();
+      return Value::Int((*c1 >= 0 && *c2 <= 0) ? 1 : 0);
+    }
+    case SqlExpr::Kind::kConcat: {
+      Value a = EvalExpr(plan, *e.args[0], row, ctx);
+      Value b = EvalExpr(plan, *e.args[1], row, ctx);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      auto at = a.ToText();
+      auto bt = b.ToText();
+      if (!at || !bt) return Value::Null();
+      bool bytes = a.type() == ValueType::kBytes || b.type() == ValueType::kBytes;
+      std::string s = *at + *bt;
+      return bytes ? Value::Bytes(std::move(s)) : Value::Str(std::move(s));
+    }
+    case SqlExpr::Kind::kExists: {
+      auto it = plan.subplans.find(&e);
+      assert(it != plan.subplans.end());
+      if (ctx.stats != nullptr) ++ctx.stats->subquery_evals;
+      return Value::Int(ExecExists(*it->second, row, ctx) ? 1 : 0);
+    }
+    case SqlExpr::Kind::kRegexpLike: {
+      Value text = EvalExpr(plan, *e.args[0], row, ctx);
+      if (text.is_null()) return Value::Null();
+      auto t = text.ToText();
+      if (!t) return Value::Null();
+      auto it = plan.regexes.find(&e);
+      assert(it != plan.regexes.end());
+      return Value::Int(it->second.Matches(*t) ? 1 : 0);
+    }
+    case SqlExpr::Kind::kLike: {
+      Value text = EvalExpr(plan, *e.args[0], row, ctx);
+      Value pattern = EvalExpr(plan, *e.args[1], row, ctx);
+      auto t = text.ToText();
+      auto p = pattern.ToText();
+      if (!t || !p) return Value::Null();
+      return Value::Int(MatchLike(*t, *p) ? 1 : 0);
+    }
+    case SqlExpr::Kind::kIsNull: {
+      Value v = EvalExpr(plan, *e.args[0], row, ctx);
+      return Value::Int(v.is_null() ? 1 : 0);
+    }
+    case SqlExpr::Kind::kLength: {
+      Value v = EvalExpr(plan, *e.args[0], row, ctx);
+      if (v.is_null()) return Value::Null();
+      if (v.type() == ValueType::kString || v.type() == ValueType::kBytes) {
+        return Value::Int(static_cast<int64_t>(v.AsStringLike().size()));
+      }
+      auto t = v.ToText();
+      if (!t) return Value::Null();
+      return Value::Int(static_cast<int64_t>(t->size()));
+    }
+    case SqlExpr::Kind::kAdd: {
+      Value a = EvalExpr(plan, *e.args[0], row, ctx);
+      Value b = EvalExpr(plan, *e.args[1], row, ctx);
+      if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+        return Value::Int(a.AsInt() + b.AsInt());
+      }
+      auto x = a.ToNumber();
+      auto y = b.ToNumber();
+      if (!x || !y) return Value::Null();
+      return Value::Real(*x + *y);
+    }
+  }
+  return Value::Null();
+}
+
+// Coerces `v` to the storage type of a column so encoded index keys compare
+// correctly (e.g. a concatenated Dewey bound arrives as kBytes for a kBytes
+// column; an int literal probes an int column).
+Value CoerceForColumn(const Value& v, ValueType target) {
+  if (v.is_null() || v.type() == target) return v;
+  switch (target) {
+    case ValueType::kInt64: {
+      auto n = v.ToNumber();
+      if (!n) return Value::Null();
+      return Value::Int(static_cast<int64_t>(*n));
+    }
+    case ValueType::kDouble: {
+      auto n = v.ToNumber();
+      if (!n) return Value::Null();
+      return Value::Real(*n);
+    }
+    case ValueType::kString: {
+      auto t = v.ToText();
+      if (!t) return Value::Null();
+      return Value::Str(std::move(*t));
+    }
+    case ValueType::kBytes: {
+      if (IsStringLike(v)) return Value::Bytes(v.AsStringLike());
+      return Value::Null();
+    }
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+// ---------------------------------------------------------------------------
+// Step enumeration
+// ---------------------------------------------------------------------------
+
+// Copies table row `rid` into the binding row at the alias's offset.
+void BindRow(const Table& table, RowId rid, int offset, Row& row) {
+  const Row& src = table.row(rid);
+  for (size_t c = 0; c < src.size(); ++c) {
+    row[static_cast<size_t>(offset) + c] = src[c];
+  }
+}
+
+// Runs steps [i..) of the plan; calls `emit` on every full binding. `emit`
+// returns false to abort enumeration (EXISTS short-circuit). Returns false
+// if enumeration was aborted.
+bool RunSteps(const Plan& plan, size_t i, Row& row, ExecContext& ctx,
+              const std::function<bool()>& emit) {
+  if (i == plan.steps.size()) return emit();
+  const AccessStep& step = plan.steps[i];
+  const Layout::Entry* entry = plan.layout.FindAlias(step.alias);
+  assert(entry != nullptr);
+  const Table& table = *step.table;
+
+  auto try_row = [&](RowId rid) -> bool {
+    if (ctx.stats != nullptr) ++ctx.stats->rows_scanned;
+    BindRow(table, rid, entry->offset, row);
+    for (const SqlExpr* f : step.filters) {
+      if (TruthOf(EvalExpr(plan, *f, row, ctx)) != Truth::kTrue) return true;
+    }
+    return RunSteps(plan, i + 1, row, ctx, emit);
+  };
+
+  switch (step.path) {
+    case AccessPathKind::kSeqScan: {
+      for (RowId rid = 0; rid < table.row_count(); ++rid) {
+        if (!try_row(rid)) return false;
+      }
+      return true;
+    }
+    case AccessPathKind::kIndexPoint: {
+      std::vector<Value> keys;
+      const IndexDef* def = nullptr;
+      // Recover the index definition to learn key column types.
+      for (const IndexDef& d : table.schema().indexes) {
+        if (table.FindIndex(d.name) == step.index) {
+          def = &d;
+          break;
+        }
+      }
+      assert(def != nullptr);
+      for (size_t k = 0; k < step.point_keys.size(); ++k) {
+        Value v = EvalExpr(plan, *step.point_keys[k], row, ctx);
+        ValueType t = table.schema()
+                          .columns[static_cast<size_t>(def->column_indexes[k])]
+                          .type;
+        v = CoerceForColumn(v, t);
+        if (v.is_null()) return true;  // NULL key matches nothing
+        keys.push_back(std::move(v));
+      }
+      if (ctx.stats != nullptr) ++ctx.stats->index_probes;
+      std::string lo = EncodeKeyPrefixLowerBound(keys);
+      std::string hi = EncodeKeyPrefixUpperBound(keys);
+      for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
+        if (!try_row(it.row())) return false;
+      }
+      return true;
+    }
+    case AccessPathKind::kIndexRange: {
+      // Bounds are on the first index column.
+      const IndexDef* def = nullptr;
+      for (const IndexDef& d : table.schema().indexes) {
+        if (table.FindIndex(d.name) == step.index) {
+          def = &d;
+          break;
+        }
+      }
+      assert(def != nullptr);
+      ValueType t = table.schema()
+                        .columns[static_cast<size_t>(def->column_indexes[0])]
+                        .type;
+      std::string lo;
+      if (step.range_lo != nullptr) {
+        Value v = CoerceForColumn(EvalExpr(plan, *step.range_lo, row, ctx), t);
+        if (v.is_null()) return true;
+        lo = step.range_lo_inclusive ? EncodeKeyPrefixLowerBound({v})
+                                     : EncodeKeyPrefixUpperBound({v});
+      }
+      if (ctx.stats != nullptr) ++ctx.stats->index_probes;
+      if (step.range_hi != nullptr) {
+        Value v = CoerceForColumn(EvalExpr(plan, *step.range_hi, row, ctx), t);
+        if (v.is_null()) return true;
+        std::string hi = step.range_hi_inclusive
+                             ? EncodeKeyPrefixUpperBound({v})
+                             : EncodeKeyPrefixLowerBound({v});
+        for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
+          if (!try_row(it.row())) return false;
+        }
+      } else {
+        for (auto it = step.index->ScanFrom(lo); it.Valid(); it.Next()) {
+          if (!try_row(it.row())) return false;
+        }
+      }
+      return true;
+    }
+    case AccessPathKind::kPrefixProbe: {
+      Value v = EvalExpr(plan, *step.probe_value, row, ctx);
+      if (v.is_null() || !IsStringLike(v)) return true;
+      const std::string& d = v.AsStringLike();
+      // Probe each Dewey prefix (ancestors are exactly the prefixes whose
+      // length is a multiple of the 3-byte component size).
+      for (size_t len = 3; len <= d.size(); len += 3) {
+        Value prefix = Value::Bytes(d.substr(0, len));
+        if (ctx.stats != nullptr) ++ctx.stats->index_probes;
+        std::string lo = EncodeKeyPrefixLowerBound({prefix});
+        std::string hi = EncodeKeyPrefixUpperBound({prefix});
+        for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
+          if (!try_row(it.row())) return false;
+        }
+      }
+      return true;
+    }
+    case AccessPathKind::kIndexUnion: {
+      std::set<RowId> rows;
+      for (const AccessStep::UnionProbe& p : step.union_probes) {
+        Value v = EvalExpr(plan, *p.key, row, ctx);
+        ValueType t =
+            table.schema().columns[static_cast<size_t>(p.column)].type;
+        v = CoerceForColumn(v, t);
+        if (v.is_null()) continue;
+        if (ctx.stats != nullptr) ++ctx.stats->index_probes;
+        std::string lo = EncodeKeyPrefixLowerBound({v});
+        std::string hi = EncodeKeyPrefixUpperBound({v});
+        for (auto it = p.index->Scan(lo, hi); it.Valid(); it.Next()) {
+          rows.insert(it.row());
+        }
+      }
+      for (RowId rid : rows) {
+        if (!try_row(rid)) return false;
+      }
+      return true;
+    }
+    case AccessPathKind::kHashProbe: {
+      auto& ht = ctx.hash_tables[&step];
+      if (ht.empty() && table.row_count() > 0) {
+        for (RowId rid = 0; rid < table.row_count(); ++rid) {
+          const Value& v = table.row(rid)[static_cast<size_t>(step.hash_column)];
+          auto t = v.ToText();
+          if (t) ht[*t].push_back(rid);
+        }
+      }
+      Value key = EvalExpr(plan, *step.hash_key, row, ctx);
+      auto kt = key.ToText();
+      if (!kt) return true;
+      if (ctx.stats != nullptr) ++ctx.stats->index_probes;
+      auto it = ht.find(*kt);
+      if (it == ht.end()) return true;
+      for (RowId rid : it->second) {
+        if (!try_row(rid)) return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+bool ExecExists(const Plan& subplan, const Row& outer_row, ExecContext& ctx) {
+  Row row = outer_row;
+  row.resize(static_cast<size_t>(subplan.layout.total_slots));
+  // Filters that involve only outer aliases.
+  for (const SqlExpr* f : subplan.post_filters) {
+    if (TruthOf(EvalExpr(subplan, *f, row, ctx)) != Truth::kTrue) return false;
+  }
+  bool found = false;
+  RunSteps(subplan, 0, row, ctx, [&]() {
+    found = true;
+    return false;  // abort on first witness
+  });
+  return found;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats) {
+  ExecContext ctx;
+  ctx.stats = stats;
+
+  const SelectStmt& stmt = *plan.stmt;
+  QueryResult result;
+  for (const SelectItem& it : stmt.select) {
+    result.column_labels.push_back(
+        !it.label.empty() ? it.label : SqlToString(*it.expr));
+  }
+
+  Row row(static_cast<size_t>(plan.layout.total_slots));
+  // Constant conjuncts.
+  for (const SqlExpr* f : plan.post_filters) {
+    if (TruthOf(EvalExpr(plan, *f, row, ctx)) != Truth::kTrue) {
+      return result;
+    }
+  }
+
+  struct Emitted {
+    Row projected;
+    Row sort_key;
+  };
+  std::vector<Emitted> emitted;
+
+  RunSteps(plan, 0, row, ctx, [&]() {
+    Emitted e;
+    e.projected.reserve(stmt.select.size());
+    for (const SelectItem& it : stmt.select) {
+      e.projected.push_back(EvalExpr(plan, *it.expr, row, ctx));
+    }
+    e.sort_key.reserve(stmt.order_by.size());
+    for (const OrderByItem& ob : stmt.order_by) {
+      e.sort_key.push_back(EvalExpr(plan, *ob.expr, row, ctx));
+    }
+    emitted.push_back(std::move(e));
+    return true;
+  });
+
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(emitted.begin(), emitted.end(),
+                     [&](const Emitted& a, const Emitted& b) {
+                       for (size_t k = 0; k < a.sort_key.size(); ++k) {
+                         bool asc = stmt.order_by[k].ascending;
+                         if (a.sort_key[k] < b.sort_key[k]) return asc;
+                         if (b.sort_key[k] < a.sort_key[k]) return !asc;
+                       }
+                       return false;
+                     });
+  }
+
+  if (stmt.distinct) {
+    std::set<Row> seen;
+    for (Emitted& e : emitted) {
+      if (seen.insert(e.projected).second) {
+        result.rows.push_back(std::move(e.projected));
+      }
+    }
+  } else {
+    for (Emitted& e : emitted) result.rows.push_back(std::move(e.projected));
+  }
+  if (stats != nullptr) stats->output_rows = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                                  QueryStats* stats) {
+  auto plan = PlanSelect(db, stmt, nullptr);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(*plan.value(), stats);
+}
+
+Result<QueryResult> ExecuteQuery(const Database& db, const SqlQuery& query,
+                                 QueryStats* stats) {
+  if (query.selects.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (query.selects.size() == 1) {
+    return ExecuteSelect(db, *query.selects[0], stats);
+  }
+  // UNION with set semantics; rows from all blocks deduplicated, then
+  // ordered by the first block's ORDER BY columns (the translators emit the
+  // same ORDER BY positionally in every block).
+  QueryResult combined;
+  std::set<Row> seen;
+  std::vector<int> order_cols;
+  for (size_t b = 0; b < query.selects.size(); ++b) {
+    const SelectStmt& stmt = *query.selects[b];
+    QueryStats local;
+    auto r = ExecuteSelect(db, stmt, &local);
+    if (!r.ok()) return r.status();
+    if (stats != nullptr) {
+      stats->rows_scanned += local.rows_scanned;
+      stats->index_probes += local.index_probes;
+      stats->subquery_evals += local.subquery_evals;
+    }
+    if (b == 0) {
+      combined.column_labels = r.value().column_labels;
+      // Map ORDER BY expressions to projected column positions.
+      for (const OrderByItem& ob : stmt.order_by) {
+        for (size_t i = 0; i < stmt.select.size(); ++i) {
+          const SqlExpr& se = *stmt.select[i].expr;
+          const SqlExpr& oe = *ob.expr;
+          if (se.kind == SqlExpr::Kind::kColumn &&
+              oe.kind == SqlExpr::Kind::kColumn &&
+              se.table_alias == oe.table_alias && se.column == oe.column) {
+            order_cols.push_back(static_cast<int>(i));
+            break;
+          }
+        }
+      }
+    }
+    for (Row& row : r.value().rows) {
+      if (seen.insert(row).second) {
+        combined.rows.push_back(std::move(row));
+      }
+    }
+  }
+  if (!order_cols.empty()) {
+    std::sort(combined.rows.begin(), combined.rows.end(),
+              [&](const Row& a, const Row& b) {
+                for (int c : order_cols) {
+                  const Value& x = a[static_cast<size_t>(c)];
+                  const Value& y = b[static_cast<size_t>(c)];
+                  if (x < y) return true;
+                  if (y < x) return false;
+                }
+                return a < b;
+              });
+  }
+  if (stats != nullptr) stats->output_rows = combined.rows.size();
+  return combined;
+}
+
+}  // namespace xprel::rel

@@ -1,0 +1,92 @@
+#include "rel/key_codec.h"
+
+#include <cstring>
+
+namespace xprel::rel {
+
+namespace {
+
+// Type tags; must increase in the same order as ValueType's total order.
+constexpr char kTagNull = '\x01';
+constexpr char kTagInt = '\x02';
+constexpr char kTagDouble = '\x03';
+constexpr char kTagString = '\x04';
+constexpr char kTagBytes = '\x05';
+
+void AppendBigEndian64(uint64_t v, std::string& out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void AppendEscapedString(const std::string& s, std::string& out) {
+  for (char c : s) {
+    if (c == '\x00') {
+      out.push_back('\x00');
+      out.push_back('\xFF');
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('\x00');
+  out.push_back('\x01');
+}
+
+}  // namespace
+
+void AppendEncodedValue(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out.push_back(kTagNull);
+      return;
+    case ValueType::kInt64: {
+      out.push_back(kTagInt);
+      // Flip the sign bit so negative values sort below positive ones.
+      uint64_t bits = static_cast<uint64_t>(v.AsInt()) ^ (1ull << 63);
+      AppendBigEndian64(bits, out);
+      return;
+    }
+    case ValueType::kDouble: {
+      out.push_back(kTagDouble);
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      if (bits & (1ull << 63)) {
+        bits = ~bits;  // negative: invert all bits
+      } else {
+        bits ^= (1ull << 63);  // positive: flip sign bit
+      }
+      AppendBigEndian64(bits, out);
+      return;
+    }
+    case ValueType::kString:
+      out.push_back(kTagString);
+      AppendEscapedString(v.AsString(), out);
+      return;
+    case ValueType::kBytes:
+      out.push_back(kTagBytes);
+      AppendEscapedString(v.AsBytes(), out);
+      return;
+  }
+}
+
+std::string EncodeKey(const std::vector<Value>& values) {
+  std::string out;
+  for (const Value& v : values) AppendEncodedValue(v, out);
+  return out;
+}
+
+std::string EncodeKeyPrefixLowerBound(const std::vector<Value>& values) {
+  return EncodeKey(values);
+}
+
+std::string EncodeKeyPrefixUpperBound(const std::vector<Value>& values) {
+  // Column encodings never contain the byte 0xFF right after a complete
+  // value (the next byte is always a type tag <= 0x05), so appending 0xFF
+  // yields a strict upper bound for every key extending this prefix.
+  std::string out = EncodeKey(values);
+  out.push_back('\xFF');
+  return out;
+}
+
+}  // namespace xprel::rel

@@ -1,0 +1,39 @@
+#ifndef XPREL_REL_KEY_CODEC_H_
+#define XPREL_REL_KEY_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace xprel::rel {
+
+// Order-preserving key encoding for composite B+-tree keys: for any two
+// tuples of values, memcmp(Encode(a), Encode(b)) has the same sign as the
+// column-wise comparison of a and b (nulls first). This lets the B+-tree
+// store plain byte strings and lets a range on a *prefix* of a composite
+// index — e.g. the (dewey_pos, path_id) index scanned by a Dewey BETWEEN —
+// be expressed as one contiguous key range.
+//
+// Layout per value: a 1-byte type tag (null sorts lowest), then
+//   int64  : 8 bytes big-endian with the sign bit flipped
+//   double : IEEE-754 bits, sign-flipped for positives / fully inverted for
+//            negatives (standard total-order trick)
+//   string/bytes : payload with 0x00 escaped as (0x00 0xFF), terminated by
+//            (0x00 0x01) so that prefixes sort before extensions
+void AppendEncodedValue(const Value& v, std::string& out);
+
+// Encodes a full or prefix key.
+std::string EncodeKey(const std::vector<Value>& values);
+
+// Smallest encoded key having `values` as its column prefix (== EncodeKey).
+std::string EncodeKeyPrefixLowerBound(const std::vector<Value>& values);
+
+// Strict upper bound for all encoded keys having `values` as a column
+// prefix: EncodeKey(values) with the final terminator bumped so that every
+// extension sorts below it.
+std::string EncodeKeyPrefixUpperBound(const std::vector<Value>& values);
+
+}  // namespace xprel::rel
+
+#endif  // XPREL_REL_KEY_CODEC_H_

@@ -1,0 +1,632 @@
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+#include "rel/key_codec.h"
+#include "rel/query.h"
+
+namespace xprel::rel {
+
+int Layout::SlotOf(const std::string& alias, const std::string& column) const {
+  for (const Entry& e : entries) {
+    if (e.alias != alias) continue;
+    int c = e.table->schema().ColumnIndex(column);
+    if (c < 0) return -1;
+    return e.offset + c;
+  }
+  return -1;
+}
+
+const Layout::Entry* Layout::FindAlias(const std::string& alias) const {
+  for (const Entry& e : entries) {
+    if (e.alias == alias) return &e;
+  }
+  return nullptr;
+}
+
+const char* AccessPathKindName(AccessPathKind k) {
+  switch (k) {
+    case AccessPathKind::kSeqScan:
+      return "SeqScan";
+    case AccessPathKind::kIndexPoint:
+      return "IndexPoint";
+    case AccessPathKind::kIndexRange:
+      return "IndexRange";
+    case AccessPathKind::kPrefixProbe:
+      return "PrefixProbe";
+    case AccessPathKind::kHashProbe:
+      return "HashProbe";
+    case AccessPathKind::kIndexUnion:
+      return "IndexUnion";
+  }
+  return "?";
+}
+
+namespace {
+
+// Splits a conjunctive WHERE tree into its AND-ed conjuncts. OR subtrees
+// stay whole.
+void SplitConjuncts(const SqlExpr* e, std::vector<const SqlExpr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == SqlExpr::Kind::kBinary && e->op == SqlExpr::BinOp::kAnd) {
+    SplitConjuncts(e->args[0].get(), out);
+    SplitConjuncts(e->args[1].get(), out);
+    return;
+  }
+  out.push_back(e);
+}
+
+// Collects the aliases an expression references at the current query level.
+// Aliases introduced by a nested EXISTS's own FROM are not free.
+void CollectAliasRefs(const SqlExpr& e, std::set<std::string>& out) {
+  switch (e.kind) {
+    case SqlExpr::Kind::kColumn:
+      out.insert(e.table_alias);
+      return;
+    case SqlExpr::Kind::kExists: {
+      std::set<std::string> inner;
+      if (e.subquery->where != nullptr) {
+        CollectAliasRefs(*e.subquery->where, inner);
+      }
+      for (const SelectItem& it : e.subquery->select) {
+        CollectAliasRefs(*it.expr, inner);
+      }
+      for (const TableRef& t : e.subquery->from) inner.erase(t.alias);
+      out.insert(inner.begin(), inner.end());
+      return;
+    }
+    default:
+      for (const SqlExprPtr& a : e.args) CollectAliasRefs(*a, out);
+      return;
+  }
+}
+
+bool AllBound(const SqlExpr& e, const std::set<std::string>& bound) {
+  std::set<std::string> refs;
+  CollectAliasRefs(e, refs);
+  for (const std::string& r : refs) {
+    if (bound.count(r) == 0) return false;
+  }
+  return true;
+}
+
+// True if `e` is alias.column for the given alias; outputs the column index.
+bool IsColumnOf(const SqlExpr& e, const std::string& alias, const Table& table,
+                int* column) {
+  if (e.kind != SqlExpr::Kind::kColumn || e.table_alias != alias) return false;
+  int c = table.schema().ColumnIndex(e.column);
+  if (c < 0) return false;
+  *column = c;
+  return true;
+}
+
+// True if `e` is Concat(alias.column, <literal>) for the given alias.
+bool IsConcatOfColumn(const SqlExpr& e, const std::string& alias,
+                      const Table& table, int* column) {
+  if (e.kind != SqlExpr::Kind::kConcat) return false;
+  return IsColumnOf(*e.args[0], alias, table, column) &&
+         e.args[1]->kind == SqlExpr::Kind::kLiteral;
+}
+
+struct CandidateAccess {
+  AccessStep step;
+  double cost = 1e18;
+  // True when the access path's key/bound expressions reference an already
+  // bound alias — i.e. this is a join probe, not an independent scan. The
+  // greedy ordering prefers dependent accesses so chains follow the join
+  // graph instead of jumping to a seemingly cheap independent probe whose
+  // follow-up joins would be half-open range scans.
+  bool dependent = false;
+};
+
+// True when `e` references no table columns at all (literals only).
+bool IsLiteralOnly(const SqlExpr& e) {
+  std::set<std::string> refs;
+  CollectAliasRefs(e, refs);
+  return refs.empty();
+}
+
+// True when `e` references at least one alias from `bound`.
+bool ReferencesAny(const SqlExpr& e, const std::set<std::string>& bound) {
+  std::set<std::string> refs;
+  CollectAliasRefs(e, refs);
+  for (const std::string& r : refs) {
+    if (bound.count(r) > 0) return true;
+  }
+  return false;
+}
+
+// Counts index entries matching a fully literal point probe, capped — a
+// cheap, exact cardinality estimate available at plan time.
+double EstimateLiteralPointRows(const Table& table, const BTree& index,
+                                const IndexDef& def,
+                                const std::vector<const SqlExpr*>& keys) {
+  std::vector<Value> values;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    if (keys[k]->kind != SqlExpr::Kind::kLiteral) return -1;
+    values.push_back(keys[k]->literal);
+    (void)def;
+    (void)table;
+  }
+  std::string lo = EncodeKeyPrefixLowerBound(values);
+  std::string hi = EncodeKeyPrefixUpperBound(values);
+  constexpr size_t kCap = 4096;
+  size_t count = 0;
+  for (auto it = index.Scan(lo, hi); it.Valid() && count < kCap; it.Next()) {
+    ++count;
+  }
+  return static_cast<double>(count);
+}
+
+// Works out the best access path for `alias` given the bound aliases.
+// Every viable access is costed; the cheapest wins (ties prefer join
+// probes over independent scans).
+CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
+                             const std::vector<const SqlExpr*>& conjuncts,
+                             const std::set<std::string>& bound) {
+  double rows = static_cast<double>(table.row_count());
+  std::vector<CandidateAccess> candidates;
+
+  auto base_step = [&]() {
+    AccessStep st;
+    st.alias = alias;
+    st.table = &table;
+    return st;
+  };
+
+  // Conjuncts fully bound once `alias` joins.
+  std::set<std::string> bound_plus = bound;
+  bound_plus.insert(alias);
+
+  // Gather per-column equality keys (col -> bound expression).
+  std::vector<std::pair<int, const SqlExpr*>> equalities;
+  bool has_bound_filter = false;
+  std::vector<const SqlExpr*> or_conjuncts;
+
+  for (const SqlExpr* c : conjuncts) {
+    if (!AllBound(*c, bound_plus)) continue;
+    std::set<std::string> refs;
+    CollectAliasRefs(*c, refs);
+    if (refs.count(alias) == 0) continue;
+    has_bound_filter = true;
+
+    if (c->kind == SqlExpr::Kind::kBinary && c->op == SqlExpr::BinOp::kEq) {
+      int col = -1;
+      if (IsColumnOf(*c->args[0], alias, table, &col) &&
+          AllBound(*c->args[1], bound)) {
+        equalities.push_back({col, c->args[1].get()});
+      } else if (IsColumnOf(*c->args[1], alias, table, &col) &&
+                 AllBound(*c->args[0], bound)) {
+        equalities.push_back({col, c->args[0].get()});
+      }
+    } else if (c->kind == SqlExpr::Kind::kBinary &&
+               c->op == SqlExpr::BinOp::kOr) {
+      or_conjuncts.push_back(c);
+    }
+  }
+
+  // 1) Index point probe on the longest equality prefix of some index.
+  {
+    const BTree* best_index = nullptr;
+    const IndexDef* best_def = nullptr;
+    std::vector<const SqlExpr*> best_keys;
+    for (const IndexDef& def : table.schema().indexes) {
+      std::vector<const SqlExpr*> keys;
+      for (int ic : def.column_indexes) {
+        const SqlExpr* found = nullptr;
+        for (auto& [col, e] : equalities) {
+          if (col == ic) {
+            found = e;
+            break;
+          }
+        }
+        if (found == nullptr) break;
+        keys.push_back(found);
+      }
+      if (!keys.empty() && keys.size() > best_keys.size()) {
+        best_index = table.FindIndex(def.name, &best_def);
+        best_keys = std::move(keys);
+      }
+    }
+    if (best_index != nullptr) {
+      CandidateAccess c;
+      c.step = base_step();
+      c.step.path = AccessPathKind::kIndexPoint;
+      c.step.index = best_index;
+      c.step.point_keys = best_keys;
+      for (const SqlExpr* k : best_keys) {
+        if (ReferencesAny(*k, bound)) c.dependent = true;
+      }
+      bool literal_only = true;
+      for (const SqlExpr* k : best_keys) {
+        if (!IsLiteralOnly(*k)) literal_only = false;
+      }
+      if (literal_only && best_def != nullptr) {
+        c.cost = 2.0 + EstimateLiteralPointRows(table, *best_index, *best_def,
+                                                best_keys);
+      } else {
+        c.cost = 3.0;  // join probe: assumed selective
+      }
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  // 1b) OR of indexable equalities -> union of point probes (index OR
+  // expansion; this is how sibling joins with several possible parent FK
+  // columns stay cheap).
+  for (const SqlExpr* orc : or_conjuncts) {
+    std::vector<const SqlExpr*> branches;
+    std::vector<const SqlExpr*> stack = {orc};
+    while (!stack.empty()) {
+      const SqlExpr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == SqlExpr::Kind::kBinary && e->op == SqlExpr::BinOp::kOr) {
+        stack.push_back(e->args[0].get());
+        stack.push_back(e->args[1].get());
+      } else {
+        branches.push_back(e);
+      }
+    }
+    std::vector<AccessStep::UnionProbe> probes;
+    bool ok = true;
+    bool dependent = false;
+    for (const SqlExpr* b : branches) {
+      int col = -1;
+      const SqlExpr* key = nullptr;
+      if (b->kind == SqlExpr::Kind::kBinary && b->op == SqlExpr::BinOp::kEq) {
+        if (IsColumnOf(*b->args[0], alias, table, &col) &&
+            AllBound(*b->args[1], bound)) {
+          key = b->args[1].get();
+        } else if (IsColumnOf(*b->args[1], alias, table, &col) &&
+                   AllBound(*b->args[0], bound)) {
+          key = b->args[0].get();
+        }
+      }
+      const BTree* index =
+          col >= 0 ? table.FindIndexWithPrefix({col}) : nullptr;
+      if (key == nullptr || index == nullptr) {
+        ok = false;
+        break;
+      }
+      if (ReferencesAny(*key, bound)) dependent = true;
+      probes.push_back({index, col, key});
+    }
+    if (ok && !probes.empty()) {
+      CandidateAccess c;
+      c.step = base_step();
+      c.step.path = AccessPathKind::kIndexUnion;
+      c.step.union_probes = std::move(probes);
+      c.dependent = dependent;
+      c.cost = 4.0 * static_cast<double>(c.step.union_probes.size());
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  // 2) Range / prefix-probe access on an index's first column.
+  for (const IndexDef& def : table.schema().indexes) {
+    int first_col = def.column_indexes[0];
+    const SqlExpr* lo = nullptr;
+    bool lo_incl = true;
+    const SqlExpr* hi = nullptr;
+    bool hi_incl = true;
+    const SqlExpr* probe = nullptr;
+    // Strict ancestor pattern: e > A.c together with e < A.c || byte means
+    // A.c is a proper Dewey prefix of e - served by prefix point probes
+    // instead of an open-ended range scan.
+    const SqlExpr* strict_upper = nullptr;   // e with A.c < e
+    const SqlExpr* concat_bound = nullptr;   // e with e < (A.c || lit)
+
+    for (const SqlExpr* c : conjuncts) {
+      int col = -1;
+      // BETWEEN forms.
+      if (c->kind == SqlExpr::Kind::kBetween) {
+        if (IsColumnOf(*c->args[0], alias, table, &col) && col == first_col &&
+            AllBound(*c->args[1], bound) && AllBound(*c->args[2], bound)) {
+          lo = c->args[1].get();
+          lo_incl = true;
+          hi = c->args[2].get();
+          hi_incl = true;
+          break;
+        }
+        int col2 = -1;
+        if (AllBound(*c->args[0], bound) &&
+            IsColumnOf(*c->args[1], alias, table, &col) && col == first_col &&
+            IsConcatOfColumn(*c->args[2], alias, table, &col2) &&
+            col2 == first_col) {
+          probe = c->args[0].get();
+          break;
+        }
+        continue;
+      }
+      if (c->kind == SqlExpr::Kind::kBinary) {
+        auto set_bound = [&](SqlExpr::BinOp op, const SqlExpr* other) {
+          switch (op) {
+            case SqlExpr::BinOp::kGt:
+              lo = other;
+              lo_incl = false;
+              break;
+            case SqlExpr::BinOp::kGe:
+              lo = other;
+              lo_incl = true;
+              break;
+            case SqlExpr::BinOp::kLt:
+              hi = other;
+              hi_incl = false;
+              break;
+            case SqlExpr::BinOp::kLe:
+              hi = other;
+              hi_incl = true;
+              break;
+            default:
+              break;
+          }
+        };
+        auto flip = [](SqlExpr::BinOp op) {
+          switch (op) {
+            case SqlExpr::BinOp::kGt:
+              return SqlExpr::BinOp::kLt;
+            case SqlExpr::BinOp::kGe:
+              return SqlExpr::BinOp::kLe;
+            case SqlExpr::BinOp::kLt:
+              return SqlExpr::BinOp::kGt;
+            case SqlExpr::BinOp::kLe:
+              return SqlExpr::BinOp::kGe;
+            default:
+              return op;
+          }
+        };
+        bool is_ineq = c->op == SqlExpr::BinOp::kGt ||
+                       c->op == SqlExpr::BinOp::kGe ||
+                       c->op == SqlExpr::BinOp::kLt ||
+                       c->op == SqlExpr::BinOp::kLe;
+        if (!is_ineq) continue;
+        if (IsColumnOf(*c->args[0], alias, table, &col) && col == first_col &&
+            AllBound(*c->args[1], bound)) {
+          set_bound(c->op, c->args[1].get());
+          if (c->op == SqlExpr::BinOp::kLt) strict_upper = c->args[1].get();
+        } else if (IsColumnOf(*c->args[1], alias, table, &col) &&
+                   col == first_col && AllBound(*c->args[0], bound)) {
+          set_bound(flip(c->op), c->args[0].get());
+          if (c->op == SqlExpr::BinOp::kGt) strict_upper = c->args[0].get();
+        } else if (IsConcatOfColumn(*c->args[0], alias, table, &col) &&
+                   col == first_col && AllBound(*c->args[1], bound)) {
+          if (c->op == SqlExpr::BinOp::kLt || c->op == SqlExpr::BinOp::kLe) {
+            hi = c->args[1].get();
+            hi_incl = false;
+          } else {
+            concat_bound = c->args[1].get();
+          }
+        } else if (IsConcatOfColumn(*c->args[1], alias, table, &col) &&
+                   col == first_col && AllBound(*c->args[0], bound)) {
+          if (c->op == SqlExpr::BinOp::kGt || c->op == SqlExpr::BinOp::kGe) {
+            hi = c->args[0].get();
+            hi_incl = false;
+          } else {
+            concat_bound = c->args[0].get();
+          }
+        }
+      }
+    }
+
+    if (probe == nullptr && strict_upper != nullptr &&
+        concat_bound != nullptr &&
+        SqlToString(*strict_upper) == SqlToString(*concat_bound)) {
+      probe = strict_upper;
+    }
+    const IndexDef* d = nullptr;
+    const BTree* index = table.FindIndex(def.name, &d);
+    if (probe != nullptr) {
+      CandidateAccess c;
+      c.step = base_step();
+      c.step.path = AccessPathKind::kPrefixProbe;
+      c.step.index = index;
+      c.step.probe_value = probe;
+      c.cost = 8.0;
+      c.dependent = ReferencesAny(*probe, bound);
+      candidates.push_back(std::move(c));
+      continue;
+    }
+    if (lo != nullptr || hi != nullptr) {
+      CandidateAccess c;
+      c.step = base_step();
+      c.step.path = AccessPathKind::kIndexRange;
+      c.step.index = index;
+      c.step.range_lo = lo;
+      c.step.range_lo_inclusive = lo_incl;
+      c.step.range_hi = hi;
+      c.step.range_hi_inclusive = hi_incl;
+      c.dependent =
+          (lo != nullptr && ReferencesAny(*lo, bound)) ||
+          (hi != nullptr && ReferencesAny(*hi, bound));
+      if (lo != nullptr && hi != nullptr) {
+        c.cost = 20.0;  // bounded window: narrow
+      } else {
+        c.cost = 60.0 + rows / 4;  // half-open: may cover much of the table
+      }
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  // 3) Ad-hoc hash probe for unindexed string-column equijoins.
+  for (auto& [col, e] : equalities) {
+    if (table.schema().columns[static_cast<size_t>(col)].type !=
+        ValueType::kString) {
+      continue;
+    }
+    if (table.FindIndexWithPrefix({col}) != nullptr) continue;
+    CandidateAccess c;
+    c.step = base_step();
+    c.step.path = AccessPathKind::kHashProbe;
+    c.step.hash_column = col;
+    c.step.hash_key = e;
+    c.cost = 30.0;
+    c.dependent = ReferencesAny(*e, bound);
+    candidates.push_back(std::move(c));
+  }
+
+  // 4) Sequential scan fallback.
+  {
+    CandidateAccess c;
+    c.step = base_step();
+    c.step.path = AccessPathKind::kSeqScan;
+    c.cost = has_bound_filter ? 10.0 + rows / 2 : 100.0 + rows * 2;
+    candidates.push_back(std::move(c));
+  }
+
+  size_t best_i = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const CandidateAccess& a = candidates[i];
+    const CandidateAccess& b = candidates[best_i];
+    if (a.cost < b.cost || (a.cost == b.cost && a.dependent && !b.dependent)) {
+      best_i = i;
+    }
+  }
+  return std::move(candidates[best_i]);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
+                                         const SelectStmt& stmt,
+                                         const Layout* outer) {
+  auto plan = std::make_unique<Plan>();
+  plan->stmt = &stmt;
+
+  // Layout: outer entries first, then our FROM aliases.
+  if (outer != nullptr) {
+    plan->layout = *outer;
+  }
+  plan->first_own_entry = static_cast<int>(plan->layout.entries.size());
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("select with empty FROM");
+  }
+  for (const TableRef& ref : stmt.from) {
+    const Table* table = db.FindTable(ref.table);
+    if (table == nullptr) {
+      return Status::NotFound("unknown table: " + ref.table);
+    }
+    if (plan->layout.FindAlias(ref.alias) != nullptr) {
+      return Status::InvalidArgument("duplicate alias: " + ref.alias);
+    }
+    plan->layout.entries.push_back(
+        {ref.alias, table, plan->layout.total_slots});
+    plan->layout.total_slots +=
+        static_cast<int>(table->schema().columns.size());
+  }
+
+  // Conjuncts of the WHERE clause.
+  std::vector<const SqlExpr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), conjuncts);
+
+  // Compile regexes and subqueries appearing anywhere at this level.
+  {
+    std::vector<const SqlExpr*> stack;
+    if (stmt.where != nullptr) stack.push_back(stmt.where.get());
+    for (const SelectItem& it : stmt.select) stack.push_back(it.expr.get());
+    for (const OrderByItem& ob : stmt.order_by) stack.push_back(ob.expr.get());
+    while (!stack.empty()) {
+      const SqlExpr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == SqlExpr::Kind::kRegexpLike) {
+        if (e->args[1]->kind != SqlExpr::Kind::kLiteral ||
+            e->args[1]->literal.type() != ValueType::kString) {
+          return Status::Unsupported("REGEXP_LIKE pattern must be a literal");
+        }
+        auto re = rex::Regex::Compile(e->args[1]->literal.AsString());
+        if (!re.ok()) return re.status();
+        plan->regexes.emplace(e, std::move(re).value());
+      } else if (e->kind == SqlExpr::Kind::kExists) {
+        auto sub = PlanSelect(db, *e->subquery, &plan->layout);
+        if (!sub.ok()) return sub.status();
+        plan->subplans.emplace(e, std::move(sub).value());
+        continue;  // subquery internals belong to the subplan
+      }
+      for (const SqlExprPtr& a : e->args) stack.push_back(a.get());
+    }
+  }
+
+  // Greedy join ordering.
+  std::set<std::string> bound;
+  for (int i = 0; i < plan->first_own_entry; ++i) {
+    bound.insert(plan->layout.entries[static_cast<size_t>(i)].alias);
+  }
+  std::vector<const Layout::Entry*> pending;
+  for (size_t i = static_cast<size_t>(plan->first_own_entry);
+       i < plan->layout.entries.size(); ++i) {
+    pending.push_back(&plan->layout.entries[i]);
+  }
+
+  std::vector<bool> conjunct_assigned(conjuncts.size(), false);
+
+  while (!pending.empty()) {
+    size_t best_i = 0;
+    CandidateAccess best;
+    bool have_best = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      CandidateAccess cand =
+          ChooseAccess(pending[i]->alias, *pending[i]->table, conjuncts, bound);
+      // Connectivity-first: a join probe beats any independent access, so
+      // chains follow the query's join graph.
+      bool better = !have_best;
+      if (have_best) {
+        if (cand.dependent != best.dependent) {
+          better = cand.dependent;
+        } else {
+          better = cand.cost < best.cost ||
+                   (cand.cost == best.cost &&
+                    pending[i]->table->row_count() <
+                        best.step.table->row_count());
+        }
+      }
+      if (better) {
+        best = std::move(cand);
+        best_i = i;
+        have_best = true;
+      }
+    }
+    bound.insert(best.step.alias);
+    // Assign every not-yet-assigned conjunct that is now fully bound.
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (conjunct_assigned[c]) continue;
+      if (AllBound(*conjuncts[c], bound)) {
+        best.step.filters.push_back(conjuncts[c]);
+        conjunct_assigned[c] = true;
+      }
+    }
+    plan->steps.push_back(std::move(best.step));
+    pending.erase(pending.begin() + static_cast<ptrdiff_t>(best_i));
+  }
+
+  // Conjuncts referencing only outer aliases (or nothing).
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    if (!conjunct_assigned[c]) plan->post_filters.push_back(conjuncts[c]);
+  }
+
+  // Pre-resolve column slots for the evaluator: walk every expression at
+  // this level (including inside subquery EXISTS nodes' outer references —
+  // those are resolved by the subplan itself).
+  return plan;
+}
+
+std::string Plan::Describe() const {
+  std::ostringstream os;
+  for (const AccessStep& s : steps) {
+    os << s.alias << ": " << AccessPathKindName(s.path);
+    if (s.path == AccessPathKind::kIndexPoint) {
+      os << "(" << s.point_keys.size() << " key cols)";
+    }
+    os << " on " << s.table->name();
+    if (!s.filters.empty()) os << " [" << s.filters.size() << " filters]";
+    os << "\n";
+  }
+  for (const auto& [expr, sub] : subplans) {
+    os << "exists-subplan:\n";
+    std::istringstream is(sub->Describe());
+    std::string line;
+    while (std::getline(is, line)) os << "  " << line << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xprel::rel

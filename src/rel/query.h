@@ -1,0 +1,156 @@
+#ifndef XPREL_REL_QUERY_H_
+#define XPREL_REL_QUERY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/sql_ast.h"
+#include "rel/table.h"
+#include "rex/regex.h"
+
+namespace xprel::rel {
+
+// ---------------------------------------------------------------------------
+// Layout: slot assignment for the aliases of a (possibly nested) query.
+// ---------------------------------------------------------------------------
+
+// Execution rows are full-width: one slot per column of every alias in the
+// layout, in FROM order; subquery layouts extend their outer layout so
+// correlated expressions resolve naturally.
+struct Layout {
+  struct Entry {
+    std::string alias;
+    const Table* table;
+    int offset;  // first slot of this alias's columns
+  };
+  std::vector<Entry> entries;
+  int total_slots = 0;
+
+  // Slot of alias.column, or -1.
+  int SlotOf(const std::string& alias, const std::string& column) const;
+  const Entry* FindAlias(const std::string& alias) const;
+};
+
+// ---------------------------------------------------------------------------
+// Physical plan
+// ---------------------------------------------------------------------------
+
+// How one alias's rows are enumerated given the already-bound prefix row.
+enum class AccessPathKind {
+  kSeqScan,      // all rows
+  kIndexPoint,   // index equality probe on key exprs
+  kIndexRange,   // index range scan on the first index column
+  kPrefixProbe,  // ancestor probe: index point lookups on every Dewey prefix
+                 // of a bound value (see planner.cc)
+  kHashProbe,    // ad-hoc hash table on a column, built lazily
+  kIndexUnion,   // OR of indexable equalities: probe each, union the rows
+};
+
+const char* AccessPathKindName(AccessPathKind k);
+
+struct Plan;
+
+// One pipeline step: binds the rows of `alias` and applies `filters`.
+struct AccessStep {
+  std::string alias;
+  const Table* table = nullptr;
+  AccessPathKind path = AccessPathKind::kSeqScan;
+
+  // kIndexPoint / kIndexRange / kPrefixProbe
+  const BTree* index = nullptr;
+
+  // kIndexPoint: expressions (over bound slots) for each key column.
+  std::vector<const SqlExpr*> point_keys;
+
+  // kIndexRange bounds on the first index column; null = unbounded.
+  const SqlExpr* range_lo = nullptr;
+  bool range_lo_inclusive = true;
+  const SqlExpr* range_hi = nullptr;
+  bool range_hi_inclusive = true;
+  // When set, the upper bound expression is Concat(col, byte) and the bound
+  // value must be extended with that byte after evaluation.
+  // (Both bounds are plain expressions evaluated on the bound row.)
+
+  // kPrefixProbe: expression whose value's Dewey prefixes are probed.
+  const SqlExpr* probe_value = nullptr;
+
+  // kHashProbe: column (index into table schema) and the bound expression
+  // whose value is looked up.
+  int hash_column = -1;
+  const SqlExpr* hash_key = nullptr;
+
+  // kIndexUnion: one single-column probe per OR branch.
+  struct UnionProbe {
+    const BTree* index = nullptr;
+    int column = -1;            // for key coercion
+    const SqlExpr* key = nullptr;
+  };
+  std::vector<UnionProbe> union_probes;
+
+  // Residual conjuncts evaluated once this alias is bound. Every conjunct of
+  // the WHERE clause appears in exactly one step's filter list (or in the
+  // plan's post_filters), so access paths may safely over-approximate.
+  std::vector<const SqlExpr*> filters;
+};
+
+// A compiled SELECT block. Owns compiled regexes and subquery plans; borrows
+// the SqlExpr tree (the Plan must not outlive the SelectStmt it was built
+// from).
+struct Plan {
+  const SelectStmt* stmt = nullptr;
+  Layout layout;        // outer layout (if correlated) + own aliases
+  int first_own_entry = 0;  // entries before this belong to the outer query
+  std::vector<AccessStep> steps;
+
+  // Conjuncts that reference no alias at all (constant folding edge case).
+  std::vector<const SqlExpr*> post_filters;
+
+  // Compiled artifacts keyed by expression node.
+  std::unordered_map<const SqlExpr*, rex::Regex> regexes;
+  std::unordered_map<const SqlExpr*, std::unique_ptr<Plan>> subplans;
+
+  // Human-readable plan, one step per line — used in tests and EXPLAIN-style
+  // debugging.
+  std::string Describe() const;
+};
+
+// Compiles a SELECT against the database. `outer` (nullable) is the layout
+// of the enclosing query for correlated subqueries.
+Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
+                                         const SelectStmt& stmt,
+                                         const Layout* outer);
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+struct QueryStats {
+  size_t rows_scanned = 0;      // rows enumerated by access paths
+  size_t index_probes = 0;      // point/range/prefix index operations
+  size_t subquery_evals = 0;    // EXISTS executions
+  size_t output_rows = 0;
+};
+
+struct QueryResult {
+  std::vector<std::string> column_labels;
+  std::vector<Row> rows;
+};
+
+// Executes a compiled plan. The result honours DISTINCT and ORDER BY.
+Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats);
+
+// Convenience: plan + execute a full query (UNION of selects). UNION applies
+// set semantics; ORDER BY of the first block orders the combined result (the
+// translators emit the same ORDER BY on every block).
+Result<QueryResult> ExecuteQuery(const Database& db, const SqlQuery& query,
+                                 QueryStats* stats = nullptr);
+Result<QueryResult> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                                  QueryStats* stats = nullptr);
+
+}  // namespace xprel::rel
+
+#endif  // XPREL_REL_QUERY_H_

@@ -1,0 +1,308 @@
+#include "rel/sql_ast.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace xprel::rel {
+
+SqlExprPtr Col(std::string alias, std::string column) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kColumn;
+  e->table_alias = std::move(alias);
+  e->column = std::move(column);
+  return e;
+}
+
+SqlExprPtr Lit(Value v) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+SqlExprPtr LitStr(std::string s) { return Lit(Value::Str(std::move(s))); }
+SqlExprPtr LitInt(int64_t v) { return Lit(Value::Int(v)); }
+SqlExprPtr LitBytes(std::string bytes) {
+  return Lit(Value::Bytes(std::move(bytes)));
+}
+
+SqlExprPtr Bin(SqlExpr::BinOp op, SqlExprPtr a, SqlExprPtr b) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kBinary;
+  e->op = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+SqlExprPtr And(SqlExprPtr a, SqlExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return Bin(SqlExpr::BinOp::kAnd, std::move(a), std::move(b));
+}
+
+SqlExprPtr Or(SqlExprPtr a, SqlExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return Bin(SqlExpr::BinOp::kOr, std::move(a), std::move(b));
+}
+
+SqlExprPtr Not(SqlExprPtr a) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kNot;
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+SqlExprPtr Eq(SqlExprPtr a, SqlExprPtr b) {
+  return Bin(SqlExpr::BinOp::kEq, std::move(a), std::move(b));
+}
+
+SqlExprPtr Between(SqlExprPtr v, SqlExprPtr lo, SqlExprPtr hi) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kBetween;
+  e->args.push_back(std::move(v));
+  e->args.push_back(std::move(lo));
+  e->args.push_back(std::move(hi));
+  return e;
+}
+
+SqlExprPtr Concat(SqlExprPtr a, SqlExprPtr b) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kConcat;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+SqlExprPtr Exists(std::unique_ptr<SelectStmt> subquery) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kExists;
+  e->subquery = std::move(subquery);
+  return e;
+}
+
+SqlExprPtr RegexpLike(SqlExprPtr text, std::string pattern) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kRegexpLike;
+  e->args.push_back(std::move(text));
+  e->args.push_back(LitStr(std::move(pattern)));
+  return e;
+}
+
+SqlExprPtr Length(SqlExprPtr a) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kLength;
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+SqlExprPtr Add(SqlExprPtr a, SqlExprPtr b) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExpr::Kind::kAdd;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+SqlExprPtr CloneSqlExpr(const SqlExpr& src) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = src.kind;
+  e->op = src.op;
+  e->table_alias = src.table_alias;
+  e->column = src.column;
+  e->literal = src.literal;
+  for (const SqlExprPtr& a : src.args) e->args.push_back(CloneSqlExpr(*a));
+  if (src.subquery != nullptr) e->subquery = CloneSelect(*src.subquery);
+  return e;
+}
+
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& src) {
+  auto s = std::make_unique<SelectStmt>();
+  s->distinct = src.distinct;
+  for (const SelectItem& it : src.select) {
+    s->select.push_back({CloneSqlExpr(*it.expr), it.label});
+  }
+  s->from = src.from;
+  if (src.where != nullptr) s->where = CloneSqlExpr(*src.where);
+  for (const OrderByItem& ob : src.order_by) {
+    s->order_by.push_back({CloneSqlExpr(*ob.expr), ob.ascending});
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* BinOpSql(SqlExpr::BinOp op) {
+  switch (op) {
+    case SqlExpr::BinOp::kAnd:
+      return "AND";
+    case SqlExpr::BinOp::kOr:
+      return "OR";
+    case SqlExpr::BinOp::kEq:
+      return "=";
+    case SqlExpr::BinOp::kNe:
+      return "<>";
+    case SqlExpr::BinOp::kLt:
+      return "<";
+    case SqlExpr::BinOp::kLe:
+      return "<=";
+    case SqlExpr::BinOp::kGt:
+      return ">";
+    case SqlExpr::BinOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+// Precedence for minimal parenthesization: OR < AND < NOT < comparisons.
+int Precedence(const SqlExpr& e) {
+  if (e.kind == SqlExpr::Kind::kBinary) {
+    if (e.op == SqlExpr::BinOp::kOr) return 1;
+    if (e.op == SqlExpr::BinOp::kAnd) return 2;
+    return 4;
+  }
+  if (e.kind == SqlExpr::Kind::kNot) return 3;
+  return 9;
+}
+
+void Print(const SqlExpr& e, int parent_prec, std::string& out);
+
+void PrintChild(const SqlExpr& e, int parent_prec, std::string& out) {
+  bool need_parens = Precedence(e) < parent_prec;
+  if (need_parens) out += "(";
+  Print(e, need_parens ? 0 : parent_prec, out);
+  if (need_parens) out += ")";
+}
+
+void Print(const SqlExpr& e, int parent_prec, std::string& out) {
+  switch (e.kind) {
+    case SqlExpr::Kind::kColumn:
+      if (!e.table_alias.empty()) {
+        out += e.table_alias;
+        out += ".";
+      }
+      out += e.column;
+      return;
+    case SqlExpr::Kind::kLiteral:
+      out += e.literal.ToSqlLiteral();
+      return;
+    case SqlExpr::Kind::kBinary: {
+      int prec = Precedence(e);
+      PrintChild(*e.args[0], prec, out);
+      out += " ";
+      out += BinOpSql(e.op);
+      out += " ";
+      PrintChild(*e.args[1], prec + 1, out);
+      return;
+    }
+    case SqlExpr::Kind::kNot:
+      out += "NOT ";
+      PrintChild(*e.args[0], 4, out);
+      return;
+    case SqlExpr::Kind::kBetween:
+      PrintChild(*e.args[0], 5, out);
+      out += " BETWEEN ";
+      PrintChild(*e.args[1], 5, out);
+      out += " AND ";
+      PrintChild(*e.args[2], 5, out);
+      return;
+    case SqlExpr::Kind::kConcat:
+      PrintChild(*e.args[0], 6, out);
+      out += " || ";
+      PrintChild(*e.args[1], 6, out);
+      return;
+    case SqlExpr::Kind::kExists:
+      out += "EXISTS (";
+      out += SqlToString(*e.subquery);
+      out += ")";
+      return;
+    case SqlExpr::Kind::kRegexpLike:
+      out += "REGEXP_LIKE(";
+      Print(*e.args[0], 0, out);
+      out += ", ";
+      Print(*e.args[1], 0, out);
+      out += ")";
+      return;
+    case SqlExpr::Kind::kLike:
+      PrintChild(*e.args[0], 5, out);
+      out += " LIKE ";
+      PrintChild(*e.args[1], 5, out);
+      return;
+    case SqlExpr::Kind::kIsNull:
+      PrintChild(*e.args[0], 5, out);
+      out += " IS NULL";
+      return;
+    case SqlExpr::Kind::kLength:
+      out += "LENGTH(";
+      Print(*e.args[0], 0, out);
+      out += ")";
+      return;
+    case SqlExpr::Kind::kAdd:
+      PrintChild(*e.args[0], 6, out);
+      out += " + ";
+      PrintChild(*e.args[1], 6, out);
+      return;
+  }
+  (void)parent_prec;
+}
+
+}  // namespace
+
+std::string SqlToString(const SqlExpr& e) {
+  std::string out;
+  Print(e, 0, out);
+  return out;
+}
+
+std::string SqlToString(const SelectStmt& s) {
+  std::string out = "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  if (s.select.empty()) {
+    out += "NULL";
+  } else {
+    for (size_t i = 0; i < s.select.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += SqlToString(*s.select[i].expr);
+      if (!s.select[i].label.empty()) {
+        out += " AS " + s.select[i].label;
+      }
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < s.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += s.from[i].table;
+    if (!s.from[i].alias.empty() && s.from[i].alias != s.from[i].table) {
+      out += " " + s.from[i].alias;
+    }
+  }
+  if (s.where != nullptr) {
+    out += " WHERE ";
+    out += SqlToString(*s.where);
+  }
+  if (!s.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += SqlToString(*s.order_by[i].expr);
+      if (!s.order_by[i].ascending) out += " DESC";
+    }
+  }
+  return out;
+}
+
+std::string SqlToString(const SqlQuery& q) {
+  std::string out;
+  for (size_t i = 0; i < q.selects.size(); ++i) {
+    if (i > 0) out += "\nUNION\n";
+    out += SqlToString(*q.selects[i]);
+  }
+  return out;
+}
+
+}  // namespace xprel::rel

@@ -1,0 +1,117 @@
+#ifndef XPREL_REL_SQL_AST_H_
+#define XPREL_REL_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace xprel::rel {
+
+struct SelectStmt;
+struct SqlExpr;
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+// A SQL scalar / boolean expression. This is the language the XPath
+// translators emit and the planner consumes; SqlToString() renders it in the
+// Oracle-flavoured dialect the paper prints (REGEXP_LIKE, ||, BETWEEN).
+struct SqlExpr {
+  enum class Kind {
+    kColumn,      // alias.column
+    kLiteral,     // constant
+    kBinary,      // args[0] op args[1]
+    kNot,         // NOT args[0]
+    kBetween,     // args[0] BETWEEN args[1] AND args[2]
+    kConcat,      // args[0] || args[1]
+    kExists,      // EXISTS (subquery)
+    kRegexpLike,  // REGEXP_LIKE(args[0], args[1]); args[1] a string literal
+    kLike,        // args[0] LIKE args[1]
+    kIsNull,      // args[0] IS NULL
+    kLength,      // LENGTH(args[0]) — byte length of a string/raw value
+    kAdd,         // args[0] + args[1] (numeric)
+  };
+  enum class BinOp { kAnd, kOr, kEq, kNe, kLt, kLe, kGt, kGe };
+
+  Kind kind = Kind::kLiteral;
+  BinOp op = BinOp::kEq;
+
+  std::string table_alias;  // kColumn
+  std::string column;       // kColumn
+  Value literal;            // kLiteral
+  std::vector<SqlExprPtr> args;
+  std::unique_ptr<SelectStmt> subquery;  // kExists
+
+  SqlExpr() = default;
+  SqlExpr(const SqlExpr&) = delete;
+  SqlExpr& operator=(const SqlExpr&) = delete;
+  SqlExpr(SqlExpr&&) = default;
+  SqlExpr& operator=(SqlExpr&&) = default;
+};
+
+// Constructors, free-function style so translator code reads like SQL.
+SqlExprPtr Col(std::string alias, std::string column);
+SqlExprPtr Lit(Value v);
+SqlExprPtr LitStr(std::string s);
+SqlExprPtr LitInt(int64_t v);
+SqlExprPtr LitBytes(std::string bytes);
+SqlExprPtr Bin(SqlExpr::BinOp op, SqlExprPtr a, SqlExprPtr b);
+SqlExprPtr And(SqlExprPtr a, SqlExprPtr b);   // either side may be null
+SqlExprPtr Or(SqlExprPtr a, SqlExprPtr b);
+SqlExprPtr Not(SqlExprPtr a);
+SqlExprPtr Eq(SqlExprPtr a, SqlExprPtr b);
+SqlExprPtr Between(SqlExprPtr v, SqlExprPtr lo, SqlExprPtr hi);
+SqlExprPtr Concat(SqlExprPtr a, SqlExprPtr b);
+SqlExprPtr Exists(std::unique_ptr<SelectStmt> subquery);
+SqlExprPtr RegexpLike(SqlExprPtr text, std::string pattern);
+SqlExprPtr Length(SqlExprPtr a);
+SqlExprPtr Add(SqlExprPtr a, SqlExprPtr b);
+SqlExprPtr CloneSqlExpr(const SqlExpr& e);
+
+struct TableRef {
+  std::string table;  // physical table name
+  std::string alias;  // correlation name used in expressions
+};
+
+struct SelectItem {
+  SqlExprPtr expr;
+  std::string label;  // output column label
+};
+
+struct OrderByItem {
+  SqlExprPtr expr;
+  bool ascending = true;
+};
+
+// One SELECT block. `where` may be null (no restriction).
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> select;
+  std::vector<TableRef> from;
+  SqlExprPtr where;
+  std::vector<OrderByItem> order_by;
+
+  SelectStmt() = default;
+  SelectStmt(const SelectStmt&) = delete;
+  SelectStmt& operator=(const SelectStmt&) = delete;
+  SelectStmt(SelectStmt&&) = default;
+  SelectStmt& operator=(SelectStmt&&) = default;
+};
+
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& s);
+
+// A full query: one or more SELECT blocks combined with UNION (set
+// semantics). The paper's "SQL splitting" (Section 4.4) produces more than
+// one block.
+struct SqlQuery {
+  std::vector<std::unique_ptr<SelectStmt>> selects;
+};
+
+// Renders to SQL text, formatted close to the paper's Tables 3-6.
+std::string SqlToString(const SqlQuery& q);
+std::string SqlToString(const SelectStmt& s);
+std::string SqlToString(const SqlExpr& e);
+
+}  // namespace xprel::rel
+
+#endif  // XPREL_REL_SQL_AST_H_

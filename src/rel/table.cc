@@ -1,0 +1,127 @@
+#include "rel/table.h"
+
+#include <sstream>
+
+#include "rel/key_codec.h"
+
+namespace xprel::rel {
+
+int TableSchema::ColumnIndex(std::string_view column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  indexes_.reserve(schema_.indexes.size());
+  for (size_t i = 0; i < schema_.indexes.size(); ++i) {
+    indexes_.push_back(std::make_unique<BTree>());
+  }
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument("table " + schema_.name + ": row has " +
+                                   std::to_string(row.size()) +
+                                   " values, expected " +
+                                   std::to_string(schema_.columns.size()));
+  }
+  RowId id = static_cast<RowId>(rows_.size());
+  for (size_t i = 0; i < schema_.indexes.size(); ++i) {
+    const IndexDef& def = schema_.indexes[i];
+    std::string key;
+    for (int c : def.column_indexes) {
+      AppendEncodedValue(row[static_cast<size_t>(c)], key);
+    }
+    if (def.unique && !indexes_[i]->Lookup(key).empty()) {
+      return Status::InvalidArgument("table " + schema_.name +
+                                     ": duplicate key in unique index " +
+                                     def.name);
+    }
+    indexes_[i]->Insert(key, id);
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+const BTree* Table::FindIndexWithPrefix(const std::vector<int>& columns,
+                                        const IndexDef** def) const {
+  for (size_t i = 0; i < schema_.indexes.size(); ++i) {
+    const IndexDef& d = schema_.indexes[i];
+    if (d.column_indexes.size() < columns.size()) continue;
+    bool match = true;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (d.column_indexes[c] != columns[c]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      if (def != nullptr) *def = &d;
+      return indexes_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+const BTree* Table::FindIndex(std::string_view index_name,
+                              const IndexDef** def) const {
+  for (size_t i = 0; i < schema_.indexes.size(); ++i) {
+    if (schema_.indexes[i].name == index_name) {
+      if (def != nullptr) *def = &schema_.indexes[i];
+      return indexes_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+size_t Table::TotalIndexEntries() const {
+  size_t n = 0;
+  for (const auto& idx : indexes_) n += idx->size();
+  return n;
+}
+
+Result<Table*> Database::CreateTable(TableSchema schema) {
+  std::string name = schema.name;
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(std::move(name), std::move(table));
+  return raw;
+}
+
+Table* Database::FindTable(std::string_view name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(std::string_view name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Table*> Database::tables() const {
+  std::vector<const Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& [_, t] : tables_) out.push_back(t.get());
+  return out;
+}
+
+std::string Database::DescribeStats() const {
+  std::ostringstream os;
+  size_t total_rows = 0;
+  for (const auto& [name, t] : tables_) {
+    os << "  " << name << ": " << t->row_count() << " rows, "
+       << t->schema().columns.size() << " cols, "
+       << t->schema().indexes.size() << " indexes\n";
+    total_rows += t->row_count();
+  }
+  os << "  total: " << tables_.size() << " tables, " << total_rows
+     << " rows\n";
+  return os.str();
+}
+
+}  // namespace xprel::rel

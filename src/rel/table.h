@@ -1,0 +1,99 @@
+#ifndef XPREL_REL_TABLE_H_
+#define XPREL_REL_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/btree.h"
+#include "rel/value.h"
+
+namespace xprel::rel {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool nullable = true;
+};
+
+struct IndexDef {
+  std::string name;
+  std::vector<int> column_indexes;  // positions in the table's column list
+  bool unique = false;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<IndexDef> indexes;
+
+  // Position of `column` or -1.
+  int ColumnIndex(std::string_view column) const;
+};
+
+// A heap table plus its B+-tree indexes. Rows are identified by insertion
+// order (RowId). Append-only, like the paper's bulk-loaded document store.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+  size_t row_count() const { return rows_.size(); }
+
+  // Appends a row (must match the column count) and maintains all indexes.
+  Status Insert(Row row);
+
+  const Row& row(RowId id) const { return rows_[id]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Index whose column list *starts with* the given columns, or nullptr.
+  // The planner uses this to find an index scannable for a bound prefix.
+  const BTree* FindIndexWithPrefix(const std::vector<int>& columns,
+                                   const IndexDef** def = nullptr) const;
+  // Index by name, or nullptr.
+  const BTree* FindIndex(std::string_view index_name,
+                         const IndexDef** def = nullptr) const;
+
+  // Total number of index entries across all indexes (for stats).
+  size_t TotalIndexEntries() const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<BTree>> indexes_;  // parallel to schema_.indexes
+};
+
+// The catalog: named tables making up one shredded database instance.
+class Database {
+ public:
+  Database() = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates an empty table; errors if the name exists.
+  Result<Table*> CreateTable(TableSchema schema);
+  Table* FindTable(std::string_view name);
+  const Table* FindTable(std::string_view name) const;
+
+  std::vector<const Table*> tables() const;
+
+  // Rough memory/statistics summary printed by examples and benches.
+  std::string DescribeStats() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace xprel::rel
+
+#endif  // XPREL_REL_TABLE_H_

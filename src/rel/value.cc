@@ -1,0 +1,109 @@
+#include "rel/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace xprel::rel {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "VARCHAR";
+    case ValueType::kBytes:
+      return "RAW";
+  }
+  return "?";
+}
+
+std::optional<double> Value::ToNumber() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kString:
+      return ParseDouble(AsString());
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<std::string> Value::ToText() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      double intpart = 0;
+      if (std::modf(AsDouble(), &intpart) == 0.0 &&
+          std::abs(AsDouble()) < 1e15) {
+        return std::to_string(static_cast<long long>(intpart));
+      }
+      return std::to_string(AsDouble());
+    }
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kBytes:
+      return AsBytes();
+    case ValueType::kNull:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return *ToText();
+    case ValueType::kString: {
+      // SQL-style quote doubling.
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kBytes:
+      return "HEXTORAW('" + HexEncode(AsBytes()) + "')";
+  }
+  return "?";
+}
+
+std::string Value::ToDebugString() const {
+  if (type() == ValueType::kBytes) return "0x" + HexEncode(AsBytes());
+  if (is_null()) return "NULL";
+  return *ToText();
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.rep_.index() != b.rep_.index()) {
+    return a.rep_.index() < b.rep_.index();
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt64:
+      return a.AsInt() < b.AsInt();
+    case ValueType::kDouble:
+      return a.AsDouble() < b.AsDouble();
+    case ValueType::kString:
+      return a.AsString() < b.AsString();
+    case ValueType::kBytes:
+      return a.AsBytes() < b.AsBytes();
+  }
+  return false;
+}
+
+}  // namespace xprel::rel

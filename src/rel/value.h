@@ -1,0 +1,87 @@
+#ifndef XPREL_REL_VALUE_H_
+#define XPREL_REL_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace xprel::rel {
+
+// Column / value types supported by the engine. kBytes is an uninterpreted
+// binary string (used for Dewey positions); it compares byte-wise
+// lexicographically, which is exactly the comparison the paper's Table 2
+// conditions need.
+enum class ValueType : uint8_t {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+  kBytes,
+};
+
+const char* ValueTypeName(ValueType t);
+
+// A dynamically typed SQL value. Small, copyable, ordered.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(std::in_place_index<1>, v)); }
+  static Value Real(double v) { return Value(Rep(std::in_place_index<2>, v)); }
+  static Value Str(std::string v) {
+    return Value(Rep(std::in_place_index<3>, std::move(v)));
+  }
+  static Value Bytes(std::string v) {
+    return Value(Rep(std::in_place_index<4>, std::move(v)));
+  }
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const { return std::get<1>(rep_); }
+  double AsDouble() const { return std::get<2>(rep_); }
+  const std::string& AsString() const { return std::get<3>(rep_); }
+  const std::string& AsBytes() const { return std::get<4>(rep_); }
+
+  // The string payload of either a kString or kBytes value.
+  const std::string& AsStringLike() const {
+    return type() == ValueType::kString ? std::get<3>(rep_) : std::get<4>(rep_);
+  }
+
+  // Numeric view with implicit coercion: ints and doubles convert; strings
+  // parse (nullopt if unparseable); null and bytes yield nullopt. This is
+  // the engine's analogue of SQL implicit casts, needed for predicates like
+  // `year >= 1994` over text columns.
+  std::optional<double> ToNumber() const;
+
+  // String view: numbers format, strings pass through; nullopt for null.
+  std::optional<std::string> ToText() const;
+
+  // SQL literal rendering used by the SQL printer: 42, 3.5, 'abc',
+  // HEXTORAW('01ab').
+  std::string ToSqlLiteral() const;
+  // Debug rendering (no quotes).
+  std::string ToDebugString() const;
+
+  // Total order used by ORDER BY, DISTINCT and index keys: null first, then
+  // by type, then by value. (SQL comparison semantics with coercion live in
+  // expr_eval, not here.)
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  using Rep =
+      std::variant<std::monostate, int64_t, double, std::string, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace xprel::rel
+
+#endif  // XPREL_REL_VALUE_H_

@@ -1,0 +1,522 @@
+#include "rex/regex.h"
+
+#include <cassert>
+
+namespace xprel::rex {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing: pattern text -> syntax tree.
+// ---------------------------------------------------------------------------
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  enum class Kind {
+    kCharSet,      // one byte from `bytes`
+    kConcat,       // children in sequence
+    kAlt,          // one of children
+    kRepeat,       // child repeated [min, max] times; max < 0 = unbounded
+    kAssertBegin,  // ^
+    kAssertEnd,    // $
+    kEmpty,        // matches the empty string
+  };
+  Kind kind;
+  std::bitset<256> bytes;
+  std::vector<NodePtr> children;
+  int min = 0;
+  int max = 0;
+};
+
+NodePtr MakeNode(Node::Kind kind) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  return n;
+}
+
+NodePtr MakeCharSet(std::bitset<256> bytes) {
+  auto n = MakeNode(Node::Kind::kCharSet);
+  n->bytes = bytes;
+  return n;
+}
+
+NodePtr MakeSingleChar(unsigned char c) {
+  std::bitset<256> b;
+  b.set(c);
+  return MakeCharSet(b);
+}
+
+// Bounded repetition is compiled by duplicating the sub-automaton, so keep
+// the bound small enough that hostile patterns cannot exhaust memory.
+constexpr int kMaxBoundedRepeat = 256;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view pattern) : s_(pattern) {}
+
+  Result<NodePtr> Parse() {
+    auto alt = ParseAlt();
+    if (!alt.ok()) return alt.status();
+    if (pos_ != s_.size()) {
+      return Status::ParseError("regex: unexpected ')' at offset " +
+                                std::to_string(pos_));
+    }
+    return alt;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  char Next() { return s_[pos_++]; }
+
+  Result<NodePtr> ParseAlt() {
+    auto alt = MakeNode(Node::Kind::kAlt);
+    auto first = ParseConcat();
+    if (!first.ok()) return first.status();
+    alt->children.push_back(std::move(first).value());
+    while (!AtEnd() && Peek() == '|') {
+      Next();
+      auto branch = ParseConcat();
+      if (!branch.ok()) return branch.status();
+      alt->children.push_back(std::move(branch).value());
+    }
+    if (alt->children.size() == 1) return std::move(alt->children[0]);
+    return NodePtr(std::move(alt));
+  }
+
+  Result<NodePtr> ParseConcat() {
+    auto concat = MakeNode(Node::Kind::kConcat);
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      auto rep = ParseRepeat();
+      if (!rep.ok()) return rep.status();
+      concat->children.push_back(std::move(rep).value());
+    }
+    if (concat->children.empty()) return MakeNode(Node::Kind::kEmpty);
+    if (concat->children.size() == 1) return std::move(concat->children[0]);
+    return NodePtr(std::move(concat));
+  }
+
+  Result<NodePtr> ParseRepeat() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    NodePtr node = std::move(atom).value();
+    while (!AtEnd()) {
+      char c = Peek();
+      int min = 0, max = 0;
+      if (c == '*') {
+        min = 0;
+        max = -1;
+      } else if (c == '+') {
+        min = 1;
+        max = -1;
+      } else if (c == '?') {
+        min = 0;
+        max = 1;
+      } else if (c == '{') {
+        auto bounds = ParseBounds();
+        if (!bounds.ok()) return bounds.status();
+        min = bounds.value().first;
+        max = bounds.value().second;
+        // ParseBounds consumed through '}'; fall through to wrap.
+        auto rep = MakeNode(Node::Kind::kRepeat);
+        rep->min = min;
+        rep->max = max;
+        rep->children.push_back(std::move(node));
+        node = std::move(rep);
+        continue;
+      } else {
+        break;
+      }
+      Next();
+      auto rep = MakeNode(Node::Kind::kRepeat);
+      rep->min = min;
+      rep->max = max;
+      rep->children.push_back(std::move(node));
+      node = std::move(rep);
+    }
+    return node;
+  }
+
+  // Parses "{m}", "{m,}" or "{m,n}" starting at '{'.
+  Result<std::pair<int, int>> ParseBounds() {
+    assert(Peek() == '{');
+    Next();
+    auto read_int = [&]() -> int {
+      int v = -1;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        if (v < 0) v = 0;
+        v = v * 10 + (Next() - '0');
+        if (v > kMaxBoundedRepeat) return kMaxBoundedRepeat + 1;
+      }
+      return v;
+    };
+    int min = read_int();
+    if (min < 0) return Status::ParseError("regex: bad repetition bound");
+    int max = min;
+    if (!AtEnd() && Peek() == ',') {
+      Next();
+      if (!AtEnd() && Peek() == '}') {
+        max = -1;
+      } else {
+        max = read_int();
+        if (max < 0) return Status::ParseError("regex: bad repetition bound");
+      }
+    }
+    if (AtEnd() || Next() != '}') {
+      return Status::ParseError("regex: unterminated {...} bound");
+    }
+    if (min > kMaxBoundedRepeat || max > kMaxBoundedRepeat) {
+      return Status::ParseError("regex: repetition bound too large");
+    }
+    if (max >= 0 && max < min) {
+      return Status::ParseError("regex: repetition bound max < min");
+    }
+    return std::make_pair(min, max);
+  }
+
+  Result<NodePtr> ParseAtom() {
+    if (AtEnd()) return Status::ParseError("regex: dangling operator");
+    char c = Next();
+    switch (c) {
+      case '(': {
+        auto inner = ParseAlt();
+        if (!inner.ok()) return inner.status();
+        if (AtEnd() || Next() != ')') {
+          return Status::ParseError("regex: missing ')'");
+        }
+        return inner;
+      }
+      case '.': {
+        std::bitset<256> all;
+        all.set();
+        return MakeCharSet(all);
+      }
+      case '[':
+        return ParseBracket();
+      case '^':
+        return MakeNode(Node::Kind::kAssertBegin);
+      case '$':
+        return MakeNode(Node::Kind::kAssertEnd);
+      case '\\': {
+        if (AtEnd()) return Status::ParseError("regex: trailing backslash");
+        return MakeSingleChar(static_cast<unsigned char>(Next()));
+      }
+      case '*':
+      case '+':
+      case '?':
+        return Status::ParseError("regex: repetition with nothing to repeat");
+      default:
+        return MakeSingleChar(static_cast<unsigned char>(c));
+    }
+  }
+
+  Result<NodePtr> ParseBracket() {
+    std::bitset<256> set;
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      negate = true;
+      Next();
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) return Status::ParseError("regex: unterminated '['");
+      char c = Next();
+      if (c == ']' && !first) break;
+      first = false;
+      unsigned char lo = static_cast<unsigned char>(c);
+      if (c == '\\') {
+        if (AtEnd()) return Status::ParseError("regex: trailing backslash");
+        lo = static_cast<unsigned char>(Next());
+      }
+      unsigned char hi = lo;
+      // Range "a-z": '-' is literal when last before ']'.
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < s_.size() &&
+          s_[pos_ + 1] != ']') {
+        Next();  // '-'
+        char h = Next();
+        if (h == '\\') {
+          if (AtEnd()) return Status::ParseError("regex: trailing backslash");
+          h = Next();
+        }
+        hi = static_cast<unsigned char>(h);
+        if (hi < lo) return Status::ParseError("regex: inverted range in '['");
+      }
+      for (int b = lo; b <= hi; ++b) set.set(b);
+    }
+    if (negate) set.flip();
+    return MakeCharSet(set);
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation: syntax tree -> NFA (Thompson construction with patch lists).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct NfaBuilder {
+  struct StateRep {
+    enum class Kind : uint8_t { kByte, kSplit, kAssertBegin, kAssertEnd, kAccept };
+    Kind kind;
+    std::bitset<256> on_bytes;
+    int next = -1;
+    int next2 = -1;
+  };
+
+  struct Frag {
+    int start = -1;
+    std::vector<std::pair<int, int>> out;  // (state, 0=next / 1=next2)
+  };
+
+  std::vector<StateRep> states;
+
+  int NewState(StateRep::Kind kind) {
+    states.push_back(StateRep{kind, {}, -1, -1});
+    return static_cast<int>(states.size()) - 1;
+  }
+
+  void Patch(const std::vector<std::pair<int, int>>& out, int target) {
+    for (auto [st, which] : out) {
+      if (which == 0) {
+        states[st].next = target;
+      } else {
+        states[st].next2 = target;
+      }
+    }
+  }
+
+  Frag CompileNode(const Node& node) {
+    switch (node.kind) {
+      case Node::Kind::kCharSet: {
+        int s = NewState(StateRep::Kind::kByte);
+        states[s].on_bytes = node.bytes;
+        return Frag{s, {{s, 0}}};
+      }
+      case Node::Kind::kAssertBegin: {
+        int s = NewState(StateRep::Kind::kAssertBegin);
+        return Frag{s, {{s, 0}}};
+      }
+      case Node::Kind::kAssertEnd: {
+        int s = NewState(StateRep::Kind::kAssertEnd);
+        return Frag{s, {{s, 0}}};
+      }
+      case Node::Kind::kEmpty: {
+        // A split whose both arms dangle acts as a pass-through epsilon.
+        int s = NewState(StateRep::Kind::kSplit);
+        return Frag{s, {{s, 0}, {s, 1}}};
+      }
+      case Node::Kind::kConcat: {
+        Frag acc = CompileNode(*node.children[0]);
+        for (size_t i = 1; i < node.children.size(); ++i) {
+          Frag next = CompileNode(*node.children[i]);
+          Patch(acc.out, next.start);
+          acc.out = std::move(next.out);
+        }
+        return acc;
+      }
+      case Node::Kind::kAlt: {
+        Frag acc = CompileNode(*node.children[0]);
+        for (size_t i = 1; i < node.children.size(); ++i) {
+          Frag rhs = CompileNode(*node.children[i]);
+          int split = NewState(StateRep::Kind::kSplit);
+          states[split].next = acc.start;
+          states[split].next2 = rhs.start;
+          Frag merged;
+          merged.start = split;
+          merged.out = std::move(acc.out);
+          merged.out.insert(merged.out.end(), rhs.out.begin(), rhs.out.end());
+          acc = std::move(merged);
+        }
+        return acc;
+      }
+      case Node::Kind::kRepeat:
+        return CompileRepeat(*node.children[0], node.min, node.max);
+    }
+    // Unreachable; keep the compiler happy.
+    return Frag{};
+  }
+
+  Frag CompileStar(const Node& child) {
+    int split = NewState(StateRep::Kind::kSplit);
+    Frag body = CompileNode(child);
+    states[split].next = body.start;
+    Patch(body.out, split);
+    return Frag{split, {{split, 1}}};
+  }
+
+  Frag CompileOpt(const Node& child) {
+    int split = NewState(StateRep::Kind::kSplit);
+    Frag body = CompileNode(child);
+    states[split].next = body.start;
+    Frag out;
+    out.start = split;
+    out.out = std::move(body.out);
+    out.out.push_back({split, 1});
+    return out;
+  }
+
+  Frag CompileRepeat(const Node& child, int min, int max) {
+    // {0,-1} = star; {1,-1} = plus; otherwise unroll.
+    if (min == 0 && max == -1) return CompileStar(child);
+    Frag acc;
+    for (int i = 0; i < min; ++i) {
+      Frag f = CompileNode(child);
+      if (acc.start < 0) {
+        acc = std::move(f);
+      } else {
+        Patch(acc.out, f.start);
+        acc.out = std::move(f.out);
+      }
+    }
+    if (max == -1) {
+      Frag star = CompileStar(child);
+      if (acc.start < 0) return star;
+      Patch(acc.out, star.start);
+      acc.out = std::move(star.out);
+      return acc;
+    }
+    for (int i = min; i < max; ++i) {
+      Frag opt = CompileOpt(child);
+      if (acc.start < 0) {
+        acc = std::move(opt);
+      } else {
+        Patch(acc.out, opt.start);
+        acc.out = std::move(opt.out);
+      }
+    }
+    if (acc.start < 0) {
+      // {0,0}: matches empty string.
+      int s = NewState(StateRep::Kind::kSplit);
+      return Frag{s, {{s, 0}, {s, 1}}};
+    }
+    return acc;
+  }
+};
+
+}  // namespace
+
+Result<Regex> Regex::Compile(std::string_view pattern) {
+  Parser parser(pattern);
+  auto tree = parser.Parse();
+  if (!tree.ok()) return tree.status();
+
+  NfaBuilder builder;
+  NfaBuilder::Frag frag = builder.CompileNode(*tree.value());
+  int accept = builder.NewState(NfaBuilder::StateRep::Kind::kAccept);
+  builder.Patch(frag.out, accept);
+
+  Regex re;
+  re.pattern_ = std::string(pattern);
+  re.start_ = frag.start;
+  re.states_.reserve(builder.states.size());
+  for (const auto& s : builder.states) {
+    State out;
+    out.kind = static_cast<State::Kind>(s.kind);
+    out.on_bytes = s.on_bytes;
+    out.next = s.next;
+    out.next2 = s.next2;
+    re.states_.push_back(std::move(out));
+  }
+  return re;
+}
+
+// Adds `state` (following epsilon/assertion closure) to `list` if not already
+// present in this generation.
+void Regex::AddState(int state, size_t pos, size_t text_len,
+                     std::vector<int>& list, std::vector<uint32_t>& mark,
+                     uint32_t gen) const {
+  if (state < 0) return;
+  if (mark[static_cast<size_t>(state)] == gen) return;
+  mark[static_cast<size_t>(state)] = gen;
+  const State& s = states_[static_cast<size_t>(state)];
+  switch (s.kind) {
+    case State::Kind::kSplit:
+      AddState(s.next, pos, text_len, list, mark, gen);
+      AddState(s.next2, pos, text_len, list, mark, gen);
+      return;
+    case State::Kind::kAssertBegin:
+      if (pos == 0) AddState(s.next, pos, text_len, list, mark, gen);
+      return;
+    case State::Kind::kAssertEnd:
+      if (pos == text_len) AddState(s.next, pos, text_len, list, mark, gen);
+      return;
+    case State::Kind::kByte:
+    case State::Kind::kAccept:
+      list.push_back(state);
+      return;
+  }
+}
+
+bool Regex::Run(std::string_view text, bool anchored_start) const {
+  std::vector<int> current, next;
+  std::vector<uint32_t> mark(states_.size(), 0);
+  uint32_t gen = 1;
+
+  AddState(start_, 0, text.size(), current, mark, gen);
+  for (size_t pos = 0; pos <= text.size(); ++pos) {
+    // Substring-search semantics: the match may begin at any position.
+    if (!anchored_start && pos > 0) {
+      AddState(start_, pos, text.size(), current, mark, gen);
+    }
+    for (int st : current) {
+      if (states_[static_cast<size_t>(st)].kind == State::Kind::kAccept) {
+        return true;
+      }
+    }
+    if (pos == text.size()) break;
+    unsigned char c = static_cast<unsigned char>(text[pos]);
+    next.clear();
+    ++gen;
+    for (int st : current) {
+      const State& s = states_[static_cast<size_t>(st)];
+      if (s.kind == State::Kind::kByte && s.on_bytes.test(c)) {
+        AddState(s.next, pos + 1, text.size(), next, mark, gen);
+      }
+    }
+    current.swap(next);
+  }
+  return false;
+}
+
+bool Regex::Matches(std::string_view text) const {
+  return Run(text, /*anchored_start=*/false);
+}
+
+bool Regex::FullMatch(std::string_view text) const {
+  // Anchored at the start; require the accept state to be reached exactly at
+  // the end. Simplest correct implementation: run an anchored simulation and
+  // only report accept states seen at pos == text.size(). We reuse Run() by
+  // wrapping the pattern, but that would re-compile; instead run inline.
+  std::vector<int> current, next;
+  std::vector<uint32_t> mark(states_.size(), 0);
+  uint32_t gen = 1;
+  AddState(start_, 0, text.size(), current, mark, gen);
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    unsigned char c = static_cast<unsigned char>(text[pos]);
+    next.clear();
+    ++gen;
+    for (int st : current) {
+      const State& s = states_[static_cast<size_t>(st)];
+      if (s.kind == State::Kind::kByte && s.on_bytes.test(c)) {
+        AddState(s.next, pos + 1, text.size(), next, mark, gen);
+      }
+    }
+    current.swap(next);
+    if (current.empty()) return false;
+  }
+  for (int st : current) {
+    if (states_[static_cast<size_t>(st)].kind == State::Kind::kAccept) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace xprel::rex

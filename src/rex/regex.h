@@ -1,0 +1,82 @@
+#ifndef XPREL_REX_REGEX_H_
+#define XPREL_REX_REGEX_H_
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xprel::rex {
+
+// A compiled regular expression over bytes, supporting the POSIX Extended
+// Regular Expression (ERE) subset that the PPF path language emits (paper
+// Table 1) plus the usual general constructs:
+//
+//   literals, '.', escaped metacharacters, bracket expressions [abc], [^a-z],
+//   grouping (...), alternation |, repetition * + ? {m} {m,} {m,n},
+//   anchors ^ and $.
+//
+// Matching is Thompson-NFA simulation: linear in pattern size times text
+// size, no backtracking, so adversarial patterns cannot blow up — a property
+// we rely on because patterns are derived from user XPath input.
+//
+// This class stands in for Oracle 10g's REGEXP_LIKE in the relational
+// engine: Matches() has substring-search semantics (the pattern may match
+// anywhere unless anchored), exactly like REGEXP_LIKE(text, pattern).
+class Regex {
+ public:
+  static Result<Regex> Compile(std::string_view pattern);
+
+  Regex(Regex&&) = default;
+  Regex& operator=(Regex&&) = default;
+  Regex(const Regex&) = default;
+  Regex& operator=(const Regex&) = default;
+
+  // True if the pattern matches any substring of `text` (REGEXP_LIKE
+  // semantics; use ^...$ in the pattern for a full match).
+  bool Matches(std::string_view text) const;
+
+  // True if the pattern matches the whole of `text`, regardless of anchors.
+  bool FullMatch(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  // Number of NFA states; exposed for tests and benchmarks.
+  size_t state_count() const { return states_.size(); }
+
+ private:
+  using ByteSet = std::bitset<256>;
+
+  // NFA state. Exactly one of the following shapes:
+  //  - byte transition: `on_bytes` nonempty, goes to `next`;
+  //  - split: epsilon to `next` and `next2`;
+  //  - assertion: epsilon to `next`, valid only at begin/end of text;
+  //  - accept state.
+  struct State {
+    enum class Kind : uint8_t { kByte, kSplit, kAssertBegin, kAssertEnd, kAccept };
+    Kind kind = Kind::kAccept;
+    ByteSet on_bytes;
+    int next = -1;
+    int next2 = -1;
+  };
+
+  Regex() = default;
+
+  bool Run(std::string_view text, bool anchored_start) const;
+  void AddState(int state, size_t pos, size_t text_len,
+                std::vector<int>& list, std::vector<uint32_t>& mark,
+                uint32_t gen) const;
+
+  std::string pattern_;
+  std::vector<State> states_;
+  int start_ = 0;
+};
+
+}  // namespace xprel::rex
+
+#endif  // XPREL_REX_REGEX_H_

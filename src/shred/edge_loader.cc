@@ -1,0 +1,123 @@
+#include "shred/edge_loader.h"
+
+#include "encoding/dewey.h"
+
+namespace xprel::shred {
+
+using encoding::Dewey;
+using rel::ColumnDef;
+using rel::TableSchema;
+using rel::Value;
+using rel::ValueType;
+
+Result<std::unique_ptr<EdgeStore>> EdgeStore::Create() {
+  std::unique_ptr<EdgeStore> store(new EdgeStore());
+
+  {
+    TableSchema paths;
+    paths.name = kPathsTable;
+    paths.columns = {{kIdColumn, ValueType::kInt64, false},
+                     {kPathsPathColumn, ValueType::kString, false}};
+    paths.indexes = {{"pk_Paths", {0}, true}, {"idx_Paths_path", {1}, true}};
+    auto t = store->db_.CreateTable(std::move(paths));
+    if (!t.ok()) return t.status();
+  }
+  {
+    TableSchema edge;
+    edge.name = kEdgeTable;
+    edge.columns = {{kIdColumn, ValueType::kInt64, false},
+                    {kDocIdColumn, ValueType::kInt64, false},
+                    {kEdgeParColumn, ValueType::kInt64, true},
+                    {kEdgeNameColumn, ValueType::kString, false},
+                    {kDeweyColumn, ValueType::kBytes, false},
+                    {kPathIdColumn, ValueType::kInt64, false},
+                    {kTextColumn, ValueType::kString, true}};
+    edge.indexes = {
+        {"pk_Edge", {0}, true},
+        {"idx_Edge_par", {2}, false},
+        {"idx_Edge_dewey", {4, 5}, false},
+        {"idx_Edge_path", {5}, false},
+    };
+    auto t = store->db_.CreateTable(std::move(edge));
+    if (!t.ok()) return t.status();
+  }
+  {
+    TableSchema attr;
+    attr.name = kAttrTable;
+    attr.columns = {{kAttrElemColumn, ValueType::kInt64, false},
+                    {kAttrNameColumn, ValueType::kString, false},
+                    {kAttrValueColumn, ValueType::kString, false}};
+    attr.indexes = {
+        {"idx_Attr_elem", {0}, false},
+        {"idx_Attr_name_value", {1, 2}, false},
+    };
+    auto t = store->db_.CreateTable(std::move(attr));
+    if (!t.ok()) return t.status();
+  }
+  store->paths_ =
+      std::make_unique<PathsRegistry>(store->db_.FindTable(kPathsTable));
+  return store;
+}
+
+Result<int64_t> EdgeStore::LoadDocument(const xml::Document& doc) {
+  if (doc.root() == xml::kNoNode) {
+    return Status::InvalidArgument("empty document");
+  }
+  int64_t doc_id = next_doc_id_++;
+  std::string dewey = Dewey::FromComponents({1});
+  XPREL_RETURN_IF_ERROR(LoadElement(doc, doc.root(), /*parent_id=*/-1,
+                                    /*parent_path=*/"", dewey, doc_id));
+  return doc_id;
+}
+
+Status EdgeStore::LoadElement(const xml::Document& doc, xml::NodeId node,
+                              int64_t parent_id,
+                              const std::string& parent_path,
+                              std::string_view dewey, int64_t doc_id) {
+  const xml::Node& xnode = doc.node(node);
+  std::string path = parent_path + "/" + xnode.name;
+  auto path_id = paths_->Intern(path);
+  if (!path_id.ok()) return path_id.status();
+
+  int64_t element_id = next_element_id_++;
+  origins_.push_back({doc_id, node});
+
+  std::string text;
+  for (xml::NodeId c : xnode.children) {
+    if (doc.node(c).kind == xml::NodeKind::kText) text += doc.node(c).text;
+  }
+
+  rel::Table* edge = db_.FindTable(kEdgeTable);
+  XPREL_RETURN_IF_ERROR(edge->Insert(
+      {Value::Int(element_id), Value::Int(doc_id),
+       parent_id >= 0 ? Value::Int(parent_id) : Value::Null(),
+       Value::Str(xnode.name), Value::Bytes(std::string(dewey)),
+       Value::Int(*path_id), Value::Str(std::move(text))}));
+
+  rel::Table* attr = db_.FindTable(kAttrTable);
+  for (const xml::Attribute& a : xnode.attributes) {
+    XPREL_RETURN_IF_ERROR(attr->Insert(
+        {Value::Int(element_id), Value::Str(a.name), Value::Str(a.value)}));
+  }
+
+  uint32_t child_ordinal = 0;
+  for (xml::NodeId c : xnode.children) {
+    if (doc.node(c).kind != xml::NodeKind::kElement) continue;
+    ++child_ordinal;
+    std::string child_dewey = Dewey::Child(dewey, child_ordinal);
+    XPREL_RETURN_IF_ERROR(
+        LoadElement(doc, c, element_id, path, child_dewey, doc_id));
+  }
+  return Status::Ok();
+}
+
+const EdgeStore::ElementOrigin* EdgeStore::FindOrigin(
+    int64_t element_id) const {
+  if (element_id < 1 ||
+      element_id > static_cast<int64_t>(origins_.size())) {
+    return nullptr;
+  }
+  return &origins_[static_cast<size_t>(element_id - 1)];
+}
+
+}  // namespace xprel::shred

@@ -1,0 +1,65 @@
+#ifndef XPREL_SHRED_EDGE_LOADER_H_
+#define XPREL_SHRED_EDGE_LOADER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/table.h"
+#include "shred/schema_map.h"
+#include "xml/document.h"
+
+namespace xprel::shred {
+
+inline constexpr char kEdgeTable[] = "Edge";
+inline constexpr char kAttrTable[] = "Attr";
+inline constexpr char kEdgeNameColumn[] = "name";
+inline constexpr char kEdgeParColumn[] = "par_id";
+inline constexpr char kAttrElemColumn[] = "elem_id";
+inline constexpr char kAttrNameColumn[] = "attr_name";
+inline constexpr char kAttrValueColumn[] = "value";
+
+// The schema-oblivious Edge-like mapping (paper Sections 1 and 5.1): every
+// element node is a tuple of one central `Edge` relation
+//   Edge(id, par_id, name, dewey_pos, path_id, text)
+// and attributes live in a separate relation (the paper's footnote 3
+// option)
+//   Attr(elem_id, attr_name, value).
+// Root-to-node paths are still interned in `Paths`, so the Edge-like PPF
+// translator can apply the same regex path filtering; the difference the
+// paper measures is that every structural join is a self-join of the big
+// Edge relation.
+class EdgeStore {
+ public:
+  static Result<std::unique_ptr<EdgeStore>> Create();
+
+  // Shreds one document (no schema involved). Returns the doc id.
+  Result<int64_t> LoadDocument(const xml::Document& doc);
+
+  rel::Database& db() { return db_; }
+  const rel::Database& db() const { return db_; }
+
+  struct ElementOrigin {
+    int64_t doc_id;
+    xml::NodeId node;
+  };
+  const ElementOrigin* FindOrigin(int64_t element_id) const;
+
+ private:
+  EdgeStore() = default;
+
+  Status LoadElement(const xml::Document& doc, xml::NodeId node,
+                     int64_t parent_id, const std::string& parent_path,
+                     std::string_view dewey, int64_t doc_id);
+
+  rel::Database db_;
+  std::unique_ptr<PathsRegistry> paths_;
+  int64_t next_doc_id_ = 1;
+  int64_t next_element_id_ = 1;
+  std::vector<ElementOrigin> origins_;
+};
+
+}  // namespace xprel::shred
+
+#endif  // XPREL_SHRED_EDGE_LOADER_H_

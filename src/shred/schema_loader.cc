@@ -1,0 +1,157 @@
+#include "shred/schema_loader.h"
+
+#include "encoding/dewey.h"
+
+namespace xprel::shred {
+
+using encoding::Dewey;
+using rel::Value;
+
+Result<std::unique_ptr<SchemaAwareStore>> SchemaAwareStore::Create(
+    const xsd::SchemaGraph& graph) {
+  auto mapping = SchemaAwareMapping::Create(graph);
+  if (!mapping.ok()) return mapping.status();
+  std::unique_ptr<SchemaAwareStore> store(new SchemaAwareStore());
+  store->mapping_ = std::move(mapping).value();
+  XPREL_RETURN_IF_ERROR(store->mapping_.CreateTables(store->db_));
+  store->paths_ = std::make_unique<PathsRegistry>(
+      store->db_.FindTable(kPathsTable));
+  return store;
+}
+
+namespace {
+
+// Concatenated direct text children — the element "value" stored in the
+// text column (see DESIGN.md: the library uses direct text throughout, for
+// shredded stores and the reference evaluator alike).
+std::string DirectText(const xml::Document& doc, xml::NodeId node) {
+  std::string out;
+  for (xml::NodeId c : doc.node(node).children) {
+    if (doc.node(c).kind == xml::NodeKind::kText) out += doc.node(c).text;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<int64_t> SchemaAwareStore::LoadDocument(const xml::Document& doc) {
+  if (doc.root() == xml::kNoNode) {
+    return Status::InvalidArgument("empty document");
+  }
+  const std::string& root_tag = doc.node(doc.root()).name;
+  int root_schema_node = -1;
+  for (int r : graph().roots()) {
+    if (graph().node(r).tag == root_tag) {
+      root_schema_node = r;
+      break;
+    }
+  }
+  if (root_schema_node < 0) {
+    return Status::InvalidArgument("document root <" + root_tag +
+                                   "> matches no schema root");
+  }
+  int64_t doc_id = next_doc_id_++;
+  std::string dewey = Dewey::FromComponents({1});
+  XPREL_RETURN_IF_ERROR(LoadElement(doc, doc.root(), root_schema_node,
+                                    /*parent_id=*/-1, /*parent_relation=*/"",
+                                    /*parent_path=*/"", dewey, doc_id));
+  return doc_id;
+}
+
+Status SchemaAwareStore::LoadElement(const xml::Document& doc,
+                                     xml::NodeId node, int schema_node,
+                                     int64_t parent_id,
+                                     const std::string& parent_relation,
+                                     const std::string& parent_path,
+                                     std::string_view dewey, int64_t doc_id) {
+  const xsd::GraphNode& snode = graph().node(schema_node);
+  const xml::Node& xnode = doc.node(node);
+  const std::string& relation = mapping_.RelationOf(schema_node);
+  const RelationInfo* info = mapping_.FindRelation(relation);
+  rel::Table* table = db_.FindTable(relation);
+  if (info == nullptr || table == nullptr) {
+    return Status::Internal("missing relation " + relation);
+  }
+
+  std::string path = parent_path + "/" + xnode.name;
+  auto path_id = paths_->Intern(path);
+  if (!path_id.ok()) return path_id.status();
+
+  int64_t element_id = next_element_id_++;
+  origins_.push_back({doc_id, node});
+  node_to_id_.emplace(std::make_pair(doc_id, node), element_id);
+
+  // Assemble the row following the column order used by CreateTables.
+  rel::Row row;
+  row.push_back(Value::Int(element_id));
+  if (info->is_document_relation) {
+    row.push_back(parent_id < 0 ? Value::Int(doc_id) : Value::Null());
+  }
+  for (const auto& [prel, col] : info->parent_fk_columns) {
+    if (prel == parent_relation && parent_id >= 0) {
+      row.push_back(Value::Int(parent_id));
+    } else {
+      row.push_back(Value::Null());
+    }
+  }
+  row.push_back(Value::Bytes(std::string(dewey)));
+  row.push_back(Value::Int(*path_id));
+  if (info->has_text) {
+    row.push_back(Value::Str(DirectText(doc, node)));
+  }
+  for (const auto& [attr, col] : info->attr_columns) {
+    const std::string* v = doc.FindAttribute(node, attr);
+    row.push_back(v != nullptr ? Value::Str(*v) : Value::Null());
+  }
+  XPREL_RETURN_IF_ERROR(table->Insert(std::move(row)));
+
+  // Validate attributes: unknown attributes are a schema violation.
+  for (const xml::Attribute& a : xnode.attributes) {
+    if (info->attr_columns.count(a.name) == 0) {
+      return Status::InvalidArgument("element <" + xnode.name +
+                                     "> has undeclared attribute '" + a.name +
+                                     "'");
+    }
+  }
+
+  // Recurse into element children, resolving each tag against the schema.
+  uint32_t child_ordinal = 0;
+  for (xml::NodeId c : xnode.children) {
+    if (doc.node(c).kind != xml::NodeKind::kElement) continue;
+    ++child_ordinal;
+    const std::string& tag = doc.node(c).name;
+    int child_schema = -1;
+    for (int cs : snode.children) {
+      if (graph().node(cs).tag == tag) {
+        child_schema = cs;
+        break;
+      }
+    }
+    if (child_schema < 0) {
+      return Status::InvalidArgument("element <" + tag +
+                                     "> not allowed under <" + xnode.name +
+                                     "> by the schema");
+    }
+    std::string child_dewey = Dewey::Child(dewey, child_ordinal);
+    XPREL_RETURN_IF_ERROR(LoadElement(doc, c, child_schema, element_id,
+                                      relation, path, child_dewey, doc_id));
+  }
+  return Status::Ok();
+}
+
+const SchemaAwareStore::ElementOrigin* SchemaAwareStore::FindOrigin(
+    int64_t element_id) const {
+  if (element_id < 1 ||
+      element_id > static_cast<int64_t>(origins_.size())) {
+    return nullptr;
+  }
+  return &origins_[static_cast<size_t>(element_id - 1)];
+}
+
+int64_t SchemaAwareStore::ElementIdOf(int64_t doc_id,
+                                      xml::NodeId node) const {
+  auto it = node_to_id_.find(std::make_pair(doc_id, node));
+  return it == node_to_id_.end() ? -1 : it->second;
+}
+
+}  // namespace xprel::shred

@@ -1,0 +1,65 @@
+#ifndef XPREL_SHRED_SCHEMA_LOADER_H_
+#define XPREL_SHRED_SCHEMA_LOADER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/table.h"
+#include "shred/schema_map.h"
+#include "xml/document.h"
+#include "xsd/schema_graph.h"
+
+namespace xprel::shred {
+
+// A database instance under the schema-aware mapping, plus the loader state
+// needed to shred documents into it incrementally.
+class SchemaAwareStore {
+ public:
+  // Builds the mapping from the schema graph and creates all tables.
+  static Result<std::unique_ptr<SchemaAwareStore>> Create(
+      const xsd::SchemaGraph& graph);
+
+  // Shreds one document. Elements are validated against the schema graph as
+  // they are walked; unknown elements are an error. Returns the doc id.
+  Result<int64_t> LoadDocument(const xml::Document& doc);
+
+  const SchemaAwareMapping& mapping() const { return mapping_; }
+  const xsd::SchemaGraph& graph() const { return mapping_.graph(); }
+  rel::Database& db() { return db_; }
+  const rel::Database& db() const { return db_; }
+
+  // Map from element id back to (document, original node) — used by the
+  // engine facade to report results, and by tests to compare against the
+  // reference evaluator.
+  struct ElementOrigin {
+    int64_t doc_id;
+    xml::NodeId node;
+  };
+  const ElementOrigin* FindOrigin(int64_t element_id) const;
+  // Element id assigned to a document node, or -1.
+  int64_t ElementIdOf(int64_t doc_id, xml::NodeId node) const;
+
+ private:
+  SchemaAwareStore() = default;
+
+  Status LoadElement(const xml::Document& doc, xml::NodeId node,
+                     int schema_node, int64_t parent_id,
+                     const std::string& parent_relation,
+                     const std::string& parent_path, std::string_view dewey,
+                     int64_t doc_id);
+
+  SchemaAwareMapping mapping_;
+  rel::Database db_;
+  std::unique_ptr<PathsRegistry> paths_;
+  int64_t next_doc_id_ = 1;
+  int64_t next_element_id_ = 1;
+  std::vector<ElementOrigin> origins_;  // index = element id - 1
+  std::map<std::pair<int64_t, xml::NodeId>, int64_t> node_to_id_;
+};
+
+}  // namespace xprel::shred
+
+#endif  // XPREL_SHRED_SCHEMA_LOADER_H_

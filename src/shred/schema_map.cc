@@ -1,0 +1,168 @@
+#include "shred/schema_map.h"
+
+#include <set>
+
+namespace xprel::shred {
+
+namespace {
+
+bool IsReservedColumn(const std::string& name) {
+  return name == kIdColumn || name == kDocIdColumn || name == kDeweyColumn ||
+         name == kPathIdColumn || name == kTextColumn;
+}
+
+}  // namespace
+
+Result<SchemaAwareMapping> SchemaAwareMapping::Create(
+    const xsd::SchemaGraph& graph) {
+  SchemaAwareMapping m;
+  m.graph_ = &graph;
+  m.node_relation_.resize(graph.nodes().size());
+
+  const xsd::Schema& schema = graph.schema();
+
+  // Pass 1: decide a relation name for every reachable node.
+  //  * nodes whose type is a globally *named* complex type share the type's
+  //    relation;
+  //  * every other node gets its own relation named by its tag, qualified
+  //    by the parent tag (then numbered) on collision.
+  std::set<std::string> taken = {std::string(kPathsTable)};
+  auto unique_name = [&taken](std::string base,
+                              const std::string& qualifier) -> std::string {
+    if (taken.count(base) == 0) {
+      taken.insert(base);
+      return base;
+    }
+    if (!qualifier.empty()) {
+      std::string q = qualifier + "_" + base;
+      if (taken.count(q) == 0) {
+        taken.insert(q);
+        return q;
+      }
+      base = q;
+    }
+    for (int i = 2;; ++i) {
+      std::string cand = base + "_" + std::to_string(i);
+      if (taken.count(cand) == 0) {
+        taken.insert(cand);
+        return cand;
+      }
+    }
+  };
+
+  std::map<int, std::string> type_relation;  // named type id -> relation
+  for (int id : graph.ReachableNodes()) {
+    const xsd::GraphNode& node = graph.node(id);
+    std::string rel_name;
+    if (node.type_id >= 0 && !schema.type(node.type_id).name.empty()) {
+      auto it = type_relation.find(node.type_id);
+      if (it != type_relation.end()) {
+        rel_name = it->second;
+      } else {
+        rel_name = unique_name(schema.type(node.type_id).name, "");
+        type_relation.emplace(node.type_id, rel_name);
+      }
+    } else {
+      std::string qualifier;
+      if (!node.parents.empty()) {
+        qualifier = graph.node(node.parents.front()).tag;
+      }
+      rel_name = unique_name(node.tag, qualifier);
+    }
+    m.node_relation_[static_cast<size_t>(id)] = rel_name;
+    RelationInfo& info = m.relations_[rel_name];
+    info.name = rel_name;
+    info.nodes.push_back(id);
+    if (node.is_root) info.is_document_relation = true;
+    if (node.has_text) info.has_text = true;
+    for (const std::string& attr : node.attributes) {
+      std::string col = IsReservedColumn(attr) ? "attr_" + attr : attr;
+      info.attr_columns.emplace(attr, col);
+    }
+  }
+
+  // Pass 2: parent FK columns — one per distinct parent *relation*.
+  for (auto& [name, info] : m.relations_) {
+    for (int id : info.nodes) {
+      for (int p : graph.node(id).parents) {
+        if (!graph.node(p).reachable) continue;
+        const std::string& prel = m.node_relation_[static_cast<size_t>(p)];
+        info.parent_fk_columns.emplace(prel, prel + "_" + kIdColumn);
+      }
+    }
+  }
+  return m;
+}
+
+const RelationInfo* SchemaAwareMapping::FindRelation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Status SchemaAwareMapping::CreateTables(rel::Database& db) const {
+  using rel::ColumnDef;
+  using rel::IndexDef;
+  using rel::TableSchema;
+  using rel::ValueType;
+
+  // Paths relation: id, path.
+  {
+    TableSchema paths;
+    paths.name = kPathsTable;
+    paths.columns = {{kIdColumn, ValueType::kInt64, false},
+                     {kPathsPathColumn, ValueType::kString, false}};
+    paths.indexes = {{"pk_Paths", {0}, true}, {"idx_Paths_path", {1}, true}};
+    auto t = db.CreateTable(std::move(paths));
+    if (!t.ok()) return t.status();
+  }
+
+  for (const auto& [name, info] : relations_) {
+    TableSchema ts;
+    ts.name = name;
+    ts.columns.push_back({kIdColumn, ValueType::kInt64, false});
+    if (info.is_document_relation) {
+      ts.columns.push_back({kDocIdColumn, ValueType::kInt64, false});
+    }
+    for (const auto& [prel, col] : info.parent_fk_columns) {
+      ts.columns.push_back({col, ValueType::kInt64, true});
+    }
+    ts.columns.push_back({kDeweyColumn, ValueType::kBytes, false});
+    ts.columns.push_back({kPathIdColumn, ValueType::kInt64, false});
+    if (info.has_text) {
+      ts.columns.push_back({kTextColumn, ValueType::kString, true});
+    }
+    for (const auto& [attr, col] : info.attr_columns) {
+      ts.columns.push_back({col, ValueType::kString, true});
+    }
+
+    // Indexes (paper Section 3.1 + path_id, see class comment).
+    ts.indexes.push_back({"pk_" + name, {0}, true});
+    for (const auto& [prel, col] : info.parent_fk_columns) {
+      ts.indexes.push_back(
+          {"idx_" + name + "_" + col, {ts.ColumnIndex(col)}, false});
+    }
+    ts.indexes.push_back({"idx_" + name + "_dewey",
+                          {ts.ColumnIndex(kDeweyColumn),
+                           ts.ColumnIndex(kPathIdColumn)},
+                          false});
+    ts.indexes.push_back(
+        {"idx_" + name + "_path", {ts.ColumnIndex(kPathIdColumn)}, false});
+
+    auto t = db.CreateTable(std::move(ts));
+    if (!t.ok()) return t.status();
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> PathsRegistry::Intern(const std::string& path) {
+  auto it = cache_.find(path);
+  if (it != cache_.end()) return it->second;
+  int64_t id = static_cast<int64_t>(table_->row_count()) + 1;
+  XPREL_RETURN_IF_ERROR(table_->Insert(
+      {rel::Value::Int(id), rel::Value::Str(path)}));
+  cache_.emplace(path, id);
+  return id;
+}
+
+}  // namespace xprel::shred

@@ -1,0 +1,553 @@
+#include "translate/edge_translator.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "shred/edge_loader.h"
+#include "shred/schema_map.h"
+#include "translate/ppf.h"
+#include "xpath/parser.h"
+
+namespace xprel::translate {
+
+using rel::Bin;
+using rel::Col;
+using rel::Concat;
+using rel::Exists;
+using rel::LitBytes;
+using rel::LitInt;
+using rel::LitStr;
+using rel::RegexpLike;
+using rel::SelectStmt;
+using rel::SqlExpr;
+using rel::SqlExprPtr;
+using rel::Value;
+using xpath::Axis;
+using xpath::CompOp;
+using xpath::Expr;
+using xpath::LocationPath;
+using xpath::NodeTestKind;
+using xpath::Step;
+using xpath::XPathExpr;
+
+namespace {
+
+const char kDeweyMaxByte[] = "\xFF";
+
+SqlExpr::BinOp SqlOpOf(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return SqlExpr::BinOp::kEq;
+    case CompOp::kNe:
+      return SqlExpr::BinOp::kNe;
+    case CompOp::kLt:
+      return SqlExpr::BinOp::kLt;
+    case CompOp::kLe:
+      return SqlExpr::BinOp::kLe;
+    case CompOp::kGt:
+      return SqlExpr::BinOp::kGt;
+    case CompOp::kGe:
+      return SqlExpr::BinOp::kGe;
+  }
+  return SqlExpr::BinOp::kEq;
+}
+
+// Builds one SELECT per branch (Edge mapping never splits).
+class EdgeBranchTranslator {
+ public:
+  enum class ValueMode { kNone, kText };
+
+  Result<std::unique_ptr<SelectStmt>> Translate(const LocationPath& path,
+                                                ValueMode& mode) {
+    if (path.steps.empty()) {
+      return Status::Unsupported("a bare '/' selects the document root node");
+    }
+    LocationPath work = xpath::ClonePath(path);
+    mode = ValueMode::kNone;
+    const Step& last = work.steps.back();
+    if (last.test == NodeTestKind::kText) {
+      if (last.axis != Axis::kChild || !last.predicates.empty()) {
+        return Status::Unsupported("text() only as a plain final step");
+      }
+      work.steps.pop_back();
+      mode = ValueMode::kText;
+      if (work.steps.empty()) {
+        return Status::Unsupported("text() of the document root");
+      }
+    }
+    if (work.steps.back().axis == Axis::kAttribute) {
+      return Status::Unsupported(
+          "edge mapping: attribute value projection not implemented");
+    }
+
+    auto ppfs = SplitIntoPpfs(work);
+    if (!ppfs.ok()) return ppfs.status();
+
+    stmt_ = std::make_unique<SelectStmt>();
+    std::string prev;
+    PathPattern fwd = PathPattern::Rooted();
+    bool contiguous = true;
+    const Step* prev_prominent = nullptr;
+
+    for (const Ppf& ppf : ppfs.value()) {
+      auto alias = ProcessPpf(ppf, prev, prev_prominent, fwd, contiguous);
+      if (!alias.ok()) return alias.status();
+      prev = alias.value();
+      prev_prominent = &ppf.prominent();
+      contiguous = ppf.kind == PpfKind::kForward;
+      if (!contiguous) fwd = PathPattern::Unrooted();
+    }
+
+    stmt_->distinct = true;
+    stmt_->select.push_back({Col(prev, shred::kIdColumn), "id"});
+    stmt_->select.push_back({Col(prev, shred::kDeweyColumn), "dewey_pos"});
+    if (mode == ValueMode::kText) {
+      stmt_->select.push_back({Col(prev, shred::kTextColumn), "value"});
+      AddWhere(Bin(SqlExpr::BinOp::kNe, Col(prev, shred::kTextColumn),
+                   LitStr("")));
+    }
+    stmt_->order_by.push_back({Col(prev, shred::kDeweyColumn), true});
+    return std::move(stmt_);
+  }
+
+ private:
+  std::string NewAlias() { return "E" + std::to_string(++alias_count_); }
+  std::string NewAttrAlias() { return "AT" + std::to_string(++attr_count_); }
+
+  void AddWhere(SqlExprPtr cond) {
+    stmt_->where = rel::And(std::move(stmt_->where), std::move(cond));
+  }
+
+  std::string EnsurePathsJoin(const std::string& alias) {
+    auto it = paths_alias_.find(alias);
+    if (it != paths_alias_.end()) return it->second;
+    // Globally unique across nesting levels: the same element alias can
+    // need a Paths join both in the outer SELECT and inside an EXISTS.
+    std::string pa = alias + "_Paths";
+    while (!used_paths_aliases_.insert(pa).second) pa += "_";
+    stmt_->from.push_back({shred::kPathsTable, pa});
+    AddWhere(rel::Eq(Col(alias, shred::kPathIdColumn),
+                     Col(pa, shred::kIdColumn)));
+    paths_alias_[alias] = pa;
+    return pa;
+  }
+
+  SqlExprPtr PathRegexCondition(const std::string& alias,
+                                const std::string& regex) {
+    return RegexpLike(Col(EnsurePathsJoin(alias), shred::kPathsPathColumn),
+                      regex);
+  }
+
+  Result<std::string> ProcessPpf(const Ppf& ppf, const std::string& prev,
+                                 const Step* prev_prominent, PathPattern& fwd,
+                                 bool contiguous) {
+    std::string alias = NewAlias();
+    stmt_->from.push_back({shred::kEdgeTable, alias});
+
+    // A backward or order fragment at the very start navigates from the
+    // virtual document root, which has no ancestors or siblings.
+    if (prev.empty() && ppf.kind != PpfKind::kForward) {
+      AddWhere(rel::Eq(LitInt(1), LitInt(0)));
+      return alias;
+    }
+
+    // Path filtering: the Edge mapping has no schema marking, so every PPF
+    // joins Paths (Algorithm 1 lines 2-7 without the 4.5 shortcut).
+    if (ppf.kind == PpfKind::kForward) {
+      if (!contiguous) {
+        fwd = PathPattern::Unrooted();
+        if (prev_prominent != nullptr) {
+          fwd.AppendChild(NodeTestPattern(*prev_prominent));
+        }
+      }
+      if (!ExtendForwardPattern(fwd, ppf.steps)) {
+        // Contradictory self step: empty result; emit FALSE.
+        AddWhere(rel::Eq(LitInt(1), LitInt(0)));
+        return alias;
+      }
+      AddWhere(PathRegexCondition(alias, fwd.ToRegex()));
+    } else if (ppf.kind == PpfKind::kBackward) {
+      if (!prev.empty()) {
+        std::string ctx_pattern = prev_prominent != nullptr
+                                      ? NodeTestPattern(*prev_prominent)
+                                      : "[^/]+";
+        AddWhere(PathRegexCondition(
+            prev, BackwardPathRegex(ppf.steps, ctx_pattern)));
+      }
+      AddWhere(PathRegexCondition(
+          alias, "^.*/" + NodeTestPattern(ppf.prominent()) + "$"));
+    } else {  // order axes
+      AddWhere(PathRegexCondition(
+          alias, "^.*/" + NodeTestPattern(ppf.prominent()) + "$"));
+    }
+
+    // Structural join (Table 2, FK for single child/parent steps).
+    if (!prev.empty()) {
+      auto dewey = [](const std::string& a) {
+        return Col(a, shred::kDeweyColumn);
+      };
+      auto upper = [&](const std::string& a) {
+        return Concat(dewey(a), LitBytes(kDeweyMaxByte));
+      };
+      switch (ppf.kind) {
+        case PpfKind::kForward:
+          if (ppf.IsSingleStep() && ppf.prominent().axis == Axis::kChild) {
+            AddWhere(rel::Eq(Col(alias, shred::kEdgeParColumn),
+                             Col(prev, shred::kIdColumn)));
+          } else {
+            AddWhere(rel::And(
+                Bin(SqlExpr::BinOp::kGt, dewey(alias), dewey(prev)),
+                Bin(SqlExpr::BinOp::kLt, dewey(alias), upper(prev))));
+          }
+          break;
+        case PpfKind::kBackward:
+          if (ppf.IsSingleStep() && ppf.prominent().axis == Axis::kParent) {
+            AddWhere(rel::Eq(Col(prev, shred::kEdgeParColumn),
+                             Col(alias, shred::kIdColumn)));
+          } else {
+            AddWhere(rel::And(
+                Bin(SqlExpr::BinOp::kGt, dewey(prev), dewey(alias)),
+                Bin(SqlExpr::BinOp::kLt, dewey(prev), upper(alias))));
+          }
+          break;
+        case PpfKind::kOrder: {
+          Axis axis = ppf.prominent().axis;
+          if (axis == Axis::kFollowing) {
+            AddWhere(Bin(SqlExpr::BinOp::kGt, dewey(alias), upper(prev)));
+          } else if (axis == Axis::kPreceding) {
+            AddWhere(Bin(SqlExpr::BinOp::kGt, dewey(prev), upper(alias)));
+          } else {
+            SqlExprPtr order =
+                axis == Axis::kFollowingSibling
+                    ? Bin(SqlExpr::BinOp::kGt, dewey(alias), dewey(prev))
+                    : Bin(SqlExpr::BinOp::kLt, dewey(alias), dewey(prev));
+            AddWhere(rel::And(
+                std::move(order),
+                rel::Eq(Col(alias, shred::kEdgeParColumn),
+                        Col(prev, shred::kEdgeParColumn))));
+          }
+          break;
+        }
+      }
+    }
+
+    // Predicates of the prominent step.
+    for (const xpath::ExprPtr& pred : ppf.prominent().predicates) {
+      auto cond = TranslatePredicate(alias, &ppf.prominent(), fwd, contiguous,
+                                     *pred);
+      if (!cond.ok()) return cond.status();
+      AddWhere(std::move(cond).value());
+    }
+    return alias;
+  }
+
+  // --- predicates ---------------------------------------------------------
+
+  static bool IsBackwardSimplePath(const LocationPath& path) {
+    if (path.absolute || path.steps.empty()) return false;
+    for (const Step& s : path.steps) {
+      if (!xpath::IsBackwardAxis(s.axis) || !s.predicates.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool IsAttributeOnlyPath(const LocationPath& path) {
+    return !path.absolute && path.steps.size() == 1 &&
+           path.steps[0].axis == Axis::kAttribute &&
+           path.steps[0].predicates.empty();
+  }
+
+  // EXISTS probe into Attr for @name [op literal].
+  SqlExprPtr AttrCondition(const std::string& ctx_alias, const Step& step,
+                           const SqlExpr* op_lit, CompOp op) {
+    auto sub = std::make_unique<SelectStmt>();
+    std::string aa = NewAttrAlias();
+    sub->from.push_back({shred::kAttrTable, aa});
+    sub->where = rel::Eq(Col(aa, shred::kAttrElemColumn),
+                         Col(ctx_alias, shred::kIdColumn));
+    if (step.test == NodeTestKind::kName) {
+      sub->where = rel::And(std::move(sub->where),
+                            rel::Eq(Col(aa, shred::kAttrNameColumn),
+                                    LitStr(step.name)));
+    }
+    if (op_lit != nullptr) {
+      sub->where = rel::And(
+          std::move(sub->where),
+          Bin(SqlOpOf(op), Col(aa, shred::kAttrValueColumn),
+              rel::CloneSqlExpr(*op_lit)));
+    }
+    return Exists(std::move(sub));
+  }
+
+  Result<SqlExprPtr> TranslatePredicate(const std::string& ctx_alias,
+                                        const Step* ctx_step,
+                                        const PathPattern& ctx_fwd,
+                                        bool ctx_fwd_exact, const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr: {
+        auto a = TranslatePredicate(ctx_alias, ctx_step, ctx_fwd,
+                                    ctx_fwd_exact, *expr.children[0]);
+        if (!a.ok()) return a.status();
+        auto b = TranslatePredicate(ctx_alias, ctx_step, ctx_fwd,
+                                    ctx_fwd_exact, *expr.children[1]);
+        if (!b.ok()) return b.status();
+        return expr.kind == Expr::Kind::kAnd
+                   ? rel::And(std::move(a).value(), std::move(b).value())
+                   : rel::Or(std::move(a).value(), std::move(b).value());
+      }
+      case Expr::Kind::kNot: {
+        auto a = TranslatePredicate(ctx_alias, ctx_step, ctx_fwd,
+                                    ctx_fwd_exact, *expr.children[0]);
+        if (!a.ok()) return a.status();
+        return rel::Not(std::move(a).value());
+      }
+      case Expr::Kind::kPath: {
+        const LocationPath& path = expr.path;
+        if (IsAttributeOnlyPath(path)) {
+          return AttrCondition(ctx_alias, path.steps[0], nullptr,
+                               CompOp::kEq);
+        }
+        if (IsBackwardSimplePath(path)) {
+          std::vector<const Step*> steps;
+          for (const Step& s : path.steps) steps.push_back(&s);
+          std::string ctx_pattern =
+              ctx_step != nullptr ? NodeTestPattern(*ctx_step) : "[^/]+";
+          return PathRegexCondition(
+              ctx_alias, BackwardPathRegex(steps, ctx_pattern));
+        }
+        return ExistsForPath(ctx_alias, ctx_step, ctx_fwd, ctx_fwd_exact,
+                             path, nullptr, CompOp::kEq, nullptr);
+      }
+      case Expr::Kind::kComparison:
+        return TranslateComparison(ctx_alias, ctx_step, ctx_fwd,
+                                   ctx_fwd_exact, expr);
+      case Expr::Kind::kString:
+      case Expr::Kind::kNumber:
+      case Expr::Kind::kPosition:
+        return Status::Unsupported(
+            "edge mapping: position()/constant predicates not translatable");
+    }
+    return Status::Internal("unhandled predicate kind");
+  }
+
+  Result<SqlExprPtr> TranslateComparison(const std::string& ctx_alias,
+                                         const Step* ctx_step,
+                                         const PathPattern& ctx_fwd,
+                                         bool ctx_fwd_exact,
+                                         const Expr& expr) {
+    const Expr& lhs = *expr.children[0];
+    const Expr& rhs = *expr.children[1];
+    if (lhs.kind == Expr::Kind::kPosition ||
+        rhs.kind == Expr::Kind::kPosition) {
+      return Status::Unsupported("position() is not translatable");
+    }
+    auto literal_of = [](const Expr& e) -> SqlExprPtr {
+      if (e.kind == Expr::Kind::kString) return LitStr(e.str_value);
+      if (e.kind == Expr::Kind::kNumber) {
+        double intpart = 0;
+        if (std::modf(e.num_value, &intpart) == 0.0) {
+          return LitInt(static_cast<int64_t>(intpart));
+        }
+        return rel::Lit(Value::Real(e.num_value));
+      }
+      return nullptr;
+    };
+
+    bool lhs_path = lhs.kind == Expr::Kind::kPath;
+    bool rhs_path = rhs.kind == Expr::Kind::kPath;
+    if (lhs_path && rhs_path) {
+      return ExistsForPath(ctx_alias, ctx_step, ctx_fwd, ctx_fwd_exact,
+                           lhs.path, nullptr, expr.op, &rhs.path);
+    }
+    if (!lhs_path && !rhs_path) {
+      return Status::Unsupported("constant comparison");
+    }
+    const LocationPath& path = lhs_path ? lhs.path : rhs.path;
+    SqlExprPtr lit = literal_of(lhs_path ? rhs : lhs);
+    if (lit == nullptr) {
+      return Status::Unsupported("unsupported comparison operand");
+    }
+    CompOp op = expr.op;
+    if (!lhs_path) {
+      switch (op) {
+        case CompOp::kLt:
+          op = CompOp::kGt;
+          break;
+        case CompOp::kLe:
+          op = CompOp::kGe;
+          break;
+        case CompOp::kGt:
+          op = CompOp::kLt;
+          break;
+        case CompOp::kGe:
+          op = CompOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    if (IsAttributeOnlyPath(path)) {
+      return AttrCondition(ctx_alias, path.steps[0], lit.get(), op);
+    }
+    return ExistsForPath(ctx_alias, ctx_step, ctx_fwd, ctx_fwd_exact, path,
+                         lit.get(), op, nullptr);
+  }
+
+  // EXISTS sub-select for a predicate path; when `lit` is set, the final
+  // element's text is compared with it; when `join_path` is set, a second
+  // chain is built and the two text values theta-joined.
+  Result<SqlExprPtr> ExistsForPath(const std::string& ctx_alias,
+                                   const Step* ctx_step,
+                                   const PathPattern& ctx_fwd,
+                                   bool ctx_fwd_exact,
+                                   const LocationPath& path,
+                                   const SqlExpr* lit, CompOp op,
+                                   const LocationPath* join_path) {
+    // Build into a nested statement: swap stmt_ temporarily.
+    auto sub = std::make_unique<SelectStmt>();
+    std::swap(stmt_, sub);
+    auto paths_alias_saved = paths_alias_;
+    paths_alias_.clear();
+
+    auto restore = [&]() {
+      std::swap(stmt_, sub);
+      paths_alias_ = std::move(paths_alias_saved);
+    };
+
+    // A trailing attribute step is handled separately: chain to its owner,
+    // then probe Attr.
+    auto chain = [&](const LocationPath& full, const Step** out_step,
+                     const Step** attr_step) -> Result<std::string> {
+      LocationPath p = xpath::ClonePath(full);
+      *attr_step = nullptr;
+      const Step* attr = nullptr;
+      if (!p.steps.empty() && p.steps.back().axis == Axis::kAttribute) {
+        owned_attr_steps_.push_back(
+            std::make_unique<Step>(xpath::CloneStep(p.steps.back())));
+        attr = owned_attr_steps_.back().get();
+        p.steps.pop_back();
+      }
+      std::string prev = p.absolute ? "" : ctx_alias;
+      const Step* prev_prom = p.absolute ? nullptr : ctx_step;
+      PathPattern fwd =
+          p.absolute ? PathPattern::Rooted() : ctx_fwd;
+      bool contiguous = p.absolute ? true : ctx_fwd_exact;
+      if (!p.steps.empty()) {
+        auto ppfs = SplitIntoPpfs(p);
+        if (!ppfs.ok()) return ppfs.status();
+        for (const Ppf& ppf : ppfs.value()) {
+          auto alias = ProcessPpf(ppf, prev, prev_prom, fwd, contiguous);
+          if (!alias.ok()) return alias.status();
+          prev = alias.value();
+          prev_prom = &ppf.prominent();
+          contiguous = ppf.kind == PpfKind::kForward;
+        }
+      } else if (attr == nullptr) {
+        return Status::Unsupported("empty predicate path");
+      }
+      if (prev.empty()) {
+        return Status::Unsupported("attribute of the document root");
+      }
+      *out_step = prev_prom;
+      *attr_step = attr;
+      return prev;
+    };
+
+    const Step* final_step = nullptr;
+    const Step* attr_step = nullptr;
+    auto final_alias = chain(path, &final_step, &attr_step);
+    if (!final_alias.ok()) {
+      restore();
+      return final_alias.status();
+    }
+
+    if (attr_step != nullptr) {
+      // Compare / test the attribute of the chain's final element.
+      AddWhere(AttrCondition(final_alias.value(), *attr_step, lit, op));
+      if (join_path != nullptr) {
+        restore();
+        return Status::Unsupported(
+            "edge mapping: attribute operand in a join clause");
+      }
+      restore();
+      return Exists(std::move(sub));
+    }
+
+    if (lit != nullptr) {
+      stmt_->where = rel::And(
+          std::move(stmt_->where),
+          Bin(SqlOpOf(op), Col(final_alias.value(), shred::kTextColumn),
+              rel::CloneSqlExpr(*lit)));
+    }
+    if (join_path != nullptr) {
+      const Step* final2 = nullptr;
+      const Step* attr2 = nullptr;
+      auto alias2 = chain(*join_path, &final2, &attr2);
+      if (!alias2.ok()) {
+        restore();
+        return alias2.status();
+      }
+      if (attr2 != nullptr) {
+        restore();
+        return Status::Unsupported(
+            "edge mapping: attribute operand in a join clause");
+      }
+      stmt_->where = rel::And(
+          std::move(stmt_->where),
+          Bin(SqlOpOf(op), Col(final_alias.value(), shred::kTextColumn),
+              Col(alias2.value(), shred::kTextColumn)));
+    }
+
+    restore();
+    return Exists(std::move(sub));
+  }
+
+  std::unique_ptr<SelectStmt> stmt_;
+  std::map<std::string, std::string> paths_alias_;
+  std::set<std::string> used_paths_aliases_;
+  std::vector<std::unique_ptr<Step>> owned_attr_steps_;
+  int alias_count_ = 0;
+  int attr_count_ = 0;
+};
+
+}  // namespace
+
+Result<TranslatedQuery> EdgePpfTranslator::Translate(
+    const XPathExpr& expr) const {
+  XPathExpr expanded = ExpandOrSelfSteps(expr);
+  TranslatedQuery out;
+  bool mode_set = false;
+  EdgeBranchTranslator::ValueMode overall =
+      EdgeBranchTranslator::ValueMode::kNone;
+  for (const LocationPath& branch : expanded.branches) {
+    EdgeBranchTranslator bt;
+    EdgeBranchTranslator::ValueMode mode;
+    auto stmt = bt.Translate(branch, mode);
+    if (!stmt.ok()) return stmt.status();
+    if (mode_set && mode != overall) {
+      return Status::Unsupported(
+          "union branches project incompatible results");
+    }
+    overall = mode;
+    mode_set = true;
+    out.sql.selects.push_back(std::move(stmt).value());
+  }
+  out.projects_value = overall != EdgeBranchTranslator::ValueMode::kNone;
+  out.statically_empty = out.sql.selects.empty();
+  return out;
+}
+
+Result<TranslatedQuery> EdgePpfTranslator::TranslateString(
+    std::string_view xpath) const {
+  auto parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return Translate(parsed.value());
+}
+
+}  // namespace xprel::translate

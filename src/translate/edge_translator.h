@@ -1,0 +1,33 @@
+#ifndef XPREL_TRANSLATE_EDGE_TRANSLATOR_H_
+#define XPREL_TRANSLATE_EDGE_TRANSLATOR_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "translate/translator.h"
+#include "xpath/ast.h"
+
+namespace xprel::translate {
+
+// PPF-based XPath-to-SQL translation over the schema-oblivious Edge mapping
+// (paper Section 5.1, "Edge-like PPF"). The same machinery — PPF splitting,
+// regex path filtering, Dewey structural joins — applied to a store where
+// every element is a tuple of one central Edge relation:
+//   * every PPF binds to the Edge table (self-joins), so there is never SQL
+//     splitting, but joins are big-table self-joins;
+//   * every forward PPF must join Paths (no schema marking exists, so no
+//     4.5 omission);
+//   * attribute tests become EXISTS probes into the separate Attr relation
+//     (the mapping cannot inline attributes as columns — the extra join the
+//     paper's Section 5.1 calls out).
+class EdgePpfTranslator {
+ public:
+  EdgePpfTranslator() = default;
+
+  Result<TranslatedQuery> Translate(const xpath::XPathExpr& expr) const;
+  Result<TranslatedQuery> TranslateString(std::string_view xpath) const;
+};
+
+}  // namespace xprel::translate
+
+#endif  // XPREL_TRANSLATE_EDGE_TRANSLATOR_H_

@@ -1,0 +1,430 @@
+#include "translate/ppf.h"
+
+namespace xprel::translate {
+
+using xpath::Axis;
+using xpath::Expr;
+using xpath::ExprPtr;
+using xpath::LocationPath;
+using xpath::NodeTestKind;
+using xpath::Step;
+using xpath::XPathExpr;
+
+const char* PpfKindName(PpfKind k) {
+  switch (k) {
+    case PpfKind::kForward:
+      return "forward";
+    case PpfKind::kBackward:
+      return "backward";
+    case PpfKind::kOrder:
+      return "order";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class StepDir { kForward, kBackward, kOrder };
+
+StepDir DirOf(Axis axis) {
+  if (xpath::IsForwardAxis(axis)) return StepDir::kForward;
+  if (xpath::IsBackwardAxis(axis)) return StepDir::kBackward;
+  return StepDir::kOrder;
+}
+
+}  // namespace
+
+Result<std::vector<Ppf>> SplitIntoPpfs(const LocationPath& path) {
+  std::vector<Ppf> out;
+  bool prev_had_predicates = false;
+  for (const Step& step : path.steps) {
+    StepDir dir = DirOf(step.axis);
+    bool start_new =
+        out.empty() || prev_had_predicates ||
+        dir == StepDir::kOrder || out.back().kind == PpfKind::kOrder ||
+        (dir == StepDir::kForward && out.back().kind != PpfKind::kForward) ||
+        (dir == StepDir::kBackward && out.back().kind != PpfKind::kBackward);
+    if (start_new) {
+      Ppf ppf;
+      switch (dir) {
+        case StepDir::kForward:
+          ppf.kind = PpfKind::kForward;
+          break;
+        case StepDir::kBackward:
+          ppf.kind = PpfKind::kBackward;
+          break;
+        case StepDir::kOrder:
+          ppf.kind = PpfKind::kOrder;
+          break;
+      }
+      out.push_back(std::move(ppf));
+    }
+    out.back().steps.push_back(&step);
+    prev_had_predicates = !step.predicates.empty();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// -or-self expansion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsExpandableStep(const Step& s) {
+  return (s.axis == Axis::kDescendantOrSelf ||
+          s.axis == Axis::kAncestorOrSelf) &&
+         s.test != NodeTestKind::kAnyNode;
+}
+
+// A '//' connector can stay implicit (the regex builder folds it into the
+// following child/descendant hop) only when such a hop follows; a trailing
+// connector, one followed by a non-downward axis, or one carrying
+// predicates must be expanded into its self / strict-descendant branches.
+bool IsExpandableConnector(const LocationPath& path, size_t i) {
+  const Step& s = path.steps[i];
+  if (s.axis != Axis::kDescendantOrSelf || s.test != NodeTestKind::kAnyNode) {
+    return false;
+  }
+  if (!s.predicates.empty()) return true;
+  if (i + 1 >= path.steps.size()) return true;
+  Axis next = path.steps[i + 1].axis;
+  return next != Axis::kChild && next != Axis::kDescendant &&
+         next != Axis::kDescendantOrSelf;
+}
+
+ExprPtr ExpandExpr(const Expr& e);
+
+// All -or-self-free variants of a path (including expansion inside step
+// predicates).
+std::vector<LocationPath> ExpandPath(const LocationPath& path) {
+  // First expand predicates step-wise on a clone.
+  LocationPath base = xpath::ClonePath(path);
+  for (Step& s : base.steps) {
+    for (ExprPtr& p : s.predicates) {
+      p = ExpandExpr(*p);
+    }
+  }
+  // Then expand the first -or-self step and recurse.
+  for (size_t i = 0; i < base.steps.size(); ++i) {
+    if (IsExpandableConnector(base, i)) {
+      std::vector<LocationPath> out;
+      // Branch 1: the self case — drop the connector (its predicates, if
+      // any, move onto nothing expressible; connectors with predicates on
+      // the self branch apply to the context node, which the kSelf variant
+      // below covers).
+      {
+        LocationPath v = xpath::ClonePath(base);
+        if (v.steps[i].predicates.empty()) {
+          v.steps.erase(v.steps.begin() + static_cast<ptrdiff_t>(i));
+        } else {
+          v.steps[i].axis = Axis::kSelf;
+        }
+        if (!v.steps.empty()) {
+          for (LocationPath& expanded : ExpandPath(v)) {
+            out.push_back(std::move(expanded));
+          }
+        }
+      }
+      // Branch 2: the strict-descendant case.
+      {
+        LocationPath v = xpath::ClonePath(base);
+        v.steps[i].axis = Axis::kDescendant;
+        for (LocationPath& expanded : ExpandPath(v)) {
+          out.push_back(std::move(expanded));
+        }
+      }
+      return out;
+    }
+    if (!IsExpandableStep(base.steps[i])) continue;
+    std::vector<LocationPath> out;
+    for (Axis variant :
+         {Axis::kSelf, base.steps[i].axis == Axis::kDescendantOrSelf
+                           ? Axis::kDescendant
+                           : Axis::kAncestor}) {
+      LocationPath v = xpath::ClonePath(base);
+      v.steps[i].axis = variant;
+      for (LocationPath& expanded : ExpandPath(v)) {
+        out.push_back(std::move(expanded));
+      }
+    }
+    return out;
+  }
+  std::vector<LocationPath> out;
+  out.push_back(std::move(base));
+  return out;
+}
+
+ExprPtr ExpandExpr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kPath: {
+      std::vector<LocationPath> variants = ExpandPath(e.path);
+      ExprPtr combined;
+      for (LocationPath& v : variants) {
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::kPath;
+        node->path = std::move(v);
+        if (combined == nullptr) {
+          combined = std::move(node);
+        } else {
+          auto parent = std::make_unique<Expr>();
+          parent->kind = Expr::Kind::kOr;
+          parent->children.push_back(std::move(combined));
+          parent->children.push_back(std::move(node));
+          combined = std::move(parent);
+        }
+      }
+      return combined;
+    }
+    case Expr::Kind::kComparison: {
+      // Expand each path operand; OR over the cartesian product.
+      auto operand_variants =
+          [](const Expr& op) -> std::vector<ExprPtr> {
+        std::vector<ExprPtr> out;
+        if (op.kind == Expr::Kind::kPath) {
+          for (LocationPath& v : ExpandPath(op.path)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::kPath;
+            node->path = std::move(v);
+            out.push_back(std::move(node));
+          }
+        } else {
+          out.push_back(xpath::CloneExpr(op));
+        }
+        return out;
+      };
+      std::vector<ExprPtr> lhs = operand_variants(*e.children[0]);
+      std::vector<ExprPtr> rhs = operand_variants(*e.children[1]);
+      ExprPtr combined;
+      for (const ExprPtr& l : lhs) {
+        for (const ExprPtr& r : rhs) {
+          auto cmp = std::make_unique<Expr>();
+          cmp->kind = Expr::Kind::kComparison;
+          cmp->op = e.op;
+          cmp->children.push_back(xpath::CloneExpr(*l));
+          cmp->children.push_back(xpath::CloneExpr(*r));
+          if (combined == nullptr) {
+            combined = std::move(cmp);
+          } else {
+            auto parent = std::make_unique<Expr>();
+            parent->kind = Expr::Kind::kOr;
+            parent->children.push_back(std::move(combined));
+            parent->children.push_back(std::move(cmp));
+            combined = std::move(parent);
+          }
+        }
+      }
+      return combined;
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+    case Expr::Kind::kNot: {
+      auto node = std::make_unique<Expr>();
+      node->kind = e.kind;
+      for (const ExprPtr& c : e.children) {
+        node->children.push_back(ExpandExpr(*c));
+      }
+      return node;
+    }
+    default:
+      return xpath::CloneExpr(e);
+  }
+}
+
+}  // namespace
+
+LocationPath MergeConnectors(const LocationPath& path) {
+  LocationPath out;
+  out.absolute = path.absolute;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const Step& s = path.steps[i];
+    bool connector = s.axis == Axis::kDescendantOrSelf &&
+                     s.test == NodeTestKind::kAnyNode &&
+                     s.predicates.empty();
+    if (connector && i + 1 < path.steps.size()) {
+      const Step& next = path.steps[i + 1];
+      if (next.axis == Axis::kChild || next.axis == Axis::kDescendant) {
+        Step merged = xpath::CloneStep(next);
+        merged.axis = Axis::kDescendant;
+        out.steps.push_back(std::move(merged));
+        ++i;
+        continue;
+      }
+      if (next.axis == Axis::kDescendantOrSelf &&
+          next.test == NodeTestKind::kAnyNode && next.predicates.empty()) {
+        continue;  // '..//..//' collapses to one connector
+      }
+    }
+    out.steps.push_back(xpath::CloneStep(s));
+  }
+  return out;
+}
+
+XPathExpr ExpandOrSelfSteps(const XPathExpr& expr) {
+  XPathExpr out;
+  for (const LocationPath& branch : expr.branches) {
+    for (LocationPath& v : ExpandPath(branch)) {
+      out.branches.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path patterns
+// ---------------------------------------------------------------------------
+
+std::string EscapeRegexLiteral(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    switch (c) {
+      case '.':
+      case '*':
+      case '+':
+      case '?':
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+      case '|':
+      case '^':
+      case '$':
+      case '\\':
+        out.push_back('\\');
+        break;
+      default:
+        break;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string NodeTestPattern(const Step& step) {
+  if (step.test == NodeTestKind::kName) return EscapeRegexLiteral(step.name);
+  return "[^/]+";
+}
+
+void PathPattern::AppendChild(std::string name_pattern) {
+  segments_.push_back({false, std::move(name_pattern)});
+}
+
+void PathPattern::AppendDescendant(std::string name_pattern) {
+  segments_.push_back({true, std::move(name_pattern)});
+}
+
+bool PathPattern::IntersectLast(const std::string& name) {
+  if (name == "[^/]+") return true;  // self::* constrains nothing
+  if (segments_.empty()) {
+    // self on the (virtual) document root: no element exists there, so a
+    // rooted empty pattern cannot satisfy a name test. Unrooted empty
+    // patterns describe an unknown context; the node-set computation
+    // carries the constraint instead.
+    return !rooted_;
+  }
+  Segment& last = segments_.back();
+  if (last.name_pattern == name) return true;
+  if (last.name_pattern == "[^/]+") {
+    last.name_pattern = name;
+    return true;
+  }
+  return false;
+}
+
+bool PathPattern::AllChildHops() const {
+  for (const Segment& s : segments_) {
+    if (s.descendant_hop) return false;
+  }
+  return true;
+}
+
+int PathPattern::MinDepth() const {
+  return static_cast<int>(segments_.size());
+}
+
+std::string PathPattern::ToRegex() const {
+  std::string out = "^";
+  if (!rooted_) out += ".*";
+  for (const Segment& s : segments_) {
+    out += s.descendant_hop ? "/(.+/)?" : "/";
+    out += s.name_pattern;
+  }
+  out += "$";
+  return out;
+}
+
+bool ExtendForwardPattern(PathPattern& pattern,
+                          const std::vector<const Step*>& steps) {
+  bool pending_descendant = false;
+  for (const Step* step : steps) {
+    switch (step->axis) {
+      case Axis::kSelf:
+        if (step->test == NodeTestKind::kName) {
+          if (!pattern.IntersectLast(EscapeRegexLiteral(step->name))) {
+            return false;
+          }
+        }
+        break;
+      case Axis::kChild:
+        if (pending_descendant) {
+          pattern.AppendDescendant(NodeTestPattern(*step));
+          pending_descendant = false;
+        } else {
+          pattern.AppendChild(NodeTestPattern(*step));
+        }
+        break;
+      case Axis::kDescendant:
+        pattern.AppendDescendant(NodeTestPattern(*step));
+        pending_descendant = false;
+        break;
+      case Axis::kDescendantOrSelf:
+        if (step->test == NodeTestKind::kAnyNode) {
+          pending_descendant = true;  // the '//' connector
+        } else {
+          // Name-tested -or-self steps are expanded away beforehand; if one
+          // slips through, over-approximate with the strict axis.
+          pattern.AppendDescendant(NodeTestPattern(*step));
+        }
+        break;
+      case Axis::kAttribute:
+        // Attributes do not extend the element path.
+        return true;
+      default:
+        // Not a forward axis; callers only pass forward fragments.
+        return true;
+    }
+  }
+  if (pending_descendant) {
+    // Trailing '//' connector with no following step: over-approximate as a
+    // strict descendant of unknown name.
+    pattern.AppendDescendant("[^/]+");
+  }
+  return true;
+}
+
+std::string BackwardPathRegex(const std::vector<const Step*>& steps,
+                              const std::string& context_pattern) {
+  std::string piece = context_pattern + "$";
+  for (const Step* step : steps) {
+    std::string pat = NodeTestPattern(*step);
+    switch (step->axis) {
+      case Axis::kParent:
+        piece = pat + "/" + piece;
+        break;
+      case Axis::kAncestor:
+        piece = pat + "/(.+/)?" + piece;
+        break;
+      case Axis::kAncestorOrSelf:
+        // Expanded away beforehand; over-approximate with ancestor.
+        piece = pat + "/(.+/)?" + piece;
+        break;
+      default:
+        break;
+    }
+  }
+  return "^.*/" + piece;
+}
+
+}  // namespace xprel::translate

@@ -1,0 +1,120 @@
+#ifndef XPREL_TRANSLATE_PPF_H_
+#define XPREL_TRANSLATE_PPF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace xprel::translate {
+
+// ---------------------------------------------------------------------------
+// Primitive Path Fragments (paper Section 4.1)
+// ---------------------------------------------------------------------------
+
+enum class PpfKind {
+  kForward,   // forward simple path (child / descendant(-or-self) / self /
+              // attribute axes; predicates only on the last step)
+  kBackward,  // backward simple path (parent / ancestor(-or-self))
+  kOrder,     // single step with following(-sibling) / preceding(-sibling)
+};
+
+const char* PpfKindName(PpfKind k);
+
+struct Ppf {
+  PpfKind kind = PpfKind::kForward;
+  std::vector<const xpath::Step*> steps;
+
+  const xpath::Step& prominent() const { return *steps.back(); }
+  bool IsSingleStep() const { return steps.size() == 1; }
+};
+
+// Splits a location path into its PPF sequence. A step with predicates ends
+// its fragment; order-axis steps always form their own fragment. The steps
+// are borrowed from `path`, which must outlive the result.
+Result<std::vector<Ppf>> SplitIntoPpfs(const xpath::LocationPath& path);
+
+// Rewrites '//' connector pairs into single strict steps using the identity
+// descendant-or-self::node()/child::X == descendant::X (likewise for a
+// descendant follower). This holds for every context, including the virtual
+// document root — where it matters: the root element is a child of the
+// document node and must survive '//*'. Only connectors followed by a
+// downward step remain after ExpandOrSelfSteps, so the result is
+// connector-free.
+xpath::LocationPath MergeConnectors(const xpath::LocationPath& path);
+
+// Rewrites name-tested `descendant-or-self::X` / `ancestor-or-self::X`
+// steps into explicit self / strict-axis alternatives, multiplying branches
+// (the `-or-self` composite cannot be expressed by a single path regex; see
+// translator notes). `descendant-or-self::node()` — the '//' connector — is
+// left alone: the regex builder handles it natively. Also expands inside
+// predicate paths by OR-ing the predicate alternatives.
+xpath::XPathExpr ExpandOrSelfSteps(const xpath::XPathExpr& expr);
+
+// ---------------------------------------------------------------------------
+// Path patterns (paper Table 1)
+// ---------------------------------------------------------------------------
+
+// Escapes ERE metacharacters in an element name.
+std::string EscapeRegexLiteral(const std::string& name);
+
+// A root-to-node path shape: an optional root anchor plus a sequence of
+// segments, each reached over a child ("/") or descendant ("/(.+/)?") hop.
+// Renders to the POSIX ERE the Paths column is filtered with.
+class PathPattern {
+ public:
+  PathPattern() = default;
+  static PathPattern Rooted() {
+    PathPattern p;
+    p.rooted_ = true;
+    return p;
+  }
+  static PathPattern Unrooted() { return PathPattern(); }
+
+  void AppendChild(std::string name_pattern);
+  void AppendDescendant(std::string name_pattern);
+
+  // Intersects the last segment's name pattern with `name` (for self
+  // steps). Returns false if the intersection is provably empty. With no
+  // segments yet, the constraint applies to the (virtual) context and is
+  // recorded as an initial segment only when rooted.
+  bool IntersectLast(const std::string& name);
+
+  bool rooted() const { return rooted_; }
+  bool empty() const { return segments_.empty(); }
+  size_t segment_count() const { return segments_.size(); }
+  // True if every hop is a child hop (fixed depth).
+  bool AllChildHops() const;
+  // Number of child hops (the minimum depth gap this pattern spans).
+  int MinDepth() const;
+
+  // "^/site/regions/(.+/)?item$" (rooted) or "^.*/item$" (unrooted).
+  std::string ToRegex() const;
+
+ private:
+  struct Segment {
+    bool descendant_hop = false;
+    std::string name_pattern;  // already regex-escaped or a char class
+  };
+  bool rooted_ = false;
+  std::vector<Segment> segments_;
+};
+
+// Name pattern of a step's node test: escaped tag or "[^/]+" for wildcards.
+std::string NodeTestPattern(const xpath::Step& step);
+
+// Extends `seed` with a forward step sequence. Returns false (impossible)
+// when a self step's name test contradicts the pattern.
+bool ExtendForwardPattern(PathPattern& pattern,
+                          const std::vector<const xpath::Step*>& steps);
+
+// Builds the regex for a backward PPF, filtering the *context* node's
+// root-to-node path (paper Table 1 rows 3-4; Algorithm 1 lines 4-5).
+// `context_pattern` is the name pattern of the context node's tag.
+std::string BackwardPathRegex(const std::vector<const xpath::Step*>& steps,
+                              const std::string& context_pattern);
+
+}  // namespace xprel::translate
+
+#endif  // XPREL_TRANSLATE_PPF_H_

@@ -1,0 +1,207 @@
+#include "translate/schema_nav.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xprel::translate {
+
+using xpath::Axis;
+using xpath::NodeTestKind;
+using xpath::Step;
+using xsd::SchemaGraph;
+
+namespace {
+
+NodeSet Sorted(std::set<int> s) { return NodeSet(s.begin(), s.end()); }
+
+bool MatchesTest(const SchemaGraph& graph, int node, const Step& step) {
+  switch (step.test) {
+    case NodeTestKind::kName:
+      return graph.node(node).tag == step.name;
+    case NodeTestKind::kWildcard:
+    case NodeTestKind::kAnyNode:
+      return true;
+    case NodeTestKind::kText:
+      // text() selects text nodes; as a schema-level filter, keep nodes that
+      // can carry text (the translator handles the projection).
+      return graph.node(node).has_text;
+  }
+  return false;
+}
+
+}  // namespace
+
+NodeSet FilterByTest(const SchemaGraph& graph, const NodeSet& nodes,
+                     const Step& step) {
+  NodeSet out;
+  for (int n : nodes) {
+    if (MatchesTest(graph, n, step)) out.push_back(n);
+  }
+  return out;
+}
+
+NodeSet Descendants(const SchemaGraph& graph, const NodeSet& nodes) {
+  std::set<int> seen;
+  std::vector<int> stack;
+  for (int n : nodes) {
+    for (int c : graph.node(n).children) stack.push_back(c);
+  }
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (!graph.node(n).reachable) continue;
+    if (!seen.insert(n).second) continue;
+    for (int c : graph.node(n).children) stack.push_back(c);
+  }
+  return Sorted(std::move(seen));
+}
+
+NodeSet Ancestors(const SchemaGraph& graph, const NodeSet& nodes) {
+  std::set<int> seen;
+  std::vector<int> stack;
+  for (int n : nodes) {
+    for (int p : graph.node(n).parents) stack.push_back(p);
+  }
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (!graph.node(n).reachable) continue;
+    if (!seen.insert(n).second) continue;
+    for (int p : graph.node(n).parents) stack.push_back(p);
+  }
+  return Sorted(std::move(seen));
+}
+
+NodeSet ApplyStep(const SchemaGraph& graph, const NavContext& context,
+                  const Step& step) {
+  // The virtual document root contributes: child = document roots;
+  // descendant(-or-self) = every reachable node; other axes nothing (there
+  // is no element there). A context may carry both the root flag and
+  // concrete nodes (after a '//' connector); merge both contributions.
+  if (context.is_document_root) {
+    NodeSet from_root;
+    switch (step.axis) {
+      case Axis::kChild:
+        from_root = FilterByTest(graph, graph.roots(), step);
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+        from_root = FilterByTest(graph, graph.ReachableNodes(), step);
+        break;
+      default:
+        break;
+    }
+    if (context.nodes.empty()) return from_root;
+    NavContext rest = NavContext::Of(context.nodes);
+    NodeSet from_nodes = ApplyStep(graph, rest, step);
+    from_root.insert(from_root.end(), from_nodes.begin(), from_nodes.end());
+    std::sort(from_root.begin(), from_root.end());
+    from_root.erase(std::unique(from_root.begin(), from_root.end()),
+                    from_root.end());
+    return from_root;
+  }
+
+  switch (step.axis) {
+    case Axis::kChild: {
+      std::set<int> out;
+      for (int n : context.nodes) {
+        for (int c : graph.node(n).children) {
+          if (graph.node(c).reachable && MatchesTest(graph, c, step)) {
+            out.insert(c);
+          }
+        }
+      }
+      return Sorted(std::move(out));
+    }
+    case Axis::kDescendant:
+      return FilterByTest(graph, Descendants(graph, context.nodes), step);
+    case Axis::kDescendantOrSelf: {
+      NodeSet all = Descendants(graph, context.nodes);
+      all.insert(all.end(), context.nodes.begin(), context.nodes.end());
+      std::sort(all.begin(), all.end());
+      all.erase(std::unique(all.begin(), all.end()), all.end());
+      return FilterByTest(graph, all, step);
+    }
+    case Axis::kSelf:
+      return FilterByTest(graph, context.nodes, step);
+    case Axis::kParent: {
+      std::set<int> out;
+      for (int n : context.nodes) {
+        for (int p : graph.node(n).parents) {
+          if (graph.node(p).reachable && MatchesTest(graph, p, step)) {
+            out.insert(p);
+          }
+        }
+      }
+      return Sorted(std::move(out));
+    }
+    case Axis::kAncestor:
+      return FilterByTest(graph, Ancestors(graph, context.nodes), step);
+    case Axis::kAncestorOrSelf: {
+      NodeSet all = Ancestors(graph, context.nodes);
+      all.insert(all.end(), context.nodes.begin(), context.nodes.end());
+      std::sort(all.begin(), all.end());
+      all.erase(std::unique(all.begin(), all.end()), all.end());
+      return FilterByTest(graph, all, step);
+    }
+    case Axis::kFollowing:
+    case Axis::kPreceding:
+      // Document-order axes can reach anywhere in the tree.
+      return FilterByTest(graph, graph.ReachableNodes(), step);
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      // Nodes sharing at least one possible parent with the context.
+      std::set<int> parents;
+      for (int n : context.nodes) {
+        for (int p : graph.node(n).parents) {
+          if (graph.node(p).reachable) parents.insert(p);
+        }
+      }
+      std::set<int> out;
+      for (int p : parents) {
+        for (int c : graph.node(p).children) {
+          if (graph.node(c).reachable && MatchesTest(graph, c, step)) {
+            out.insert(c);
+          }
+        }
+      }
+      return Sorted(std::move(out));
+    }
+    case Axis::kAttribute: {
+      NodeSet out;
+      for (int n : context.nodes) {
+        if (step.test == NodeTestKind::kName) {
+          const auto& attrs = graph.node(n).attributes;
+          if (std::find(attrs.begin(), attrs.end(), step.name) ==
+              attrs.end()) {
+            continue;
+          }
+        } else if (graph.node(n).attributes.empty()) {
+          continue;  // @* needs at least one declared attribute
+        }
+        out.push_back(n);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+NodeSet ApplySteps(const SchemaGraph& graph, const NavContext& context,
+                   const std::vector<const Step*>& steps) {
+  NavContext cur = context;
+  for (const Step* s : steps) {
+    NodeSet next = ApplyStep(graph, cur, *s);
+    // descendant-or-self::node() keeps the virtual document root in the
+    // context, so a following child step can still bind root elements.
+    bool keeps_root = cur.is_document_root &&
+                      s->axis == Axis::kDescendantOrSelf &&
+                      s->test == NodeTestKind::kAnyNode;
+    cur = NavContext::Of(std::move(next));
+    cur.is_document_root = keeps_root;
+    if (cur.nodes.empty() && !cur.is_document_root) return {};
+  }
+  return cur.nodes;
+}
+
+}  // namespace xprel::translate

@@ -1,0 +1,58 @@
+#ifndef XPREL_TRANSLATE_SCHEMA_NAV_H_
+#define XPREL_TRANSLATE_SCHEMA_NAV_H_
+
+#include <vector>
+
+#include "xpath/ast.h"
+#include "xsd/schema_graph.h"
+
+namespace xprel::translate {
+
+// A set of schema-graph node ids, sorted and deduplicated. The translator
+// navigates these sets along XPath steps to find the relations a step can
+// bind to (paper Section 4.1: "assigns a schema relation to the last step of
+// a PPF using the graph representation of the schema").
+using NodeSet = std::vector<int>;
+
+// The context a step is applied from: either a concrete node set, or the
+// virtual document root (the XPath context of an absolute path).
+struct NavContext {
+  NodeSet nodes;
+  bool is_document_root = false;
+
+  static NavContext DocumentRoot() {
+    NavContext c;
+    c.is_document_root = true;
+    return c;
+  }
+  static NavContext Of(NodeSet nodes) {
+    NavContext c;
+    c.nodes = std::move(nodes);
+    return c;
+  }
+};
+
+// Applies one step to a context, returning the set of schema nodes the step
+// can land on. Document-order axes (following / preceding) conservatively
+// return every reachable node with a matching test; sibling axes return
+// nodes sharing at least one possible parent. The attribute axis keeps the
+// context nodes, filtered to those declaring the attribute.
+NodeSet ApplyStep(const xsd::SchemaGraph& graph, const NavContext& context,
+                  const xpath::Step& step);
+
+// Applies a whole step sequence.
+NodeSet ApplySteps(const xsd::SchemaGraph& graph, const NavContext& context,
+                   const std::vector<const xpath::Step*>& steps);
+
+// Filters a node set by a node test.
+NodeSet FilterByTest(const xsd::SchemaGraph& graph, const NodeSet& nodes,
+                     const xpath::Step& step);
+
+// Transitive closure over children (descendants of the set, exclusive).
+NodeSet Descendants(const xsd::SchemaGraph& graph, const NodeSet& nodes);
+// Transitive closure over parents (ancestors of the set, exclusive).
+NodeSet Ancestors(const xsd::SchemaGraph& graph, const NodeSet& nodes);
+
+}  // namespace xprel::translate
+
+#endif  // XPREL_TRANSLATE_SCHEMA_NAV_H_

@@ -1,0 +1,1170 @@
+#include "translate/translator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include <cmath>
+
+#include "rex/regex.h"
+#include "translate/ppf.h"
+#include "translate/schema_nav.h"
+#include "xpath/parser.h"
+
+namespace xprel::translate {
+
+using rel::Add;
+using rel::And;
+using rel::Between;
+using rel::Bin;
+using rel::Col;
+using rel::Concat;
+using rel::Exists;
+using rel::Length;
+using rel::LitBytes;
+using rel::LitInt;
+using rel::LitStr;
+using rel::Not;
+using rel::Or;
+using rel::RegexpLike;
+using rel::SelectStmt;
+using rel::SqlExpr;
+using rel::SqlExprPtr;
+using rel::Value;
+using shred::RelationInfo;
+using shred::SchemaAwareMapping;
+using xpath::Axis;
+using xpath::CompOp;
+using xpath::Expr;
+using xpath::LocationPath;
+using xpath::NodeTestKind;
+using xpath::Step;
+using xpath::XPathExpr;
+using xsd::PathClass;
+using xsd::SchemaGraph;
+
+namespace {
+
+// The byte appended for Dewey upper bounds (the paper's || 'F').
+const char kDeweyMaxByte[] = "\xFF";
+
+// ---------------------------------------------------------------------------
+// Trivial boolean constants, with folding combinators.
+// ---------------------------------------------------------------------------
+
+SqlExprPtr MakeTrue() { return rel::Eq(LitInt(1), LitInt(1)); }
+SqlExprPtr MakeFalse() { return rel::Eq(LitInt(1), LitInt(0)); }
+
+bool IsConstBool(const SqlExpr& e, int64_t rhs) {
+  return e.kind == SqlExpr::Kind::kBinary && e.op == SqlExpr::BinOp::kEq &&
+         e.args[0]->kind == SqlExpr::Kind::kLiteral &&
+         e.args[1]->kind == SqlExpr::Kind::kLiteral &&
+         e.args[0]->literal == Value::Int(1) &&
+         e.args[1]->literal == Value::Int(rhs);
+}
+bool IsTrueExpr(const SqlExpr& e) { return IsConstBool(e, 1); }
+bool IsFalseExpr(const SqlExpr& e) { return IsConstBool(e, 0); }
+
+SqlExprPtr FoldAnd(SqlExprPtr a, SqlExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (IsTrueExpr(*a)) return b;
+  if (IsTrueExpr(*b)) return a;
+  if (IsFalseExpr(*a)) return a;
+  if (IsFalseExpr(*b)) return b;
+  return And(std::move(a), std::move(b));
+}
+
+SqlExprPtr FoldOr(SqlExprPtr a, SqlExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (IsFalseExpr(*a)) return b;
+  if (IsFalseExpr(*b)) return a;
+  if (IsTrueExpr(*a)) return a;
+  if (IsTrueExpr(*b)) return b;
+  return Or(std::move(a), std::move(b));
+}
+
+SqlExprPtr FoldNot(SqlExprPtr a) {
+  if (IsTrueExpr(*a)) return MakeFalse();
+  if (IsFalseExpr(*a)) return MakeTrue();
+  return Not(std::move(a));
+}
+
+SqlExpr::BinOp SqlOpOf(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return SqlExpr::BinOp::kEq;
+    case CompOp::kNe:
+      return SqlExpr::BinOp::kNe;
+    case CompOp::kLt:
+      return SqlExpr::BinOp::kLt;
+    case CompOp::kLe:
+      return SqlExpr::BinOp::kLe;
+    case CompOp::kGt:
+      return SqlExpr::BinOp::kGt;
+    case CompOp::kGe:
+      return SqlExpr::BinOp::kGe;
+  }
+  return SqlExpr::BinOp::kEq;
+}
+
+// ---------------------------------------------------------------------------
+// Build state
+// ---------------------------------------------------------------------------
+
+// An alias bound in some SELECT, with everything needed to join to it.
+struct AliasState {
+  std::string alias;
+  std::string relation;
+  NodeSet nodes;          // schema nodes this alias may hold
+  std::string paths_alias;  // alias of its Paths join; "" when not joined
+  PathPattern fwd;        // forward path pattern describing this alias
+  bool fwd_exact = false;  // fwd describes the alias's full root path
+};
+
+// One SELECT under construction. Clonable for relation-choice branching.
+struct StmtBuild {
+  std::unique_ptr<SelectStmt> stmt = std::make_unique<SelectStmt>();
+  std::vector<AliasState> aliases;
+
+  StmtBuild Clone() const {
+    StmtBuild out;
+    out.stmt = rel::CloneSelect(*stmt);
+    out.aliases = aliases;
+    return out;
+  }
+
+  AliasState* Find(const std::string& alias) {
+    for (AliasState& a : aliases) {
+      if (a.alias == alias) return &a;
+    }
+    return nullptr;
+  }
+
+  void AddWhere(SqlExprPtr cond) {
+    if (cond == nullptr || IsTrueExpr(*cond)) return;
+    stmt->where = FoldAnd(std::move(stmt->where), std::move(cond));
+  }
+};
+
+// Context threaded along a PPF chain.
+struct ChainCtx {
+  bool has_prev = false;
+  bool prev_external = false;  // prev alias lives in the enclosing SELECT
+  AliasState prev;
+  NavContext nodes = NavContext::DocumentRoot();
+  PathPattern fwd = PathPattern::Rooted();
+  bool fwd_contiguous = true;  // fwd extends through the previous PPF
+};
+
+enum class Tri { kTrue, kFalse, kFilter };
+
+// ---------------------------------------------------------------------------
+// BranchTranslator: translates one (already -or-self-expanded) branch.
+// ---------------------------------------------------------------------------
+
+class BranchTranslator {
+ public:
+  BranchTranslator(const SchemaAwareMapping& mapping,
+                   const TranslateOptions& options)
+      : mapping_(mapping), graph_(mapping.graph()), options_(options) {}
+
+  enum class ValueMode { kNone, kText, kAttribute };
+
+  Status TranslateBranch(const LocationPath& path,
+                         std::vector<std::unique_ptr<SelectStmt>>& out,
+                         ValueMode& value_mode);
+
+ private:
+  using DoneFn = std::function<Status(StmtBuild, ChainCtx)>;
+
+  std::string NewAlias(const std::string& relation) {
+    int n = ++alias_use_[relation];
+    return n == 1 ? relation : relation + "_" + std::to_string(n);
+  }
+
+  // Compiles (and caches) a translation-time regex for 4.5 decisions.
+  Result<const rex::Regex*> CompiledRegex(const std::string& pattern) {
+    auto it = regex_cache_.find(pattern);
+    if (it == regex_cache_.end()) {
+      auto re = rex::Regex::Compile(pattern);
+      if (!re.ok()) return re.status();
+      it = regex_cache_.emplace(pattern, std::move(re).value()).first;
+    }
+    return &it->second;
+  }
+
+  // Section 4.5 decision for filtering `relation` rows restricted to
+  // `subset` with `regex`. kTrue: filter provably redundant; kFalse: no row
+  // can match; kFilter: join Paths and apply the regex.
+  Result<Tri> DecidePathFilter(const RelationInfo& info, const NodeSet& subset,
+                               const std::string& regex) {
+    if (!options_.use_path_index) {
+      // Conventional mode: no Paths joins at all. Sound only when the
+      // relation holds exactly the chosen nodes' tag.
+      std::set<int> chosen(subset.begin(), subset.end());
+      for (int n : info.nodes) {
+        if (chosen.count(n) == 0) {
+          return Status::Unsupported(
+              "conventional translation requires tag-unique relations "
+              "(relation " + info.name + ")");
+        }
+      }
+      return Tri::kTrue;
+    }
+    if (!options_.omit_redundant_path_filters) return Tri::kFilter;
+    // Any involved node with unbounded paths forces the filter.
+    for (int n : info.nodes) {
+      if (graph_.node(n).path_class == PathClass::kInfinitePaths) {
+        return Tri::kFilter;
+      }
+    }
+    auto re = CompiledRegex(regex);
+    if (!re.ok()) return re.status();
+    std::set<int> chosen(subset.begin(), subset.end());
+    bool any_subset_match = false;
+    bool all_ok = true;  // every stored row provably satisfies the filter
+    for (int n : info.nodes) {
+      for (const std::string& p : graph_.node(n).root_paths) {
+        bool m = re.value()->Matches(p);
+        if (chosen.count(n) > 0 && m) any_subset_match = true;
+        if (!m) all_ok = false;        // a stored row the filter would drop
+        if (m && chosen.count(n) == 0) {
+          // A row outside the chosen subset would pass the regex; the
+          // navigation said it should not qualify, but the regex cannot
+          // tell them apart — keep the filter (conservative; joins decide).
+          // Note: this can only loosen results within the same relation and
+          // identical paths, which navigation would have included anyway.
+        }
+      }
+    }
+    if (!any_subset_match) return Tri::kFalse;
+    return all_ok ? Tri::kTrue : Tri::kFilter;
+  }
+
+  // Adds (once) the Paths join for `alias` in `build`.
+  std::string EnsurePathsJoin(StmtBuild& build, const std::string& alias) {
+    AliasState* st = build.Find(alias);
+    if (!st->paths_alias.empty()) return st->paths_alias;
+    std::string paths_alias = alias + "_Paths";
+    build.stmt->from.push_back({shred::kPathsTable, paths_alias});
+    build.AddWhere(rel::Eq(Col(alias, shred::kPathIdColumn),
+                           Col(paths_alias, shred::kIdColumn)));
+    st->paths_alias = paths_alias;
+    return paths_alias;
+  }
+
+  // REGEXP_LIKE condition on the alias's root-to-node path. `target` is the
+  // build that owns the alias.
+  SqlExprPtr PathRegexCondition(StmtBuild& target, const std::string& alias,
+                                const std::string& regex) {
+    std::string paths_alias = EnsurePathsJoin(target, alias);
+    return RegexpLike(Col(paths_alias, shred::kPathsPathColumn), regex);
+  }
+
+  // Name pattern describing the tags of a node subset ("item" or
+  // "(namerica|samerica)" or "[^/]+").
+  std::string TagPattern(const NodeSet& subset) {
+    std::set<std::string> tags;
+    for (int n : subset) tags.insert(graph_.node(n).tag);
+    if (tags.empty()) return "[^/]+";
+    if (tags.size() == 1) return EscapeRegexLiteral(*tags.begin());
+    std::string out = "(";
+    bool first = true;
+    for (const std::string& t : tags) {
+      if (!first) out += "|";
+      out += EscapeRegexLiteral(t);
+      first = false;
+    }
+    out += ")";
+    return out;
+  }
+
+  // --- structural joins (paper Table 2 / Algorithm 1 lines 8-14) ---------
+
+  struct DepthInfo {
+    bool fixed = true;
+    int child_hops = 0;
+  };
+
+  static DepthInfo ForwardDepth(const Ppf& ppf) {
+    DepthInfo d;
+    for (const Step* s : ppf.steps) {
+      switch (s->axis) {
+        case Axis::kChild:
+          ++d.child_hops;
+          break;
+        case Axis::kSelf:
+        case Axis::kAttribute:
+          break;
+        default:
+          d.fixed = false;
+          ++d.child_hops;  // at least one hop
+          break;
+      }
+    }
+    return d;
+  }
+
+  static DepthInfo BackwardDepth(const Ppf& ppf) {
+    DepthInfo d;
+    for (const Step* s : ppf.steps) {
+      if (s->axis == Axis::kParent) {
+        ++d.child_hops;
+      } else {
+        d.fixed = false;
+        ++d.child_hops;
+      }
+    }
+    return d;
+  }
+
+  // FK column on `child_rel` referencing `parent_rel`, or "".
+  std::string FkColumn(const std::string& child_rel,
+                       const std::string& parent_rel) const {
+    const RelationInfo* info = mapping_.FindRelation(child_rel);
+    if (info == nullptr) return "";
+    auto it = info->parent_fk_columns.find(parent_rel);
+    return it == info->parent_fk_columns.end() ? "" : it->second;
+  }
+
+  // Emits the join between the previous prominent alias and the current
+  // one. Returns false when the join is provably unsatisfiable.
+  bool EmitStructuralJoin(StmtBuild& build, const ChainCtx& ctx,
+                          const AliasState& cur, const Ppf& ppf) {
+    const AliasState& prev = ctx.prev;
+    auto dewey = [](const AliasState& a) {
+      return Col(a.alias, shred::kDeweyColumn);
+    };
+    auto upper = [&](const AliasState& a) {
+      return Concat(dewey(a), LitBytes(kDeweyMaxByte));
+    };
+
+    switch (ppf.kind) {
+      case PpfKind::kForward: {
+        DepthInfo d = ForwardDepth(ppf);
+        if (options_.fk_joins_for_child_parent && ppf.IsSingleStep() &&
+            ppf.prominent().axis == Axis::kChild) {
+          std::string fk = FkColumn(cur.relation, prev.relation);
+          if (!fk.empty()) {
+            build.AddWhere(
+                rel::Eq(Col(cur.alias, fk), Col(prev.alias, shred::kIdColumn)));
+            return true;
+          }
+          return false;  // schema says prev can never parent cur
+        }
+        // Lemma 1 is strict (descendant, not -or-self): d(cur) > d(prev)
+        // AND d(cur) < d(prev) || 0xFF. (-or-self steps are expanded away.)
+        SqlExprPtr cond =
+            And(Bin(SqlExpr::BinOp::kGt, dewey(cur), dewey(prev)),
+                Bin(SqlExpr::BinOp::kLt, dewey(cur), upper(prev)));
+        if (d.fixed) {
+          cond = And(std::move(cond),
+                     rel::Eq(Length(dewey(cur)),
+                             Add(Length(dewey(prev)),
+                                 LitInt(3 * d.child_hops))));
+        }
+        build.AddWhere(std::move(cond));
+        return true;
+      }
+      case PpfKind::kBackward: {
+        DepthInfo d = BackwardDepth(ppf);
+        if (options_.fk_joins_for_child_parent && ppf.IsSingleStep() &&
+            ppf.prominent().axis == Axis::kParent) {
+          std::string fk = FkColumn(prev.relation, cur.relation);
+          if (!fk.empty()) {
+            build.AddWhere(
+                rel::Eq(Col(prev.alias, fk), Col(cur.alias, shred::kIdColumn)));
+            return true;
+          }
+          return false;
+        }
+        SqlExprPtr cond =
+            And(Bin(SqlExpr::BinOp::kGt, dewey(prev), dewey(cur)),
+                Bin(SqlExpr::BinOp::kLt, dewey(prev), upper(cur)));
+        if (d.fixed) {
+          cond = And(std::move(cond),
+                     rel::Eq(Length(dewey(prev)),
+                             Add(Length(dewey(cur)),
+                                 LitInt(3 * d.child_hops))));
+        }
+        build.AddWhere(std::move(cond));
+        return true;
+      }
+      case PpfKind::kOrder: {
+        Axis axis = ppf.prominent().axis;
+        if (axis == Axis::kFollowing) {
+          build.AddWhere(
+              Bin(SqlExpr::BinOp::kGt, dewey(cur), upper(prev)));
+          return true;
+        }
+        if (axis == Axis::kPreceding) {
+          build.AddWhere(
+              Bin(SqlExpr::BinOp::kGt, dewey(prev), upper(cur)));
+          return true;
+        }
+        // Sibling axes: order comparison + shared parent FK.
+        SqlExprPtr order_cond =
+            axis == Axis::kFollowingSibling
+                ? Bin(SqlExpr::BinOp::kGt, dewey(cur), dewey(prev))
+                : Bin(SqlExpr::BinOp::kLt, dewey(cur), dewey(prev));
+        // Common parent relations of both subsets.
+        std::set<std::string> prev_parents, common;
+        for (int n : prev.nodes) {
+          for (int p : graph_.node(n).parents) {
+            prev_parents.insert(mapping_.RelationOf(p));
+          }
+        }
+        for (int n : cur.nodes) {
+          for (int p : graph_.node(n).parents) {
+            const std::string& r = mapping_.RelationOf(p);
+            if (prev_parents.count(r) > 0) common.insert(r);
+          }
+        }
+        SqlExprPtr par_cond;
+        for (const std::string& prel : common) {
+          std::string cur_fk = FkColumn(cur.relation, prel);
+          std::string prev_fk = FkColumn(prev.relation, prel);
+          if (cur_fk.empty() || prev_fk.empty()) continue;
+          par_cond = FoldOr(std::move(par_cond),
+                            rel::Eq(Col(cur.alias, cur_fk),
+                                    Col(prev.alias, prev_fk)));
+        }
+        if (par_cond == nullptr) return false;  // no shared parent possible
+        build.AddWhere(And(std::move(order_cond), std::move(par_cond)));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- chain building ------------------------------------------------------
+
+  // Processes PPFs [i..) of a chain into `build`, branching on relation
+  // choices; calls `done` for every completed (non-pruned) chain.
+  // `outer` points to the enclosing SELECT's build when translating a
+  // predicate path (so backward regexes can reach the outer Paths join).
+  Status BuildChain(StmtBuild build, StmtBuild* outer,
+                    const std::vector<Ppf>& ppfs, size_t i, ChainCtx ctx,
+                    const DoneFn& done) {
+    if (i == ppfs.size()) return done(std::move(build), std::move(ctx));
+    const Ppf& ppf = ppfs[i];
+
+    // Pure-self fragments restrict the previous alias instead of adding a
+    // relation (they arise from -or-self expansion).
+    bool all_self = ppf.kind == PpfKind::kForward;
+    for (const Step* s : ppf.steps) {
+      if (s->axis != Axis::kSelf) {
+        all_self = false;
+        break;
+      }
+    }
+    if (all_self) return BuildSelfFragment(std::move(build), outer, ppfs, i,
+                                           std::move(ctx), done);
+
+    // Node set reachable through this fragment.
+    NodeSet nodes = ApplySteps(graph_, ctx.nodes, ppf.steps);
+    if (nodes.empty()) return Status::Ok();  // schema-infeasible: prune
+
+    // Extend / reset the forward path pattern.
+    PathPattern fwd;
+    bool fwd_exact = false;
+    if (ppf.kind == PpfKind::kForward) {
+      if (ctx.fwd_contiguous) {
+        fwd = ctx.fwd;
+      } else {
+        fwd = PathPattern::Unrooted();
+        if (ctx.has_prev) fwd.AppendChild(TagPattern(ctx.prev.nodes));
+      }
+      if (!ExtendForwardPattern(fwd, ppf.steps)) return Status::Ok();
+      fwd_exact = true;
+    }
+
+    // Group the node set by relation (SQL splitting, Section 4.4).
+    std::map<std::string, NodeSet> by_relation;
+    for (int n : nodes) by_relation[mapping_.RelationOf(n)].push_back(n);
+
+    for (auto& [relation, subset] : by_relation) {
+      StmtBuild b = build.Clone();
+      AliasState cur;
+      cur.alias = NewAlias(relation);
+      cur.relation = relation;
+      cur.nodes = subset;
+      cur.fwd = fwd;
+      cur.fwd_exact = fwd_exact;
+      b.stmt->from.push_back({relation, cur.alias});
+      b.aliases.push_back(cur);
+
+      const RelationInfo* info = mapping_.FindRelation(relation);
+
+      // Path filtering (Algorithm 1 lines 2-7).
+      bool pruned = false;
+      if (ppf.kind == PpfKind::kForward) {
+        auto tri = DecidePathFilter(*info, subset, fwd.ToRegex());
+        if (!tri.ok()) return tri.status();
+        if (*tri == Tri::kFalse) continue;
+        if (*tri == Tri::kFilter) {
+          b.AddWhere(PathRegexCondition(b, cur.alias, fwd.ToRegex()));
+        }
+      } else if (ppf.kind == PpfKind::kBackward) {
+        // Regex on the *previous* prominent's path (lines 4-5).
+        if (ctx.has_prev) {
+          std::string regex =
+              BackwardPathRegex(ppf.steps, TagPattern(ctx.prev.nodes));
+          const RelationInfo* prev_info =
+              mapping_.FindRelation(ctx.prev.relation);
+          auto tri = DecidePathFilter(*prev_info, ctx.prev.nodes, regex);
+          if (!tri.ok()) return tri.status();
+          if (*tri == Tri::kFalse) {
+            pruned = true;
+          } else if (*tri == Tri::kFilter) {
+            StmtBuild& target =
+                ctx.prev_external && outer != nullptr ? *outer : b;
+            // The Paths join lives with the alias's owner; the condition
+            // belongs to this SELECT.
+            std::string paths_alias =
+                EnsurePathsJoin(target, ctx.prev.alias);
+            b.AddWhere(RegexpLike(
+                Col(paths_alias, shred::kPathsPathColumn), regex));
+          }
+        }
+        if (pruned) continue;
+        // The backward prominent's own path filter: its path must end with
+        // its tag — usually implied by the relation; check cheaply.
+        std::string own_regex = "^.*/" + TagPattern(subset) + "$";
+        auto tri = DecidePathFilter(*info, subset, own_regex);
+        if (!tri.ok()) return tri.status();
+        if (*tri == Tri::kFalse) continue;
+        if (*tri == Tri::kFilter) {
+          b.AddWhere(PathRegexCondition(b, cur.alias, own_regex));
+        }
+      } else {  // kOrder (lines 6-7): path ends with the step's name test
+        std::string own_regex =
+            "^.*/" + NodeTestPattern(ppf.prominent()) + "$";
+        auto tri = DecidePathFilter(*info, subset, own_regex);
+        if (!tri.ok()) return tri.status();
+        if (*tri == Tri::kFalse) continue;
+        if (*tri == Tri::kFilter) {
+          b.AddWhere(PathRegexCondition(b, cur.alias, own_regex));
+        }
+      }
+
+      // Structural join to the previous prominent (lines 8-14).
+      if (ctx.has_prev) {
+        if (!EmitStructuralJoin(b, ctx, cur, ppf)) continue;
+      }
+
+      // Predicates of the prominent step (lines 15-16).
+      bool predicate_false = false;
+      for (const xpath::ExprPtr& pred : ppf.prominent().predicates) {
+        auto cond = TranslatePredicate(b, cur, *pred);
+        if (!cond.ok()) return cond.status();
+        if (IsFalseExpr(*cond.value())) {
+          predicate_false = true;
+          break;
+        }
+        b.AddWhere(std::move(cond).value());
+      }
+      if (predicate_false) continue;
+
+      ChainCtx next;
+      next.has_prev = true;
+      next.prev_external = false;
+      next.prev = *b.Find(cur.alias);
+      next.nodes = NavContext::Of(subset);
+      next.fwd = fwd;
+      next.fwd_contiguous = ppf.kind == PpfKind::kForward;
+      XPREL_RETURN_IF_ERROR(
+          BuildChain(std::move(b), outer, ppfs, i + 1, std::move(next), done));
+    }
+    return Status::Ok();
+  }
+
+  Status BuildSelfFragment(StmtBuild build, StmtBuild* outer,
+                           const std::vector<Ppf>& ppfs, size_t i,
+                           ChainCtx ctx, const DoneFn& done) {
+    const Ppf& ppf = ppfs[i];
+    NodeSet nodes = ApplySteps(graph_, ctx.nodes, ppf.steps);
+    if (nodes.empty()) return Status::Ok();
+    if (!ctx.has_prev) {
+      // self on the document root context: no element there.
+      return Status::Ok();
+    }
+    PathPattern fwd = ctx.fwd;
+    if (ctx.fwd_contiguous && !ExtendForwardPattern(fwd, ppf.steps)) {
+      return Status::Ok();
+    }
+    // Narrow the previous alias's node set; re-check its path filter with
+    // the intersected pattern.
+    ctx.prev.nodes = nodes;
+    ctx.nodes = NavContext::Of(nodes);
+    if (ctx.fwd_contiguous && ctx.prev.fwd_exact) {
+      const RelationInfo* info = mapping_.FindRelation(ctx.prev.relation);
+      auto tri = DecidePathFilter(*info, nodes, fwd.ToRegex());
+      if (!tri.ok()) return tri.status();
+      if (*tri == Tri::kFalse) return Status::Ok();
+      if (*tri == Tri::kFilter) {
+        StmtBuild& target =
+            ctx.prev_external && outer != nullptr ? *outer : build;
+        std::string paths_alias = EnsurePathsJoin(target, ctx.prev.alias);
+        build.AddWhere(RegexpLike(
+            Col(paths_alias, shred::kPathsPathColumn), fwd.ToRegex()));
+      }
+      ctx.fwd = fwd;
+      ctx.prev.fwd = fwd;
+    }
+    // Predicates on the self step apply to the previous alias.
+    StmtBuild b = std::move(build);
+    for (const xpath::ExprPtr& pred : ppf.prominent().predicates) {
+      auto cond = TranslatePredicate(b, ctx.prev, *pred);
+      if (!cond.ok()) return cond.status();
+      if (IsFalseExpr(*cond.value())) return Status::Ok();
+      b.AddWhere(std::move(cond).value());
+    }
+    return BuildChain(std::move(b), outer, ppfs, i + 1, std::move(ctx), done);
+  }
+
+  // --- predicates ----------------------------------------------------------
+
+  static bool IsBackwardSimplePath(const LocationPath& path) {
+    if (path.absolute || path.steps.empty()) return false;
+    for (const Step& s : path.steps) {
+      if (!xpath::IsBackwardAxis(s.axis)) return false;
+      if (!s.predicates.empty()) return false;
+    }
+    return true;
+  }
+
+  static bool IsAttributeOnlyPath(const LocationPath& path) {
+    return !path.absolute && path.steps.size() == 1 &&
+           path.steps[0].axis == Axis::kAttribute &&
+           path.steps[0].predicates.empty();
+  }
+
+  // Attribute column of `ctx` for @name, or "" when no node declares it.
+  std::string AttrColumn(const AliasState& ctx, const std::string& name) {
+    const RelationInfo* info = mapping_.FindRelation(ctx.relation);
+    if (info == nullptr) return "";
+    auto it = info->attr_columns.find(name);
+    if (it == info->attr_columns.end()) return "";
+    // Require at least one node in the subset to declare it.
+    for (int n : ctx.nodes) {
+      const auto& attrs = graph_.node(n).attributes;
+      if (std::find(attrs.begin(), attrs.end(), name) != attrs.end()) {
+        return it->second;
+      }
+    }
+    return "";
+  }
+
+  Result<SqlExprPtr> TranslatePredicate(StmtBuild& outer,
+                                        const AliasState& ctx,
+                                        const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kAnd: {
+        auto a = TranslatePredicate(outer, ctx, *expr.children[0]);
+        if (!a.ok()) return a.status();
+        auto b = TranslatePredicate(outer, ctx, *expr.children[1]);
+        if (!b.ok()) return b.status();
+        return FoldAnd(std::move(a).value(), std::move(b).value());
+      }
+      case Expr::Kind::kOr: {
+        auto a = TranslatePredicate(outer, ctx, *expr.children[0]);
+        if (!a.ok()) return a.status();
+        auto b = TranslatePredicate(outer, ctx, *expr.children[1]);
+        if (!b.ok()) return b.status();
+        return FoldOr(std::move(a).value(), std::move(b).value());
+      }
+      case Expr::Kind::kNot: {
+        auto a = TranslatePredicate(outer, ctx, *expr.children[0]);
+        if (!a.ok()) return a.status();
+        return FoldNot(std::move(a).value());
+      }
+      case Expr::Kind::kPath:
+        return TranslatePathTest(outer, ctx, expr.path);
+      case Expr::Kind::kComparison:
+        return TranslateComparison(outer, ctx, expr);
+      case Expr::Kind::kString:
+        return expr.str_value.empty() ? MakeFalse() : MakeTrue();
+      case Expr::Kind::kNumber:
+        return Status::Unsupported(
+            "bare numeric (position) predicates are not translatable");
+      case Expr::Kind::kPosition:
+        return Status::Unsupported("position() is not translatable");
+    }
+    return Status::Internal("unhandled predicate kind");
+  }
+
+  // Existence test of a path predicate clause.
+  Result<SqlExprPtr> TranslatePathTest(StmtBuild& outer, const AliasState& ctx,
+                                       const LocationPath& path) {
+    if (IsAttributeOnlyPath(path)) {
+      const Step& s = path.steps[0];
+      if (s.test == NodeTestKind::kName) {
+        std::string col = AttrColumn(ctx, s.name);
+        if (col.empty()) return MakeFalse();
+        auto isnull = std::make_unique<SqlExpr>();
+        isnull->kind = SqlExpr::Kind::kIsNull;
+        isnull->args.push_back(Col(ctx.alias, col));
+        return FoldNot(std::move(isnull));
+      }
+      // @*: any declared attribute non-null.
+      const RelationInfo* info = mapping_.FindRelation(ctx.relation);
+      SqlExprPtr any;
+      for (const auto& [attr, col] : info->attr_columns) {
+        auto isnull = std::make_unique<SqlExpr>();
+        isnull->kind = SqlExpr::Kind::kIsNull;
+        isnull->args.push_back(Col(ctx.alias, col));
+        any = FoldOr(std::move(any), FoldNot(std::move(isnull)));
+      }
+      return any == nullptr ? MakeFalse() : std::move(any);
+    }
+
+    if (IsBackwardSimplePath(path) && options_.backward_predicate_regex &&
+        options_.use_path_index) {
+      // Table 5-2: fold into a regex on the context's own root path.
+      std::vector<const Step*> steps;
+      for (const Step& s : path.steps) steps.push_back(&s);
+      // Feasibility via navigation.
+      if (ApplySteps(graph_, NavContext::Of(ctx.nodes), steps).empty()) {
+        return MakeFalse();
+      }
+      std::string regex = BackwardPathRegex(steps, TagPattern(ctx.nodes));
+      const RelationInfo* info = mapping_.FindRelation(ctx.relation);
+      auto tri = DecidePathFilter(*info, ctx.nodes, regex);
+      if (!tri.ok()) return tri.status();
+      if (*tri == Tri::kTrue) return MakeTrue();
+      if (*tri == Tri::kFalse) return MakeFalse();
+      return PathRegexCondition(outer, ctx.alias, regex);
+    }
+
+    // General clause: EXISTS sub-select(s), one per relation-choice chain.
+    return BuildExistsClauses(
+        outer, ctx, path,
+        [](StmtBuild&, const ChainCtx&) { return Status::Ok(); });
+  }
+
+  // Value column (for comparisons) of the final chain context: the text
+  // column, or the attribute column when the prominent step is @name.
+  // Returns "" to prune.
+  std::string ValueColumn(const ChainCtx& ctx, const Ppf& last_ppf) {
+    const Step& prom = last_ppf.prominent();
+    if (prom.axis == Axis::kAttribute) {
+      if (prom.test != NodeTestKind::kName) return "";
+      return AttrColumn(ctx.prev, prom.name);
+    }
+    const RelationInfo* info = mapping_.FindRelation(ctx.prev.relation);
+    if (info == nullptr || !info->has_text) return "";
+    return shred::kTextColumn;
+  }
+
+  // Runs the chain machinery for a predicate path and wraps every complete
+  // chain into EXISTS(...), OR-ing the alternatives. `finish` may add value
+  // restrictions to the sub-select (returning non-OK to abort, or may prune
+  // by setting the where to FALSE).
+  Result<SqlExprPtr> BuildExistsClauses(
+      StmtBuild& outer, const AliasState& ctx, const LocationPath& path,
+      const std::function<Status(StmtBuild&, const ChainCtx&)>& finish) {
+    auto split = SplitIntoPpfs(path);
+    if (!split.ok()) return split.status();
+    std::vector<Ppf> ppf_list = options_.per_step_fragments
+                                    ? ExplodePerStep(split.value())
+                                    : std::move(split).value();
+    if (ppf_list.empty()) {
+      return Status::Unsupported("empty predicate path");
+    }
+
+    ChainCtx start;
+    if (path.absolute) {
+      start.has_prev = false;
+      start.nodes = NavContext::DocumentRoot();
+      start.fwd = PathPattern::Rooted();
+      start.fwd_contiguous = true;
+    } else {
+      start.has_prev = true;
+      start.prev_external = true;
+      start.prev = ctx;
+      start.nodes = NavContext::Of(ctx.nodes);
+      start.fwd = ctx.fwd;
+      start.fwd_contiguous = ctx.fwd_exact;
+    }
+
+    SqlExprPtr combined;
+    Status st = BuildChain(
+        StmtBuild{}, &outer, ppf_list, 0, start,
+        [&](StmtBuild sub, ChainCtx end_ctx) -> Status {
+          XPREL_RETURN_IF_ERROR(finish(sub, end_ctx));
+          if (sub.stmt->where != nullptr && IsFalseExpr(*sub.stmt->where)) {
+            return Status::Ok();  // pruned by finisher
+          }
+          if (sub.stmt->from.empty()) {
+            // Chain added no relation (pure-self path): the condition is
+            // whatever the finisher put in `where` against outer aliases.
+            SqlExprPtr cond = std::move(sub.stmt->where);
+            combined = FoldOr(std::move(combined),
+                              cond == nullptr ? MakeTrue() : std::move(cond));
+            return Status::Ok();
+          }
+          combined = FoldOr(std::move(combined), Exists(std::move(sub.stmt)));
+          return Status::Ok();
+        });
+    if (!st.ok()) return st;
+    if (combined == nullptr) return MakeFalse();
+    return combined;
+  }
+
+  Result<SqlExprPtr> TranslateComparison(StmtBuild& outer,
+                                         const AliasState& ctx,
+                                         const Expr& expr) {
+    const Expr& lhs = *expr.children[0];
+    const Expr& rhs = *expr.children[1];
+    if (lhs.kind == Expr::Kind::kPosition ||
+        rhs.kind == Expr::Kind::kPosition) {
+      return Status::Unsupported("position() is not translatable");
+    }
+
+    auto literal_of = [](const Expr& e) -> SqlExprPtr {
+      if (e.kind == Expr::Kind::kString) return LitStr(e.str_value);
+      if (e.kind == Expr::Kind::kNumber) {
+        double intpart = 0;
+        if (std::modf(e.num_value, &intpart) == 0.0) {
+          return LitInt(static_cast<int64_t>(intpart));
+        }
+        return rel::Lit(Value::Real(e.num_value));
+      }
+      return nullptr;
+    };
+
+    bool lhs_path = lhs.kind == Expr::Kind::kPath;
+    bool rhs_path = rhs.kind == Expr::Kind::kPath;
+
+    if (!lhs_path && !rhs_path) {
+      // Constant comparison: fold statically via the printer-level values.
+      SqlExprPtr l = literal_of(lhs);
+      SqlExprPtr r = literal_of(rhs);
+      if (l == nullptr || r == nullptr) {
+        return Status::Unsupported("unsupported comparison operands");
+      }
+      // Cheap fold for equal/unequal literals; other ops rare.
+      bool eq = l->literal == r->literal;
+      switch (expr.op) {
+        case CompOp::kEq:
+          return eq ? MakeTrue() : MakeFalse();
+        case CompOp::kNe:
+          return eq ? MakeFalse() : MakeTrue();
+        default:
+          return Status::Unsupported("constant ordering comparison");
+      }
+    }
+
+    if (lhs_path && rhs_path) {
+      return TranslatePathJoinComparison(outer, ctx, lhs.path, rhs.path,
+                                         expr.op);
+    }
+
+    const LocationPath& path = lhs_path ? lhs.path : rhs.path;
+    SqlExprPtr lit = literal_of(lhs_path ? rhs : lhs);
+    if (lit == nullptr) {
+      return Status::Unsupported("unsupported comparison operand");
+    }
+    CompOp op = expr.op;
+    if (!lhs_path) {
+      // literal op path  ->  path flipped-op literal
+      switch (op) {
+        case CompOp::kLt:
+          op = CompOp::kGt;
+          break;
+        case CompOp::kLe:
+          op = CompOp::kGe;
+          break;
+        case CompOp::kGt:
+          op = CompOp::kLt;
+          break;
+        case CompOp::kGe:
+          op = CompOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+
+    // @attr op literal directly on the context relation (Table 3-1).
+    if (IsAttributeOnlyPath(path) &&
+        path.steps[0].test == NodeTestKind::kName) {
+      std::string col = AttrColumn(ctx, path.steps[0].name);
+      if (col.empty()) return MakeFalse();
+      return Bin(SqlOpOf(op), Col(ctx.alias, col),
+                 rel::CloneSqlExpr(*lit));
+    }
+
+    // General: EXISTS with a value restriction on the final prominent.
+    auto ppfs = SplitIntoPpfs(path);
+    if (!ppfs.ok()) return ppfs.status();
+    if (ppfs.value().empty()) {
+      return Status::Unsupported("empty comparison path");
+    }
+    const Ppf last = ppfs.value().back();  // copy of descriptor (borrowed steps)
+    return BuildExistsClauses(
+        outer, ctx, path,
+        [&](StmtBuild& sub, const ChainCtx& end_ctx) -> Status {
+          std::string col = ValueColumn(end_ctx, last);
+          if (col.empty()) {
+            sub.stmt->where = MakeFalse();
+            return Status::Ok();
+          }
+          sub.AddWhere(Bin(SqlOpOf(op), Col(end_ctx.prev.alias, col),
+                           rel::CloneSqlExpr(*lit)));
+          return Status::Ok();
+        });
+  }
+
+  // Predicate join-clause: path1 op path2 (both node sets; existential).
+  Result<SqlExprPtr> TranslatePathJoinComparison(StmtBuild& outer,
+                                                 const AliasState& ctx,
+                                                 const LocationPath& path1,
+                                                 const LocationPath& path2,
+                                                 CompOp op) {
+    auto ppfs1 = SplitIntoPpfs(path1);
+    if (!ppfs1.ok()) return ppfs1.status();
+    auto split2 = SplitIntoPpfs(path2);
+    if (!split2.ok()) return split2.status();
+    std::vector<Ppf> ppfs2 = options_.per_step_fragments
+                                 ? ExplodePerStep(split2.value())
+                                 : std::move(split2).value();
+    if (ppfs1.value().empty() || ppfs2.empty()) {
+      return Status::Unsupported("empty comparison path");
+    }
+    const Ppf last1 = ppfs1.value().back();
+    const Ppf last2 = ppfs2.back();
+
+    // Chain path1, then inside each complete chain run path2's chain into
+    // the same sub-select and add the theta join between value columns.
+    return BuildExistsClauses(
+        outer, ctx, path1,
+        [&](StmtBuild& sub, const ChainCtx& end1) -> Status {
+          std::string col1 = ValueColumn(end1, last1);
+          if (col1.empty()) {
+            sub.stmt->where = MakeFalse();
+            return Status::Ok();
+          }
+          ChainCtx start2;
+          if (path2.absolute) {
+            start2.has_prev = false;
+            start2.nodes = NavContext::DocumentRoot();
+            start2.fwd = PathPattern::Rooted();
+          } else {
+            start2.has_prev = true;
+            start2.prev_external = true;  // ctx is in the enclosing SELECT
+            start2.prev = ctx;
+            start2.nodes = NavContext::Of(ctx.nodes);
+            start2.fwd = ctx.fwd;
+            start2.fwd_contiguous = ctx.fwd_exact;
+          }
+          // Run path2's chains into clones of `sub`; pick them up by
+          // rebuilding `sub` as the OR is not expressible inside one
+          // EXISTS body's FROM — instead we nest another EXISTS.
+          SqlExprPtr inner;
+          Status st = BuildChain(
+              StmtBuild{}, &sub, ppfs2, 0, start2,
+              [&](StmtBuild sub2, ChainCtx end2) -> Status {
+                std::string col2 = ValueColumn(end2, last2);
+                if (col2.empty()) return Status::Ok();
+                sub2.AddWhere(Bin(SqlOpOf(op),
+                                  Col(end1.prev.alias, col1),
+                                  Col(end2.prev.alias, col2)));
+                if (sub2.stmt->from.empty()) {
+                  SqlExprPtr cond = std::move(sub2.stmt->where);
+                  inner = FoldOr(std::move(inner), std::move(cond));
+                  return Status::Ok();
+                }
+                inner =
+                    FoldOr(std::move(inner), Exists(std::move(sub2.stmt)));
+                return Status::Ok();
+              });
+          if (!st.ok()) return st;
+          if (inner == nullptr) {
+            sub.stmt->where = MakeFalse();
+            return Status::Ok();
+          }
+          sub.AddWhere(std::move(inner));
+          return Status::Ok();
+        });
+  }
+
+  // Rewrites each multi-step forward fragment into single-step fragments,
+  // merging '//' connectors into the following step as a descendant axis —
+  // the conventional one-join-per-step shape. Synthesized steps are owned
+  // by `owned_steps_`.
+  std::vector<Ppf> ExplodePerStep(const std::vector<Ppf>& ppfs) {
+    std::vector<Ppf> out;
+    for (const Ppf& ppf : ppfs) {
+      if (ppf.kind != PpfKind::kForward) {
+        out.push_back(ppf);
+        continue;
+      }
+      bool pending_connector = false;
+      for (const Step* step : ppf.steps) {
+        if (step->axis == Axis::kDescendantOrSelf &&
+            step->test == NodeTestKind::kAnyNode &&
+            step->predicates.empty()) {
+          pending_connector = true;
+          continue;
+        }
+        const Step* use = step;
+        if (pending_connector && step->axis == Axis::kChild) {
+          auto merged = std::make_unique<Step>(xpath::CloneStep(*step));
+          merged->axis = Axis::kDescendant;
+          use = merged.get();
+          owned_steps_.push_back(std::move(merged));
+        }
+        pending_connector = false;
+        // Attribute steps never travel alone: they stay with the owner
+        // element's fragment (the attribute is a column, not a join).
+        if (use->axis == Axis::kAttribute && !out.empty() &&
+            out.back().kind == PpfKind::kForward) {
+          out.back().steps.push_back(use);
+          continue;
+        }
+        Ppf single;
+        single.kind = PpfKind::kForward;
+        single.steps.push_back(use);
+        out.push_back(std::move(single));
+      }
+      if (pending_connector) {
+        // Trailing '//' connector: a descendant::node() step.
+        auto synth = std::make_unique<Step>();
+        synth->axis = Axis::kDescendant;
+        synth->test = NodeTestKind::kAnyNode;
+        Ppf single;
+        single.kind = PpfKind::kForward;
+        single.steps.push_back(synth.get());
+        owned_steps_.push_back(std::move(synth));
+        out.push_back(std::move(single));
+      }
+    }
+    return out;
+  }
+
+  const SchemaAwareMapping& mapping_;
+  const SchemaGraph& graph_;
+  const TranslateOptions& options_;
+  std::map<std::string, int> alias_use_;
+  std::map<std::string, rex::Regex> regex_cache_;
+  std::vector<std::unique_ptr<Step>> owned_steps_;
+};
+
+Status BranchTranslator::TranslateBranch(
+    const LocationPath& path, std::vector<std::unique_ptr<SelectStmt>>& out,
+    ValueMode& value_mode) {
+  if (path.steps.empty()) {
+    return Status::Unsupported("a bare '/' selects the document root node");
+  }
+
+  // Trailing text() becomes a value projection on the owner element.
+  LocationPath work = xpath::ClonePath(path);
+  value_mode = ValueMode::kNone;
+  const Step& last = work.steps.back();
+  if (last.test == NodeTestKind::kText) {
+    if (last.axis != Axis::kChild || !last.predicates.empty()) {
+      return Status::Unsupported("text() only as a plain final step");
+    }
+    work.steps.pop_back();
+    value_mode = ValueMode::kText;
+    if (work.steps.empty()) {
+      return Status::Unsupported("text() of the document root");
+    }
+  } else if (last.axis == Axis::kAttribute) {
+    value_mode = ValueMode::kAttribute;
+  }
+
+  auto split = SplitIntoPpfs(work);
+  if (!split.ok()) return split.status();
+  std::vector<Ppf> ppf_list = options_.per_step_fragments
+                                  ? ExplodePerStep(split.value())
+                                  : std::move(split).value();
+
+  ChainCtx start;  // document root (top-level relative paths share it)
+  const Ppf last_ppf = ppf_list.back();
+
+  return BuildChain(
+      StmtBuild{}, nullptr, ppf_list, 0, start,
+      [&](StmtBuild build, ChainCtx end_ctx) -> Status {
+        if (build.stmt->from.empty()) return Status::Ok();
+        SelectStmt& stmt = *build.stmt;
+        const std::string& alias = end_ctx.prev.alias;
+        stmt.distinct = true;
+        stmt.select.push_back({Col(alias, shred::kIdColumn), "id"});
+        stmt.select.push_back(
+            {Col(alias, shred::kDeweyColumn), "dewey_pos"});
+        if (value_mode == ValueMode::kText) {
+          const RelationInfo* info =
+              mapping_.FindRelation(end_ctx.prev.relation);
+          if (info == nullptr || !info->has_text) return Status::Ok();
+          stmt.select.push_back({Col(alias, shred::kTextColumn), "value"});
+          build.AddWhere(Bin(SqlExpr::BinOp::kNe,
+                             Col(alias, shred::kTextColumn), LitStr("")));
+        } else if (value_mode == ValueMode::kAttribute) {
+          std::string col = ValueColumn(end_ctx, last_ppf);
+          if (col.empty()) return Status::Ok();
+          stmt.select.push_back({Col(alias, col), "value"});
+          auto isnull = std::make_unique<SqlExpr>();
+          isnull->kind = SqlExpr::Kind::kIsNull;
+          isnull->args.push_back(Col(alias, col));
+          build.AddWhere(FoldNot(std::move(isnull)));
+        }
+        stmt.order_by.push_back({Col(alias, shred::kDeweyColumn), true});
+        out.push_back(std::move(build.stmt));
+        return Status::Ok();
+      });
+}
+
+}  // namespace
+
+PpfTranslator::PpfTranslator(const SchemaAwareMapping& mapping,
+                             TranslateOptions options)
+    : mapping_(mapping), options_(options) {}
+
+Result<TranslatedQuery> PpfTranslator::Translate(const XPathExpr& expr) const {
+  XPathExpr expanded = ExpandOrSelfSteps(expr);
+
+  TranslatedQuery out;
+  std::set<std::string> seen_sql;
+  bool value_mode_set = false;
+  BranchTranslator::ValueMode overall_mode = BranchTranslator::ValueMode::kNone;
+
+  for (const LocationPath& branch : expanded.branches) {
+    BranchTranslator bt(mapping_, options_);
+    std::vector<std::unique_ptr<SelectStmt>> selects;
+    BranchTranslator::ValueMode mode = BranchTranslator::ValueMode::kNone;
+    XPREL_RETURN_IF_ERROR(bt.TranslateBranch(branch, selects, mode));
+    if (!selects.empty()) {
+      if (value_mode_set && mode != overall_mode) {
+        return Status::Unsupported(
+            "union branches project incompatible results");
+      }
+      overall_mode = mode;
+      value_mode_set = true;
+    }
+    for (auto& s : selects) {
+      std::string text = rel::SqlToString(*s);
+      if (seen_sql.insert(text).second) {
+        out.sql.selects.push_back(std::move(s));
+      }
+    }
+  }
+  out.projects_value =
+      overall_mode != BranchTranslator::ValueMode::kNone && value_mode_set;
+  out.statically_empty = out.sql.selects.empty();
+  return out;
+}
+
+Result<TranslatedQuery> PpfTranslator::TranslateString(
+    std::string_view xpath) const {
+  auto parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return Translate(parsed.value());
+}
+
+}  // namespace xprel::translate

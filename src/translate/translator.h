@@ -1,0 +1,93 @@
+#ifndef XPREL_TRANSLATE_TRANSLATOR_H_
+#define XPREL_TRANSLATE_TRANSLATOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rel/sql_ast.h"
+#include "shred/schema_map.h"
+#include "xpath/ast.h"
+
+namespace xprel::translate {
+
+struct TranslateOptions {
+  // Section 4.5: skip the Paths join when the schema proves it redundant
+  // (U-P nodes, and F-P nodes whose every root path matches the regex).
+  // Disabled by the A1 ablation bench.
+  bool omit_redundant_path_filters = true;
+
+  // Section 4.2: use integer FK equijoins for single-step child / parent
+  // PPFs instead of Dewey theta-joins. Disabled by the A2 ablation bench
+  // (which then emits BETWEEN + LENGTH conditions).
+  bool fk_joins_for_child_parent = true;
+
+  // --- conventional-translation mode (the "commercial RDBMS" baseline) ---
+  // When `per_step_fragments` is set, every step becomes its own fragment
+  // ('//' connectors merge into the following step as a descendant axis),
+  // reproducing the classic one-join-per-step schema-aware translation the
+  // paper's Section 1 criticizes. `use_path_index = false` additionally
+  // forbids Paths joins entirely; this is only sound when each involved
+  // relation stores a single element tag, and the translator reports
+  // Unsupported otherwise. `backward_predicate_regex = false` turns off the
+  // Table 5-2 optimization (backward predicate paths become EXISTS chains).
+  bool per_step_fragments = false;
+  bool use_path_index = true;
+  bool backward_predicate_regex = true;
+};
+
+// The conventional baseline configuration described above.
+inline TranslateOptions NaiveTranslateOptions() {
+  TranslateOptions o;
+  o.per_step_fragments = true;
+  o.use_path_index = false;
+  o.backward_predicate_regex = false;
+  return o;
+}
+
+// The translated SQL plus projection metadata.
+struct TranslatedQuery {
+  rel::SqlQuery sql;
+  // Projected columns are always [id, dewey_pos] plus `value` when the
+  // XPath ends in text() or an attribute step.
+  bool projects_value = false;
+  // True when every select was pruned as schema-infeasible: the query is
+  // statically empty.
+  bool statically_empty = false;
+
+  std::string ToSqlString() const { return rel::SqlToString(sql); }
+};
+
+// PPF-based XPath-to-SQL translation over the schema-aware mapping — the
+// paper's primary contribution (Section 4):
+//   * the backbone and predicate paths are split into Primitive Path
+//     Fragments;
+//   * each forward fragment becomes one relation joined (at most once) with
+//     `Paths` under a regex filter derived from the maximal forward path;
+//   * fragments are connected with Dewey lexicographic theta-joins (Table
+//     2) or FK equijoins for single child/parent steps;
+//   * predicates become EXISTS sub-selects, except backward simple paths,
+//     which fold into extra regexes on the context's root-to-node path
+//     (Table 5-2), and attribute tests, which become column restrictions;
+//   * a prominent step matching several relations splits the statement into
+//     a UNION, but inside predicates it becomes OR-ed sub-selects (4.4);
+//   * U-P / F-P / I-P marking suppresses provably redundant path filters
+//     (4.5).
+class PpfTranslator {
+ public:
+  explicit PpfTranslator(const shred::SchemaAwareMapping& mapping,
+                         TranslateOptions options = {});
+
+  Result<TranslatedQuery> Translate(const xpath::XPathExpr& expr) const;
+  Result<TranslatedQuery> TranslateString(std::string_view xpath) const;
+
+  const TranslateOptions& options() const { return options_; }
+
+ private:
+  const shred::SchemaAwareMapping& mapping_;
+  TranslateOptions options_;
+};
+
+}  // namespace xprel::translate
+
+#endif  // XPREL_TRANSLATE_TRANSLATOR_H_

@@ -1,0 +1,111 @@
+#include "xml/document.h"
+
+#include <cassert>
+
+namespace xprel::xml {
+
+const std::string* Document::FindAttribute(NodeId id,
+                                           std::string_view name) const {
+  const Node& n = node(id);
+  for (const Attribute& a : n.attributes) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+std::string Document::StringValue(NodeId id) const {
+  const Node& n = node(id);
+  if (n.kind == NodeKind::kText) return n.text;
+  std::string out;
+  // Descendants of a preorder node are the contiguous id range following it,
+  // bounded by the first node that is not deeper than it.
+  for (NodeId d = id + 1; d <= size(); ++d) {
+    const Node& dn = node(d);
+    if (dn.depth <= n.depth) break;
+    if (dn.kind == NodeKind::kText) out += dn.text;
+  }
+  return out;
+}
+
+std::string Document::RootToNodePath(NodeId id) const {
+  assert(IsElement(id));
+  std::vector<const std::string*> names;
+  for (NodeId cur = id; cur != kNoNode; cur = node(cur).parent) {
+    names.push_back(&node(cur).name);
+  }
+  std::string out;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    out += '/';
+    out += **it;
+  }
+  return out;
+}
+
+int32_t Document::CountElements() const {
+  int32_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.kind == NodeKind::kElement) ++n;
+  }
+  return n;
+}
+
+NodeId Builder::StartElement(std::string_view name) {
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.name = std::string(name);
+  n.parent = stack_.empty() ? kNoNode : stack_.back();
+  n.depth = static_cast<int32_t>(stack_.size()) + 1;
+  doc_.nodes_.push_back(std::move(n));
+  NodeId id = static_cast<NodeId>(doc_.nodes_.size());
+  if (!stack_.empty()) {
+    Node& parent = doc_.nodes_[static_cast<size_t>(stack_.back() - 1)];
+    parent.children.push_back(id);
+    doc_.nodes_.back().sibling_ordinal =
+        static_cast<int32_t>(parent.children.size());
+  }
+  stack_.push_back(id);
+  return id;
+}
+
+void Builder::AddAttribute(std::string_view name, std::string_view value) {
+  assert(!stack_.empty());
+  Node& n = doc_.nodes_[static_cast<size_t>(stack_.back() - 1)];
+  // Attributes may only be added before any child is appended, mirroring the
+  // XML syntax; the parser guarantees this.
+  n.attributes.push_back({std::string(name), std::string(value)});
+}
+
+NodeId Builder::AddText(std::string_view text) {
+  assert(!stack_.empty());
+  Node n;
+  n.kind = NodeKind::kText;
+  n.text = std::string(text);
+  n.parent = stack_.back();
+  n.depth = static_cast<int32_t>(stack_.size()) + 1;
+  doc_.nodes_.push_back(std::move(n));
+  NodeId id = static_cast<NodeId>(doc_.nodes_.size());
+  Node& parent = doc_.nodes_[static_cast<size_t>(stack_.back() - 1)];
+  parent.children.push_back(id);
+  doc_.nodes_.back().sibling_ordinal =
+      static_cast<int32_t>(parent.children.size());
+  return id;
+}
+
+NodeId Builder::AddTextElement(std::string_view name, std::string_view text) {
+  NodeId id = StartElement(name);
+  AddText(text);
+  EndElement();
+  return id;
+}
+
+void Builder::EndElement() {
+  assert(!stack_.empty());
+  stack_.pop_back();
+}
+
+Document Builder::Finish() && {
+  assert(stack_.empty() && "Finish() with unclosed elements");
+  return std::move(doc_);
+}
+
+}  // namespace xprel::xml

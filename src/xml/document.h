@@ -1,0 +1,113 @@
+#ifndef XPREL_XML_DOCUMENT_H_
+#define XPREL_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xprel::xml {
+
+// Node ids are preorder positions, starting at 1 for the document's root
+// element — the same numbering the paper uses in Figure 1(b). Id 0 means
+// "no node".
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = 0;
+
+enum class NodeKind : uint8_t {
+  kElement,
+  kText,
+};
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+// One node of the XML tree. Element nodes have a tag name and attributes;
+// text nodes carry their character data in `text`.
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  std::string name;             // element tag; empty for text nodes
+  std::string text;             // character data; empty for elements
+  std::vector<Attribute> attributes;
+
+  NodeId parent = kNoNode;
+  std::vector<NodeId> children;  // in document order
+  int32_t depth = 0;             // root element = 1
+  // Position among the parent's children, 1-based (the "local order" that
+  // Dewey components encode).
+  int32_t sibling_ordinal = 1;
+};
+
+// A parsed XML document: an ordered, labeled tree stored as a preorder array
+// of nodes, so that node ids coincide with document order. The tree shape is
+// immutable after construction; use XmlBuilder or ParseXml to create one.
+class Document {
+ public:
+  Document() = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  NodeId root() const { return nodes_.empty() ? kNoNode : 1; }
+  // Total number of nodes (elements + text nodes).
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id - 1)]; }
+  bool IsElement(NodeId id) const { return node(id).kind == NodeKind::kElement; }
+
+  // Attribute value of an element, or nullptr if absent.
+  const std::string* FindAttribute(NodeId id, std::string_view name) const;
+
+  // Concatenation of all descendant text of `id` in document order — the
+  // XPath string-value of an element.
+  std::string StringValue(NodeId id) const;
+
+  // Root-to-node path of an *element* node, e.g. "/dblp/inproceedings/title".
+  // Attribute of the paper's Section 3.1 path index.
+  std::string RootToNodePath(NodeId id) const;
+
+  // Number of element nodes (text nodes excluded).
+  int32_t CountElements() const;
+
+ private:
+  friend class Builder;
+  std::vector<Node> nodes_;
+};
+
+// Incremental preorder construction of a Document. Used both by the XML
+// parser and by the synthetic data generators.
+//
+//   Builder b;
+//   b.StartElement("site");
+//   b.AddAttribute("id", "s0");
+//   b.AddText("hello");
+//   b.EndElement();
+//   Document doc = std::move(b).Finish();
+class Builder {
+ public:
+  Builder() = default;
+
+  NodeId StartElement(std::string_view name);
+  void AddAttribute(std::string_view name, std::string_view value);
+  NodeId AddText(std::string_view text);
+  void EndElement();
+
+  // Convenience: element with a single text child.
+  NodeId AddTextElement(std::string_view name, std::string_view text);
+
+  bool AtTopLevel() const { return stack_.empty(); }
+
+  Document Finish() &&;
+
+ private:
+  Document doc_;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace xprel::xml
+
+#endif  // XPREL_XML_DOCUMENT_H_

@@ -1,0 +1,310 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace xprel::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view input, const ParseOptions& options)
+      : s_(input), options_(options) {}
+
+  Result<Document> Parse() {
+    SkipProlog();
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    XPREL_RETURN_IF_ERROR(ParseElement());
+    SkipMisc();
+    if (!AtEnd()) return Error("content after root element");
+    if (!builder_.AtTopLevel()) return Error("unclosed element");
+    return std::move(builder_).Finish();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < s_.size() ? s_[pos_ + off] : '\0';
+  }
+  void Advance(size_t n = 1) { pos_ += n; }
+
+  bool ConsumePrefix(std::string_view p) {
+    if (s_.substr(pos_, p.size()) == p) {
+      pos_ += p.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError("xml: " + msg + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  // Skips the document prolog: XML declaration, comments, PIs, DOCTYPE.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (ConsumePrefix("<?")) {
+        SkipUntil("?>");
+      } else if (ConsumePrefix("<!--")) {
+        SkipUntil("-->");
+      } else if (s_.substr(pos_, 9) == "<!DOCTYPE") {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  // Skips comments / PIs / whitespace after the root element.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (ConsumePrefix("<!--")) {
+        SkipUntil("-->");
+      } else if (ConsumePrefix("<?")) {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    size_t p = s_.find(terminator, pos_);
+    pos_ = (p == std::string_view::npos) ? s_.size() : p + terminator.size();
+  }
+
+  void SkipDoctype() {
+    // "<!DOCTYPE ... >" possibly with an [ internal subset ].
+    Advance(9);
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      Advance();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        return;
+      }
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Status(StatusCode::kParseError,
+                    "xml: expected name at offset " + std::to_string(pos_));
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  // Decodes entity and character references in `raw`.
+  Result<std::string> DecodeText(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      char c = raw[i];
+      if (c != '&') {
+        out.push_back(c);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("xml: unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        // Encode as UTF-8.
+        if (code <= 0) {
+          return Status::ParseError("xml: bad character reference");
+        } else if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Status::ParseError("xml: unknown entity '&" + std::string(ent) +
+                                  ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Status ParseAttributes() {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      char c = Peek();
+      if (c == '>' || c == '/') return Status::Ok();
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+      Advance();
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = Peek();
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) Advance();
+      if (AtEnd()) return Error("unterminated attribute value");
+      auto value = DecodeText(s_.substr(start, pos_ - start));
+      if (!value.ok()) return value.status();
+      Advance();  // closing quote
+      builder_.AddAttribute(name.value(), value.value());
+    }
+  }
+
+  Status ParseElement() {
+    // Caller guarantees Peek() == '<'.
+    Advance();
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    builder_.StartElement(name.value());
+    XPREL_RETURN_IF_ERROR(ParseAttributes());
+    if (ConsumePrefix("/>")) {
+      builder_.EndElement();
+      return Status::Ok();
+    }
+    if (!ConsumePrefix(">")) return Error("expected '>'");
+    XPREL_RETURN_IF_ERROR(ParseContent(name.value()));
+    return Status::Ok();
+  }
+
+  // Parses element content up to and including the matching end tag.
+  Status ParseContent(const std::string& open_name) {
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      if (pending_text.empty()) return Status::Ok();
+      if (options_.keep_whitespace_text || !IsAllWhitespace(pending_text)) {
+        auto decoded = DecodeText(pending_text);
+        if (!decoded.ok()) return decoded.status();
+        builder_.AddText(decoded.value());
+      }
+      pending_text.clear();
+      return Status::Ok();
+    };
+
+    while (true) {
+      if (AtEnd()) return Error("unterminated element <" + open_name + ">");
+      char c = Peek();
+      if (c != '<') {
+        pending_text.push_back(c);
+        Advance();
+        continue;
+      }
+      if (ConsumePrefix("</")) {
+        XPREL_RETURN_IF_ERROR(flush_text());
+        auto close = ParseName();
+        if (!close.ok()) return close.status();
+        SkipWhitespace();
+        if (!ConsumePrefix(">")) return Error("expected '>' in end tag");
+        if (close.value() != open_name) {
+          return Error("mismatched end tag </" + close.value() +
+                       "> for <" + open_name + ">");
+        }
+        builder_.EndElement();
+        return Status::Ok();
+      }
+      if (ConsumePrefix("<!--")) {
+        SkipUntil("-->");
+        continue;
+      }
+      if (ConsumePrefix("<![CDATA[")) {
+        size_t end = s_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Error("unterminated CDATA section");
+        }
+        // CDATA content is literal: bypass entity decoding by flushing what
+        // we have, then emitting the raw bytes as their own text node.
+        XPREL_RETURN_IF_ERROR(flush_text());
+        builder_.AddText(s_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (ConsumePrefix("<?")) {
+        SkipUntil("?>");
+        continue;
+      }
+      // Child element.
+      XPREL_RETURN_IF_ERROR(flush_text());
+      XPREL_RETURN_IF_ERROR(ParseElement());
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  ParseOptions options_;
+  Builder builder_;
+};
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view input, const ParseOptions& options) {
+  XmlParser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace xprel::xml

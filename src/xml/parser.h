@@ -1,0 +1,28 @@
+#ifndef XPREL_XML_PARSER_H_
+#define XPREL_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace xprel::xml {
+
+struct ParseOptions {
+  // When false (the default for shredding), text nodes consisting solely of
+  // whitespace between elements are dropped; they carry no data and would
+  // bloat the relational image.
+  bool keep_whitespace_text = false;
+};
+
+// Parses a standalone XML document: one root element, optional XML
+// declaration, comments, processing instructions, CDATA sections, the five
+// predefined entities plus decimal/hex character references. DTDs in the
+// prolog are skipped, not validated — schema validation is the XSD module's
+// job.
+Result<Document> ParseXml(std::string_view input,
+                          const ParseOptions& options = {});
+
+}  // namespace xprel::xml
+
+#endif  // XPREL_XML_PARSER_H_

@@ -1,0 +1,90 @@
+#include "xml/serializer.h"
+
+namespace xprel::xml {
+
+std::string EscapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SerializeNode(const Document& doc, NodeId id,
+                   const SerializeOptions& options, int depth,
+                   std::string& out) {
+  const Node& n = doc.node(id);
+  auto indent = [&]() {
+    if (options.indent) {
+      out.push_back('\n');
+      out.append(static_cast<size_t>(depth) * 2, ' ');
+    }
+  };
+  if (n.kind == NodeKind::kText) {
+    out += EscapeXml(n.text);
+    return;
+  }
+  indent();
+  out.push_back('<');
+  out += n.name;
+  for (const Attribute& a : n.attributes) {
+    out.push_back(' ');
+    out += a.name;
+    out += "=\"";
+    out += EscapeXml(a.value);
+    out.push_back('"');
+  }
+  if (n.children.empty()) {
+    out += "/>";
+    return;
+  }
+  out.push_back('>');
+  bool has_element_child = false;
+  for (NodeId c : n.children) {
+    if (doc.node(c).kind == NodeKind::kElement) has_element_child = true;
+    SerializeNode(doc, c, options, depth + 1, out);
+  }
+  if (options.indent && has_element_child) {
+    out.push_back('\n');
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  out += "</";
+  out += n.name;
+  out.push_back('>');
+}
+
+}  // namespace
+
+std::string SerializeXml(const Document& doc, const SerializeOptions& options) {
+  std::string out;
+  if (doc.root() != kNoNode) {
+    SerializeNode(doc, doc.root(), options, 0, out);
+  }
+  if (options.indent && !out.empty() && out.front() == '\n') {
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+}  // namespace xprel::xml

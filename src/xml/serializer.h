@@ -1,0 +1,25 @@
+#ifndef XPREL_XML_SERIALIZER_H_
+#define XPREL_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace xprel::xml {
+
+struct SerializeOptions {
+  // Pretty-print with two-space indentation and newlines. Off by default so
+  // that serialize(parse(x)) preserves text content exactly.
+  bool indent = false;
+};
+
+// Serializes the document back to XML text, escaping the five predefined
+// entities in text and attribute values.
+std::string SerializeXml(const Document& doc, const SerializeOptions& options = {});
+
+// Escapes &, <, >, ", ' in `s` for inclusion in XML text or attributes.
+std::string EscapeXml(const std::string& s);
+
+}  // namespace xprel::xml
+
+#endif  // XPREL_XML_SERIALIZER_H_

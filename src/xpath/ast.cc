@@ -1,0 +1,194 @@
+#include "xpath/ast.h"
+
+#include <cmath>
+
+namespace xprel::xpath {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kAttribute:
+      return "attribute";
+  }
+  return "?";
+}
+
+bool IsForwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kSelf:
+    case Axis::kAttribute:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBackwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* CompOpName(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return "=";
+    case CompOp::kNe:
+      return "!=";
+    case CompOp::kLt:
+      return "<";
+    case CompOp::kLe:
+      return "<=";
+    case CompOp::kGt:
+      return ">";
+    case CompOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string ToString(const Step& step) {
+  std::string out = AxisName(step.axis);
+  out += "::";
+  switch (step.test) {
+    case NodeTestKind::kName:
+      out += step.name;
+      break;
+    case NodeTestKind::kWildcard:
+      out += "*";
+      break;
+    case NodeTestKind::kText:
+      out += "text()";
+      break;
+    case NodeTestKind::kAnyNode:
+      out += "node()";
+      break;
+  }
+  for (const ExprPtr& p : step.predicates) {
+    out += "[";
+    out += ToString(*p);
+    out += "]";
+  }
+  return out;
+}
+
+std::string ToString(const LocationPath& path) {
+  std::string out;
+  if (path.absolute) out += "/";
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    if (i > 0) out += "/";
+    out += ToString(path.steps[i]);
+  }
+  return out;
+}
+
+std::string ToString(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd:
+      return "(" + ToString(*expr.children[0]) + " and " +
+             ToString(*expr.children[1]) + ")";
+    case Expr::Kind::kOr:
+      return "(" + ToString(*expr.children[0]) + " or " +
+             ToString(*expr.children[1]) + ")";
+    case Expr::Kind::kNot:
+      return "not(" + ToString(*expr.children[0]) + ")";
+    case Expr::Kind::kComparison:
+      return ToString(*expr.children[0]) + " " + CompOpName(expr.op) + " " +
+             ToString(*expr.children[1]);
+    case Expr::Kind::kPath:
+      return ToString(expr.path);
+    case Expr::Kind::kString:
+      return "'" + expr.str_value + "'";
+    case Expr::Kind::kNumber: {
+      double intpart = 0;
+      if (std::modf(expr.num_value, &intpart) == 0.0) {
+        return std::to_string(static_cast<long long>(intpart));
+      }
+      return std::to_string(expr.num_value);
+    }
+    case Expr::Kind::kPosition:
+      return "position()";
+  }
+  return "?";
+}
+
+std::string ToString(const XPathExpr& expr) {
+  std::string out;
+  for (size_t i = 0; i < expr.branches.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += ToString(expr.branches[i]);
+  }
+  return out;
+}
+
+ExprPtr CloneExpr(const Expr& expr) {
+  auto out = std::make_unique<Expr>();
+  out->kind = expr.kind;
+  out->op = expr.op;
+  out->path = ClonePath(expr.path);
+  out->str_value = expr.str_value;
+  out->num_value = expr.num_value;
+  for (const ExprPtr& c : expr.children) {
+    out->children.push_back(CloneExpr(*c));
+  }
+  return out;
+}
+
+Step CloneStep(const Step& step) {
+  Step out;
+  out.axis = step.axis;
+  out.test = step.test;
+  out.name = step.name;
+  for (const ExprPtr& p : step.predicates) {
+    out.predicates.push_back(CloneExpr(*p));
+  }
+  return out;
+}
+
+LocationPath ClonePath(const LocationPath& path) {
+  LocationPath out;
+  out.absolute = path.absolute;
+  for (const Step& s : path.steps) {
+    out.steps.push_back(CloneStep(s));
+  }
+  return out;
+}
+
+XPathExpr CloneXPath(const XPathExpr& expr) {
+  XPathExpr out;
+  for (const LocationPath& b : expr.branches) {
+    out.branches.push_back(ClonePath(b));
+  }
+  return out;
+}
+
+}  // namespace xprel::xpath

@@ -1,0 +1,109 @@
+#ifndef XPREL_XPATH_AST_H_
+#define XPREL_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xprel::xpath {
+
+// The thirteen XPath 1.0/2.0 axes the paper supports (Section 1: "all XPath
+// axes"), plus the attribute axis used by @name tests in predicates.
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kSelf,
+  kFollowing,
+  kFollowingSibling,
+  kPreceding,
+  kPrecedingSibling,
+  kAttribute,
+};
+
+// Spelled-out axis name, e.g. "following-sibling".
+const char* AxisName(Axis axis);
+
+// True for axes that move toward the document end / downward; the paper's
+// forward-simple-path definition admits child, descendant(-or-self), self
+// and attribute.
+bool IsForwardAxis(Axis axis);
+// True for parent / ancestor(-or-self).
+bool IsBackwardAxis(Axis axis);
+
+enum class NodeTestKind {
+  kName,      // element (or attribute) name test
+  kWildcard,  // *
+  kText,      // text()
+  kAnyNode,   // node()
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+// One XPath step: axis :: node-test [pred]*.
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTestKind test = NodeTestKind::kName;
+  std::string name;  // for kName
+  std::vector<ExprPtr> predicates;
+};
+
+// A sequence of steps; `absolute` paths start at the document root.
+struct LocationPath {
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+enum class CompOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompOpName(CompOp op);
+
+// Predicate / general expression node. The paper's predicate language
+// (Section 4.3): predicate clauses are paths, path-vs-atomic comparisons or
+// path-vs-path comparisons ("predicate join-clauses"), combined with
+// and / or / not(); plus numeric position predicates.
+struct Expr {
+  enum class Kind {
+    kAnd,         // children[0] and children[1]
+    kOr,          // children[0] or children[1]
+    kNot,         // not(children[0])
+    kComparison,  // children[0] op children[1]
+    kPath,        // existence test (or comparison operand)
+    kString,      // string literal operand
+    kNumber,      // numeric literal; bare [n] means position() = n
+    kPosition,    // position() operand
+  };
+
+  Kind kind;
+  std::vector<ExprPtr> children;
+  CompOp op = CompOp::kEq;   // for kComparison
+  LocationPath path;         // for kPath
+  std::string str_value;     // for kString
+  double num_value = 0;      // for kNumber
+};
+
+// A full XPath expression: one or more location paths combined with '|'.
+struct XPathExpr {
+  std::vector<LocationPath> branches;
+};
+
+// Renders the AST back to (canonical, unabbreviated) XPath text — used by
+// tests and error messages.
+std::string ToString(const XPathExpr& expr);
+std::string ToString(const LocationPath& path);
+std::string ToString(const Step& step);
+std::string ToString(const Expr& expr);
+
+// Deep copies (Expr owns children through unique_ptr).
+ExprPtr CloneExpr(const Expr& expr);
+LocationPath ClonePath(const LocationPath& path);
+Step CloneStep(const Step& step);
+XPathExpr CloneXPath(const XPathExpr& expr);
+
+}  // namespace xprel::xpath
+
+#endif  // XPREL_XPATH_AST_H_

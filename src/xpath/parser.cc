@@ -1,0 +1,584 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xprel::xpath {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kName,         // NCName (axis keywords included; parser disambiguates)
+  kStar,         // *
+  kAt,           // @
+  kDot,          // .
+  kDotDot,       // ..
+  kColonColon,   // ::
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kPipe,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kString,
+  kNumber,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;   // for kName / kString
+  double number = 0;  // for kNumber
+  size_t offset = 0;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      size_t off = pos_;
+      if (pos_ >= s_.size()) {
+        out.push_back({Tok::kEnd, "", 0, off});
+        return out;
+      }
+      char c = s_[pos_];
+      switch (c) {
+        case '/':
+          ++pos_;
+          if (pos_ < s_.size() && s_[pos_] == '/') {
+            ++pos_;
+            out.push_back({Tok::kDoubleSlash, "", 0, off});
+          } else {
+            out.push_back({Tok::kSlash, "", 0, off});
+          }
+          continue;
+        case '*':
+          ++pos_;
+          out.push_back({Tok::kStar, "", 0, off});
+          continue;
+        case '@':
+          ++pos_;
+          out.push_back({Tok::kAt, "", 0, off});
+          continue;
+        case '[':
+          ++pos_;
+          out.push_back({Tok::kLBracket, "", 0, off});
+          continue;
+        case ']':
+          ++pos_;
+          out.push_back({Tok::kRBracket, "", 0, off});
+          continue;
+        case '(':
+          ++pos_;
+          out.push_back({Tok::kLParen, "", 0, off});
+          continue;
+        case ')':
+          ++pos_;
+          out.push_back({Tok::kRParen, "", 0, off});
+          continue;
+        case '|':
+          ++pos_;
+          out.push_back({Tok::kPipe, "", 0, off});
+          continue;
+        case '=':
+          ++pos_;
+          out.push_back({Tok::kEq, "", 0, off});
+          continue;
+        case '!':
+          if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '=') {
+            pos_ += 2;
+            out.push_back({Tok::kNe, "", 0, off});
+            continue;
+          }
+          return Err("unexpected '!'");
+        case '<':
+          ++pos_;
+          if (pos_ < s_.size() && s_[pos_] == '=') {
+            ++pos_;
+            out.push_back({Tok::kLe, "", 0, off});
+          } else {
+            out.push_back({Tok::kLt, "", 0, off});
+          }
+          continue;
+        case '>':
+          ++pos_;
+          if (pos_ < s_.size() && s_[pos_] == '=') {
+            ++pos_;
+            out.push_back({Tok::kGe, "", 0, off});
+          } else {
+            out.push_back({Tok::kGt, "", 0, off});
+          }
+          continue;
+        case ':':
+          if (pos_ + 1 < s_.size() && s_[pos_ + 1] == ':') {
+            pos_ += 2;
+            out.push_back({Tok::kColonColon, "", 0, off});
+            continue;
+          }
+          return Err("unexpected ':'");
+        case '.':
+          // "..", "." or a number like ".5".
+          if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '.') {
+            pos_ += 2;
+            out.push_back({Tok::kDotDot, "", 0, off});
+            continue;
+          }
+          if (pos_ + 1 < s_.size() &&
+              std::isdigit(static_cast<unsigned char>(s_[pos_ + 1]))) {
+            out.push_back(LexNumber());
+            continue;
+          }
+          ++pos_;
+          out.push_back({Tok::kDot, "", 0, off});
+          continue;
+        case '\'':
+        case '"': {
+          ++pos_;
+          size_t start = pos_;
+          while (pos_ < s_.size() && s_[pos_] != c) ++pos_;
+          if (pos_ >= s_.size()) return Err("unterminated string literal");
+          out.push_back(
+              {Tok::kString, std::string(s_.substr(start, pos_ - start)), 0,
+               off});
+          ++pos_;
+          continue;
+        }
+        default:
+          break;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        out.push_back(LexNumber());
+        continue;
+      }
+      if (IsNameStart(c)) {
+        size_t start = pos_;
+        while (pos_ < s_.size() && IsNameChar(s_[pos_])) ++pos_;
+        // An NCName must not swallow a trailing '.' that is really a step
+        // separator — but '.' inside names is legal in XML; XPath relies on
+        // context. Our subset never has names ending in '.', so trim.
+        size_t len = pos_ - start;
+        while (len > 0 && s_[start + len - 1] == '.') {
+          --len;
+          --pos_;
+        }
+        out.push_back({Tok::kName, std::string(s_.substr(start, len)), 0, off});
+        continue;
+      }
+      return Err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+ private:
+  Status Err(std::string msg) const {
+    return Status::ParseError("xpath: " + msg + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.')) {
+      ++pos_;
+    }
+    Token t{Tok::kNumber, "", 0, start};
+    t.number = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return t;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+std::optional<Axis> AxisFromName(const std::string& name) {
+  if (name == "child") return Axis::kChild;
+  if (name == "descendant") return Axis::kDescendant;
+  if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+  if (name == "parent") return Axis::kParent;
+  if (name == "ancestor") return Axis::kAncestor;
+  if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+  if (name == "self") return Axis::kSelf;
+  if (name == "following") return Axis::kFollowing;
+  if (name == "following-sibling") return Axis::kFollowingSibling;
+  if (name == "preceding") return Axis::kPreceding;
+  if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+  if (name == "attribute") return Axis::kAttribute;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<XPathExpr> Parse() {
+    XPathExpr expr;
+    auto first = ParsePath();
+    if (!first.ok()) return first.status();
+    expr.branches.push_back(std::move(first).value());
+    while (Peek().kind == Tok::kPipe) {
+      Next();
+      auto branch = ParsePath();
+      if (!branch.ok()) return branch.status();
+      expr.branches.push_back(std::move(branch).value());
+    }
+    if (Peek().kind != Tok::kEnd) {
+      return Err("trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Next() { return toks_[pos_++]; }
+  bool Consume(Tok kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(std::string msg) const {
+    return Status::ParseError("xpath: " + msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  static Step MakeDescendantOrSelfNode() {
+    Step s;
+    s.axis = Axis::kDescendantOrSelf;
+    s.test = NodeTestKind::kAnyNode;
+    return s;
+  }
+
+  // path := '/' relpath? | '//' relpath | relpath
+  Result<LocationPath> ParsePath() {
+    LocationPath path;
+    if (Consume(Tok::kSlash)) {
+      path.absolute = true;
+      if (!StartsStep()) return path;  // bare "/"
+    } else if (Consume(Tok::kDoubleSlash)) {
+      path.absolute = true;
+      path.steps.push_back(MakeDescendantOrSelfNode());
+    }
+    XPREL_RETURN_IF_ERROR(ParseRelative(path));
+    return path;
+  }
+
+  bool StartsStep() const {
+    switch (Peek().kind) {
+      case Tok::kName:
+      case Tok::kStar:
+      case Tok::kAt:
+      case Tok::kDot:
+      case Tok::kDotDot:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Status ParseRelative(LocationPath& path) {
+    XPREL_RETURN_IF_ERROR(ParseStep(path));
+    while (true) {
+      if (Consume(Tok::kSlash)) {
+        XPREL_RETURN_IF_ERROR(ParseStep(path));
+      } else if (Consume(Tok::kDoubleSlash)) {
+        path.steps.push_back(MakeDescendantOrSelfNode());
+        XPREL_RETURN_IF_ERROR(ParseStep(path));
+      } else {
+        return Status::Ok();
+      }
+    }
+  }
+
+  Status ParseStep(LocationPath& path) {
+    Step step;
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kDot:
+        Next();
+        step.axis = Axis::kSelf;
+        step.test = NodeTestKind::kAnyNode;
+        path.steps.push_back(std::move(step));
+        return Status::Ok();
+      case Tok::kDotDot:
+        Next();
+        step.axis = Axis::kParent;
+        step.test = NodeTestKind::kAnyNode;
+        path.steps.push_back(std::move(step));
+        return Status::Ok();
+      case Tok::kAt: {
+        Next();
+        step.axis = Axis::kAttribute;
+        XPREL_RETURN_IF_ERROR(ParseNodeTest(step));
+        break;
+      }
+      case Tok::kName: {
+        // Either "axis::nodetest" or a child-axis name test.
+        auto axis = AxisFromName(t.text);
+        if (axis && Peek(1).kind == Tok::kColonColon) {
+          Next();  // axis name
+          Next();  // ::
+          step.axis = *axis;
+          if (step.axis == Axis::kAttribute) {
+            XPREL_RETURN_IF_ERROR(ParseNodeTest(step));
+          } else {
+            XPREL_RETURN_IF_ERROR(ParseNodeTest(step));
+          }
+        } else {
+          step.axis = Axis::kChild;
+          XPREL_RETURN_IF_ERROR(ParseNodeTest(step));
+        }
+        break;
+      }
+      case Tok::kStar:
+        step.axis = Axis::kChild;
+        XPREL_RETURN_IF_ERROR(ParseNodeTest(step));
+        break;
+      default:
+        return Err("expected step");
+    }
+    // Predicates.
+    while (Consume(Tok::kLBracket)) {
+      auto pred = ParseOrExpr();
+      if (!pred.ok()) return pred.status();
+      ExprPtr expr = std::move(pred).value();
+      // A bare numeric predicate [n] abbreviates [position() = n].
+      if (expr->kind == Expr::Kind::kNumber) {
+        auto cmp = std::make_unique<Expr>();
+        cmp->kind = Expr::Kind::kComparison;
+        cmp->op = CompOp::kEq;
+        auto posfn = std::make_unique<Expr>();
+        posfn->kind = Expr::Kind::kPosition;
+        cmp->children.push_back(std::move(posfn));
+        cmp->children.push_back(std::move(expr));
+        expr = std::move(cmp);
+      }
+      step.predicates.push_back(std::move(expr));
+      if (!Consume(Tok::kRBracket)) return Err("expected ']'");
+    }
+    path.steps.push_back(std::move(step));
+    return Status::Ok();
+  }
+
+  Status ParseNodeTest(Step& step) {
+    const Token& t = Peek();
+    if (t.kind == Tok::kStar) {
+      Next();
+      step.test = NodeTestKind::kWildcard;
+      return Status::Ok();
+    }
+    if (t.kind != Tok::kName) return Err("expected node test");
+    std::string name = Next().text;
+    if (Peek().kind == Tok::kLParen) {
+      // text() / node().
+      Next();
+      if (!Consume(Tok::kRParen)) return Err("expected ')'");
+      if (name == "text") {
+        step.test = NodeTestKind::kText;
+        return Status::Ok();
+      }
+      if (name == "node") {
+        step.test = NodeTestKind::kAnyNode;
+        return Status::Ok();
+      }
+      return Err("unknown node test '" + name + "()'");
+    }
+    step.test = NodeTestKind::kName;
+    step.name = std::move(name);
+    return Status::Ok();
+  }
+
+  Result<ExprPtr> ParseOrExpr() {
+    auto lhs = ParseAndExpr();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr node = std::move(lhs).value();
+    while (Peek().kind == Tok::kName && Peek().text == "or") {
+      Next();
+      auto rhs = ParseAndExpr();
+      if (!rhs.ok()) return rhs.status();
+      auto parent = std::make_unique<Expr>();
+      parent->kind = Expr::Kind::kOr;
+      parent->children.push_back(std::move(node));
+      parent->children.push_back(std::move(rhs).value());
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseAndExpr() {
+    auto lhs = ParseComparison();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr node = std::move(lhs).value();
+    while (Peek().kind == Tok::kName && Peek().text == "and") {
+      Next();
+      auto rhs = ParseComparison();
+      if (!rhs.ok()) return rhs.status();
+      auto parent = std::make_unique<Expr>();
+      parent->kind = Expr::Kind::kAnd;
+      parent->children.push_back(std::move(node));
+      parent->children.push_back(std::move(rhs).value());
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  static std::optional<CompOp> CompOpFromToken(Tok kind) {
+    switch (kind) {
+      case Tok::kEq:
+        return CompOp::kEq;
+      case Tok::kNe:
+        return CompOp::kNe;
+      case Tok::kLt:
+        return CompOp::kLt;
+      case Tok::kLe:
+        return CompOp::kLe;
+      case Tok::kGt:
+        return CompOp::kGt;
+      case Tok::kGe:
+        return CompOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr node = std::move(lhs).value();
+    auto op = CompOpFromToken(Peek().kind);
+    if (!op) return node;
+    Next();
+    auto rhs = ParsePrimary();
+    if (!rhs.ok()) return rhs.status();
+    auto cmp = std::make_unique<Expr>();
+    cmp->kind = Expr::Kind::kComparison;
+    cmp->op = *op;
+    cmp->children.push_back(std::move(node));
+    cmp->children.push_back(std::move(rhs).value());
+    return cmp;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kString: {
+        Next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kString;
+        e->str_value = t.text;
+        return e;
+      }
+      case Tok::kNumber: {
+        Next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kNumber;
+        e->num_value = t.number;
+        return e;
+      }
+      case Tok::kLParen: {
+        Next();
+        auto inner = ParseOrExpr();
+        if (!inner.ok()) return inner.status();
+        if (!Consume(Tok::kRParen)) return Err("expected ')'");
+        return inner;
+      }
+      case Tok::kName: {
+        if (t.text == "not" && Peek(1).kind == Tok::kLParen) {
+          Next();
+          Next();
+          auto inner = ParseOrExpr();
+          if (!inner.ok()) return inner.status();
+          if (!Consume(Tok::kRParen)) return Err("expected ')'");
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kNot;
+          e->children.push_back(std::move(inner).value());
+          return e;
+        }
+        if (t.text == "position" && Peek(1).kind == Tok::kLParen) {
+          Next();
+          Next();
+          if (!Consume(Tok::kRParen)) return Err("expected ')'");
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kPosition;
+          return e;
+        }
+        return ParsePathOperand();
+      }
+      case Tok::kSlash:
+      case Tok::kDoubleSlash:
+      case Tok::kAt:
+      case Tok::kStar:
+      case Tok::kDot:
+      case Tok::kDotDot:
+        return ParsePathOperand();
+      default:
+        return Err("expected predicate expression");
+    }
+  }
+
+  Result<ExprPtr> ParsePathOperand() {
+    auto path = ParsePath();
+    if (!path.ok()) return path.status();
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kPath;
+    e->path = std::move(path).value();
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XPathExpr> ParseXPath(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace xprel::xpath

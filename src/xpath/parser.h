@@ -1,0 +1,21 @@
+#ifndef XPREL_XPATH_PARSER_H_
+#define XPREL_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace xprel::xpath {
+
+// Parses the XPath subset covered by the paper (Section 1): location paths
+// over all thirteen axes with abbreviated ('//', '@', '.', '..') and
+// unabbreviated (axis::) syntax, wildcard and text()/node() node tests,
+// path union '|', and predicates combining path existence tests, value and
+// path-to-path comparisons with and / or / not(), plus numeric position
+// predicates.
+Result<XPathExpr> ParseXPath(std::string_view text);
+
+}  // namespace xprel::xpath
+
+#endif  // XPREL_XPATH_PARSER_H_

@@ -1,0 +1,467 @@
+#include "xpatheval/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "xpath/parser.h"
+
+namespace xprel::xpatheval {
+
+using xml::Document;
+using xml::NodeId;
+using xml::NodeKind;
+using xpath::Axis;
+using xpath::CompOp;
+using xpath::Expr;
+using xpath::LocationPath;
+using xpath::NodeTestKind;
+using xpath::Step;
+using xpath::XPathExpr;
+
+XPathEvaluator::XPathEvaluator(const Document& doc) : doc_(doc) {
+  // subtree_end_[i] = first id after node (i+1)'s subtree. Nodes are in
+  // preorder, so the subtree of n is the maximal contiguous run of deeper
+  // nodes following it.
+  int32_t n = doc.size();
+  subtree_end_.assign(static_cast<size_t>(n), 0);
+  for (NodeId id = 1; id <= n; ++id) {
+    NodeId end = id + 1;
+    int32_t depth = doc.node(id).depth;
+    while (end <= n && doc.node(end).depth > depth) ++end;
+    subtree_end_[static_cast<size_t>(id - 1)] = end;
+  }
+}
+
+std::string XPathEvaluator::ElementValue(NodeId id) const {
+  std::string out;
+  for (NodeId c : doc_.node(id).children) {
+    if (doc_.node(c).kind == NodeKind::kText) out += doc_.node(c).text;
+  }
+  return out;
+}
+
+bool XPathEvaluator::MatchesTest(NodeId node, const Step& step) const {
+  const xml::Node& n = doc_.node(node);
+  if (n.kind != NodeKind::kElement) return false;
+  switch (step.test) {
+    case NodeTestKind::kName:
+      return n.name == step.name;
+    case NodeTestKind::kWildcard:
+    case NodeTestKind::kAnyNode:
+      return true;
+    case NodeTestKind::kText:
+      return false;  // handled by the trailing-text() convention
+  }
+  return false;
+}
+
+std::vector<NodeId> XPathEvaluator::AxisCandidates(Ctx ctx,
+                                                   const Step& step) const {
+  std::vector<NodeId> out;
+  auto add_if = [&](NodeId id) {
+    if (MatchesTest(id, step)) out.push_back(id);
+  };
+
+  if (ctx == 0) {  // virtual document root
+    switch (step.axis) {
+      case Axis::kChild:
+        if (doc_.root() != xml::kNoNode) add_if(doc_.root());
+        break;
+      case Axis::kDescendant:
+        for (NodeId id = 1; id <= doc_.size(); ++id) add_if(id);
+        break;
+      case Axis::kDescendantOrSelf:
+        // The document root itself is part of descendant-or-self::node():
+        // it must stay in the context so that a following child step can
+        // reach the root element (e.g. '//*').
+        if (step.test == NodeTestKind::kAnyNode) out.push_back(0);
+        for (NodeId id = 1; id <= doc_.size(); ++id) add_if(id);
+        break;
+      default:
+        break;
+    }
+    return out;
+  }
+
+  NodeId end = subtree_end_[static_cast<size_t>(ctx - 1)];
+  switch (step.axis) {
+    case Axis::kChild:
+      for (NodeId c : doc_.node(ctx).children) add_if(c);
+      break;
+    case Axis::kDescendant:
+      for (NodeId id = ctx + 1; id < end; ++id) add_if(id);
+      break;
+    case Axis::kDescendantOrSelf:
+      for (NodeId id = ctx; id < end; ++id) add_if(id);
+      break;
+    case Axis::kSelf:
+      add_if(ctx);
+      break;
+    case Axis::kParent:
+      if (doc_.node(ctx).parent != xml::kNoNode) add_if(doc_.node(ctx).parent);
+      break;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // Proximity order: nearest ancestor first.
+      NodeId cur = step.axis == Axis::kAncestorOrSelf ? ctx
+                                                      : doc_.node(ctx).parent;
+      while (cur != xml::kNoNode) {
+        add_if(cur);
+        cur = doc_.node(cur).parent;
+      }
+      break;
+    }
+    case Axis::kFollowing:
+      for (NodeId id = end; id <= doc_.size(); ++id) add_if(id);
+      break;
+    case Axis::kPreceding: {
+      // Reverse document order, excluding ancestors.
+      std::vector<bool> is_ancestor(static_cast<size_t>(doc_.size()) + 1,
+                                    false);
+      for (NodeId a = doc_.node(ctx).parent; a != xml::kNoNode;
+           a = doc_.node(a).parent) {
+        is_ancestor[static_cast<size_t>(a)] = true;
+      }
+      for (NodeId id = ctx - 1; id >= 1; --id) {
+        if (!is_ancestor[static_cast<size_t>(id)]) add_if(id);
+      }
+      break;
+    }
+    case Axis::kFollowingSibling: {
+      NodeId parent = doc_.node(ctx).parent;
+      if (parent == xml::kNoNode) break;
+      bool after = false;
+      for (NodeId s : doc_.node(parent).children) {
+        if (s == ctx) {
+          after = true;
+          continue;
+        }
+        if (after) add_if(s);
+      }
+      break;
+    }
+    case Axis::kPrecedingSibling: {
+      NodeId parent = doc_.node(ctx).parent;
+      if (parent == xml::kNoNode) break;
+      std::vector<NodeId> before;
+      for (NodeId s : doc_.node(parent).children) {
+        if (s == ctx) break;
+        before.push_back(s);
+      }
+      // Proximity order: nearest preceding sibling first.
+      for (auto it = before.rbegin(); it != before.rend(); ++it) add_if(*it);
+      break;
+    }
+    case Axis::kAttribute:
+      // Convention: the owning element stands in for the attribute node.
+      if (step.test == NodeTestKind::kName) {
+        if (doc_.FindAttribute(ctx, step.name) != nullptr) out.push_back(ctx);
+      } else if (!doc_.node(ctx).attributes.empty()) {
+        out.push_back(ctx);
+      }
+      break;
+  }
+  return out;
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::ApplyFullStep(
+    Ctx ctx, const Step& step) const {
+  std::vector<NodeId> candidates = AxisCandidates(ctx, step);
+  for (const xpath::ExprPtr& pred : step.predicates) {
+    std::vector<NodeId> filtered;
+    int size = static_cast<int>(candidates.size());
+    for (int i = 0; i < size; ++i) {
+      auto keep = EvalPredicate(*pred, candidates[static_cast<size_t>(i)],
+                                i + 1, size);
+      if (!keep.ok()) return keep.status();
+      if (keep.value()) filtered.push_back(candidates[static_cast<size_t>(i)]);
+    }
+    candidates = std::move(filtered);
+  }
+  return candidates;
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::EvaluatePath(
+    const LocationPath& path) const {
+  if (path.steps.empty()) {
+    return Status::Unsupported("a bare '/' selects the document root node");
+  }
+  // Trailing text(): selects elements with non-empty direct text.
+  size_t step_count = path.steps.size();
+  bool text_mode = false;
+  const Step& last = path.steps.back();
+  if (last.test == NodeTestKind::kText) {
+    if (last.axis != Axis::kChild || !last.predicates.empty()) {
+      return Status::Unsupported("text() only as a plain final step");
+    }
+    --step_count;
+    text_mode = true;
+    if (step_count == 0) {
+      return Status::Unsupported("text() of the document root");
+    }
+  }
+
+  std::vector<NodeId> contexts = {0};
+  for (size_t s = 0; s < step_count; ++s) {
+    const Step& step = path.steps[s];
+    if (step.axis == Axis::kAttribute && s + 1 != step_count) {
+      return Status::Unsupported("attribute steps only at the end of a path");
+    }
+    std::vector<NodeId> next;
+    for (NodeId ctx : contexts) {
+      auto r = ApplyFullStep(ctx, step);
+      if (!r.ok()) return r.status();
+      next.insert(next.end(), r.value().begin(), r.value().end());
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    contexts = std::move(next);
+    if (contexts.empty()) break;
+  }
+
+  // Drop the virtual document root if it is still in the context (it is
+  // not an element and never part of a result).
+  if (!contexts.empty() && contexts.front() == 0) {
+    contexts.erase(contexts.begin());
+  }
+  if (text_mode) {
+    std::vector<NodeId> out;
+    for (NodeId id : contexts) {
+      if (!ElementValue(id).empty()) out.push_back(id);
+    }
+    return out;
+  }
+  return contexts;
+}
+
+namespace {
+
+// Comparison of a node value string against another string under the
+// library's convention (see header).
+bool CompareStrings(const std::string& a, const std::string& b, CompOp op) {
+  int c = a.compare(b);
+  switch (op) {
+    case CompOp::kEq:
+      return c == 0;
+    case CompOp::kNe:
+      return c != 0;
+    case CompOp::kLt:
+      return c < 0;
+    case CompOp::kLe:
+      return c <= 0;
+    case CompOp::kGt:
+      return c > 0;
+    case CompOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+bool CompareNumbers(double a, double b, CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return a == b;
+    case CompOp::kNe:
+      return a != b;
+    case CompOp::kLt:
+      return a < b;
+    case CompOp::kLe:
+      return a <= b;
+    case CompOp::kGt:
+      return a > b;
+    case CompOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<XPathEvaluator::PathValues> XPathEvaluator::EvalPredicatePath(
+    NodeId ctx, const LocationPath& path) const {
+  PathValues out;
+  if (path.steps.empty()) return out;
+
+  std::vector<NodeId> contexts = {path.absolute ? 0 : ctx};
+  size_t step_count = path.steps.size();
+  bool text_mode = false;
+  const Step& last = path.steps.back();
+  if (last.test == NodeTestKind::kText && last.axis == Axis::kChild &&
+      last.predicates.empty()) {
+    --step_count;
+    text_mode = true;
+  }
+  bool attr_mode = path.steps[step_count - 1].axis == Axis::kAttribute;
+
+  for (size_t s = 0; s < step_count; ++s) {
+    const Step& step = path.steps[s];
+    if (step.axis == Axis::kAttribute && s + 1 != step_count) {
+      return Status::Unsupported("attribute steps only at the end of a path");
+    }
+    std::vector<NodeId> next;
+    for (NodeId c : contexts) {
+      auto r = ApplyFullStep(c, step);
+      if (!r.ok()) return r.status();
+      next.insert(next.end(), r.value().begin(), r.value().end());
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    contexts = std::move(next);
+    if (contexts.empty()) return out;
+  }
+
+  if (attr_mode) {
+    const Step& astep = path.steps[step_count - 1];
+    for (NodeId id : contexts) {
+      if (id == 0) continue;
+      if (astep.test == NodeTestKind::kName) {
+        const std::string* v = doc_.FindAttribute(id, astep.name);
+        if (v != nullptr) {
+          out.values.push_back(*v);
+          out.exists = true;
+        }
+      } else {
+        for (const xml::Attribute& a : doc_.node(id).attributes) {
+          out.values.push_back(a.value);
+          out.exists = true;
+        }
+      }
+    }
+    return out;
+  }
+  for (NodeId id : contexts) {
+    if (id == 0) continue;  // the virtual document root has no value
+    std::string v = ElementValue(id);
+    if (text_mode && v.empty()) continue;
+    out.values.push_back(std::move(v));
+    out.exists = true;
+  }
+  if (text_mode && out.values.empty()) out.exists = false;
+  return out;
+}
+
+Result<bool> XPathEvaluator::EvalPredicate(const Expr& expr, NodeId node,
+                                           int position, int size) const {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd: {
+      auto a = EvalPredicate(*expr.children[0], node, position, size);
+      if (!a.ok()) return a.status();
+      if (!a.value()) return false;
+      return EvalPredicate(*expr.children[1], node, position, size);
+    }
+    case Expr::Kind::kOr: {
+      auto a = EvalPredicate(*expr.children[0], node, position, size);
+      if (!a.ok()) return a.status();
+      if (a.value()) return true;
+      return EvalPredicate(*expr.children[1], node, position, size);
+    }
+    case Expr::Kind::kNot: {
+      auto a = EvalPredicate(*expr.children[0], node, position, size);
+      if (!a.ok()) return a.status();
+      return !a.value();
+    }
+    case Expr::Kind::kPath: {
+      auto pv = EvalPredicatePath(node, expr.path);
+      if (!pv.ok()) return pv.status();
+      return pv.value().exists;
+    }
+    case Expr::Kind::kString:
+      return !expr.str_value.empty();
+    case Expr::Kind::kNumber:
+      // Bare numbers are rewritten to position()=n by the parser; a number
+      // reaching here is a truth test: non-zero is true.
+      return expr.num_value != 0;
+    case Expr::Kind::kPosition:
+      return position != 0;
+    case Expr::Kind::kComparison: {
+      const Expr& lhs = *expr.children[0];
+      const Expr& rhs = *expr.children[1];
+      CompOp op = expr.op;
+
+      // position() op number (and flipped).
+      if (lhs.kind == Expr::Kind::kPosition ||
+          rhs.kind == Expr::Kind::kPosition) {
+        const Expr& other = lhs.kind == Expr::Kind::kPosition ? rhs : lhs;
+        if (other.kind != Expr::Kind::kNumber) {
+          return Status::Unsupported("position() compared to non-number");
+        }
+        double p = position;
+        double n = other.num_value;
+        if (lhs.kind == Expr::Kind::kPosition) {
+          return CompareNumbers(p, n, op);
+        }
+        return CompareNumbers(n, p, op);
+      }
+
+      auto values_of = [&](const Expr& e) -> Result<PathValues> {
+        if (e.kind == Expr::Kind::kPath) return EvalPredicatePath(node, e.path);
+        PathValues v;
+        if (e.kind == Expr::Kind::kString) {
+          v.values.push_back(e.str_value);
+          v.exists = true;
+        } else if (e.kind == Expr::Kind::kNumber) {
+          // Marked below; handled via numeric comparison path.
+          v.exists = true;
+        }
+        return v;
+      };
+
+      bool lhs_number = lhs.kind == Expr::Kind::kNumber;
+      bool rhs_number = rhs.kind == Expr::Kind::kNumber;
+      if (lhs_number && rhs_number) {
+        return CompareNumbers(lhs.num_value, rhs.num_value, op);
+      }
+      if (lhs_number || rhs_number) {
+        // node-set/string op number: numeric comparison; unparseable values
+        // never match.
+        const Expr& other = lhs_number ? rhs : lhs;
+        double num = lhs_number ? lhs.num_value : rhs.num_value;
+        auto pv = values_of(other);
+        if (!pv.ok()) return pv.status();
+        for (const std::string& v : pv.value().values) {
+          auto d = ParseDouble(v);
+          if (!d) continue;
+          bool match = lhs_number ? CompareNumbers(num, *d, op)
+                                  : CompareNumbers(*d, num, op);
+          if (match) return true;
+        }
+        return false;
+      }
+
+      auto l = values_of(lhs);
+      if (!l.ok()) return l.status();
+      auto r = values_of(rhs);
+      if (!r.ok()) return r.status();
+      for (const std::string& a : l.value().values) {
+        for (const std::string& b : r.value().values) {
+          if (CompareStrings(a, b, op)) return true;
+        }
+      }
+      return false;
+    }
+  }
+  return Status::Internal("unhandled predicate expression");
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::Evaluate(
+    const XPathExpr& expr) const {
+  std::vector<NodeId> out;
+  for (const LocationPath& branch : expr.branches) {
+    auto r = EvaluatePath(branch);
+    if (!r.ok()) return r.status();
+    out.insert(out.end(), r.value().begin(), r.value().end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::EvaluateString(
+    std::string_view xpath) const {
+  auto parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return Evaluate(parsed.value());
+}
+
+}  // namespace xprel::xpatheval

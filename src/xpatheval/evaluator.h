@@ -1,0 +1,75 @@
+#ifndef XPREL_XPATHEVAL_EVALUATOR_H_
+#define XPREL_XPATHEVAL_EVALUATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xprel::xpatheval {
+
+// A native, DOM-walking XPath evaluator. It is the library's correctness
+// oracle: integration tests compare every relational backend's result
+// against it. It favours clarity over speed.
+//
+// Result and value conventions (shared with the relational translators, see
+// DESIGN.md):
+//   * results are element node ids in document order, deduplicated;
+//   * a trailing text() step selects elements whose direct text (the
+//     concatenation of their text children) is non-empty, reported as the
+//     owning element;
+//   * a trailing attribute step selects the owning elements that carry the
+//     attribute;
+//   * the comparison value of an element is its direct text; of an
+//     attribute, its value;
+//   * equality on strings is string equality; ordering comparisons are
+//     numeric when the literal is a number, lexicographic otherwise.
+//
+// position() and numeric predicates are fully supported here (the
+// translators reject them), with XPath proximity positions on reverse axes.
+class XPathEvaluator {
+ public:
+  explicit XPathEvaluator(const xml::Document& doc);
+
+  Result<std::vector<xml::NodeId>> Evaluate(const xpath::XPathExpr& expr) const;
+  Result<std::vector<xml::NodeId>> EvaluateString(std::string_view xpath) const;
+
+  // The comparison value of an element (its direct text).
+  std::string ElementValue(xml::NodeId id) const;
+
+ private:
+  // 0 denotes the virtual document-root context.
+  using Ctx = xml::NodeId;
+
+  Result<std::vector<xml::NodeId>> EvaluatePath(
+      const xpath::LocationPath& path) const;
+  // Applies one step (axis + test + predicates) to a single context node.
+  Result<std::vector<xml::NodeId>> ApplyFullStep(Ctx ctx,
+                                                 const xpath::Step& step) const;
+  // Axis + node-test candidates in axis order (no predicates).
+  std::vector<xml::NodeId> AxisCandidates(Ctx ctx,
+                                          const xpath::Step& step) const;
+  bool MatchesTest(xml::NodeId node, const xpath::Step& step) const;
+
+  Result<bool> EvalPredicate(const xpath::Expr& expr, xml::NodeId node,
+                             int position, int size) const;
+
+  // Values (comparison strings) and existence of a predicate path.
+  struct PathValues {
+    std::vector<std::string> values;
+    bool exists = false;
+  };
+  Result<PathValues> EvalPredicatePath(xml::NodeId ctx,
+                                       const xpath::LocationPath& path) const;
+
+  const xml::Document& doc_;
+  // First preorder id after node i's subtree (exclusive bound).
+  std::vector<xml::NodeId> subtree_end_;
+};
+
+}  // namespace xprel::xpatheval
+
+#endif  // XPREL_XPATHEVAL_EVALUATOR_H_

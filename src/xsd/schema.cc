@@ -1,0 +1,36 @@
+#include "xsd/schema.h"
+
+#include <set>
+
+namespace xprel::xsd {
+
+int Schema::FindGlobalElement(const std::string& name) const {
+  for (int id : global_elements_) {
+    if (elements_[static_cast<size_t>(id)].name == name) return id;
+  }
+  return -1;
+}
+
+int Schema::FindNamedType(const std::string& name) const {
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name && !types_[i].name.empty()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> Schema::RootElements() const {
+  std::set<int> referenced;
+  for (const ComplexType& t : types_) {
+    for (int c : t.child_decls) referenced.insert(c);
+  }
+  std::vector<int> roots;
+  for (int id : global_elements_) {
+    if (referenced.count(id) == 0) roots.push_back(id);
+  }
+  if (roots.empty()) roots = global_elements_;
+  return roots;
+}
+
+}  // namespace xprel::xsd

@@ -1,0 +1,75 @@
+#ifndef XPREL_XSD_SCHEMA_H_
+#define XPREL_XSD_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xprel::xsd {
+
+// A complex type: the content model of elements instantiating it. Content
+// particles (sequence / choice / all, nesting, occurrence bounds) are
+// flattened to the set of allowed child element declarations — that is all
+// the mapping and the translator need (paper Section 2.1 models the schema
+// as a graph of nesting edges).
+struct ComplexType {
+  std::string name;  // empty for anonymous (inline) types
+  bool has_text = false;  // simple content or mixed content
+  std::vector<std::string> attributes;
+  std::vector<int> child_decls;  // ElementDecl ids
+};
+
+// One element declaration. Global declarations can be referenced (ref=) from
+// many types; local declarations live inside one type's content model.
+struct ElementDecl {
+  std::string name;    // tag
+  int type_id = -1;    // ComplexType id; -1 = simple text-only element
+  bool is_global = false;
+};
+
+// The schema object model produced by the XSD parser.
+class Schema {
+ public:
+  int AddType(ComplexType type) {
+    types_.push_back(std::move(type));
+    return static_cast<int>(types_.size()) - 1;
+  }
+  int AddElement(ElementDecl decl) {
+    elements_.push_back(std::move(decl));
+    return static_cast<int>(elements_.size()) - 1;
+  }
+
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+  const std::vector<ComplexType>& types() const { return types_; }
+  ElementDecl& element(int id) { return elements_[static_cast<size_t>(id)]; }
+  const ElementDecl& element(int id) const {
+    return elements_[static_cast<size_t>(id)];
+  }
+  ComplexType& type(int id) { return types_[static_cast<size_t>(id)]; }
+  const ComplexType& type(int id) const {
+    return types_[static_cast<size_t>(id)];
+  }
+
+  // Ids of global element declarations, in declaration order.
+  const std::vector<int>& global_elements() const { return global_elements_; }
+  void AddGlobalElement(int id) { global_elements_.push_back(id); }
+
+  // Global element by tag, or -1.
+  int FindGlobalElement(const std::string& name) const;
+  // Named global type, or -1.
+  int FindNamedType(const std::string& name) const;
+
+  // Document root declarations: global elements not referenced as a child
+  // of any type (falls back to all global elements if every one is
+  // referenced).
+  std::vector<int> RootElements() const;
+
+ private:
+  std::vector<ElementDecl> elements_;
+  std::vector<ComplexType> types_;
+  std::vector<int> global_elements_;
+};
+
+}  // namespace xprel::xsd
+
+#endif  // XPREL_XSD_SCHEMA_H_

@@ -1,0 +1,189 @@
+#include "xsd/schema_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace xprel::xsd {
+
+const char* PathClassName(PathClass c) {
+  switch (c) {
+    case PathClass::kUniquePath:
+      return "U-P";
+    case PathClass::kFinitePaths:
+      return "F-P";
+    case PathClass::kInfinitePaths:
+      return "I-P";
+  }
+  return "?";
+}
+
+Result<SchemaGraph> SchemaGraph::Build(const Schema& schema) {
+  SchemaGraph g;
+  g.schema_ = &schema;
+  size_t n = schema.elements().size();
+  g.nodes_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ElementDecl& d = schema.element(static_cast<int>(i));
+    GraphNode& node = g.nodes_[i];
+    node.decl_id = static_cast<int>(i);
+    node.tag = d.name;
+    node.type_id = d.type_id;
+    if (d.type_id >= 0) {
+      const ComplexType& t = schema.type(d.type_id);
+      node.has_text = t.has_text;
+      node.attributes = t.attributes;
+      node.children = t.child_decls;
+    } else {
+      node.has_text = true;  // simple elements carry text
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (int c : g.nodes_[i].children) {
+      g.nodes_[static_cast<size_t>(c)].parents.push_back(static_cast<int>(i));
+    }
+  }
+
+  g.roots_ = schema.RootElements();
+  for (int r : g.roots_) g.nodes_[static_cast<size_t>(r)].is_root = true;
+
+  // Reachability from the roots.
+  {
+    std::vector<int> stack = g.roots_;
+    while (!stack.empty()) {
+      int id = stack.back();
+      stack.pop_back();
+      GraphNode& node = g.nodes_[static_cast<size_t>(id)];
+      if (node.reachable) continue;
+      node.reachable = true;
+      for (int c : node.children) stack.push_back(c);
+    }
+  }
+
+  // Cycle detection on the reachable subgraph (iterative DFS, colors).
+  std::vector<int> color(n, 0);  // 0 = white, 1 = on stack, 2 = done
+  std::set<int> cycle_nodes;
+  {
+    std::function<void(int)> dfs = [&](int u) {
+      color[static_cast<size_t>(u)] = 1;
+      for (int v : g.nodes_[static_cast<size_t>(u)].children) {
+        if (!g.nodes_[static_cast<size_t>(v)].reachable) continue;
+        if (color[static_cast<size_t>(v)] == 0) {
+          dfs(v);
+        } else if (color[static_cast<size_t>(v)] == 1) {
+          // Back edge: v and u lie on a cycle. Recording both suffices for
+          // the reachability-based propagation below.
+          cycle_nodes.insert(v);
+          cycle_nodes.insert(u);
+        }
+      }
+      color[static_cast<size_t>(u)] = 2;
+    };
+    for (int r : g.roots_) {
+      if (color[static_cast<size_t>(r)] == 0) dfs(r);
+    }
+  }
+
+  // I-P = reachable from some cycle node (cycle nodes included): every root
+  // path into the cycle can loop arbitrarily before continuing to the node.
+  std::vector<bool> infinite(n, false);
+  {
+    std::vector<int> stack(cycle_nodes.begin(), cycle_nodes.end());
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      if (infinite[static_cast<size_t>(u)]) continue;
+      infinite[static_cast<size_t>(u)] = true;
+      for (int v : g.nodes_[static_cast<size_t>(u)].children) {
+        if (g.nodes_[static_cast<size_t>(v)].reachable) stack.push_back(v);
+      }
+    }
+  }
+
+  // Enumerate root paths for non-I-P nodes, memoized over parents. Paths of
+  // a node = paths of each reachable parent + "/tag"; roots contribute
+  // "/tag". Termination: no cycle can lie on a root path of a non-I-P node.
+  std::vector<std::vector<std::string>> memo(n);
+  std::vector<bool> computed(n, false);
+  std::function<const std::vector<std::string>&(int)> paths_of =
+      [&](int u) -> const std::vector<std::string>& {
+    if (computed[static_cast<size_t>(u)]) return memo[static_cast<size_t>(u)];
+    computed[static_cast<size_t>(u)] = true;
+    std::vector<std::string>& out = memo[static_cast<size_t>(u)];
+    const GraphNode& node = g.nodes_[static_cast<size_t>(u)];
+    if (node.is_root) out.push_back("/" + node.tag);
+    for (int p : node.parents) {
+      if (!g.nodes_[static_cast<size_t>(p)].reachable) continue;
+      if (infinite[static_cast<size_t>(p)]) continue;  // guarded by caller
+      for (const std::string& pp : paths_of(p)) {
+        out.push_back(pp + "/" + node.tag);
+        if (out.size() > kMaxEnumeratedPaths) return out;
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    GraphNode& node = g.nodes_[i];
+    if (!node.reachable) continue;
+    if (infinite[i]) {
+      node.path_class = PathClass::kInfinitePaths;
+      continue;
+    }
+    const std::vector<std::string>& paths = paths_of(static_cast<int>(i));
+    if (paths.size() > kMaxEnumeratedPaths) {
+      node.path_class = PathClass::kInfinitePaths;
+      continue;
+    }
+    node.root_paths = paths;
+    node.path_class = paths.size() == 1 ? PathClass::kUniquePath
+                                        : PathClass::kFinitePaths;
+    if (paths.empty()) {
+      return Status::Internal("schema graph: reachable node '" + node.tag +
+                              "' has no root path");
+    }
+  }
+
+  return g;
+}
+
+std::vector<int> SchemaGraph::NodesByTag(const std::string& tag) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].reachable && nodes_[i].tag == tag) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> SchemaGraph::ReachableNodes() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].reachable) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::string SchemaGraph::DescribeMarking() const {
+  std::ostringstream os;
+  for (const GraphNode& node : nodes_) {
+    if (!node.reachable) continue;
+    os << node.tag << ": " << PathClassName(node.path_class);
+    if (node.path_class != PathClass::kInfinitePaths) {
+      os << " {";
+      for (size_t i = 0; i < node.root_paths.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << node.root_paths[i];
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xprel::xsd

@@ -1,0 +1,76 @@
+#ifndef XPREL_XSD_SCHEMA_GRAPH_H_
+#define XPREL_XSD_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xsd/schema.h"
+
+namespace xprel::xsd {
+
+// Classification of schema-graph nodes by the number of distinct
+// root-to-node paths (paper Section 4.5, Figure 2):
+//   kUniquePath    (U-P): exactly one — the Paths join can always be omitted
+//   kFinitePaths   (F-P): finitely many — the translator tests the regex
+//                         against each enumerated path at translation time
+//   kInfinitePaths (I-P): a cycle (recursive schema) lies on some root path
+enum class PathClass { kUniquePath, kFinitePaths, kInfinitePaths };
+
+const char* PathClassName(PathClass c);
+
+// One node of the schema graph: an element declaration, with nesting edges
+// to/from other declarations (paper Section 2.1). Node ids coincide with
+// ElementDecl ids in the Schema.
+struct GraphNode {
+  int decl_id = -1;
+  std::string tag;
+  int type_id = -1;
+  bool has_text = false;
+  std::vector<std::string> attributes;
+
+  std::vector<int> children;  // node ids
+  std::vector<int> parents;
+  bool is_root = false;       // document root declaration
+  bool reachable = false;     // reachable from some root
+
+  PathClass path_class = PathClass::kUniquePath;
+  // All root-to-node paths like "/site/regions/item", for U-P and F-P nodes
+  // (F-P enumeration is capped; overflow demotes the node to I-P).
+  std::vector<std::string> root_paths;
+};
+
+// The directed graph representation of an XML Schema, annotated with the
+// U-P / F-P / I-P marking. Built once per schema; read by the shredder (to
+// assign relations and validate documents) and by the translator (to bind
+// steps to relations and to decide when path filtering is redundant).
+class SchemaGraph {
+ public:
+  // Maximum number of root paths enumerated for an F-P node before it is
+  // conservatively treated as I-P.
+  static constexpr size_t kMaxEnumeratedPaths = 64;
+
+  static Result<SchemaGraph> Build(const Schema& schema);
+
+  const Schema& schema() const { return *schema_; }
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const GraphNode& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  const std::vector<int>& roots() const { return roots_; }
+
+  // All reachable nodes whose tag matches `tag`.
+  std::vector<int> NodesByTag(const std::string& tag) const;
+  // All reachable nodes.
+  std::vector<int> ReachableNodes() const;
+
+  // Renders the marking like Figure 2, for debugging and docs.
+  std::string DescribeMarking() const;
+
+ private:
+  const Schema* schema_ = nullptr;
+  std::vector<GraphNode> nodes_;
+  std::vector<int> roots_;
+};
+
+}  // namespace xprel::xsd
+
+#endif  // XPREL_XSD_SCHEMA_GRAPH_H_

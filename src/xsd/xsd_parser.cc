@@ -1,0 +1,187 @@
+#include "xsd/xsd_parser.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+
+namespace xprel::xsd {
+
+namespace {
+
+// Strips a namespace prefix: "xs:element" -> "element".
+std::string_view LocalName(std::string_view qname) {
+  size_t colon = qname.find(':');
+  return colon == std::string_view::npos ? qname : qname.substr(colon + 1);
+}
+
+class XsdBuilder {
+ public:
+  explicit XsdBuilder(const xml::Document& doc) : doc_(doc) {}
+
+  Result<Schema> Build() {
+    xml::NodeId root = doc_.root();
+    if (root == xml::kNoNode || LocalName(doc_.node(root).name) != "schema") {
+      return Status::ParseError("xsd: document root is not xs:schema");
+    }
+
+    // Pass 0: register global named complex types and global elements so
+    // that type= and ref= references (including forward ones) resolve.
+    for (xml::NodeId child : doc_.node(root).children) {
+      if (!doc_.IsElement(child)) continue;
+      std::string_view local = LocalName(doc_.node(child).name);
+      if (local == "complexType") {
+        const std::string* name = doc_.FindAttribute(child, "name");
+        if (name == nullptr) {
+          return Status::ParseError("xsd: global complexType without name");
+        }
+        ComplexType t;
+        t.name = *name;
+        int id = schema_.AddType(std::move(t));
+        named_types_[*name] = id;
+      } else if (local == "element") {
+        const std::string* name = doc_.FindAttribute(child, "name");
+        if (name == nullptr) {
+          return Status::ParseError("xsd: global element without name");
+        }
+        ElementDecl d;
+        d.name = *name;
+        d.is_global = true;
+        int id = schema_.AddElement(std::move(d));
+        global_elements_[*name] = id;
+        schema_.AddGlobalElement(id);
+      }
+    }
+
+    // Pass 1: fill in content models.
+    for (xml::NodeId child : doc_.node(root).children) {
+      if (!doc_.IsElement(child)) continue;
+      std::string_view local = LocalName(doc_.node(child).name);
+      if (local == "complexType") {
+        const std::string* name = doc_.FindAttribute(child, "name");
+        int tid = named_types_[*name];
+        XPREL_RETURN_IF_ERROR(FillComplexType(child, tid));
+      } else if (local == "element") {
+        const std::string* name = doc_.FindAttribute(child, "name");
+        int eid = global_elements_[*name];
+        XPREL_RETURN_IF_ERROR(FillElement(child, eid));
+      }
+    }
+    return std::move(schema_);
+  }
+
+ private:
+  // Resolves the declared type of an element node onto decl `eid`.
+  Status FillElement(xml::NodeId node, int eid) {
+    const std::string* type_name = doc_.FindAttribute(node, "type");
+    if (type_name != nullptr) {
+      std::string_view local = LocalName(*type_name);
+      auto it = named_types_.find(std::string(local));
+      if (it != named_types_.end()) {
+        schema_.element(eid).type_id = it->second;
+        return Status::Ok();
+      }
+      // Built-in simple type (xs:string, xs:integer, ...): text-only.
+      schema_.element(eid).type_id = -1;
+      return Status::Ok();
+    }
+    // Inline anonymous complexType?
+    for (xml::NodeId child : doc_.node(node).children) {
+      if (!doc_.IsElement(child)) continue;
+      if (LocalName(doc_.node(child).name) == "complexType") {
+        ComplexType t;  // anonymous
+        int tid = schema_.AddType(std::move(t));
+        schema_.element(eid).type_id = tid;
+        return FillComplexType(child, tid);
+      }
+    }
+    // No type information: simple text element.
+    schema_.element(eid).type_id = -1;
+    return Status::Ok();
+  }
+
+  Status FillComplexType(xml::NodeId node, int tid) {
+    const std::string* mixed = doc_.FindAttribute(node, "mixed");
+    if (mixed != nullptr && *mixed == "true") {
+      schema_.type(tid).has_text = true;
+    }
+    return CollectParticles(node, tid);
+  }
+
+  // Walks the content of a complexType / group node, flattening particles.
+  Status CollectParticles(xml::NodeId node, int tid) {
+    for (xml::NodeId child : doc_.node(node).children) {
+      if (!doc_.IsElement(child)) continue;
+      std::string_view local = LocalName(doc_.node(child).name);
+      if (local == "sequence" || local == "choice" || local == "all") {
+        XPREL_RETURN_IF_ERROR(CollectParticles(child, tid));
+      } else if (local == "element") {
+        auto eid = ResolveChildElement(child);
+        if (!eid.ok()) return eid.status();
+        auto& decls = schema_.type(tid).child_decls;
+        if (std::find(decls.begin(), decls.end(), eid.value()) ==
+            decls.end()) {
+          decls.push_back(eid.value());
+        }
+      } else if (local == "attribute") {
+        const std::string* name = doc_.FindAttribute(child, "name");
+        if (name == nullptr) {
+          return Status::ParseError("xsd: attribute without name");
+        }
+        schema_.type(tid).attributes.push_back(*name);
+      } else if (local == "simpleContent" || local == "complexContent") {
+        for (xml::NodeId ext : doc_.node(child).children) {
+          if (!doc_.IsElement(ext)) continue;
+          std::string_view ext_local = LocalName(doc_.node(ext).name);
+          if (ext_local == "extension" || ext_local == "restriction") {
+            if (local == "simpleContent") schema_.type(tid).has_text = true;
+            XPREL_RETURN_IF_ERROR(CollectParticles(ext, tid));
+          }
+        }
+      }
+      // xs:annotation and others: ignored.
+    }
+    return Status::Ok();
+  }
+
+  // A child xs:element particle: ref= to a global, or a local declaration.
+  Result<int> ResolveChildElement(xml::NodeId node) {
+    const std::string* ref = doc_.FindAttribute(node, "ref");
+    if (ref != nullptr) {
+      std::string local(LocalName(*ref));
+      auto it = global_elements_.find(local);
+      if (it == global_elements_.end()) {
+        return Status::ParseError("xsd: unresolved element ref '" + local +
+                                  "'");
+      }
+      return it->second;
+    }
+    const std::string* name = doc_.FindAttribute(node, "name");
+    if (name == nullptr) {
+      return Status::ParseError("xsd: element without name or ref");
+    }
+    ElementDecl d;
+    d.name = *name;
+    int eid = schema_.AddElement(std::move(d));
+    XPREL_RETURN_IF_ERROR(FillElement(node, eid));
+    return eid;
+  }
+
+  const xml::Document& doc_;
+  Schema schema_;
+  std::map<std::string, int> named_types_;
+  std::map<std::string, int> global_elements_;
+};
+
+}  // namespace
+
+Result<Schema> ParseXsd(std::string_view xsd_text) {
+  auto doc = xml::ParseXml(xsd_text);
+  if (!doc.ok()) return doc.status();
+  XsdBuilder builder(doc.value());
+  return builder.Build();
+}
+
+}  // namespace xprel::xsd

@@ -1,0 +1,29 @@
+#ifndef XPREL_XSD_XSD_PARSER_H_
+#define XPREL_XSD_XSD_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xsd/schema.h"
+
+namespace xprel::xsd {
+
+// Parses an XML Schema document covering the subset the paper's mapping
+// needs:
+//
+//   xs:schema          with any prefix bound to the XSD namespace
+//   xs:element         name= with inline xs:complexType, name= with type=
+//                      (named complex type or built-in simple type), or ref=
+//   xs:complexType     named (global) or anonymous, mixed=
+//   xs:sequence / xs:choice / xs:all    arbitrarily nested; flattened
+//   xs:attribute       name=
+//   xs:simpleContent/xs:extension       text plus attributes
+//
+// Occurrence bounds are accepted and ignored — relational multiplicity is
+// carried by foreign keys, not by the mapping. Forward references are
+// resolved in a second pass.
+Result<Schema> ParseXsd(std::string_view xsd_text);
+
+}  // namespace xprel::xsd
+
+#endif  // XPREL_XSD_XSD_PARSER_H_

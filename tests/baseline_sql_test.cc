@@ -1,0 +1,125 @@
+// Golden-shape tests for the baseline translators (Edge-like PPF and XPath
+// Accelerator) and unit tests for the staircase evaluator's pruning.
+
+#include <gtest/gtest.h>
+
+#include "accel/accel_store.h"
+#include "accel/accel_translator.h"
+#include "accel/staircase.h"
+#include "translate/edge_translator.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xprel {
+namespace {
+
+std::string EdgeSql(const char* xpath) {
+  translate::EdgePpfTranslator t;
+  auto q = t.TranslateString(xpath);
+  EXPECT_TRUE(q.ok()) << xpath << ": " << q.status().ToString();
+  return q.ok() ? q.value().ToSqlString() : "";
+}
+
+std::string AccelSql(const char* xpath) {
+  accel::AcceleratorTranslator t;
+  auto q = t.TranslateString(xpath);
+  EXPECT_TRUE(q.ok()) << xpath << ": " << q.status().ToString();
+  return q.ok() ? q.value().ToSqlString() : "";
+}
+
+TEST(EdgeSqlTest, OneRegexPerForwardFragment) {
+  // A three-step path is ONE fragment: one Edge alias, one Paths join.
+  std::string sql = EdgeSql("/a/b/c");
+  EXPECT_NE(sql.find("FROM Edge E1, Paths E1_Paths"), std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("'^/a/b/c$'"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("E2"), std::string::npos) << sql;
+}
+
+TEST(EdgeSqlTest, SelfJoinForStructural) {
+  std::string sql = EdgeSql("//a[@x]/descendant::b");
+  // Two Edge aliases (self-join) plus their Paths joins.
+  EXPECT_NE(sql.find("Edge E1"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("Edge E2"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("E2.dewey_pos > E1.dewey_pos"), std::string::npos) << sql;
+  // Attributes live in a separate relation (paper Section 5.1 footnote).
+  EXPECT_NE(sql.find("FROM Attr"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("attr_name = 'x'"), std::string::npos) << sql;
+}
+
+TEST(EdgeSqlTest, ChildUsesParFk) {
+  std::string sql = EdgeSql("//a[b]/c");
+  EXPECT_NE(sql.find(".par_id ="), std::string::npos) << sql;
+}
+
+TEST(EdgeSqlTest, BackwardPredicateRegexApplies) {
+  // Table 5-2 works on the Edge mapping too (it is PPF machinery).
+  std::string sql = EdgeSql("//f[parent::d or ancestor::g]");
+  EXPECT_EQ(sql.find("EXISTS"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("'^.*/d/f$'"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("'^.*/g/(.+/)?f$'"), std::string::npos) << sql;
+}
+
+TEST(AccelSqlTest, OneAliasPerStep) {
+  std::string sql = AccelSql("/a/b/c");
+  EXPECT_NE(sql.find("Accel V1"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("Accel V2"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("Accel V3"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("REGEXP"), std::string::npos) << sql;
+}
+
+TEST(AccelSqlTest, StakedOutWindows) {
+  std::string sql = AccelSql("/a//b");
+  // '//'+child merges to a descendant window bounded by pre + size.
+  EXPECT_NE(sql.find("V2.pre <= V1.pre + V1.size_"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("V2.pre > V1.pre"), std::string::npos) << sql;
+}
+
+TEST(AccelSqlTest, AncestorUsesPrePostPlane) {
+  // '//b' merges into one descendant step (V1), so the ancestor is V2.
+  std::string sql = AccelSql("//b/ancestor::a");
+  EXPECT_NE(sql.find("V2.pre < V1.pre"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("V2.post > V1.post"), std::string::npos) << sql;
+}
+
+// --- staircase unit behavior ------------------------------------------------
+
+TEST(StaircaseTest, DescendantPruningSkipsCoveredContexts) {
+  // r > a > b > c : contexts {a, b} — b is inside a's window, so the
+  // staircase scans a's window once; results must still be exact.
+  auto doc = xml::ParseXml("<r><a><b><c/><c/></b></a><c/></r>").value();
+  auto store = accel::AccelStore::Create(doc).value();
+  accel::StaircaseEvaluator eval(*store);
+
+  auto r = eval.EvaluateString("//c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+
+  // Nested contexts: descendant::c from both a and b.
+  auto r2 = eval.EvaluateString("//*/descendant::c");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().size(), 3u);
+}
+
+TEST(StaircaseTest, FollowingSingleWindow) {
+  auto doc = xml::ParseXml("<r><a/><b/><a/><b/></r>").value();
+  auto store = accel::AccelStore::Create(doc).value();
+  accel::StaircaseEvaluator eval(*store);
+  auto r = eval.EvaluateString("//a/following::b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  auto r2 = eval.EvaluateString("//b/preceding::a");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().size(), 2u);
+}
+
+TEST(StaircaseTest, RejectsPosition) {
+  auto doc = xml::ParseXml("<r><a/></r>").value();
+  auto store = accel::AccelStore::Create(doc).value();
+  accel::StaircaseEvaluator eval(*store);
+  EXPECT_EQ(eval.EvaluateString("//a[1]").status().code(),
+            StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace xprel

@@ -1,0 +1,153 @@
+// B+-tree unit and model-based property tests.
+
+#include <map>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rel/btree.h"
+#include "rel/key_codec.h"
+#include "rel/value.h"
+
+namespace xprel::rel {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Lookup("x").empty());
+  EXPECT_FALSE(tree.ScanAll().Valid());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTree tree;
+  tree.Insert("b", 2);
+  tree.Insert("a", 1);
+  tree.Insert("c", 3);
+  EXPECT_EQ(tree.Lookup("a"), std::vector<RowId>{1});
+  EXPECT_EQ(tree.Lookup("b"), std::vector<RowId>{2});
+  EXPECT_EQ(tree.Lookup("c"), std::vector<RowId>{3});
+  EXPECT_TRUE(tree.Lookup("d").empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, DuplicatesKeepInsertionOrder) {
+  BTree tree;
+  for (RowId i = 0; i < 10; ++i) tree.Insert("dup", i);
+  std::vector<RowId> expected;
+  for (RowId i = 0; i < 10; ++i) expected.push_back(i);
+  EXPECT_EQ(tree.Lookup("dup"), expected);
+}
+
+TEST(BTreeTest, ManyDuplicatesAcrossSplits) {
+  // Regression: duplicates spanning leaf splits must all be found (the
+  // search descent must go to the leftmost candidate leaf).
+  BTree tree;
+  const int kPer = 50;
+  for (int k = 0; k < 40; ++k) {
+    for (int i = 0; i < kPer; ++i) {
+      tree.Insert("key" + std::to_string(k),
+                  static_cast<RowId>(k * kPer + i));
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int k = 0; k < 40; ++k) {
+    EXPECT_EQ(tree.Lookup("key" + std::to_string(k)).size(),
+              static_cast<size_t>(kPer))
+        << k;
+  }
+}
+
+TEST(BTreeTest, RangeScan) {
+  BTree tree;
+  for (int i = 0; i < 100; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%03d", i);
+    tree.Insert(buf, static_cast<RowId>(i));
+  }
+  int count = 0;
+  for (auto it = tree.Scan("010", "020"); it.Valid(); it.Next()) {
+    EXPECT_GE(it.key(), "010");
+    EXPECT_LT(it.key(), "020");
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+
+  count = 0;
+  for (auto it = tree.ScanFrom("090"); it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, 10);
+
+  count = 0;
+  for (auto it = tree.ScanAll(); it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, 100);
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BTree tree;
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(EncodeKey({Value::Int(i)}), static_cast<RowId>(i));
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_EQ(tree.size(), 100000u);
+}
+
+// Model-based sweep: random operations mirrored against std::multimap.
+class BTreeModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeModelTest, MatchesMultimap) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  BTree tree;
+  std::multimap<std::string, RowId> model;
+
+  auto random_key = [&]() {
+    // Small key space to force duplicates; variable length to exercise
+    // prefix ordering.
+    int len = static_cast<int>(rng() % 4);
+    std::string k;
+    for (int i = 0; i < len; ++i) k.push_back('a' + rng() % 3);
+    return k;
+  };
+
+  for (RowId i = 0; i < 3000; ++i) {
+    std::string k = random_key();
+    tree.Insert(k, i);
+    model.emplace(k, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), model.size());
+
+  // Point lookups: same multiset of rows.
+  for (int probe = 0; probe < 200; ++probe) {
+    std::string k = random_key();
+    auto mine = tree.Lookup(k);
+    auto range = model.equal_range(k);
+    std::multiset<RowId> expected, got(mine.begin(), mine.end());
+    for (auto it = range.first; it != range.second; ++it) {
+      expected.insert(it->second);
+    }
+    EXPECT_EQ(got, std::multiset<RowId>(expected)) << "key=" << k;
+  }
+
+  // Range scans: same sorted key sequence.
+  for (int probe = 0; probe < 100; ++probe) {
+    std::string lo = random_key(), hi = random_key();
+    if (hi < lo) std::swap(lo, hi);
+    std::vector<std::string> mine, expected;
+    for (auto it = tree.Scan(lo, hi); it.Valid(); it.Next()) {
+      mine.emplace_back(it.key());
+    }
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first < hi; ++it) {
+      expected.push_back(it->first);
+    }
+    EXPECT_EQ(mine, expected) << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModelTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace xprel::rel

@@ -1,0 +1,111 @@
+// Status / Result and string utility tests.
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace xprel {
+namespace {
+
+TEST(StatusTest, Basics) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::NotFound("inner");
+  return Status::Ok();
+}
+
+Status Outer(bool fail) {
+  XPREL_RETURN_IF_ERROR(Inner(fail));
+  return Status::Internal("should not reach on failure");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(Outer(true).code(), StatusCode::kNotFound);
+  EXPECT_EQ(Outer(false).code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  auto ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_TRUE(ok.status().ok());
+
+  auto bad = Half(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<std::string> Doubled(int v) {
+  int h = 0;  // the macro expands to a block, so declare the target first
+  XPREL_ASSIGN_OR_RETURN(h, Half(v));
+  return std::to_string(h * 4);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = Doubled(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), "20");
+  EXPECT_EQ(Doubled(3).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(SplitString("a/b/c", '/'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("/a//b", '/'),
+            (std::vector<std::string>{"", "a", "", "b"}));
+  EXPECT_EQ(SplitString("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b"}, "/"), "a/b");
+  EXPECT_EQ(JoinStrings({}, "/"), "");
+}
+
+TEST(StringUtilTest, Affixes) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "he"));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, Parsing) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("4x").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_EQ(ParseDouble("1.5"), 1.5);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+}
+
+TEST(StringUtilTest, HexEncode) {
+  EXPECT_EQ(HexEncode(std::string("\x00\xff\x2a", 3)), "00ff2a");
+  EXPECT_EQ(HexEncode(""), "");
+}
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("AbC-9"), "abc-9");
+}
+
+}  // namespace
+}  // namespace xprel

@@ -1,0 +1,195 @@
+// Data-generator and shredding tests: determinism, planted query fixtures,
+// loader validation, Edge/Accel store structure.
+
+#include <gtest/gtest.h>
+
+#include "accel/accel_store.h"
+#include "data/dblp.h"
+#include "data/xmark.h"
+#include "shred/edge_loader.h"
+#include "shred/schema_loader.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpatheval/evaluator.h"
+#include "xsd/schema_graph.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel {
+namespace {
+
+TEST(XMarkGenTest, DeterministicAndSchemaValid) {
+  data::XMarkOptions opt;
+  opt.scale = 0.005;
+  xml::Document d1 = data::GenerateXMark(opt);
+  xml::Document d2 = data::GenerateXMark(opt);
+  EXPECT_EQ(xml::SerializeXml(d1), xml::SerializeXml(d2));
+
+  auto schema = xsd::ParseXsd(data::XMarkXsd());
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  auto graph = xsd::SchemaGraph::Build(schema.value());
+  ASSERT_TRUE(graph.ok());
+  auto store = shred::SchemaAwareStore::Create(graph.value());
+  ASSERT_TRUE(store.ok());
+  // Loading validates every element and attribute against the schema.
+  EXPECT_TRUE(store.value()->LoadDocument(d1).ok());
+}
+
+TEST(XMarkGenTest, QueryFixturesPlanted) {
+  data::XMarkOptions opt;
+  opt.scale = 0.01;
+  xml::Document doc = data::GenerateXMark(opt);
+  xpatheval::XPathEvaluator oracle(doc);
+
+  // Q9: open_auction0 has exactly four bidders (three preceding siblings).
+  auto q9 = oracle.EvaluateString(
+      "/site/open_auctions/open_auction[@id='open_auction0']/bidder");
+  ASSERT_TRUE(q9.ok());
+  EXPECT_EQ(q9.value().size(), 4u);
+
+  // Q11: exactly one person0 bid precedes the person1 bid.
+  auto q11 = oracle.EvaluateString(
+      "/site/open_auctions/open_auction/bidder[personref/@person='person1']"
+      "/preceding::bidder[personref/@person='person0']");
+  ASSERT_TRUE(q11.ok());
+  EXPECT_EQ(q11.value().size(), 1u);
+
+  // Q21: item0's description holds exactly one keyword.
+  auto q21 = oracle.EvaluateString(
+      "/site/regions/*/item[@id='item0']/description//keyword");
+  ASSERT_TRUE(q21.ok());
+  EXPECT_EQ(q21.value().size(), 1u);
+
+  // Q10: item0 is the first item in document order.
+  auto items = oracle.EvaluateString("/site/regions/*/item");
+  auto following = oracle.EvaluateString(
+      "/site/regions/*/item[@id='item0']/following::item");
+  ASSERT_TRUE(items.ok());
+  ASSERT_TRUE(following.ok());
+  EXPECT_EQ(following.value().size(), items.value().size() - 1);
+}
+
+TEST(XMarkGenTest, ScaleControlsEntityCounts) {
+  data::XMarkOptions small{.scale = 0.005, .seed = 1};
+  data::XMarkOptions large{.scale = 0.02, .seed = 1};
+  xml::Document ds = data::GenerateXMark(small);
+  xml::Document dl = data::GenerateXMark(large);
+  EXPECT_GT(dl.size(), ds.size() * 3);
+}
+
+TEST(DblpGenTest, FixturesPlanted) {
+  data::DblpOptions opt;
+  opt.inproceedings = 400;
+  opt.articles = 200;
+  opt.books = 30;
+  xml::Document doc = data::GenerateDblp(opt);
+  auto schema = xsd::ParseXsd(data::DblpXsd()).value();
+  auto graph = xsd::SchemaGraph::Build(schema).value();
+  auto store = shred::SchemaAwareStore::Create(graph);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store.value()->LoadDocument(doc).ok());
+
+  xpatheval::XPathEvaluator oracle(doc);
+  // QD1: Harold G. Longbotham authors exactly two inproceedings.
+  auto qd1 = oracle.EvaluateString(
+      "//inproceedings/title[preceding-sibling::author = "
+      "'Harold G. Longbotham']");
+  ASSERT_TRUE(qd1.ok());
+  EXPECT_EQ(qd1.value().size(), 2u);
+  // QD4: at least one article has the sub/<x>/i nesting.
+  auto qd4 = oracle.EvaluateString(
+      "//i[parent::*/parent::sub/ancestor::article]");
+  ASSERT_TRUE(qd4.ok());
+  EXPECT_GE(qd4.value().size(), 1u);
+  // QD5 selects a nontrivial but proper subset.
+  auto qd5 = oracle.EvaluateString(
+      "/dblp/inproceedings[author=/dblp/book/author]/title");
+  auto all = oracle.EvaluateString("/dblp/inproceedings/title");
+  ASSERT_TRUE(qd5.ok());
+  ASSERT_TRUE(all.ok());
+  EXPECT_GT(qd5.value().size(), all.value().size() / 10);
+  EXPECT_LT(qd5.value().size(), all.value().size());
+}
+
+TEST(SchemaLoaderTest, RejectsInvalidDocuments) {
+  auto schema = xsd::ParseXsd(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="a">
+        <xs:complexType><xs:sequence>
+          <xs:element name="b" type="xs:string"/>
+        </xs:sequence><xs:attribute name="x"/></xs:complexType>
+      </xs:element>
+    </xs:schema>)").value();
+  auto graph = xsd::SchemaGraph::Build(schema).value();
+  auto store = shred::SchemaAwareStore::Create(graph).value();
+
+  auto bad_root = xml::ParseXml("<z/>").value();
+  EXPECT_FALSE(store->LoadDocument(bad_root).ok());
+  auto bad_child = xml::ParseXml("<a><c/></a>").value();
+  EXPECT_FALSE(store->LoadDocument(bad_child).ok());
+  auto bad_attr = xml::ParseXml("<a y='1'><b>t</b></a>").value();
+  EXPECT_FALSE(store->LoadDocument(bad_attr).ok());
+  auto good = xml::ParseXml("<a x='1'><b>t</b></a>").value();
+  EXPECT_TRUE(store->LoadDocument(good).ok());
+}
+
+TEST(SchemaLoaderTest, OriginsRoundTrip) {
+  auto s = xsd::ParseXsd(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="a">
+        <xs:complexType><xs:sequence>
+          <xs:element name="b" type="xs:string" maxOccurs="unbounded"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:schema>)").value();
+  auto graph = xsd::SchemaGraph::Build(s).value();
+  auto store = shred::SchemaAwareStore::Create(graph).value();
+  auto doc = xml::ParseXml("<a><b>1</b><b>2</b></a>").value();
+  int64_t doc_id = store->LoadDocument(doc).value();
+  for (xml::NodeId id = 1; id <= doc.size(); ++id) {
+    if (!doc.IsElement(id)) continue;
+    int64_t eid = store->ElementIdOf(doc_id, id);
+    ASSERT_GE(eid, 1);
+    const auto* origin = store->FindOrigin(eid);
+    ASSERT_NE(origin, nullptr);
+    EXPECT_EQ(origin->node, id);
+    EXPECT_EQ(origin->doc_id, doc_id);
+  }
+  EXPECT_EQ(store->FindOrigin(999), nullptr);
+}
+
+TEST(EdgeStoreTest, StructureAndPaths) {
+  auto store = shred::EdgeStore::Create().value();
+  auto doc = xml::ParseXml("<a x='1'><b>t</b><b>u</b></a>").value();
+  ASSERT_TRUE(store->LoadDocument(doc).ok());
+  const rel::Table* edge = store->db().FindTable(shred::kEdgeTable);
+  const rel::Table* attr = store->db().FindTable(shred::kAttrTable);
+  const rel::Table* paths = store->db().FindTable(shred::kPathsTable);
+  EXPECT_EQ(edge->row_count(), 3u);
+  EXPECT_EQ(attr->row_count(), 1u);
+  EXPECT_EQ(paths->row_count(), 2u);  // /a and /a/b
+}
+
+TEST(AccelStoreTest, RegionInvariants) {
+  auto doc = xml::ParseXml("<a><b><c/></b><d/></a>").value();
+  auto store = accel::AccelStore::Create(doc).value();
+  ASSERT_EQ(store->element_count(), 4);
+  // a=1, b=2, c=3, d=4 in preorder.
+  EXPECT_EQ(store->name(1), "a");
+  EXPECT_EQ(store->name(4), "d");
+  EXPECT_EQ(store->region(1).size, 3);
+  EXPECT_EQ(store->region(2).size, 1);
+  EXPECT_EQ(store->region(2).parent_pre, 1);
+  // pre/post plane: c descends from b descends from a; d follows b.
+  EXPECT_TRUE(store->region(3).IsDescendantOf(store->region(1)));
+  EXPECT_TRUE(store->region(3).IsDescendantOf(store->region(2)));
+  EXPECT_TRUE(store->region(4).IsFollowing(store->region(2)));
+  EXPECT_TRUE(store->region(2).IsPreceding(store->region(4)));
+  EXPECT_TRUE(store->region(1).IsAncestorOf(store->region(4)));
+  // Round trip pre <-> node.
+  for (int32_t pre = 1; pre <= 4; ++pre) {
+    EXPECT_EQ(store->PreOf(store->NodeOf(pre)), pre);
+  }
+}
+
+}  // namespace
+}  // namespace xprel

@@ -1,0 +1,123 @@
+// Dewey encoding tests: representation, lemmas, and random-tree properties.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "encoding/dewey.h"
+
+namespace xprel::encoding {
+namespace {
+
+TEST(DeweyTest, ComponentsRoundTrip) {
+  std::vector<uint32_t> comps = {1, 2, 0x7FFFFF, 0, 42};
+  std::string pos = Dewey::FromComponents(comps);
+  EXPECT_EQ(pos.size(), comps.size() * 3);
+  auto back = Dewey::ToComponents(pos);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), comps);
+}
+
+TEST(DeweyTest, DottedRoundTrip) {
+  auto pos = Dewey::FromDotted("1.1.2");
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(Dewey::ToDotted(pos.value()), "1.1.2");
+  EXPECT_EQ(Dewey::Level(pos.value()), 3);
+  EXPECT_EQ(Dewey::LastOrdinal(pos.value()), 2u);
+  EXPECT_EQ(Dewey::ToDotted(Dewey::Parent(pos.value())), "1.1");
+}
+
+TEST(DeweyTest, InvalidInputs) {
+  EXPECT_FALSE(Dewey::ToComponents("ab").ok());          // not multiple of 3
+  EXPECT_FALSE(Dewey::ToComponents("\xFF\x00\x00").ok());  // top bit set
+  EXPECT_FALSE(Dewey::FromDotted("1.x").ok());
+  EXPECT_FALSE(Dewey::FromDotted("1.9999999999").ok());  // out of range
+}
+
+TEST(DeweyTest, Lemma1Descendant) {
+  std::string a = Dewey::FromComponents({1, 2});
+  std::string child = Dewey::FromComponents({1, 2, 1});
+  std::string deep = Dewey::FromComponents({1, 2, 7, 4});
+  std::string sibling = Dewey::FromComponents({1, 3});
+  std::string self = a;
+
+  EXPECT_TRUE(Dewey::IsDescendant(child, a));
+  EXPECT_TRUE(Dewey::IsDescendant(deep, a));
+  EXPECT_FALSE(Dewey::IsDescendant(sibling, a));
+  EXPECT_FALSE(Dewey::IsDescendant(self, a));  // strict
+  EXPECT_FALSE(Dewey::IsDescendant(a, child));
+
+  // The lemma's exact form: d > a and d < a || 0xFF.
+  EXPECT_GT(child, a);
+  EXPECT_LT(child, Dewey::UpperBound(a));
+  EXPECT_GT(sibling, Dewey::UpperBound(a));
+}
+
+TEST(DeweyTest, Lemma2Following) {
+  std::string a = Dewey::FromComponents({1, 2});
+  std::string desc = Dewey::FromComponents({1, 2, 5});
+  std::string next = Dewey::FromComponents({1, 3});
+  std::string ancestor = Dewey::FromComponents({1});
+
+  EXPECT_TRUE(Dewey::IsFollowing(next, a));
+  EXPECT_FALSE(Dewey::IsFollowing(desc, a));      // descendants don't follow
+  EXPECT_FALSE(Dewey::IsFollowing(ancestor, a));  // ancestors don't follow
+  EXPECT_TRUE(Dewey::IsPreceding(a, next));
+  EXPECT_FALSE(Dewey::IsPreceding(ancestor, a));  // ancestors don't precede
+}
+
+TEST(DeweyTest, MaxComponentBoundary) {
+  // A component of 0x7FFFFF must still sort below the 0xFF upper-bound
+  // byte (the first byte of every component has its top bit clear).
+  std::string parent = Dewey::FromComponents({1});
+  std::string extreme = Dewey::FromComponents({1, Dewey::kMaxComponent});
+  EXPECT_TRUE(Dewey::IsDescendant(extreme, parent));
+  std::string deeper = Dewey::Child(extreme, Dewey::kMaxComponent);
+  EXPECT_TRUE(Dewey::IsDescendant(deeper, parent));
+  EXPECT_TRUE(Dewey::IsDescendant(deeper, extreme));
+}
+
+// Property: on a random tree, the Dewey relations agree with the tree
+// relations computed structurally.
+TEST(DeweyTest, RandomTreeProperty) {
+  std::mt19937_64 rng(1234);
+  struct Node {
+    int parent;
+    std::string dewey;
+  };
+  std::vector<Node> nodes;
+  nodes.push_back({-1, Dewey::FromComponents({1})});
+  std::vector<uint32_t> child_count = {0};
+  for (int i = 1; i < 400; ++i) {
+    int parent = static_cast<int>(rng() % nodes.size());
+    child_count[static_cast<size_t>(parent)]++;
+    nodes.push_back(
+        {parent, Dewey::Child(nodes[static_cast<size_t>(parent)].dewey,
+                              child_count[static_cast<size_t>(parent)])});
+    child_count.push_back(0);
+  }
+
+  auto is_ancestor = [&](int a, int d) {
+    for (int cur = nodes[static_cast<size_t>(d)].parent; cur >= 0;
+         cur = nodes[static_cast<size_t>(cur)].parent) {
+      if (cur == a) return true;
+    }
+    return false;
+  };
+
+  for (int trial = 0; trial < 4000; ++trial) {
+    int a = static_cast<int>(rng() % nodes.size());
+    int b = static_cast<int>(rng() % nodes.size());
+    if (a == b) continue;
+    const std::string& da = nodes[static_cast<size_t>(a)].dewey;
+    const std::string& db = nodes[static_cast<size_t>(b)].dewey;
+    EXPECT_EQ(Dewey::IsDescendant(db, da), is_ancestor(a, b));
+    // following = after in document order (dewey order) and not descendant.
+    bool structurally_following = db > da && !is_ancestor(a, b);
+    EXPECT_EQ(Dewey::IsFollowing(db, da), structurally_following)
+        << Dewey::ToDotted(da) << " vs " << Dewey::ToDotted(db);
+  }
+}
+
+}  // namespace
+}  // namespace xprel::encoding

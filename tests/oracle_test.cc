@@ -1,0 +1,111 @@
+// Reference-evaluator tests on a hand-built document with known answers,
+// including the features only the oracle supports (position()).
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xpatheval/evaluator.h"
+
+namespace xprel::xpatheval {
+namespace {
+
+// <r>                          1
+//   <a i="1"><x>1</x></a>      2 (x=3)
+//   <b><x>2</x><x>3</x></b>    5 (x=6, x=8)
+//   <a><y>zz</y></a>           10 (y=11)
+// </r>
+class OracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::ParseXml(
+        "<r><a i=\"1\"><x>1</x></a><b><x>2</x><x>3</x></b>"
+        "<a><y>zz</y></a></r>");
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::make_unique<xml::Document>(std::move(doc).value());
+    eval_ = std::make_unique<XPathEvaluator>(*doc_);
+  }
+
+  std::vector<xml::NodeId> Eval(const char* q) {
+    auto r = eval_->EvaluateString(q);
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    return r.ok() ? r.value() : std::vector<xml::NodeId>{};
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<XPathEvaluator> eval_;
+};
+
+TEST_F(OracleTest, BasicAxes) {
+  EXPECT_EQ(Eval("/r"), (std::vector<xml::NodeId>{1}));
+  EXPECT_EQ(Eval("/r/a"), (std::vector<xml::NodeId>{2, 10}));
+  EXPECT_EQ(Eval("//x"), (std::vector<xml::NodeId>{3, 6, 8}));
+  EXPECT_EQ(Eval("/r/b/x/parent::b"), (std::vector<xml::NodeId>{5}));
+  EXPECT_EQ(Eval("//y/ancestor::*"), (std::vector<xml::NodeId>{1, 10}));
+  EXPECT_EQ(Eval("/r/a/following-sibling::b"), (std::vector<xml::NodeId>{5}));
+  EXPECT_EQ(Eval("/r/b/preceding-sibling::a"), (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(Eval("/r/b/following::y"), (std::vector<xml::NodeId>{11}));
+  EXPECT_EQ(Eval("//y/preceding::x"), (std::vector<xml::NodeId>{3, 6, 8}));
+  EXPECT_EQ(Eval("/r/a/.."), (std::vector<xml::NodeId>{1}));
+  EXPECT_EQ(Eval("/r/a/."), (std::vector<xml::NodeId>{2, 10}));
+}
+
+TEST_F(OracleTest, PrecedingExcludesAncestors) {
+  // preceding of the first x (node 3): nothing (a and r are ancestors).
+  EXPECT_EQ(Eval("/r/a[1]/x/preceding::*"), (std::vector<xml::NodeId>{}));
+  // preceding of y's parent a (node 10): a, x, b, x, x — not r.
+  EXPECT_EQ(Eval("//y/parent::a/preceding::*"),
+            (std::vector<xml::NodeId>{2, 3, 5, 6, 8}));
+}
+
+TEST_F(OracleTest, Predicates) {
+  EXPECT_EQ(Eval("/r/a[@i]"), (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(Eval("/r/a[@i='1']"), (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(Eval("/r/a[x]"), (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(Eval("/r/a[not(x)]"), (std::vector<xml::NodeId>{10}));
+  EXPECT_EQ(Eval("/r/a[x or y]"), (std::vector<xml::NodeId>{2, 10}));
+  EXPECT_EQ(Eval("/r/a[x and y]"), (std::vector<xml::NodeId>{}));
+  EXPECT_EQ(Eval("//b[x=2]"), (std::vector<xml::NodeId>{5}));
+  EXPECT_EQ(Eval("//b[x=9]"), (std::vector<xml::NodeId>{}));
+  EXPECT_EQ(Eval("//x[. >= 2]"), (std::vector<xml::NodeId>{6, 8}));
+}
+
+TEST_F(OracleTest, PositionPredicates) {
+  EXPECT_EQ(Eval("/r/a[1]"), (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(Eval("/r/a[2]"), (std::vector<xml::NodeId>{10}));
+  EXPECT_EQ(Eval("/r/b/x[position()=2]"), (std::vector<xml::NodeId>{8}));
+  // Reverse axis proximity: nearest preceding sibling is position 1.
+  EXPECT_EQ(Eval("/r/a[2]/preceding-sibling::*[1]"),
+            (std::vector<xml::NodeId>{5}));
+  EXPECT_EQ(Eval("//y/ancestor::*[1]"), (std::vector<xml::NodeId>{10}));
+  EXPECT_EQ(Eval("//y/ancestor::*[2]"), (std::vector<xml::NodeId>{1}));
+}
+
+TEST_F(OracleTest, PathToPathComparison) {
+  // a/x = b/x is false (1 vs {2,3}); x-to-x within b true for inequality.
+  EXPECT_EQ(Eval("/r[a/x = b/x]"), (std::vector<xml::NodeId>{}));
+  EXPECT_EQ(Eval("/r[a/x != b/x]"), (std::vector<xml::NodeId>{1}));
+}
+
+TEST_F(OracleTest, TextProjection) {
+  EXPECT_EQ(Eval("//x/text()"), (std::vector<xml::NodeId>{3, 6, 8}));
+  EXPECT_EQ(Eval("/r/text()"), (std::vector<xml::NodeId>{}));  // no text
+}
+
+TEST_F(OracleTest, AttributeFinalStep) {
+  EXPECT_EQ(Eval("/r/a/@i"), (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(Eval("/r/b/@i"), (std::vector<xml::NodeId>{}));
+}
+
+TEST_F(OracleTest, Union) {
+  EXPECT_EQ(Eval("//y | //x | /r"), (std::vector<xml::NodeId>{1, 3, 6, 8, 11}));
+}
+
+TEST_F(OracleTest, Unsupported) {
+  EXPECT_EQ(eval_->EvaluateString("/").status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(eval_->EvaluateString("//@i/x").status().code(),
+            StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace xprel::xpatheval

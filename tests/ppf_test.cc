@@ -1,0 +1,178 @@
+// PPF splitting and path-pattern (regex) construction tests — the paper's
+// Section 4.1 definitions and Table 1 examples.
+
+#include <gtest/gtest.h>
+
+#include "translate/ppf.h"
+#include "xpath/parser.h"
+
+namespace xprel::translate {
+namespace {
+
+std::vector<Ppf> Split(const xpath::LocationPath& path) {
+  auto r = SplitIntoPpfs(path);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(PpfSplitTest, SingleForwardFragment) {
+  auto e = xpath::ParseXPath("/a/b//c/*").value();
+  auto ppfs = Split(e.branches[0]);
+  ASSERT_EQ(ppfs.size(), 1u);
+  EXPECT_EQ(ppfs[0].kind, PpfKind::kForward);
+  EXPECT_EQ(ppfs[0].steps.size(), 5u);  // a, b, connector, c, *
+}
+
+TEST(PpfSplitTest, PredicateEndsFragment) {
+  // /A/B[x]/C/D: predicate on B ends the first fragment (paper: a
+  // predicate on an intermediate step always separates the path).
+  auto e = xpath::ParseXPath("/A/B[@x=1]/C/D").value();
+  auto ppfs = Split(e.branches[0]);
+  ASSERT_EQ(ppfs.size(), 2u);
+  EXPECT_EQ(ppfs[0].steps.size(), 2u);
+  EXPECT_EQ(ppfs[1].steps.size(), 2u);
+  EXPECT_EQ(ppfs[0].prominent().name, "B");
+  EXPECT_EQ(ppfs[1].prominent().name, "D");
+}
+
+TEST(PpfSplitTest, BackwardFragments) {
+  // //F/parent::D/ancestor::B (paper Table 3-3): forward then backward.
+  auto e = xpath::ParseXPath("//F/parent::D/ancestor::B").value();
+  auto ppfs = Split(e.branches[0]);
+  ASSERT_EQ(ppfs.size(), 2u);
+  EXPECT_EQ(ppfs[0].kind, PpfKind::kForward);
+  EXPECT_EQ(ppfs[1].kind, PpfKind::kBackward);
+  EXPECT_EQ(ppfs[1].steps.size(), 2u);
+}
+
+TEST(PpfSplitTest, OrderAxesAreSingletons) {
+  auto e = xpath::ParseXPath(
+      "/a/b/following-sibling::c/preceding::d/e").value();
+  auto ppfs = Split(e.branches[0]);
+  ASSERT_EQ(ppfs.size(), 4u);
+  EXPECT_EQ(ppfs[0].kind, PpfKind::kForward);
+  EXPECT_EQ(ppfs[1].kind, PpfKind::kOrder);
+  EXPECT_EQ(ppfs[2].kind, PpfKind::kOrder);
+  EXPECT_EQ(ppfs[3].kind, PpfKind::kForward);
+}
+
+TEST(PpfSplitTest, AlternatingDirections) {
+  auto e = xpath::ParseXPath("/a/b/parent::a/c/ancestor::x").value();
+  auto ppfs = Split(e.branches[0]);
+  ASSERT_EQ(ppfs.size(), 4u);
+  EXPECT_EQ(ppfs[0].kind, PpfKind::kForward);
+  EXPECT_EQ(ppfs[1].kind, PpfKind::kBackward);
+  EXPECT_EQ(ppfs[2].kind, PpfKind::kForward);
+  EXPECT_EQ(ppfs[3].kind, PpfKind::kBackward);
+}
+
+// --- forward patterns (paper Table 1) --------------------------------------
+
+std::string ForwardRegex(const char* xpath, bool rooted = true) {
+  auto e = xpath::ParseXPath(xpath).value();
+  PathPattern p = rooted ? PathPattern::Rooted() : PathPattern::Unrooted();
+  std::vector<const xpath::Step*> steps;
+  for (const xpath::Step& s : e.branches[0].steps) steps.push_back(&s);
+  EXPECT_TRUE(ExtendForwardPattern(p, steps));
+  return p.ToRegex();
+}
+
+TEST(PathPatternTest, Table1Forward) {
+  EXPECT_EQ(ForwardRegex("//B/C"), "^/(.+/)?B/C$");
+  EXPECT_EQ(ForwardRegex("/A/B//F"), "^/A/B/(.+/)?F$");
+  EXPECT_EQ(ForwardRegex("//C/*/F"), "^/(.+/)?C/[^/]+/F$");
+  EXPECT_EQ(ForwardRegex("/A/descendant::F"), "^/A/(.+/)?F$");
+}
+
+TEST(PathPatternTest, DepthTracking) {
+  auto e = xpath::ParseXPath("/a/b/c").value();
+  PathPattern p = PathPattern::Rooted();
+  std::vector<const xpath::Step*> steps;
+  for (const xpath::Step& s : e.branches[0].steps) steps.push_back(&s);
+  ASSERT_TRUE(ExtendForwardPattern(p, steps));
+  EXPECT_TRUE(p.AllChildHops());
+  EXPECT_EQ(p.MinDepth(), 3);
+
+  auto e2 = xpath::ParseXPath("/a//b").value();
+  PathPattern p2 = PathPattern::Rooted();
+  steps.clear();
+  for (const xpath::Step& s : e2.branches[0].steps) steps.push_back(&s);
+  ASSERT_TRUE(ExtendForwardPattern(p2, steps));
+  EXPECT_FALSE(p2.AllChildHops());
+}
+
+TEST(PathPatternTest, SelfIntersection) {
+  // self::X on a wildcard narrows it; on a different name it contradicts.
+  auto e = xpath::ParseXPath("/a/*/self::b").value();
+  PathPattern p = PathPattern::Rooted();
+  std::vector<const xpath::Step*> steps;
+  for (const xpath::Step& s : e.branches[0].steps) steps.push_back(&s);
+  ASSERT_TRUE(ExtendForwardPattern(p, steps));
+  EXPECT_EQ(p.ToRegex(), "^/a/b$");
+
+  auto e2 = xpath::ParseXPath("/a/c/self::b").value();
+  PathPattern p2 = PathPattern::Rooted();
+  steps.clear();
+  for (const xpath::Step& s : e2.branches[0].steps) steps.push_back(&s);
+  EXPECT_FALSE(ExtendForwardPattern(p2, steps));
+}
+
+TEST(PathPatternTest, EscapesMetacharacters) {
+  EXPECT_EQ(EscapeRegexLiteral("a.b*c"), "a\\.b\\*c");
+  auto e = xpath::ParseXPath("/a.b").value();
+  PathPattern p = PathPattern::Rooted();
+  std::vector<const xpath::Step*> steps;
+  for (const xpath::Step& s : e.branches[0].steps) steps.push_back(&s);
+  ASSERT_TRUE(ExtendForwardPattern(p, steps));
+  EXPECT_EQ(p.ToRegex(), "^/a\\.b$");
+}
+
+// --- backward patterns ------------------------------------------------------
+
+TEST(PathPatternTest, BackwardRegexes) {
+  // //F/parent::D/ancestor::B -> filter on F's path (paper Table 3-3).
+  auto e = xpath::ParseXPath("x/parent::D/ancestor::B").value();
+  std::vector<const xpath::Step*> steps;
+  for (size_t i = 1; i < e.branches[0].steps.size(); ++i) {
+    steps.push_back(&e.branches[0].steps[i]);
+  }
+  EXPECT_EQ(BackwardPathRegex(steps, "F"), "^.*/B/(.+/)?D/F$");
+}
+
+TEST(PathPatternTest, BackwardWithWildcards) {
+  // parent::*/parent::sub/ancestor::article on context i (paper QD4).
+  auto e =
+      xpath::ParseXPath("x/parent::*/parent::sub/ancestor::article").value();
+  std::vector<const xpath::Step*> steps;
+  for (size_t i = 1; i < e.branches[0].steps.size(); ++i) {
+    steps.push_back(&e.branches[0].steps[i]);
+  }
+  EXPECT_EQ(BackwardPathRegex(steps, "i"),
+            "^.*/article/(.+/)?sub/[^/]+/i$");
+}
+
+// --- -or-self expansion -----------------------------------------------------
+
+TEST(OrSelfExpansionTest, ExpandsNameTestedSteps) {
+  auto e = xpath::ParseXPath(
+      "/descendant-or-self::a/descendant-or-self::b").value();
+  auto expanded = ExpandOrSelfSteps(e);
+  EXPECT_EQ(expanded.branches.size(), 4u);  // {self,desc} x {self,desc}
+}
+
+TEST(OrSelfExpansionTest, LeavesConnectorsAlone) {
+  auto e = xpath::ParseXPath("//a//b").value();
+  auto expanded = ExpandOrSelfSteps(e);
+  EXPECT_EQ(expanded.branches.size(), 1u);
+}
+
+TEST(OrSelfExpansionTest, ExpandsInsidePredicates) {
+  auto e = xpath::ParseXPath("/a[descendant-or-self::b]").value();
+  auto expanded = ExpandOrSelfSteps(e);
+  ASSERT_EQ(expanded.branches.size(), 1u);
+  std::string text = xpath::ToString(expanded);
+  EXPECT_NE(text.find(" or "), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace xprel::translate

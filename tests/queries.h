@@ -1,0 +1,53 @@
+#ifndef XPREL_TESTS_QUERIES_H_
+#define XPREL_TESTS_QUERIES_H_
+
+namespace xprel::testutil {
+
+// The paper's XPathMark query subset (Appendix B) plus Q-A (Section 5).
+struct NamedQuery {
+  const char* id;
+  const char* xpath;
+};
+
+inline constexpr NamedQuery kXMarkQueries[] = {
+    {"Q1", "/site/regions/*/item"},
+    {"Q2",
+     "/site/closed_auctions/closed_auction/annotation/description/parlist/"
+     "listitem/text/keyword"},
+    {"Q3", "//keyword"},
+    {"Q4", "/descendant-or-self::listitem/descendant-or-self::keyword"},
+    {"Q5", "/site/regions/*/item[parent::namerica or parent::samerica]"},
+    {"Q6", "//keyword/ancestor::listitem"},
+    {"Q7", "//keyword/ancestor-or-self::mail"},
+    {"Q9",
+     "/site/open_auctions/open_auction[@id='open_auction0']/bidder/"
+     "preceding-sibling::bidder"},
+    {"Q10", "/site/regions/*/item[@id='item0']/following::item"},
+    {"Q11",
+     "/site/open_auctions/open_auction/bidder[personref/@person='person1']"
+     "/preceding::bidder[personref/@person='person0']"},
+    {"Q12", "//item[@featured='yes']"},
+    {"Q13", "//*[@id]"},
+    {"Q21",
+     "/site/regions/*/item[@id='item0']/description//keyword/text()"},
+    {"Q22", "/site/regions/namerica/item | /site/regions/samerica/item"},
+    {"Q23", "/site/people/person[address and (phone or homepage)]"},
+    {"Q24", "/site/people/person[not(homepage)]"},
+    {"QA",
+     "/site/open_auctions/open_auction[bidder/date = interval/start]"},
+};
+
+// The paper's DBLP query set (Table 7).
+inline constexpr NamedQuery kDblpQueries[] = {
+    {"QD1",
+     "//inproceedings/title[preceding-sibling::author = "
+     "'Harold G. Longbotham']"},
+    {"QD2", "/dblp/inproceedings[year>=1994]//sup"},
+    {"QD3", "/dblp/inproceedings/title/sup"},
+    {"QD4", "//i[parent::*/parent::sub/ancestor::article]"},
+    {"QD5", "/dblp/inproceedings[author=/dblp/book/author]/title"},
+};
+
+}  // namespace xprel::testutil
+
+#endif  // XPREL_TESTS_QUERIES_H_

@@ -1,0 +1,248 @@
+// Relational engine tests: SQL AST printing, planning (access-path
+// selection), and execution semantics (joins, EXISTS, DISTINCT, ORDER BY,
+// UNION, three-valued logic).
+
+#include <gtest/gtest.h>
+
+#include "rel/key_codec.h"
+#include "rel/query.h"
+
+namespace xprel::rel {
+namespace {
+
+// A small library database: books(id, author_id, title, year) and
+// authors(id, name).
+class RelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema authors;
+    authors.name = "authors";
+    authors.columns = {{"id", ValueType::kInt64, false},
+                       {"name", ValueType::kString, false}};
+    authors.indexes = {{"pk_authors", {0}, true}};
+    Table* a = db_.CreateTable(std::move(authors)).value();
+    ASSERT_TRUE(a->Insert({Value::Int(1), Value::Str("Knuth")}).ok());
+    ASSERT_TRUE(a->Insert({Value::Int(2), Value::Str("Date")}).ok());
+    ASSERT_TRUE(a->Insert({Value::Int(3), Value::Str("Gray")}).ok());
+
+    TableSchema books;
+    books.name = "books";
+    books.columns = {{"id", ValueType::kInt64, false},
+                     {"author_id", ValueType::kInt64, true},
+                     {"title", ValueType::kString, false},
+                     {"year", ValueType::kInt64, false}};
+    books.indexes = {{"pk_books", {0}, true}, {"idx_books_author", {1}, false}};
+    Table* b = db_.CreateTable(std::move(books)).value();
+    ASSERT_TRUE(b->Insert({Value::Int(10), Value::Int(1),
+                           Value::Str("TAOCP"), Value::Int(1968)}).ok());
+    ASSERT_TRUE(b->Insert({Value::Int(11), Value::Int(2),
+                           Value::Str("Database Systems"), Value::Int(1975)})
+                    .ok());
+    ASSERT_TRUE(b->Insert({Value::Int(12), Value::Int(1),
+                           Value::Str("Concrete Math"), Value::Int(1989)})
+                    .ok());
+    ASSERT_TRUE(b->Insert({Value::Int(13), Value::Null(),
+                           Value::Str("Anonymous"), Value::Int(2000)}).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(RelExecTest, SimpleFilterAndOrder) {
+  SelectStmt s;
+  s.select.push_back({Col("b", "title"), "title"});
+  s.from = {{"books", "b"}};
+  s.where = Bin(SqlExpr::BinOp::kGe, Col("b", "year"), LitInt(1975));
+  s.order_by.push_back({Col("b", "year"), false});  // DESC
+  auto r = ExecuteSelect(db_, s);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 3u);
+  EXPECT_EQ(r.value().rows[0][0].AsString(), "Anonymous");
+  EXPECT_EQ(r.value().rows[2][0].AsString(), "Database Systems");
+}
+
+TEST_F(RelExecTest, EquiJoinUsesIndex) {
+  SelectStmt s;
+  s.select.push_back({Col("a", "name"), "name"});
+  s.select.push_back({Col("b", "title"), "title"});
+  s.from = {{"authors", "a"}, {"books", "b"}};
+  s.where = rel::Eq(Col("b", "author_id"), Col("a", "id"));
+  auto plan = PlanSelect(db_, s, nullptr);
+  ASSERT_TRUE(plan.ok());
+  // One side must be an index probe, not a nested seq scan.
+  EXPECT_NE(plan.value()->Describe().find("IndexPoint"), std::string::npos)
+      << plan.value()->Describe();
+  auto r = ExecutePlan(*plan.value(), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 3u);  // NULL author_id joins nothing
+}
+
+TEST_F(RelExecTest, ExistsCorrelated) {
+  // Authors with a book after 1980.
+  SelectStmt s;
+  s.select.push_back({Col("a", "name"), "name"});
+  s.from = {{"authors", "a"}};
+  auto sub = std::make_unique<SelectStmt>();
+  sub->from = {{"books", "b"}};
+  sub->where =
+      And(rel::Eq(Col("b", "author_id"), Col("a", "id")),
+          Bin(SqlExpr::BinOp::kGt, Col("b", "year"), LitInt(1980)));
+  s.where = Exists(std::move(sub));
+  auto r = ExecuteSelect(db_, s);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsString(), "Knuth");
+}
+
+TEST_F(RelExecTest, NotExistsAndNullSemantics) {
+  // Authors with no books: Gray. NULL author_id must not match anyone.
+  SelectStmt s;
+  s.select.push_back({Col("a", "name"), "name"});
+  s.from = {{"authors", "a"}};
+  auto sub = std::make_unique<SelectStmt>();
+  sub->from = {{"books", "b"}};
+  sub->where = rel::Eq(Col("b", "author_id"), Col("a", "id"));
+  s.where = Not(Exists(std::move(sub)));
+  auto r = ExecuteSelect(db_, s);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsString(), "Gray");
+}
+
+TEST_F(RelExecTest, DistinctDeduplicates) {
+  SelectStmt s;
+  s.distinct = true;
+  s.select.push_back({Col("b", "author_id"), "author_id"});
+  s.from = {{"books", "b"}};
+  s.where = Not([] {
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExpr::Kind::kIsNull;
+    e->args.push_back(Col("b", "author_id"));
+    return e;
+  }());
+  auto r = ExecuteSelect(db_, s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 2u);
+}
+
+TEST_F(RelExecTest, StringCoercionInComparisons) {
+  // year stored as INT compared against a string literal number.
+  SelectStmt s;
+  s.select.push_back({Col("b", "id"), "id"});
+  s.from = {{"books", "b"}};
+  s.where = rel::Eq(Col("b", "year"), Lit(Value::Str("1975")));
+  auto r = ExecuteSelect(db_, s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 1u);
+}
+
+TEST_F(RelExecTest, LikeAndRegexp) {
+  SelectStmt s;
+  s.select.push_back({Col("b", "title"), "t"});
+  s.from = {{"books", "b"}};
+  auto like = std::make_unique<SqlExpr>();
+  like->kind = SqlExpr::Kind::kLike;
+  like->args.push_back(Col("b", "title"));
+  like->args.push_back(LitStr("%Math%"));
+  s.where = std::move(like);
+  auto r = ExecuteSelect(db_, s);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+
+  SelectStmt s2;
+  s2.select.push_back({Col("b", "title"), "t"});
+  s2.from = {{"books", "b"}};
+  s2.where = RegexpLike(Col("b", "title"), "^Conc");
+  auto r2 = ExecuteSelect(db_, s2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().rows.size(), 1u);
+}
+
+TEST_F(RelExecTest, UnionDeduplicatesAndOrders) {
+  SqlQuery q;
+  for (int year : {1968, 1968, 1989}) {
+    auto s = std::make_unique<SelectStmt>();
+    s->select.push_back({Col("b", "id"), "id"});
+    s->select.push_back({Col("b", "year"), "year"});
+    s->from = {{"books", "b"}};
+    s->where = rel::Eq(Col("b", "year"), LitInt(year));
+    s->order_by.push_back({Col("b", "id"), true});
+    q.selects.push_back(std::move(s));
+  }
+  auto r = ExecuteQuery(db_, q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 2u);  // duplicate block deduplicated
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 10);
+  EXPECT_EQ(r.value().rows[1][0].AsInt(), 12);
+}
+
+TEST_F(RelExecTest, LengthAndAdd) {
+  SelectStmt s;
+  s.select.push_back({Length(Col("b", "title")), "len"});
+  s.select.push_back({Add(Col("b", "year"), LitInt(1)), "next"});
+  s.from = {{"books", "b"}};
+  s.where = rel::Eq(Col("b", "id"), LitInt(10));
+  auto r = ExecuteSelect(db_, s);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 5);  // "TAOCP"
+  EXPECT_EQ(r.value().rows[0][1].AsInt(), 1969);
+}
+
+TEST_F(RelExecTest, IndexUnionProbe) {
+  // (id = 10 OR id = 12) must use union point probes, not a scan.
+  SelectStmt s;
+  s.select.push_back({Col("b", "title"), "t"});
+  s.from = {{"books", "b"}};
+  s.where = Or(rel::Eq(Col("b", "id"), LitInt(10)),
+               rel::Eq(Col("b", "id"), LitInt(12)));
+  auto plan = PlanSelect(db_, s, nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan.value()->Describe().find("IndexUnion"), std::string::npos)
+      << plan.value()->Describe();
+  auto r = ExecutePlan(*plan.value(), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 2u);
+}
+
+TEST_F(RelExecTest, SqlPrinting) {
+  SelectStmt s;
+  s.distinct = true;
+  s.select.push_back({Col("b", "id"), "id"});
+  s.from = {{"books", "b"}, {"authors", "a"}};
+  s.where = And(rel::Eq(Col("b", "author_id"), Col("a", "id")),
+                Or(rel::Eq(Col("a", "name"), LitStr("Knuth")),
+                   Bin(SqlExpr::BinOp::kLt, Col("b", "year"), LitInt(1970))));
+  s.order_by.push_back({Col("b", "id"), true});
+  EXPECT_EQ(SqlToString(s),
+            "SELECT DISTINCT b.id AS id FROM books b, authors a "
+            "WHERE b.author_id = a.id AND "
+            "(a.name = 'Knuth' OR b.year < 1970) ORDER BY b.id");
+}
+
+TEST_F(RelExecTest, PlanErrors) {
+  SelectStmt s;
+  s.select.push_back({Col("x", "id"), "id"});
+  s.from = {{"nope", "x"}};
+  EXPECT_EQ(PlanSelect(db_, s, nullptr).status().code(),
+            StatusCode::kNotFound);
+
+  SelectStmt dup;
+  dup.select.push_back({Col("b", "id"), "id"});
+  dup.from = {{"books", "b"}, {"books", "b"}};
+  EXPECT_EQ(PlanSelect(db_, dup, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RelExecTest, TableErrors) {
+  Table* b = db_.FindTable("books");
+  // Wrong arity.
+  EXPECT_FALSE(b->Insert({Value::Int(99)}).ok());
+  // Duplicate primary key.
+  EXPECT_FALSE(b->Insert({Value::Int(10), Value::Null(), Value::Str("dup"),
+                          Value::Int(0)}).ok());
+  EXPECT_FALSE(db_.CreateTable({.name = "books"}).ok());
+}
+
+}  // namespace
+}  // namespace xprel::rel

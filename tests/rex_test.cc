@@ -1,0 +1,174 @@
+// Unit + property tests for the regex engine, including differential
+// testing against std::regex's POSIX-extended grammar.
+
+#include <regex>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rex/regex.h"
+
+namespace xprel::rex {
+namespace {
+
+bool Match(const char* pattern, const char* text) {
+  auto re = Regex::Compile(pattern);
+  EXPECT_TRUE(re.ok()) << pattern << ": " << re.status().ToString();
+  return re.ok() && re.value().Matches(text);
+}
+
+TEST(RexTest, Literals) {
+  EXPECT_TRUE(Match("abc", "abc"));
+  EXPECT_TRUE(Match("abc", "xxabcxx"));  // substring semantics
+  EXPECT_FALSE(Match("abc", "abx"));
+  EXPECT_TRUE(Match("", "anything"));
+}
+
+TEST(RexTest, Anchors) {
+  EXPECT_TRUE(Match("^abc$", "abc"));
+  EXPECT_FALSE(Match("^abc$", "xabc"));
+  EXPECT_FALSE(Match("^abc$", "abcx"));
+  EXPECT_TRUE(Match("^a", "abc"));
+  EXPECT_FALSE(Match("^b", "abc"));
+  EXPECT_TRUE(Match("c$", "abc"));
+  EXPECT_FALSE(Match("b$", "abc"));
+}
+
+TEST(RexTest, Repetition) {
+  EXPECT_TRUE(Match("^ab*c$", "ac"));
+  EXPECT_TRUE(Match("^ab*c$", "abbbc"));
+  EXPECT_FALSE(Match("^ab+c$", "ac"));
+  EXPECT_TRUE(Match("^ab+c$", "abc"));
+  EXPECT_TRUE(Match("^ab?c$", "ac"));
+  EXPECT_TRUE(Match("^ab?c$", "abc"));
+  EXPECT_FALSE(Match("^ab?c$", "abbc"));
+}
+
+TEST(RexTest, BoundedRepetition) {
+  EXPECT_TRUE(Match("^a{3}$", "aaa"));
+  EXPECT_FALSE(Match("^a{3}$", "aa"));
+  EXPECT_TRUE(Match("^a{2,}$", "aaaa"));
+  EXPECT_FALSE(Match("^a{2,}$", "a"));
+  EXPECT_TRUE(Match("^a{1,3}$", "aa"));
+  EXPECT_FALSE(Match("^a{1,3}$", "aaaa"));
+  EXPECT_TRUE(Match("^a{0,1}$", ""));
+}
+
+TEST(RexTest, Alternation) {
+  EXPECT_TRUE(Match("^(cat|dog)$", "cat"));
+  EXPECT_TRUE(Match("^(cat|dog)$", "dog"));
+  EXPECT_FALSE(Match("^(cat|dog)$", "cow"));
+  EXPECT_TRUE(Match("^a(b|c)*d$", "abcbcd"));
+}
+
+TEST(RexTest, CharClasses) {
+  EXPECT_TRUE(Match("^[abc]+$", "cab"));
+  EXPECT_FALSE(Match("^[abc]+$", "abd"));
+  EXPECT_TRUE(Match("^[a-z]+$", "hello"));
+  EXPECT_FALSE(Match("^[a-z]+$", "Hello"));
+  EXPECT_TRUE(Match("^[^/]+$", "segment"));
+  EXPECT_FALSE(Match("^[^/]+$", "a/b"));
+  EXPECT_TRUE(Match("^[-a]+$", "a-a"));  // literal '-' at edges
+  EXPECT_TRUE(Match("^[]]$", "]"));      // ']' first is literal
+}
+
+TEST(RexTest, Escapes) {
+  EXPECT_TRUE(Match("^a\\.b$", "a.b"));
+  EXPECT_FALSE(Match("^a\\.b$", "axb"));
+  EXPECT_TRUE(Match("^a\\*$", "a*"));
+  EXPECT_TRUE(Match("^\\(x\\)$", "(x)"));
+}
+
+TEST(RexTest, DotMatchesSlash) {
+  // The path language relies on '.' crossing '/' boundaries.
+  EXPECT_TRUE(Match("^/a/(.+/)?b$", "/a/b"));
+  EXPECT_TRUE(Match("^/a/(.+/)?b$", "/a/x/y/b"));
+  EXPECT_FALSE(Match("^/a/(.+/)?b$", "/a/xb"));
+}
+
+TEST(RexTest, PaperTable1Patterns) {
+  // Table 1 rows, adapted to leading-slash path storage.
+  EXPECT_TRUE(Match("^.*/B/C$", "/A/B/C"));
+  EXPECT_FALSE(Match("^.*/B/C$", "/A/B/C/D"));
+  EXPECT_TRUE(Match("^/A/B/(.+/)?F$", "/A/B/F"));
+  EXPECT_TRUE(Match("^/A/B/(.+/)?F$", "/A/B/C/E/F"));
+  EXPECT_FALSE(Match("^/A/B/(.+/)?F$", "/A/F"));
+  EXPECT_TRUE(Match("^.*/C/[^/]+/F$", "/A/B/C/E/F"));
+  EXPECT_FALSE(Match("^.*/C/[^/]+/F$", "/A/B/C/F"));
+}
+
+TEST(RexTest, ParseErrors) {
+  EXPECT_FALSE(Regex::Compile("a(b").ok());
+  EXPECT_FALSE(Regex::Compile("a)b").ok());
+  EXPECT_FALSE(Regex::Compile("[abc").ok());
+  EXPECT_FALSE(Regex::Compile("a{2,1}").ok());
+  EXPECT_FALSE(Regex::Compile("*a").ok());
+  EXPECT_FALSE(Regex::Compile("a\\").ok());
+  EXPECT_FALSE(Regex::Compile("a{99999}").ok());
+}
+
+TEST(RexTest, FullMatchIgnoresAnchoring) {
+  auto re = Regex::Compile("b+").value();
+  EXPECT_TRUE(re.FullMatch("bbb"));
+  EXPECT_FALSE(re.FullMatch("abbb"));
+  EXPECT_FALSE(re.FullMatch("bbba"));
+}
+
+TEST(RexTest, NoBacktrackingBlowup) {
+  // (a+)+b against aaaa...c is exponential for backtracking engines.
+  std::string text(64, 'a');
+  text.push_back('c');
+  auto re = Regex::Compile("^(a+)+b$").value();
+  EXPECT_FALSE(re.Matches(text));  // must terminate quickly
+}
+
+// --- differential sweep against std::regex (POSIX extended) ---------------
+
+struct DiffCase {
+  const char* pattern;
+};
+
+class RexDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(RexDifferentialTest, AgreesWithStdRegex) {
+  const char* pattern = GetParam().pattern;
+  auto mine = Regex::Compile(pattern);
+  ASSERT_TRUE(mine.ok()) << mine.status().ToString();
+  std::regex theirs(pattern, std::regex::extended);
+
+  // Enumerate all strings over {a, b, /} up to length 5.
+  const char alphabet[] = {'a', 'b', '/'};
+  std::vector<std::string> inputs = {""};
+  for (int len = 1; len <= 5; ++len) {
+    size_t start = inputs.size();
+    size_t prev_start = 0;
+    // strings of length len-1 occupy [prev_start_of_len-1, start)
+    // simpler: regenerate from all current entries of length len-1
+    std::vector<std::string> next;
+    for (const std::string& s : inputs) {
+      if (s.size() == static_cast<size_t>(len - 1)) {
+        for (char c : alphabet) next.push_back(s + c);
+      }
+    }
+    inputs.insert(inputs.end(), next.begin(), next.end());
+    (void)start;
+    (void)prev_start;
+  }
+  for (const std::string& s : inputs) {
+    bool a = mine.value().Matches(s);
+    bool b = std::regex_search(s, theirs);
+    EXPECT_EQ(a, b) << "pattern '" << pattern << "' input '" << s << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, RexDifferentialTest,
+    ::testing::Values(DiffCase{"^a"}, DiffCase{"a$"}, DiffCase{"^(a|b)*$"},
+                      DiffCase{"a+b"}, DiffCase{"^/a/(.+/)?b$"},
+                      DiffCase{"[^/]+"}, DiffCase{"^[ab]*/$"},
+                      DiffCase{"(a|/)+b"}, DiffCase{"a{2,3}"},
+                      DiffCase{"^(ab)+$"}, DiffCase{"b?a"},
+                      DiffCase{"^.*/a$"}));
+
+}  // namespace
+}  // namespace xprel::rex

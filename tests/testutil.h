@@ -1,0 +1,155 @@
+#ifndef XPREL_TESTS_TESTUTIL_H_
+#define XPREL_TESTS_TESTUTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rel/query.h"
+#include "shred/schema_loader.h"
+#include "translate/translator.h"
+#include "xml/parser.h"
+#include "xpatheval/evaluator.h"
+#include "xsd/schema_graph.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel::testutil {
+
+// The paper's Figure 1 schema: A { B { C { D | E { F F } } G }, B { G { G* } } }
+// with recursion on G (G contains G), attribute x on A and D, text on D/F/G.
+inline const char* kFigure1Xsd = R"(
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="A">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="B" maxOccurs="unbounded"/>
+      </xs:sequence>
+      <xs:attribute name="x"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="B">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="C" minOccurs="0" maxOccurs="unbounded"/>
+        <xs:element ref="G" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="C">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="D" type="xs:string" minOccurs="0"/>
+        <xs:element name="E" minOccurs="0">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="F" type="xs:string" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="G">
+    <xs:complexType mixed="true">
+      <xs:sequence>
+        <xs:element ref="G" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+)";
+
+inline const char* kFigure1Doc = R"(
+<A x="3">
+  <B>
+    <C><D>d1</D></C>
+    <C><E><F>2</F><F>5</F></E></C>
+    <G>g1<G>g2<G>g3</G></G></G>
+  </B>
+  <B>
+    <G>g4</G>
+  </B>
+</A>
+)";
+
+// Everything needed to exercise one schema + document end to end.
+struct Fixture {
+  xml::Document doc;
+  xsd::Schema schema;
+  std::unique_ptr<xsd::SchemaGraph> graph;
+  std::unique_ptr<shred::SchemaAwareStore> store;
+  std::unique_ptr<xpatheval::XPathEvaluator> oracle;
+  int64_t doc_id = 0;
+};
+
+inline std::unique_ptr<Fixture> MakeFixture(const char* xsd_text,
+                                            const char* doc_text) {
+  auto fx = std::make_unique<Fixture>();
+  auto doc = xml::ParseXml(doc_text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  if (!doc.ok()) return nullptr;
+  fx->doc = std::move(doc).value();
+
+  auto schema = xsd::ParseXsd(xsd_text);
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  if (!schema.ok()) return nullptr;
+  fx->schema = std::move(schema).value();
+
+  auto graph = xsd::SchemaGraph::Build(fx->schema);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  if (!graph.ok()) return nullptr;
+  fx->graph = std::make_unique<xsd::SchemaGraph>(std::move(graph).value());
+
+  auto store = shred::SchemaAwareStore::Create(*fx->graph);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  if (!store.ok()) return nullptr;
+  fx->store = std::move(store).value();
+
+  auto doc_id = fx->store->LoadDocument(fx->doc);
+  EXPECT_TRUE(doc_id.ok()) << doc_id.status().ToString();
+  if (!doc_id.ok()) return nullptr;
+  fx->doc_id = doc_id.value();
+
+  fx->oracle = std::make_unique<xpatheval::XPathEvaluator>(fx->doc);
+  return fx;
+}
+
+// Runs an XPath through the PPF translator + relational engine, returning
+// document node ids.
+inline Result<std::vector<xml::NodeId>> RunPpf(
+    Fixture& fx, std::string_view xpath,
+    translate::TranslateOptions options = {}) {
+  translate::PpfTranslator translator(fx.store->mapping(), options);
+  auto tq = translator.TranslateString(xpath);
+  if (!tq.ok()) return tq.status();
+  if (tq.value().statically_empty) return std::vector<xml::NodeId>{};
+  auto result = rel::ExecuteQuery(fx.store->db(), tq.value().sql);
+  if (!result.ok()) return result.status();
+  std::vector<xml::NodeId> out;
+  for (const rel::Row& row : result.value().rows) {
+    int64_t element_id = row[0].AsInt();
+    const auto* origin = fx.store->FindOrigin(element_id);
+    if (origin == nullptr) {
+      return Status::Internal("result row with unknown element id");
+    }
+    out.push_back(origin->node);
+  }
+  return out;
+}
+
+// EXPECT that PPF translation agrees with the reference evaluator.
+inline void ExpectPpfMatchesOracle(Fixture& fx, const std::string& xpath) {
+  auto expected = fx.oracle->EvaluateString(xpath);
+  ASSERT_TRUE(expected.ok()) << xpath << ": " << expected.status().ToString();
+  auto actual = RunPpf(fx, xpath);
+  ASSERT_TRUE(actual.ok()) << xpath << ": " << actual.status().ToString();
+  std::vector<xml::NodeId> sorted = actual.value();
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(expected.value(), sorted) << "query: " << xpath;
+}
+
+}  // namespace xprel::testutil
+
+#endif  // XPREL_TESTS_TESTUTIL_H_

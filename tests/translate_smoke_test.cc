@@ -1,0 +1,135 @@
+// End-to-end smoke tests: Figure 1 schema/doc, PPF translation vs oracle.
+
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace xprel {
+namespace {
+
+using testutil::ExpectPpfMatchesOracle;
+using testutil::Fixture;
+using testutil::MakeFixture;
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = MakeFixture(testutil::kFigure1Xsd, testutil::kFigure1Doc);
+    ASSERT_NE(fx_, nullptr);
+  }
+  std::unique_ptr<Fixture> fx_;
+};
+
+TEST_F(Figure1Test, SchemaGraphMarking) {
+  // A, B, C, D, E are U-P; G and its descendants are I-P (recursion).
+  const xsd::SchemaGraph& g = *fx_->graph;
+  for (int id : g.ReachableNodes()) {
+    const xsd::GraphNode& n = g.node(id);
+    if (n.tag == "G") {
+      EXPECT_EQ(n.path_class, xsd::PathClass::kInfinitePaths) << n.tag;
+    } else {
+      EXPECT_EQ(n.path_class, xsd::PathClass::kUniquePath) << n.tag;
+    }
+  }
+}
+
+TEST_F(Figure1Test, SimpleChildPaths) {
+  ExpectPpfMatchesOracle(*fx_, "/A");
+  ExpectPpfMatchesOracle(*fx_, "/A/B");
+  ExpectPpfMatchesOracle(*fx_, "/A/B/C");
+  ExpectPpfMatchesOracle(*fx_, "/A/B/C/D");
+  ExpectPpfMatchesOracle(*fx_, "/A/B/C/E/F");
+}
+
+TEST_F(Figure1Test, DescendantAndWildcard) {
+  ExpectPpfMatchesOracle(*fx_, "//F");
+  ExpectPpfMatchesOracle(*fx_, "//G");
+  ExpectPpfMatchesOracle(*fx_, "/A//F");
+  ExpectPpfMatchesOracle(*fx_, "/A/B/C/*/F");
+  ExpectPpfMatchesOracle(*fx_, "/A/*");
+  ExpectPpfMatchesOracle(*fx_, "//*");
+  ExpectPpfMatchesOracle(*fx_, "/A/B//G");
+}
+
+TEST_F(Figure1Test, Predicates) {
+  ExpectPpfMatchesOracle(*fx_, "/A[@x=3]/B");
+  ExpectPpfMatchesOracle(*fx_, "/A[@x=4]/B");
+  ExpectPpfMatchesOracle(*fx_, "/A[@x]/B/C");
+  ExpectPpfMatchesOracle(*fx_, "/A/B[C]");
+  ExpectPpfMatchesOracle(*fx_, "/A/B[C/E/F=2]");
+  ExpectPpfMatchesOracle(*fx_, "/A/B[C//F=5]/C/D");
+  ExpectPpfMatchesOracle(*fx_, "/A/B[not(C)]");
+  ExpectPpfMatchesOracle(*fx_, "/A/B[C and G]");
+  ExpectPpfMatchesOracle(*fx_, "/A/B[C or G]");
+  ExpectPpfMatchesOracle(*fx_, "/A[@x=3]/B/C//F");
+}
+
+TEST_F(Figure1Test, BackwardAxes) {
+  ExpectPpfMatchesOracle(*fx_, "//F/parent::E");
+  ExpectPpfMatchesOracle(*fx_, "//F/ancestor::B");
+  ExpectPpfMatchesOracle(*fx_, "//F/parent::E/parent::C");
+  ExpectPpfMatchesOracle(*fx_, "//G/ancestor::G");
+  ExpectPpfMatchesOracle(*fx_, "//G[parent::B]");
+  ExpectPpfMatchesOracle(*fx_, "//G[parent::G]");
+  ExpectPpfMatchesOracle(*fx_, "//F[parent::E or ancestor::B]");
+  ExpectPpfMatchesOracle(*fx_, "//D/ancestor-or-self::C");
+}
+
+TEST_F(Figure1Test, OrderAxes) {
+  ExpectPpfMatchesOracle(*fx_, "/A/B/C/following-sibling::C");
+  ExpectPpfMatchesOracle(*fx_, "/A/B/C/following-sibling::G");
+  ExpectPpfMatchesOracle(*fx_, "//C/following::G");
+  ExpectPpfMatchesOracle(*fx_, "//G/preceding::C");
+  ExpectPpfMatchesOracle(*fx_, "//C[D]/following-sibling::C");
+  ExpectPpfMatchesOracle(*fx_, "//G/preceding-sibling::C");
+}
+
+TEST_F(Figure1Test, UnionAndOrSelf) {
+  ExpectPpfMatchesOracle(*fx_, "/A/B/C | /A/B/G");
+  ExpectPpfMatchesOracle(*fx_, "//D | //F");
+  ExpectPpfMatchesOracle(*fx_, "/descendant-or-self::G");
+  ExpectPpfMatchesOracle(*fx_, "//G/descendant-or-self::G");
+}
+
+TEST_F(Figure1Test, RecursiveQueries) {
+  ExpectPpfMatchesOracle(*fx_, "/A/B/G/G");
+  ExpectPpfMatchesOracle(*fx_, "/A/B/G/G/G");
+  ExpectPpfMatchesOracle(*fx_, "//G/G");
+  ExpectPpfMatchesOracle(*fx_, "//G[G]");
+  ExpectPpfMatchesOracle(*fx_, "//G[not(G)]");
+}
+
+TEST_F(Figure1Test, TextProjection) {
+  ExpectPpfMatchesOracle(*fx_, "//F/text()");
+  ExpectPpfMatchesOracle(*fx_, "/A/B/C/D/text()");
+}
+
+TEST_F(Figure1Test, ValueComparisons) {
+  ExpectPpfMatchesOracle(*fx_, "//F[. = 2]");
+  ExpectPpfMatchesOracle(*fx_, "/A/B[C/D = 'd1']");
+  ExpectPpfMatchesOracle(*fx_, "/A/B[C/D = C/D]");
+  ExpectPpfMatchesOracle(*fx_, "//C[E/F = 5]/D");
+}
+
+TEST_F(Figure1Test, TranslationShape) {
+  // Table 3 (2): a single child-step PPF after a predicate uses an FK
+  // equijoin, and the U-P optimization drops every Paths join.
+  translate::PpfTranslator translator(fx_->store->mapping());
+  auto tq = translator.TranslateString("/A[@x=3]/B");
+  ASSERT_TRUE(tq.ok()) << tq.status().ToString();
+  std::string sql = tq.value().ToSqlString();
+  EXPECT_NE(sql.find("B.A_id = A.id"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("Paths"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("A.x = 3"), std::string::npos) << sql;
+}
+
+TEST_F(Figure1Test, TranslationUsesRegexForRecursion) {
+  translate::PpfTranslator translator(fx_->store->mapping());
+  auto tq = translator.TranslateString("//G");
+  ASSERT_TRUE(tq.ok()) << tq.status().ToString();
+  std::string sql = tq.value().ToSqlString();
+  EXPECT_NE(sql.find("REGEXP_LIKE"), std::string::npos) << sql;
+}
+
+}  // namespace
+}  // namespace xprel

@@ -1,0 +1,143 @@
+// Value semantics and order-preserving key-codec tests.
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "rel/key_codec.h"
+#include "rel/value.h"
+
+namespace xprel::rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Real(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+  EXPECT_EQ(Value::Bytes("\x01\x02").AsBytes(), std::string("\x01\x02"));
+}
+
+TEST(ValueTest, ToNumberCoercion) {
+  EXPECT_EQ(Value::Int(3).ToNumber(), 3.0);
+  EXPECT_EQ(Value::Str("1994").ToNumber(), 1994.0);
+  EXPECT_EQ(Value::Str(" 7 ").ToNumber(), 7.0);
+  EXPECT_FALSE(Value::Str("abc").ToNumber().has_value());
+  EXPECT_FALSE(Value::Null().ToNumber().has_value());
+  EXPECT_FALSE(Value::Bytes("x").ToNumber().has_value());
+}
+
+TEST(ValueTest, SqlLiterals) {
+  EXPECT_EQ(Value::Int(5).ToSqlLiteral(), "5");
+  EXPECT_EQ(Value::Str("o'brien").ToSqlLiteral(), "'o''brien'");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Bytes("\xff").ToSqlLiteral(), "HEXTORAW('ff')");
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value::Null(), Value::Int(0));        // nulls first
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_LT(Value::Int(9), Value::Str("1"));      // by type, then value
+}
+
+// --- key codec -------------------------------------------------------------
+
+Value RandomValue(std::mt19937_64& rng) {
+  switch (rng() % 4) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Int(static_cast<int64_t>(rng() % 2001) - 1000);
+    case 2: {
+      int len = static_cast<int>(rng() % 6);
+      std::string s;
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng() % 4));  // includes 0x00!
+      }
+      return Value::Bytes(std::move(s));
+    }
+    default: {
+      int len = static_cast<int>(rng() % 5);
+      std::string s;
+      for (int i = 0; i < len; ++i) s.push_back('a' + rng() % 3);
+      return Value::Str(std::move(s));
+    }
+  }
+}
+
+TEST(KeyCodecTest, OrderPreservationProperty) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<Value> a, b;
+    size_t n = 1 + rng() % 3;
+    for (size_t i = 0; i < n; ++i) {
+      a.push_back(RandomValue(rng));
+      b.push_back(RandomValue(rng));
+    }
+    // Column-wise comparison using Value's total order.
+    int logical = 0;
+    for (size_t i = 0; i < n && logical == 0; ++i) {
+      if (a[i] < b[i]) logical = -1;
+      else if (b[i] < a[i]) logical = 1;
+    }
+    std::string ka = EncodeKey(a), kb = EncodeKey(b);
+    int physical = ka.compare(kb);
+    physical = physical < 0 ? -1 : (physical > 0 ? 1 : 0);
+    ASSERT_EQ(logical, physical)
+        << "trial " << trial << " a0=" << a[0].ToDebugString()
+        << " b0=" << b[0].ToDebugString();
+  }
+}
+
+TEST(KeyCodecTest, PrefixBoundsCoverExactlyTheExtensions) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Value prefix = RandomValue(rng);
+    Value extra = RandomValue(rng);
+    std::string lo = EncodeKeyPrefixLowerBound({prefix});
+    std::string hi = EncodeKeyPrefixUpperBound({prefix});
+    std::string extended = EncodeKey({prefix, extra});
+    EXPECT_GE(extended, lo);
+    EXPECT_LT(extended, hi);
+
+    Value other = RandomValue(rng);
+    if (!(other == prefix)) {
+      std::string other_key = EncodeKey({other, extra});
+      bool inside = other_key >= lo && other_key < hi;
+      EXPECT_FALSE(inside) << "non-extension inside prefix range";
+    }
+  }
+}
+
+TEST(KeyCodecTest, IntSignHandling) {
+  std::string neg = EncodeKey({Value::Int(-5)});
+  std::string zero = EncodeKey({Value::Int(0)});
+  std::string pos = EncodeKey({Value::Int(5)});
+  EXPECT_LT(neg, zero);
+  EXPECT_LT(zero, pos);
+}
+
+TEST(KeyCodecTest, DoubleOrdering) {
+  std::vector<double> values = {-100.5, -1.0, -0.25, 0.0, 0.25, 1.0, 99.75};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(EncodeKey({Value::Real(values[i])}),
+              EncodeKey({Value::Real(values[i + 1])}))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(KeyCodecTest, EmbeddedZeroBytes) {
+  // "a" < "a\0" < "a\0\0" < "a\1" — prefixes sort before extensions.
+  std::string a = EncodeKey({Value::Bytes("a")});
+  std::string a0 = EncodeKey({Value::Bytes(std::string("a\0", 2))});
+  std::string a00 = EncodeKey({Value::Bytes(std::string("a\0\0", 3))});
+  std::string a1 = EncodeKey({Value::Bytes(std::string("a\1", 2))});
+  EXPECT_LT(a, a0);
+  EXPECT_LT(a0, a00);
+  EXPECT_LT(a00, a1);
+}
+
+}  // namespace
+}  // namespace xprel::rel

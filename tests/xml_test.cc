@@ -1,0 +1,115 @@
+// XML DOM, parser and serializer tests.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xprel::xml {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = ParseXml("<a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().size(), 1);
+  EXPECT_EQ(doc.value().node(1).name, "a");
+  EXPECT_EQ(doc.value().node(1).depth, 1);
+}
+
+TEST(XmlParserTest, NestedStructureAndIds) {
+  // Ids are preorder positions, like paper Figure 1(b).
+  auto doc = ParseXml("<A><B><C/><C/></B><B/></A>").value();
+  EXPECT_EQ(doc.size(), 5);
+  EXPECT_EQ(doc.node(1).name, "A");
+  EXPECT_EQ(doc.node(2).name, "B");
+  EXPECT_EQ(doc.node(3).name, "C");
+  EXPECT_EQ(doc.node(4).name, "C");
+  EXPECT_EQ(doc.node(5).name, "B");
+  EXPECT_EQ(doc.node(4).parent, 2);
+  EXPECT_EQ(doc.node(5).parent, 1);
+  EXPECT_EQ(doc.node(4).sibling_ordinal, 2);
+  EXPECT_EQ(doc.RootToNodePath(4), "/A/B/C");
+}
+
+TEST(XmlParserTest, AttributesAndEntities) {
+  auto doc =
+      ParseXml(R"(<a x="1" y="a&amp;b" z='q&#65;'>&lt;text&gt;</a>)").value();
+  EXPECT_EQ(*doc.FindAttribute(1, "x"), "1");
+  EXPECT_EQ(*doc.FindAttribute(1, "y"), "a&b");
+  EXPECT_EQ(*doc.FindAttribute(1, "z"), "qA");
+  EXPECT_EQ(doc.FindAttribute(1, "missing"), nullptr);
+  EXPECT_EQ(doc.StringValue(1), "<text>");
+}
+
+TEST(XmlParserTest, WhitespaceTextDroppedByDefault) {
+  auto doc = ParseXml("<a>\n  <b>x</b>\n</a>").value();
+  EXPECT_EQ(doc.size(), 3);  // a, b, "x"
+  ParseOptions keep;
+  keep.keep_whitespace_text = true;
+  auto doc2 = ParseXml("<a>\n  <b>x</b>\n</a>", keep).value();
+  EXPECT_EQ(doc2.size(), 5);
+}
+
+TEST(XmlParserTest, CommentsCdataAndPis) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- in -->"
+      "<![CDATA[<raw&>]]><?pi data?></a><!-- post -->");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().StringValue(1), "<raw&>");
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  auto doc = ParseXml(
+      "<!DOCTYPE dblp SYSTEM \"dblp.dtd\" [ <!ENTITY x \"y\"> ]><a/>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());               // unclosed
+  EXPECT_FALSE(ParseXml("<a></b>").ok());           // mismatched
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());          // two roots
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());          // unquoted attribute
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());  // unknown entity
+  EXPECT_FALSE(ParseXml("<1a/>").ok());             // bad name
+}
+
+TEST(XmlSerializerTest, RoundTrip) {
+  const char* text =
+      R"(<site><item id="i1" featured="yes">hello <b>world</b> &amp; more</item><empty/></site>)";
+  auto doc = ParseXml(text).value();
+  std::string out = SerializeXml(doc);
+  auto doc2 = ParseXml(out).value();
+  EXPECT_EQ(SerializeXml(doc2), out);
+  EXPECT_EQ(doc2.size(), doc.size());
+  EXPECT_EQ(doc2.StringValue(1), doc.StringValue(1));
+}
+
+TEST(XmlSerializerTest, EscapesSpecials) {
+  Builder b;
+  b.StartElement("a");
+  b.AddAttribute("q", "<\"&'>");
+  b.AddText("1 < 2 & 3 > 2");
+  b.EndElement();
+  Document doc = std::move(b).Finish();
+  std::string out = SerializeXml(doc);
+  EXPECT_EQ(out,
+            "<a q=\"&lt;&quot;&amp;&apos;&gt;\">1 &lt; 2 &amp; 3 &gt; 2</a>");
+}
+
+TEST(XmlBuilderTest, StringValueConcatenatesDescendants) {
+  Builder b;
+  b.StartElement("title");
+  b.AddText("Indexing");
+  b.StartElement("sup");
+  b.AddText("2");
+  b.EndElement();
+  b.AddText(" structures");
+  b.EndElement();
+  Document doc = std::move(b).Finish();
+  EXPECT_EQ(doc.StringValue(1), "Indexing2 structures");
+  EXPECT_EQ(doc.CountElements(), 2);
+}
+
+}  // namespace
+}  // namespace xprel::xml

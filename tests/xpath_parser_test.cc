@@ -1,0 +1,119 @@
+// XPath lexer/parser tests: abbreviations, axes, predicates, errors.
+
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace xprel::xpath {
+namespace {
+
+// Parses and renders back to canonical unabbreviated form.
+std::string Canon(const char* text) {
+  auto e = ParseXPath(text);
+  EXPECT_TRUE(e.ok()) << text << ": " << e.status().ToString();
+  return e.ok() ? ToString(e.value()) : "<error>";
+}
+
+TEST(XPathParserTest, SimplePaths) {
+  EXPECT_EQ(Canon("/a/b"), "/child::a/child::b");
+  EXPECT_EQ(Canon("a"), "child::a");
+  EXPECT_EQ(Canon("/a/*"), "/child::a/child::*");
+}
+
+TEST(XPathParserTest, Abbreviations) {
+  EXPECT_EQ(Canon("//b"),
+            "/descendant-or-self::node()/child::b");
+  EXPECT_EQ(Canon("a//b"),
+            "child::a/descendant-or-self::node()/child::b");
+  EXPECT_EQ(Canon("a/.."), "child::a/parent::node()");
+  EXPECT_EQ(Canon("a/."), "child::a/self::node()");
+  EXPECT_EQ(Canon("a/@x"), "child::a/attribute::x");
+}
+
+TEST(XPathParserTest, ExplicitAxes) {
+  EXPECT_EQ(Canon("/a/descendant::b/ancestor-or-self::c"),
+            "/child::a/descendant::b/ancestor-or-self::c");
+  EXPECT_EQ(Canon("a/following-sibling::b"),
+            "child::a/following-sibling::b");
+  EXPECT_EQ(Canon("a/preceding::b"), "child::a/preceding::b");
+}
+
+TEST(XPathParserTest, NodeTests) {
+  EXPECT_EQ(Canon("a/text()"), "child::a/child::text()");
+  EXPECT_EQ(Canon("a/node()"), "child::a/child::node()");
+}
+
+TEST(XPathParserTest, Predicates) {
+  EXPECT_EQ(Canon("a[b]"), "child::a[child::b]");
+  EXPECT_EQ(Canon("a[@x=4]"), "child::a[attribute::x = 4]");
+  EXPECT_EQ(Canon("a[b='v']"), "child::a[child::b = 'v']");
+  EXPECT_EQ(Canon("a[b and (c or d)]"),
+            "child::a[(child::b and (child::c or child::d))]");
+  EXPECT_EQ(Canon("a[not(b)]"), "child::a[not(child::b)]");
+  EXPECT_EQ(Canon("a[b != 2]"), "child::a[child::b != 2]");
+  EXPECT_EQ(Canon("a[b >= 1994]"), "child::a[child::b >= 1994]");
+}
+
+TEST(XPathParserTest, NumericPredicateBecomesPosition) {
+  EXPECT_EQ(Canon("a[2]"), "child::a[position() = 2]");
+  EXPECT_EQ(Canon("a[position() < 3]"), "child::a[position() < 3]");
+}
+
+TEST(XPathParserTest, PathComparisons) {
+  EXPECT_EQ(Canon("a[b/c = d/e]"),
+            "child::a[child::b/child::c = child::d/child::e]");
+  EXPECT_EQ(Canon("a[b = /r/s]"), "child::a[child::b = /child::r/child::s]");
+}
+
+TEST(XPathParserTest, Union) {
+  EXPECT_EQ(Canon("/a/b | /a/c"), "/child::a/child::b | /child::a/child::c");
+}
+
+TEST(XPathParserTest, NestedPredicates) {
+  EXPECT_EQ(Canon("a[b[c=1]]"), "child::a[child::b[child::c = 1]]");
+}
+
+TEST(XPathParserTest, PaperQueriesParse) {
+  // Every benchmark query must parse.
+  const char* queries[] = {
+      "/A/*[C//F=2]",
+      "/site/closed_auctions/closed_auction/annotation/description/parlist/"
+      "listitem/text/keyword",
+      "/descendant-or-self::listitem/descendant-or-self::keyword",
+      "/site/regions/*/item[parent::namerica or parent::samerica]",
+      "//keyword/ancestor-or-self::mail",
+      "/site/open_auctions/open_auction[@id='open_auction0']/bidder/"
+      "preceding-sibling::bidder",
+      "//i[parent::*/parent::sub/ancestor::article]",
+      "/dblp/inproceedings[author=/dblp/book/author]/title",
+      "/site/people/person[address and (phone or homepage)]",
+      "/site/open_auctions/open_auction[bidder/date = interval/start]",
+      "/site/regions/*/item[@id='item0']/description//keyword/text()",
+  };
+  for (const char* q : queries) {
+    EXPECT_TRUE(ParseXPath(q).ok()) << q;
+  }
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("/a[").ok());
+  EXPECT_FALSE(ParseXPath("/a]").ok());
+  EXPECT_FALSE(ParseXPath("/a/child::").ok());
+  EXPECT_FALSE(ParseXPath("/a['unterminated]").ok());
+  EXPECT_FALSE(ParseXPath("/a | ").ok());
+  EXPECT_FALSE(ParseXPath("/a!b").ok());
+  EXPECT_FALSE(ParseXPath("/a[foo()]").ok());  // unknown function-ish test
+}
+
+TEST(XPathParserTest, CloneIsDeep) {
+  auto e = ParseXPath("/a[b=1]/c").value();
+  XPathExpr copy = CloneXPath(e);
+  EXPECT_EQ(ToString(e), ToString(copy));
+  // Mutating the copy must not affect the original.
+  copy.branches[0].steps[0].name = "zzz";
+  EXPECT_NE(ToString(e), ToString(copy));
+}
+
+}  // namespace
+}  // namespace xprel::xpath

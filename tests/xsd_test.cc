@@ -1,0 +1,146 @@
+// XSD parser and schema-graph marking tests.
+
+#include <gtest/gtest.h>
+
+#include "xsd/schema_graph.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel::xsd {
+namespace {
+
+TEST(XsdParserTest, NamedTypesAndRefs) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:complexType name="PersonType">
+        <xs:sequence><xs:element name="name" type="xs:string"/></xs:sequence>
+        <xs:attribute name="id"/>
+      </xs:complexType>
+      <xs:element name="company">
+        <xs:complexType><xs:sequence>
+          <xs:element name="buyer" type="PersonType"/>
+          <xs:element name="seller" type="PersonType"/>
+          <xs:element ref="note" minOccurs="0"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+      <xs:element name="note" type="xs:string"/>
+    </xs:schema>)";
+  auto schema = ParseXsd(xsd);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  const Schema& s = schema.value();
+  int type = s.FindNamedType("PersonType");
+  ASSERT_GE(type, 0);
+  // buyer and seller share the named type.
+  int buyer = -1, seller = -1;
+  for (size_t i = 0; i < s.elements().size(); ++i) {
+    if (s.elements()[i].name == "buyer") buyer = static_cast<int>(i);
+    if (s.elements()[i].name == "seller") seller = static_cast<int>(i);
+  }
+  ASSERT_GE(buyer, 0);
+  ASSERT_GE(seller, 0);
+  EXPECT_EQ(s.element(buyer).type_id, type);
+  EXPECT_EQ(s.element(seller).type_id, type);
+  EXPECT_EQ(s.type(type).attributes.size(), 1u);
+
+  // 'company' is the only root (note is referenced).
+  auto roots = s.RootElements();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(s.element(roots[0]).name, "company");
+}
+
+TEST(XsdParserTest, MixedAndSimpleContent) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="doc">
+        <xs:complexType mixed="true"><xs:sequence>
+          <xs:element name="em" type="xs:string" minOccurs="0"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto schema = ParseXsd(xsd).value();
+  int doc = schema.FindGlobalElement("doc");
+  ASSERT_GE(doc, 0);
+  EXPECT_TRUE(schema.type(schema.element(doc).type_id).has_text);
+}
+
+TEST(XsdParserTest, Errors) {
+  EXPECT_FALSE(ParseXsd("<notaschema/>").ok());
+  EXPECT_FALSE(ParseXsd(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="a"><xs:complexType><xs:sequence>
+        <xs:element ref="missing"/>
+      </xs:sequence></xs:complexType></xs:element>
+    </xs:schema>)").ok());
+}
+
+TEST(SchemaGraphTest, MarkingClasses) {
+  // c has two paths (F-P); r is recursive (I-P); everything else U-P.
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="root">
+        <xs:complexType><xs:sequence>
+          <xs:element name="a"><xs:complexType><xs:sequence>
+            <xs:element ref="c"/>
+          </xs:sequence></xs:complexType></xs:element>
+          <xs:element name="b"><xs:complexType><xs:sequence>
+            <xs:element ref="c"/>
+          </xs:sequence></xs:complexType></xs:element>
+          <xs:element ref="r"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+      <xs:element name="c" type="xs:string"/>
+      <xs:element name="r">
+        <xs:complexType><xs:sequence>
+          <xs:element ref="r" minOccurs="0"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:schema>)";
+  auto schema = ParseXsd(xsd).value();
+  auto graph = SchemaGraph::Build(schema);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  const SchemaGraph& g = graph.value();
+
+  auto class_of = [&](const char* tag) {
+    auto nodes = g.NodesByTag(tag);
+    EXPECT_EQ(nodes.size(), 1u) << tag;
+    return g.node(nodes[0]).path_class;
+  };
+  EXPECT_EQ(class_of("root"), PathClass::kUniquePath);
+  EXPECT_EQ(class_of("a"), PathClass::kUniquePath);
+  EXPECT_EQ(class_of("c"), PathClass::kFinitePaths);
+  EXPECT_EQ(class_of("r"), PathClass::kInfinitePaths);
+
+  auto c_nodes = g.NodesByTag("c");
+  EXPECT_EQ(g.node(c_nodes[0]).root_paths,
+            (std::vector<std::string>{"/root/a/c", "/root/b/c"}));
+}
+
+TEST(SchemaGraphTest, ReachabilityPrunesOrphans) {
+  const char* xsd = R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="root" type="xs:string"/>
+      <xs:element name="orphan" type="xs:string"/>
+    </xs:schema>)";
+  auto schema = ParseXsd(xsd).value();
+  // Both are unreferenced globals, so both are document roots.
+  auto graph = SchemaGraph::Build(schema).value();
+  EXPECT_EQ(graph.roots().size(), 2u);
+  EXPECT_EQ(graph.ReachableNodes().size(), 2u);
+}
+
+TEST(SchemaGraphTest, DescribeMarkingMentionsEveryReachableTag) {
+  auto schema = ParseXsd(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="x">
+        <xs:complexType><xs:sequence>
+          <xs:element name="y" type="xs:string"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:schema>)").value();
+  auto graph = SchemaGraph::Build(schema).value();
+  std::string desc = graph.DescribeMarking();
+  EXPECT_NE(desc.find("x: U-P"), std::string::npos);
+  EXPECT_NE(desc.find("y: U-P"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xprel::xsd
