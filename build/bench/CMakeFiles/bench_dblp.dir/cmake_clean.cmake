@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dblp.dir/bench_dblp.cc.o"
+  "CMakeFiles/bench_dblp.dir/bench_dblp.cc.o.d"
+  "bench_dblp"
+  "bench_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

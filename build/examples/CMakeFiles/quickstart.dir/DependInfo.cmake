@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/xprel_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/xprel_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/xprel_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/xprel_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/shred/CMakeFiles/xprel_shred.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/xprel_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/xprel_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xprel_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xprel_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/xprel_rex.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/xprel_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xprel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_explorer.dir/sql_explorer.cpp.o"
+  "CMakeFiles/sql_explorer.dir/sql_explorer.cpp.o.d"
+  "sql_explorer"
+  "sql_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

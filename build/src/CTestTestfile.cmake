@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("rex")
+subdirs("xml")
+subdirs("xsd")
+subdirs("encoding")
+subdirs("xpath")
+subdirs("rel")
+subdirs("shred")
+subdirs("translate")
+subdirs("accel")
+subdirs("xpatheval")
+subdirs("engine")
+subdirs("data")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_accel.dir/accel_store.cc.o"
+  "CMakeFiles/xprel_accel.dir/accel_store.cc.o.d"
+  "CMakeFiles/xprel_accel.dir/accel_translator.cc.o"
+  "CMakeFiles/xprel_accel.dir/accel_translator.cc.o.d"
+  "CMakeFiles/xprel_accel.dir/staircase.cc.o"
+  "CMakeFiles/xprel_accel.dir/staircase.cc.o.d"
+  "libxprel_accel.a"
+  "libxprel_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_common.dir/status.cc.o"
+  "CMakeFiles/xprel_common.dir/status.cc.o.d"
+  "CMakeFiles/xprel_common.dir/string_util.cc.o"
+  "CMakeFiles/xprel_common.dir/string_util.cc.o.d"
+  "libxprel_common.a"
+  "libxprel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dblp.cc" "src/data/CMakeFiles/xprel_data.dir/dblp.cc.o" "gcc" "src/data/CMakeFiles/xprel_data.dir/dblp.cc.o.d"
+  "/root/repo/src/data/xmark.cc" "src/data/CMakeFiles/xprel_data.dir/xmark.cc.o" "gcc" "src/data/CMakeFiles/xprel_data.dir/xmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xprel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xprel_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

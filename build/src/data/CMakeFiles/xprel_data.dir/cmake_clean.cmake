@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_data.dir/dblp.cc.o"
+  "CMakeFiles/xprel_data.dir/dblp.cc.o.d"
+  "CMakeFiles/xprel_data.dir/xmark.cc.o"
+  "CMakeFiles/xprel_data.dir/xmark.cc.o.d"
+  "libxprel_data.a"
+  "libxprel_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxprel_data.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_encoding.dir/dewey.cc.o"
+  "CMakeFiles/xprel_encoding.dir/dewey.cc.o.d"
+  "libxprel_encoding.a"
+  "libxprel_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

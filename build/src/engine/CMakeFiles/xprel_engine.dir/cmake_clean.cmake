@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_engine.dir/engine.cc.o"
+  "CMakeFiles/xprel_engine.dir/engine.cc.o.d"
+  "libxprel_engine.a"
+  "libxprel_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/btree.cc" "src/rel/CMakeFiles/xprel_rel.dir/btree.cc.o" "gcc" "src/rel/CMakeFiles/xprel_rel.dir/btree.cc.o.d"
+  "/root/repo/src/rel/executor.cc" "src/rel/CMakeFiles/xprel_rel.dir/executor.cc.o" "gcc" "src/rel/CMakeFiles/xprel_rel.dir/executor.cc.o.d"
+  "/root/repo/src/rel/key_codec.cc" "src/rel/CMakeFiles/xprel_rel.dir/key_codec.cc.o" "gcc" "src/rel/CMakeFiles/xprel_rel.dir/key_codec.cc.o.d"
+  "/root/repo/src/rel/planner.cc" "src/rel/CMakeFiles/xprel_rel.dir/planner.cc.o" "gcc" "src/rel/CMakeFiles/xprel_rel.dir/planner.cc.o.d"
+  "/root/repo/src/rel/sql_ast.cc" "src/rel/CMakeFiles/xprel_rel.dir/sql_ast.cc.o" "gcc" "src/rel/CMakeFiles/xprel_rel.dir/sql_ast.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/rel/CMakeFiles/xprel_rel.dir/table.cc.o" "gcc" "src/rel/CMakeFiles/xprel_rel.dir/table.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/rel/CMakeFiles/xprel_rel.dir/value.cc.o" "gcc" "src/rel/CMakeFiles/xprel_rel.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xprel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/xprel_rex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

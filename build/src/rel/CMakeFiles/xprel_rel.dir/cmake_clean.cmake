@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_rel.dir/btree.cc.o"
+  "CMakeFiles/xprel_rel.dir/btree.cc.o.d"
+  "CMakeFiles/xprel_rel.dir/executor.cc.o"
+  "CMakeFiles/xprel_rel.dir/executor.cc.o.d"
+  "CMakeFiles/xprel_rel.dir/key_codec.cc.o"
+  "CMakeFiles/xprel_rel.dir/key_codec.cc.o.d"
+  "CMakeFiles/xprel_rel.dir/planner.cc.o"
+  "CMakeFiles/xprel_rel.dir/planner.cc.o.d"
+  "CMakeFiles/xprel_rel.dir/sql_ast.cc.o"
+  "CMakeFiles/xprel_rel.dir/sql_ast.cc.o.d"
+  "CMakeFiles/xprel_rel.dir/table.cc.o"
+  "CMakeFiles/xprel_rel.dir/table.cc.o.d"
+  "CMakeFiles/xprel_rel.dir/value.cc.o"
+  "CMakeFiles/xprel_rel.dir/value.cc.o.d"
+  "libxprel_rel.a"
+  "libxprel_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

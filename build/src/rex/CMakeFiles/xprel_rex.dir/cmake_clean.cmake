@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_rex.dir/regex.cc.o"
+  "CMakeFiles/xprel_rex.dir/regex.cc.o.d"
+  "libxprel_rex.a"
+  "libxprel_rex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_rex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

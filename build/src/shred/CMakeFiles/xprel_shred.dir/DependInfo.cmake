@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shred/edge_loader.cc" "src/shred/CMakeFiles/xprel_shred.dir/edge_loader.cc.o" "gcc" "src/shred/CMakeFiles/xprel_shred.dir/edge_loader.cc.o.d"
+  "/root/repo/src/shred/schema_loader.cc" "src/shred/CMakeFiles/xprel_shred.dir/schema_loader.cc.o" "gcc" "src/shred/CMakeFiles/xprel_shred.dir/schema_loader.cc.o.d"
+  "/root/repo/src/shred/schema_map.cc" "src/shred/CMakeFiles/xprel_shred.dir/schema_map.cc.o" "gcc" "src/shred/CMakeFiles/xprel_shred.dir/schema_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xprel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xprel_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/xprel_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/xprel_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/xprel_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/xprel_rex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

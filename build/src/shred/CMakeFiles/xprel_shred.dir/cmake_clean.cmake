@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_shred.dir/edge_loader.cc.o"
+  "CMakeFiles/xprel_shred.dir/edge_loader.cc.o.d"
+  "CMakeFiles/xprel_shred.dir/schema_loader.cc.o"
+  "CMakeFiles/xprel_shred.dir/schema_loader.cc.o.d"
+  "CMakeFiles/xprel_shred.dir/schema_map.cc.o"
+  "CMakeFiles/xprel_shred.dir/schema_map.cc.o.d"
+  "libxprel_shred.a"
+  "libxprel_shred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_shred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_translate.dir/edge_translator.cc.o"
+  "CMakeFiles/xprel_translate.dir/edge_translator.cc.o.d"
+  "CMakeFiles/xprel_translate.dir/ppf.cc.o"
+  "CMakeFiles/xprel_translate.dir/ppf.cc.o.d"
+  "CMakeFiles/xprel_translate.dir/schema_nav.cc.o"
+  "CMakeFiles/xprel_translate.dir/schema_nav.cc.o.d"
+  "CMakeFiles/xprel_translate.dir/translator.cc.o"
+  "CMakeFiles/xprel_translate.dir/translator.cc.o.d"
+  "libxprel_translate.a"
+  "libxprel_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

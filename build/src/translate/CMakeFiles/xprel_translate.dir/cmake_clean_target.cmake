@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxprel_translate.a"
+)

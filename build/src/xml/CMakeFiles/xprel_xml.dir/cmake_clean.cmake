@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_xml.dir/document.cc.o"
+  "CMakeFiles/xprel_xml.dir/document.cc.o.d"
+  "CMakeFiles/xprel_xml.dir/parser.cc.o"
+  "CMakeFiles/xprel_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xprel_xml.dir/serializer.cc.o"
+  "CMakeFiles/xprel_xml.dir/serializer.cc.o.d"
+  "libxprel_xml.a"
+  "libxprel_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

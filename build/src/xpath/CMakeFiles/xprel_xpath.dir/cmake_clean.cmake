@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_xpath.dir/ast.cc.o"
+  "CMakeFiles/xprel_xpath.dir/ast.cc.o.d"
+  "CMakeFiles/xprel_xpath.dir/parser.cc.o"
+  "CMakeFiles/xprel_xpath.dir/parser.cc.o.d"
+  "libxprel_xpath.a"
+  "libxprel_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

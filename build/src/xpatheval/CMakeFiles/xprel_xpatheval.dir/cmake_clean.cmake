@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_xpatheval.dir/evaluator.cc.o"
+  "CMakeFiles/xprel_xpatheval.dir/evaluator.cc.o.d"
+  "libxprel_xpatheval.a"
+  "libxprel_xpatheval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_xpatheval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

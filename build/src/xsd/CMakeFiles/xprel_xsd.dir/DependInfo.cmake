@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsd/schema.cc" "src/xsd/CMakeFiles/xprel_xsd.dir/schema.cc.o" "gcc" "src/xsd/CMakeFiles/xprel_xsd.dir/schema.cc.o.d"
+  "/root/repo/src/xsd/schema_graph.cc" "src/xsd/CMakeFiles/xprel_xsd.dir/schema_graph.cc.o" "gcc" "src/xsd/CMakeFiles/xprel_xsd.dir/schema_graph.cc.o.d"
+  "/root/repo/src/xsd/xsd_parser.cc" "src/xsd/CMakeFiles/xprel_xsd.dir/xsd_parser.cc.o" "gcc" "src/xsd/CMakeFiles/xprel_xsd.dir/xsd_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xprel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xprel_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprel_xsd.dir/schema.cc.o"
+  "CMakeFiles/xprel_xsd.dir/schema.cc.o.d"
+  "CMakeFiles/xprel_xsd.dir/schema_graph.cc.o"
+  "CMakeFiles/xprel_xsd.dir/schema_graph.cc.o.d"
+  "CMakeFiles/xprel_xsd.dir/xsd_parser.cc.o"
+  "CMakeFiles/xprel_xsd.dir/xsd_parser.cc.o.d"
+  "libxprel_xsd.a"
+  "libxprel_xsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprel_xsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

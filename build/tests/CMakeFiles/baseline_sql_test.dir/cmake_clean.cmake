@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sql_test.dir/baseline_sql_test.cc.o"
+  "CMakeFiles/baseline_sql_test.dir/baseline_sql_test.cc.o.d"
+  "baseline_sql_test"
+  "baseline_sql_test.pdb"
+  "baseline_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

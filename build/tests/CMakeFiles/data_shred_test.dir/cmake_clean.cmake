@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_shred_test.dir/data_shred_test.cc.o"
+  "CMakeFiles/data_shred_test.dir/data_shred_test.cc.o.d"
+  "data_shred_test"
+  "data_shred_test.pdb"
+  "data_shred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_shred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

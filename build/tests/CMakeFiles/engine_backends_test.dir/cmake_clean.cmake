@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_backends_test.dir/engine_backends_test.cc.o"
+  "CMakeFiles/engine_backends_test.dir/engine_backends_test.cc.o.d"
+  "engine_backends_test"
+  "engine_backends_test.pdb"
+  "engine_backends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_backends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppf_test.dir/ppf_test.cc.o"
+  "CMakeFiles/ppf_test.dir/ppf_test.cc.o.d"
+  "ppf_test"
+  "ppf_test.pdb"
+  "ppf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

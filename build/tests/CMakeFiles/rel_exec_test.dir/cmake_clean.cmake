@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_exec_test.dir/rel_exec_test.cc.o"
+  "CMakeFiles/rel_exec_test.dir/rel_exec_test.cc.o.d"
+  "rel_exec_test"
+  "rel_exec_test.pdb"
+  "rel_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rex_test.dir/rex_test.cc.o"
+  "CMakeFiles/rex_test.dir/rex_test.cc.o.d"
+  "rex_test"
+  "rex_test.pdb"
+  "rex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_smoke_test.dir/translate_smoke_test.cc.o"
+  "CMakeFiles/translate_smoke_test.dir/translate_smoke_test.cc.o.d"
+  "translate_smoke_test"
+  "translate_smoke_test.pdb"
+  "translate_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_sql_test.dir/translator_sql_test.cc.o"
+  "CMakeFiles/translator_sql_test.dir/translator_sql_test.cc.o.d"
+  "translator_sql_test"
+  "translator_sql_test.pdb"
+  "translator_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

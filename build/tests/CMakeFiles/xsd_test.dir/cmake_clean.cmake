@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_test.dir/xsd_test.cc.o"
+  "CMakeFiles/xsd_test.dir/xsd_test.cc.o.d"
+  "xsd_test"
+  "xsd_test.pdb"
+  "xsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

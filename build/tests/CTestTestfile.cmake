@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rex_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/value_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/dewey_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/xsd_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/ppf_test[1]_include.cmake")
+include("/root/repo/build/tests/rel_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/translate_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_backends_test[1]_include.cmake")
+include("/root/repo/build/tests/random_property_test[1]_include.cmake")
+include("/root/repo/build/tests/data_shred_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_sql_test[1]_include.cmake")
