@@ -1,11 +1,20 @@
 // A3: microbenchmarks of the supporting substrates (google-benchmark):
 // Dewey encoding operations, the regex engine, B+-tree access paths, and
 // the key codec.
+//
+// `bench_micro --json` instead runs the XPathMark query set on the PPF
+// backend and writes BENCH_micro.json (one record per query: id, backend,
+// avg ms, result nodes, rows_scanned, index_probes, EXISTS-memo hits and
+// misses) so successive PRs have a machine-readable perf trajectory.
+// Knobs: XPREL_REPS, XPREL_XMARK_SMALL_SCALE (see bench/harness.h).
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstring>
 #include <random>
 
+#include "bench/harness.h"
 #include "encoding/dewey.h"
 #include "rel/btree.h"
 #include "rel/key_codec.h"
@@ -103,6 +112,86 @@ void BM_KeyCodecEncode(benchmark::State& state) {
 BENCHMARK(BM_KeyCodecEncode);
 
 }  // namespace
+
+namespace bench {
+namespace {
+
+// --json mode: per-query timing + executor counters on the PPF backend,
+// written to BENCH_micro.json.
+int RunJsonMode() {
+  int reps = EnvInt("XPREL_REPS", 3);
+  double scale = EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+  auto corpus = BuildXMark("XMark small", scale);
+
+  FILE* f = std::fopen("BENCH_micro.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_micro.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  std::printf("%-5s %9s %9s %12s %12s %8s %8s\n", "query", "nodes", "ms",
+              "rows_scan", "idx_probes", "ex_hit", "ex_miss");
+  double log_ms_sum = 0;
+  int timed = 0;
+  size_t n = sizeof(kXMarkQueries) / sizeof(kXMarkQueries[0]);
+  for (size_t i = 0; i < n; ++i) {
+    const NamedQuery& q = kXMarkQueries[i];
+    double total_ms = 0;
+    engine::QueryOutcome last;
+    bool ok = true;
+    // One untimed warm-up run per query so the timed reps measure
+    // steady-state execution (plan cache warm), not one-off translate+plan.
+    { auto warm = corpus->engine->Run(engine::Backend::kPpf, q.xpath); }
+    for (int r = 0; r < reps; ++r) {
+      auto out = corpus->engine->Run(engine::Backend::kPpf, q.xpath);
+      if (!out.ok()) {
+        std::fprintf(stderr, "%s: %s\n", q.id, out.status().ToString().c_str());
+        ok = false;
+        break;
+      }
+      total_ms += out.value().elapsed_ms;
+      last = std::move(out).value();
+    }
+    if (!ok) continue;
+    double ms = total_ms / reps;
+    log_ms_sum += std::log(ms > 1e-6 ? ms : 1e-6);
+    ++timed;
+    std::printf("%-5s %9zu %9.2f %12zu %12zu %8zu %8zu\n", q.id,
+                last.nodes.size(), ms, last.stats.rows_scanned,
+                last.stats.index_probes, last.stats.exists_cache_hits,
+                last.stats.exists_cache_misses);
+    std::fprintf(
+        f,
+        "  {\"query\": \"%s\", \"backend\": \"PPF\", \"ms\": %.4f, "
+        "\"nodes\": %zu, \"rows_scanned\": %zu, \"index_probes\": %zu, "
+        "\"exists_cache_hits\": %zu, \"exists_cache_misses\": %zu}%s\n",
+        q.id, ms, last.nodes.size(), last.stats.rows_scanned,
+        last.stats.index_probes, last.stats.exists_cache_hits,
+        last.stats.exists_cache_misses, i + 1 < n ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  if (timed > 0) {
+    std::printf("geomean ms: %.3f over %d queries (avg of %d reps)\n",
+                std::exp(log_ms_sum / timed), timed, reps);
+  }
+  std::printf("wrote BENCH_micro.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
 }  // namespace xprel
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return xprel::bench::RunJsonMode();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

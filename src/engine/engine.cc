@@ -100,11 +100,37 @@ Result<std::string> XPathEngine::TranslateToSql(Backend backend,
   return Status::Internal("unknown backend");
 }
 
-Result<QueryOutcome> XPathEngine::Run(Backend backend,
-                                      std::string_view xpath) const {
-  QueryOutcome out;
-  auto start = std::chrono::steady_clock::now();
+const rel::Database* XPathEngine::BackendDb(Backend backend) const {
+  switch (backend) {
+    case Backend::kPpf:
+    case Backend::kNaive:
+      return ppf_store_ != nullptr ? &ppf_store_->db() : nullptr;
+    case Backend::kEdgePpf:
+      return edge_store_ != nullptr ? &edge_store_->db() : nullptr;
+    case Backend::kAccelerator:
+      return accel_store_ != nullptr ? &accel_store_->db() : nullptr;
+    case Backend::kStaircase:
+      return nullptr;
+  }
+  return nullptr;
+}
 
+size_t XPathEngine::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return plan_cache_.size();
+}
+
+Result<std::shared_ptr<const XPathEngine::CachedQuery>>
+XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
+  std::string key =
+      std::to_string(static_cast<int>(backend)) + "\n" + std::string(xpath);
+  if (options_.enable_plan_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) return it->second;
+  }
+
+  Result<translate::TranslatedQuery> q = Status::Internal("unset");
   switch (backend) {
     case Backend::kPpf:
     case Backend::kNaive: {
@@ -113,20 +139,7 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend,
                                  backend == Backend::kPpf
                                      ? options_.ppf_options
                                      : translate::NaiveTranslateOptions());
-      auto q = t.TranslateString(xpath);
-      if (!q.ok()) return q.status();
-      out.sql = q.value().ToSqlString();
-      if (!q.value().statically_empty) {
-        auto r = rel::ExecuteQuery(ppf_store_->db(), q.value().sql, &out.stats);
-        if (!r.ok()) return r.status();
-        for (const rel::Row& row : r.value().rows) {
-          const auto* origin = ppf_store_->FindOrigin(row[0].AsInt());
-          if (origin == nullptr) {
-            return Status::Internal("unknown element id in result");
-          }
-          out.nodes.push_back(origin->node);
-        }
-      }
+      q = t.TranslateString(xpath);
       break;
     }
     case Backend::kEdgePpf: {
@@ -134,18 +147,7 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend,
         return Status::InvalidArgument("Edge backend disabled");
       }
       translate::EdgePpfTranslator t;
-      auto q = t.TranslateString(xpath);
-      if (!q.ok()) return q.status();
-      out.sql = q.value().ToSqlString();
-      auto r = rel::ExecuteQuery(edge_store_->db(), q.value().sql, &out.stats);
-      if (!r.ok()) return r.status();
-      for (const rel::Row& row : r.value().rows) {
-        const auto* origin = edge_store_->FindOrigin(row[0].AsInt());
-        if (origin == nullptr) {
-          return Status::Internal("unknown element id in result");
-        }
-        out.nodes.push_back(origin->node);
-      }
+      q = t.TranslateString(xpath);
       break;
     }
     case Backend::kAccelerator: {
@@ -153,29 +155,85 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend,
         return Status::InvalidArgument("Accelerator backend disabled");
       }
       accel::AcceleratorTranslator t;
-      auto q = t.TranslateString(xpath);
-      if (!q.ok()) return q.status();
-      out.sql = q.value().ToSqlString();
-      auto r = rel::ExecuteQuery(accel_store_->db(), q.value().sql, &out.stats);
-      if (!r.ok()) return r.status();
-      for (const rel::Row& row : r.value().rows) {
-        out.nodes.push_back(
-            accel_store_->NodeOf(static_cast<int32_t>(row[0].AsInt())));
-      }
+      q = t.TranslateString(xpath);
       break;
     }
-    case Backend::kStaircase: {
-      if (accel_store_ == nullptr) {
-        return Status::InvalidArgument("Accelerator backend disabled");
-      }
-      accel::StaircaseEvaluator eval(*accel_store_);
-      auto r = eval.EvaluateString(xpath);
+    case Backend::kStaircase:
+      return Status::InvalidArgument(
+          "the staircase backend evaluates natively, without SQL");
+  }
+  if (!q.ok()) return q.status();
+
+  auto entry = std::make_shared<CachedQuery>();
+  entry->translated = std::move(q).value();
+  entry->sql_text = entry->translated.ToSqlString();
+  if (!entry->translated.statically_empty) {
+    const rel::Database* db = BackendDb(backend);
+    for (const auto& stmt : entry->translated.sql.selects) {
+      auto plan = rel::PlanSelect(*db, *stmt, nullptr);
+      if (!plan.ok()) return plan.status();
+      entry->plans.push_back(std::move(plan).value());
+    }
+  }
+
+  if (options_.enable_plan_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    // Crude but sufficient bound: workloads repeat a small query set; on
+    // overflow drop everything rather than track recency.
+    if (plan_cache_.size() >= 4096) plan_cache_.clear();
+    plan_cache_.emplace(std::move(key), entry);
+  }
+  return std::shared_ptr<const CachedQuery>(entry);
+}
+
+Result<QueryOutcome> XPathEngine::Run(Backend backend,
+                                      std::string_view xpath) const {
+  QueryOutcome out;
+  auto start = std::chrono::steady_clock::now();
+
+  if (backend == Backend::kStaircase) {
+    if (accel_store_ == nullptr) {
+      return Status::InvalidArgument("Accelerator backend disabled");
+    }
+    accel::StaircaseEvaluator eval(*accel_store_);
+    auto r = eval.EvaluateString(xpath);
+    if (!r.ok()) return r.status();
+    for (int32_t pre : r.value()) {
+      out.nodes.push_back(accel_store_->NodeOf(pre));
+    }
+    out.stats.output_rows = out.nodes.size();
+  } else {
+    auto cached = GetOrBuildQuery(backend, xpath);
+    if (!cached.ok()) return cached.status();
+    const CachedQuery& cq = *cached.value();
+    out.sql = cq.sql_text;
+    if (!cq.translated.statically_empty) {
+      std::vector<const rel::Plan*> plans;
+      plans.reserve(cq.plans.size());
+      for (const auto& p : cq.plans) plans.push_back(p.get());
+      // Node ids get sorted into document order below, so the executor can
+      // skip materializing the SQL-level ORDER BY.
+      auto r = rel::ExecutePlannedQuery(plans, &out.stats,
+                                        /*need_ordered_rows=*/false);
       if (!r.ok()) return r.status();
-      for (int32_t pre : r.value()) {
-        out.nodes.push_back(accel_store_->NodeOf(pre));
+      for (const rel::Row& row : r.value().rows) {
+        if (backend == Backend::kAccelerator) {
+          out.nodes.push_back(
+              accel_store_->NodeOf(static_cast<int32_t>(row[0].AsInt())));
+        } else if (backend == Backend::kEdgePpf) {
+          const auto* origin = edge_store_->FindOrigin(row[0].AsInt());
+          if (origin == nullptr) {
+            return Status::Internal("unknown element id in result");
+          }
+          out.nodes.push_back(origin->node);
+        } else {
+          const auto* origin = ppf_store_->FindOrigin(row[0].AsInt());
+          if (origin == nullptr) {
+            return Status::Internal("unknown element id in result");
+          }
+          out.nodes.push_back(origin->node);
+        }
       }
-      out.stats.output_rows = out.nodes.size();
-      break;
     }
   }
 

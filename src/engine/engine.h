@@ -2,8 +2,10 @@
 #define XPREL_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "accel/accel_store.h"
@@ -33,6 +35,9 @@ struct EngineOptions {
   bool enable_ppf = true;
   bool enable_edge = true;
   bool enable_accel = true;  // serves both kAccelerator and kStaircase
+  // Cache (backend, xpath) -> translated SQL + compiled plans, so repeated
+  // Run() calls skip parse/translate/plan entirely.
+  bool enable_plan_cache = true;
   translate::TranslateOptions ppf_options;
 };
 
@@ -65,8 +70,27 @@ class XPathEngine {
   const accel::AccelStore* accel_store() const { return accel_store_.get(); }
   const xml::Document& document() const { return *doc_; }
 
+  // Number of compiled (backend, xpath) entries currently cached.
+  size_t plan_cache_size() const;
+
  private:
   XPathEngine() = default;
+
+  // A translated + planned query, reusable across Run() calls. Owns the
+  // SqlQuery (the statements the plans borrow), so entries are immutable
+  // and shared_ptr-held executions survive cache eviction.
+  struct CachedQuery {
+    translate::TranslatedQuery translated;
+    std::string sql_text;
+    std::vector<std::unique_ptr<rel::Plan>> plans;
+  };
+
+  // Translates and plans `xpath` for a SQL-executing backend, or returns
+  // the cached result. Not meaningful for kStaircase.
+  Result<std::shared_ptr<const CachedQuery>> GetOrBuildQuery(
+      Backend backend, std::string_view xpath) const;
+
+  const rel::Database* BackendDb(Backend backend) const;
 
   const xml::Document* doc_ = nullptr;
   const xsd::SchemaGraph* graph_ = nullptr;
@@ -74,6 +98,13 @@ class XPathEngine {
   std::unique_ptr<shred::SchemaAwareStore> ppf_store_;
   std::unique_ptr<shred::EdgeStore> edge_store_;
   std::unique_ptr<accel::AccelStore> accel_store_;
+
+  // Plan cache, keyed by backend + '\n' + xpath. Guarded by cache_mu_ so
+  // concurrent readers of one engine stay safe; execution happens outside
+  // the lock on the immutable shared entries.
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const CachedQuery>>
+      plan_cache_;
 };
 
 }  // namespace xprel::engine

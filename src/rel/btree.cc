@@ -194,7 +194,7 @@ BTree::Iterator BTree::Scan(std::string_view lower,
   LeafNode* leaf = FindLeaf(lower);
   it.leaf_ = leaf;
   it.index_ = LowerBound(leaf->keys, lower);
-  it.end_ = std::string(upper);
+  it.end_ = upper;
   it.unbounded_ = false;
   it.CheckEnd();
   return it;

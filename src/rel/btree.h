@@ -36,7 +36,10 @@ class BTree {
   size_t size() const { return size_; }
   int height() const { return height_; }
 
-  // Forward iterator over (key, row) entries within a byte range.
+  // Forward iterator over (key, row) entries within a byte range. The
+  // iterator refers to `upper`'s bytes rather than copying them (probes are
+  // the executor's hottest loop), so the buffer passed to Scan() must stay
+  // alive and unmodified while the iterator is in use.
   class Iterator {
    public:
     bool Valid() const { return leaf_ != nullptr; }
@@ -48,13 +51,13 @@ class BTree {
     friend class BTree;
     const void* leaf_ = nullptr;  // LeafNode*
     size_t index_ = 0;
-    std::string end_;    // exclusive upper bound; empty + unbounded_ = none
+    std::string_view end_;  // exclusive upper bound (unowned, see above)
     bool unbounded_ = false;
     void CheckEnd();
   };
 
   // Entries with key in [lower, upper). Pass `unbounded_upper` to scan to
-  // the end.
+  // the end. `upper` must outlive the returned iterator.
   Iterator Scan(std::string_view lower, std::string_view upper) const;
   Iterator ScanFrom(std::string_view lower) const;
   Iterator ScanAll() const;

@@ -1,9 +1,12 @@
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "rel/key_codec.h"
 #include "rel/query.h"
@@ -84,31 +87,90 @@ Truth TruthOf(const Value& v) {
 // Evaluation context
 // ---------------------------------------------------------------------------
 
+// The per-execution binding: slot -> pointer into table storage (or into an
+// expression literal). Binding by pointer instead of copying Values is the
+// single biggest per-row saving — most columns are strings (Dewey positions,
+// paths, text) whose copies allocate.
+using Binding = std::vector<const Value*>;
+
+const Value kNullValue;  // shared referent for unbound slots
+
 struct ExecContext {
   QueryStats* stats = nullptr;
+
   // Lazily built hash tables for kHashProbe steps, keyed by step address.
-  std::map<const AccessStep*, std::map<std::string, std::vector<RowId>>>
-      hash_tables;
+  // `built` is tracked explicitly so a build whose rows all yield non-text
+  // keys (an empty table) is not re-run on every probe.
+  struct HashTable {
+    bool built = false;
+    std::unordered_map<std::string, std::vector<RowId>> map;
+  };
+  std::unordered_map<const AccessStep*, HashTable> hash_tables;
+
+  // EXISTS semi-join memo: per EXISTS node, outcome keyed by the encoded
+  // tuple of correlated outer values. Correlated EXISTS — the translator's
+  // main predicate vehicle — thus costs O(distinct outer keys), not
+  // O(outer rows).
+  std::unordered_map<const CompiledExpr*, std::unordered_map<std::string, bool>>
+      exists_memo;
+  std::string memo_key;  // reusable key-encoding buffer
+
+  // Stack of key-encoding buffer pairs handed to RunSteps frames (deque:
+  // stable addresses across growth). Capacity persists across probes, so
+  // steady-state probing never allocates for key bounds.
+  std::deque<std::array<std::string, 2>> key_bufs;
+  size_t key_buf_depth = 0;
 };
 
-Value EvalExpr(const Plan& plan, const SqlExpr& e, const Row& row,
-               ExecContext& ctx);
+// RAII lease of one (lo, hi) buffer pair from the context's pool.
+class KeyBufs {
+ public:
+  explicit KeyBufs(ExecContext& ctx) : ctx_(ctx) {
+    if (ctx_.key_buf_depth == ctx_.key_bufs.size()) ctx_.key_bufs.emplace_back();
+    bufs_ = &ctx_.key_bufs[ctx_.key_buf_depth++];
+  }
+  ~KeyBufs() { --ctx_.key_buf_depth; }
+  KeyBufs(const KeyBufs&) = delete;
+  KeyBufs& operator=(const KeyBufs&) = delete;
 
-bool ExecExists(const Plan& subplan, const Row& outer_row, ExecContext& ctx);
+  std::string& lo() { return (*bufs_)[0]; }
+  std::string& hi() { return (*bufs_)[1]; }
 
-Value EvalExpr(const Plan& plan, const SqlExpr& e, const Row& row,
-               ExecContext& ctx) {
+ private:
+  ExecContext& ctx_;
+  std::array<std::string, 2>* bufs_;
+};
+
+Value EvalExpr(const CompiledExpr& e, Binding& b, ExecContext& ctx);
+
+bool ExecExists(const Plan& subplan, Binding& b, ExecContext& ctx);
+
+// Evaluates `e` without copying when the result already lives somewhere
+// stable: columns alias table storage, literals alias the compiled plan.
+// Computed results land in `tmp`, whose lifetime the caller controls.
+const Value& EvalRef(const CompiledExpr& e, Binding& b, ExecContext& ctx,
+                     Value& tmp) {
   switch (e.kind) {
-    case SqlExpr::Kind::kColumn: {
-      int slot = plan.layout.SlotOf(e.table_alias, e.column);
-      assert(slot >= 0 && "unresolvable column; planner should have caught");
-      return row[static_cast<size_t>(slot)];
-    }
+    case SqlExpr::Kind::kColumn:
+      return *b[static_cast<size_t>(e.slot)];
+    case SqlExpr::Kind::kLiteral:
+      return e.literal;
+    default:
+      tmp = EvalExpr(e, b, ctx);
+      return tmp;
+  }
+}
+
+Value EvalExpr(const CompiledExpr& e, Binding& b, ExecContext& ctx) {
+  switch (e.kind) {
+    case SqlExpr::Kind::kColumn:
+      return *b[static_cast<size_t>(e.slot)];
     case SqlExpr::Kind::kLiteral:
       return e.literal;
     case SqlExpr::Kind::kBinary: {
       if (e.op == SqlExpr::BinOp::kAnd || e.op == SqlExpr::BinOp::kOr) {
-        Truth a = TruthOf(EvalExpr(plan, *e.args[0], row, ctx));
+        Value t0;
+        Truth a = TruthOf(EvalRef(*e.args[0], b, ctx, t0));
         // Short-circuit.
         if (e.op == SqlExpr::BinOp::kAnd && a == Truth::kFalse) {
           return Value::Int(0);
@@ -116,19 +178,21 @@ Value EvalExpr(const Plan& plan, const SqlExpr& e, const Row& row,
         if (e.op == SqlExpr::BinOp::kOr && a == Truth::kTrue) {
           return Value::Int(1);
         }
-        Truth b = TruthOf(EvalExpr(plan, *e.args[1], row, ctx));
+        Value t1;
+        Truth bt = TruthOf(EvalRef(*e.args[1], b, ctx, t1));
         if (e.op == SqlExpr::BinOp::kAnd) {
-          if (b == Truth::kFalse) return Value::Int(0);
-          if (a == Truth::kTrue && b == Truth::kTrue) return Value::Int(1);
+          if (bt == Truth::kFalse) return Value::Int(0);
+          if (a == Truth::kTrue && bt == Truth::kTrue) return Value::Int(1);
           return Value::Null();
         }
-        if (b == Truth::kTrue) return Value::Int(1);
-        if (a == Truth::kFalse && b == Truth::kFalse) return Value::Int(0);
+        if (bt == Truth::kTrue) return Value::Int(1);
+        if (a == Truth::kFalse && bt == Truth::kFalse) return Value::Int(0);
         return Value::Null();
       }
-      Value a = EvalExpr(plan, *e.args[0], row, ctx);
-      Value b = EvalExpr(plan, *e.args[1], row, ctx);
-      auto cmp = CompareValues(a, b);
+      Value ta, tb;
+      const Value& x = EvalRef(*e.args[0], b, ctx, ta);
+      const Value& y = EvalRef(*e.args[1], b, ctx, tb);
+      auto cmp = CompareValues(x, y);
       if (!cmp) return Value::Null();
       bool r = false;
       switch (e.op) {
@@ -156,59 +220,84 @@ Value EvalExpr(const Plan& plan, const SqlExpr& e, const Row& row,
       return Value::Int(r ? 1 : 0);
     }
     case SqlExpr::Kind::kNot: {
-      Truth t = TruthOf(EvalExpr(plan, *e.args[0], row, ctx));
+      Value t0;
+      Truth t = TruthOf(EvalRef(*e.args[0], b, ctx, t0));
       if (t == Truth::kUnknown) return Value::Null();
       return Value::Int(t == Truth::kFalse ? 1 : 0);
     }
     case SqlExpr::Kind::kBetween: {
-      Value v = EvalExpr(plan, *e.args[0], row, ctx);
-      Value lo = EvalExpr(plan, *e.args[1], row, ctx);
-      Value hi = EvalExpr(plan, *e.args[2], row, ctx);
+      Value t0, t1, t2;
+      const Value& v = EvalRef(*e.args[0], b, ctx, t0);
+      const Value& lo = EvalRef(*e.args[1], b, ctx, t1);
+      const Value& hi = EvalRef(*e.args[2], b, ctx, t2);
       auto c1 = CompareValues(v, lo);
       auto c2 = CompareValues(v, hi);
       if (!c1 || !c2) return Value::Null();
       return Value::Int((*c1 >= 0 && *c2 <= 0) ? 1 : 0);
     }
     case SqlExpr::Kind::kConcat: {
-      Value a = EvalExpr(plan, *e.args[0], row, ctx);
-      Value b = EvalExpr(plan, *e.args[1], row, ctx);
-      if (a.is_null() || b.is_null()) return Value::Null();
+      Value t0, t1;
+      const Value& a = EvalRef(*e.args[0], b, ctx, t0);
+      const Value& c = EvalRef(*e.args[1], b, ctx, t1);
+      if (a.is_null() || c.is_null()) return Value::Null();
       auto at = a.ToText();
-      auto bt = b.ToText();
-      if (!at || !bt) return Value::Null();
-      bool bytes = a.type() == ValueType::kBytes || b.type() == ValueType::kBytes;
-      std::string s = *at + *bt;
+      auto ct = c.ToText();
+      if (!at || !ct) return Value::Null();
+      bool bytes = a.type() == ValueType::kBytes || c.type() == ValueType::kBytes;
+      std::string s = *at + *ct;
       return bytes ? Value::Bytes(std::move(s)) : Value::Str(std::move(s));
     }
     case SqlExpr::Kind::kExists: {
-      auto it = plan.subplans.find(&e);
-      assert(it != plan.subplans.end());
       if (ctx.stats != nullptr) ++ctx.stats->subquery_evals;
-      return Value::Int(ExecExists(*it->second, row, ctx) ? 1 : 0);
+      auto& memo = ctx.exists_memo[&e];
+      ctx.memo_key.clear();
+      for (int s : e.correlated_slots) {
+        AppendEncodedValue(*b[static_cast<size_t>(s)], ctx.memo_key);
+      }
+      auto [it, inserted] = memo.try_emplace(ctx.memo_key, false);
+      if (!inserted) {
+        if (ctx.stats != nullptr) ++ctx.stats->exists_cache_hits;
+        return Value::Int(it->second ? 1 : 0);
+      }
+      if (ctx.stats != nullptr) ++ctx.stats->exists_cache_misses;
+      // Nested EXISTS nodes are distinct, so recursion touches other inner
+      // maps only; references into `memo` stay valid across it.
+      bool found = ExecExists(*e.subplan, b, ctx);
+      it->second = found;
+      return Value::Int(found ? 1 : 0);
     }
     case SqlExpr::Kind::kRegexpLike: {
-      Value text = EvalExpr(plan, *e.args[0], row, ctx);
+      Value t0;
+      const Value& text = EvalRef(*e.args[0], b, ctx, t0);
       if (text.is_null()) return Value::Null();
+      if (IsStringLike(text)) {
+        return Value::Int(e.regex->Matches(text.AsStringLike()) ? 1 : 0);
+      }
       auto t = text.ToText();
       if (!t) return Value::Null();
-      auto it = plan.regexes.find(&e);
-      assert(it != plan.regexes.end());
-      return Value::Int(it->second.Matches(*t) ? 1 : 0);
+      return Value::Int(e.regex->Matches(*t) ? 1 : 0);
     }
     case SqlExpr::Kind::kLike: {
-      Value text = EvalExpr(plan, *e.args[0], row, ctx);
-      Value pattern = EvalExpr(plan, *e.args[1], row, ctx);
+      Value t0, t1;
+      const Value& text = EvalRef(*e.args[0], b, ctx, t0);
+      const Value& pattern = EvalRef(*e.args[1], b, ctx, t1);
+      if (text.is_null() || pattern.is_null()) return Value::Null();
+      if (IsStringLike(text) && IsStringLike(pattern)) {
+        return Value::Int(
+            MatchLike(text.AsStringLike(), pattern.AsStringLike()) ? 1 : 0);
+      }
       auto t = text.ToText();
       auto p = pattern.ToText();
       if (!t || !p) return Value::Null();
       return Value::Int(MatchLike(*t, *p) ? 1 : 0);
     }
     case SqlExpr::Kind::kIsNull: {
-      Value v = EvalExpr(plan, *e.args[0], row, ctx);
-      return Value::Int(v.is_null() ? 1 : 0);
+      Value t0;
+      return Value::Int(EvalRef(*e.args[0], b, ctx, t0).is_null() ? 1 : 0);
     }
     case SqlExpr::Kind::kLength: {
-      Value v = EvalExpr(plan, *e.args[0], row, ctx);
+      Value t0;
+      const Value& v = EvalRef(*e.args[0], b, ctx, t0);
       if (v.is_null()) return Value::Null();
       if (v.type() == ValueType::kString || v.type() == ValueType::kBytes) {
         return Value::Int(static_cast<int64_t>(v.AsStringLike().size()));
@@ -218,13 +307,14 @@ Value EvalExpr(const Plan& plan, const SqlExpr& e, const Row& row,
       return Value::Int(static_cast<int64_t>(t->size()));
     }
     case SqlExpr::Kind::kAdd: {
-      Value a = EvalExpr(plan, *e.args[0], row, ctx);
-      Value b = EvalExpr(plan, *e.args[1], row, ctx);
-      if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
-        return Value::Int(a.AsInt() + b.AsInt());
+      Value t0, t1;
+      const Value& a = EvalRef(*e.args[0], b, ctx, t0);
+      const Value& c = EvalRef(*e.args[1], b, ctx, t1);
+      if (a.type() == ValueType::kInt64 && c.type() == ValueType::kInt64) {
+        return Value::Int(a.AsInt() + c.AsInt());
       }
       auto x = a.ToNumber();
-      auto y = b.ToNumber();
+      auto y = c.ToNumber();
       if (!x || !y) return Value::Null();
       return Value::Real(*x + *y);
     }
@@ -234,7 +324,8 @@ Value EvalExpr(const Plan& plan, const SqlExpr& e, const Row& row,
 
 // Coerces `v` to the storage type of a column so encoded index keys compare
 // correctly (e.g. a concatenated Dewey bound arrives as kBytes for a kBytes
-// column; an int literal probes an int column).
+// column; an int literal probes an int column). The target type is resolved
+// by the planner, never re-derived per row.
 Value CoerceForColumn(const Value& v, ValueType target) {
   if (v.is_null() || v.type() == target) return v;
   switch (target) {
@@ -263,36 +354,42 @@ Value CoerceForColumn(const Value& v, ValueType target) {
   return Value::Null();
 }
 
+// Copy-free coercion: returns `v` itself when it already has the target
+// type, otherwise the coerced value parked in `tmp`.
+const Value& CoerceRef(const Value& v, ValueType target, Value& tmp) {
+  if (v.is_null() || v.type() == target) return v;
+  tmp = CoerceForColumn(v, target);
+  return tmp;
+}
+
 // ---------------------------------------------------------------------------
 // Step enumeration
 // ---------------------------------------------------------------------------
 
-// Copies table row `rid` into the binding row at the alias's offset.
-void BindRow(const Table& table, RowId rid, int offset, Row& row) {
+// Points the binding slots at table row `rid` in place (no Value copies).
+void BindRow(const Table& table, RowId rid, int offset, Binding& b) {
   const Row& src = table.row(rid);
   for (size_t c = 0; c < src.size(); ++c) {
-    row[static_cast<size_t>(offset) + c] = src[c];
+    b[static_cast<size_t>(offset) + c] = &src[c];
   }
 }
 
 // Runs steps [i..) of the plan; calls `emit` on every full binding. `emit`
 // returns false to abort enumeration (EXISTS short-circuit). Returns false
 // if enumeration was aborted.
-bool RunSteps(const Plan& plan, size_t i, Row& row, ExecContext& ctx,
+bool RunSteps(const Plan& plan, size_t i, Binding& b, ExecContext& ctx,
               const std::function<bool()>& emit) {
   if (i == plan.steps.size()) return emit();
   const AccessStep& step = plan.steps[i];
-  const Layout::Entry* entry = plan.layout.FindAlias(step.alias);
-  assert(entry != nullptr);
   const Table& table = *step.table;
 
   auto try_row = [&](RowId rid) -> bool {
     if (ctx.stats != nullptr) ++ctx.stats->rows_scanned;
-    BindRow(table, rid, entry->offset, row);
-    for (const SqlExpr* f : step.filters) {
-      if (TruthOf(EvalExpr(plan, *f, row, ctx)) != Truth::kTrue) return true;
+    BindRow(table, rid, step.bind_offset, b);
+    for (const CompiledExpr* f : step.cfilters) {
+      if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return true;
     }
-    return RunSteps(plan, i + 1, row, ctx, emit);
+    return RunSteps(plan, i + 1, b, ctx, emit);
   };
 
   switch (step.path) {
@@ -303,60 +400,51 @@ bool RunSteps(const Plan& plan, size_t i, Row& row, ExecContext& ctx,
       return true;
     }
     case AccessPathKind::kIndexPoint: {
-      std::vector<Value> keys;
-      const IndexDef* def = nullptr;
-      // Recover the index definition to learn key column types.
-      for (const IndexDef& d : table.schema().indexes) {
-        if (table.FindIndex(d.name) == step.index) {
-          def = &d;
-          break;
-        }
-      }
-      assert(def != nullptr);
-      for (size_t k = 0; k < step.point_keys.size(); ++k) {
-        Value v = EvalExpr(plan, *step.point_keys[k], row, ctx);
-        ValueType t = table.schema()
-                          .columns[static_cast<size_t>(def->column_indexes[k])]
-                          .type;
-        v = CoerceForColumn(v, t);
+      // Encode keys directly into the pooled buffer as they are evaluated;
+      // key column types were resolved by the planner.
+      KeyBufs kb(ctx);
+      std::string& lo = kb.lo();
+      lo.clear();
+      for (size_t k = 0; k < step.cpoint_keys.size(); ++k) {
+        Value t0, t1;
+        const Value& v =
+            CoerceRef(EvalRef(*step.cpoint_keys[k], b, ctx, t0),
+                      step.point_key_types[k], t1);
         if (v.is_null()) return true;  // NULL key matches nothing
-        keys.push_back(std::move(v));
+        AppendEncodedValue(v, lo);
       }
       if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-      std::string lo = EncodeKeyPrefixLowerBound(keys);
-      std::string hi = EncodeKeyPrefixUpperBound(keys);
+      std::string& hi = kb.hi();
+      hi.assign(lo);
+      BumpToPrefixUpperBound(hi);
       for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
         if (!try_row(it.row())) return false;
       }
       return true;
     }
     case AccessPathKind::kIndexRange: {
-      // Bounds are on the first index column.
-      const IndexDef* def = nullptr;
-      for (const IndexDef& d : table.schema().indexes) {
-        if (table.FindIndex(d.name) == step.index) {
-          def = &d;
-          break;
-        }
-      }
-      assert(def != nullptr);
-      ValueType t = table.schema()
-                        .columns[static_cast<size_t>(def->column_indexes[0])]
-                        .type;
-      std::string lo;
-      if (step.range_lo != nullptr) {
-        Value v = CoerceForColumn(EvalExpr(plan, *step.range_lo, row, ctx), t);
+      // Bounds are on the first index column, whose type the planner stored.
+      KeyBufs kb(ctx);
+      std::string& lo = kb.lo();
+      lo.clear();
+      if (step.crange_lo != nullptr) {
+        Value t0, t1;
+        const Value& v = CoerceRef(EvalRef(*step.crange_lo, b, ctx, t0),
+                                   step.range_type, t1);
         if (v.is_null()) return true;
-        lo = step.range_lo_inclusive ? EncodeKeyPrefixLowerBound({v})
-                                     : EncodeKeyPrefixUpperBound({v});
+        AppendEncodedValue(v, lo);
+        if (!step.range_lo_inclusive) BumpToPrefixUpperBound(lo);
       }
       if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-      if (step.range_hi != nullptr) {
-        Value v = CoerceForColumn(EvalExpr(plan, *step.range_hi, row, ctx), t);
+      if (step.crange_hi != nullptr) {
+        Value t0, t1;
+        const Value& v = CoerceRef(EvalRef(*step.crange_hi, b, ctx, t0),
+                                   step.range_type, t1);
         if (v.is_null()) return true;
-        std::string hi = step.range_hi_inclusive
-                             ? EncodeKeyPrefixUpperBound({v})
-                             : EncodeKeyPrefixLowerBound({v});
+        std::string& hi = kb.hi();
+        hi.clear();
+        AppendEncodedValue(v, hi);
+        if (step.range_hi_inclusive) BumpToPrefixUpperBound(hi);
         for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
           if (!try_row(it.row())) return false;
         }
@@ -368,16 +456,22 @@ bool RunSteps(const Plan& plan, size_t i, Row& row, ExecContext& ctx,
       return true;
     }
     case AccessPathKind::kPrefixProbe: {
-      Value v = EvalExpr(plan, *step.probe_value, row, ctx);
+      Value t0;
+      const Value& v = EvalRef(*step.cprobe_value, b, ctx, t0);
       if (v.is_null() || !IsStringLike(v)) return true;
       const std::string& d = v.AsStringLike();
       // Probe each Dewey prefix (ancestors are exactly the prefixes whose
-      // length is a multiple of the 3-byte component size).
+      // length is a multiple of the 3-byte component size). One pair of
+      // buffers serves every probe.
+      KeyBufs kb(ctx);
+      std::string& lo = kb.lo();
+      std::string& hi = kb.hi();
       for (size_t len = 3; len <= d.size(); len += 3) {
-        Value prefix = Value::Bytes(d.substr(0, len));
         if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-        std::string lo = EncodeKeyPrefixLowerBound({prefix});
-        std::string hi = EncodeKeyPrefixUpperBound({prefix});
+        lo.clear();
+        AppendEncodedBytes(std::string_view(d.data(), len), lo);
+        hi.assign(lo);
+        BumpToPrefixUpperBound(hi);
         for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
           if (!try_row(it.row())) return false;
         }
@@ -386,15 +480,19 @@ bool RunSteps(const Plan& plan, size_t i, Row& row, ExecContext& ctx,
     }
     case AccessPathKind::kIndexUnion: {
       std::set<RowId> rows;
+      KeyBufs kb(ctx);
+      std::string& lo = kb.lo();
+      std::string& hi = kb.hi();
       for (const AccessStep::UnionProbe& p : step.union_probes) {
-        Value v = EvalExpr(plan, *p.key, row, ctx);
-        ValueType t =
-            table.schema().columns[static_cast<size_t>(p.column)].type;
-        v = CoerceForColumn(v, t);
+        Value t0, t1;
+        const Value& v =
+            CoerceRef(EvalRef(*p.ckey, b, ctx, t0), p.key_type, t1);
         if (v.is_null()) continue;
         if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-        std::string lo = EncodeKeyPrefixLowerBound({v});
-        std::string hi = EncodeKeyPrefixUpperBound({v});
+        lo.clear();
+        AppendEncodedValue(v, lo);
+        hi.assign(lo);
+        BumpToPrefixUpperBound(hi);
         for (auto it = p.index->Scan(lo, hi); it.Valid(); it.Next()) {
           rows.insert(it.row());
         }
@@ -406,20 +504,31 @@ bool RunSteps(const Plan& plan, size_t i, Row& row, ExecContext& ctx,
     }
     case AccessPathKind::kHashProbe: {
       auto& ht = ctx.hash_tables[&step];
-      if (ht.empty() && table.row_count() > 0) {
+      if (!ht.built) {
+        ht.built = true;
+        if (ctx.stats != nullptr) ++ctx.stats->hash_tables_built;
         for (RowId rid = 0; rid < table.row_count(); ++rid) {
           const Value& v = table.row(rid)[static_cast<size_t>(step.hash_column)];
           auto t = v.ToText();
-          if (t) ht[*t].push_back(rid);
+          if (t) ht.map[std::move(*t)].push_back(rid);
         }
       }
-      Value key = EvalExpr(plan, *step.hash_key, row, ctx);
-      auto kt = key.ToText();
-      if (!kt) return true;
+      Value t0;
+      const Value& key = EvalRef(*step.chash_key, b, ctx, t0);
       if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-      auto it = ht.find(*kt);
-      if (it == ht.end()) return true;
-      for (RowId rid : it->second) {
+      const std::vector<RowId>* matches = nullptr;
+      if (IsStringLike(key)) {
+        auto it = ht.map.find(key.AsStringLike());
+        if (it == ht.map.end()) return true;
+        matches = &it->second;
+      } else {
+        auto kt = key.ToText();
+        if (!kt) return true;
+        auto it = ht.map.find(*kt);
+        if (it == ht.map.end()) return true;
+        matches = &it->second;
+      }
+      for (RowId rid : *matches) {
         if (!try_row(rid)) return false;
       }
       return true;
@@ -428,15 +537,18 @@ bool RunSteps(const Plan& plan, size_t i, Row& row, ExecContext& ctx,
   return true;
 }
 
-bool ExecExists(const Plan& subplan, const Row& outer_row, ExecContext& ctx) {
-  Row row = outer_row;
-  row.resize(static_cast<size_t>(subplan.layout.total_slots));
+// Evaluates EXISTS for `subplan` in the shared binding. The binding spans
+// the subplan's layout (which extends the outer layout), so the outer
+// binding is read in place — no per-evaluation row copy. Subplan steps bind
+// only their own slots (beyond the caller's), so the caller's binding is
+// intact on return.
+bool ExecExists(const Plan& subplan, Binding& b, ExecContext& ctx) {
   // Filters that involve only outer aliases.
-  for (const SqlExpr* f : subplan.post_filters) {
-    if (TruthOf(EvalExpr(subplan, *f, row, ctx)) != Truth::kTrue) return false;
+  for (const CompiledExpr* f : subplan.compiled_post_filters) {
+    if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return false;
   }
   bool found = false;
-  RunSteps(subplan, 0, row, ctx, [&]() {
+  RunSteps(subplan, 0, b, ctx, [&]() {
     found = true;
     return false;  // abort on first witness
   });
@@ -445,47 +557,75 @@ bool ExecExists(const Plan& subplan, const Row& outer_row, ExecContext& ctx) {
 
 }  // namespace
 
-Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats) {
+Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
+                                bool need_ordered_rows) {
   ExecContext ctx;
   ctx.stats = stats;
 
   const SelectStmt& stmt = *plan.stmt;
   QueryResult result;
-  for (const SelectItem& it : stmt.select) {
-    result.column_labels.push_back(
-        !it.label.empty() ? it.label : SqlToString(*it.expr));
-  }
+  result.column_labels = plan.column_labels;
 
-  Row row(static_cast<size_t>(plan.layout.total_slots));
+  // One binding wide enough for this plan and every nested subplan.
+  Binding binding(
+      static_cast<size_t>(std::max(plan.max_slots, plan.layout.total_slots)),
+      &kNullValue);
   // Constant conjuncts.
-  for (const SqlExpr* f : plan.post_filters) {
-    if (TruthOf(EvalExpr(plan, *f, row, ctx)) != Truth::kTrue) {
+  for (const CompiledExpr* f : plan.compiled_post_filters) {
+    if (TruthOf(EvalExpr(*f, binding, ctx)) != Truth::kTrue) {
       return result;
     }
   }
 
-  struct Emitted {
-    Row projected;
-    Row sort_key;
-  };
-  std::vector<Emitted> emitted;
+  std::vector<Row> emitted;
+  const bool want_sort = need_ordered_rows && !stmt.order_by.empty();
+  const bool fast_order = !want_sort || plan.order_by_mapped;
 
-  RunSteps(plan, 0, row, ctx, [&]() {
-    Emitted e;
-    e.projected.reserve(stmt.select.size());
-    for (const SelectItem& it : stmt.select) {
-      e.projected.push_back(EvalExpr(plan, *it.expr, row, ctx));
+  if (fast_order) {
+    RunSteps(plan, 0, binding, ctx, [&]() {
+      Row projected;
+      projected.reserve(plan.compiled_select.size());
+      for (const CompiledExpr* ce : plan.compiled_select) {
+        projected.push_back(EvalExpr(*ce, binding, ctx));
+      }
+      emitted.push_back(std::move(projected));
+      return true;
+    });
+    if (want_sort && !plan.order_by_select_positions.empty()) {
+      std::stable_sort(
+          emitted.begin(), emitted.end(), [&](const Row& a, const Row& b) {
+            for (size_t k = 0; k < plan.order_by_select_positions.size(); ++k) {
+              size_t c =
+                  static_cast<size_t>(plan.order_by_select_positions[k]);
+              bool asc = stmt.order_by[k].ascending;
+              if (a[c] < b[c]) return asc;
+              if (b[c] < a[c]) return !asc;
+            }
+            return false;
+          });
     }
-    e.sort_key.reserve(stmt.order_by.size());
-    for (const OrderByItem& ob : stmt.order_by) {
-      e.sort_key.push_back(EvalExpr(plan, *ob.expr, row, ctx));
-    }
-    emitted.push_back(std::move(e));
-    return true;
-  });
-
-  if (!stmt.order_by.empty()) {
-    std::stable_sort(emitted.begin(), emitted.end(),
+  } else {
+    // ORDER BY expressions that are not projected: materialize a sort key
+    // alongside each projected row.
+    struct Emitted {
+      Row projected;
+      Row sort_key;
+    };
+    std::vector<Emitted> keyed;
+    RunSteps(plan, 0, binding, ctx, [&]() {
+      Emitted e;
+      e.projected.reserve(plan.compiled_select.size());
+      for (const CompiledExpr* ce : plan.compiled_select) {
+        e.projected.push_back(EvalExpr(*ce, binding, ctx));
+      }
+      e.sort_key.reserve(plan.compiled_order_by.size());
+      for (const CompiledExpr* ce : plan.compiled_order_by) {
+        e.sort_key.push_back(EvalExpr(*ce, binding, ctx));
+      }
+      keyed.push_back(std::move(e));
+      return true;
+    });
+    std::stable_sort(keyed.begin(), keyed.end(),
                      [&](const Emitted& a, const Emitted& b) {
                        for (size_t k = 0; k < a.sort_key.size(); ++k) {
                          bool asc = stmt.order_by[k].ascending;
@@ -494,17 +634,21 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats) {
                        }
                        return false;
                      });
+    emitted.reserve(keyed.size());
+    for (Emitted& e : keyed) emitted.push_back(std::move(e.projected));
   }
 
   if (stmt.distinct) {
-    std::set<Row> seen;
-    for (Emitted& e : emitted) {
-      if (seen.insert(e.projected).second) {
-        result.rows.push_back(std::move(e.projected));
+    std::unordered_set<Row, RowHash> seen;
+    seen.reserve(emitted.size());
+    result.rows.reserve(emitted.size());
+    for (Row& e : emitted) {
+      if (seen.insert(e).second) {
+        result.rows.push_back(std::move(e));
       }
     }
   } else {
-    for (Emitted& e : emitted) result.rows.push_back(std::move(e.projected));
+    result.rows = std::move(emitted);
   }
   if (stats != nullptr) stats->output_rows = result.rows.size();
   return result;
@@ -517,45 +661,35 @@ Result<QueryResult> ExecuteSelect(const Database& db, const SelectStmt& stmt,
   return ExecutePlan(*plan.value(), stats);
 }
 
-Result<QueryResult> ExecuteQuery(const Database& db, const SqlQuery& query,
-                                 QueryStats* stats) {
-  if (query.selects.empty()) {
+Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
+                                        QueryStats* stats,
+                                        bool need_ordered_rows) {
+  if (plans.empty()) {
     return Status::InvalidArgument("empty query");
   }
-  if (query.selects.size() == 1) {
-    return ExecuteSelect(db, *query.selects[0], stats);
+  if (plans.size() == 1) {
+    return ExecutePlan(*plans[0], stats, need_ordered_rows);
   }
   // UNION with set semantics; rows from all blocks deduplicated, then
   // ordered by the first block's ORDER BY columns (the translators emit the
-  // same ORDER BY positionally in every block).
+  // same ORDER BY positionally in every block). Blocks never need their own
+  // sort — the combined result is ordered (or not) in one pass here.
   QueryResult combined;
-  std::set<Row> seen;
-  std::vector<int> order_cols;
-  for (size_t b = 0; b < query.selects.size(); ++b) {
-    const SelectStmt& stmt = *query.selects[b];
+  std::unordered_set<Row, RowHash> seen;
+  for (size_t b = 0; b < plans.size(); ++b) {
     QueryStats local;
-    auto r = ExecuteSelect(db, stmt, &local);
+    auto r = ExecutePlan(*plans[b], &local, /*need_ordered_rows=*/false);
     if (!r.ok()) return r.status();
     if (stats != nullptr) {
       stats->rows_scanned += local.rows_scanned;
       stats->index_probes += local.index_probes;
       stats->subquery_evals += local.subquery_evals;
+      stats->exists_cache_hits += local.exists_cache_hits;
+      stats->exists_cache_misses += local.exists_cache_misses;
+      stats->hash_tables_built += local.hash_tables_built;
     }
     if (b == 0) {
       combined.column_labels = r.value().column_labels;
-      // Map ORDER BY expressions to projected column positions.
-      for (const OrderByItem& ob : stmt.order_by) {
-        for (size_t i = 0; i < stmt.select.size(); ++i) {
-          const SqlExpr& se = *stmt.select[i].expr;
-          const SqlExpr& oe = *ob.expr;
-          if (se.kind == SqlExpr::Kind::kColumn &&
-              oe.kind == SqlExpr::Kind::kColumn &&
-              se.table_alias == oe.table_alias && se.column == oe.column) {
-            order_cols.push_back(static_cast<int>(i));
-            break;
-          }
-        }
-      }
     }
     for (Row& row : r.value().rows) {
       if (seen.insert(row).second) {
@@ -563,20 +697,48 @@ Result<QueryResult> ExecuteQuery(const Database& db, const SqlQuery& query,
       }
     }
   }
-  if (!order_cols.empty()) {
+  const Plan& first = *plans[0];
+  if (!need_ordered_rows) {
+    // Caller imposes its own order downstream.
+  } else if (!first.order_by_select_positions.empty()) {
+    const SelectStmt& stmt = *first.stmt;
     std::sort(combined.rows.begin(), combined.rows.end(),
               [&](const Row& a, const Row& b) {
-                for (int c : order_cols) {
-                  const Value& x = a[static_cast<size_t>(c)];
-                  const Value& y = b[static_cast<size_t>(c)];
-                  if (x < y) return true;
-                  if (y < x) return false;
+                for (size_t k = 0; k < first.order_by_select_positions.size();
+                     ++k) {
+                  size_t c =
+                      static_cast<size_t>(first.order_by_select_positions[k]);
+                  bool asc = stmt.order_by[k].ascending;
+                  if (a[c] < b[c]) return asc;
+                  if (b[c] < a[c]) return !asc;
                 }
                 return a < b;
               });
+  } else if (!first.stmt->order_by.empty()) {
+    // An ORDER BY whose expressions are not among the projected columns
+    // cannot be mapped; fall back to a deterministic full-row sort rather
+    // than silently emitting unsorted results.
+    std::sort(combined.rows.begin(), combined.rows.end());
   }
   if (stats != nullptr) stats->output_rows = combined.rows.size();
   return combined;
+}
+
+Result<QueryResult> ExecuteQuery(const Database& db, const SqlQuery& query,
+                                 QueryStats* stats) {
+  if (query.selects.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  std::vector<std::unique_ptr<Plan>> owned;
+  std::vector<const Plan*> plans;
+  owned.reserve(query.selects.size());
+  for (const auto& stmt : query.selects) {
+    auto plan = PlanSelect(db, *stmt, nullptr);
+    if (!plan.ok()) return plan.status();
+    plans.push_back(plan.value().get());
+    owned.push_back(std::move(plan).value());
+  }
+  return ExecutePlannedQuery(plans, stats);
 }
 
 }  // namespace xprel::rel

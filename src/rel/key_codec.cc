@@ -19,7 +19,7 @@ void AppendBigEndian64(uint64_t v, std::string& out) {
   }
 }
 
-void AppendEscapedString(const std::string& s, std::string& out) {
+void AppendEscapedString(std::string_view s, std::string& out) {
   for (char c : s) {
     if (c == '\x00') {
       out.push_back('\x00');
@@ -70,6 +70,11 @@ void AppendEncodedValue(const Value& v, std::string& out) {
   }
 }
 
+void AppendEncodedBytes(std::string_view bytes, std::string& out) {
+  out.push_back(kTagBytes);
+  AppendEscapedString(bytes, out);
+}
+
 std::string EncodeKey(const std::vector<Value>& values) {
   std::string out;
   for (const Value& v : values) AppendEncodedValue(v, out);
@@ -87,6 +92,18 @@ std::string EncodeKeyPrefixUpperBound(const std::vector<Value>& values) {
   std::string out = EncodeKey(values);
   out.push_back('\xFF');
   return out;
+}
+
+void EncodeKeyPrefixLowerBoundTo(const std::vector<Value>& values,
+                                 std::string& out) {
+  out.clear();
+  for (const Value& v : values) AppendEncodedValue(v, out);
+}
+
+void EncodeKeyPrefixUpperBoundTo(const std::vector<Value>& values,
+                                 std::string& out) {
+  EncodeKeyPrefixLowerBoundTo(values, out);
+  BumpToPrefixUpperBound(out);
 }
 
 }  // namespace xprel::rel

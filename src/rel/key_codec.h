@@ -2,6 +2,7 @@
 #define XPREL_REL_KEY_CODEC_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rel/value.h"
@@ -23,6 +24,12 @@ namespace xprel::rel {
 //            (0x00 0x01) so that prefixes sort before extensions
 void AppendEncodedValue(const Value& v, std::string& out);
 
+// Appends the encoding of a kBytes value with payload `bytes` — identical to
+// AppendEncodedValue(Value::Bytes(...), out) without materializing the Value.
+// The executor's Dewey prefix probes encode each prefix of a bound position
+// this way, reusing one buffer across probes.
+void AppendEncodedBytes(std::string_view bytes, std::string& out);
+
 // Encodes a full or prefix key.
 std::string EncodeKey(const std::vector<Value>& values);
 
@@ -33,6 +40,17 @@ std::string EncodeKeyPrefixLowerBound(const std::vector<Value>& values);
 // prefix: EncodeKey(values) with the final terminator bumped so that every
 // extension sorts below it.
 std::string EncodeKeyPrefixUpperBound(const std::vector<Value>& values);
+
+// Allocation-free variants: clear `out` and write the bound into it, so hot
+// call sites can reuse one buffer across probes.
+void EncodeKeyPrefixLowerBoundTo(const std::vector<Value>& values,
+                                 std::string& out);
+void EncodeKeyPrefixUpperBoundTo(const std::vector<Value>& values,
+                                 std::string& out);
+
+// Turns an encoded lower bound (in place) into the matching strict prefix
+// upper bound.
+inline void BumpToPrefixUpperBound(std::string& key) { key.push_back('\xFF'); }
 
 }  // namespace xprel::rel
 

@@ -235,6 +235,12 @@ CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
       c.step.path = AccessPathKind::kIndexPoint;
       c.step.index = best_index;
       c.step.point_keys = best_keys;
+      for (size_t k = 0; k < best_keys.size(); ++k) {
+        c.step.point_key_types.push_back(
+            table.schema()
+                .columns[static_cast<size_t>(best_def->column_indexes[k])]
+                .type);
+      }
       for (const SqlExpr* k : best_keys) {
         if (ReferencesAny(*k, bound)) c.dependent = true;
       }
@@ -290,7 +296,12 @@ CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
         break;
       }
       if (ReferencesAny(*key, bound)) dependent = true;
-      probes.push_back({index, col, key});
+      AccessStep::UnionProbe probe;
+      probe.index = index;
+      probe.column = col;
+      probe.key = key;
+      probe.key_type = table.schema().columns[static_cast<size_t>(col)].type;
+      probes.push_back(std::move(probe));
     }
     if (ok && !probes.empty()) {
       CandidateAccess c;
@@ -432,6 +443,8 @@ CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
       c.step = base_step();
       c.step.path = AccessPathKind::kIndexRange;
       c.step.index = index;
+      c.step.range_type =
+          table.schema().columns[static_cast<size_t>(first_col)].type;
       c.step.range_lo = lo;
       c.step.range_lo_inclusive = lo_incl;
       c.step.range_hi = hi;
@@ -484,6 +497,73 @@ CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
   }
   return std::move(candidates[best_i]);
 }
+
+// Lowers SqlExpr trees into the plan's CompiledExpr arena: column references
+// become integer slots, regexes/subplans become direct pointers. Shared
+// subexpressions (access-path keys are subtrees of WHERE conjuncts) compile
+// once. Collects every referenced slot for the correlation analysis that
+// feeds EXISTS memoization.
+class ExprCompiler {
+ public:
+  explicit ExprCompiler(Plan& plan) : plan_(plan) {}
+
+  const CompiledExpr* Compile(const SqlExpr& e) {
+    auto it = cache_.find(&e);
+    if (it != cache_.end()) return it->second;
+    plan_.expr_pool.emplace_back();
+    CompiledExpr& c = plan_.expr_pool.back();
+    cache_.emplace(&e, &c);
+    c.kind = e.kind;
+    c.op = e.op;
+    switch (e.kind) {
+      case SqlExpr::Kind::kColumn: {
+        c.slot = plan_.layout.SlotOf(e.table_alias, e.column);
+        if (c.slot < 0 && status.ok()) {
+          status = Status::InvalidArgument("unresolvable column: " +
+                                           e.table_alias + "." + e.column);
+        }
+        referenced.insert(c.slot);
+        break;
+      }
+      case SqlExpr::Kind::kLiteral:
+        c.literal = e.literal;
+        break;
+      case SqlExpr::Kind::kRegexpLike: {
+        auto rit = plan_.regexes.find(&e);
+        if (rit != plan_.regexes.end()) {
+          c.regex = &rit->second;
+        } else if (status.ok()) {
+          status = Status::Internal("REGEXP_LIKE without compiled pattern");
+        }
+        break;
+      }
+      case SqlExpr::Kind::kExists: {
+        auto sit = plan_.subplans.find(&e);
+        if (sit != plan_.subplans.end()) {
+          c.subplan = sit->second.get();
+          // The subplan's free slots are (outer or own) slots of this level.
+          c.correlated_slots = c.subplan->correlated_slots;
+          referenced.insert(c.correlated_slots.begin(),
+                            c.correlated_slots.end());
+        } else if (status.ok()) {
+          status = Status::Internal("EXISTS without compiled subplan");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    for (const SqlExprPtr& a : e.args) c.args.push_back(Compile(*a));
+    return &c;
+  }
+
+  Status status;
+  std::set<int> referenced;
+
+ private:
+  Plan& plan_;
+  std::unordered_map<const SqlExpr*, const CompiledExpr*> cache_;
+};
 
 }  // namespace
 
@@ -603,9 +683,82 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
     if (!conjunct_assigned[c]) plan->post_filters.push_back(conjuncts[c]);
   }
 
-  // Pre-resolve column slots for the evaluator: walk every expression at
-  // this level (including inside subquery EXISTS nodes' outer references —
-  // those are resolved by the subplan itself).
+  // -------------------------------------------------------------------
+  // Finalize: lower every expression the executor will touch into the
+  // compiled arena so evaluation never does string lookups, alias scans or
+  // IndexDef recovery per row.
+  // -------------------------------------------------------------------
+  plan->first_own_slot =
+      static_cast<size_t>(plan->first_own_entry) < plan->layout.entries.size()
+          ? plan->layout.entries[static_cast<size_t>(plan->first_own_entry)]
+                .offset
+          : plan->layout.total_slots;
+
+  ExprCompiler comp(*plan);
+  for (const SelectItem& it : stmt.select) {
+    plan->compiled_select.push_back(comp.Compile(*it.expr));
+    plan->column_labels.push_back(!it.label.empty() ? it.label
+                                                    : SqlToString(*it.expr));
+  }
+  for (const OrderByItem& ob : stmt.order_by) {
+    plan->compiled_order_by.push_back(comp.Compile(*ob.expr));
+  }
+  // Map each ORDER BY expression onto a projected column where possible so
+  // the executor can sort the projected rows in place.
+  plan->order_by_mapped = !stmt.order_by.empty();
+  for (const OrderByItem& ob : stmt.order_by) {
+    int pos = -1;
+    for (size_t i = 0; i < stmt.select.size(); ++i) {
+      const SqlExpr& se = *stmt.select[i].expr;
+      const SqlExpr& oe = *ob.expr;
+      if (se.kind == SqlExpr::Kind::kColumn &&
+          oe.kind == SqlExpr::Kind::kColumn &&
+          se.table_alias == oe.table_alias && se.column == oe.column) {
+        pos = static_cast<int>(i);
+        break;
+      }
+    }
+    if (pos < 0) {
+      plan->order_by_mapped = false;
+      plan->order_by_select_positions.clear();
+      break;
+    }
+    plan->order_by_select_positions.push_back(pos);
+  }
+  for (const SqlExpr* f : plan->post_filters) {
+    plan->compiled_post_filters.push_back(comp.Compile(*f));
+  }
+  for (AccessStep& st : plan->steps) {
+    const Layout::Entry* entry = plan->layout.FindAlias(st.alias);
+    assert(entry != nullptr);
+    st.bind_offset = entry->offset;
+    for (const SqlExpr* f : st.filters) st.cfilters.push_back(comp.Compile(*f));
+    for (const SqlExpr* k : st.point_keys) {
+      st.cpoint_keys.push_back(comp.Compile(*k));
+    }
+    if (st.range_lo != nullptr) st.crange_lo = comp.Compile(*st.range_lo);
+    if (st.range_hi != nullptr) st.crange_hi = comp.Compile(*st.range_hi);
+    if (st.probe_value != nullptr) {
+      st.cprobe_value = comp.Compile(*st.probe_value);
+    }
+    if (st.hash_key != nullptr) st.chash_key = comp.Compile(*st.hash_key);
+    for (AccessStep::UnionProbe& p : st.union_probes) {
+      p.ckey = comp.Compile(*p.key);
+    }
+  }
+  if (!comp.status.ok()) return comp.status;
+
+  // Correlation analysis: outer slots this block (or any nested subplan)
+  // reads. The parent memoizes EXISTS outcomes keyed by these values.
+  for (int s : comp.referenced) {
+    if (s < plan->first_own_slot) plan->correlated_slots.push_back(s);
+  }
+
+  // One row buffer sized to the deepest subplan serves the whole tree.
+  plan->max_slots = plan->layout.total_slots;
+  for (const auto& [expr, sub] : plan->subplans) {
+    plan->max_slots = std::max(plan->max_slots, sub->max_slots);
+  }
   return plan;
 }
 

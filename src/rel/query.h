@@ -1,7 +1,7 @@
 #ifndef XPREL_REL_QUERY_H_
 #define XPREL_REL_QUERY_H_
 
-#include <map>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -54,40 +54,73 @@ const char* AccessPathKindName(AccessPathKind k);
 
 struct Plan;
 
+// A SqlExpr lowered into its executable form at plan time: column references
+// are integer slots, regexes/subplans are direct pointers, and EXISTS nodes
+// carry the list of outer slots their subplan depends on (the memoization
+// key). The executor never touches the SqlExpr tree.
+struct CompiledExpr {
+  SqlExpr::Kind kind = SqlExpr::Kind::kLiteral;
+  SqlExpr::BinOp op = SqlExpr::BinOp::kEq;
+
+  int slot = -1;                          // kColumn: resolved layout slot
+  Value literal;                          // kLiteral
+  std::vector<const CompiledExpr*> args;  // same arity as the SqlExpr
+  const rex::Regex* regex = nullptr;      // kRegexpLike (owned by the Plan)
+  const Plan* subplan = nullptr;          // kExists (owned by the Plan)
+  // kExists: slots of the enclosing layout the subplan reads — the EXISTS
+  // outcome is a pure function of these values, so it can be memoized.
+  std::vector<int> correlated_slots;
+};
+
 // One pipeline step: binds the rows of `alias` and applies `filters`.
+// The SqlExpr-typed fields are what the planner reasons about (and what
+// Describe() prints); the planner finalizes each step by resolving the
+// compiled twins (`c*` fields, `bind_offset`, key column types) that the
+// executor uses exclusively.
 struct AccessStep {
   std::string alias;
   const Table* table = nullptr;
   AccessPathKind path = AccessPathKind::kSeqScan;
+
+  // Layout offset of `alias` (slot of its first column).
+  int bind_offset = -1;
 
   // kIndexPoint / kIndexRange / kPrefixProbe
   const BTree* index = nullptr;
 
   // kIndexPoint: expressions (over bound slots) for each key column.
   std::vector<const SqlExpr*> point_keys;
+  std::vector<const CompiledExpr*> cpoint_keys;
+  // Storage type of each key column (for plan-time-resolved coercion).
+  std::vector<ValueType> point_key_types;
 
   // kIndexRange bounds on the first index column; null = unbounded.
   const SqlExpr* range_lo = nullptr;
   bool range_lo_inclusive = true;
   const SqlExpr* range_hi = nullptr;
   bool range_hi_inclusive = true;
-  // When set, the upper bound expression is Concat(col, byte) and the bound
-  // value must be extended with that byte after evaluation.
+  const CompiledExpr* crange_lo = nullptr;
+  const CompiledExpr* crange_hi = nullptr;
+  ValueType range_type = ValueType::kNull;  // first index column's type
   // (Both bounds are plain expressions evaluated on the bound row.)
 
   // kPrefixProbe: expression whose value's Dewey prefixes are probed.
   const SqlExpr* probe_value = nullptr;
+  const CompiledExpr* cprobe_value = nullptr;
 
   // kHashProbe: column (index into table schema) and the bound expression
   // whose value is looked up.
   int hash_column = -1;
   const SqlExpr* hash_key = nullptr;
+  const CompiledExpr* chash_key = nullptr;
 
   // kIndexUnion: one single-column probe per OR branch.
   struct UnionProbe {
     const BTree* index = nullptr;
-    int column = -1;            // for key coercion
+    int column = -1;                      // position in the table schema
     const SqlExpr* key = nullptr;
+    const CompiledExpr* ckey = nullptr;
+    ValueType key_type = ValueType::kNull;  // column's type, for coercion
   };
   std::vector<UnionProbe> union_probes;
 
@@ -95,23 +128,54 @@ struct AccessStep {
   // the WHERE clause appears in exactly one step's filter list (or in the
   // plan's post_filters), so access paths may safely over-approximate.
   std::vector<const SqlExpr*> filters;
+  std::vector<const CompiledExpr*> cfilters;
 };
 
-// A compiled SELECT block. Owns compiled regexes and subquery plans; borrows
-// the SqlExpr tree (the Plan must not outlive the SelectStmt it was built
-// from).
+// A compiled SELECT block. Owns compiled regexes, subquery plans and the
+// lowered expression pool; borrows the SqlExpr tree (the Plan must not
+// outlive the SelectStmt it was built from).
 struct Plan {
   const SelectStmt* stmt = nullptr;
   Layout layout;        // outer layout (if correlated) + own aliases
   int first_own_entry = 0;  // entries before this belong to the outer query
+  // First slot owned by this block; slots below it belong to the outer query.
+  int first_own_slot = 0;
+  // Row-buffer width needed to execute this plan including every nested
+  // subplan (subquery layouts extend their outer layout, so one buffer
+  // serves the whole tree and EXISTS evaluation never copies rows).
+  int max_slots = 0;
   std::vector<AccessStep> steps;
 
-  // Conjuncts that reference no alias at all (constant folding edge case).
+  // Conjuncts that reference no alias of this block (outer references or
+  // constant folding edge case).
   std::vector<const SqlExpr*> post_filters;
+  std::vector<const CompiledExpr*> compiled_post_filters;
+
+  // Lowered SELECT list and ORDER BY expressions.
+  std::vector<const CompiledExpr*> compiled_select;
+  std::vector<const CompiledExpr*> compiled_order_by;
+
+  // Result column labels, rendered once at plan time (SqlToString per
+  // execution is measurable on UNION queries with many blocks).
+  std::vector<std::string> column_labels;
+
+  // When every ORDER BY expression is also a projected column, their
+  // positions in the SELECT list; the executor then sorts the projected
+  // rows directly instead of materializing a separate sort key per row.
+  // order_by_mapped distinguishes "mapped" from "no ORDER BY at all".
+  std::vector<int> order_by_select_positions;
+  bool order_by_mapped = false;
+
+  // Outer slots referenced anywhere in this block (including by nested
+  // subplans); parents use this as the EXISTS memoization key.
+  std::vector<int> correlated_slots;
 
   // Compiled artifacts keyed by expression node.
   std::unordered_map<const SqlExpr*, rex::Regex> regexes;
   std::unordered_map<const SqlExpr*, std::unique_ptr<Plan>> subplans;
+
+  // Arena for lowered expressions (deque: stable addresses).
+  std::deque<CompiledExpr> expr_pool;
 
   // Human-readable plan, one step per line — used in tests and EXPLAIN-style
   // debugging.
@@ -131,7 +195,10 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
 struct QueryStats {
   size_t rows_scanned = 0;      // rows enumerated by access paths
   size_t index_probes = 0;      // point/range/prefix index operations
-  size_t subquery_evals = 0;    // EXISTS executions
+  size_t subquery_evals = 0;    // EXISTS evaluations (cached or not)
+  size_t exists_cache_hits = 0;    // EXISTS answered from the semi-join memo
+  size_t exists_cache_misses = 0;  // EXISTS that actually ran the subplan
+  size_t hash_tables_built = 0;    // kHashProbe build passes
   size_t output_rows = 0;
 };
 
@@ -141,7 +208,20 @@ struct QueryResult {
 };
 
 // Executes a compiled plan. The result honours DISTINCT and ORDER BY.
-Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats);
+// `need_ordered_rows = false` skips the final ORDER BY sort (DISTINCT still
+// applies) for callers that impose their own order on the result anyway —
+// the XPath engine re-sorts node ids into document order, so row order out
+// of the executor is wasted work on its path.
+Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
+                                bool need_ordered_rows = true);
+
+// Executes an already-planned UNION of selects (set semantics; the first
+// block's ORDER BY orders the combined result). This is the reusable-plan
+// entry point: callers that run the same query repeatedly plan once and
+// call this per execution.
+Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
+                                        QueryStats* stats = nullptr,
+                                        bool need_ordered_rows = true);
 
 // Convenience: plan + execute a full query (UNION of selects). UNION applies
 // set semantics; ORDER BY of the first block orders the combined result (the

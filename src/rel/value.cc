@@ -1,6 +1,7 @@
 #include "rel/value.h"
 
 #include <cmath>
+#include <functional>
 
 #include "common/string_util.h"
 
@@ -85,6 +86,38 @@ std::string Value::ToDebugString() const {
   if (type() == ValueType::kBytes) return "0x" + HexEncode(AsBytes());
   if (is_null()) return "NULL";
   return *ToText();
+}
+
+namespace {
+
+// boost-style hash combine.
+inline size_t Combine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t ValueHash::operator()(const Value& v) const {
+  size_t seed = static_cast<size_t>(v.type()) * 0x9e3779b97f4a7c15ull;
+  switch (v.type()) {
+    case ValueType::kNull:
+      return seed;
+    case ValueType::kInt64:
+      return Combine(seed, std::hash<int64_t>{}(v.AsInt()));
+    case ValueType::kDouble:
+      return Combine(seed, std::hash<double>{}(v.AsDouble()));
+    case ValueType::kString:
+    case ValueType::kBytes:
+      return Combine(seed, std::hash<std::string>{}(v.AsStringLike()));
+  }
+  return seed;
+}
+
+size_t RowHash::operator()(const Row& r) const {
+  size_t seed = r.size();
+  ValueHash h;
+  for (const Value& v : r) seed = Combine(seed, h(v));
+  return seed;
 }
 
 bool operator<(const Value& a, const Value& b) {

@@ -82,6 +82,15 @@ class Value {
 
 using Row = std::vector<Value>;
 
+// Hash functors for hash-based joins, DISTINCT and UNION dedup. Consistent
+// with operator== (type participates: Str("a") != Bytes("a")).
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+struct RowHash {
+  size_t operator()(const Row& r) const;
+};
+
 }  // namespace xprel::rel
 
 #endif  // XPREL_REL_VALUE_H_

@@ -141,6 +141,91 @@ class EdgeBranchTranslator {
                       regex);
   }
 
+  // Exact translation of a forward fragment whose path pattern is not
+  // rooted. A collapsed suffix regex (`^.*/ctx/a/b$`) can match with the
+  // context segment aligned *above* the joined node's true position, so a
+  // single alias + dewey range admits nodes outside the intended chain.
+  // One alias per step with a direct structural join has no such
+  // alignment freedom. Returns the fragment's final alias;
+  // `first_alias` is already in FROM and is reused for the first step.
+  Result<std::string> PerStepForwardChain(const Ppf& ppf,
+                                          const std::string& prev,
+                                          const std::string& first_alias) {
+    auto dewey = [](const std::string& a) {
+      return Col(a, shred::kDeweyColumn);
+    };
+    auto upper = [&](const std::string& a) {
+      return Concat(dewey(a), LitBytes(kDeweyMaxByte));
+    };
+    std::string cur = prev;
+    bool first_used = false;
+    auto next_alias = [&]() {
+      if (!first_used) {
+        first_used = true;
+        return first_alias;
+      }
+      std::string a = NewAlias();
+      stmt_->from.push_back({shred::kEdgeTable, a});
+      return a;
+    };
+    auto add_hop = [&](bool descendant_hop, const std::string& name_pattern) {
+      std::string nxt = next_alias();
+      if (descendant_hop) {
+        AddWhere(rel::And(
+            Bin(SqlExpr::BinOp::kGt, dewey(nxt), dewey(cur)),
+            Bin(SqlExpr::BinOp::kLt, dewey(nxt), upper(cur))));
+      } else {
+        AddWhere(rel::Eq(Col(nxt, shred::kEdgeParColumn),
+                         Col(cur, shred::kIdColumn)));
+      }
+      if (name_pattern != "[^/]+") {
+        AddWhere(PathRegexCondition(nxt, "^.*/" + name_pattern + "$"));
+      }
+      cur = nxt;
+    };
+    bool pending_descendant = false;
+    for (const xpath::Step* step : ppf.steps) {
+      switch (step->axis) {
+        case Axis::kSelf: {
+          std::string pat = NodeTestPattern(*step);
+          if (pat != "[^/]+") {
+            AddWhere(PathRegexCondition(cur, "^.*/" + pat + "$"));
+          }
+          break;
+        }
+        case Axis::kChild:
+          add_hop(pending_descendant, NodeTestPattern(*step));
+          pending_descendant = false;
+          break;
+        case Axis::kDescendant:
+          add_hop(true, NodeTestPattern(*step));
+          pending_descendant = false;
+          break;
+        case Axis::kDescendantOrSelf:
+          if (step->test == NodeTestKind::kAnyNode) {
+            pending_descendant = true;  // the '//' connector
+          } else {
+            // Name-tested -or-self steps are expanded away beforehand.
+            add_hop(true, NodeTestPattern(*step));
+            pending_descendant = false;
+          }
+          break;
+        default:
+          return Status::Unsupported(
+              "edge mapping: unsupported axis in a non-rooted forward "
+              "fragment");
+      }
+    }
+    if (pending_descendant) add_hop(true, "[^/]+");
+    if (!first_used) {
+      // All-self fragment: bind the pre-registered alias to the context.
+      AddWhere(rel::Eq(Col(first_alias, shred::kIdColumn),
+                       Col(cur, shred::kIdColumn)));
+      return first_alias;
+    }
+    return cur;
+  }
+
   Result<std::string> ProcessPpf(const Ppf& ppf, const std::string& prev,
                                  const Step* prev_prominent, PathPattern& fwd,
                                  bool contiguous) {
@@ -156,6 +241,7 @@ class EdgeBranchTranslator {
 
     // Path filtering: the Edge mapping has no schema marking, so every PPF
     // joins Paths (Algorithm 1 lines 2-7 without the 4.5 shortcut).
+    bool joined = false;  // structural join already emitted below?
     if (ppf.kind == PpfKind::kForward) {
       if (!contiguous) {
         fwd = PathPattern::Unrooted();
@@ -168,7 +254,16 @@ class EdgeBranchTranslator {
         AddWhere(rel::Eq(LitInt(1), LitInt(0)));
         return alias;
       }
-      AddWhere(PathRegexCondition(alias, fwd.ToRegex()));
+      if (!fwd.rooted() && !prev.empty()) {
+        // A non-rooted collapsed pattern is alignment-unsafe; walk the
+        // fragment step by step instead (joins emitted inline).
+        auto chained = PerStepForwardChain(ppf, prev, alias);
+        if (!chained.ok()) return chained.status();
+        alias = std::move(chained).value();
+        joined = true;
+      } else {
+        AddWhere(PathRegexCondition(alias, fwd.ToRegex()));
+      }
     } else if (ppf.kind == PpfKind::kBackward) {
       if (!prev.empty()) {
         std::string ctx_pattern = prev_prominent != nullptr
@@ -179,13 +274,19 @@ class EdgeBranchTranslator {
       }
       AddWhere(PathRegexCondition(
           alias, "^.*/" + NodeTestPattern(ppf.prominent()) + "$"));
+      // The forward pattern now describes *this* alias, not the previous
+      // one; predicate paths below must extend from here.
+      fwd = PathPattern::Unrooted();
+      fwd.AppendChild(NodeTestPattern(ppf.prominent()));
     } else {  // order axes
       AddWhere(PathRegexCondition(
           alias, "^.*/" + NodeTestPattern(ppf.prominent()) + "$"));
+      fwd = PathPattern::Unrooted();
+      fwd.AppendChild(NodeTestPattern(ppf.prominent()));
     }
 
     // Structural join (Table 2, FK for single child/parent steps).
-    if (!prev.empty()) {
+    if (!prev.empty() && !joined) {
       auto dewey = [](const std::string& a) {
         return Col(a, shred::kDeweyColumn);
       };
@@ -234,9 +335,12 @@ class EdgeBranchTranslator {
       }
     }
 
-    // Predicates of the prominent step.
+    // Predicates of the prominent step. After the per-kind handling above,
+    // `fwd` accurately describes this alias's root-to-node path (possibly
+    // as an unrooted suffix), so predicate paths may extend it directly.
+    bool fwd_exact = ppf.kind == PpfKind::kForward ? contiguous : true;
     for (const xpath::ExprPtr& pred : ppf.prominent().predicates) {
-      auto cond = TranslatePredicate(alias, &ppf.prominent(), fwd, contiguous,
+      auto cond = TranslatePredicate(alias, &ppf.prominent(), fwd, fwd_exact,
                                      *pred);
       if (!cond.ok()) return cond.status();
       AddWhere(std::move(cond).value());

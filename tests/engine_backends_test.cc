@@ -142,5 +142,27 @@ std::vector<Case> AllCases() {
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendAgreementTest,
                          ::testing::ValuesIn(AllCases()), CaseName);
 
+TEST(EngineExecutionTest, PlanCacheReusedAndExistsMemoCounted) {
+  Corpus& corpus = XMarkCorpus();
+  XPathEngine& eng = *corpus.engine;
+  // XPathMark Q23: three correlated EXISTS predicates per person.
+  const char* q = "/site/people/person[address and (phone or homepage)]";
+  auto first = eng.Run(Backend::kPpf, q);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  size_t cached = eng.plan_cache_size();
+  EXPECT_GE(cached, 1u);
+  auto second = eng.Run(Backend::kPpf, q);
+  ASSERT_TRUE(second.ok());
+  // Same query: answered from the plan cache, identical result.
+  EXPECT_EQ(eng.plan_cache_size(), cached);
+  EXPECT_EQ(first.value().nodes, second.value().nodes);
+  // The EXISTS memo counters must account for every subquery evaluation.
+  const rel::QueryStats& stats = second.value().stats;
+  EXPECT_GT(stats.subquery_evals, 0u);
+  EXPECT_GT(stats.exists_cache_misses, 0u);
+  EXPECT_EQ(stats.exists_cache_hits + stats.exists_cache_misses,
+            stats.subquery_evals);
+}
+
 }  // namespace
 }  // namespace xprel

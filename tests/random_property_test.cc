@@ -106,6 +106,16 @@ class QueryGen {
     return out;
   }
 
+  // A full query: usually a single path, sometimes a '|' union of two —
+  // unions drive the executor's multi-block dedup + ordering path.
+  std::string Query(int max_steps, bool allow_predicates) {
+    std::string q = Path(max_steps, allow_predicates);
+    if (rng_() % 4 == 0) {
+      q += " | " + Path(max_steps, allow_predicates);
+    }
+    return q;
+  }
+
  private:
   const char* Pick(std::initializer_list<const char*> options) {
     auto it = options.begin();
@@ -213,7 +223,7 @@ TEST_P(RandomPropertyTest, AllBackendsMatchOracle) {
   QueryGen gen(seed * 7919 + 13);
   int checked = 0;
   for (int q = 0; q < 60; ++q) {
-    std::string xpath = gen.Path(4, /*allow_predicates=*/true);
+    std::string xpath = gen.Query(4, /*allow_predicates=*/true);
     auto expected = oracle.EvaluateString(xpath);
     if (!expected.ok()) continue;  // oracle-unsupported shape
     for (engine::Backend b :
@@ -231,6 +241,14 @@ TEST_P(RandomPropertyTest, AllBackendsMatchOracle) {
       EXPECT_EQ(expected.value(), actual.value().nodes)
           << "query " << xpath << " on " << BackendName(b);
       ++checked;
+      // Run again: the second execution reuses the cached plan and must
+      // agree (guards the plan cache and the per-execution EXISTS memo /
+      // hash-table state against leaking between runs).
+      auto again = engine.value()->Run(b, xpath);
+      ASSERT_TRUE(again.ok()) << xpath << " on " << BackendName(b)
+                              << " (cached): " << again.status().ToString();
+      EXPECT_EQ(expected.value(), again.value().nodes)
+          << "query " << xpath << " on " << BackendName(b) << " (cached)";
     }
   }
   // The sweep must be exercising real queries, not skipping everything.

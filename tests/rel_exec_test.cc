@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "rel/key_codec.h"
 #include "rel/query.h"
 
@@ -242,6 +246,120 @@ TEST_F(RelExecTest, TableErrors) {
   EXPECT_FALSE(b->Insert({Value::Int(10), Value::Null(), Value::Str("dup"),
                           Value::Int(0)}).ok());
   EXPECT_FALSE(db_.CreateTable({.name = "books"}).ok());
+}
+
+TEST_F(RelExecTest, ExistsMemoizationHitsOnRepeatedKeys) {
+  // Books whose author exists. The EXISTS is correlated on b.author_id,
+  // which repeats (1, 2, 1, NULL) across the outer scan: the third book
+  // must be answered from the semi-join memo, not by re-running the
+  // subplan.
+  SelectStmt s;
+  s.select.push_back({Col("b", "title"), "title"});
+  s.from = {{"books", "b"}};
+  auto sub = std::make_unique<SelectStmt>();
+  sub->from = {{"authors", "a"}};
+  sub->where = rel::Eq(Col("a", "id"), Col("b", "author_id"));
+  s.where = Exists(std::move(sub));
+  QueryStats stats;
+  auto r = ExecuteSelect(db_, s, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows.size(), 3u);  // NULL author_id fails EXISTS
+  EXPECT_EQ(stats.subquery_evals, 4u);
+  EXPECT_EQ(stats.exists_cache_misses, 3u);  // keys 1, 2, NULL
+  EXPECT_EQ(stats.exists_cache_hits, 1u);    // second book with author 1
+}
+
+TEST_F(RelExecTest, EquiJoinRowsScannedUpperBound) {
+  // Regression guard for the planner/executor contract: the indexed
+  // equijoin must probe, not nest seq scans. A degradation to SeqScan on
+  // the inner side would scan 3 + 3*4 = 15 rows; the probing plan touches
+  // each author plus only the matching books.
+  SelectStmt s;
+  s.select.push_back({Col("a", "name"), "name"});
+  s.select.push_back({Col("b", "title"), "title"});
+  s.from = {{"authors", "a"}, {"books", "b"}};
+  s.where = rel::Eq(Col("b", "author_id"), Col("a", "id"));
+  QueryStats stats;
+  auto r = ExecuteSelect(db_, s, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 3u);
+  EXPECT_LE(stats.rows_scanned, 8u) << "inner side degraded to SeqScan?";
+  EXPECT_GE(stats.index_probes, 3u);
+}
+
+TEST_F(RelExecTest, UnionOrderByNotProjectedSortsDeterministically) {
+  // ORDER BY year, but only title is projected: the per-position column
+  // mapping fails, and the union must fall back to a deterministic
+  // full-row sort instead of silently emitting blocks in arrival order.
+  SqlQuery q;
+  for (int id : {10, 12}) {  // TAOCP first, Concrete Math second
+    auto s = std::make_unique<SelectStmt>();
+    s->select.push_back({Col("b", "title"), "title"});
+    s->from = {{"books", "b"}};
+    s->where = rel::Eq(Col("b", "id"), LitInt(id));
+    s->order_by.push_back({Col("b", "year"), true});
+    q.selects.push_back(std::move(s));
+  }
+  auto r = ExecuteQuery(db_, q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 2u);
+  // Arrival order is [TAOCP, Concrete Math]; the fallback sort must apply.
+  EXPECT_EQ(r.value().rows[0][0].AsString(), "Concrete Math");
+  EXPECT_EQ(r.value().rows[1][0].AsString(), "TAOCP");
+}
+
+TEST_F(RelExecTest, HashProbeBuildsTableOnce) {
+  // An unindexed string-column equijoin against a large-enough inner table
+  // plans as kHashProbe; the build side must run exactly once even though
+  // the step is probed once per outer row.
+  TableSchema tags;
+  tags.name = "tags";
+  tags.columns = {{"title", ValueType::kString, false},
+                  {"tag", ValueType::kString, false}};
+  Table* t = db_.CreateTable(std::move(tags)).value();
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_TRUE(t->Insert({Value::Str("filler" + std::to_string(i)),
+                           Value::Str("none")}).ok());
+  }
+  ASSERT_TRUE(t->Insert({Value::Str("TAOCP"), Value::Str("classic")}).ok());
+  ASSERT_TRUE(
+      t->Insert({Value::Str("Concrete Math"), Value::Str("classic")}).ok());
+
+  SelectStmt s;
+  s.select.push_back({Col("b", "id"), "id"});
+  s.select.push_back({Col("t", "tag"), "tag"});
+  s.from = {{"books", "b"}, {"tags", "t"}};
+  s.where = rel::Eq(Col("t", "title"), Col("b", "title"));
+  auto plan = PlanSelect(db_, s, nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan.value()->Describe().find("HashProbe"), std::string::npos)
+      << plan.value()->Describe();
+  QueryStats stats;
+  auto r = ExecutePlan(*plan.value(), &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 2u);
+  EXPECT_EQ(stats.hash_tables_built, 1u);
+}
+
+TEST_F(RelExecTest, UnorderedExecutionSkipsSortButKeepsRows) {
+  // need_ordered_rows = false must return the same row set (DISTINCT
+  // included), just without the ORDER BY guarantee.
+  SelectStmt s;
+  s.distinct = true;
+  s.select.push_back({Col("b", "author_id"), "author_id"});
+  s.from = {{"books", "b"}};
+  s.order_by.push_back({Col("b", "author_id"), true});
+  auto plan = PlanSelect(db_, s, nullptr);
+  ASSERT_TRUE(plan.ok());
+  auto ordered = ExecutePlan(*plan.value(), nullptr, true);
+  auto unordered = ExecutePlan(*plan.value(), nullptr, false);
+  ASSERT_TRUE(ordered.ok());
+  ASSERT_TRUE(unordered.ok());
+  ASSERT_EQ(ordered.value().rows.size(), 3u);  // NULL, 1, 2
+  std::vector<Row> a = std::move(ordered.value().rows);
+  std::vector<Row> b = std::move(unordered.value().rows);
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace
