@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fail CI when the BENCH_micro query suite regresses.
+
+Runs `bench_micro --json` (or takes an already-produced JSON) and compares
+the per-query timings against the committed baseline BENCH_micro.json.
+Exits non-zero if the geomean slows down by more than --threshold
+(default 20%), or if any query's node count diverges from the baseline —
+a perf harness that silently changes its answers is measuring nothing.
+
+Usage:
+  bench/check_regression.py --bench-bin build/bench/bench_micro
+  bench/check_regression.py --candidate build/bench/BENCH_micro.json
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load(path):
+    with open(path) as f:
+        return {rec["query"]: rec for rec in json.load(f)}
+
+
+def geomean_ratio(baseline, candidate):
+    """Geomean over shared queries of candidate_ms / baseline_ms."""
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        sys.exit("error: no queries in common between baseline and candidate")
+    log_sum = 0.0
+    for q in shared:
+        b = max(baseline[q]["ms"], 1e-6)
+        c = max(candidate[q]["ms"], 1e-6)
+        log_sum += math.log(c / b)
+    return math.exp(log_sum / len(shared)), shared
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline",
+                    default=os.path.join(REPO_ROOT, "BENCH_micro.json"),
+                    help="committed baseline JSON (default: repo root)")
+    ap.add_argument("--candidate",
+                    help="candidate JSON; omit to run --bench-bin instead")
+    ap.add_argument("--bench-bin",
+                    default=os.path.join(REPO_ROOT, "build", "bench",
+                                         "bench_micro"),
+                    help="bench_micro binary used when --candidate is absent")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional geomean slowdown (default 0.20)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+
+    if args.candidate:
+        candidate = load(args.candidate)
+    else:
+        # bench_micro writes BENCH_micro.json into its cwd; run it in a
+        # scratch dir so the committed baseline is never clobbered.
+        with tempfile.TemporaryDirectory() as tmp:
+            subprocess.run([os.path.abspath(args.bench_bin), "--json"],
+                           cwd=tmp, check=True)
+            candidate = load(os.path.join(tmp, "BENCH_micro.json"))
+
+    mismatched = [q for q in sorted(set(baseline) & set(candidate))
+                  if baseline[q]["nodes"] != candidate[q]["nodes"]]
+    if mismatched:
+        for q in mismatched:
+            print(f"FAIL {q}: node count {candidate[q]['nodes']} != "
+                  f"baseline {baseline[q]['nodes']}")
+        print("note: node counts scale with XPREL_XMARK_SMALL_SCALE; compare "
+              "runs at the scale the baseline was generated with (default).")
+        return 1
+
+    ratio, shared = geomean_ratio(baseline, candidate)
+    print(f"geomean candidate/baseline ms ratio: {ratio:.3f} "
+          f"over {len(shared)} queries (>1 is slower)")
+    worst = max(shared, key=lambda q: candidate[q]["ms"] / max(baseline[q]["ms"], 1e-6))
+    print(f"worst query: {worst} "
+          f"({baseline[worst]['ms']:.3f} ms -> {candidate[worst]['ms']:.3f} ms)")
+    if ratio > 1.0 + args.threshold:
+        print(f"FAIL: geomean regressed more than {args.threshold:.0%}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

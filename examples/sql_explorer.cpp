@@ -1,7 +1,8 @@
 // SQL explorer: prints the SQL every translator produces for a given XPath
 // expression, side by side — a window into what each of the paper's systems
-// actually executes. Reads the XPath from the command line (or uses a
-// default), against the XMark schema.
+// actually executes — followed by the executor's access plan (join strategy
+// per step, bitmap pre-filters, semi-join builds). Reads the XPath from the
+// command line (or uses a default), against the XMark schema.
 //
 //   ./examples/sql_explorer "//keyword/ancestor::listitem"
 
@@ -47,6 +48,13 @@ int main(int argc, char** argv) {
       std::printf("%s\n", sql.value().c_str());
     } else {
       std::printf("(%s)\n", sql.status().ToString().c_str());
+      continue;
+    }
+    auto plan = engine.value()->ExplainPlan(b, xpath);
+    if (plan.ok()) {
+      std::printf("plan:\n%s", plan.value().c_str());
+    } else {
+      std::printf("plan: (%s)\n", plan.status().ToString().c_str());
     }
   }
   std::printf("\n--- %s ---\n(no SQL: native staircase-join evaluation)\n",

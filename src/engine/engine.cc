@@ -127,7 +127,10 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
   if (options_.enable_plan_cache) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) return it->second;
+    if (it != plan_cache_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      return it->second->query;
+    }
   }
 
   Result<translate::TranslatedQuery> q = Status::Internal("unset");
@@ -178,12 +181,41 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
 
   if (options_.enable_plan_cache) {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    // Crude but sufficient bound: workloads repeat a small query set; on
-    // overflow drop everything rather than track recency.
-    if (plan_cache_.size() >= 4096) plan_cache_.clear();
-    plan_cache_.emplace(std::move(key), entry);
+    auto it = plan_cache_.find(key);
+    if (it == plan_cache_.end()) {
+      cache_lru_.push_front(CacheEntry{key, entry});
+      plan_cache_.emplace(std::move(key), cache_lru_.begin());
+      size_t cap = options_.plan_cache_capacity;
+      while (cap != 0 && cache_lru_.size() > cap) {
+        plan_cache_.erase(cache_lru_.back().key);
+        cache_lru_.pop_back();
+      }
+    }
   }
   return std::shared_ptr<const CachedQuery>(entry);
+}
+
+Result<std::string> XPathEngine::ExplainPlan(Backend backend,
+                                             std::string_view xpath) const {
+  if (backend == Backend::kStaircase) {
+    return Status::InvalidArgument(
+        "the staircase backend evaluates natively, without SQL plans");
+  }
+  auto cached = GetOrBuildQuery(backend, xpath);
+  if (!cached.ok()) return cached.status();
+  const CachedQuery& cq = *cached.value();
+  if (cq.translated.statically_empty) {
+    return std::string("(statically empty: no rows can match)\n");
+  }
+  std::string out;
+  for (size_t i = 0; i < cq.plans.size(); ++i) {
+    if (cq.plans.size() > 1) {
+      out += "-- block " + std::to_string(i + 1) + " of " +
+             std::to_string(cq.plans.size()) + "\n";
+    }
+    out += cq.plans[i]->Describe();
+  }
+  return out;
 }
 
 Result<QueryOutcome> XPathEngine::Run(Backend backend,

@@ -1,6 +1,7 @@
 #ifndef XPREL_ENGINE_ENGINE_H_
 #define XPREL_ENGINE_ENGINE_H_
 
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,10 @@ struct EngineOptions {
   // Cache (backend, xpath) -> translated SQL + compiled plans, so repeated
   // Run() calls skip parse/translate/plan entirely.
   bool enable_plan_cache = true;
+  // Maximum number of cached (backend, xpath) entries; least-recently-used
+  // entries are evicted past this bound. 0 means unbounded. Entries are
+  // shared_ptr-held, so an execution holding an evicted entry stays valid.
+  size_t plan_cache_capacity = 4096;
   translate::TranslateOptions ppf_options;
 };
 
@@ -64,6 +69,12 @@ class XPathEngine {
   // Translation only (no execution); not meaningful for kStaircase.
   Result<std::string> TranslateToSql(Backend backend,
                                      std::string_view xpath) const;
+
+  // Human-readable access plan for every SELECT block of the translated
+  // query (join strategy per step, bitmap pre-filters, semi-join builds).
+  // Not meaningful for kStaircase.
+  Result<std::string> ExplainPlan(Backend backend,
+                                  std::string_view xpath) const;
 
   const shred::SchemaAwareStore* ppf_store() const { return ppf_store_.get(); }
   const shred::EdgeStore* edge_store() const { return edge_store_.get(); }
@@ -101,9 +112,16 @@ class XPathEngine {
 
   // Plan cache, keyed by backend + '\n' + xpath. Guarded by cache_mu_ so
   // concurrent readers of one engine stay safe; execution happens outside
-  // the lock on the immutable shared entries.
+  // the lock on the immutable shared entries. LRU order lives in
+  // cache_lru_ (most recent at the front); plan_cache_ maps each key to
+  // its list node, so hits splice in O(1) and eviction pops the back.
+  struct CacheEntry {
+    std::string key;
+    std::shared_ptr<const CachedQuery> query;
+  };
   mutable std::mutex cache_mu_;
-  mutable std::unordered_map<std::string, std::shared_ptr<const CachedQuery>>
+  mutable std::list<CacheEntry> cache_lru_;
+  mutable std::unordered_map<std::string, std::list<CacheEntry>::iterator>
       plan_cache_;
 };
 

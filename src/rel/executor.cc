@@ -115,6 +115,21 @@ struct ExecContext {
       exists_memo;
   std::string memo_key;  // reusable key-encoding buffer
 
+  // Decorrelated EXISTS key sets (see Plan::semijoin_keys), built once per
+  // execution per subplan by running the subplan's uncorrelated build plan.
+  struct SemiSet {
+    bool built = false;
+    bool failed = false;  // build plan errored: always fall back
+    std::unordered_set<std::string> keys;
+  };
+  std::unordered_map<const Plan*, SemiSet> semi_sets;
+
+  // When non-null, RunSteps records the RowId bound at each step index here.
+  // The merge-join driver uses it to snapshot the outer tuple feeding the
+  // merge. EXISTS subplan execution nulls it out (subplan step indexes would
+  // clobber the outer plan's entries).
+  std::vector<RowId>* trace = nullptr;
+
   // Stack of key-encoding buffer pairs handed to RunSteps frames (deque:
   // stable addresses across growth). Capacity persists across probes, so
   // steady-state probing never allocates for key bounds.
@@ -144,6 +159,13 @@ class KeyBufs {
 Value EvalExpr(const CompiledExpr& e, Binding& b, ExecContext& ctx);
 
 bool ExecExists(const Plan& subplan, Binding& b, ExecContext& ctx);
+
+// Decorrelated EXISTS: answers via the build-once semi-join key set.
+// nullopt = the probe value cannot be mapped onto the inner key encoding
+// (e.g. a numeric probe against a text column) — caller falls back to the
+// memoized per-row subplan run. Updates the EXISTS cache counters itself.
+std::optional<bool> ProbeSemiJoin(const Plan& sub, Binding& b,
+                                  ExecContext& ctx);
 
 // Evaluates `e` without copying when the result already lives somewhere
 // stable: columns alias table storage, literals alias the compiled plan.
@@ -249,6 +271,10 @@ Value EvalExpr(const CompiledExpr& e, Binding& b, ExecContext& ctx) {
     }
     case SqlExpr::Kind::kExists: {
       if (ctx.stats != nullptr) ++ctx.stats->subquery_evals;
+      if (e.subplan->semijoin_decorrelated) {
+        auto r = ProbeSemiJoin(*e.subplan, b, ctx);
+        if (r.has_value()) return Value::Int(*r ? 1 : 0);
+      }
       auto& memo = ctx.exists_memo[&e];
       ctx.memo_key.clear();
       for (int s : e.correlated_slots) {
@@ -374,22 +400,29 @@ void BindRow(const Table& table, RowId rid, int offset, Binding& b) {
   }
 }
 
-// Runs steps [i..) of the plan; calls `emit` on every full binding. `emit`
-// returns false to abort enumeration (EXISTS short-circuit). Returns false
-// if enumeration was aborted.
-bool RunSteps(const Plan& plan, size_t i, Binding& b, ExecContext& ctx,
-              const std::function<bool()>& emit) {
-  if (i == plan.steps.size()) return emit();
+// Runs steps [i..end) of the plan; calls `emit` on every binding covering
+// them. `emit` returns false to abort enumeration (EXISTS short-circuit).
+// Returns false if enumeration was aborted. Merge-join steps are not handled
+// here — ExecSteps segments the pipeline around them.
+bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
+              ExecContext& ctx, const std::function<bool()>& emit) {
+  if (i == end) return emit();
   const AccessStep& step = plan.steps[i];
   const Table& table = *step.table;
 
   auto try_row = [&](RowId rid) -> bool {
+    for (const RowBitmap* bm : step.bitmap_filters) {
+      if (ctx.stats != nullptr) ++ctx.stats->bitmap_prefilter_tests;
+      if (!bm->Test(rid)) return true;
+      if (ctx.stats != nullptr) ++ctx.stats->bitmap_prefilter_hits;
+    }
     if (ctx.stats != nullptr) ++ctx.stats->rows_scanned;
     BindRow(table, rid, step.bind_offset, b);
+    if (ctx.trace != nullptr) (*ctx.trace)[i] = rid;
     for (const CompiledExpr* f : step.cfilters) {
       if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return true;
     }
-    return RunSteps(plan, i + 1, b, ctx, emit);
+    return RunSteps(plan, i + 1, end, b, ctx, emit);
   };
 
   switch (step.path) {
@@ -507,34 +540,267 @@ bool RunSteps(const Plan& plan, size_t i, Binding& b, ExecContext& ctx,
       if (!ht.built) {
         ht.built = true;
         if (ctx.stats != nullptr) ++ctx.stats->hash_tables_built;
+        std::string kbuf;
         for (RowId rid = 0; rid < table.row_count(); ++rid) {
           const Value& v = table.row(rid)[static_cast<size_t>(step.hash_column)];
-          auto t = v.ToText();
-          if (t) ht.map[std::move(*t)].push_back(rid);
+          // Values of a foreign type never land in the probed key space
+          // (mirrors an index probe, which scans only the key's tag region).
+          if (v.is_null() || v.type() != step.hash_key_type) continue;
+          kbuf.clear();
+          AppendEncodedValue(v, kbuf);
+          ht.map[kbuf].push_back(rid);
         }
       }
       Value t0;
-      const Value& key = EvalRef(*step.chash_key, b, ctx, t0);
-      if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-      const std::vector<RowId>* matches = nullptr;
-      if (IsStringLike(key)) {
-        auto it = ht.map.find(key.AsStringLike());
-        if (it == ht.map.end()) return true;
-        matches = &it->second;
-      } else {
-        auto kt = key.ToText();
-        if (!kt) return true;
-        auto it = ht.map.find(*kt);
-        if (it == ht.map.end()) return true;
-        matches = &it->second;
+      const Value& raw = EvalRef(*step.chash_key, b, ctx, t0);
+      if (raw.is_null()) return true;  // NULL key matches nothing
+      // A numeric probe against a text column compares by parsing each row's
+      // text (CompareValues semantics); no single encoded key represents
+      // that, so fall back to the full scan — cfilters re-check the join
+      // conjunct, so this is slow, never wrong.
+      if ((step.hash_key_type == ValueType::kString ||
+           step.hash_key_type == ValueType::kBytes) &&
+          !IsStringLike(raw)) {
+        for (RowId rid = 0; rid < table.row_count(); ++rid) {
+          if (!try_row(rid)) return false;
+        }
+        return true;
       }
-      for (RowId rid : *matches) {
+      Value t1;
+      const Value& key = CoerceRef(raw, step.hash_key_type, t1);
+      if (key.is_null()) return true;
+      if (ctx.stats != nullptr) ++ctx.stats->hash_join_probes;
+      KeyBufs kb(ctx);
+      std::string& kbuf = kb.lo();
+      kbuf.clear();
+      AppendEncodedValue(key, kbuf);
+      auto it = ht.map.find(kbuf);
+      if (it == ht.map.end()) return true;
+      for (RowId rid : it->second) {
+        if (!try_row(rid)) return false;
+      }
+      return true;
+    }
+    case AccessPathKind::kMergeJoin: {
+      // Reached only when the merge driver is bypassed (defensive fallback):
+      // enumerate the pre-sorted inner rows; cfilters carry the original
+      // join conjuncts, so this degrades to a filtered scan, not a wrong
+      // answer.
+      for (RowId rid : step.merge_order) {
         if (!try_row(rid)) return false;
       }
       return true;
     }
   }
   return true;
+}
+
+bool ExecSteps(const Plan& plan, size_t i, Binding& b, ExecContext& ctx,
+               const std::function<bool()>& emit);
+
+// Executes the merge-join step at index `m`: batches the outer tuples
+// produced by steps [seg_begin, m), sorts them by the join key, and sweeps
+// the pre-sorted inner rows in one synchronized pass. kAncestor mode keeps a
+// stack of inner runs forming a prefix chain of the current (ascending)
+// outer key; kRange mode keeps a monotone start frontier. Both only skip
+// inner rows that provably cannot satisfy the join conjuncts — which stay in
+// the step's cfilters and are re-checked per match, so the sweep may
+// over-approximate freely.
+bool ExecMerge(const Plan& plan, size_t seg_begin, size_t m, Binding& b,
+               ExecContext& ctx, const std::function<bool()>& emit) {
+  const AccessStep& step = plan.steps[m];
+  if (ctx.trace == nullptr) {
+    // No outer-tuple snapshotting available: degrade to the nested-loop
+    // fallback (RunSteps enumerates merge_order behind cfilters).
+    return RunSteps(plan, seg_begin, plan.steps.size(), b, ctx, emit);
+  }
+  if (ctx.stats != nullptr) ++ctx.stats->merge_join_rounds;
+
+  const bool ancestor = step.merge_mode == MergeJoinMode::kAncestor;
+  const size_t width = m - seg_begin;
+
+  // One outer tuple: the rows bound for the segment plus its join key,
+  // evaluated at collection time (the binding is live then).
+  struct OuterTuple {
+    std::vector<RowId> rids;
+    std::string key;  // kAncestor: the Dewey payload to find prefixes of
+    Value lo, hi;     // kRange: bounds coerced to the column type
+  };
+  std::vector<OuterTuple> outers;
+
+  RunSteps(plan, seg_begin, m, b, ctx, [&]() {
+    OuterTuple t;
+    if (ancestor) {
+      Value t0;
+      const Value& v = EvalRef(*step.cprobe_value, b, ctx, t0);
+      // A NULL or non-text key satisfies no prefix conjunct: drop the tuple.
+      if (v.is_null() || !IsStringLike(v)) return true;
+      t.key.assign(v.AsStringLike());
+    } else {
+      if (step.crange_lo != nullptr) {
+        t.lo = CoerceForColumn(EvalExpr(*step.crange_lo, b, ctx),
+                               step.range_type);
+        if (t.lo.is_null()) return true;  // unknown bound: no matches
+      }
+      if (step.crange_hi != nullptr) {
+        t.hi = CoerceForColumn(EvalExpr(*step.crange_hi, b, ctx),
+                               step.range_type);
+        if (t.hi.is_null()) return true;
+      }
+    }
+    t.rids.reserve(width);
+    for (size_t s = seg_begin; s < m; ++s) {
+      t.rids.push_back((*ctx.trace)[s]);
+    }
+    outers.push_back(std::move(t));
+    return true;
+  });
+  if (outers.empty()) return true;
+
+  if (ancestor) {
+    std::sort(outers.begin(), outers.end(),
+              [](const OuterTuple& a, const OuterTuple& b) {
+                return a.key < b.key;
+              });
+  } else if (step.crange_lo != nullptr) {
+    std::sort(outers.begin(), outers.end(),
+              [](const OuterTuple& a, const OuterTuple& b) {
+                auto c = CompareValues(a.lo, b.lo);
+                return c.has_value() && *c < 0;
+              });
+  }
+
+  const std::vector<RowId>& inner = step.merge_order;
+  auto inner_val = [&](size_t idx) -> const Value& {
+    return step.table
+        ->row(inner[idx])[static_cast<size_t>(step.merge_column)];
+  };
+
+  // Rebinds the outer segment's rows, then feeds one inner match through the
+  // merge step's residual filters and on to the rest of the pipeline.
+  auto process = [&](size_t inner_idx) -> bool {
+    RowId rid = inner[inner_idx];
+    if (ctx.stats != nullptr) ++ctx.stats->rows_scanned;
+    BindRow(*step.table, rid, step.bind_offset, b);
+    (*ctx.trace)[m] = rid;
+    for (const CompiledExpr* f : step.cfilters) {
+      if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return true;
+    }
+    return ExecSteps(plan, m + 1, b, ctx, emit);
+  };
+  auto rebind_outer = [&](const OuterTuple& t) {
+    for (size_t s = seg_begin; s < m; ++s) {
+      const AccessStep& os = plan.steps[s];
+      RowId rid = t.rids[s - seg_begin];
+      BindRow(*os.table, rid, os.bind_offset, b);
+      (*ctx.trace)[s] = rid;
+    }
+  };
+
+  if (ancestor) {
+    // Inner rows sorted ascending; outer keys ascending. Maintain a stack of
+    // runs of equal inner values, each a (not necessarily proper) prefix of
+    // the current outer key — these are exactly the candidate ancestors.
+    // Once an inner value stops being a prefix of the (ever-growing) outer
+    // key it can never be a prefix again, so each run is pushed and popped
+    // at most once: O(outer + inner) total.
+    struct Run {
+      size_t begin, end;  // [begin, end) in `inner`, all equal values
+    };
+    std::vector<Run> stack;
+    size_t pos = 0;
+    for (const OuterTuple& t : outers) {
+      std::string_view k = t.key;
+      while (!stack.empty()) {
+        std::string_view s = inner_val(stack.back().begin).AsStringLike();
+        if (s.size() <= k.size() && k.compare(0, s.size(), s) == 0) break;
+        stack.pop_back();
+      }
+      while (pos < inner.size()) {
+        const Value& v = inner_val(pos);
+        if (v.is_null() || !IsStringLike(v)) {
+          ++pos;  // cannot be anyone's prefix
+          continue;
+        }
+        std::string_view s = v.AsStringLike();
+        if (s > k) break;
+        size_t end = pos + 1;
+        while (end < inner.size()) {
+          const Value& w = inner_val(end);
+          if (w.is_null() || !IsStringLike(w) || w.AsStringLike() != s) break;
+          ++end;
+        }
+        if (s.size() <= k.size() && k.compare(0, s.size(), s) == 0) {
+          stack.push_back({pos, end});
+        }
+        pos = end;
+      }
+      if (stack.empty()) continue;
+      rebind_outer(t);
+      for (const Run& r : stack) {
+        for (size_t j = r.begin; j < r.end; ++j) {
+          if (!process(j)) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Range mode: outers sorted by lower bound; a start frontier advances past
+  // inner rows below every later bound too (staircase skipping), then each
+  // tuple scans forward until its upper bound cuts off.
+  const bool has_lo = step.crange_lo != nullptr;
+  const bool has_hi = step.crange_hi != nullptr;
+  size_t start = 0;
+  for (const OuterTuple& t : outers) {
+    if (has_lo) {
+      while (start < inner.size()) {
+        const Value& v = inner_val(start);
+        if (!v.is_null() && v.type() == step.range_type) {
+          auto c = CompareValues(v, t.lo);
+          if (c.has_value() &&
+              (step.range_lo_inclusive ? *c >= 0 : *c > 0)) {
+            break;
+          }
+        }
+        ++start;
+      }
+    }
+    bool bound_outer = false;
+    for (size_t j = start; j < inner.size(); ++j) {
+      const Value& v = inner_val(j);
+      // Foreign-type rows sort outside the column type's key region; they
+      // match nothing (same contract as an index range scan).
+      if (v.is_null() || v.type() != step.range_type) continue;
+      if (has_hi) {
+        auto c = CompareValues(v, t.hi);
+        if (!c.has_value()) continue;
+        if (*c > 0 || (*c == 0 && !step.range_hi_inclusive)) break;
+      }
+      if (!bound_outer) {
+        rebind_outer(t);
+        bound_outer = true;
+      }
+      if (!process(j)) return false;
+    }
+  }
+  return true;
+}
+
+// Drives steps [i..) of the plan, segmenting the pipeline at merge-join
+// steps (which batch their outer side) and running everything else through
+// the row-at-a-time RunSteps.
+bool ExecSteps(const Plan& plan, size_t i, Binding& b, ExecContext& ctx,
+               const std::function<bool()>& emit) {
+  size_t m = i;
+  while (m < plan.steps.size() &&
+         plan.steps[m].path != AccessPathKind::kMergeJoin) {
+    ++m;
+  }
+  if (m == plan.steps.size()) {
+    return RunSteps(plan, i, m, b, ctx, emit);
+  }
+  return ExecMerge(plan, i, m, b, ctx, emit);
 }
 
 // Evaluates EXISTS for `subplan` in the shared binding. The binding spans
@@ -547,12 +813,172 @@ bool ExecExists(const Plan& subplan, Binding& b, ExecContext& ctx) {
   for (const CompiledExpr* f : subplan.compiled_post_filters) {
     if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return false;
   }
+  // Subplan step indexes would clobber the outer plan's trace entries.
+  std::vector<RowId>* saved_trace = ctx.trace;
+  ctx.trace = nullptr;
   bool found = false;
-  RunSteps(subplan, 0, b, ctx, [&]() {
+  RunSteps(subplan, 0, subplan.steps.size(), b, ctx, [&]() {
     found = true;
     return false;  // abort on first witness
   });
+  ctx.trace = saved_trace;
   return found;
+}
+
+// Folds the counters of a nested (build-plan) run into the outer stats.
+// ExecutePlan overwrites output_rows, so nested runs always use local stats.
+void MergeStats(const QueryStats& local, QueryStats* out) {
+  if (out == nullptr) return;
+  out->rows_scanned += local.rows_scanned;
+  out->index_probes += local.index_probes;
+  out->subquery_evals += local.subquery_evals;
+  out->exists_cache_hits += local.exists_cache_hits;
+  out->exists_cache_misses += local.exists_cache_misses;
+  out->hash_tables_built += local.hash_tables_built;
+  out->hash_join_probes += local.hash_join_probes;
+  out->merge_join_rounds += local.merge_join_rounds;
+  out->bitmap_prefilter_tests += local.bitmap_prefilter_tests;
+  out->bitmap_prefilter_hits += local.bitmap_prefilter_hits;
+  out->exists_semijoin_builds += local.exists_semijoin_builds;
+}
+
+// Loads the semi-join key set from the build plan's result rows, applying
+// each key's strip rule (see Plan::SemiJoinKey). Rows whose key value is
+// NULL, of a foreign type, or structurally unable to satisfy the original
+// conjuncts (e.g. a stripped byte of 0xFF, which would violate the
+// `< prefix || 0xFF` upper bound) contribute no key.
+void LoadSemiKeys(const Plan& sub, const QueryResult& built,
+                  ExecContext::SemiSet& set) {
+  const std::vector<Plan::SemiJoinKey>& keys = sub.semijoin_keys;
+  std::vector<std::string> parts(keys.size());
+  for (const Row& row : built.rows) {
+    int var_idx = -1;
+    std::string_view var_payload;
+    bool ok = true;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const Plan::SemiJoinKey& k = keys[i];
+      const Value& v = row[static_cast<size_t>(k.select_pos)];
+      parts[i].clear();
+      if (v.is_null() || v.type() != k.inner_type) {
+        ok = false;
+        break;
+      }
+      if (k.inner_type == ValueType::kInt64) {
+        AppendEncodedValue(v, parts[i]);
+        continue;
+      }
+      std::string_view p = v.AsStringLike();
+      if (k.strip_outer || k.strip_suffix == 0) {
+        // Exact key, or the outer value is stripped at probe time instead.
+        AppendEncodedBytes(p, parts[i]);
+      } else if (k.strip_suffix > 0) {
+        // The inner value extends the outer key by exactly `strip_suffix`
+        // bytes; the unique candidate outer key is the inner value minus
+        // that tail (invalid if the first stripped byte is 0xFF: the inner
+        // value would sit at or above `key || 0xFF`).
+        size_t s = static_cast<size_t>(k.strip_suffix);
+        if (p.size() < s ||
+            static_cast<unsigned char>(p[p.size() - s]) == 0xFF) {
+          ok = false;
+          break;
+        }
+        AppendEncodedBytes(p.substr(0, p.size() - s), parts[i]);
+      } else {
+        // Variable depth (descendant): one key per proper prefix, emitted
+        // below so the other parts are encoded first.
+        var_idx = static_cast<int>(i);
+        var_payload = p;
+      }
+    }
+    if (!ok) continue;
+    if (var_idx < 0) {
+      std::string key;
+      for (const std::string& part : parts) key += part;
+      set.keys.insert(std::move(key));
+      continue;
+    }
+    for (size_t len = 0; len < var_payload.size(); ++len) {
+      // `key > prefix AND key < prefix || 0xFF` holds exactly for proper
+      // prefixes whose following byte is not 0xFF.
+      if (static_cast<unsigned char>(var_payload[len]) == 0xFF) continue;
+      std::string key;
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (static_cast<int>(i) == var_idx) {
+          AppendEncodedBytes(var_payload.substr(0, len), key);
+        } else {
+          key += parts[i];
+        }
+      }
+      set.keys.insert(std::move(key));
+    }
+  }
+}
+
+std::optional<bool> ProbeSemiJoin(const Plan& sub, Binding& b,
+                                  ExecContext& ctx) {
+  auto& set = ctx.semi_sets[&sub];
+  if (set.failed) return std::nullopt;
+  auto definite = [&](bool v) -> std::optional<bool> {
+    // Answered from the probe key alone (no subplan run): a cache hit.
+    if (ctx.stats != nullptr) ++ctx.stats->exists_cache_hits;
+    return v;
+  };
+  KeyBufs kb(ctx);
+  std::string& key = kb.lo();
+  key.clear();
+  for (const Plan::SemiJoinKey& k : sub.semijoin_keys) {
+    Value t0;
+    const Value& o = EvalRef(*k.outer, b, ctx, t0);
+    if (o.is_null()) return definite(false);  // NULL key: conjunct unknown
+    if (k.inner_type == ValueType::kInt64) {
+      if (o.type() == ValueType::kInt64) {
+        AppendEncodedValue(o, key);
+        continue;
+      }
+      auto n = o.ToNumber();
+      if (!n) return definite(false);  // unparseable text: unknown
+      // Near the int64 boundary double conversion rounds; CompareValues
+      // might call them equal where the encoded key will not. Fall back.
+      if (*n <= -9.0e18 || *n >= 9.0e18) return std::nullopt;
+      int64_t x = static_cast<int64_t>(*n);
+      if (static_cast<double>(x) != *n) return definite(false);  // fractional
+      AppendEncodedValue(Value::Int(x), key);
+      continue;
+    }
+    // String-like inner column. A numeric probe would compare by parsing
+    // each inner value's text — not representable as one key. Fall back.
+    if (!IsStringLike(o)) return std::nullopt;
+    std::string_view p = o.AsStringLike();
+    if (k.strip_outer) {
+      size_t s = static_cast<size_t>(k.strip_suffix);
+      if (p.size() < s) return definite(false);  // too short to extend a key
+      if (s > 0 && static_cast<unsigned char>(p[p.size() - s]) == 0xFF) {
+        return definite(false);  // would violate the prefix upper bound
+      }
+      AppendEncodedBytes(p.substr(0, p.size() - s), key);
+    } else {
+      AppendEncodedBytes(p, key);
+    }
+  }
+  if (!set.built) {
+    QueryStats local;
+    auto r = ExecutePlan(*sub.semijoin_plan, &local,
+                         /*need_ordered_rows=*/false);
+    MergeStats(local, ctx.stats);
+    if (!r.ok()) {
+      set.failed = true;
+      return std::nullopt;
+    }
+    set.built = true;
+    LoadSemiKeys(sub, r.value(), set);
+    if (ctx.stats != nullptr) {
+      ++ctx.stats->exists_cache_misses;
+      ++ctx.stats->exists_semijoin_builds;
+    }
+    return set.keys.count(key) > 0;
+  }
+  if (ctx.stats != nullptr) ++ctx.stats->exists_cache_hits;
+  return set.keys.count(key) > 0;
 }
 
 }  // namespace
@@ -561,6 +987,17 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
                                 bool need_ordered_rows) {
   ExecContext ctx;
   ctx.stats = stats;
+
+  // Merge joins snapshot the outer tuple feeding them via the step trace.
+  bool has_merge = false;
+  for (const AccessStep& s : plan.steps) {
+    if (s.path == AccessPathKind::kMergeJoin) has_merge = true;
+  }
+  std::vector<RowId> trace;
+  if (has_merge) {
+    trace.assign(plan.steps.size(), 0);
+    ctx.trace = &trace;
+  }
 
   const SelectStmt& stmt = *plan.stmt;
   QueryResult result;
@@ -582,7 +1019,7 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
   const bool fast_order = !want_sort || plan.order_by_mapped;
 
   if (fast_order) {
-    RunSteps(plan, 0, binding, ctx, [&]() {
+    ExecSteps(plan, 0, binding, ctx, [&]() {
       Row projected;
       projected.reserve(plan.compiled_select.size());
       for (const CompiledExpr* ce : plan.compiled_select) {
@@ -612,7 +1049,7 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
       Row sort_key;
     };
     std::vector<Emitted> keyed;
-    RunSteps(plan, 0, binding, ctx, [&]() {
+    ExecSteps(plan, 0, binding, ctx, [&]() {
       Emitted e;
       e.projected.reserve(plan.compiled_select.size());
       for (const CompiledExpr* ce : plan.compiled_select) {
@@ -687,6 +1124,11 @@ Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
       stats->exists_cache_hits += local.exists_cache_hits;
       stats->exists_cache_misses += local.exists_cache_misses;
       stats->hash_tables_built += local.hash_tables_built;
+      stats->hash_join_probes += local.hash_join_probes;
+      stats->merge_join_rounds += local.merge_join_rounds;
+      stats->bitmap_prefilter_tests += local.bitmap_prefilter_tests;
+      stats->bitmap_prefilter_hits += local.bitmap_prefilter_hits;
+      stats->exists_semijoin_builds += local.exists_semijoin_builds;
     }
     if (b == 0) {
       combined.column_labels = r.value().column_labels;

@@ -39,6 +39,8 @@ const char* AccessPathKindName(AccessPathKind k) {
       return "HashProbe";
     case AccessPathKind::kIndexUnion:
       return "IndexUnion";
+    case AccessPathKind::kMergeJoin:
+      return "MergeJoin";
   }
   return "?";
 }
@@ -118,6 +120,12 @@ struct CandidateAccess {
   // graph instead of jumping to a seemingly cheap independent probe whose
   // follow-up joins would be half-open range scans.
   bool dependent = false;
+  // Rough per-outer-row output cardinality of this access; the greedy loop
+  // multiplies these into a running outer-cardinality estimate that the
+  // amortized strategies (hash build, merge sort) divide their setup cost
+  // by. These are fanout guesses, not statistics — they only need to rank
+  // "once per outer row" against "once per execution" sensibly.
+  double est_rows = 1.0;
 };
 
 // True when `e` references no table columns at all (literals only).
@@ -135,6 +143,44 @@ bool ReferencesAny(const SqlExpr& e, const std::set<std::string>& bound) {
     if (bound.count(r) > 0) return true;
   }
   return false;
+}
+
+// Largest table the planner will materialize a regex bitmap for. Paths
+// relations (one row per distinct root-to-node path) are tiny; element
+// tables are not, and evaluating a regex over millions of rows at plan time
+// would move the cost instead of removing it.
+constexpr size_t kBitmapMaxRows = size_t{1} << 16;
+
+// Evaluates `re` over column `col` of every row, setting the bit of each
+// matching row. Mirrors the executor's REGEXP_LIKE semantics exactly (the
+// bitmap *replaces* the per-row predicate): NULL is not a match, string-like
+// values match on their payload, other values match on their text rendering.
+void BuildRegexBitmap(const Table& table, int col, const rex::Regex& re,
+                      RowBitmap& bm) {
+  const std::vector<Row>& rows = table.rows();
+  std::vector<std::string_view> texts;
+  std::vector<RowId> rids;
+  texts.reserve(rows.size());
+  rids.reserve(rows.size());
+  std::deque<std::string> formatted;  // stable storage for rendered values
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const Value& v = rows[r][static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    if (v.type() == ValueType::kString || v.type() == ValueType::kBytes) {
+      texts.push_back(v.AsStringLike());
+    } else {
+      auto t = v.ToText();
+      if (!t) continue;
+      formatted.push_back(std::move(*t));
+      texts.push_back(formatted.back());
+    }
+    rids.push_back(static_cast<RowId>(r));
+  }
+  bm.Reset(rows.size());
+  std::vector<bool> hits = re.MatchMany(texts);
+  for (size_t i = 0; i < rids.size(); ++i) {
+    if (hits[i]) bm.Set(rids[i]);
+  }
 }
 
 // Counts index entries matching a fully literal point probe, capped — a
@@ -161,11 +207,18 @@ double EstimateLiteralPointRows(const Table& table, const BTree& index,
 
 // Works out the best access path for `alias` given the bound aliases.
 // Every viable access is costed; the cheapest wins (ties prefer join
-// probes over independent scans).
+// probes over independent scans, and earlier candidates over later ones).
+// `est_outer` is the estimated number of already-bound outer rows this step
+// will be entered with: build-once strategies (hash join, merge join)
+// amortize their setup over it. `allow_merge` gates the batching merge-join
+// operator, which is disabled inside EXISTS subplans (their first-witness
+// short-circuit and memoization beat batching).
 CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
                              const std::vector<const SqlExpr*>& conjuncts,
-                             const std::set<std::string>& bound) {
+                             const std::set<std::string>& bound,
+                             double est_outer, bool allow_merge) {
   double rows = static_cast<double>(table.row_count());
+  const double outer = std::max(est_outer, 1.0);
   std::vector<CandidateAccess> candidates;
 
   auto base_step = [&]() {
@@ -249,10 +302,13 @@ CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
         if (!IsLiteralOnly(*k)) literal_only = false;
       }
       if (literal_only && best_def != nullptr) {
-        c.cost = 2.0 + EstimateLiteralPointRows(table, *best_index, *best_def,
-                                                best_keys);
+        double est = EstimateLiteralPointRows(table, *best_index, *best_def,
+                                              best_keys);
+        c.cost = 2.0 + est;
+        c.est_rows = std::max(est, 0.25);
       } else {
         c.cost = 3.0;  // join probe: assumed selective
+        c.est_rows = 8.0;
       }
       candidates.push_back(std::move(c));
     }
@@ -310,6 +366,7 @@ CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
       c.step.union_probes = std::move(probes);
       c.dependent = dependent;
       c.cost = 4.0 * static_cast<double>(c.step.union_probes.size());
+      c.est_rows = c.cost;
       candidates.push_back(std::move(c));
     }
   }
@@ -427,54 +484,125 @@ CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
     }
     const IndexDef* d = nullptr;
     const BTree* index = table.FindIndex(def.name, &d);
+    ValueType first_type =
+        table.schema().columns[static_cast<size_t>(first_col)].type;
     if (probe != nullptr) {
-      CandidateAccess c;
-      c.step = base_step();
-      c.step.path = AccessPathKind::kPrefixProbe;
-      c.step.index = index;
-      c.step.probe_value = probe;
-      c.cost = 8.0;
-      c.dependent = ReferencesAny(*probe, bound);
-      candidates.push_back(std::move(c));
+      bool dependent = ReferencesAny(*probe, bound);
+      {
+        CandidateAccess c;
+        c.step = base_step();
+        c.step.path = AccessPathKind::kPrefixProbe;
+        c.step.index = index;
+        c.step.probe_value = probe;
+        c.cost = 8.0;
+        c.est_rows = 4.0;
+        c.dependent = dependent;
+        candidates.push_back(std::move(c));
+      }
+      // Dewey merge join (ancestor mode): one sorted sweep of the inner
+      // rows instead of depth-many B-tree probes per outer row. Wins once
+      // the sort of the outer batch amortizes, i.e. for non-trivial outer
+      // cardinalities.
+      if (allow_merge && dependent &&
+          (first_type == ValueType::kBytes ||
+           first_type == ValueType::kString)) {
+        CandidateAccess c;
+        c.step = base_step();
+        c.step.path = AccessPathKind::kMergeJoin;
+        c.step.merge_mode = MergeJoinMode::kAncestor;
+        c.step.merge_column = first_col;
+        c.step.index = index;
+        c.step.probe_value = probe;
+        c.cost = 2.0 + rows / (4.0 * outer);
+        c.est_rows = 4.0;
+        c.dependent = true;
+        candidates.push_back(std::move(c));
+      }
       continue;
     }
     if (lo != nullptr || hi != nullptr) {
-      CandidateAccess c;
-      c.step = base_step();
-      c.step.path = AccessPathKind::kIndexRange;
-      c.step.index = index;
-      c.step.range_type =
-          table.schema().columns[static_cast<size_t>(first_col)].type;
-      c.step.range_lo = lo;
-      c.step.range_lo_inclusive = lo_incl;
-      c.step.range_hi = hi;
-      c.step.range_hi_inclusive = hi_incl;
-      c.dependent =
+      bool dependent =
           (lo != nullptr && ReferencesAny(*lo, bound)) ||
           (hi != nullptr && ReferencesAny(*hi, bound));
-      if (lo != nullptr && hi != nullptr) {
-        c.cost = 20.0;  // bounded window: narrow
-      } else {
-        c.cost = 60.0 + rows / 4;  // half-open: may cover much of the table
+      {
+        CandidateAccess c;
+        c.step = base_step();
+        c.step.path = AccessPathKind::kIndexRange;
+        c.step.index = index;
+        c.step.range_type = first_type;
+        c.step.range_lo = lo;
+        c.step.range_lo_inclusive = lo_incl;
+        c.step.range_hi = hi;
+        c.step.range_hi_inclusive = hi_incl;
+        c.dependent = dependent;
+        if (lo != nullptr && hi != nullptr) {
+          c.cost = 20.0;  // bounded window: narrow
+          c.est_rows = 16.0;
+        } else {
+          c.cost = 60.0 + rows / 4;  // half-open: may cover much of the table
+          c.est_rows = std::max(4.0, rows / 4);
+        }
+        candidates.push_back(std::move(c));
       }
-      candidates.push_back(std::move(c));
+      // Merge join (range mode): sort the outer batch by its lower bound
+      // and sweep the plan-time-sorted inner rows with a monotone start
+      // frontier (staircase-style skipping). Double columns are excluded:
+      // NaN bounds have no place in a total order, which the outer-batch
+      // sort and the frontier's monotonicity both require.
+      if (allow_merge && dependent && first_type != ValueType::kDouble) {
+        CandidateAccess c;
+        c.step = base_step();
+        c.step.path = AccessPathKind::kMergeJoin;
+        c.step.merge_mode = MergeJoinMode::kRange;
+        c.step.merge_column = first_col;
+        c.step.index = index;
+        c.step.range_type = first_type;
+        c.step.range_lo = lo;
+        c.step.range_lo_inclusive = lo_incl;
+        c.step.range_hi = hi;
+        c.step.range_hi_inclusive = hi_incl;
+        c.dependent = true;
+        if (lo != nullptr) {
+          c.cost = 2.0 + rows / (4.0 * outer);
+          c.est_rows = lo != nullptr && hi != nullptr ? 16.0
+                                                      : std::max(4.0, rows / 4);
+        } else {
+          // hi-only: no skipping possible, every pass rescans from the
+          // front — only marginally better than the probing range scan.
+          c.cost = 40.0 + rows / 8;
+          c.est_rows = std::max(4.0, rows / 4);
+        }
+        candidates.push_back(std::move(c));
+      }
     }
   }
 
-  // 3) Ad-hoc hash probe for unindexed string-column equijoins.
+  // 3) Build-once hash probe for equijoins. The build scans the table once
+  // and the per-outer-row probe is O(1), so its amortized cost undercuts a
+  // B-tree point probe when the outer cardinality is large. For unindexed
+  // columns the hash join is also the only sub-scan option, so it keeps a
+  // capped standalone cost even with a tiny outer estimate.
   for (auto& [col, e] : equalities) {
-    if (table.schema().columns[static_cast<size_t>(col)].type !=
-        ValueType::kString) {
+    bool dependent = ReferencesAny(*e, bound);
+    bool indexed = table.FindIndexWithPrefix({col}) != nullptr;
+    if (indexed && !dependent) continue;  // literal point probe already wins
+    // Doubles are excluded: -0.0 == 0.0 under CompareValues but their
+    // encoded keys differ, so a hash lookup would under-approximate.
+    if (table.schema().columns[static_cast<size_t>(col)].type ==
+        ValueType::kDouble) {
       continue;
     }
-    if (table.FindIndexWithPrefix({col}) != nullptr) continue;
     CandidateAccess c;
     c.step = base_step();
     c.step.path = AccessPathKind::kHashProbe;
     c.step.hash_column = col;
     c.step.hash_key = e;
-    c.cost = 30.0;
-    c.dependent = ReferencesAny(*e, bound);
+    c.step.hash_key_type =
+        table.schema().columns[static_cast<size_t>(col)].type;
+    double amortized = 2.0 + rows / outer;
+    c.cost = indexed ? amortized : std::min(30.0, amortized);
+    c.est_rows = 8.0;
+    c.dependent = dependent;
     candidates.push_back(std::move(c));
   }
 
@@ -484,6 +612,8 @@ CandidateAccess ChooseAccess(const std::string& alias, const Table& table,
     c.step = base_step();
     c.step.path = AccessPathKind::kSeqScan;
     c.cost = has_bound_filter ? 10.0 + rows / 2 : 100.0 + rows * 2;
+    c.est_rows = has_bound_filter ? std::max(2.0, rows / 5.0)
+                                  : std::max(rows, 1.0);
     candidates.push_back(std::move(c));
   }
 
@@ -565,6 +695,241 @@ class ExprCompiler {
   std::unordered_map<const SqlExpr*, const CompiledExpr*> cache_;
 };
 
+// Pattern-matches the correlated conjuncts of an EXISTS subplan and, when
+// every one of them is semi-join-able — an equality `inner.col = e` or a
+// Dewey prefix-extension triple `inner.col > e AND inner.col < e || 0xFF
+// [AND LENGTH(inner.col) = LENGTH(e) + c]` (either orientation; these are
+// exactly the shapes the translator's EmitStructuralJoin produces) —
+// rewrites the subplan into a build-once semi-join: a standalone "build
+// plan" (this sub-select minus the correlated conjuncts, projecting the
+// inner key columns) seeds a key set once per execution, and each EXISTS
+// evaluation becomes a set lookup. On any unrecognized correlated conjunct
+// the function leaves the plan untouched (per-row ExecExists still works).
+void AnalyzeSemiJoin(const Database& db, Plan& plan, ExprCompiler& comp) {
+  if (plan.first_own_entry <= 0 || plan.stmt == nullptr) return;
+  if (plan.steps.empty() || plan.stmt->where == nullptr) return;
+
+  std::set<std::string> own_aliases;
+  for (size_t i = static_cast<size_t>(plan.first_own_entry);
+       i < plan.layout.entries.size(); ++i) {
+    own_aliases.insert(plan.layout.entries[i].alias);
+  }
+
+  auto own_only = [&](const SqlExpr& e) {
+    std::set<std::string> refs;
+    CollectAliasRefs(e, refs);
+    for (const std::string& r : refs) {
+      if (own_aliases.count(r) == 0) return false;
+    }
+    return true;
+  };
+  // True when `e` references outer aliases only (at least one) — the outer
+  // side of a join key, evaluable against the outer row at probe time.
+  auto outer_side = [&](const SqlExpr& e) {
+    std::set<std::string> refs;
+    CollectAliasRefs(e, refs);
+    bool any = false;
+    for (const std::string& r : refs) {
+      if (own_aliases.count(r) > 0) return false;
+      any = true;
+    }
+    return any;
+  };
+  // Matches Col(<own alias>, <column>) and reports the column's type.
+  auto inner_col = [&](const SqlExpr& e, ValueType* type) {
+    if (e.kind != SqlExpr::Kind::kColumn) return false;
+    if (own_aliases.count(e.table_alias) == 0) return false;
+    const Layout::Entry* en = plan.layout.FindAlias(e.table_alias);
+    if (en == nullptr) return false;
+    int c = en->table->schema().ColumnIndex(e.column);
+    if (c < 0) return false;
+    *type = en->table->schema().columns[static_cast<size_t>(c)].type;
+    return true;
+  };
+  // Matches Concat(Col(<own alias>, col), 0xFF-literal) — the prefix upper
+  // bound of the translator's structural triples.
+  auto inner_upper = [&](const SqlExpr& e, const SqlExpr** col) {
+    if (e.kind != SqlExpr::Kind::kConcat) return false;
+    ValueType t;
+    if (!inner_col(*e.args[0], &t)) return false;
+    const SqlExpr& lit = *e.args[1];
+    if (lit.kind != SqlExpr::Kind::kLiteral ||
+        lit.literal.type() != ValueType::kBytes ||
+        lit.literal.AsBytes() != "\xFF") {
+      return false;
+    }
+    *col = e.args[0].get();
+    return true;
+  };
+
+  std::vector<const SqlExpr*> conjuncts;
+  SplitConjuncts(plan.stmt->where.get(), conjuncts);
+
+  struct KeySpec {
+    const SqlExpr* inner = nullptr;  // Col(own alias, col)
+    const SqlExpr* outer = nullptr;
+    ValueType inner_type = ValueType::kNull;
+    int strip_suffix = 0;
+    bool strip_outer = false;
+  };
+  struct PrefixGroup {
+    std::string id;  // inner column text + outer text + orientation
+    const SqlExpr* inner = nullptr;
+    const SqlExpr* outer = nullptr;
+    bool backward = false;
+    bool has_gt = false;
+    bool has_lt = false;
+    int len_add = 0;  // 0 = no LENGTH conjunct (variable depth)
+  };
+
+  std::vector<const SqlExpr*> residual;
+  std::vector<KeySpec> eq_keys;
+  std::vector<PrefixGroup> groups;
+
+  auto group_of = [&](const SqlExpr* in, const SqlExpr* out,
+                      bool backward) -> PrefixGroup& {
+    std::string id = SqlToString(*in) + "\x01" + SqlToString(*out) +
+                     (backward ? "\x01b" : "\x01f");
+    for (PrefixGroup& g : groups) {
+      if (g.id == id) return g;
+    }
+    groups.push_back({std::move(id), in, out, backward, false, false, 0});
+    return groups.back();
+  };
+
+  for (const SqlExpr* c : conjuncts) {
+    if (own_only(*c)) {
+      residual.push_back(c);
+      continue;
+    }
+    if (c->kind != SqlExpr::Kind::kBinary) return;  // unrecognized: bail
+    const SqlExpr* a0 = c->args[0].get();
+    const SqlExpr* a1 = c->args[1].get();
+    ValueType t = ValueType::kNull;
+    const SqlExpr* col = nullptr;
+    switch (c->op) {
+      case SqlExpr::BinOp::kEq: {
+        // LENGTH(x) = LENGTH(y) + c — the fixed-depth leg of a triple.
+        if (a0->kind == SqlExpr::Kind::kLength &&
+            a1->kind == SqlExpr::Kind::kAdd &&
+            a1->args[0]->kind == SqlExpr::Kind::kLength &&
+            a1->args[1]->kind == SqlExpr::Kind::kLiteral &&
+            a1->args[1]->literal.type() == ValueType::kInt64) {
+          int64_t add = a1->args[1]->literal.AsInt();
+          const SqlExpr* x = a0->args[0].get();
+          const SqlExpr* y = a1->args[0]->args[0].get();
+          if (add <= 0) return;
+          if (inner_col(*x, &t) && outer_side(*y)) {
+            PrefixGroup& g = group_of(x, y, /*backward=*/false);
+            g.len_add = static_cast<int>(add);
+            continue;
+          }
+          if (outer_side(*x) && inner_col(*y, &t)) {
+            PrefixGroup& g = group_of(y, x, /*backward=*/true);
+            g.len_add = static_cast<int>(add);
+            continue;
+          }
+          return;
+        }
+        // Exact equality key.
+        const SqlExpr* in = nullptr;
+        const SqlExpr* out = nullptr;
+        if (inner_col(*a0, &t) && outer_side(*a1)) {
+          in = a0;
+          out = a1;
+        } else if (inner_col(*a1, &t) && outer_side(*a0)) {
+          in = a1;
+          out = a0;
+        } else {
+          return;
+        }
+        // Doubles are excluded: -0.0 == 0.0 but their encodings differ, so
+        // set membership would diverge from CompareValues.
+        if (t != ValueType::kInt64 && t != ValueType::kString &&
+            t != ValueType::kBytes) {
+          return;
+        }
+        eq_keys.push_back({in, out, t, 0, false});
+        continue;
+      }
+      case SqlExpr::BinOp::kGt:
+        if (inner_col(*a0, &t) && outer_side(*a1)) {
+          group_of(a0, a1, /*backward=*/false).has_gt = true;  // inner > e
+          continue;
+        }
+        if (outer_side(*a0) && inner_col(*a1, &t)) {
+          group_of(a1, a0, /*backward=*/true).has_gt = true;  // e > inner
+          continue;
+        }
+        return;
+      case SqlExpr::BinOp::kLt:
+        if (inner_upper(*a1, &col) && outer_side(*a0)) {
+          group_of(col, a0, /*backward=*/true).has_lt = true;  // e < inner||FF
+          continue;
+        }
+        if (inner_col(*a0, &t) && a1->kind == SqlExpr::Kind::kConcat &&
+            a1->args[1]->kind == SqlExpr::Kind::kLiteral &&
+            a1->args[1]->literal.type() == ValueType::kBytes &&
+            a1->args[1]->literal.AsBytes() == "\xFF" &&
+            outer_side(*a1->args[0])) {
+          // inner < e||FF
+          group_of(a0, a1->args[0].get(), /*backward=*/false).has_lt = true;
+          continue;
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  std::vector<KeySpec> keys = std::move(eq_keys);
+  int variable_strips = 0;
+  for (const PrefixGroup& g : groups) {
+    if (!g.has_gt || !g.has_lt) return;  // lone inequality: not a semi-join
+    ValueType t = ValueType::kNull;
+    if (!inner_col(*g.inner, &t)) return;
+    if (t != ValueType::kString && t != ValueType::kBytes) return;
+    int strip = g.len_add > 0 ? g.len_add : -1;
+    if (strip < 0) {
+      // Variable-depth: the build enumerates every proper prefix of the
+      // inner value. More than one such key would multiply enumerations;
+      // in the outer-extends-inner orientation the enumeration would have
+      // to happen per probe, defeating the point. Bail on both.
+      if (g.backward) return;
+      if (++variable_strips > 1) return;
+    }
+    keys.push_back({g.inner, g.outer, t, strip, g.backward});
+  }
+  if (keys.empty()) return;  // uncorrelated — the plain memo already hits
+
+  // Build plan: same FROM, own-only conjuncts, inner key columns projected.
+  auto build_stmt = std::make_unique<SelectStmt>();
+  build_stmt->from = plan.stmt->from;
+  SqlExprPtr where;
+  for (const SqlExpr* r : residual) {
+    where = And(std::move(where), CloneSqlExpr(*r));
+  }
+  build_stmt->where = std::move(where);
+  for (const KeySpec& k : keys) {
+    build_stmt->select.push_back({CloneSqlExpr(*k.inner), ""});
+  }
+  auto built = PlanSelect(db, *build_stmt, nullptr);
+  if (!built.ok()) return;
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Plan::SemiJoinKey sk;
+    sk.select_pos = static_cast<int>(i);
+    sk.outer = comp.Compile(*keys[i].outer);
+    sk.inner_type = keys[i].inner_type;
+    sk.strip_suffix = keys[i].strip_suffix;
+    sk.strip_outer = keys[i].strip_outer;
+    plan.semijoin_keys.push_back(sk);
+  }
+  plan.semijoin_stmt = std::move(build_stmt);
+  plan.semijoin_plan = std::move(built).value();
+  plan.semijoin_decorrelated = true;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
@@ -639,13 +1004,22 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
 
   std::vector<bool> conjunct_assigned(conjuncts.size(), false);
 
+  // Running estimate of how many outer tuples each subsequent step is
+  // entered with; build-once strategies divide their setup cost by it.
+  double est_outer = 1.0;
+  // Merge joins batch the whole outer side before producing a row, which
+  // defeats the first-witness short-circuit and memoization of EXISTS
+  // subplans — keep them out of correlated subqueries.
+  const bool allow_merge = outer == nullptr;
+
   while (!pending.empty()) {
     size_t best_i = 0;
     CandidateAccess best;
     bool have_best = false;
     for (size_t i = 0; i < pending.size(); ++i) {
       CandidateAccess cand =
-          ChooseAccess(pending[i]->alias, *pending[i]->table, conjuncts, bound);
+          ChooseAccess(pending[i]->alias, *pending[i]->table, conjuncts, bound,
+                       est_outer, allow_merge);
       // Connectivity-first: a join probe beats any independent access, so
       // chains follow the query's join graph.
       bool better = !have_best;
@@ -666,6 +1040,7 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
       }
     }
     bound.insert(best.step.alias);
+    est_outer = std::min(est_outer * std::max(best.est_rows, 0.25), 1e12);
     // Assign every not-yet-assigned conjunct that is now fully bound.
     for (size_t c = 0; c < conjuncts.size(); ++c) {
       if (conjunct_assigned[c]) continue;
@@ -732,7 +1107,25 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
     const Layout::Entry* entry = plan->layout.FindAlias(st.alias);
     assert(entry != nullptr);
     st.bind_offset = entry->offset;
-    for (const SqlExpr* f : st.filters) st.cfilters.push_back(comp.Compile(*f));
+    for (const SqlExpr* f : st.filters) {
+      // Path-id bitmap pre-filter: a REGEXP_LIKE over a column of a small
+      // relation is evaluated once per row here, at plan time, and becomes
+      // an O(1) bitset test per enumerated row (cached with the plan).
+      int bcol = -1;
+      auto rit = plan->regexes.find(f);
+      if (f->kind == SqlExpr::Kind::kRegexpLike &&
+          rit != plan->regexes.end() &&
+          IsColumnOf(*f->args[0], st.alias, *st.table, &bcol) &&
+          st.table->row_count() <= kBitmapMaxRows) {
+        plan->bitmaps.emplace_back();
+        RowBitmap& bm = plan->bitmaps.back();
+        BuildRegexBitmap(*st.table, bcol, rit->second, bm);
+        st.bitmap_filters.push_back(&bm);
+        st.bitmap_sources.push_back(f);
+        continue;
+      }
+      st.cfilters.push_back(comp.Compile(*f));
+    }
     for (const SqlExpr* k : st.point_keys) {
       st.cpoint_keys.push_back(comp.Compile(*k));
     }
@@ -745,7 +1138,27 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
     for (AccessStep::UnionProbe& p : st.union_probes) {
       p.ckey = comp.Compile(*p.key);
     }
+    if (st.path == AccessPathKind::kMergeJoin) {
+      // Materialize the inner side in join-key order once, at plan time:
+      // the index's first column is the merge column, so an index walk
+      // yields the rows already sorted. Bitmap pre-filters apply here too,
+      // shrinking the merge's inner side before execution ever starts.
+      st.merge_order.reserve(st.index->size());
+      for (auto it = st.index->ScanAll(); it.Valid(); it.Next()) {
+        RowId r = it.row();
+        bool pass = true;
+        for (const RowBitmap* bm : st.bitmap_filters) {
+          if (!bm->Test(r)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) st.merge_order.push_back(r);
+      }
+    }
   }
+  if (!comp.status.ok()) return comp.status;
+  if (outer != nullptr) AnalyzeSemiJoin(db, *plan, comp);
   if (!comp.status.ok()) return comp.status;
 
   // Correlation analysis: outer slots this block (or any nested subplan)
@@ -768,16 +1181,45 @@ std::string Plan::Describe() const {
     os << s.alias << ": " << AccessPathKindName(s.path);
     if (s.path == AccessPathKind::kIndexPoint) {
       os << "(" << s.point_keys.size() << " key cols)";
+    } else if (s.path == AccessPathKind::kMergeJoin) {
+      os << "("
+         << (s.merge_mode == MergeJoinMode::kAncestor ? "ancestor" : "range")
+         << " on "
+         << s.table->schema().columns[static_cast<size_t>(s.merge_column)].name
+         << ", " << s.merge_order.size() << " inner rows)";
+    } else if (s.path == AccessPathKind::kHashProbe) {
+      os << "("
+         << s.table->schema().columns[static_cast<size_t>(s.hash_column)].name
+         << ")";
     }
     os << " on " << s.table->name();
-    if (!s.filters.empty()) os << " [" << s.filters.size() << " filters]";
+    size_t nfilters = s.filters.size() - s.bitmap_sources.size();
+    if (nfilters > 0 || !s.bitmap_sources.empty()) {
+      os << " [" << nfilters << " filters";
+      if (!s.bitmap_sources.empty()) {
+        os << ", " << s.bitmap_sources.size() << " bitmap (";
+        for (size_t i = 0; i < s.bitmap_filters.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << s.bitmap_filters[i]->set_count << " set";
+        }
+        os << ")";
+      }
+      os << "]";
+    }
     os << "\n";
   }
   for (const auto& [expr, sub] : subplans) {
-    os << "exists-subplan:\n";
+    os << "exists-subplan" << (sub->semijoin_decorrelated
+                                   ? " (decorrelated semi-join):\n"
+                                   : ":\n");
     std::istringstream is(sub->Describe());
     std::string line;
     while (std::getline(is, line)) os << "  " << line << "\n";
+    if (sub->semijoin_plan != nullptr) {
+      os << "  semi-join build plan:\n";
+      std::istringstream bs(sub->semijoin_plan->Describe());
+      while (std::getline(bs, line)) os << "    " << line << "\n";
+    }
   }
   return os.str();
 }

@@ -1,6 +1,7 @@
 #ifndef XPREL_REL_QUERY_H_
 #define XPREL_REL_QUERY_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -46,13 +47,49 @@ enum class AccessPathKind {
   kIndexRange,   // index range scan on the first index column
   kPrefixProbe,  // ancestor probe: index point lookups on every Dewey prefix
                  // of a bound value (see planner.cc)
-  kHashProbe,    // ad-hoc hash table on a column, built lazily
+  kHashProbe,    // equijoin against a hash table on a column, built once per
+                 // execution and probed per outer row
   kIndexUnion,   // OR of indexable equalities: probe each, union the rows
+  kMergeJoin,    // Dewey-ordered merge: batch the outer rows, sort them by
+                 // the join key, and sweep the inner rows (pre-sorted at
+                 // plan time) in one synchronized pass
+};
+
+// The two theta-join shapes of the paper's Table 2 that the merge operator
+// serves. kAncestor matches inner rows whose column value is a proper byte
+// prefix of the outer key (ancestor axes); kRange matches inner rows inside
+// a per-outer-row [lo, hi] window (descendant and order axes).
+enum class MergeJoinMode {
+  kAncestor,
+  kRange,
 };
 
 const char* AccessPathKindName(AccessPathKind k);
 
 struct Plan;
+
+// A per-RowId bitset over one table, materialized at plan time. The planner
+// rewrites REGEXP_LIKE(alias.col, 'literal') step filters over small
+// relations (the Paths tables) into bitmap membership: the regex runs once
+// per distinct row at plan time instead of once per enumerated row at
+// execution time, and the bitmap is cached with the plan (so a cached query
+// never re-runs its path regexes at all).
+struct RowBitmap {
+  std::vector<uint64_t> words;
+  size_t set_count = 0;  // number of matching rows, for EXPLAIN output
+
+  void Reset(size_t rows) {
+    words.assign((rows + 63) / 64, 0);
+    set_count = 0;
+  }
+  void Set(RowId rid) {
+    words[rid >> 6] |= uint64_t{1} << (rid & 63);
+    ++set_count;
+  }
+  bool Test(RowId rid) const {
+    return (words[rid >> 6] >> (rid & 63)) & 1;
+  }
+};
 
 // A SqlExpr lowered into its executable form at plan time: column references
 // are integer slots, regexes/subplans are direct pointers, and EXISTS nodes
@@ -109,10 +146,28 @@ struct AccessStep {
   const CompiledExpr* cprobe_value = nullptr;
 
   // kHashProbe: column (index into table schema) and the bound expression
-  // whose value is looked up.
+  // whose value is looked up. The table is keyed by the order-preserving
+  // encoding of the column value; probes coerce to `hash_key_type` first,
+  // mirroring kIndexPoint's key semantics.
   int hash_column = -1;
   const SqlExpr* hash_key = nullptr;
   const CompiledExpr* chash_key = nullptr;
+  ValueType hash_key_type = ValueType::kNull;
+
+  // kMergeJoin: join column (index into table schema) and the inner row
+  // order, sorted by that column's encoded key at plan time (via an index
+  // walk). kAncestor mode keys the outer side on `cprobe_value`; kRange mode
+  // reuses the crange_* bounds. The original conjuncts stay in `cfilters`,
+  // so the merge may over-approximate safely.
+  MergeJoinMode merge_mode = MergeJoinMode::kAncestor;
+  int merge_column = -1;
+  std::vector<RowId> merge_order;
+
+  // Plan-time bitmap filters (see RowBitmap): tested on the row id before
+  // the row is even bound. Owned by the Plan; `bitmap_sources` keeps the
+  // originating conjuncts for EXPLAIN output.
+  std::vector<const RowBitmap*> bitmap_filters;
+  std::vector<const SqlExpr*> bitmap_sources;
 
   // kIndexUnion: one single-column probe per OR branch.
   struct UnionProbe {
@@ -170,9 +225,44 @@ struct Plan {
   // subplans); parents use this as the EXISTS memoization key.
   std::vector<int> correlated_slots;
 
+  // ---- Decorrelated EXISTS (build-once semi-join) ----
+  // An EXISTS subplan whose every correlated conjunct is either an equality
+  // (inner.col = outer-expr) or a Dewey prefix-extension triple
+  // (inner.col > e AND inner.col < e || 0xff [AND LENGTH = LENGTH(e)+c])
+  // is evaluated as membership in a key set built once per execution,
+  // instead of running the subplan per outer row. The set is seeded by
+  // executing `semijoin_plan` — this sub-select with the correlated
+  // conjuncts removed and the inner key columns projected — once. This is
+  // what lets the EXISTS cache actually hit: the per-outer-row memo keyed
+  // on correlated slot values almost never repeats (Dewey positions are
+  // unique), but the semi-join set is shared by every outer row.
+  struct SemiJoinKey {
+    int select_pos = -1;                   // column in semijoin_plan's result
+    const CompiledExpr* outer = nullptr;   // outer-side key expression
+    ValueType inner_type = ValueType::kNull;
+    // Bytes stripped off the inner value before keying: 0 = exact equality;
+    // > 0 = inner is an extension of the outer key by exactly that many
+    // bytes (child-at-distance); -1 = any proper extension (descendant) —
+    // every proper prefix of the inner value is inserted as a key.
+    int strip_suffix = 0;
+    // Orientation: false = the inner value extends the outer key (the strip
+    // applies while building); true = the OUTER value extends the inner key,
+    // so `strip_suffix` is applied to the outer value at probe time instead
+    // (parent/ancestor-of-outer shapes). Only fixed strips are decorrelated
+    // in this orientation.
+    bool strip_outer = false;
+  };
+  bool semijoin_decorrelated = false;
+  std::vector<SemiJoinKey> semijoin_keys;
+  std::unique_ptr<SelectStmt> semijoin_stmt;  // owns the build plan's AST
+  std::unique_ptr<Plan> semijoin_plan;        // uncorrelated build plan
+
   // Compiled artifacts keyed by expression node.
   std::unordered_map<const SqlExpr*, rex::Regex> regexes;
   std::unordered_map<const SqlExpr*, std::unique_ptr<Plan>> subplans;
+
+  // Arena for plan-time row bitmaps (deque: stable addresses).
+  std::deque<RowBitmap> bitmaps;
 
   // Arena for lowered expressions (deque: stable addresses).
   std::deque<CompiledExpr> expr_pool;
@@ -194,11 +284,19 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
 
 struct QueryStats {
   size_t rows_scanned = 0;      // rows enumerated by access paths
-  size_t index_probes = 0;      // point/range/prefix index operations
+  size_t index_probes = 0;      // point/range/prefix B-tree operations
   size_t subquery_evals = 0;    // EXISTS evaluations (cached or not)
-  size_t exists_cache_hits = 0;    // EXISTS answered from the semi-join memo
-  size_t exists_cache_misses = 0;  // EXISTS that actually ran the subplan
+  size_t exists_cache_hits = 0;    // EXISTS answered without running the
+                                   // subplan (memo hit or semi-join lookup)
+  size_t exists_cache_misses = 0;  // EXISTS that ran the subplan (or built
+                                   // the semi-join set)
   size_t hash_tables_built = 0;    // kHashProbe build passes
+  size_t hash_join_probes = 0;     // kHashProbe lookups (not index_probes:
+                                   // they never touch a B-tree)
+  size_t merge_join_rounds = 0;    // kMergeJoin batched passes executed
+  size_t bitmap_prefilter_tests = 0;  // row ids tested against plan bitmaps
+  size_t bitmap_prefilter_hits = 0;   // ...of which passed
+  size_t exists_semijoin_builds = 0;  // decorrelated EXISTS set builds
   size_t output_rows = 0;
 };
 

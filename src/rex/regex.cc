@@ -1,5 +1,6 @@
 #include "rex/regex.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace xprel::rex {
@@ -458,7 +459,14 @@ bool Regex::Run(std::string_view text, bool anchored_start) const {
   std::vector<int> current, next;
   std::vector<uint32_t> mark(states_.size(), 0);
   uint32_t gen = 1;
+  return RunWith(text, anchored_start, current, next, mark, gen);
+}
 
+bool Regex::RunWith(std::string_view text, bool anchored_start,
+                    std::vector<int>& current, std::vector<int>& next,
+                    std::vector<uint32_t>& mark, uint32_t& gen) const {
+  current.clear();
+  ++gen;
   AddState(start_, 0, text.size(), current, mark, gen);
   for (size_t pos = 0; pos <= text.size(); ++pos) {
     // Substring-search semantics: the match may begin at any position.
@@ -487,6 +495,25 @@ bool Regex::Run(std::string_view text, bool anchored_start) const {
 
 bool Regex::Matches(std::string_view text) const {
   return Run(text, /*anchored_start=*/false);
+}
+
+std::vector<bool> Regex::MatchMany(
+    const std::vector<std::string_view>& texts) const {
+  std::vector<bool> out(texts.size(), false);
+  std::vector<int> current, next;
+  std::vector<uint32_t> mark(states_.size(), 0);
+  uint32_t gen = 1;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    // The generation counter advances once per consumed byte; guard against
+    // wraparound on absurdly large batches by resetting the marks.
+    if (gen > 0xF0000000u) {
+      std::fill(mark.begin(), mark.end(), 0u);
+      gen = 1;
+    }
+    out[i] = RunWith(texts[i], /*anchored_start=*/false, current, next, mark,
+                     gen);
+  }
+  return out;
 }
 
 bool Regex::FullMatch(std::string_view text) const {

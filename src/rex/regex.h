@@ -41,6 +41,12 @@ class Regex {
   // semantics; use ^...$ in the pattern for a full match).
   bool Matches(std::string_view text) const;
 
+  // Batch evaluation: element i of the result is Matches(texts[i]). The NFA
+  // state lists are allocated once for the whole batch, so evaluating a
+  // pattern over every row of a relation (the planner's path-id bitmap
+  // pre-filter) costs one allocation, not one per row.
+  std::vector<bool> MatchMany(const std::vector<std::string_view>& texts) const;
+
   // True if the pattern matches the whole of `text`, regardless of anchors.
   bool FullMatch(std::string_view text) const;
 
@@ -68,6 +74,9 @@ class Regex {
   Regex() = default;
 
   bool Run(std::string_view text, bool anchored_start) const;
+  bool RunWith(std::string_view text, bool anchored_start,
+               std::vector<int>& current, std::vector<int>& next,
+               std::vector<uint32_t>& mark, uint32_t& gen) const;
   void AddState(int state, size_t pos, size_t text_len,
                 std::vector<int>& list, std::vector<uint32_t>& mark,
                 uint32_t gen) const;

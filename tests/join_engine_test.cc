@@ -1,0 +1,340 @@
+// Join-engine tests: planner strategy selection (hash vs merge vs
+// nested-loop per query shape), execution counters proving each strategy
+// actually runs, cross-backend result identity on XMark fragments, and the
+// bounded LRU plan cache (including eviction under concurrent executions).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/xmark.h"
+#include "engine/engine.h"
+#include "rel/query.h"
+#include "xsd/schema_graph.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Planner strategy selection at the relational level
+// ---------------------------------------------------------------------------
+
+class JoinPlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel::TableSchema authors;
+    authors.name = "authors";
+    authors.columns = {{"id", rel::ValueType::kInt64, false},
+                       {"name", rel::ValueType::kString, false}};
+    authors.indexes = {{"pk_authors", {0}, true}};
+    rel::Table* a = db_.CreateTable(std::move(authors)).value();
+    ASSERT_TRUE(a->Insert({rel::Value::Int(1), rel::Value::Str("Knuth")}).ok());
+    ASSERT_TRUE(a->Insert({rel::Value::Int(2), rel::Value::Str("Date")}).ok());
+
+    rel::TableSchema books;
+    books.name = "books";
+    books.columns = {{"id", rel::ValueType::kInt64, false},
+                     {"author", rel::ValueType::kString, false},
+                     {"year", rel::ValueType::kInt64, false}};
+    books.indexes = {{"pk_books", {0}, true}, {"idx_books_year", {2}, false}};
+    rel::Table* b = db_.CreateTable(std::move(books)).value();
+    ASSERT_TRUE(b->Insert({rel::Value::Int(10), rel::Value::Str("Knuth"),
+                           rel::Value::Int(1968)})
+                    .ok());
+    ASSERT_TRUE(b->Insert({rel::Value::Int(11), rel::Value::Str("Date"),
+                           rel::Value::Int(1975)})
+                    .ok());
+    ASSERT_TRUE(b->Insert({rel::Value::Int(12), rel::Value::Str("Knuth"),
+                           rel::Value::Int(1989)})
+                    .ok());
+  }
+
+  std::string PlanFor(const rel::SelectStmt& s) {
+    auto plan = rel::PlanSelect(db_, s, nullptr);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    if (!plan.ok()) return "";
+    return plan.value()->Describe();
+  }
+
+  rel::Database db_;
+};
+
+TEST_F(JoinPlannerTest, UnindexedEquiJoinPicksHashProbe) {
+  rel::SelectStmt s;
+  s.select.push_back({rel::Col("b", "id"), "id"});
+  s.from = {{"authors", "a"}, {"books", "b"}};
+  // `author` has no index, so the only alternatives are a nested seq scan
+  // (rows * rows) or a build-once hash table.
+  s.where = rel::Eq(rel::Col("b", "author"), rel::Col("a", "name"));
+  std::string d = PlanFor(s);
+  EXPECT_NE(d.find("HashProbe(author)"), std::string::npos) << d;
+}
+
+TEST_F(JoinPlannerTest, DependentRangePicksMergeJoin) {
+  rel::SelectStmt s;
+  s.select.push_back({rel::Col("b", "id"), "id"});
+  s.from = {{"authors", "a"}, {"books", "b"}};
+  // A dependent lower bound on an indexed column: one sorted sweep with a
+  // monotone frontier beats a half-open index range scan per outer row.
+  s.where = rel::Bin(rel::SqlExpr::BinOp::kGt, rel::Col("b", "year"),
+                     rel::Col("a", "id"));
+  std::string d = PlanFor(s);
+  EXPECT_NE(d.find("MergeJoin(range on year"), std::string::npos) << d;
+}
+
+TEST_F(JoinPlannerTest, NonEquiNonRangePredicateFallsBackToNestedLoop) {
+  rel::SelectStmt s;
+  s.select.push_back({rel::Col("b", "id"), "id"});
+  s.from = {{"authors", "a"}, {"books", "b"}};
+  // <> is neither an equijoin key nor a range bound; no hash or merge
+  // strategy applies, so the inner side must be a plain scan.
+  s.where = rel::Bin(rel::SqlExpr::BinOp::kNe, rel::Col("b", "author"),
+                     rel::Col("a", "name"));
+  std::string d = PlanFor(s);
+  EXPECT_EQ(d.find("HashProbe"), std::string::npos) << d;
+  EXPECT_EQ(d.find("MergeJoin"), std::string::npos) << d;
+  EXPECT_NE(d.find("SeqScan on books"), std::string::npos) << d;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: each strategy executes, with live counters
+// ---------------------------------------------------------------------------
+
+class JoinEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::XMarkOptions opt;
+    opt.scale = 0.02;
+    doc_ = new xml::Document(data::GenerateXMark(opt));
+    // The graph (and engine) borrow the schema, so it must outlive them.
+    schema_ = new xsd::Schema(xsd::ParseXsd(data::XMarkXsd()).value());
+    graph_ = new xsd::SchemaGraph(
+        xsd::SchemaGraph::Build(*schema_).value());
+    engine_ =
+        engine::XPathEngine::Build(*doc_, *graph_).value().release();
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete graph_;
+    delete schema_;
+    delete doc_;
+    engine_ = nullptr;
+    graph_ = nullptr;
+    schema_ = nullptr;
+    doc_ = nullptr;
+  }
+
+  static xml::Document* doc_;
+  static xsd::Schema* schema_;
+  static xsd::SchemaGraph* graph_;
+  static engine::XPathEngine* engine_;
+};
+
+xml::Document* JoinEngineTest::doc_ = nullptr;
+xsd::Schema* JoinEngineTest::schema_ = nullptr;
+xsd::SchemaGraph* JoinEngineTest::graph_ = nullptr;
+engine::XPathEngine* JoinEngineTest::engine_ = nullptr;
+
+TEST_F(JoinEngineTest, AncestorQueryUsesAllThreeSubstrates) {
+  // ancestor:: produces the Dewey prefix-range theta-join (merge ancestor),
+  // the Paths equijoin (hash probe), and the path regexes (bitmaps).
+  const char* q = "//keyword/ancestor::listitem";
+  auto plan = engine_->ExplainPlan(engine::Backend::kPpf, q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().find("MergeJoin(ancestor on dewey_pos"),
+            std::string::npos)
+      << plan.value();
+  EXPECT_NE(plan.value().find("HashProbe("), std::string::npos)
+      << plan.value();
+  EXPECT_NE(plan.value().find("bitmap ("), std::string::npos) << plan.value();
+
+  auto out = engine_->Run(engine::Backend::kPpf, q);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GT(out.value().nodes.size(), 0u);
+  EXPECT_GT(out.value().stats.merge_join_rounds, 0u);
+  EXPECT_GT(out.value().stats.hash_join_probes, 0u);
+  EXPECT_GT(out.value().stats.bitmap_prefilter_tests, 0u);
+  EXPECT_GT(out.value().stats.bitmap_prefilter_hits, 0u);
+}
+
+TEST_F(JoinEngineTest, AcceleratorAncestorUsesRangeMergeJoin) {
+  // The accelerator window (pre < x AND post > y) is a pure range
+  // theta-join, so the merge driver runs in range mode.
+  const char* q = "//keyword/ancestor::listitem";
+  auto plan = engine_->ExplainPlan(engine::Backend::kAccelerator, q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().find("MergeJoin(range on pre"), std::string::npos)
+      << plan.value();
+
+  auto out = engine_->Run(engine::Backend::kAccelerator, q);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GT(out.value().nodes.size(), 0u);
+  EXPECT_GT(out.value().stats.merge_join_rounds, 0u);
+}
+
+TEST_F(JoinEngineTest, DecorrelatedExistsBuildsSemiJoinOnce) {
+  // Predicate EXISTS over a correlated Dewey prefix range: one semi-join
+  // build, then pure probes. hits + misses must equal subquery_evals.
+  const char* q = "/site/regions/*/item[description]";
+  auto out = engine_->Run(engine::Backend::kPpf, q);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GT(out.value().nodes.size(), 0u);
+  EXPECT_GT(out.value().stats.exists_semijoin_builds, 0u);
+  EXPECT_GT(out.value().stats.exists_cache_hits, 0u);
+  EXPECT_EQ(out.value().stats.exists_cache_hits +
+                out.value().stats.exists_cache_misses,
+            out.value().stats.subquery_evals);
+}
+
+TEST_F(JoinEngineTest, ExplainPlanRejectsStaircase) {
+  auto plan = engine_->ExplainPlan(engine::Backend::kStaircase, "/site");
+  EXPECT_FALSE(plan.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend identity: every strategy mix returns the same node set
+// ---------------------------------------------------------------------------
+
+TEST(JoinIdentityTest, AllBackendsMatchNaiveOnRandomXMarkFragments) {
+  const char* queries[] = {
+      "//keyword/ancestor::listitem",
+      "//listitem//keyword",
+      "/site/regions/*/item[description//keyword]",
+      "/site/people/person[watches]",
+      "//bidder/following-sibling::bidder",
+      "/site/open_auctions/open_auction[bidder]/seller",
+      "//item[location = 'United States']/name",
+      "/site/closed_auctions/closed_auction/annotation//keyword",
+  };
+  auto schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  auto graph = xsd::SchemaGraph::Build(schema);
+  ASSERT_TRUE(graph.ok());
+  int checked = 0;
+  for (uint64_t seed : {7u, 19u, 101u}) {
+    data::XMarkOptions opt;
+    opt.scale = 0.01;
+    opt.seed = seed;
+    xml::Document doc = data::GenerateXMark(opt);
+    auto engine = engine::XPathEngine::Build(doc, graph.value());
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    for (const char* q : queries) {
+      // The naive backend plans per-step nested joins with no Paths
+      // pre-filtering — the reference the join strategies must reproduce.
+      auto expected = engine.value()->Run(engine::Backend::kNaive, q);
+      ASSERT_TRUE(expected.ok())
+          << q << ": " << expected.status().ToString();
+      for (engine::Backend b :
+           {engine::Backend::kPpf, engine::Backend::kEdgePpf,
+            engine::Backend::kAccelerator, engine::Backend::kStaircase}) {
+        auto actual = engine.value()->Run(b, q);
+        ASSERT_TRUE(actual.ok())
+            << q << " on " << BackendName(b) << ": "
+            << actual.status().ToString();
+        EXPECT_EQ(expected.value().nodes, actual.value().nodes)
+            << "seed " << seed << " query " << q << " on " << BackendName(b);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_EQ(checked, 3 * 8 * 4);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded LRU plan cache
+// ---------------------------------------------------------------------------
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::XMarkOptions opt;
+    opt.scale = 0.005;
+    doc_ = data::GenerateXMark(opt);
+    // graph_ borrows schema_, which must stay alive as a member.
+    schema_ = xsd::ParseXsd(data::XMarkXsd()).value();
+    graph_ = xsd::SchemaGraph::Build(schema_).value();
+  }
+
+  std::unique_ptr<engine::XPathEngine> MakeEngine(size_t capacity) {
+    engine::EngineOptions options;
+    options.plan_cache_capacity = capacity;
+    auto e = engine::XPathEngine::Build(doc_, graph_, options);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return std::move(e).value();
+  }
+
+  xml::Document doc_;
+  xsd::Schema schema_;
+  xsd::SchemaGraph graph_;
+};
+
+TEST_F(PlanCacheTest, RepeatedQueryCachesOneEntry) {
+  auto engine = MakeEngine(16);
+  ASSERT_TRUE(engine->Run(engine::Backend::kPpf, "/site/regions").ok());
+  ASSERT_TRUE(engine->Run(engine::Backend::kPpf, "/site/regions").ok());
+  EXPECT_EQ(engine->plan_cache_size(), 1u);
+}
+
+TEST_F(PlanCacheTest, CapacityBoundsCacheAndEvictedQueryStillAnswers) {
+  auto engine = MakeEngine(2);
+  const char* queries[] = {"/site/regions", "/site/people/person",
+                           "//keyword", "/site/regions/*/item"};
+  auto first = engine->Run(engine::Backend::kPpf, queries[0]);
+  ASSERT_TRUE(first.ok());
+  for (const char* q : queries) {
+    ASSERT_TRUE(engine->Run(engine::Backend::kPpf, q).ok());
+    EXPECT_LE(engine->plan_cache_size(), 2u);
+  }
+  // queries[0] was evicted; re-running replans and must agree.
+  auto again = engine->Run(engine::Backend::kPpf, queries[0]);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first.value().nodes, again.value().nodes);
+  EXPECT_LE(engine->plan_cache_size(), 2u);
+}
+
+TEST_F(PlanCacheTest, ZeroCapacityMeansUnbounded) {
+  auto engine = MakeEngine(0);
+  const char* queries[] = {"/site/regions", "/site/people/person",
+                           "//keyword"};
+  for (const char* q : queries) {
+    ASSERT_TRUE(engine->Run(engine::Backend::kPpf, q).ok());
+  }
+  EXPECT_EQ(engine->plan_cache_size(), 3u);
+}
+
+TEST_F(PlanCacheTest, EvictionKeepsInFlightExecutionsValid) {
+  // Capacity 1 with four threads on four distinct queries: every insert
+  // evicts someone else's entry, usually while that plan is mid-execution
+  // on another thread. Entries are shared_ptr-held, so results must stay
+  // correct throughout (run under ASan/TSan presets for full effect).
+  auto engine = MakeEngine(1);
+  const char* queries[] = {"/site/regions", "/site/people/person",
+                           "//keyword", "/site/regions/*/item"};
+  std::vector<std::vector<xml::NodeId>> expected;
+  for (const char* q : queries) {
+    auto out = engine->Run(engine::Backend::kPpf, q);
+    ASSERT_TRUE(out.ok());
+    expected.push_back(out.value().nodes);
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        auto out = engine->Run(engine::Backend::kPpf, queries[t]);
+        if (!out.ok() || out.value().nodes != expected[t]) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(failures[t], 0) << "query " << queries[t];
+  }
+  EXPECT_LE(engine->plan_cache_size(), 1u);
+}
+
+}  // namespace
+}  // namespace xprel

@@ -249,10 +249,10 @@ TEST_F(RelExecTest, TableErrors) {
 }
 
 TEST_F(RelExecTest, ExistsMemoizationHitsOnRepeatedKeys) {
-  // Books whose author exists. The EXISTS is correlated on b.author_id,
-  // which repeats (1, 2, 1, NULL) across the outer scan: the third book
-  // must be answered from the semi-join memo, not by re-running the
-  // subplan.
+  // Books whose author exists. The EXISTS correlates on an equality key, so
+  // the planner decorrelates it into a build-once semi-join: the first
+  // evaluation runs the uncorrelated build plan (one miss), every further
+  // evaluation — including the NULL-key book — answers from the key set.
   SelectStmt s;
   s.select.push_back({Col("b", "title"), "title"});
   s.from = {{"books", "b"}};
@@ -265,8 +265,9 @@ TEST_F(RelExecTest, ExistsMemoizationHitsOnRepeatedKeys) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().rows.size(), 3u);  // NULL author_id fails EXISTS
   EXPECT_EQ(stats.subquery_evals, 4u);
-  EXPECT_EQ(stats.exists_cache_misses, 3u);  // keys 1, 2, NULL
-  EXPECT_EQ(stats.exists_cache_hits, 1u);    // second book with author 1
+  EXPECT_EQ(stats.exists_semijoin_builds, 1u);
+  EXPECT_EQ(stats.exists_cache_misses, 1u);  // the build itself
+  EXPECT_EQ(stats.exists_cache_hits, 3u);    // every other outer row
 }
 
 TEST_F(RelExecTest, EquiJoinRowsScannedUpperBound) {
