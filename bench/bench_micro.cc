@@ -165,12 +165,13 @@ int RunJsonMode() {
                 last.stats.exists_semijoin_builds);
     std::fprintf(
         f,
-        "  {\"query\": \"%s\", \"backend\": \"PPF\", \"ms\": %.4f, "
+        "  {\"query\": \"%s\", \"backend\": \"PPF\", \"scale\": %g, "
+        "\"ms\": %.4f, "
         "\"nodes\": %zu, \"rows_scanned\": %zu, \"index_probes\": %zu, "
         "\"exists_cache_hits\": %zu, \"exists_cache_misses\": %zu, "
         "\"hash_join_probes\": %zu, \"merge_join_rounds\": %zu, "
         "\"bitmap_prefilter_hits\": %zu, \"exists_semijoin_builds\": %zu}%s\n",
-        q.id, ms, last.nodes.size(), last.stats.rows_scanned,
+        q.id, scale, ms, last.nodes.size(), last.stats.rows_scanned,
         last.stats.index_probes, last.stats.exists_cache_hits,
         last.stats.exists_cache_misses, last.stats.hash_join_probes,
         last.stats.merge_join_rounds, last.stats.bitmap_prefilter_hits,

@@ -1,0 +1,233 @@
+// Closed-loop throughput benchmark for the concurrent query service
+// (src/service): N client threads replay the XPathMark mix against a
+// QueryService on one shared XPathEngine and the result is compared with
+// a single-threaded engine->Run baseline, query for query, node for node.
+//
+// Writes BENCH_service.json with serial QPS, service QPS (cached and
+// cache-bypassing), the speedup ratio, and the admission/deadline counters
+// so bench/check_regression.py --service can gate the numbers. Also smoke-
+// checks the control paths: a cancelled and a deadline-expired request must
+// come back as error statuses without wedging a pool slot.
+//
+// Knobs: XPREL_XMARK_SMALL_SCALE (corpus; must match the baseline's),
+// XPREL_REPS (serial passes over the mix), XPREL_SERVICE_CLIENTS,
+// XPREL_SERVICE_REPS (mix replays per client).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "service/query_service.h"
+
+namespace xprel::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr size_t kNumQueries = sizeof(kXMarkQueries) / sizeof(kXMarkQueries[0]);
+
+// One pass over the mix on the bare engine; returns queries executed.
+size_t SerialPass(const engine::XPathEngine& eng,
+                  std::vector<std::vector<xml::NodeId>>* expected) {
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    auto r = eng.Run(engine::Backend::kPpf, kXMarkQueries[i].xpath);
+    if (!r.ok()) {
+      std::fprintf(stderr, "serial %s: %s\n", kXMarkQueries[i].id,
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (expected != nullptr) (*expected)[i] = std::move(r.value().nodes);
+  }
+  return kNumQueries;
+}
+
+// Replays the mix `reps` times from `clients` threads; every response is
+// checked for node-set identity against `expected`. Returns QPS.
+double ServicePass(service::QueryService& svc,
+                   const std::vector<std::vector<xml::NodeId>>& expected,
+                   int clients, int reps, bool bypass_cache,
+                   std::atomic<size_t>& mismatches) {
+  auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < reps; ++r) {
+        // Stagger the starting query per client so distinct queries are in
+        // flight together instead of every thread marching in lockstep.
+        for (size_t k = 0; k < kNumQueries; ++k) {
+          size_t i = (k + static_cast<size_t>(c)) % kNumQueries;
+          service::QueryRequest req;
+          req.xpath = kXMarkQueries[i].xpath;
+          req.bypass_cache = bypass_cache;
+          auto resp = svc.Run(std::move(req));
+          if (!resp.ok()) {
+            std::fprintf(stderr, "service %s: %s\n", kXMarkQueries[i].id,
+                         resp.status().ToString().c_str());
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (resp.value().nodes != expected[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double secs = SecondsSince(start);
+  return static_cast<double>(clients) * reps * kNumQueries / secs;
+}
+
+// A cancelled and a deadline-expired request must surface as error
+// statuses, and the pool must still serve afterwards. Uses its own
+// service so the throughput metrics above stay clean.
+bool CheckControlPaths(const engine::XPathEngine& eng) {
+  service::ServiceOptions opt;
+  opt.workers = 2;
+  opt.check_interval = 64;
+  service::QueryService svc(eng, opt);
+
+  service::QueryRequest cancelled;
+  cancelled.xpath = "//keyword";
+  cancelled.bypass_cache = true;
+  cancelled.cancel = std::make_shared<service::CancelToken>();
+  cancelled.cancel->Cancel();
+  auto rc = svc.Run(std::move(cancelled));
+  if (rc.ok() || rc.status().code() != StatusCode::kCancelled) {
+    std::fprintf(stderr, "control: pre-cancelled request not kCancelled\n");
+    return false;
+  }
+
+  // Park both workers so a 1 ms deadline expires while the request queues.
+  std::atomic<bool> release{false};
+  for (int i = 0; i < opt.workers; ++i) {
+    svc.pool().TrySubmit([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  service::QueryRequest late;
+  late.xpath = "//keyword";
+  late.bypass_cache = true;
+  late.deadline = std::chrono::milliseconds(1);
+  auto fut = svc.Submit(std::move(late));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true, std::memory_order_release);
+  auto rd = fut.get();
+  if (rd.ok() || rd.status().code() != StatusCode::kDeadlineExceeded) {
+    std::fprintf(stderr, "control: queued 1ms-deadline request not "
+                 "kDeadlineExceeded\n");
+    return false;
+  }
+
+  service::QueryRequest after;
+  after.xpath = "//keyword";
+  after.bypass_cache = true;
+  auto ra = svc.Run(std::move(after));
+  if (!ra.ok()) {
+    std::fprintf(stderr, "control: pool did not recover: %s\n",
+                 ra.status().ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+int RunBench() {
+  int reps = EnvInt("XPREL_REPS", 3);
+  int clients = EnvInt("XPREL_SERVICE_CLIENTS", 8);
+  int client_reps = EnvInt("XPREL_SERVICE_REPS", 4);
+  double scale = EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+  auto corpus = BuildXMark("XMark small", scale);
+  const engine::XPathEngine& eng = *corpus->engine;
+
+  // Warm-up pass populates the plan cache and the expected node sets.
+  std::vector<std::vector<xml::NodeId>> expected(kNumQueries);
+  SerialPass(eng, &expected);
+
+  auto serial_start = Clock::now();
+  size_t serial_n = 0;
+  for (int r = 0; r < reps; ++r) serial_n += SerialPass(eng, nullptr);
+  double serial_qps = static_cast<double>(serial_n) / SecondsSince(serial_start);
+
+  service::ServiceOptions opt;
+  opt.workers = 8;
+  opt.queue_capacity = 256;
+  std::atomic<size_t> mismatches{0};
+
+  service::QueryService svc(eng, opt);
+  double service_qps =
+      ServicePass(svc, expected, clients, client_reps, false, mismatches);
+  const service::MetricsRegistry& m = svc.metrics();
+  uint64_t rejected = m.rejected.load(std::memory_order_relaxed);
+  uint64_t timed_out = m.timed_out.load(std::memory_order_relaxed);
+  double hit_rate = m.CacheHitRate();
+
+  service::QueryService uncached(eng, opt);
+  double uncached_qps =
+      ServicePass(uncached, expected, clients, client_reps, true, mismatches);
+  rejected += uncached.metrics().rejected.load(std::memory_order_relaxed);
+  timed_out += uncached.metrics().timed_out.load(std::memory_order_relaxed);
+
+  bool control_ok = CheckControlPaths(eng);
+  size_t bad = mismatches.load();
+
+  double speedup = service_qps / serial_qps;
+  std::printf("serial:            %8.1f QPS (%d passes)\n", serial_qps, reps);
+  std::printf("service (cached):  %8.1f QPS  -> %.2fx serial\n", service_qps,
+              speedup);
+  std::printf("service (bypass):  %8.1f QPS  -> %.2fx serial\n", uncached_qps,
+              uncached_qps / serial_qps);
+  std::printf("clients=%d workers=%d cache_hit_rate=%.1f%% rejected=%llu "
+              "timed_out=%llu mismatches=%zu control_ok=%d\n",
+              clients, opt.workers, 100.0 * hit_rate,
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(timed_out), bad,
+              control_ok ? 1 : 0);
+  std::puts(svc.DumpMetrics().c_str());
+
+  FILE* f = std::fopen("BENCH_service.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_service.json for writing\n");
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"scale\": %g,\n"
+      "  \"workers\": %d,\n"
+      "  \"clients\": %d,\n"
+      "  \"queries\": %zu,\n"
+      "  \"serial_qps\": %.2f,\n"
+      "  \"service_qps\": %.2f,\n"
+      "  \"service_uncached_qps\": %.2f,\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"cache_hit_rate\": %.4f,\n"
+      "  \"rejected\": %llu,\n"
+      "  \"timed_out\": %llu,\n"
+      "  \"mismatches\": %zu,\n"
+      "  \"control_paths_ok\": %s\n"
+      "}\n",
+      scale, opt.workers, clients, kNumQueries, serial_qps, service_qps,
+      uncached_qps, speedup, hit_rate,
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(timed_out), bad,
+      control_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_service.json\n");
+  return (bad == 0 && control_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xprel::bench
+
+int main() { return xprel::bench::RunBench(); }

@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Fail CI when the BENCH_micro query suite regresses.
+"""Fail CI when the BENCH_micro query suite or BENCH_service regresses.
 
-Runs `bench_micro --json` (or takes an already-produced JSON) and compares
-the per-query timings against the committed baseline BENCH_micro.json.
-Exits non-zero if the geomean slows down by more than --threshold
-(default 20%), or if any query's node count diverges from the baseline —
-a perf harness that silently changes its answers is measuring nothing.
+Micro mode (default): runs `bench_micro --json` (or takes an already-
+produced JSON) and compares the per-query timings against the committed
+baseline BENCH_micro.json. Exits non-zero if the geomean slows down by
+more than --threshold (default 20%), if any query's node count diverges
+from the baseline, or if the corpus scale differs from the baseline's —
+a perf harness that silently changes its answers (or its input size) is
+measuring nothing.
+
+Service mode (--service): compares BENCH_service.json (from
+`bench_service`) against the committed baseline. Fails when service
+throughput (QPS) regresses by more than --threshold, when any request was
+rejected or timed out at the default load, or when a response diverged
+from the serial node sets.
 
 Usage:
   bench/check_regression.py --bench-bin build/bench/bench_micro
   bench/check_regression.py --candidate build/bench/BENCH_micro.json
+  bench/check_regression.py --service --candidate BENCH_service.json
+  bench/check_regression.py --service --bench-bin build/bench/bench_service
 """
 
 import argparse
@@ -28,6 +38,11 @@ def load(path):
         return {rec["query"]: rec for rec in json.load(f)}
 
 
+def load_obj(path):
+    with open(path) as f:
+        return json.load(f)
+
+
 def geomean_ratio(baseline, candidate):
     """Geomean over shared queries of candidate_ms / baseline_ms."""
     shared = sorted(set(baseline) & set(candidate))
@@ -41,34 +56,38 @@ def geomean_ratio(baseline, candidate):
     return math.exp(log_sum / len(shared)), shared
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline",
-                    default=os.path.join(REPO_ROOT, "BENCH_micro.json"),
-                    help="committed baseline JSON (default: repo root)")
-    ap.add_argument("--candidate",
-                    help="candidate JSON; omit to run --bench-bin instead")
-    ap.add_argument("--bench-bin",
-                    default=os.path.join(REPO_ROOT, "build", "bench",
-                                         "bench_micro"),
-                    help="bench_micro binary used when --candidate is absent")
-    ap.add_argument("--threshold", type=float, default=0.20,
-                    help="allowed fractional geomean slowdown (default 0.20)")
-    args = ap.parse_args()
+def run_bench(bench_bin, json_name, extra_args):
+    """Runs a bench binary in a scratch dir and loads the JSON it writes,
+    so the committed baseline is never clobbered."""
+    with tempfile.TemporaryDirectory() as tmp:
+        subprocess.run([os.path.abspath(bench_bin)] + extra_args,
+                       cwd=tmp, check=True)
+        return load_obj(os.path.join(tmp, json_name))
 
+
+def check_micro(args):
     baseline = load(args.baseline)
-
     if args.candidate:
         candidate = load(args.candidate)
     else:
-        # bench_micro writes BENCH_micro.json into its cwd; run it in a
-        # scratch dir so the committed baseline is never clobbered.
-        with tempfile.TemporaryDirectory() as tmp:
-            subprocess.run([os.path.abspath(args.bench_bin), "--json"],
-                           cwd=tmp, check=True)
-            candidate = load(os.path.join(tmp, "BENCH_micro.json"))
+        records = run_bench(args.bench_bin, "BENCH_micro.json", ["--json"])
+        candidate = {rec["query"]: rec for rec in records}
 
-    mismatched = [q for q in sorted(set(baseline) & set(candidate))
+    shared = sorted(set(baseline) & set(candidate))
+
+    # Timings and node counts are only comparable at the same corpus scale
+    # (XPREL_XMARK_SMALL_SCALE). Older baselines predate the field.
+    scale_diffs = [q for q in shared
+                   if "scale" in baseline[q] and "scale" in candidate[q]
+                   and baseline[q]["scale"] != candidate[q]["scale"]]
+    if scale_diffs:
+        q = scale_diffs[0]
+        print(f"FAIL: corpus scale mismatch ({candidate[q]['scale']} vs "
+              f"baseline {baseline[q]['scale']}); set "
+              f"XPREL_XMARK_SMALL_SCALE to the baseline's scale.")
+        return 1
+
+    mismatched = [q for q in shared
                   if baseline[q]["nodes"] != candidate[q]["nodes"]]
     if mismatched:
         for q in mismatched:
@@ -89,6 +108,74 @@ def main():
         return 1
     print("OK")
     return 0
+
+
+def check_service(args):
+    baseline = load_obj(args.baseline)
+    if args.candidate:
+        candidate = load_obj(args.candidate)
+    else:
+        candidate = run_bench(args.bench_bin, "BENCH_service.json", [])
+
+    fail = False
+    if baseline.get("scale") != candidate.get("scale"):
+        print(f"FAIL: corpus scale mismatch ({candidate.get('scale')} vs "
+              f"baseline {baseline.get('scale')}); set "
+              f"XPREL_XMARK_SMALL_SCALE to the baseline's scale.")
+        fail = True
+    # At the default closed-loop load the admission queue is far larger than
+    # the client count and no deadlines are set, so any rejection or timeout
+    # is a service bug, not an overload artifact.
+    for key in ("rejected", "timed_out", "mismatches"):
+        if candidate.get(key, 0) != 0:
+            print(f"FAIL: {key} = {candidate[key]} (must be 0 at default load)")
+            fail = True
+    if not candidate.get("control_paths_ok", False):
+        print("FAIL: cancellation/deadline control-path check failed")
+        fail = True
+
+    for key in ("service_qps", "service_uncached_qps"):
+        b, c = baseline.get(key), candidate.get(key)
+        if b is None or c is None:
+            continue
+        ratio = c / max(b, 1e-6)
+        print(f"{key}: {b:.1f} -> {c:.1f} QPS (x{ratio:.2f})")
+        if ratio < 1.0 - args.threshold:
+            print(f"FAIL: {key} regressed more than {args.threshold:.0%}")
+            fail = True
+    print(f"speedup over serial: baseline {baseline.get('speedup', 0):.2f}x, "
+          f"candidate {candidate.get('speedup', 0):.2f}x")
+    if fail:
+        return 1
+    print("OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--service", action="store_true",
+                    help="gate BENCH_service.json instead of BENCH_micro.json")
+    ap.add_argument("--baseline",
+                    help="committed baseline JSON (default: repo root "
+                         "BENCH_micro.json or BENCH_service.json)")
+    ap.add_argument("--candidate",
+                    help="candidate JSON; omit to run --bench-bin instead")
+    ap.add_argument("--bench-bin",
+                    help="bench binary used when --candidate is absent "
+                         "(default: build/bench/bench_micro or bench_service)")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional regression (default 0.20): "
+                         "geomean slowdown (micro) or QPS drop (service)")
+    args = ap.parse_args()
+
+    name = "BENCH_service.json" if args.service else "BENCH_micro.json"
+    binname = "bench_service" if args.service else "bench_micro"
+    if args.baseline is None:
+        args.baseline = os.path.join(REPO_ROOT, name)
+    if args.bench_bin is None:
+        args.bench_bin = os.path.join(REPO_ROOT, "build", "bench", binname)
+
+    return check_service(args) if args.service else check_micro(args)
 
 
 if __name__ == "__main__":

@@ -1,8 +1,10 @@
 // SQL explorer: prints the SQL every translator produces for a given XPath
 // expression, side by side — a window into what each of the paper's systems
 // actually executes — followed by the executor's access plan (join strategy
-// per step, bitmap pre-filters, semi-join builds). Reads the XPath from the
-// command line (or uses a default), against the XMark schema.
+// per step, bitmap pre-filters, semi-join builds), and finally the query
+// run twice through a QueryService so the service metrics block (latency
+// histograms, cache hit rate) is visible. Reads the XPath from the command
+// line (or uses a default), against the XMark schema.
 //
 //   ./examples/sql_explorer "//keyword/ancestor::listitem"
 
@@ -10,6 +12,7 @@
 
 #include "data/xmark.h"
 #include "engine/engine.h"
+#include "service/query_service.h"
 #include "xsd/schema_graph.h"
 #include "xsd/xsd_parser.h"
 
@@ -59,5 +62,22 @@ int main(int argc, char** argv) {
   }
   std::printf("\n--- %s ---\n(no SQL: native staircase-join evaluation)\n",
               engine::BackendName(engine::Backend::kStaircase));
+
+  // Run the query through the serving layer twice — the second request is
+  // a result-cache hit — and show what the service's metrics look like.
+  service::ServiceOptions sopt;
+  sopt.workers = 2;
+  service::QueryService svc(*engine.value(), sopt);
+  for (int i = 0; i < 2; ++i) {
+    auto r = svc.Run({.xpath = xpath});
+    if (!r.ok()) {
+      std::printf("\nservice: (%s)\n", r.status().ToString().c_str());
+      return 0;
+    }
+    std::printf("\nservice run %d: %zu nodes in %.2f ms%s\n", i + 1,
+                r.value().nodes.size(), r.value().elapsed_ms,
+                r.value().cache_hit ? " (cache hit)" : "");
+  }
+  std::printf("\n--- service metrics ---\n%s", svc.DumpMetrics().c_str());
   return 0;
 }

@@ -15,6 +15,9 @@ enum class StatusCode {
   kNotFound,          // named entity (table, column, type) missing
   kUnsupported,       // feature outside the supported subset
   kInternal,          // invariant violation inside the library
+  kCancelled,         // caller revoked the request mid-execution
+  kDeadlineExceeded,  // per-query deadline expired before completion
+  kResourceExhausted, // admission control rejected the request (queue full)
 };
 
 // Returns a stable human-readable name, e.g. "ParseError".
@@ -44,6 +47,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -16,6 +16,21 @@ double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+// Coarse control check for paths that do not run through the relational
+// executor (the staircase backend): which trigger fired, if any.
+Status ControlStatus(const rel::ExecControl* control) {
+  if (control == nullptr) return Status::Ok();
+  if (control->cancel != nullptr &&
+      control->cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (control->has_deadline &&
+      std::chrono::steady_clock::now() >= control->deadline) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 const char* BackendName(Backend b) {
@@ -218,8 +233,8 @@ Result<std::string> XPathEngine::ExplainPlan(Backend backend,
   return out;
 }
 
-Result<QueryOutcome> XPathEngine::Run(Backend backend,
-                                      std::string_view xpath) const {
+Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
+                                      const rel::ExecControl* control) const {
   QueryOutcome out;
   auto start = std::chrono::steady_clock::now();
 
@@ -227,9 +242,13 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend,
     if (accel_store_ == nullptr) {
       return Status::InvalidArgument("Accelerator backend disabled");
     }
+    // The staircase evaluator has no per-row interruption hooks; honour the
+    // control at the two step boundaries it does cross.
+    XPREL_RETURN_IF_ERROR(ControlStatus(control));
     accel::StaircaseEvaluator eval(*accel_store_);
     auto r = eval.EvaluateString(xpath);
     if (!r.ok()) return r.status();
+    XPREL_RETURN_IF_ERROR(ControlStatus(control));
     for (int32_t pre : r.value()) {
       out.nodes.push_back(accel_store_->NodeOf(pre));
     }
@@ -246,7 +265,7 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend,
       // Node ids get sorted into document order below, so the executor can
       // skip materializing the SQL-level ORDER BY.
       auto r = rel::ExecutePlannedQuery(plans, &out.stats,
-                                        /*need_ordered_rows=*/false);
+                                        /*need_ordered_rows=*/false, control);
       if (!r.ok()) return r.status();
       for (const rel::Row& row : r.value().rows) {
         if (backend == Backend::kAccelerator) {

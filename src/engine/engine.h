@@ -1,6 +1,7 @@
 #ifndef XPREL_ENGINE_ENGINE_H_
 #define XPREL_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -64,7 +65,12 @@ class XPathEngine {
       const xml::Document& doc, const xsd::SchemaGraph& graph,
       EngineOptions options = {});
 
-  Result<QueryOutcome> Run(Backend backend, std::string_view xpath) const;
+  // Thread-safe: any number of threads may Run() concurrently on one
+  // engine. `control` (nullable) arms per-query cancellation and deadline
+  // checks inside the executor (see rel::ExecControl); an interrupted query
+  // returns Status::Cancelled / Status::DeadlineExceeded.
+  Result<QueryOutcome> Run(Backend backend, std::string_view xpath,
+                           const rel::ExecControl* control = nullptr) const;
 
   // Translation only (no execution); not meaningful for kStaircase.
   Result<std::string> TranslateToSql(Backend backend,
@@ -83,6 +89,18 @@ class XPathEngine {
 
   // Number of compiled (backend, xpath) entries currently cached.
   size_t plan_cache_size() const;
+
+  // Document generation, for serving layers that cache results keyed on
+  // (backend, xpath, generation): starts at 0 and only moves via
+  // BumpGeneration(). Call BumpGeneration() whenever the underlying
+  // document or stores are reloaded or mutated out-of-band, so every
+  // result cached against the previous generation silently misses.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
  private:
   XPathEngine() = default;
@@ -106,6 +124,7 @@ class XPathEngine {
   const xml::Document* doc_ = nullptr;
   const xsd::SchemaGraph* graph_ = nullptr;
   EngineOptions options_;
+  std::atomic<uint64_t> generation_{0};
   std::unique_ptr<shred::SchemaAwareStore> ppf_store_;
   std::unique_ptr<shred::EdgeStore> edge_store_;
   std::unique_ptr<accel::AccelStore> accel_store_;

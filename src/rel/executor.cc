@@ -98,6 +98,13 @@ const Value kNullValue;  // shared referent for unbound slots
 struct ExecContext {
   QueryStats* stats = nullptr;
 
+  // Cooperative interruption (see ExecControl in query.h). `interrupt` is
+  // sticky: once set, every enumeration loop unwinds via its abort path and
+  // ExecutePlan returns it instead of a result.
+  const ExecControl* control = nullptr;
+  uint32_t control_tick = 0;
+  Status interrupt;
+
   // Lazily built hash tables for kHashProbe steps, keyed by step address.
   // `built` is tracked explicitly so a build whose rows all yield non-text
   // keys (an empty table) is not re-run on every probe.
@@ -155,6 +162,33 @@ class KeyBufs {
   ExecContext& ctx_;
   std::array<std::string, 2>* bufs_;
 };
+
+// Samples the cancellation flag and the deadline clock, recording the first
+// trigger in ctx.interrupt. Returns true when the execution must unwind.
+bool CheckControlNow(ExecContext& ctx) {
+  if (!ctx.interrupt.ok()) return true;
+  const ExecControl* c = ctx.control;
+  if (c == nullptr) return false;
+  if (c->cancel != nullptr && c->cancel->load(std::memory_order_relaxed)) {
+    ctx.interrupt = Status::Cancelled("query cancelled");
+    return true;
+  }
+  if (c->has_deadline && std::chrono::steady_clock::now() >= c->deadline) {
+    ctx.interrupt = Status::DeadlineExceeded("query deadline exceeded");
+    return true;
+  }
+  return false;
+}
+
+// Per-row interruption probe: one increment per row, a real check (atomic
+// load + possibly a clock read) every check_interval rows.
+inline bool Interrupted(ExecContext& ctx) {
+  if (!ctx.interrupt.ok()) return true;
+  if (ctx.control == nullptr) return false;
+  if (++ctx.control_tick < ctx.control->check_interval) return false;
+  ctx.control_tick = 0;
+  return CheckControlNow(ctx);
+}
 
 Value EvalExpr(const CompiledExpr& e, Binding& b, ExecContext& ctx);
 
@@ -289,6 +323,12 @@ Value EvalExpr(const CompiledExpr& e, Binding& b, ExecContext& ctx) {
       // Nested EXISTS nodes are distinct, so recursion touches other inner
       // maps only; references into `memo` stay valid across it.
       bool found = ExecExists(*e.subplan, b, ctx);
+      if (!ctx.interrupt.ok()) {
+        // The subplan was cut short: its verdict is not trustworthy, so it
+        // must not be memoized (a later retry would read a wrong `false`).
+        memo.erase(it);
+        return Value::Null();
+      }
       it->second = found;
       return Value::Int(found ? 1 : 0);
     }
@@ -411,6 +451,7 @@ bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
   const Table& table = *step.table;
 
   auto try_row = [&](RowId rid) -> bool {
+    if (Interrupted(ctx)) return false;
     for (const RowBitmap* bm : step.bitmap_filters) {
       if (ctx.stats != nullptr) ++ctx.stats->bitmap_prefilter_tests;
       if (!bm->Test(rid)) return true;
@@ -542,6 +583,7 @@ bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
         if (ctx.stats != nullptr) ++ctx.stats->hash_tables_built;
         std::string kbuf;
         for (RowId rid = 0; rid < table.row_count(); ++rid) {
+          if (Interrupted(ctx)) return false;
           const Value& v = table.row(rid)[static_cast<size_t>(step.hash_column)];
           // Values of a foreign type never land in the probed key space
           // (mirrors an index probe, which scans only the key's tag region).
@@ -679,6 +721,7 @@ bool ExecMerge(const Plan& plan, size_t seg_begin, size_t m, Binding& b,
   // Rebinds the outer segment's rows, then feeds one inner match through the
   // merge step's residual filters and on to the rest of the pipeline.
   auto process = [&](size_t inner_idx) -> bool {
+    if (Interrupted(ctx)) return false;
     RowId rid = inner[inner_idx];
     if (ctx.stats != nullptr) ++ctx.stats->rows_scanned;
     BindRow(*step.table, rid, step.bind_offset, b);
@@ -710,6 +753,7 @@ bool ExecMerge(const Plan& plan, size_t seg_begin, size_t m, Binding& b,
     std::vector<Run> stack;
     size_t pos = 0;
     for (const OuterTuple& t : outers) {
+      if (Interrupted(ctx)) return false;
       std::string_view k = t.key;
       while (!stack.empty()) {
         std::string_view s = inner_val(stack.back().begin).AsStringLike();
@@ -753,6 +797,7 @@ bool ExecMerge(const Plan& plan, size_t seg_begin, size_t m, Binding& b,
   const bool has_hi = step.crange_hi != nullptr;
   size_t start = 0;
   for (const OuterTuple& t : outers) {
+    if (Interrupted(ctx)) return false;
     if (has_lo) {
       while (start < inner.size()) {
         const Value& v = inner_val(start);
@@ -963,9 +1008,15 @@ std::optional<bool> ProbeSemiJoin(const Plan& sub, Binding& b,
   if (!set.built) {
     QueryStats local;
     auto r = ExecutePlan(*sub.semijoin_plan, &local,
-                         /*need_ordered_rows=*/false);
+                         /*need_ordered_rows=*/false, ctx.control);
     MergeStats(local, ctx.stats);
     if (!r.ok()) {
+      // An interrupted build must stop the outer execution too, not just
+      // fall back to the per-row subplan path.
+      StatusCode c = r.status().code();
+      if (c == StatusCode::kCancelled || c == StatusCode::kDeadlineExceeded) {
+        ctx.interrupt = r.status();
+      }
       set.failed = true;
       return std::nullopt;
     }
@@ -984,9 +1035,14 @@ std::optional<bool> ProbeSemiJoin(const Plan& sub, Binding& b,
 }  // namespace
 
 Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
-                                bool need_ordered_rows) {
+                                bool need_ordered_rows,
+                                const ExecControl* control) {
   ExecContext ctx;
   ctx.stats = stats;
+  ctx.control = control;
+  // Check once before touching any rows, so a request that spent its whole
+  // deadline queued (or was cancelled while queued) fails immediately.
+  if (CheckControlNow(ctx)) return ctx.interrupt;
 
   // Merge joins snapshot the outer tuple feeding them via the step trace.
   bool has_merge = false;
@@ -1075,6 +1131,10 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
     for (Emitted& e : keyed) emitted.push_back(std::move(e.projected));
   }
 
+  // Enumeration unwinds through the abort path on interruption; surface the
+  // recorded status instead of a truncated (wrong) result.
+  if (!ctx.interrupt.ok()) return ctx.interrupt;
+
   if (stmt.distinct) {
     std::unordered_set<Row, RowHash> seen;
     seen.reserve(emitted.size());
@@ -1100,12 +1160,13 @@ Result<QueryResult> ExecuteSelect(const Database& db, const SelectStmt& stmt,
 
 Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
                                         QueryStats* stats,
-                                        bool need_ordered_rows) {
+                                        bool need_ordered_rows,
+                                        const ExecControl* control) {
   if (plans.empty()) {
     return Status::InvalidArgument("empty query");
   }
   if (plans.size() == 1) {
-    return ExecutePlan(*plans[0], stats, need_ordered_rows);
+    return ExecutePlan(*plans[0], stats, need_ordered_rows, control);
   }
   // UNION with set semantics; rows from all blocks deduplicated, then
   // ordered by the first block's ORDER BY columns (the translators emit the
@@ -1115,7 +1176,8 @@ Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
   std::unordered_set<Row, RowHash> seen;
   for (size_t b = 0; b < plans.size(); ++b) {
     QueryStats local;
-    auto r = ExecutePlan(*plans[b], &local, /*need_ordered_rows=*/false);
+    auto r = ExecutePlan(*plans[b], &local, /*need_ordered_rows=*/false,
+                         control);
     if (!r.ok()) return r.status();
     if (stats != nullptr) {
       stats->rows_scanned += local.rows_scanned;

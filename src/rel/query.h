@@ -1,6 +1,8 @@
 #ifndef XPREL_REL_QUERY_H_
 #define XPREL_REL_QUERY_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -282,6 +284,32 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
 // Execution
 // ---------------------------------------------------------------------------
 
+// Cooperative interruption of one execution: an optional cancellation flag
+// (typically owned by a serving layer's CancelToken) and an optional
+// absolute deadline. The executor samples both every `check_interval`
+// enumerated rows — in sequential scans, index probes, hash builds and
+// merge sweeps alike — and unwinds with Status::Cancelled /
+// Status::DeadlineExceeded instead of a result. The object is read-only to
+// the executor and may be shared across the UNION blocks of one query; it
+// must outlive the execution.
+struct ExecControl {
+  const std::atomic<bool>* cancel = nullptr;  // set to true to cancel
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  // Rows enumerated between checks. The per-row cost of an armed control is
+  // one counter increment; the clock is only read every `check_interval`
+  // rows, so small values tighten latency and large values tighten overhead.
+  uint32_t check_interval = 1024;
+
+  // True when either trigger has already fired (one immediate sample).
+  bool Expired() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
 struct QueryStats {
   size_t rows_scanned = 0;      // rows enumerated by access paths
   size_t index_probes = 0;      // point/range/prefix B-tree operations
@@ -310,16 +338,23 @@ struct QueryResult {
 // applies) for callers that impose their own order on the result anyway —
 // the XPath engine re-sorts node ids into document order, so row order out
 // of the executor is wasted work on its path.
+// `control` (nullable) arms cooperative cancellation and deadline checks;
+// see ExecControl. Plans are immutable during execution — all per-execution
+// state (hash-join tables, EXISTS memos, semi-join key sets, key buffers)
+// lives in an execution context created per call — so any number of threads
+// may execute the same Plan concurrently.
 Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
-                                bool need_ordered_rows = true);
+                                bool need_ordered_rows = true,
+                                const ExecControl* control = nullptr);
 
 // Executes an already-planned UNION of selects (set semantics; the first
 // block's ORDER BY orders the combined result). This is the reusable-plan
 // entry point: callers that run the same query repeatedly plan once and
-// call this per execution.
+// call this per execution. Safe to call concurrently on shared plans.
 Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
                                         QueryStats* stats = nullptr,
-                                        bool need_ordered_rows = true);
+                                        bool need_ordered_rows = true,
+                                        const ExecControl* control = nullptr);
 
 // Convenience: plan + execute a full query (UNION of selects). UNION applies
 // set semantics; ORDER BY of the first block orders the combined result (the

@@ -1,0 +1,64 @@
+#include "service/metrics.h"
+
+#include <cstdio>
+
+namespace xprel::service {
+
+uint64_t LatencyHistogram::PercentileUs(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Snapshot the buckets; relaxed loads, so a concurrent recorder may be
+  // half-visible — acceptable for an observability read.
+  std::array<uint64_t, kBuckets> snap;
+  uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += snap[static_cast<size_t>(i)];
+  }
+  if (total == 0) return 0;
+  // Rank of the quantile sample, 1-based; walk buckets to find it.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += snap[static_cast<size_t>(i)];
+    if (seen >= rank) return uint64_t{1} << (i + 1);  // upper bucket edge
+  }
+  return uint64_t{1} << kBuckets;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%lluµs p95=%lluµs p99=%lluµs mean=%.0fµs n=%llu",
+                static_cast<unsigned long long>(PercentileUs(0.50)),
+                static_cast<unsigned long long>(PercentileUs(0.95)),
+                static_cast<unsigned long long>(PercentileUs(0.99)),
+                MeanUs(), static_cast<unsigned long long>(count()));
+  return buf;
+}
+
+std::string MetricsRegistry::Dump() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests: submitted=%llu completed=%llu rejected=%llu cancelled=%llu "
+      "timed_out=%llu errors=%llu\n"
+      "result cache: hits=%llu misses=%llu hit_rate=%.1f%%\n",
+      static_cast<unsigned long long>(submitted.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(completed.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(rejected.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(cancelled.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(timed_out.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(errors.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(cache_hits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          cache_misses.load(std::memory_order_relaxed)),
+      100.0 * CacheHitRate());
+  std::string out = buf;
+  out += "queue wait: " + queue_wait.Summary() + "\n";
+  out += "latency:    " + latency.Summary() + "\n";
+  return out;
+}
+
+}  // namespace xprel::service

@@ -1,0 +1,83 @@
+#ifndef XPREL_SERVICE_METRICS_H_
+#define XPREL_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace xprel::service {
+
+// A lock-free log2-bucketed latency histogram over microseconds: bucket i
+// counts samples in [2^i, 2^(i+1)) µs (bucket 0 also absorbs sub-µs
+// samples). Percentile queries return the upper edge of the bucket holding
+// the requested quantile — at most 2x off, which is plenty for p50/p95/p99
+// service dashboards, and recording stays a single relaxed fetch_add on the
+// serving hot path.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;  // 2^40 µs ≈ 12.7 days: effectively ∞
+
+  void RecordUs(uint64_t us) {
+    int b = 0;
+    while (b + 1 < kBuckets && (uint64_t{1} << (b + 1)) <= us) ++b;
+    buckets_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Mean in µs; 0 when empty.
+  double MeanUs() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        total_us_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  // Upper bucket edge (µs) containing quantile `q` in [0, 1]; 0 when empty.
+  uint64_t PercentileUs(double q) const;
+
+  // "p50=512µs p95=2048µs p99=4096µs mean=410µs n=1234"
+  std::string Summary() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_us_{0};
+};
+
+// The query service's counters and latency distributions. Everything is an
+// atomic updated with relaxed ordering — the registry observes the service,
+// it never synchronizes it — so reads taken while traffic is in flight are
+// individually exact but only approximately consistent with each other.
+class MetricsRegistry {
+ public:
+  std::atomic<uint64_t> submitted{0};   // Submit() calls (incl. cache hits)
+  std::atomic<uint64_t> completed{0};   // finished with an OK result
+  std::atomic<uint64_t> rejected{0};    // refused by admission control
+  std::atomic<uint64_t> cancelled{0};   // ended by a CancelToken
+  std::atomic<uint64_t> timed_out{0};   // ended by a deadline
+  std::atomic<uint64_t> errors{0};      // any other non-OK terminal status
+  std::atomic<uint64_t> cache_hits{0};  // served straight from the result cache
+  std::atomic<uint64_t> cache_misses{0};  // cacheable but not present
+
+  LatencyHistogram queue_wait;  // admission -> worker pickup
+  LatencyHistogram latency;     // worker pickup -> terminal status
+
+  double CacheHitRate() const {
+    uint64_t h = cache_hits.load(std::memory_order_relaxed);
+    uint64_t m = cache_misses.load(std::memory_order_relaxed);
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+  // Multi-line human-readable dump of every counter and histogram.
+  std::string Dump() const;
+};
+
+}  // namespace xprel::service
+
+#endif  // XPREL_SERVICE_METRICS_H_

@@ -1,0 +1,157 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+namespace xprel::service {
+
+namespace {
+
+bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+uint64_t UsBetween(std::chrono::steady_clock::time_point a,
+                   std::chrono::steady_clock::time_point b) {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(b - a);
+  return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+}
+
+}  // namespace
+
+QueryService::QueryService(const engine::XPathEngine& engine,
+                           ServiceOptions options)
+    : engine_(engine),
+      options_(options),
+      cache_(options.result_cache_capacity),
+      pool_(options.workers, options.queue_capacity) {}
+
+std::string_view QueryService::NormalizeXPath(std::string_view xpath) {
+  while (!xpath.empty() && IsAsciiSpace(xpath.front())) {
+    xpath.remove_prefix(1);
+  }
+  while (!xpath.empty() && IsAsciiSpace(xpath.back())) {
+    xpath.remove_suffix(1);
+  }
+  return xpath;
+}
+
+std::string QueryService::CacheKey(engine::Backend backend,
+                                   std::string_view xpath) const {
+  // Both generations participate: the engine's moves on document reload,
+  // the service's on InvalidateResults(). Either bump orphans every old key.
+  std::string key = std::to_string(static_cast<int>(backend));
+  key += '\x1f';
+  key += std::to_string(engine_.generation());
+  key += '\x1f';
+  key += std::to_string(cache_generation_.load(std::memory_order_acquire));
+  key += '\x1f';
+  key.append(xpath.data(), xpath.size());
+  return key;
+}
+
+std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> fut = promise->get_future();
+
+  std::string xpath(NormalizeXPath(req.xpath));
+  const bool cacheable = cache_.capacity() > 0;
+  std::string key;
+  if (cacheable) {
+    key = CacheKey(req.backend, xpath);
+    if (!req.bypass_cache) {
+      if (auto hit = cache_.Get(key)) {
+        metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+        QueryResponse resp;
+        resp.nodes = hit->nodes;
+        resp.stats = hit->stats;
+        resp.cache_hit = true;
+        resp.elapsed_ms = hit->build_ms;
+        promise->set_value(std::move(resp));
+        return fut;
+      }
+    }
+    metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const auto admitted_at = std::chrono::steady_clock::now();
+  std::chrono::milliseconds deadline_ms =
+      req.deadline.count() > 0 ? req.deadline : options_.default_deadline;
+  const bool has_deadline = deadline_ms.count() > 0;
+  const auto deadline_at = admitted_at + deadline_ms;
+
+  bool admitted = pool_.TrySubmit([this, promise, backend = req.backend,
+                                   xpath = std::move(xpath),
+                                   cancel = std::move(req.cancel), cacheable,
+                                   key = std::move(key), admitted_at,
+                                   has_deadline, deadline_at]() {
+    const auto picked_up = std::chrono::steady_clock::now();
+    const uint64_t wait_us = UsBetween(admitted_at, picked_up);
+    metrics_.queue_wait.RecordUs(wait_us);
+
+    rel::ExecControl control;
+    control.check_interval = options_.check_interval;
+    if (cancel != nullptr) control.cancel = cancel->flag();
+    if (has_deadline) {
+      control.has_deadline = true;
+      control.deadline = deadline_at;
+    }
+
+    auto out = engine_.Run(backend, xpath, &control);
+    metrics_.latency.RecordUs(UsBetween(picked_up, std::chrono::steady_clock::now()));
+    if (!out.ok()) {
+      switch (out.status().code()) {
+        case StatusCode::kCancelled:
+          metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case StatusCode::kDeadlineExceeded:
+          metrics_.timed_out.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default:
+          metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      promise->set_value(out.status());
+      return;
+    }
+
+    engine::QueryOutcome outcome = std::move(out).value();
+    if (cacheable) {
+      auto entry = std::make_shared<ResultCache::Entry>();
+      entry->nodes = outcome.nodes;
+      entry->stats = outcome.stats;
+      entry->build_ms = outcome.elapsed_ms;
+      cache_.Put(key, std::move(entry));
+    }
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse resp;
+    resp.nodes = std::move(outcome.nodes);
+    resp.stats = outcome.stats;
+    resp.elapsed_ms = outcome.elapsed_ms;
+    resp.queue_wait_ms = static_cast<double>(wait_us) / 1000.0;
+    promise->set_value(std::move(resp));
+  });
+
+  if (!admitted) {
+    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(pool_.queue_capacity()) +
+        " waiting requests)"));
+  }
+  return fut;
+}
+
+std::string QueryService::DumpMetrics() const {
+  std::string out = "-- query service --\n";
+  out += "workers=" + std::to_string(pool_.worker_count()) +
+         " queue_depth=" + std::to_string(pool_.queue_depth()) + "/" +
+         std::to_string(pool_.queue_capacity()) +
+         " cache_entries=" + std::to_string(cache_.size()) + "/" +
+         std::to_string(cache_.capacity()) + "\n";
+  out += metrics_.Dump();
+  return out;
+}
+
+}  // namespace xprel::service

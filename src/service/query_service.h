@@ -1,0 +1,122 @@
+#ifndef XPREL_SERVICE_QUERY_SERVICE_H_
+#define XPREL_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+#include "service/thread_pool.h"
+
+namespace xprel::service {
+
+// Tuning knobs for one QueryService.
+struct ServiceOptions {
+  int workers = 8;              // pool threads executing queries
+  size_t queue_capacity = 128;  // waiting requests before admission rejects
+  // Applied to requests that don't carry their own deadline; zero = none.
+  // Deadlines are measured from admission, so time spent queued counts.
+  std::chrono::milliseconds default_deadline{0};
+  size_t result_cache_capacity = 1024;  // entries; 0 disables the cache
+  // Rows the executor enumerates between cancellation/deadline samples.
+  uint32_t check_interval = 1024;
+};
+
+// Hand one to Submit() to be able to revoke the request later; Cancel() is
+// sticky and safe from any thread. One token may cover many requests (e.g.
+// everything belonging to one session).
+class CancelToken {
+ public:
+  void Cancel() { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_.load(std::memory_order_acquire); }
+  const std::atomic<bool>* flag() const { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+struct QueryRequest {
+  engine::Backend backend = engine::Backend::kPpf;
+  std::string xpath;
+  // Zero = use ServiceOptions::default_deadline.
+  std::chrono::milliseconds deadline{0};
+  std::shared_ptr<CancelToken> cancel;  // optional
+  bool bypass_cache = false;  // force execution (and refresh the cache)
+};
+
+struct QueryResponse {
+  std::vector<xml::NodeId> nodes;  // document order
+  rel::QueryStats stats;
+  bool cache_hit = false;
+  double elapsed_ms = 0;     // execution time (the cached run's, on a hit)
+  double queue_wait_ms = 0;  // admission -> worker pickup; 0 on a hit
+};
+
+// The concurrent serving layer in front of one XPathEngine: a fixed worker
+// pool multiplexes queries from many callers onto the (thread-safe,
+// plan-cached) engine, a bounded admission queue turns overload into
+// explicit ResourceExhausted rejections, per-query deadlines and
+// CancelTokens interrupt execution cooperatively inside the executor's
+// scan/join loops, and finished node sets are memoized in an LRU result
+// cache keyed by (backend, normalized xpath, document generation).
+//
+//   QueryService svc(*engine, {.workers = 8, .queue_capacity = 256});
+//   auto fut = svc.Submit({.xpath = "//keyword"});
+//   Result<QueryResponse> r = fut.get();
+//
+// The engine must outlive the service. Destruction drains: admitted
+// requests still run (cancel them first for a fast shutdown), and every
+// future obtained from Submit() is eventually fulfilled.
+class QueryService {
+ public:
+  explicit QueryService(const engine::XPathEngine& engine,
+                        ServiceOptions options = {});
+
+  // Asynchronous entry point. Never blocks: a full queue fails the future
+  // immediately with Status::ResourceExhausted, a result-cache hit fulfils
+  // it on the calling thread without consuming a pool slot.
+  std::future<Result<QueryResponse>> Submit(QueryRequest req);
+
+  // Convenience: Submit + wait.
+  Result<QueryResponse> Run(QueryRequest req) { return Submit(std::move(req)).get(); }
+
+  // Drops every cached result by moving this service onto a fresh cache
+  // generation. Composes with the engine's own document generation (both
+  // are part of the cache key), so either side can invalidate.
+  void InvalidateResults() {
+    cache_generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const ResultCache& result_cache() const { return cache_; }
+  ThreadPool& pool() { return pool_; }
+
+  // Metrics counters + histograms plus the point-in-time gauges (queue
+  // depth, cache size) — the text block sql_explorer prints.
+  std::string DumpMetrics() const;
+
+ private:
+  // Leading/trailing ASCII whitespace never changes the meaning of an
+  // XPath, so it is stripped before the expression becomes a cache key.
+  static std::string_view NormalizeXPath(std::string_view xpath);
+
+  std::string CacheKey(engine::Backend backend, std::string_view xpath) const;
+
+  const engine::XPathEngine& engine_;
+  const ServiceOptions options_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+  std::atomic<uint64_t> cache_generation_{0};
+  ThreadPool pool_;  // last member: workers must die before the rest
+};
+
+}  // namespace xprel::service
+
+#endif  // XPREL_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,45 @@
+#include "service/result_cache.h"
+
+namespace xprel::service {
+
+std::shared_ptr<const ResultCache::Entry> ResultCache::Get(
+    const std::string& key) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::shared_ptr<const Entry> entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Concurrent fill of the same key: keep the newer entry, refresh LRU.
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  map_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace xprel::service

@@ -1,0 +1,54 @@
+#ifndef XPREL_SERVICE_RESULT_CACHE_H_
+#define XPREL_SERVICE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rel/query.h"
+#include "xml/document.h"
+
+namespace xprel::service {
+
+// A thread-safe LRU cache of finished query results, keyed by the string the
+// service renders from (backend, normalized xpath, document generation).
+// Entries are shared_ptr-held and immutable, so a reader holding an entry
+// across an eviction (or a Clear()) stays valid. Generation-keyed
+// invalidation is implicit: after the document generation bumps, every old
+// key simply stops being asked for, and stale entries age out through the
+// LRU tail.
+class ResultCache {
+ public:
+  struct Entry {
+    std::vector<xml::NodeId> nodes;  // document order
+    rel::QueryStats stats;           // counters of the run that produced it
+    double build_ms = 0;             // execution time of that run
+  };
+
+  // capacity 0 disables the cache entirely (Get always misses, Put drops).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  std::shared_ptr<const Entry> Get(const std::string& key);
+  void Put(const std::string& key, std::shared_ptr<const Entry> entry);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  using LruEntry = std::pair<std::string, std::shared_ptr<const Entry>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<LruEntry> lru_;  // most recently used at the front
+  std::unordered_map<std::string, std::list<LruEntry>::iterator> map_;
+};
+
+}  // namespace xprel::service
+
+#endif  // XPREL_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,54 @@
+#ifndef XPREL_SERVICE_THREAD_POOL_H_
+#define XPREL_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xprel::service {
+
+// A fixed-size worker pool over a bounded FIFO work queue — the execution
+// substrate of the query service. Admission control happens at submission:
+// TrySubmit refuses (returns false) once `queue_capacity` tasks are waiting,
+// so overload surfaces as backpressure at the caller instead of unbounded
+// queue growth. Destruction drains: tasks already admitted still run before
+// the workers join, so every admitted promise gets fulfilled.
+class ThreadPool {
+ public:
+  // `workers` is clamped to at least 1. `queue_capacity` bounds the number
+  // of tasks waiting to run (tasks being executed don't count); 0 means
+  // unbounded.
+  explicit ThreadPool(int workers, size_t queue_capacity = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` unless the queue is at capacity or the pool is shutting
+  // down; returns whether the task was admitted.
+  bool TrySubmit(std::function<void()> task);
+
+  // Tasks admitted but not yet picked up by a worker.
+  size_t queue_depth() const;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xprel::service
+
+#endif  // XPREL_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,460 @@
+// Tests for the concurrent query service (src/service): thread-pool
+// admission control, deadline/cancellation plumbing into the executor,
+// result-cache keying and invalidation, metrics, and — the re-entrancy
+// contract underneath all of it — many threads executing one shared cached
+// plan with node-set identity against serial execution.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/xmark.h"
+#include "engine/engine.h"
+#include "service/metrics.h"
+#include "service/query_service.h"
+#include "service/result_cache.h"
+#include "service/thread_pool.h"
+#include "tests/queries.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel {
+namespace {
+
+using engine::Backend;
+using engine::XPathEngine;
+using service::CancelToken;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::QueryService;
+using service::ResultCache;
+using service::ServiceOptions;
+using service::ThreadPool;
+using testutil::NamedQuery;
+
+struct Corpus {
+  xml::Document doc;
+  xsd::Schema schema;
+  std::unique_ptr<xsd::SchemaGraph> graph;
+  std::unique_ptr<XPathEngine> engine;
+};
+
+Corpus& XMarkCorpus() {
+  static Corpus* corpus = [] {
+    auto* c = new Corpus();
+    data::XMarkOptions opt;
+    opt.scale = 0.01;  // ~220 items: fast but structurally complete
+    c->doc = data::GenerateXMark(opt);
+    c->schema = xsd::ParseXsd(data::XMarkXsd()).value();
+    c->graph = std::make_unique<xsd::SchemaGraph>(
+        xsd::SchemaGraph::Build(c->schema).value());
+    c->engine = XPathEngine::Build(c->doc, *c->graph).value();
+    return c;
+  }();
+  return *corpus;
+}
+
+// A lambda that blocks until the test releases it; used to occupy workers
+// and fill queues deterministically.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  int entered = 0;
+
+  std::function<void()> Task() {
+    return [this]() {
+      std::unique_lock<std::mutex> lock(mu);
+      ++entered;
+      cv.notify_all();
+      cv.wait(lock, [this]() { return open; });
+    };
+  }
+  void AwaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return entered >= n; });
+  }
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4, 0);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pool.TrySubmit([&]() { ran.fetch_add(1); }));
+    }
+  }  // destructor drains
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, BoundedQueueRejectsWhenFull) {
+  Gate gate;
+  ThreadPool pool(1, 1);
+  ASSERT_TRUE(pool.TrySubmit(gate.Task()));  // occupies the only worker
+  gate.AwaitEntered(1);                      // worker is inside the task
+  ASSERT_TRUE(pool.TrySubmit(gate.Task()));  // sits in the queue (cap 1)
+  EXPECT_FALSE(pool.TrySubmit([]() {}));     // queue full: rejected
+  EXPECT_EQ(pool.queue_depth(), 1u);
+  gate.Open();
+}
+
+TEST(ThreadPoolTest, DrainsQueuedTasksOnDestruction) {
+  std::atomic<int> ran{0};
+  Gate gate;
+  {
+    ThreadPool pool(1, 0);
+    ASSERT_TRUE(pool.TrySubmit(gate.Task()));
+    gate.AwaitEntered(1);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(pool.TrySubmit([&]() { ran.fetch_add(1); }));
+    }
+    gate.Open();
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Executor-level cancellation and deadlines
+// ---------------------------------------------------------------------------
+
+TEST(ExecControlTest, PreCancelledQueryReturnsCancelled) {
+  Corpus& c = XMarkCorpus();
+  std::atomic<bool> cancel{true};
+  rel::ExecControl control;
+  control.cancel = &cancel;
+  auto out = c.engine->Run(Backend::kPpf, "//keyword", &control);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecControlTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  Corpus& c = XMarkCorpus();
+  rel::ExecControl control;
+  control.has_deadline = true;
+  control.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto out = c.engine->Run(Backend::kPpf, "//keyword", &control);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecControlTest, MidScanCancellationFlagStopsEnumeration) {
+  Corpus& c = XMarkCorpus();
+  // check_interval = 1 samples the flag on every row; flipping the flag
+  // from a second thread interrupts a scan that is already in progress.
+  // The query may legitimately finish before the flag lands, so assert
+  // only that an error, when produced, is Cancelled and leaves the engine
+  // reusable.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::atomic<bool> cancel{false};
+    rel::ExecControl control;
+    control.cancel = &cancel;
+    control.check_interval = 1;
+    std::thread canceller([&]() { cancel.store(true); });
+    auto out = c.engine->Run(Backend::kPpf,
+                             "//keyword/ancestor::listitem", &control);
+    canceller.join();
+    if (!out.ok()) {
+      EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+    }
+  }
+  // The engine still answers afterwards (nothing leaked or poisoned).
+  auto again = c.engine->Run(Backend::kPpf, "//keyword/ancestor::listitem");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(ExecControlTest, StaircaseBackendHonoursCancellation) {
+  Corpus& c = XMarkCorpus();
+  std::atomic<bool> cancel{true};
+  rel::ExecControl control;
+  control.cancel = &cancel;
+  auto out = c.engine->Run(Backend::kStaircase, "//keyword", &control);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Shared-plan re-entrancy: the satellite audit's regression test
+// ---------------------------------------------------------------------------
+
+TEST(SharedPlanTest, ConcurrentExecutionOfOneCachedPlanMatchesSerial) {
+  Corpus& c = XMarkCorpus();
+  // Queries chosen to cover every per-execution structure that used to be
+  // tempting to hang off the plan: hash-join tables (QA), semi-join build
+  // sets and EXISTS memos (Q23/Q24), merge joins (Q6), bitmap pre-filters
+  // and index probes (the rest).
+  const char* queries[] = {
+      "/site/regions/*/item",
+      "//keyword/ancestor::listitem",
+      "/site/people/person[address and (phone or homepage)]",
+      "/site/people/person[not(homepage)]",
+      "/site/open_auctions/open_auction[bidder/date = interval/start]",
+  };
+  for (const char* q : queries) {
+    auto serial = c.engine->Run(Backend::kPpf, q);
+    ASSERT_TRUE(serial.ok()) << q << ": " << serial.status().ToString();
+    // Warmed: the plan is now cached and shared. Hammer it from 8 threads.
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&]() {
+        for (int i = 0; i < 20; ++i) {
+          auto out = c.engine->Run(Backend::kPpf, q);
+          if (!out.ok() || out.value().nodes != serial.value().nodes) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0) << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, ConcurrentMixedQueriesMatchSerial) {
+  Corpus& c = XMarkCorpus();
+  // Serial ground truth for the full XPathMark mix.
+  std::map<std::string, std::vector<xml::NodeId>> expected;
+  for (const NamedQuery& q : testutil::kXMarkQueries) {
+    auto out = c.engine->Run(Backend::kPpf, q.xpath);
+    ASSERT_TRUE(out.ok()) << q.id << ": " << out.status().ToString();
+    expected[q.xpath] = out.value().nodes;
+  }
+
+  ServiceOptions opts;
+  opts.workers = 8;
+  opts.queue_capacity = 0;  // unbounded: this test is about identity
+  QueryService svc(*c.engine, opts);
+
+  // 6 client threads, each submitting the whole mix repeatedly; half
+  // bypass the cache so the same shared plan really executes concurrently.
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&, t]() {
+      for (int rep = 0; rep < 4; ++rep) {
+        for (const NamedQuery& q : testutil::kXMarkQueries) {
+          QueryRequest req;
+          req.xpath = q.xpath;
+          req.bypass_cache = (t % 2 == 0);
+          auto r = svc.Run(std::move(req));
+          if (!r.ok() || r.value().nodes != expected[q.xpath]) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto& m = svc.metrics();
+  EXPECT_EQ(m.rejected.load(), 0u);
+  EXPECT_GT(m.cache_hits.load(), 0u);  // the non-bypass clients hit
+  EXPECT_EQ(m.completed.load(), m.submitted.load());
+}
+
+TEST(QueryServiceTest, AdmissionControlRejectsWhenSaturated) {
+  Corpus& c = XMarkCorpus();
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.result_cache_capacity = 0;  // a cache hit would dodge admission
+  QueryService svc(*c.engine, opts);
+
+  Gate gate;
+  // Occupy the only worker, then fill the queue, through the same pool the
+  // service admits into.
+  ASSERT_TRUE(svc.pool().TrySubmit(gate.Task()));
+  gate.AwaitEntered(1);
+  ASSERT_TRUE(svc.pool().TrySubmit(gate.Task()));
+
+  QueryRequest req;
+  req.xpath = "//keyword";
+  auto r = svc.Run(std::move(req));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(svc.metrics().rejected.load(), 1u);
+
+  gate.Open();
+  gate.AwaitEntered(2);  // the queued gated task has been picked up too
+  while (svc.pool().queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // No pool slot leaked: the service accepts and answers again.
+  QueryRequest again;
+  again.xpath = "//keyword";
+  auto r2 = svc.Run(std::move(again));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+TEST(QueryServiceTest, DeadlineSpentInQueueTimesOut) {
+  Corpus& c = XMarkCorpus();
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  opts.result_cache_capacity = 0;
+  QueryService svc(*c.engine, opts);
+
+  Gate gate;
+  ASSERT_TRUE(svc.pool().TrySubmit(gate.Task()));
+  gate.AwaitEntered(1);
+
+  QueryRequest req;
+  req.xpath = "//keyword";
+  req.deadline = std::chrono::milliseconds(5);
+  auto fut = svc.Submit(std::move(req));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.Open();  // worker picks the query up with its deadline long gone
+  auto r = fut.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(svc.metrics().timed_out.load(), 1u);
+}
+
+TEST(QueryServiceTest, CancelTokenCancelsQueuedQuery) {
+  Corpus& c = XMarkCorpus();
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  opts.result_cache_capacity = 0;
+  QueryService svc(*c.engine, opts);
+
+  Gate gate;
+  ASSERT_TRUE(svc.pool().TrySubmit(gate.Task()));
+  gate.AwaitEntered(1);
+
+  auto token = std::make_shared<CancelToken>();
+  QueryRequest req;
+  req.xpath = "//keyword";
+  req.cancel = token;
+  auto fut = svc.Submit(std::move(req));
+  token->Cancel();
+  gate.Open();
+  auto r = fut.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(svc.metrics().cancelled.load(), 1u);
+
+  // The slot is free again afterwards.
+  QueryRequest again;
+  again.xpath = "//keyword";
+  auto r2 = svc.Run(std::move(again));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+TEST(QueryServiceTest, ResultCacheHitsAndGenerationInvalidation) {
+  Corpus& c = XMarkCorpus();
+  QueryService svc(*c.engine, {});
+
+  QueryRequest req;
+  req.xpath = "  //keyword ";  // normalization: same key as "//keyword"
+  auto first = svc.Run(std::move(req));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().cache_hit);
+
+  QueryRequest second;
+  second.xpath = "//keyword";
+  auto hit = svc.Run(std::move(second));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().cache_hit);
+  EXPECT_EQ(hit.value().nodes, first.value().nodes);
+
+  // Service-side invalidation: next lookup misses.
+  svc.InvalidateResults();
+  QueryRequest third;
+  third.xpath = "//keyword";
+  auto miss = svc.Run(std::move(third));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.value().cache_hit);
+
+  // Engine-side document generation bump invalidates too.
+  c.engine->BumpGeneration();
+  QueryRequest fourth;
+  fourth.xpath = "//keyword";
+  auto miss2 = svc.Run(std::move(fourth));
+  ASSERT_TRUE(miss2.ok());
+  EXPECT_FALSE(miss2.value().cache_hit);
+  EXPECT_EQ(svc.metrics().cache_hits.load(), 1u);
+}
+
+TEST(QueryServiceTest, MetricsDumpMentionsEveryCounter) {
+  Corpus& c = XMarkCorpus();
+  QueryService svc(*c.engine, {});
+  QueryRequest req;
+  req.xpath = "//keyword";
+  ASSERT_TRUE(svc.Run(std::move(req)).ok());
+  std::string dump = svc.DumpMetrics();
+  for (const char* needle :
+       {"submitted=", "completed=", "rejected=", "cancelled=", "timed_out=",
+        "hit_rate=", "queue wait:", "latency:", "workers="}) {
+    EXPECT_NE(dump.find(needle), std::string::npos) << needle << "\n" << dump;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache + LatencyHistogram units
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheTest, LruEvictsBeyondCapacity) {
+  ResultCache cache(2);
+  auto entry = [](int n) {
+    auto e = std::make_shared<ResultCache::Entry>();
+    e->nodes.assign(static_cast<size_t>(n), xml::NodeId{});
+    return e;
+  };
+  cache.Put("a", entry(1));
+  cache.Put("b", entry(2));
+  ASSERT_NE(cache.Get("a"), nullptr);  // refreshes a
+  cache.Put("c", entry(3));            // evicts b (LRU tail)
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  auto e = std::make_shared<ResultCache::Entry>();
+  cache.Put("a", e);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketSamples) {
+  service::LatencyHistogram h;
+  EXPECT_EQ(h.PercentileUs(0.5), 0u);  // empty
+  for (uint64_t i = 0; i < 100; ++i) h.RecordUs(100);   // bucket [64,128)
+  for (uint64_t i = 0; i < 5; ++i) h.RecordUs(10000);   // bucket [8192,16384)
+  EXPECT_EQ(h.count(), 105u);
+  EXPECT_EQ(h.PercentileUs(0.50), 128u);
+  EXPECT_EQ(h.PercentileUs(0.99), 16384u);
+  EXPECT_GT(h.MeanUs(), 100.0);
+  EXPECT_LT(h.MeanUs(), 10000.0);
+}
+
+}  // namespace
+}  // namespace xprel
