@@ -15,11 +15,19 @@ throughput (QPS) regresses by more than --threshold, when any request was
 rejected or timed out at the default load, or when a response diverged
 from the serial node sets.
 
+Hardening mode (--hardening): runs the hardening_test binary from the
+`fault-injection` preset build (XPREL_FAULT_INJECTION=ON + asan-ubsan with
+leak detection). Fails on any test failure, on a crash, and — crucially —
+when the binary reports "fault injection compiled out": a sweep that
+silently skipped because the points weren't compiled in is not a pass.
+
 Usage:
   bench/check_regression.py --bench-bin build/bench/bench_micro
   bench/check_regression.py --candidate build/bench/BENCH_micro.json
   bench/check_regression.py --service --candidate BENCH_service.json
   bench/check_regression.py --service --bench-bin build/bench/bench_service
+  bench/check_regression.py --hardening
+  bench/check_regression.py --hardening --hardening-bin build-fault/tests/hardening_test
 """
 
 import argparse
@@ -151,10 +159,44 @@ def check_service(args):
     return 0
 
 
+def check_hardening(args):
+    if not os.path.exists(args.hardening_bin):
+        print(f"FAIL: {args.hardening_bin} not found; build the "
+              f"`fault-injection` preset first "
+              f"(cmake --preset fault-injection && "
+              f"cmake --build build-fault -j)")
+        return 1
+    env = dict(os.environ)
+    # Leaks on error paths are the whole point of this gate.
+    env.setdefault("ASAN_OPTIONS", "detect_leaks=1")
+    env.setdefault("UBSAN_OPTIONS", "print_stacktrace=1:halt_on_error=1")
+    proc = subprocess.run([os.path.abspath(args.hardening_bin)],
+                          capture_output=True, text=True, env=env)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print(f"FAIL: hardening_test exited {proc.returncode}")
+        return 1
+    if "fault injection compiled out" in proc.stdout + proc.stderr:
+        print("FAIL: fault sweep skipped — the binary was built without "
+              "XPREL_FAULT_INJECTION; use the `fault-injection` preset")
+        return 1
+    print("OK: hardening gate passed (fault sweep ran, no leaks, no crashes)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--service", action="store_true",
                     help="gate BENCH_service.json instead of BENCH_micro.json")
+    ap.add_argument("--hardening", action="store_true",
+                    help="run the fault-injection hardening gate instead of "
+                         "a bench comparison")
+    ap.add_argument("--hardening-bin",
+                    default=os.path.join(REPO_ROOT, "build-fault", "tests",
+                                         "hardening_test"),
+                    help="hardening_test binary from the fault-injection "
+                         "preset (default: build-fault/tests/hardening_test)")
     ap.add_argument("--baseline",
                     help="committed baseline JSON (default: repo root "
                          "BENCH_micro.json or BENCH_service.json)")
@@ -167,6 +209,9 @@ def main():
                     help="allowed fractional regression (default 0.20): "
                          "geomean slowdown (micro) or QPS drop (service)")
     args = ap.parse_args()
+
+    if args.hardening:
+        return check_hardening(args)
 
     name = "BENCH_service.json" if args.service else "BENCH_micro.json"
     binname = "bench_service" if args.service else "bench_micro"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
+
 namespace xprel::accel {
 
 using rel::TableSchema;
@@ -10,6 +12,7 @@ using rel::ValueType;
 
 Result<std::unique_ptr<AccelStore>> AccelStore::Create(
     const xml::Document& doc) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("accel.build"));
   std::unique_ptr<AccelStore> store(new AccelStore());
 
   // Walk elements in document (preorder) order assigning pre ranks, and in

@@ -1,0 +1,83 @@
+#include "common/fault_injection.h"
+
+namespace xprel::fault {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(const std::string& point, uint64_t nth,
+                        StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& st = points_[point];
+  st.armed = true;
+  st.remaining = nth == 0 ? 1 : nth;
+  st.code = code;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, st] : points_) st.armed = false;
+}
+
+void FaultInjector::ResetCounts() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, st] : points_) {
+    st.hits = 0;
+    st.fired = 0;
+  }
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+std::vector<std::string> FaultInjector::RegisteredPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, st] : points_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::FiredCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+Status FaultInjector::OnPoint(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& st = points_[point];
+  ++st.hits;
+  if (st.armed && --st.remaining == 0) {
+    st.armed = false;
+    ++st.fired;
+    return Status(st.code, std::string("injected fault at ") + point);
+  }
+  return Status::Ok();
+}
+
+bool FaultInjectionEnabled() {
+#ifdef XPREL_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace xprel::fault

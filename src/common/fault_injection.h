@@ -1,0 +1,87 @@
+#ifndef XPREL_COMMON_FAULT_INJECTION_H_
+#define XPREL_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xprel::fault {
+
+// Deterministic fault injection for error-path testing. Code sprinkles
+// named points over its allocation/build/insert sites with
+//
+//   XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("rel.hash_build"));
+//
+// In a normal build the macro expands to Status::Ok() and vanishes; when
+// the build defines XPREL_FAULT_INJECTION (the `fault-injection` CMake
+// preset), every crossing registers the point with the singleton injector
+// and, if a test armed it, returns the injected error instead. Arming is
+// trigger-on-Nth-hit counted from Arm(), fires exactly once, then
+// disarms — so a sweep can walk the registry firing each point in turn
+// and assert the query above it fails cleanly.
+//
+// The injector itself compiles in every build (it is tiny and lives off
+// the hot path) so tests link unconditionally; only the points are
+// conditional. FaultInjectionEnabled() tells a test whether arming can
+// ever fire.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  // The next `nth`-th crossing of `point` (1 = the very next) returns
+  // Status(code, ...). Re-arming an armed point resets its trigger.
+  void Arm(const std::string& point, uint64_t nth = 1,
+           StatusCode code = StatusCode::kResourceExhausted);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  // Clears hit and fired counters (registration survives).
+  void ResetCounts();
+  // Forgets every point; a fresh record pass re-registers them.
+  void Clear();
+
+  // Every point crossed at least once since the last Clear(), sorted.
+  std::vector<std::string> RegisteredPoints() const;
+  uint64_t HitCount(const std::string& point) const;
+  // Times the point returned an injected error since the last ResetCounts.
+  uint64_t FiredCount(const std::string& point) const;
+
+  // The macro's target: registers the crossing and fires if armed.
+  Status OnPoint(const char* point);
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+    bool armed = false;
+    uint64_t remaining = 0;
+    StatusCode code = StatusCode::kResourceExhausted;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+};
+
+// True when XPREL_FAULT_POINT is live (the build defines
+// XPREL_FAULT_INJECTION); tests skip the sweep otherwise.
+bool FaultInjectionEnabled();
+
+inline Status CheckPoint(const char* point) {
+  return FaultInjector::Instance().OnPoint(point);
+}
+
+}  // namespace xprel::fault
+
+#ifdef XPREL_FAULT_INJECTION
+#define XPREL_FAULT_POINT(point) ::xprel::fault::CheckPoint(point)
+#else
+#define XPREL_FAULT_POINT(point) ((void)(point), ::xprel::Status::Ok())
+#endif
+
+#endif  // XPREL_COMMON_FAULT_INJECTION_H_

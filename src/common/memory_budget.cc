@@ -1,0 +1,47 @@
+#include "common/memory_budget.h"
+
+#include <string>
+
+namespace xprel {
+
+namespace {
+
+std::string OverCapMessage(const char* what, size_t bytes, size_t total,
+                           size_t cap) {
+  return std::string("memory budget exceeded at ") + what + ": " +
+         std::to_string(bytes) + " more bytes would bring usage to " +
+         std::to_string(total) + " of " + std::to_string(cap);
+}
+
+}  // namespace
+
+Status MemoryBudget::Reserve(size_t bytes, const char* what) {
+  size_t total = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (cap_ != 0 && total > cap_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(OverCapMessage(what, bytes, total, cap_));
+  }
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (total > peak &&
+         !peak_.compare_exchange_weak(peak, total, std::memory_order_relaxed)) {
+  }
+  if (parent_ != nullptr) {
+    Status s = parent_->Reserve(bytes, what);
+    if (!s.ok()) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  size_t prev = used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (prev < bytes) {
+    // Clamp: a mismatched release must not wrap the gauge into the exabytes.
+    used_.store(0, std::memory_order_relaxed);
+  }
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+}  // namespace xprel

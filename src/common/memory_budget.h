@@ -1,0 +1,54 @@
+#ifndef XPREL_COMMON_MEMORY_BUDGET_H_
+#define XPREL_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace xprel {
+
+// Atomic byte accounting with an optional hard cap and an optional parent.
+// Reserve() either admits the bytes (recording a high-water mark) or
+// returns Status::ResourceExhausted, so a query that would otherwise OOM
+// the process fails cleanly instead. Budgets chain: a per-query budget
+// parented to a service-wide budget enforces both caps with one call, and
+// a reservation refused by the parent is rolled back locally.
+//
+// A cap of 0 means "no limit, account only" — the used()/peak() gauges
+// still move, which is what the service's memory metrics read.
+//
+// Thread-safe for Reserve/Release/used/peak; set_cap() is a configuration
+// call and must happen before the budget is shared.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(size_t cap = 0, MemoryBudget* parent = nullptr)
+      : cap_(cap), parent_(parent) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  // Admits `bytes` or returns ResourceExhausted naming `what` (a short
+  // site label, e.g. "hash join build"). On success the bytes stay
+  // reserved until Release().
+  Status Reserve(size_t bytes, const char* what);
+
+  // Returns previously reserved bytes. Releasing more than was reserved is
+  // a caller bug; the counter clamps at zero rather than wrapping.
+  void Release(size_t bytes);
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  size_t cap() const { return cap_; }
+  void set_cap(size_t cap) { cap_ = cap; }
+
+ private:
+  size_t cap_;
+  MemoryBudget* parent_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+}  // namespace xprel
+
+#endif  // XPREL_COMMON_MEMORY_BUDGET_H_

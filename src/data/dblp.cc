@@ -39,7 +39,7 @@ class DblpBuilder {
     for (int i = 0; i < options_.articles; ++i) Article(i);
     for (int i = 0; i < options_.books; ++i) Book(i);
     b_.EndElement();
-    return std::move(b_).Finish();
+    return std::move(b_).Finish().value();
   }
 
  private:

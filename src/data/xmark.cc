@@ -43,7 +43,7 @@ class XMarkBuilder {
     OpenAuctions();
     ClosedAuctions();
     b_.EndElement();
-    return std::move(b_).Finish();
+    return std::move(b_).Finish().value();
   }
 
  private:

@@ -5,6 +5,7 @@
 
 #include "accel/accel_translator.h"
 #include "accel/staircase.h"
+#include "common/fault_injection.h"
 #include "translate/edge_translator.h"
 
 namespace xprel::engine {
@@ -29,6 +30,28 @@ Status ControlStatus(const rel::ExecControl* control) {
     return Status::DeadlineExceeded("query deadline exceeded");
   }
   return Status::Ok();
+}
+
+// Estimated resident bytes of a compiled plan: the dominant variable-size
+// members (merge-join row orders, bitmaps, expression pool) plus fixed
+// per-node overhead, recursing into EXISTS subplans. Deliberately coarse —
+// the plan-cache budget needs proportionality, not byte exactness.
+size_t ApproxPlanBytes(const rel::Plan& plan) {
+  size_t n = sizeof(rel::Plan);
+  for (const rel::AccessStep& s : plan.steps) {
+    n += sizeof(rel::AccessStep);
+    n += s.merge_order.size() * sizeof(rel::RowId);
+  }
+  for (const rel::RowBitmap& bm : plan.bitmaps) {
+    n += bm.words.size() * sizeof(uint64_t);
+  }
+  n += plan.expr_pool.size() * sizeof(rel::CompiledExpr);
+  n += plan.regexes.size() * 256;  // NFA states; coarse per-regex estimate
+  for (const auto& [expr, sub] : plan.subplans) {
+    if (sub != nullptr) n += ApproxPlanBytes(*sub);
+  }
+  if (plan.semijoin_plan != nullptr) n += ApproxPlanBytes(*plan.semijoin_plan);
+  return n;
 }
 
 }  // namespace
@@ -56,6 +79,7 @@ Result<std::unique_ptr<XPathEngine>> XPathEngine::Build(
   engine->doc_ = &doc;
   engine->graph_ = &graph;
   engine->options_ = options;
+  engine->plan_cache_budget_.set_cap(options.plan_cache_memory_cap);
   if (options.enable_ppf) {
     auto store = shred::SchemaAwareStore::Create(graph);
     if (!store.ok()) return store.status();
@@ -148,6 +172,7 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
     }
   }
 
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("engine.translate"));
   Result<translate::TranslatedQuery> q = Status::Internal("unset");
   switch (backend) {
     case Backend::kPpf:
@@ -194,14 +219,32 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
     }
   }
 
+  // Caching is best-effort: a failed insert (budget refusal, injected fault)
+  // must not fail the query itself — except for the deterministic fault
+  // point, which exists so tests can prove the query path survives it.
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("engine.plan_cache_insert"));
   if (options_.enable_plan_cache) {
+    size_t charge = key.size() + entry->sql_text.size() + sizeof(CacheEntry);
+    for (const auto& plan : entry->plans) charge += ApproxPlanBytes(*plan);
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = plan_cache_.find(key);
     if (it == plan_cache_.end()) {
-      cache_lru_.push_front(CacheEntry{key, entry});
+      // Make room under the byte budget before inserting; if the entry can
+      // never fit even with the cache empty, skip caching — the caller
+      // still gets the freshly built (uncached) entry.
+      bool reserved = plan_cache_budget_.Reserve(charge, "plan cache").ok();
+      while (!reserved && !cache_lru_.empty()) {
+        plan_cache_budget_.Release(cache_lru_.back().charge);
+        plan_cache_.erase(cache_lru_.back().key);
+        cache_lru_.pop_back();
+        reserved = plan_cache_budget_.Reserve(charge, "plan cache").ok();
+      }
+      if (!reserved) return std::shared_ptr<const CachedQuery>(entry);
+      cache_lru_.push_front(CacheEntry{key, entry, charge});
       plan_cache_.emplace(std::move(key), cache_lru_.begin());
       size_t cap = options_.plan_cache_capacity;
       while (cap != 0 && cache_lru_.size() > cap) {
+        plan_cache_budget_.Release(cache_lru_.back().charge);
         plan_cache_.erase(cache_lru_.back().key);
         cache_lru_.pop_back();
       }
@@ -237,6 +280,19 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
                                       const rel::ExecControl* control) const {
   QueryOutcome out;
   auto start = std::chrono::steady_clock::now();
+
+  // Every execution runs under a memory budget: callers that pass their own
+  // (the query service threads a per-query child of the service-wide budget)
+  // keep it; otherwise the engine supplies a per-call default so a runaway
+  // query fails with ResourceExhausted instead of exhausting the process.
+  MemoryBudget default_budget(options_.per_query_memory_cap);
+  rel::ExecControl budgeted_control;
+  if (options_.per_query_memory_cap != 0 &&
+      (control == nullptr || control->budget == nullptr)) {
+    if (control != nullptr) budgeted_control = *control;
+    budgeted_control.budget = &default_budget;
+    control = &budgeted_control;
+  }
 
   if (backend == Backend::kStaircase) {
     if (accel_store_ == nullptr) {

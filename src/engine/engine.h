@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "accel/accel_store.h"
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "rel/query.h"
 #include "shred/edge_loader.h"
@@ -44,6 +45,16 @@ struct EngineOptions {
   // entries are evicted past this bound. 0 means unbounded. Entries are
   // shared_ptr-held, so an execution holding an evicted entry stays valid.
   size_t plan_cache_capacity = 4096;
+  // Per-query memory budget applied when Run() is called without an
+  // ExecControl carrying its own budget: transient executor state (hash
+  // builds, EXISTS memos, dedup tables, result rows) beyond this many bytes
+  // makes the query fail with ResourceExhausted instead of taking the
+  // process down. 0 disables the default budget.
+  size_t per_query_memory_cap = size_t{512} << 20;
+  // Byte budget for the plan cache's compiled entries (estimated sizes).
+  // When an insert would exceed it, LRU entries are evicted first; if the
+  // entry alone exceeds the budget it is simply not cached. 0 = unbounded.
+  size_t plan_cache_memory_cap = size_t{128} << 20;
   translate::TranslateOptions ppf_options;
 };
 
@@ -89,6 +100,10 @@ class XPathEngine {
 
   // Number of compiled (backend, xpath) entries currently cached.
   size_t plan_cache_size() const;
+
+  // Accounting for the plan cache's estimated footprint (bytes). Capped by
+  // EngineOptions::plan_cache_memory_cap.
+  const MemoryBudget& plan_cache_budget() const { return plan_cache_budget_; }
 
   // Document generation, for serving layers that cache results keyed on
   // (backend, xpath, generation): starts at 0 and only moves via
@@ -137,7 +152,9 @@ class XPathEngine {
   struct CacheEntry {
     std::string key;
     std::shared_ptr<const CachedQuery> query;
+    size_t charge = 0;  // bytes reserved in plan_cache_budget_
   };
+  mutable MemoryBudget plan_cache_budget_;
   mutable std::mutex cache_mu_;
   mutable std::list<CacheEntry> cache_lru_;
   mutable std::unordered_map<std::string, std::list<CacheEntry>::iterator>

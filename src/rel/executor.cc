@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "rel/key_codec.h"
 #include "rel/query.h"
 
@@ -131,6 +132,15 @@ struct ExecContext {
   };
   std::unordered_map<const Plan*, SemiSet> semi_sets;
 
+  // Memory governance (see ExecControl::budget). Charges accumulate in
+  // `mem_pending` and flush to the shared budget in kBudgetChunk steps, so
+  // the steady-state per-row cost is one addition, not one atomic RMW.
+  // Everything flushed is tracked in `mem_reserved` and returned when the
+  // execution ends (the context's transient state dies with it).
+  MemoryBudget* budget = nullptr;
+  size_t mem_pending = 0;
+  size_t mem_reserved = 0;
+
   // When non-null, RunSteps records the RowId bound at each step index here.
   // The merge-join driver uses it to snapshot the outer tuple feeding the
   // merge. EXISTS subplan execution nulls it out (subplan step indexes would
@@ -162,6 +172,49 @@ class KeyBufs {
   ExecContext& ctx_;
   std::array<std::string, 2>* bufs_;
 };
+
+// Budget charges flush to the shared MemoryBudget in chunks of this size;
+// totals below it are never refused, which keeps tiny queries entirely off
+// the atomic counters.
+constexpr size_t kBudgetChunk = 64 * 1024;
+
+// Charges `bytes` of transient execution memory. Returns false (and arms
+// ctx.interrupt with ResourceExhausted) when the budget refuses, so callers
+// unwind through the same abort path as a cancellation.
+bool ChargeMem(ExecContext& ctx, size_t bytes, const char* what) {
+  if (ctx.budget == nullptr) return true;
+  ctx.mem_pending += bytes;
+  if (ctx.mem_pending < kBudgetChunk) return true;
+  size_t take = ctx.mem_pending;
+  ctx.mem_pending = 0;
+  Status s = ctx.budget->Reserve(take, what);
+  if (!s.ok()) {
+    if (ctx.interrupt.ok()) ctx.interrupt = std::move(s);
+    return false;
+  }
+  ctx.mem_reserved += take;
+  return true;
+}
+
+// Approximate heap residency of one materialized row (header, slots, string
+// payloads). An estimate is fine: the budget bounds order-of-magnitude
+// blowups, it is not an allocator.
+size_t ApproxRowBytes(const Row& row) {
+  size_t n = sizeof(Row) + row.capacity() * sizeof(Value);
+  for (const Value& v : row) {
+    if (IsStringLike(v)) n += v.AsStringLike().size();
+  }
+  return n;
+}
+
+// Crosses a fault-injection point from a bool-returning enumeration frame:
+// an injected error lands in ctx.interrupt and aborts like a cancellation.
+bool FaultOk(ExecContext& ctx, const char* point) {
+  Status s = XPREL_FAULT_POINT(point);
+  if (s.ok()) return true;
+  if (ctx.interrupt.ok()) ctx.interrupt = std::move(s);
+  return false;
+}
 
 // Samples the cancellation flag and the deadline clock, recording the first
 // trigger in ctx.interrupt. Returns true when the execution must unwind.
@@ -318,6 +371,15 @@ Value EvalExpr(const CompiledExpr& e, Binding& b, ExecContext& ctx) {
       if (!inserted) {
         if (ctx.stats != nullptr) ++ctx.stats->exists_cache_hits;
         return Value::Int(it->second ? 1 : 0);
+      }
+      // An injected or budget-refused insert unwinds via ctx.interrupt; the
+      // entry is removed so a pristine memo survives, and the Null return is
+      // never consumed as a verdict (enumeration aborts on the interrupt
+      // before trusting it).
+      if (!FaultOk(ctx, "rel.exists_memo_insert") ||
+          !ChargeMem(ctx, ctx.memo_key.size() + 64, "EXISTS memo")) {
+        memo.erase(it);
+        return Value::Null();
       }
       if (ctx.stats != nullptr) ++ctx.stats->exists_cache_misses;
       // Nested EXISTS nodes are distinct, so recursion touches other inner
@@ -580,6 +642,7 @@ bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
       auto& ht = ctx.hash_tables[&step];
       if (!ht.built) {
         ht.built = true;
+        if (!FaultOk(ctx, "rel.hash_build")) return false;
         if (ctx.stats != nullptr) ++ctx.stats->hash_tables_built;
         std::string kbuf;
         for (RowId rid = 0; rid < table.row_count(); ++rid) {
@@ -590,6 +653,10 @@ bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
           if (v.is_null() || v.type() != step.hash_key_type) continue;
           kbuf.clear();
           AppendEncodedValue(v, kbuf);
+          if (!ChargeMem(ctx, kbuf.size() + sizeof(RowId) + 48,
+                         "hash join build")) {
+            return false;
+          }
           ht.map[kbuf].push_back(rid);
         }
       }
@@ -656,6 +723,7 @@ bool ExecMerge(const Plan& plan, size_t seg_begin, size_t m, Binding& b,
     // fallback (RunSteps enumerates merge_order behind cfilters).
     return RunSteps(plan, seg_begin, plan.steps.size(), b, ctx, emit);
   }
+  if (!FaultOk(ctx, "rel.merge_collect")) return false;
   if (ctx.stats != nullptr) ++ctx.stats->merge_join_rounds;
 
   const bool ancestor = step.merge_mode == MergeJoinMode::kAncestor;
@@ -694,9 +762,15 @@ bool ExecMerge(const Plan& plan, size_t seg_begin, size_t m, Binding& b,
     for (size_t s = seg_begin; s < m; ++s) {
       t.rids.push_back((*ctx.trace)[s]);
     }
+    if (!ChargeMem(ctx,
+                   sizeof(OuterTuple) + t.key.size() + width * sizeof(RowId),
+                   "merge join outer batch")) {
+      return false;
+    }
     outers.push_back(std::move(t));
     return true;
   });
+  if (!ctx.interrupt.ok()) return false;
   if (outers.empty()) return true;
 
   if (ancestor) {
@@ -885,6 +959,8 @@ void MergeStats(const QueryStats& local, QueryStats* out) {
   out->bitmap_prefilter_tests += local.bitmap_prefilter_tests;
   out->bitmap_prefilter_hits += local.bitmap_prefilter_hits;
   out->exists_semijoin_builds += local.exists_semijoin_builds;
+  out->bytes_reserved_peak =
+      std::max(out->bytes_reserved_peak, local.bytes_reserved_peak);
 }
 
 // Loads the semi-join key set from the build plan's result rows, applying
@@ -893,10 +969,11 @@ void MergeStats(const QueryStats& local, QueryStats* out) {
 // conjuncts (e.g. a stripped byte of 0xFF, which would violate the
 // `< prefix || 0xFF` upper bound) contribute no key.
 void LoadSemiKeys(const Plan& sub, const QueryResult& built,
-                  ExecContext::SemiSet& set) {
+                  ExecContext::SemiSet& set, ExecContext& ctx) {
   const std::vector<Plan::SemiJoinKey>& keys = sub.semijoin_keys;
   std::vector<std::string> parts(keys.size());
   for (const Row& row : built.rows) {
+    if (!ctx.interrupt.ok()) return;
     int var_idx = -1;
     std::string_view var_payload;
     bool ok = true;
@@ -939,6 +1016,7 @@ void LoadSemiKeys(const Plan& sub, const QueryResult& built,
     if (var_idx < 0) {
       std::string key;
       for (const std::string& part : parts) key += part;
+      if (!ChargeMem(ctx, key.size() + 64, "EXISTS semi-join set")) return;
       set.keys.insert(std::move(key));
       continue;
     }
@@ -954,6 +1032,7 @@ void LoadSemiKeys(const Plan& sub, const QueryResult& built,
           key += parts[i];
         }
       }
+      if (!ChargeMem(ctx, key.size() + 64, "EXISTS semi-join set")) return;
       set.keys.insert(std::move(key));
     }
   }
@@ -1006,22 +1085,32 @@ std::optional<bool> ProbeSemiJoin(const Plan& sub, Binding& b,
     }
   }
   if (!set.built) {
+    if (!FaultOk(ctx, "rel.semijoin_build")) {
+      set.failed = true;
+      return std::nullopt;
+    }
     QueryStats local;
     auto r = ExecutePlan(*sub.semijoin_plan, &local,
                          /*need_ordered_rows=*/false, ctx.control);
     MergeStats(local, ctx.stats);
     if (!r.ok()) {
-      // An interrupted build must stop the outer execution too, not just
-      // fall back to the per-row subplan path.
-      StatusCode c = r.status().code();
-      if (c == StatusCode::kCancelled || c == StatusCode::kDeadlineExceeded) {
-        ctx.interrupt = r.status();
-      }
+      // A build cut short by cancellation, a deadline, a refused memory
+      // reservation or an injected fault must stop the outer execution too
+      // — silently falling back to the per-row subplan path would evade the
+      // very limit that fired. `failed` keeps only the benign fallback for
+      // key-mapping mismatches (the nullopt returns above).
+      if (ctx.interrupt.ok()) ctx.interrupt = r.status();
       set.failed = true;
       return std::nullopt;
     }
     set.built = true;
-    LoadSemiKeys(sub, r.value(), set);
+    LoadSemiKeys(sub, r.value(), set, ctx);
+    if (!ctx.interrupt.ok()) {
+      // The key set is incomplete: poison it so it is never probed.
+      set.keys.clear();
+      set.failed = true;
+      return std::nullopt;
+    }
     if (ctx.stats != nullptr) {
       ++ctx.stats->exists_cache_misses;
       ++ctx.stats->exists_semijoin_builds;
@@ -1040,6 +1129,21 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
   ExecContext ctx;
   ctx.stats = stats;
   ctx.control = control;
+  ctx.budget = control != nullptr ? control->budget : nullptr;
+  // Returns every flushed reservation when the execution ends (all charged
+  // state is per-execution) and records the budget high-water mark — on the
+  // success and error paths alike.
+  struct BudgetLease {
+    ExecContext& ctx;
+    ~BudgetLease() {
+      if (ctx.budget == nullptr) return;
+      if (ctx.mem_reserved > 0) ctx.budget->Release(ctx.mem_reserved);
+      if (ctx.stats != nullptr) {
+        ctx.stats->bytes_reserved_peak =
+            std::max(ctx.stats->bytes_reserved_peak, ctx.budget->peak());
+      }
+    }
+  } lease{ctx};
   // Check once before touching any rows, so a request that spent its whole
   // deadline queued (or was cancelled while queued) fails immediately.
   if (CheckControlNow(ctx)) return ctx.interrupt;
@@ -1076,10 +1180,14 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
 
   if (fast_order) {
     ExecSteps(plan, 0, binding, ctx, [&]() {
+      if (!FaultOk(ctx, "rel.emit_row")) return false;
       Row projected;
       projected.reserve(plan.compiled_select.size());
       for (const CompiledExpr* ce : plan.compiled_select) {
         projected.push_back(EvalExpr(*ce, binding, ctx));
+      }
+      if (!ChargeMem(ctx, ApproxRowBytes(projected), "result rows")) {
+        return false;
       }
       emitted.push_back(std::move(projected));
       return true;
@@ -1106,6 +1214,7 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
     };
     std::vector<Emitted> keyed;
     ExecSteps(plan, 0, binding, ctx, [&]() {
+      if (!FaultOk(ctx, "rel.emit_row")) return false;
       Emitted e;
       e.projected.reserve(plan.compiled_select.size());
       for (const CompiledExpr* ce : plan.compiled_select) {
@@ -1114,6 +1223,11 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
       e.sort_key.reserve(plan.compiled_order_by.size());
       for (const CompiledExpr* ce : plan.compiled_order_by) {
         e.sort_key.push_back(EvalExpr(*ce, binding, ctx));
+      }
+      if (!ChargeMem(ctx,
+                     ApproxRowBytes(e.projected) + ApproxRowBytes(e.sort_key),
+                     "result rows")) {
+        return false;
       }
       keyed.push_back(std::move(e));
       return true;
@@ -1136,11 +1250,16 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
   if (!ctx.interrupt.ok()) return ctx.interrupt;
 
   if (stmt.distinct) {
+    if (!FaultOk(ctx, "rel.distinct")) return ctx.interrupt;
     std::unordered_set<Row, RowHash> seen;
     seen.reserve(emitted.size());
     result.rows.reserve(emitted.size());
     for (Row& e : emitted) {
       if (seen.insert(e).second) {
+        // The dedup table holds a second copy of every distinct row.
+        if (!ChargeMem(ctx, ApproxRowBytes(e), "DISTINCT dedup")) {
+          return ctx.interrupt;
+        }
         result.rows.push_back(std::move(e));
       }
     }
@@ -1174,6 +1293,17 @@ Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
   // sort — the combined result is ordered (or not) in one pass here.
   QueryResult combined;
   std::unordered_set<Row, RowHash> seen;
+  // The cross-block dedup table charges the shared budget directly (it has
+  // no ExecContext); chunked like the executor's own charges.
+  MemoryBudget* budget = control != nullptr ? control->budget : nullptr;
+  size_t mem_pending = 0;
+  struct UnionLease {
+    MemoryBudget* budget;
+    size_t reserved = 0;
+    ~UnionLease() {
+      if (budget != nullptr && reserved > 0) budget->Release(reserved);
+    }
+  } lease{budget};
   for (size_t b = 0; b < plans.size(); ++b) {
     QueryStats local;
     auto r = ExecutePlan(*plans[b], &local, /*need_ordered_rows=*/false,
@@ -1191,15 +1321,29 @@ Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
       stats->bitmap_prefilter_tests += local.bitmap_prefilter_tests;
       stats->bitmap_prefilter_hits += local.bitmap_prefilter_hits;
       stats->exists_semijoin_builds += local.exists_semijoin_builds;
+      stats->bytes_reserved_peak =
+          std::max(stats->bytes_reserved_peak, local.bytes_reserved_peak);
     }
     if (b == 0) {
       combined.column_labels = r.value().column_labels;
     }
     for (Row& row : r.value().rows) {
       if (seen.insert(row).second) {
+        if (budget != nullptr) {
+          mem_pending += ApproxRowBytes(row);
+          if (mem_pending >= kBudgetChunk) {
+            XPREL_RETURN_IF_ERROR(budget->Reserve(mem_pending, "UNION dedup"));
+            lease.reserved += mem_pending;
+            mem_pending = 0;
+          }
+        }
         combined.rows.push_back(std::move(row));
       }
     }
+  }
+  if (stats != nullptr && budget != nullptr) {
+    stats->bytes_reserved_peak =
+        std::max(stats->bytes_reserved_peak, budget->peak());
   }
   const Plan& first = *plans[0];
   if (!need_ordered_rows) {

@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "rel/key_codec.h"
 #include "rel/query.h"
 
@@ -935,6 +936,7 @@ void AnalyzeSemiJoin(const Database& db, Plan& plan, ExprCompiler& comp) {
 Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
                                          const SelectStmt& stmt,
                                          const Layout* outer) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("rel.plan_select"));
   auto plan = std::make_unique<Plan>();
   plan->stmt = &stmt;
 
@@ -978,6 +980,7 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
             e->args[1]->literal.type() != ValueType::kString) {
           return Status::Unsupported("REGEXP_LIKE pattern must be a literal");
         }
+        XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("rel.plan_regex"));
         auto re = rex::Regex::Compile(e->args[1]->literal.AsString());
         if (!re.ok()) return re.status();
         plan->regexes.emplace(e, std::move(re).value());

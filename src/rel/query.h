@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "rel/sql_ast.h"
 #include "rel/table.h"
@@ -301,6 +302,14 @@ struct ExecControl {
   // rows, so small values tighten latency and large values tighten overhead.
   uint32_t check_interval = 1024;
 
+  // Optional memory budget for this execution's transient state: hash-join
+  // builds, EXISTS memos, semi-join key sets, merge-join outer batches,
+  // emitted rows and dedup tables all charge against it (in coarse chunks,
+  // so the per-row cost is an addition). When a reservation is refused the
+  // execution unwinds with Status::ResourceExhausted exactly like a
+  // cancellation. Nullable; must outlive the execution.
+  MemoryBudget* budget = nullptr;
+
   // True when either trigger has already fired (one immediate sample).
   bool Expired() const {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -325,6 +334,10 @@ struct QueryStats {
   size_t bitmap_prefilter_tests = 0;  // row ids tested against plan bitmaps
   size_t bitmap_prefilter_hits = 0;   // ...of which passed
   size_t exists_semijoin_builds = 0;  // decorrelated EXISTS set builds
+  // High-water mark of ExecControl::budget during this query (bytes); 0
+  // when the execution ran unbudgeted. Merged by max, not sum: nested and
+  // UNION-block runs share one budget.
+  size_t bytes_reserved_peak = 0;
   size_t output_rows = 0;
 };
 

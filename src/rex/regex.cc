@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/fault_injection.h"
+
 namespace xprel::rex {
 
 namespace {
@@ -262,6 +264,13 @@ class Parser {
 
 namespace {
 
+// Nested bounded repeats multiply the duplicated sub-automata — "(a{256}){256}"
+// would unroll to 64K byte states and another nesting level to 16M — so the
+// builder stops materialising states past this cap and Compile reports
+// ResourceExhausted. Each state holds a 256-bit byte set, so 64K states is
+// ~2 MiB: ample for every legitimate pattern, harmless as a ceiling.
+constexpr size_t kMaxNfaStates = 64 * 1024;
+
 struct NfaBuilder {
   struct StateRep {
     enum class Kind : uint8_t { kByte, kSplit, kAssertBegin, kAssertEnd, kAccept };
@@ -277,8 +286,13 @@ struct NfaBuilder {
   };
 
   std::vector<StateRep> states;
+  bool overflow = false;
 
   int NewState(StateRep::Kind kind) {
+    if (states.size() >= kMaxNfaStates) {
+      overflow = true;
+      return 0;
+    }
     states.push_back(StateRep{kind, {}, -1, -1});
     return static_cast<int>(states.size()) - 1;
   }
@@ -294,6 +308,11 @@ struct NfaBuilder {
   }
 
   Frag CompileNode(const Node& node) {
+    // Once the cap is hit, stop doing work: every recursive call returns an
+    // empty fragment immediately, so a hostile nested-repeat pattern costs
+    // O(tree size), not O(unrolled automaton size). Patch() and the dangling
+    // start=-1 are harmless because Compile discards the NFA on overflow.
+    if (overflow) return Frag{};
     switch (node.kind) {
       case Node::Kind::kCharSet: {
         int s = NewState(StateRep::Kind::kByte);
@@ -404,6 +423,7 @@ struct NfaBuilder {
 }  // namespace
 
 Result<Regex> Regex::Compile(std::string_view pattern) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("rex.compile"));
   Parser parser(pattern);
   auto tree = parser.Parse();
   if (!tree.ok()) return tree.status();
@@ -411,6 +431,11 @@ Result<Regex> Regex::Compile(std::string_view pattern) {
   NfaBuilder builder;
   NfaBuilder::Frag frag = builder.CompileNode(*tree.value());
   int accept = builder.NewState(NfaBuilder::StateRep::Kind::kAccept);
+  if (builder.overflow) {
+    return Status::ResourceExhausted(
+        "regex: compiled NFA exceeds " + std::to_string(kMaxNfaStates) +
+        " states; simplify the pattern");
+  }
   builder.Patch(frag.out, accept);
 
   Regex re;

@@ -39,22 +39,27 @@ std::string LatencyHistogram::Summary() const {
 }
 
 std::string MetricsRegistry::Dump() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "requests: submitted=%llu completed=%llu rejected=%llu cancelled=%llu "
-      "timed_out=%llu errors=%llu\n"
-      "result cache: hits=%llu misses=%llu hit_rate=%.1f%%\n",
+      "timed_out=%llu resource_exhausted=%llu errors=%llu\n"
+      "result cache: hits=%llu misses=%llu hit_rate=%.1f%%\n"
+      "memory: used=%llu peak=%llu\n",
       static_cast<unsigned long long>(submitted.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(completed.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(rejected.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(cancelled.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(timed_out.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          resource_exhausted.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(errors.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(cache_hits.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           cache_misses.load(std::memory_order_relaxed)),
-      100.0 * CacheHitRate());
+      100.0 * CacheHitRate(),
+      static_cast<unsigned long long>(mem_used.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(mem_peak.load(std::memory_order_relaxed)));
   std::string out = buf;
   out += "queue wait: " + queue_wait.Summary() + "\n";
   out += "latency:    " + latency.Summary() + "\n";

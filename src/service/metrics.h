@@ -63,6 +63,14 @@ class MetricsRegistry {
   std::atomic<uint64_t> errors{0};      // any other non-OK terminal status
   std::atomic<uint64_t> cache_hits{0};  // served straight from the result cache
   std::atomic<uint64_t> cache_misses{0};  // cacheable but not present
+  // Queries refused by a memory budget (per-query or service-wide); counted
+  // separately from `rejected`, which is admission-queue overflow.
+  std::atomic<uint64_t> resource_exhausted{0};
+
+  // Gauges sampled from the service-wide memory budget after each query:
+  // bytes currently reserved and the high-water mark since startup.
+  std::atomic<uint64_t> mem_used{0};
+  std::atomic<uint64_t> mem_peak{0};
 
   LatencyHistogram queue_wait;  // admission -> worker pickup
   LatencyHistogram latency;     // worker pickup -> terminal status

@@ -23,7 +23,8 @@ QueryService::QueryService(const engine::XPathEngine& engine,
                            ServiceOptions options)
     : engine_(engine),
       options_(options),
-      cache_(options.result_cache_capacity),
+      memory_(options.total_memory_cap),
+      cache_(options.result_cache_capacity, &memory_),
       pool_(options.workers, options.queue_capacity) {}
 
 std::string_view QueryService::NormalizeXPath(std::string_view xpath) {
@@ -86,7 +87,8 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
                                    xpath = std::move(xpath),
                                    cancel = std::move(req.cancel), cacheable,
                                    key = std::move(key), admitted_at,
-                                   has_deadline, deadline_at]() {
+                                   has_deadline, deadline_at,
+                                   mem_cap = req.memory_cap]() {
     const auto picked_up = std::chrono::steady_clock::now();
     const uint64_t wait_us = UsBetween(admitted_at, picked_up);
     metrics_.queue_wait.RecordUs(wait_us);
@@ -98,9 +100,17 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
       control.has_deadline = true;
       control.deadline = deadline_at;
     }
+    // Every query runs under a child of the service-wide budget, so one
+    // query's transient state is capped individually while the sum of all
+    // in-flight queries (plus the result cache) is capped collectively.
+    size_t cap = mem_cap != 0 ? mem_cap : options_.per_query_memory_cap;
+    MemoryBudget query_budget(cap, &memory_);
+    control.budget = &query_budget;
 
     auto out = engine_.Run(backend, xpath, &control);
     metrics_.latency.RecordUs(UsBetween(picked_up, std::chrono::steady_clock::now()));
+    metrics_.mem_used.store(memory_.used(), std::memory_order_relaxed);
+    metrics_.mem_peak.store(memory_.peak(), std::memory_order_relaxed);
     if (!out.ok()) {
       switch (out.status().code()) {
         case StatusCode::kCancelled:
@@ -108,6 +118,9 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
           break;
         case StatusCode::kDeadlineExceeded:
           metrics_.timed_out.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case StatusCode::kResourceExhausted:
+          metrics_.resource_exhausted.fetch_add(1, std::memory_order_relaxed);
           break;
         default:
           metrics_.errors.fetch_add(1, std::memory_order_relaxed);

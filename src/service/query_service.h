@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "engine/engine.h"
 #include "service/metrics.h"
@@ -27,6 +28,14 @@ struct ServiceOptions {
   size_t result_cache_capacity = 1024;  // entries; 0 disables the cache
   // Rows the executor enumerates between cancellation/deadline samples.
   uint32_t check_interval = 1024;
+  // Service-wide memory allowance, shared by every in-flight query's
+  // transient state and the result cache's entries. A query that would push
+  // the total past it fails with ResourceExhausted; cache inserts evict or
+  // drop instead. 0 = account but never refuse.
+  size_t total_memory_cap = 0;
+  // Default per-query allowance (a child of the service-wide budget);
+  // QueryRequest::memory_cap overrides it per request. 0 = no per-query cap.
+  size_t per_query_memory_cap = 0;
 };
 
 // Hand one to Submit() to be able to revoke the request later; Cancel() is
@@ -49,6 +58,8 @@ struct QueryRequest {
   std::chrono::milliseconds deadline{0};
   std::shared_ptr<CancelToken> cancel;  // optional
   bool bypass_cache = false;  // force execution (and refresh the cache)
+  // Per-query memory cap in bytes; zero = ServiceOptions::per_query_memory_cap.
+  size_t memory_cap = 0;
 };
 
 struct QueryResponse {
@@ -96,6 +107,8 @@ class QueryService {
 
   const MetricsRegistry& metrics() const { return metrics_; }
   const ResultCache& result_cache() const { return cache_; }
+  // Service-wide memory accounting (per-query budgets chain to it).
+  const MemoryBudget& memory_budget() const { return memory_; }
   ThreadPool& pool() { return pool_; }
 
   // Metrics counters + histograms plus the point-in-time gauges (queue
@@ -112,6 +125,7 @@ class QueryService {
   const engine::XPathEngine& engine_;
   const ServiceOptions options_;
   MetricsRegistry metrics_;
+  MemoryBudget memory_;  // declared before cache_: the cache charges it
   ResultCache cache_;
   std::atomic<uint64_t> cache_generation_{0};
   ThreadPool pool_;  // last member: workers must die before the rest

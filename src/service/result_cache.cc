@@ -2,6 +2,17 @@
 
 namespace xprel::service {
 
+namespace {
+
+// Estimated resident bytes of one cached result; coarse on purpose — the
+// budget wants proportionality, not exactness.
+size_t ApproxEntryBytes(const std::string& key, const ResultCache::Entry& e) {
+  return key.size() + e.nodes.size() * sizeof(xml::NodeId) +
+         sizeof(ResultCache::Entry) + 64;
+}
+
+}  // namespace
+
 std::shared_ptr<const ResultCache::Entry> ResultCache::Get(
     const std::string& key) {
   if (capacity_ == 0) return nullptr;
@@ -9,26 +20,43 @@ std::shared_ptr<const ResultCache::Entry> ResultCache::Get(
   auto it = map_.find(key);
   if (it == map_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return it->second->entry;
+}
+
+void ResultCache::EvictBack() {
+  if (budget_ != nullptr) budget_->Release(lru_.back().charge);
+  map_.erase(lru_.back().key);
+  lru_.pop_back();
 }
 
 void ResultCache::Put(const std::string& key,
                       std::shared_ptr<const Entry> entry) {
   if (capacity_ == 0) return;
+  const size_t charge = ApproxEntryBytes(key, *entry);
+  // An entry larger than the whole budget can never be funded; drop it up
+  // front rather than uselessly evicting everything else first.
+  if (budget_ != nullptr && budget_->cap() != 0 && charge > budget_->cap()) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
-    // Concurrent fill of the same key: keep the newer entry, refresh LRU.
-    it->second->second = std::move(entry);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    // Concurrent fill of the same key: drop the old entry (and its
+    // reservation), then insert the newer one through the normal path.
+    if (budget_ != nullptr) budget_->Release(it->second->charge);
+    lru_.erase(it->second);
+    map_.erase(it);
   }
-  lru_.emplace_front(key, std::move(entry));
+  bool reserved =
+      budget_ == nullptr || budget_->Reserve(charge, "result cache").ok();
+  while (!reserved && !lru_.empty()) {
+    EvictBack();
+    reserved = budget_->Reserve(charge, "result cache").ok();
+  }
+  if (!reserved) return;  // cannot fund this entry even with an empty cache
+  lru_.push_front(LruEntry{key, std::move(entry), charge});
   map_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    map_.erase(lru_.back().first);
-    lru_.pop_back();
-  }
+  while (lru_.size() > capacity_) EvictBack();
 }
 
 size_t ResultCache::size() const {
@@ -38,6 +66,9 @@ size_t ResultCache::size() const {
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ != nullptr) {
+    for (const LruEntry& e : lru_) budget_->Release(e.charge);
+  }
   map_.clear();
   lru_.clear();
 }

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "rel/query.h"
 #include "xml/document.h"
 
@@ -31,7 +32,13 @@ class ResultCache {
   };
 
   // capacity 0 disables the cache entirely (Get always misses, Put drops).
-  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+  // `budget` (nullable, must outlive the cache) charges each entry's
+  // estimated bytes against a shared budget — typically the service-wide
+  // one — so cached results and in-flight queries compete for the same
+  // allowance. Puts that cannot be funded even after evicting the whole LRU
+  // tail are silently dropped; the cache is best-effort.
+  explicit ResultCache(size_t capacity, MemoryBudget* budget = nullptr)
+      : capacity_(capacity), budget_(budget) {}
 
   std::shared_ptr<const Entry> Get(const std::string& key);
   void Put(const std::string& key, std::shared_ptr<const Entry> entry);
@@ -41,9 +48,17 @@ class ResultCache {
   void Clear();
 
  private:
-  using LruEntry = std::pair<std::string, std::shared_ptr<const Entry>>;
+  struct LruEntry {
+    std::string key;
+    std::shared_ptr<const Entry> entry;
+    size_t charge = 0;  // bytes reserved in budget_ for this entry
+  };
+
+  // Caller holds mu_. Removes the LRU tail entry, returning its reservation.
+  void EvictBack();
 
   const size_t capacity_;
+  MemoryBudget* const budget_;
   mutable std::mutex mu_;
   std::list<LruEntry> lru_;  // most recently used at the front
   std::unordered_map<std::string, std::list<LruEntry>::iterator> map_;

@@ -1,5 +1,6 @@
 #include "shred/edge_loader.h"
 
+#include "common/fault_injection.h"
 #include "encoding/dewey.h"
 
 namespace xprel::shred {
@@ -60,6 +61,7 @@ Result<std::unique_ptr<EdgeStore>> EdgeStore::Create() {
 }
 
 Result<int64_t> EdgeStore::LoadDocument(const xml::Document& doc) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("shred.edge_load"));
   if (doc.root() == xml::kNoNode) {
     return Status::InvalidArgument("empty document");
   }

@@ -1,5 +1,6 @@
 #include "shred/schema_loader.h"
 
+#include "common/fault_injection.h"
 #include "encoding/dewey.h"
 
 namespace xprel::shred {
@@ -35,6 +36,7 @@ std::string DirectText(const xml::Document& doc, xml::NodeId node) {
 }  // namespace
 
 Result<int64_t> SchemaAwareStore::LoadDocument(const xml::Document& doc) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("shred.schema_load"));
   if (doc.root() == xml::kNoNode) {
     return Status::InvalidArgument("empty document");
   }

@@ -1,7 +1,5 @@
 #include "xml/document.h"
 
-#include <cassert>
-
 namespace xprel::xml {
 
 const std::string* Document::FindAttribute(NodeId id,
@@ -27,8 +25,15 @@ std::string Document::StringValue(NodeId id) const {
   return out;
 }
 
-std::string Document::RootToNodePath(NodeId id) const {
-  assert(IsElement(id));
+Result<std::string> Document::RootToNodePath(NodeId id) const {
+  if (id < 1 || id > size()) {
+    return Status::InvalidArgument("node id " + std::to_string(id) +
+                                   " out of range");
+  }
+  if (!IsElement(id)) {
+    return Status::InvalidArgument("node " + std::to_string(id) +
+                                   " is not an element");
+  }
   std::vector<const std::string*> names;
   for (NodeId cur = id; cur != kNoNode; cur = node(cur).parent) {
     names.push_back(&node(cur).name);
@@ -47,6 +52,12 @@ int32_t Document::CountElements() const {
     if (node.kind == NodeKind::kElement) ++n;
   }
   return n;
+}
+
+void Builder::Fail(const char* what) {
+  if (error_.ok()) {
+    error_ = Status::ParseError(std::string("xml builder: ") + what);
+  }
 }
 
 NodeId Builder::StartElement(std::string_view name) {
@@ -68,7 +79,10 @@ NodeId Builder::StartElement(std::string_view name) {
 }
 
 void Builder::AddAttribute(std::string_view name, std::string_view value) {
-  assert(!stack_.empty());
+  if (stack_.empty()) {
+    Fail("AddAttribute with no open element");
+    return;
+  }
   Node& n = doc_.nodes_[static_cast<size_t>(stack_.back() - 1)];
   // Attributes may only be added before any child is appended, mirroring the
   // XML syntax; the parser guarantees this.
@@ -76,7 +90,10 @@ void Builder::AddAttribute(std::string_view name, std::string_view value) {
 }
 
 NodeId Builder::AddText(std::string_view text) {
-  assert(!stack_.empty());
+  if (stack_.empty()) {
+    Fail("AddText with no open element");
+    return kNoNode;
+  }
   Node n;
   n.kind = NodeKind::kText;
   n.text = std::string(text);
@@ -99,12 +116,20 @@ NodeId Builder::AddTextElement(std::string_view name, std::string_view text) {
 }
 
 void Builder::EndElement() {
-  assert(!stack_.empty());
+  if (stack_.empty()) {
+    Fail("EndElement with no open element");
+    return;
+  }
   stack_.pop_back();
 }
 
-Document Builder::Finish() && {
-  assert(stack_.empty() && "Finish() with unclosed elements");
+Result<Document> Builder::Finish() && {
+  if (!error_.ok()) return error_;
+  if (!stack_.empty()) {
+    return Status::ParseError("xml builder: Finish() with " +
+                              std::to_string(stack_.size()) +
+                              " unclosed element(s)");
+  }
   return std::move(doc_);
 }
 

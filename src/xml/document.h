@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
+
 namespace xprel::xml {
 
 // Node ids are preorder positions, starting at 1 for the document's root
@@ -67,8 +69,10 @@ class Document {
   std::string StringValue(NodeId id) const;
 
   // Root-to-node path of an *element* node, e.g. "/dblp/inproceedings/title".
-  // Attribute of the paper's Section 3.1 path index.
-  std::string RootToNodePath(NodeId id) const;
+  // Attribute of the paper's Section 3.1 path index. InvalidArgument when
+  // `id` is out of range or names a text node — malformed ids must not be
+  // able to crash a release build.
+  Result<std::string> RootToNodePath(NodeId id) const;
 
   // Number of element nodes (text nodes excluded).
   int32_t CountElements() const;
@@ -86,7 +90,12 @@ class Document {
 //   b.AddAttribute("id", "s0");
 //   b.AddText("hello");
 //   b.EndElement();
-//   Document doc = std::move(b).Finish();
+//   Document doc = std::move(b).Finish().value();
+//
+// Misuse (adding content or closing an element at top level, finishing
+// with unclosed elements) is latched as a ParseError and surfaces from
+// Finish() — callers that feed the builder from untrusted input get a
+// Status, never an abort.
 class Builder {
  public:
   Builder() = default;
@@ -101,11 +110,17 @@ class Builder {
 
   bool AtTopLevel() const { return stack_.empty(); }
 
-  Document Finish() &&;
+  // First structural error so far (sticky), or OK.
+  const Status& error() const { return error_; }
+
+  Result<Document> Finish() &&;
 
  private:
+  void Fail(const char* what);
+
   Document doc_;
   std::vector<NodeId> stack_;
+  Status error_;
 };
 
 }  // namespace xprel::xml

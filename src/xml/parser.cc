@@ -3,6 +3,7 @@
 #include <cctype>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace xprel::xml {
@@ -219,6 +220,13 @@ class XmlParser {
 
   Status ParseElement() {
     // Caller guarantees Peek() == '<'.
+    if (options_.max_depth > 0 && depth_ >= options_.max_depth) {
+      return Status::ResourceExhausted(
+          "xml: element nesting exceeds max_depth=" +
+          std::to_string(options_.max_depth) + " at offset " +
+          std::to_string(pos_));
+    }
+    ++depth_;
     Advance();
     auto name = ParseName();
     if (!name.ok()) return name.status();
@@ -226,10 +234,12 @@ class XmlParser {
     XPREL_RETURN_IF_ERROR(ParseAttributes());
     if (ConsumePrefix("/>")) {
       builder_.EndElement();
+      --depth_;
       return Status::Ok();
     }
     if (!ConsumePrefix(">")) return Error("expected '>'");
     XPREL_RETURN_IF_ERROR(ParseContent(name.value()));
+    --depth_;
     return Status::Ok();
   }
 
@@ -296,6 +306,7 @@ class XmlParser {
 
   std::string_view s_;
   size_t pos_ = 0;
+  int depth_ = 0;
   ParseOptions options_;
   Builder builder_;
 };
@@ -303,6 +314,7 @@ class XmlParser {
 }  // namespace
 
 Result<Document> ParseXml(std::string_view input, const ParseOptions& options) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("xml.parse"));
   XmlParser parser(input, options);
   return parser.Parse();
 }

@@ -13,6 +13,11 @@ struct ParseOptions {
   // whitespace between elements are dropped; they carry no data and would
   // bloat the relational image.
   bool keep_whitespace_text = false;
+  // Maximum element nesting depth before the parser rejects the document
+  // with ResourceExhausted. The parser recurses per element, so an
+  // adversarial <a><a><a>... document could otherwise exhaust the stack;
+  // real corpora nest a few dozen levels deep. 0 disables the limit.
+  int max_depth = 256;
 };
 
 // Parses a standalone XML document: one root element, optional XML

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
+
 namespace xprel::xpath {
 
 namespace {
@@ -574,6 +576,16 @@ class Parser {
 }  // namespace
 
 Result<XPathExpr> ParseXPath(std::string_view text) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("xpath.parse"));
+  // Bound the expression size before lexing: the recursive-descent parser
+  // allocates per token and recurses per nesting level, so an unbounded
+  // expression is a memory/stack amplification vector. 64 KiB is far above
+  // any legitimate query.
+  if (text.size() > kMaxXPathBytes) {
+    return Status::InvalidArgument(
+        "xpath: expression length " + std::to_string(text.size()) +
+        " exceeds limit of " + std::to_string(kMaxXPathBytes) + " bytes");
+  }
   Lexer lexer(text);
   auto tokens = lexer.Tokenize();
   if (!tokens.ok()) return tokens.status();

@@ -1,12 +1,18 @@
 #ifndef XPREL_XPATH_PARSER_H_
 #define XPREL_XPATH_PARSER_H_
 
+#include <cstddef>
 #include <string_view>
 
 #include "common/result.h"
 #include "xpath/ast.h"
 
 namespace xprel::xpath {
+
+// Upper bound on the byte length of an XPath expression accepted by
+// ParseXPath; longer inputs are rejected with InvalidArgument before any
+// per-token allocation happens.
+inline constexpr size_t kMaxXPathBytes = 64 * 1024;
 
 // Parses the XPath subset covered by the paper (Section 1): location paths
 // over all thirteen axes with abbreviated ('//', '@', '.', '..') and

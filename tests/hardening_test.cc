@@ -1,0 +1,434 @@
+// Robustness tests: malformed-input corpus replay, hard resource limits,
+// memory-budget accounting, builder misuse, and — in fault-injection builds
+// (the `fault-injection` preset) — the deterministic fault sweep: every
+// registered injection point is fired in turn and the operation above it
+// must fail with a Status (never crash or leak) and leave the engine fully
+// usable afterwards.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/memory_budget.h"
+#include "data/xmark.h"
+#include "engine/engine.h"
+#include "rex/regex.h"
+#include "service/query_service.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel {
+namespace {
+
+using engine::Backend;
+using engine::XPathEngine;
+
+// ---------------------------------------------------------------------------
+// MemoryBudget units
+// ---------------------------------------------------------------------------
+
+TEST(MemoryBudgetTest, AccountsAndEnforcesCap) {
+  MemoryBudget b(1000);
+  ASSERT_TRUE(b.Reserve(600, "x").ok());
+  EXPECT_EQ(b.used(), 600u);
+  ASSERT_TRUE(b.Reserve(400, "x").ok());
+  EXPECT_EQ(b.used(), 1000u);
+  auto s = b.Reserve(1, "x");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(b.used(), 1000u);  // refused reservation rolled back
+  b.Release(500);
+  EXPECT_EQ(b.used(), 500u);
+  ASSERT_TRUE(b.Reserve(500, "x").ok());
+  EXPECT_EQ(b.peak(), 1000u);
+}
+
+TEST(MemoryBudgetTest, ZeroCapOnlyAccounts) {
+  MemoryBudget b(0);
+  ASSERT_TRUE(b.Reserve(size_t{8} << 30, "huge").ok());
+  EXPECT_EQ(b.used(), size_t{8} << 30);
+  EXPECT_EQ(b.peak(), size_t{8} << 30);
+  b.Release(size_t{8} << 30);
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ParentChainChargesBothAndRollsBack) {
+  MemoryBudget parent(1000);
+  MemoryBudget a(0, &parent);
+  MemoryBudget b(0, &parent);
+  ASSERT_TRUE(a.Reserve(700, "a").ok());
+  EXPECT_EQ(parent.used(), 700u);
+  // b fits its own (uncapped) budget but the parent refuses; the local
+  // charge must be rolled back so b stays consistent.
+  auto s = b.Reserve(400, "b");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_EQ(parent.used(), 700u);
+  a.Release(700);
+  EXPECT_EQ(parent.used(), 0u);
+  ASSERT_TRUE(b.Reserve(400, "b").ok());
+  EXPECT_EQ(parent.used(), 400u);
+}
+
+TEST(MemoryBudgetTest, ReleaseClampsAtZero) {
+  MemoryBudget b(0);
+  ASSERT_TRUE(b.Reserve(10, "x").ok());
+  b.Release(100);  // over-release must not underflow
+  EXPECT_EQ(b.used(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hard input limits
+// ---------------------------------------------------------------------------
+
+std::string NestedXml(int depth) {
+  std::string s;
+  for (int i = 0; i < depth; ++i) s += "<d>";
+  s += "x";
+  for (int i = 0; i < depth; ++i) s += "</d>";
+  return s;
+}
+
+TEST(InputLimitsTest, XmlNestingDepthIsBounded) {
+  auto deep = xml::ParseXml(NestedXml(300));
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kResourceExhausted);
+
+  // Just inside the default limit parses fine.
+  EXPECT_TRUE(xml::ParseXml(NestedXml(256)).ok());
+
+  // The limit is tunable, and 0 disables it.
+  xml::ParseOptions opt;
+  opt.max_depth = 16;
+  EXPECT_FALSE(xml::ParseXml(NestedXml(17), opt).ok());
+  opt.max_depth = 0;
+  EXPECT_TRUE(xml::ParseXml(NestedXml(300), opt).ok());
+}
+
+TEST(InputLimitsTest, XPathExpressionLengthIsBounded) {
+  // A syntactically valid but absurdly long expression: /a/a/a/...
+  std::string longpath;
+  while (longpath.size() <= xpath::kMaxXPathBytes) longpath += "/aaaaaaaa";
+  auto r = xpath::ParseXPath(longpath);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(xpath::ParseXPath("/site/regions").ok());
+}
+
+TEST(InputLimitsTest, RegexNfaStateCountIsBounded) {
+  // Nested bounded repeats multiply: 256 * 256 byte-states busts the
+  // 64K-state cap. This must fail fast (construction is cut off at the
+  // cap), not after materialising the full automaton.
+  auto big = rex::Regex::Compile("(a{256}){256}");
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kResourceExhausted);
+
+  // Deeper nesting would be ~16M states if construction weren't cut off.
+  auto huge = rex::Regex::Compile("((a{200}){200}){200}");
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kResourceExhausted);
+
+  // A large-but-legal pattern still compiles and matches.
+  auto ok = rex::Regex::Compile("(ab{4}){8}c*");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok.value().Matches("abbbbabbbbabbbbabbbbabbbbabbbbabbbbabbbbcc"));
+}
+
+// ---------------------------------------------------------------------------
+// Builder misuse surfaces Status, not aborts
+// ---------------------------------------------------------------------------
+
+TEST(BuilderMisuseTest, UnclosedElementsFailFinish) {
+  xml::Builder b;
+  b.StartElement("a");
+  b.StartElement("b");
+  auto r = std::move(b).Finish();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(BuilderMisuseTest, ContentAtTopLevelLatchesError) {
+  xml::Builder b;
+  EXPECT_EQ(b.AddText("stray"), xml::kNoNode);
+  b.AddAttribute("x", "1");
+  b.EndElement();
+  EXPECT_FALSE(b.error().ok());
+  auto r = std::move(b).Finish();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(BuilderMisuseTest, RootToNodePathRejectsBadIds) {
+  auto doc = xml::ParseXml("<a>t<b/></a>").value();
+  EXPECT_EQ(doc.RootToNodePath(1).value(), "/a");
+  auto out_of_range = doc.RootToNodePath(99);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_FALSE(doc.RootToNodePath(0).ok());
+  auto text_node = doc.RootToNodePath(2);  // the text node "t"
+  ASSERT_FALSE(text_node.ok());
+  EXPECT_EQ(text_node.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input corpus replay
+// ---------------------------------------------------------------------------
+
+std::string ReadFile(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CorpusTest, EveryMalformedXmlFileIsRejected) {
+  int seen = 0;
+  for (const auto& ent : std::filesystem::directory_iterator(XPREL_CORPUS_DIR)) {
+    if (ent.path().extension() != ".xml") continue;
+    ++seen;
+    auto r = xml::ParseXml(ReadFile(ent.path()));
+    EXPECT_FALSE(r.ok()) << ent.path().filename()
+                         << " parsed but the corpus says it must not";
+  }
+  EXPECT_GE(seen, 6) << "corpus directory looks incomplete: " << XPREL_CORPUS_DIR;
+}
+
+TEST(CorpusTest, EveryMalformedXPathLineIsRejected) {
+  std::istringstream in(ReadFile(std::filesystem::path(XPREL_CORPUS_DIR) /
+                                 "bad.xpath"));
+  std::string line;
+  int seen = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++seen;
+    EXPECT_FALSE(xpath::ParseXPath(line).ok()) << "accepted: " << line;
+  }
+  EXPECT_GE(seen, 5);
+}
+
+TEST(CorpusTest, EveryMalformedRegexLineIsRejected) {
+  std::istringstream in(ReadFile(std::filesystem::path(XPREL_CORPUS_DIR) /
+                                 "bad.regex"));
+  std::string line;
+  int seen = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++seen;
+    EXPECT_FALSE(rex::Regex::Compile(line).ok()) << "accepted: " << line;
+  }
+  EXPECT_GE(seen, 5);
+}
+
+// ---------------------------------------------------------------------------
+// The fault sweep
+// ---------------------------------------------------------------------------
+
+// One full pass over the stack, crossing every registered injection point:
+// XML parse, engine build (schema shred, edge shred, accelerator build),
+// then queries chosen to reach every executor structure — merge joins,
+// hash probes, semi-join builds, EXISTS memos, DISTINCT, regex-planned
+// Edge translation. Returns the first error, or OK plus the node set of
+// the reference query for identity checks.
+struct WorkloadResult {
+  Status status = Status::Ok();
+  std::vector<xml::NodeId> nodes;
+};
+
+const char* const kSweepQueries[] = {
+    "//keyword/ancestor::listitem",                       // merge + hash join
+    "/site/people/person[address and (phone or homepage)]",  // semi-joins
+    "/site/people/person[not(homepage)]",
+    "/site/open_auctions/open_auction[bidder/date = interval/start]",
+};
+
+WorkloadResult RunSweepWorkload(const xml::Document& doc,
+                                const xsd::SchemaGraph& graph) {
+  WorkloadResult out;
+  auto parsed = xml::ParseXml("<a><b>hi</b><b x=\"1\"/></a>");
+  if (!parsed.ok()) {
+    out.status = parsed.status();
+    return out;
+  }
+  auto engine = XPathEngine::Build(doc, graph);
+  if (!engine.ok()) {
+    out.status = engine.status();
+    return out;
+  }
+  for (const char* q : kSweepQueries) {
+    auto r = engine.value()->Run(Backend::kPpf, q);
+    if (!r.ok()) {
+      out.status = r.status();
+      return out;
+    }
+    if (q == kSweepQueries[0]) out.nodes = r.value().nodes;
+  }
+  // The Edge translation plants path regexes, reaching the planner's regex
+  // compilation point.
+  auto edge = engine.value()->Run(Backend::kEdgePpf, "//keyword");
+  if (!edge.ok()) {
+    out.status = edge.status();
+    return out;
+  }
+  return out;
+}
+
+// Points the sweep workload is expected to reach; the sweep itself walks
+// whatever actually registered, this list guards against silently losing
+// coverage (a refactor that stops crossing a point fails here, not never).
+const char* const kExpectedPoints[] = {
+    "accel.build",      "engine.plan_cache_insert", "engine.translate",
+    "rel.distinct",     "rel.emit_row",             "rel.hash_build",
+    "rel.merge_collect", "rel.plan_select",         "rel.plan_regex",
+    "rel.semijoin_build", "rex.compile",            "shred.edge_load",
+    "shred.schema_load", "xml.parse",               "xpath.parse",
+};
+
+TEST(FaultSweepTest, EveryRegisteredPointFailsCleanlyAndRecovers) {
+  if (!fault::FaultInjectionEnabled()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  data::XMarkOptions opt;
+  opt.scale = 0.005;
+  xml::Document doc = data::GenerateXMark(opt);
+  xsd::Schema schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  xsd::SchemaGraph graph = xsd::SchemaGraph::Build(schema).value();
+
+  auto& inj = fault::FaultInjector::Instance();
+  inj.Clear();
+
+  // Record pass: register every point the workload crosses.
+  WorkloadResult base = RunSweepWorkload(doc, graph);
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+  ASSERT_FALSE(base.nodes.empty());
+  std::vector<std::string> points = inj.RegisteredPoints();
+  for (const char* expected : kExpectedPoints) {
+    EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
+        << "workload no longer reaches fault point " << expected;
+  }
+
+  for (const std::string& point : points) {
+    SCOPED_TRACE(point);
+    inj.DisarmAll();
+    inj.ResetCounts();
+    inj.Arm(point, 1, StatusCode::kResourceExhausted);
+    WorkloadResult r = RunSweepWorkload(doc, graph);
+    EXPECT_FALSE(r.status.ok())
+        << "injected fault at " << point << " did not surface";
+    EXPECT_EQ(inj.FiredCount(point), 1u);
+
+    // Disarmed, the exact same workload must succeed with identical output:
+    // nothing was poisoned by the failure.
+    inj.DisarmAll();
+    WorkloadResult ok = RunSweepWorkload(doc, graph);
+    EXPECT_TRUE(ok.status.ok()) << ok.status.ToString();
+    EXPECT_EQ(ok.nodes, base.nodes);
+  }
+  inj.DisarmAll();
+}
+
+// Executor points on a persistent engine with a warm plan cache: arm at
+// the first and at a later crossing, and after each failure the very same
+// engine must produce the exact baseline node set.
+TEST(FaultSweepTest, WarmEngineSurvivesMidExecutionFaults) {
+  if (!fault::FaultInjectionEnabled()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  data::XMarkOptions opt;
+  opt.scale = 0.01;
+  xml::Document doc = data::GenerateXMark(opt);
+  xsd::Schema schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  xsd::SchemaGraph graph = xsd::SchemaGraph::Build(schema).value();
+  auto engine = XPathEngine::Build(doc, graph).value();
+
+  auto& inj = fault::FaultInjector::Instance();
+  inj.Clear();
+
+  for (const char* q : kSweepQueries) {
+    SCOPED_TRACE(q);
+    auto base = engine->Run(Backend::kPpf, q);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+    for (const std::string& point : inj.RegisteredPoints()) {
+      if (point.rfind("rel.", 0) != 0) continue;  // executor points only
+      for (uint64_t nth : {uint64_t{1}, uint64_t{5}}) {
+        SCOPED_TRACE(point + " nth=" + std::to_string(nth));
+        inj.DisarmAll();
+        inj.ResetCounts();
+        inj.Arm(point, nth, StatusCode::kResourceExhausted);
+        auto r = engine->Run(Backend::kPpf, q);
+        if (inj.FiredCount(point) > 0) {
+          EXPECT_FALSE(r.ok()) << "fired fault did not surface";
+          EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+        }
+        // (If the point is crossed fewer than nth times by this query the
+        // run legitimately succeeds; the arm is cleared below either way.)
+        inj.DisarmAll();
+        auto again = engine->Run(Backend::kPpf, q);
+        ASSERT_TRUE(again.ok()) << again.status().ToString();
+        EXPECT_EQ(again.value().nodes, base.value().nodes);
+      }
+    }
+  }
+  inj.DisarmAll();
+}
+
+// A query that fails mid-execution must not leave a poisoned result-cache
+// entry in the serving layer: the next identical request re-executes and
+// caches the correct result.
+TEST(FaultSweepTest, FailedQueryLeavesNoPoisonedResultCacheEntry) {
+  if (!fault::FaultInjectionEnabled()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  data::XMarkOptions opt;
+  opt.scale = 0.01;
+  xml::Document doc = data::GenerateXMark(opt);
+  xsd::Schema schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  xsd::SchemaGraph graph = xsd::SchemaGraph::Build(schema).value();
+  auto engine = XPathEngine::Build(doc, graph).value();
+
+  auto baseline = engine->Run(Backend::kPpf, "//keyword/ancestor::listitem");
+  ASSERT_TRUE(baseline.ok());
+
+  service::QueryService svc(*engine, {});
+  auto& inj = fault::FaultInjector::Instance();
+  inj.DisarmAll();
+  inj.ResetCounts();
+  inj.Arm("rel.emit_row", 1, StatusCode::kResourceExhausted);
+
+  service::QueryRequest req;
+  req.xpath = "//keyword/ancestor::listitem";
+  auto r1 = svc.Run(std::move(req));
+  inj.DisarmAll();
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(svc.metrics().resource_exhausted.load(), 1u);
+
+  // The failure was not cached: this run executes (miss) and succeeds.
+  service::QueryRequest req2;
+  req2.xpath = "//keyword/ancestor::listitem";
+  auto r2 = svc.Run(std::move(req2));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2.value().cache_hit);
+  EXPECT_EQ(r2.value().nodes, baseline.value().nodes);
+
+  // And now the good result is served from cache.
+  service::QueryRequest req3;
+  req3.xpath = "//keyword/ancestor::listitem";
+  auto r3 = svc.Run(std::move(req3));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3.value().cache_hit);
+  EXPECT_EQ(r3.value().nodes, baseline.value().nodes);
+}
+
+}  // namespace
+}  // namespace xprel

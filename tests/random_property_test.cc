@@ -83,7 +83,7 @@ xml::Document RandomShopDoc(uint64_t seed) {
     b.EndElement();
   }
   b.EndElement();
-  return std::move(b).Finish();
+  return std::move(b).Finish().value();
 }
 
 // ---------------------------------------------------------------------------

@@ -407,9 +407,147 @@ TEST(QueryServiceTest, MetricsDumpMentionsEveryCounter) {
   std::string dump = svc.DumpMetrics();
   for (const char* needle :
        {"submitted=", "completed=", "rejected=", "cancelled=", "timed_out=",
-        "hit_rate=", "queue wait:", "latency:", "workers="}) {
+        "resource_exhausted=", "hit_rate=", "memory: used=", "peak=",
+        "queue wait:", "latency:", "workers="}) {
     EXPECT_NE(dump.find(needle), std::string::npos) << needle << "\n" << dump;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Memory governance
+// ---------------------------------------------------------------------------
+
+// The heavy query drives the kPpf merge-join + hash-join plan (see
+// join_engine_test) over a corpus scaled so its transient state crosses
+// 1 MiB; light queries run beside it without any cap.
+constexpr char kHeavyQuery[] = "//keyword/ancestor::listitem";
+
+struct BigCorpus {
+  xml::Document doc;
+  xsd::Schema schema;
+  std::unique_ptr<xsd::SchemaGraph> graph;
+  std::unique_ptr<XPathEngine> engine;
+};
+
+BigCorpus& BudgetCorpus() {
+  static BigCorpus* corpus = [] {
+    auto* c = new BigCorpus();
+    data::XMarkOptions opt;
+    opt.scale = 0.15;
+    c->doc = data::GenerateXMark(opt);
+    c->schema = xsd::ParseXsd(data::XMarkXsd()).value();
+    c->graph = std::make_unique<xsd::SchemaGraph>(
+        xsd::SchemaGraph::Build(c->schema).value());
+    c->engine = XPathEngine::Build(c->doc, *c->graph).value();
+    return c;
+  }();
+  return *corpus;
+}
+
+TEST(QueryServiceTest, PerQueryBudgetFailsHeavyQueryWhileOthersComplete) {
+  BigCorpus& c = BudgetCorpus();
+
+  // Reference run with accounting only: establishes the correct node set
+  // and proves the query genuinely needs more than the cap we'll impose.
+  MemoryBudget meter(0);
+  rel::ExecControl control;
+  control.budget = &meter;
+  auto ref = c.engine->Run(Backend::kPpf, kHeavyQuery, &control);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ASSERT_GT(ref.value().stats.bytes_reserved_peak, size_t{1} << 20)
+      << "corpus too small for the 1 MiB budget test";
+  auto light_ref = c.engine->Run(Backend::kPpf, "//keyword");
+  ASSERT_TRUE(light_ref.ok());
+
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 0;
+  QueryService svc(*c.engine, opts);
+
+  // The capped heavy query must fail with ResourceExhausted...
+  QueryRequest heavy;
+  heavy.xpath = kHeavyQuery;
+  heavy.memory_cap = size_t{1} << 20;
+  heavy.bypass_cache = true;
+  auto heavy_fut = svc.Submit(std::move(heavy));
+
+  // ...while concurrent unbudgeted queries complete correctly.
+  std::vector<std::future<Result<QueryResponse>>> light;
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest req;
+    req.xpath = "//keyword";
+    req.bypass_cache = true;
+    light.push_back(svc.Submit(std::move(req)));
+  }
+
+  auto hr = heavy_fut.get();
+  ASSERT_FALSE(hr.ok());
+  EXPECT_EQ(hr.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(svc.metrics().resource_exhausted.load(), 1u);
+  for (auto& f : light) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().nodes, light_ref.value().nodes);
+  }
+
+  // Uncapped, the same heavy query succeeds on the same service with the
+  // reference node set — the earlier refusal released every reservation.
+  QueryRequest retry;
+  retry.xpath = kHeavyQuery;
+  retry.bypass_cache = true;
+  auto rr = svc.Run(std::move(retry));
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  EXPECT_EQ(rr.value().nodes, ref.value().nodes);
+  EXPECT_GT(svc.memory_budget().peak(), size_t{1} << 20);
+}
+
+TEST(QueryServiceTest, ServiceWideBudgetCapsTheSum) {
+  Corpus& c = XMarkCorpus();
+  ServiceOptions opts;
+  opts.workers = 2;
+  // Absurdly small service-wide cap: every real reservation is refused, so
+  // queries heavy enough to charge (≥ one 64 KiB chunk) fail while trivial
+  // ones (whose transient state never reaches a chunk) still complete.
+  opts.total_memory_cap = 4 * 1024;
+  opts.result_cache_capacity = 0;
+  QueryService svc(*c.engine, opts);
+
+  QueryRequest tiny;
+  tiny.xpath = "/site/regions";
+  auto r = svc.Run(std::move(tiny));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(QueryServiceTest, CancelledQueryDoesNotPoisonResultCache) {
+  Corpus& c = XMarkCorpus();
+  QueryService svc(*c.engine, {});
+
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();  // pre-cancelled: fails inside the executor, mid-query
+  QueryRequest req;
+  req.xpath = "//keyword/ancestor::listitem";
+  req.cancel = token;
+  auto r1 = svc.Run(std::move(req));
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kCancelled);
+
+  // The failed run must not have cached anything: the next request misses,
+  // executes, and returns the correct nodes.
+  auto expected = c.engine->Run(Backend::kPpf, "//keyword/ancestor::listitem");
+  ASSERT_TRUE(expected.ok());
+  QueryRequest req2;
+  req2.xpath = "//keyword/ancestor::listitem";
+  auto r2 = svc.Run(std::move(req2));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2.value().cache_hit);
+  EXPECT_EQ(r2.value().nodes, expected.value().nodes);
+
+  QueryRequest req3;
+  req3.xpath = "//keyword/ancestor::listitem";
+  auto r3 = svc.Run(std::move(req3));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3.value().cache_hit);
+  EXPECT_EQ(r3.value().nodes, expected.value().nodes);
 }
 
 // ---------------------------------------------------------------------------
@@ -442,6 +580,43 @@ TEST(ResultCacheTest, ZeroCapacityDisables) {
   cache.Put("a", e);
   EXPECT_EQ(cache.Get("a"), nullptr);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, BudgetEvictsUnderPressureAndReleasesOnClear) {
+  auto entry = [](int n) {
+    auto e = std::make_shared<ResultCache::Entry>();
+    e->nodes.assign(static_cast<size_t>(n), xml::NodeId{});
+    return e;
+  };
+  // Learn one entry's charge with an account-only budget, then build a
+  // cache whose budget holds two entries but not three.
+  size_t charge;
+  {
+    MemoryBudget meter(0);
+    ResultCache probe(8, &meter);
+    probe.Put("a", entry(10));
+    charge = meter.used();
+    ASSERT_GT(charge, 0u);
+  }
+  MemoryBudget budget(2 * charge + charge / 2);
+  ResultCache cache(8, &budget);
+  cache.Put("a", entry(10));
+  cache.Put("b", entry(10));
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.Get("a"), nullptr);  // refresh: b is now the LRU tail
+  cache.Put("c", entry(10));           // budget forces b out, not capacity
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_LE(budget.used(), budget.cap());
+
+  // An entry that can never fit is dropped without wiping the cache.
+  cache.Put("huge", entry(100000));
+  EXPECT_EQ(cache.Get("huge"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.Clear();
+  EXPECT_EQ(budget.used(), 0u);
 }
 
 TEST(LatencyHistogramTest, PercentilesBracketSamples) {

@@ -28,7 +28,7 @@ TEST(XmlParserTest, NestedStructureAndIds) {
   EXPECT_EQ(doc.node(4).parent, 2);
   EXPECT_EQ(doc.node(5).parent, 1);
   EXPECT_EQ(doc.node(4).sibling_ordinal, 2);
-  EXPECT_EQ(doc.RootToNodePath(4), "/A/B/C");
+  EXPECT_EQ(doc.RootToNodePath(4).value(), "/A/B/C");
 }
 
 TEST(XmlParserTest, AttributesAndEntities) {
@@ -91,7 +91,7 @@ TEST(XmlSerializerTest, EscapesSpecials) {
   b.AddAttribute("q", "<\"&'>");
   b.AddText("1 < 2 & 3 > 2");
   b.EndElement();
-  Document doc = std::move(b).Finish();
+  Document doc = std::move(b).Finish().value();
   std::string out = SerializeXml(doc);
   EXPECT_EQ(out,
             "<a q=\"&lt;&quot;&amp;&apos;&gt;\">1 &lt; 2 &amp; 3 &gt; 2</a>");
@@ -106,7 +106,7 @@ TEST(XmlBuilderTest, StringValueConcatenatesDescendants) {
   b.EndElement();
   b.AddText(" structures");
   b.EndElement();
-  Document doc = std::move(b).Finish();
+  Document doc = std::move(b).Finish().value();
   EXPECT_EQ(doc.StringValue(1), "Indexing2 structures");
   EXPECT_EQ(doc.CountElements(), 2);
 }
