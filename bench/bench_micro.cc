@@ -129,9 +129,10 @@ int RunJsonMode() {
     return 1;
   }
   std::fprintf(f, "[\n");
-  std::printf("%-5s %8s %8s %10s %10s %8s %8s %8s %8s %8s %8s\n", "query",
-              "nodes", "ms", "rows_scan", "idx_probes", "ex_hit", "ex_miss",
-              "hj_probe", "mj_round", "bm_hit", "sj_build");
+  std::printf("%-5s %8s %8s %10s %10s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+              "query", "nodes", "ms", "rows_scan", "idx_probes", "ex_hit",
+              "ex_miss", "hj_probe", "mj_round", "bm_hit", "sj_build",
+              "batches", "bsize");
   double log_ms_sum = 0;
   int timed = 0;
   size_t n = sizeof(kXMarkQueries) / sizeof(kXMarkQueries[0]);
@@ -157,12 +158,15 @@ int RunJsonMode() {
     double ms = total_ms / reps;
     log_ms_sum += std::log(ms > 1e-6 ? ms : 1e-6);
     ++timed;
-    std::printf("%-5s %8zu %8.2f %10zu %10zu %8zu %8zu %8zu %8zu %8zu %8zu\n",
-                q.id, last.nodes.size(), ms, last.stats.rows_scanned,
-                last.stats.index_probes, last.stats.exists_cache_hits,
-                last.stats.exists_cache_misses, last.stats.hash_join_probes,
-                last.stats.merge_join_rounds, last.stats.bitmap_prefilter_hits,
-                last.stats.exists_semijoin_builds);
+    std::printf(
+        "%-5s %8zu %8.2f %10zu %10zu %8zu %8zu %8zu %8zu %8zu %8zu %8zu "
+        "%8u\n",
+        q.id, last.nodes.size(), ms, last.stats.rows_scanned,
+        last.stats.index_probes, last.stats.exists_cache_hits,
+        last.stats.exists_cache_misses, last.stats.hash_join_probes,
+        last.stats.merge_join_rounds, last.stats.bitmap_prefilter_hits,
+        last.stats.exists_semijoin_builds, last.stats.batches_emitted,
+        last.stats.batch_size);
     std::fprintf(
         f,
         "  {\"query\": \"%s\", \"backend\": \"PPF\", \"scale\": %g, "
@@ -170,12 +174,14 @@ int RunJsonMode() {
         "\"nodes\": %zu, \"rows_scanned\": %zu, \"index_probes\": %zu, "
         "\"exists_cache_hits\": %zu, \"exists_cache_misses\": %zu, "
         "\"hash_join_probes\": %zu, \"merge_join_rounds\": %zu, "
-        "\"bitmap_prefilter_hits\": %zu, \"exists_semijoin_builds\": %zu}%s\n",
+        "\"bitmap_prefilter_hits\": %zu, \"exists_semijoin_builds\": %zu, "
+        "\"batches_emitted\": %zu, \"batch_size\": %u}%s\n",
         q.id, scale, ms, last.nodes.size(), last.stats.rows_scanned,
         last.stats.index_probes, last.stats.exists_cache_hits,
         last.stats.exists_cache_misses, last.stats.hash_join_probes,
         last.stats.merge_join_rounds, last.stats.bitmap_prefilter_hits,
-        last.stats.exists_semijoin_builds, i + 1 < n ? "," : "");
+        last.stats.exists_semijoin_builds, last.stats.batches_emitted,
+        last.stats.batch_size, i + 1 < n ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);

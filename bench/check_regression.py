@@ -15,6 +15,10 @@ throughput (QPS) regresses by more than --threshold, when any request was
 rejected or timed out at the default load, or when a response diverged
 from the serial node sets.
 
+Tsan mode (--tsan): runs the executor test targets (shared cached plans
+under concurrent execution) from the `tsan` preset build, so batch-local
+executor state is proven re-entrant by ThreadSanitizer on every gate run.
+
 Hardening mode (--hardening): runs the hardening_test binary from the
 `fault-injection` preset build (XPREL_FAULT_INJECTION=ON + asan-ubsan with
 leak detection). Fails on any test failure, on a crash, and — crucially —
@@ -28,6 +32,8 @@ Usage:
   bench/check_regression.py --service --bench-bin build/bench/bench_service
   bench/check_regression.py --hardening
   bench/check_regression.py --hardening --hardening-bin build-fault/tests/hardening_test
+  bench/check_regression.py --tsan
+  bench/check_regression.py --tsan --tsan-dir build-tsan
 """
 
 import argparse
@@ -108,6 +114,14 @@ def check_micro(args):
     ratio, shared = geomean_ratio(baseline, candidate)
     print(f"geomean candidate/baseline ms ratio: {ratio:.3f} "
           f"over {len(shared)} queries (>1 is slower)")
+    # Vectorized-executor fields (informational; older baselines predate
+    # them, so their absence on either side is never an error).
+    batches = sum(candidate[q].get("batches_emitted", 0) for q in shared)
+    sizes = {candidate[q]["batch_size"] for q in shared
+             if "batch_size" in candidate[q]}
+    if batches or sizes:
+        print(f"batches emitted: {batches} total "
+              f"(batch size {', '.join(str(s) for s in sorted(sizes))})")
     worst = max(shared, key=lambda q: candidate[q]["ms"] / max(baseline[q]["ms"], 1e-6))
     print(f"worst query: {worst} "
           f"({baseline[worst]['ms']:.3f} ms -> {candidate[worst]['ms']:.3f} ms)")
@@ -133,9 +147,16 @@ def check_service(args):
         fail = True
     # At the default closed-loop load the admission queue is far larger than
     # the client count and no deadlines are set, so any rejection or timeout
-    # is a service bug, not an overload artifact.
+    # is a service bug, not an overload artifact. `mismatches` is the
+    # correctness gate (concurrent responses vs the serial node sets) and
+    # must be present — a record without it proves nothing.
     for key in ("rejected", "timed_out", "mismatches"):
-        if candidate.get(key, 0) != 0:
+        if key not in candidate:
+            print(f"FAIL: {key} missing from candidate record "
+                  f"(regenerate BENCH_service.json with the current "
+                  f"bench_service)")
+            fail = True
+        elif candidate[key] != 0:
             print(f"FAIL: {key} = {candidate[key]} (must be 0 at default load)")
             fail = True
     if not candidate.get("control_paths_ok", False):
@@ -156,6 +177,42 @@ def check_service(args):
     if fail:
         return 1
     print("OK")
+    return 0
+
+
+# The executor test targets that exercise shared cached plans from
+# concurrent executions — the surface where batch-local state could race.
+TSAN_TEST_BINS = ("rel_exec_test", "join_engine_test",
+                  "random_property_test", "service_test")
+
+
+def check_tsan(args):
+    """Runs the executor test targets from the tsan preset build. Shared
+    compiled plans must stay re-entrant now that execution keeps
+    batch-local state (selection vectors, dictionary memos, merge
+    accumulators); ThreadSanitizer proves it on the real concurrency
+    tests rather than by inspection."""
+    tsan_dir = args.tsan_dir
+    missing = [b for b in TSAN_TEST_BINS
+               if not os.path.exists(os.path.join(tsan_dir, "tests", b))]
+    if missing:
+        print(f"FAIL: {', '.join(missing)} not found under {tsan_dir}; "
+              f"build the `tsan` preset first "
+              f"(cmake --preset tsan && cmake --build {tsan_dir} -j)")
+        return 1
+    env = dict(os.environ)
+    env.setdefault("TSAN_OPTIONS", "halt_on_error=1")
+    for b in TSAN_TEST_BINS:
+        path = os.path.join(tsan_dir, "tests", b)
+        print(f"-- {b} (tsan)")
+        proc = subprocess.run([os.path.abspath(path)], capture_output=True,
+                              text=True, env=env)
+        if proc.returncode != 0:
+            sys.stdout.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            print(f"FAIL: {b} exited {proc.returncode} under tsan")
+            return 1
+    print(f"OK: {len(TSAN_TEST_BINS)} executor test targets clean under tsan")
     return 0
 
 
@@ -192,6 +249,13 @@ def main():
     ap.add_argument("--hardening", action="store_true",
                     help="run the fault-injection hardening gate instead of "
                          "a bench comparison")
+    ap.add_argument("--tsan", action="store_true",
+                    help="run the executor test targets from the tsan preset "
+                         "build instead of a bench comparison")
+    ap.add_argument("--tsan-dir",
+                    default=os.path.join(REPO_ROOT, "build-tsan"),
+                    help="tsan preset build directory "
+                         "(default: build-tsan)")
     ap.add_argument("--hardening-bin",
                     default=os.path.join(REPO_ROOT, "build-fault", "tests",
                                          "hardening_test"),
@@ -212,6 +276,8 @@ def main():
 
     if args.hardening:
         return check_hardening(args)
+    if args.tsan:
+        return check_tsan(args)
 
     name = "BENCH_service.json" if args.service else "BENCH_micro.json"
     binname = "bench_service" if args.service else "bench_micro"

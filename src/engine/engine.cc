@@ -265,7 +265,8 @@ Result<std::string> XPathEngine::ExplainPlan(Backend backend,
   if (cq.translated.statically_empty) {
     return std::string("(statically empty: no rows can match)\n");
   }
-  std::string out;
+  std::string out = "-- batch size: " + std::to_string(rel::kDefaultBatchSize) +
+                    " rows (vectorized executor; per-step exec= below)\n";
   for (size_t i = 0; i < cq.plans.size(); ++i) {
     if (cq.plans.size() > 1) {
       out += "-- block " + std::to_string(i + 1) + " of " +
@@ -318,29 +319,43 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
       std::vector<const rel::Plan*> plans;
       plans.reserve(cq.plans.size());
       for (const auto& p : cq.plans) plans.push_back(p.get());
-      // Node ids get sorted into document order below, so the executor can
-      // skip materializing the SQL-level ORDER BY.
-      auto r = rel::ExecutePlannedQuery(plans, &out.stats,
-                                        /*need_ordered_rows=*/false, control);
-      if (!r.ok()) return r.status();
-      for (const rel::Row& row : r.value().rows) {
+      // Consume the result as id chunks straight off the vectorized
+      // executor: node ids get sorted + deduplicated into document order
+      // below, so SQL-level ORDER BY and DISTINCT materialization would be
+      // wasted work on this path.
+      bool unknown_id = false;
+      auto sink = [&](const rel::RowChunk& chunk) {
+        const std::vector<rel::Value>& ids = chunk.columns[0];
+        out.nodes.reserve(out.nodes.size() + chunk.rows);
         if (backend == Backend::kAccelerator) {
-          out.nodes.push_back(
-              accel_store_->NodeOf(static_cast<int32_t>(row[0].AsInt())));
+          for (size_t r = 0; r < chunk.rows; ++r) {
+            out.nodes.push_back(
+                accel_store_->NodeOf(static_cast<int32_t>(ids[r].AsInt())));
+          }
         } else if (backend == Backend::kEdgePpf) {
-          const auto* origin = edge_store_->FindOrigin(row[0].AsInt());
-          if (origin == nullptr) {
-            return Status::Internal("unknown element id in result");
+          for (size_t r = 0; r < chunk.rows; ++r) {
+            const auto* origin = edge_store_->FindOrigin(ids[r].AsInt());
+            if (origin == nullptr) {
+              unknown_id = true;
+              return false;
+            }
+            out.nodes.push_back(origin->node);
           }
-          out.nodes.push_back(origin->node);
         } else {
-          const auto* origin = ppf_store_->FindOrigin(row[0].AsInt());
-          if (origin == nullptr) {
-            return Status::Internal("unknown element id in result");
+          for (size_t r = 0; r < chunk.rows; ++r) {
+            const auto* origin = ppf_store_->FindOrigin(ids[r].AsInt());
+            if (origin == nullptr) {
+              unknown_id = true;
+              return false;
+            }
+            out.nodes.push_back(origin->node);
           }
-          out.nodes.push_back(origin->node);
         }
-      }
+        return true;
+      };
+      XPREL_RETURN_IF_ERROR(
+          rel::ExecutePlannedQueryChunks(plans, sink, &out.stats, control));
+      if (unknown_id) return Status::Internal("unknown element id in result");
     }
   }
 

@@ -1,8 +1,10 @@
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cassert>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -141,11 +143,22 @@ struct ExecContext {
   size_t mem_pending = 0;
   size_t mem_reserved = 0;
 
-  // When non-null, RunSteps records the RowId bound at each step index here.
-  // The merge-join driver uses it to snapshot the outer tuple feeding the
-  // merge. EXISTS subplan execution nulls it out (subplan step indexes would
-  // clobber the outer plan's entries).
-  std::vector<RowId>* trace = nullptr;
+  // Effective rows-per-batch for the vectorized driver (see ExecControl).
+  uint32_t batch_size = kDefaultBatchSize;
+
+  // Reusable per-regex NFA scratch: REGEXP_LIKE evaluation goes through
+  // these, so steady-state matching never allocates state lists.
+  std::unordered_map<const rex::Regex*, rex::BatchMatcher> matchers;
+
+  // Per-filter dictionary verdict memos (batch executor): a single-column
+  // filter is evaluated once per distinct dictionary code of that column,
+  // not once per row. Lazily sized; skipped for near-unique columns.
+  struct DictMemo {
+    bool decided = false;
+    bool use_memo = false;
+    std::vector<int8_t> verdict;  // by dict code; -1 unknown, 0 no, 1 yes
+  };
+  std::unordered_map<const CompiledExpr*, DictMemo> dict_memos;
 
   // Stack of key-encoding buffer pairs handed to RunSteps frames (deque:
   // stable addresses across growth). Capacity persists across probes, so
@@ -239,6 +252,18 @@ inline bool Interrupted(ExecContext& ctx) {
   if (!ctx.interrupt.ok()) return true;
   if (ctx.control == nullptr) return false;
   if (++ctx.control_tick < ctx.control->check_interval) return false;
+  ctx.control_tick = 0;
+  return CheckControlNow(ctx);
+}
+
+// Batch-granular probe: accumulates `rows` ticks in one addition and does at
+// most one real check, so the configured check_interval cadence holds while
+// the per-row cost disappears.
+inline bool BatchInterrupted(ExecContext& ctx, size_t rows) {
+  if (!ctx.interrupt.ok()) return true;
+  if (ctx.control == nullptr || rows == 0) return false;
+  ctx.control_tick += static_cast<uint32_t>(std::min<size_t>(rows, 1u << 20));
+  if (ctx.control_tick < ctx.control->check_interval) return false;
   ctx.control_tick = 0;
   return CheckControlNow(ctx);
 }
@@ -398,12 +423,16 @@ Value EvalExpr(const CompiledExpr& e, Binding& b, ExecContext& ctx) {
       Value t0;
       const Value& text = EvalRef(*e.args[0], b, ctx, t0);
       if (text.is_null()) return Value::Null();
+      // The context-pooled matcher keeps the NFA state lists alive across
+      // rows, so steady-state matching never allocates.
+      rex::BatchMatcher& m =
+          ctx.matchers.try_emplace(e.regex, *e.regex).first->second;
       if (IsStringLike(text)) {
-        return Value::Int(e.regex->Matches(text.AsStringLike()) ? 1 : 0);
+        return Value::Int(m.Match(text.AsStringLike()) ? 1 : 0);
       }
       auto t = text.ToText();
       if (!t) return Value::Null();
-      return Value::Int(e.regex->Matches(*t) ? 1 : 0);
+      return Value::Int(m.Match(*t) ? 1 : 0);
     }
     case SqlExpr::Kind::kLike: {
       Value t0, t1;
@@ -496,24 +525,82 @@ const Value& CoerceRef(const Value& v, ValueType target, Value& tmp) {
 
 // Points the binding slots at table row `rid` in place (no Value copies).
 void BindRow(const Table& table, RowId rid, int offset, Binding& b) {
-  const Row& src = table.row(rid);
-  for (size_t c = 0; c < src.size(); ++c) {
-    b[static_cast<size_t>(offset) + c] = &src[c];
+  const size_t n = table.schema().columns.size();
+  for (size_t c = 0; c < n; ++c) {
+    b[static_cast<size_t>(offset) + c] = &table.at(rid, c);
   }
 }
 
-// Runs steps [i..end) of the plan; calls `emit` on every binding covering
-// them. `emit` returns false to abort enumeration (EXISTS short-circuit).
-// Returns false if enumeration was aborted. Merge-join steps are not handled
-// here — ExecSteps segments the pipeline around them.
+// Builds (once) the hash table for a kHashProbe step, column-wise: the join
+// key is encoded once per distinct dictionary code, then the code vector is
+// swept, so rows sharing a key value share one encoding. Control probes and
+// budget charges run once per 4K-row block, not per row. Returns nullptr
+// when the build aborted (fault, cancellation, refused reservation).
+ExecContext::HashTable* EnsureHashTable(const AccessStep& step,
+                                        ExecContext& ctx) {
+  ExecContext::HashTable& ht = ctx.hash_tables[&step];
+  if (ht.built) return &ht;
+  ht.built = true;
+  if (!FaultOk(ctx, "rel.hash_build")) return nullptr;
+  if (ctx.stats != nullptr) ++ctx.stats->hash_tables_built;
+  const Table& table = *step.table;
+  const size_t col = static_cast<size_t>(step.hash_column);
+  const size_t dict_n = table.dict_size(col);
+  std::vector<std::string> enc(dict_n);
+  std::vector<char> keyed(dict_n, 0);
+  for (size_t code = 0; code < dict_n; ++code) {
+    const Value& v = table.dict_value(col, static_cast<uint32_t>(code));
+    // Values of a foreign type never land in the probed key space (mirrors
+    // an index probe, which scans only the key's tag region).
+    if (v.is_null() || v.type() != step.hash_key_type) continue;
+    AppendEncodedValue(v, enc[code]);
+    keyed[code] = 1;
+  }
+  const std::vector<uint32_t>& codes = table.codes(col);
+  size_t pending_rows = 0;
+  size_t pending_bytes = 0;
+  for (size_t rid = 0; rid < codes.size(); ++rid) {
+    const uint32_t code = codes[rid];
+    ++pending_rows;
+    if (keyed[code]) {
+      pending_bytes += enc[code].size() + sizeof(RowId) + 48;
+      ht.map[enc[code]].push_back(static_cast<RowId>(rid));
+    }
+    if ((rid & 4095u) == 4095u) {
+      if (BatchInterrupted(ctx, pending_rows) ||
+          !ChargeMem(ctx, pending_bytes, "hash join build")) {
+        return nullptr;
+      }
+      pending_rows = 0;
+      pending_bytes = 0;
+    }
+  }
+  if (BatchInterrupted(ctx, pending_rows) ||
+      !ChargeMem(ctx, pending_bytes, "hash join build")) {
+    return nullptr;
+  }
+  return &ht;
+}
+
+// Runs steps [i..end) of the plan row-at-a-time; calls `emit` on every
+// binding covering them. `emit` returns false to abort enumeration (EXISTS
+// short-circuit). Returns false if enumeration was aborted. This is the
+// EXISTS-subplan path (first-witness semantics make batching pointless);
+// top-level plans run through the vectorized BatchDriver below.
 bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
               ExecContext& ctx, const std::function<bool()>& emit) {
   if (i == end) return emit();
   const AccessStep& step = plan.steps[i];
   const Table& table = *step.table;
 
+  // Control probes are hoisted to one per 64 candidate rows; off-stride rows
+  // pay only the sticky-interrupt flag check.
+  uint32_t probe_cnt = 0;
   auto try_row = [&](RowId rid) -> bool {
-    if (Interrupted(ctx)) return false;
+    if ((probe_cnt++ & 63u) == 0 ? BatchInterrupted(ctx, 64)
+                                 : !ctx.interrupt.ok()) {
+      return false;
+    }
     for (const RowBitmap* bm : step.bitmap_filters) {
       if (ctx.stats != nullptr) ++ctx.stats->bitmap_prefilter_tests;
       if (!bm->Test(rid)) return true;
@@ -521,7 +608,6 @@ bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
     }
     if (ctx.stats != nullptr) ++ctx.stats->rows_scanned;
     BindRow(table, rid, step.bind_offset, b);
-    if (ctx.trace != nullptr) (*ctx.trace)[i] = rid;
     for (const CompiledExpr* f : step.cfilters) {
       if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return true;
     }
@@ -639,27 +725,9 @@ bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
       return true;
     }
     case AccessPathKind::kHashProbe: {
-      auto& ht = ctx.hash_tables[&step];
-      if (!ht.built) {
-        ht.built = true;
-        if (!FaultOk(ctx, "rel.hash_build")) return false;
-        if (ctx.stats != nullptr) ++ctx.stats->hash_tables_built;
-        std::string kbuf;
-        for (RowId rid = 0; rid < table.row_count(); ++rid) {
-          if (Interrupted(ctx)) return false;
-          const Value& v = table.row(rid)[static_cast<size_t>(step.hash_column)];
-          // Values of a foreign type never land in the probed key space
-          // (mirrors an index probe, which scans only the key's tag region).
-          if (v.is_null() || v.type() != step.hash_key_type) continue;
-          kbuf.clear();
-          AppendEncodedValue(v, kbuf);
-          if (!ChargeMem(ctx, kbuf.size() + sizeof(RowId) + 48,
-                         "hash join build")) {
-            return false;
-          }
-          ht.map[kbuf].push_back(rid);
-        }
-      }
+      ExecContext::HashTable* htp = EnsureHashTable(step, ctx);
+      if (htp == nullptr) return false;
+      ExecContext::HashTable& ht = *htp;
       Value t0;
       const Value& raw = EvalRef(*step.chash_key, b, ctx, t0);
       if (raw.is_null()) return true;  // NULL key matches nothing
@@ -704,224 +772,6 @@ bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
   return true;
 }
 
-bool ExecSteps(const Plan& plan, size_t i, Binding& b, ExecContext& ctx,
-               const std::function<bool()>& emit);
-
-// Executes the merge-join step at index `m`: batches the outer tuples
-// produced by steps [seg_begin, m), sorts them by the join key, and sweeps
-// the pre-sorted inner rows in one synchronized pass. kAncestor mode keeps a
-// stack of inner runs forming a prefix chain of the current (ascending)
-// outer key; kRange mode keeps a monotone start frontier. Both only skip
-// inner rows that provably cannot satisfy the join conjuncts — which stay in
-// the step's cfilters and are re-checked per match, so the sweep may
-// over-approximate freely.
-bool ExecMerge(const Plan& plan, size_t seg_begin, size_t m, Binding& b,
-               ExecContext& ctx, const std::function<bool()>& emit) {
-  const AccessStep& step = plan.steps[m];
-  if (ctx.trace == nullptr) {
-    // No outer-tuple snapshotting available: degrade to the nested-loop
-    // fallback (RunSteps enumerates merge_order behind cfilters).
-    return RunSteps(plan, seg_begin, plan.steps.size(), b, ctx, emit);
-  }
-  if (!FaultOk(ctx, "rel.merge_collect")) return false;
-  if (ctx.stats != nullptr) ++ctx.stats->merge_join_rounds;
-
-  const bool ancestor = step.merge_mode == MergeJoinMode::kAncestor;
-  const size_t width = m - seg_begin;
-
-  // One outer tuple: the rows bound for the segment plus its join key,
-  // evaluated at collection time (the binding is live then).
-  struct OuterTuple {
-    std::vector<RowId> rids;
-    std::string key;  // kAncestor: the Dewey payload to find prefixes of
-    Value lo, hi;     // kRange: bounds coerced to the column type
-  };
-  std::vector<OuterTuple> outers;
-
-  RunSteps(plan, seg_begin, m, b, ctx, [&]() {
-    OuterTuple t;
-    if (ancestor) {
-      Value t0;
-      const Value& v = EvalRef(*step.cprobe_value, b, ctx, t0);
-      // A NULL or non-text key satisfies no prefix conjunct: drop the tuple.
-      if (v.is_null() || !IsStringLike(v)) return true;
-      t.key.assign(v.AsStringLike());
-    } else {
-      if (step.crange_lo != nullptr) {
-        t.lo = CoerceForColumn(EvalExpr(*step.crange_lo, b, ctx),
-                               step.range_type);
-        if (t.lo.is_null()) return true;  // unknown bound: no matches
-      }
-      if (step.crange_hi != nullptr) {
-        t.hi = CoerceForColumn(EvalExpr(*step.crange_hi, b, ctx),
-                               step.range_type);
-        if (t.hi.is_null()) return true;
-      }
-    }
-    t.rids.reserve(width);
-    for (size_t s = seg_begin; s < m; ++s) {
-      t.rids.push_back((*ctx.trace)[s]);
-    }
-    if (!ChargeMem(ctx,
-                   sizeof(OuterTuple) + t.key.size() + width * sizeof(RowId),
-                   "merge join outer batch")) {
-      return false;
-    }
-    outers.push_back(std::move(t));
-    return true;
-  });
-  if (!ctx.interrupt.ok()) return false;
-  if (outers.empty()) return true;
-
-  if (ancestor) {
-    std::sort(outers.begin(), outers.end(),
-              [](const OuterTuple& a, const OuterTuple& b) {
-                return a.key < b.key;
-              });
-  } else if (step.crange_lo != nullptr) {
-    std::sort(outers.begin(), outers.end(),
-              [](const OuterTuple& a, const OuterTuple& b) {
-                auto c = CompareValues(a.lo, b.lo);
-                return c.has_value() && *c < 0;
-              });
-  }
-
-  const std::vector<RowId>& inner = step.merge_order;
-  auto inner_val = [&](size_t idx) -> const Value& {
-    return step.table
-        ->row(inner[idx])[static_cast<size_t>(step.merge_column)];
-  };
-
-  // Rebinds the outer segment's rows, then feeds one inner match through the
-  // merge step's residual filters and on to the rest of the pipeline.
-  auto process = [&](size_t inner_idx) -> bool {
-    if (Interrupted(ctx)) return false;
-    RowId rid = inner[inner_idx];
-    if (ctx.stats != nullptr) ++ctx.stats->rows_scanned;
-    BindRow(*step.table, rid, step.bind_offset, b);
-    (*ctx.trace)[m] = rid;
-    for (const CompiledExpr* f : step.cfilters) {
-      if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return true;
-    }
-    return ExecSteps(plan, m + 1, b, ctx, emit);
-  };
-  auto rebind_outer = [&](const OuterTuple& t) {
-    for (size_t s = seg_begin; s < m; ++s) {
-      const AccessStep& os = plan.steps[s];
-      RowId rid = t.rids[s - seg_begin];
-      BindRow(*os.table, rid, os.bind_offset, b);
-      (*ctx.trace)[s] = rid;
-    }
-  };
-
-  if (ancestor) {
-    // Inner rows sorted ascending; outer keys ascending. Maintain a stack of
-    // runs of equal inner values, each a (not necessarily proper) prefix of
-    // the current outer key — these are exactly the candidate ancestors.
-    // Once an inner value stops being a prefix of the (ever-growing) outer
-    // key it can never be a prefix again, so each run is pushed and popped
-    // at most once: O(outer + inner) total.
-    struct Run {
-      size_t begin, end;  // [begin, end) in `inner`, all equal values
-    };
-    std::vector<Run> stack;
-    size_t pos = 0;
-    for (const OuterTuple& t : outers) {
-      if (Interrupted(ctx)) return false;
-      std::string_view k = t.key;
-      while (!stack.empty()) {
-        std::string_view s = inner_val(stack.back().begin).AsStringLike();
-        if (s.size() <= k.size() && k.compare(0, s.size(), s) == 0) break;
-        stack.pop_back();
-      }
-      while (pos < inner.size()) {
-        const Value& v = inner_val(pos);
-        if (v.is_null() || !IsStringLike(v)) {
-          ++pos;  // cannot be anyone's prefix
-          continue;
-        }
-        std::string_view s = v.AsStringLike();
-        if (s > k) break;
-        size_t end = pos + 1;
-        while (end < inner.size()) {
-          const Value& w = inner_val(end);
-          if (w.is_null() || !IsStringLike(w) || w.AsStringLike() != s) break;
-          ++end;
-        }
-        if (s.size() <= k.size() && k.compare(0, s.size(), s) == 0) {
-          stack.push_back({pos, end});
-        }
-        pos = end;
-      }
-      if (stack.empty()) continue;
-      rebind_outer(t);
-      for (const Run& r : stack) {
-        for (size_t j = r.begin; j < r.end; ++j) {
-          if (!process(j)) return false;
-        }
-      }
-    }
-    return true;
-  }
-
-  // Range mode: outers sorted by lower bound; a start frontier advances past
-  // inner rows below every later bound too (staircase skipping), then each
-  // tuple scans forward until its upper bound cuts off.
-  const bool has_lo = step.crange_lo != nullptr;
-  const bool has_hi = step.crange_hi != nullptr;
-  size_t start = 0;
-  for (const OuterTuple& t : outers) {
-    if (Interrupted(ctx)) return false;
-    if (has_lo) {
-      while (start < inner.size()) {
-        const Value& v = inner_val(start);
-        if (!v.is_null() && v.type() == step.range_type) {
-          auto c = CompareValues(v, t.lo);
-          if (c.has_value() &&
-              (step.range_lo_inclusive ? *c >= 0 : *c > 0)) {
-            break;
-          }
-        }
-        ++start;
-      }
-    }
-    bool bound_outer = false;
-    for (size_t j = start; j < inner.size(); ++j) {
-      const Value& v = inner_val(j);
-      // Foreign-type rows sort outside the column type's key region; they
-      // match nothing (same contract as an index range scan).
-      if (v.is_null() || v.type() != step.range_type) continue;
-      if (has_hi) {
-        auto c = CompareValues(v, t.hi);
-        if (!c.has_value()) continue;
-        if (*c > 0 || (*c == 0 && !step.range_hi_inclusive)) break;
-      }
-      if (!bound_outer) {
-        rebind_outer(t);
-        bound_outer = true;
-      }
-      if (!process(j)) return false;
-    }
-  }
-  return true;
-}
-
-// Drives steps [i..) of the plan, segmenting the pipeline at merge-join
-// steps (which batch their outer side) and running everything else through
-// the row-at-a-time RunSteps.
-bool ExecSteps(const Plan& plan, size_t i, Binding& b, ExecContext& ctx,
-               const std::function<bool()>& emit) {
-  size_t m = i;
-  while (m < plan.steps.size() &&
-         plan.steps[m].path != AccessPathKind::kMergeJoin) {
-    ++m;
-  }
-  if (m == plan.steps.size()) {
-    return RunSteps(plan, i, m, b, ctx, emit);
-  }
-  return ExecMerge(plan, i, m, b, ctx, emit);
-}
-
 // Evaluates EXISTS for `subplan` in the shared binding. The binding spans
 // the subplan's layout (which extends the outer layout), so the outer
 // binding is read in place — no per-evaluation row copy. Subplan steps bind
@@ -932,17 +782,593 @@ bool ExecExists(const Plan& subplan, Binding& b, ExecContext& ctx) {
   for (const CompiledExpr* f : subplan.compiled_post_filters) {
     if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return false;
   }
-  // Subplan step indexes would clobber the outer plan's trace entries.
-  std::vector<RowId>* saved_trace = ctx.trace;
-  ctx.trace = nullptr;
   bool found = false;
   RunSteps(subplan, 0, subplan.steps.size(), b, ctx, [&]() {
     found = true;
     return false;  // abort on first witness
   });
-  ctx.trace = saved_trace;
   return found;
 }
+
+// ---------------------------------------------------------------------------
+// Vectorized batch driver
+// ---------------------------------------------------------------------------
+//
+// The main execution path: top-level plans run batch-at-a-time, not
+// row-at-a-time. Each pipeline depth d owns an accumulator of partial tuples
+// (one RowId per step bound so far). Enumerating step d appends candidates
+// to the accumulator; when it fills to the batch size it is flushed: one
+// interruption probe and one stats update cover the whole batch, the step's
+// residual filters run as tight loops over a selection vector (a filter
+// reading one column is evaluated once per distinct dictionary code of that
+// column, not once per row), and the survivors feed depth d+1 — or the sink
+// at the last depth. Tuples flow in the same outer-major order the
+// row-at-a-time executor produced, so results are order-identical.
+//
+// Merge-join steps accumulate their entire outer side (across all batches),
+// then sweep the pre-sorted inner rows once — the staircase pass of the
+// paper — emitting matches back into the depth's accumulator.
+
+struct TupleBatch {
+  // cols[s][i] is the RowId bound at step s for tuple i, for i < rows.
+  std::vector<std::vector<RowId>> cols;
+  std::vector<uint32_t> sel;  // surviving tuple indexes after filters
+  size_t rows = 0;
+
+  void Clear() {
+    for (std::vector<RowId>& c : cols) c.clear();
+    sel.clear();
+    rows = 0;
+  }
+};
+
+constexpr RowId kNoRowBound = std::numeric_limits<RowId>::max();
+
+class BatchDriver {
+ public:
+  // `sink` receives every surviving full-width batch (cols sized to the plan
+  // depth, sel selecting the survivors). Returning false stops the run;
+  // ctx.interrupt distinguishes an abort from a voluntary stop.
+  BatchDriver(const Plan& plan, Binding& b, ExecContext& ctx,
+              std::function<bool(const TupleBatch&)> sink)
+      : plan_(plan),
+        b_(b),
+        ctx_(ctx),
+        sink_(std::move(sink)),
+        cap_(ctx.batch_size) {
+    const size_t n = plan.steps.size();
+    stage_.resize(n);
+    for (size_t d = 0; d < n; ++d) stage_[d].cols.resize(d + 1);
+    last_bound_.assign(n, kNoRowBound);
+    merge_.resize(n);
+  }
+
+  bool Run() {
+    // A virtual width-0 outer tuple seeds the pipeline, so step 0 needs no
+    // special-casing (even a merge join at depth 0 collects one outer).
+    TupleBatch seed;
+    seed.rows = 1;
+    seed.sel.push_back(0);
+    if (!Feed(0, seed)) return false;
+    // Drain in depth order: a merge step sweeps its collected outers first
+    // (appending matches at its own depth), then the depth's partial batch
+    // flushes downstream.
+    for (size_t d = 0; d < plan_.steps.size(); ++d) {
+      if (plan_.steps[d].path == AccessPathKind::kMergeJoin &&
+          !SweepMerge(d)) {
+        return false;
+      }
+      if (!Flush(d)) return false;
+    }
+    return ctx_.interrupt.ok();
+  }
+
+  // Points the binding at tuple `pos` of the depth-d batch `tb`, rebinding
+  // only steps whose row changed — batches are outer-major, so outer slots
+  // rebind once per run of inner rows.
+  void BindTuple(size_t d, const TupleBatch& tb, uint32_t pos) {
+    for (size_t s = 0; s <= d; ++s) {
+      const RowId rid = tb.cols[s][pos];
+      if (last_bound_[s] == rid) continue;
+      const AccessStep& os = plan_.steps[s];
+      BindRow(*os.table, rid, os.bind_offset, b_);
+      last_bound_[s] = rid;
+    }
+  }
+
+ private:
+  // One collected merge-join outer tuple: the rows bound for the steps above
+  // the merge plus its join key, evaluated at collection time.
+  struct OuterTuple {
+    std::vector<RowId> rids;
+    std::string key;  // kAncestor: the Dewey payload to find prefixes of
+    Value lo, hi;     // kRange: bounds coerced to the column type
+  };
+  struct MergeState {
+    std::vector<OuterTuple> outers;
+  };
+
+  void BindOuter(size_t d, const TupleBatch& outer, uint32_t pos) {
+    if (d > 0) BindTuple(d - 1, outer, pos);
+  }
+
+  // Appends one candidate tuple (outer prefix + rid at depth d), flushing
+  // when the accumulator reaches the batch size.
+  bool Append(size_t d, const TupleBatch& outer, uint32_t opos, RowId rid) {
+    TupleBatch& tb = stage_[d];
+    for (size_t s = 0; s < d; ++s) tb.cols[s].push_back(outer.cols[s][opos]);
+    tb.cols[d].push_back(rid);
+    if (++tb.rows < cap_) return true;
+    return Flush(d);
+  }
+
+  // Feeds every selected tuple of `outer` into step d's enumeration.
+  bool Feed(size_t d, const TupleBatch& outer) {
+    if (plan_.steps[d].path == AccessPathKind::kMergeJoin) {
+      return CollectMerge(d, outer);
+    }
+    for (uint32_t pos : outer.sel) {
+      if (!ctx_.interrupt.ok()) return false;
+      BindOuter(d, outer, pos);
+      if (!EnumerateStep(d, outer, pos)) return false;
+    }
+    return true;
+  }
+
+  // Flushes the depth-d accumulator: batch probe, batch stats, filters, then
+  // survivors feed downstream (or the sink at the last depth).
+  bool Flush(size_t d) {
+    TupleBatch& tb = stage_[d];
+    if (tb.rows == 0) return true;
+    if (BatchInterrupted(ctx_, tb.rows)) {
+      tb.Clear();
+      return false;
+    }
+    if (ctx_.stats != nullptr) ctx_.stats->rows_scanned += tb.rows;
+    ApplyFilters(d, tb);
+    bool ok = ctx_.interrupt.ok();
+    if (ok && !tb.sel.empty()) {
+      ok = d + 1 == plan_.steps.size() ? sink_(tb) : Feed(d + 1, tb);
+    }
+    tb.Clear();
+    return ok;
+  }
+
+  // Lazily sizes the dictionary verdict memo for a single-column filter.
+  ExecContext::DictMemo& MemoFor(const CompiledExpr& f, const Table& t,
+                                 size_t col) {
+    ExecContext::DictMemo& memo = ctx_.dict_memos[&f];
+    if (!memo.decided) {
+      memo.decided = true;
+      const size_t dict_n = t.dict_size(col);
+      // Memoizing pays once values repeat; a near-unique column (Dewey
+      // positions, text payloads) would fund the verdict array for nothing.
+      memo.use_memo = dict_n * 4 <= t.row_count() * 3;
+      if (memo.use_memo && ChargeMem(ctx_, dict_n + 64, "filter dict memo")) {
+        memo.verdict.assign(dict_n, -1);
+      } else {
+        memo.use_memo = false;
+      }
+    }
+    return memo;
+  }
+
+  // Runs the step's residual filters over the batch, compacting the
+  // selection vector in place. Filters short-circuit per tuple exactly like
+  // the row-at-a-time path: a tuple rejected by filter k never evaluates
+  // filter k+1 (EXISTS side effects and stats stay identical).
+  void ApplyFilters(size_t d, TupleBatch& tb) {
+    const AccessStep& step = plan_.steps[d];
+    std::vector<uint32_t>& sel = tb.sel;
+    sel.resize(tb.rows);
+    for (uint32_t i = 0; i < tb.rows; ++i) sel[i] = i;
+    for (size_t fi = 0; fi < step.cfilters.size(); ++fi) {
+      if (sel.empty()) break;
+      const CompiledExpr& f = *step.cfilters[fi];
+      const AccessStep::FilterInfo& info = step.cfilter_info[fi];
+      size_t out = 0;
+      if (info.single_slot >= 0) {
+        const AccessStep& owner =
+            plan_.steps[static_cast<size_t>(info.owner_step)];
+        const Table& t = *owner.table;
+        const size_t col = static_cast<size_t>(info.owner_col);
+        const std::vector<RowId>& rid_col =
+            tb.cols[static_cast<size_t>(info.owner_step)];
+        const size_t slot = static_cast<size_t>(info.single_slot);
+        ExecContext::DictMemo& memo = MemoFor(f, t, col);
+        if (memo.use_memo) {
+          for (uint32_t pos : sel) {
+            const uint32_t code = t.code(rid_col[pos], col);
+            int8_t v = memo.verdict[code];
+            if (v < 0) {
+              b_[slot] = &t.dict_value(col, code);
+              v = TruthOf(EvalExpr(f, b_, ctx_)) == Truth::kTrue ? 1 : 0;
+              memo.verdict[code] = v;
+            }
+            if (v != 0) sel[out++] = pos;
+          }
+        } else {
+          for (uint32_t pos : sel) {
+            b_[slot] = &t.at(rid_col[pos], col);
+            if (TruthOf(EvalExpr(f, b_, ctx_)) == Truth::kTrue) {
+              sel[out++] = pos;
+            }
+          }
+        }
+        // The owner step's slot now points at a filter operand, not at the
+        // row the delta-binding cache claims: force a rebind.
+        last_bound_[static_cast<size_t>(info.owner_step)] = kNoRowBound;
+      } else {
+        for (uint32_t pos : sel) {
+          if (!ctx_.interrupt.ok()) break;
+          BindTuple(d, tb, pos);
+          if (TruthOf(EvalExpr(f, b_, ctx_)) == Truth::kTrue) {
+            sel[out++] = pos;
+          }
+        }
+      }
+      sel.resize(out);
+      if (!ctx_.interrupt.ok()) {
+        sel.clear();
+        return;
+      }
+    }
+  }
+
+  // Enumerates step d's access path for one outer tuple (already bound),
+  // appending candidates that pass the step's bitmap pre-filters.
+  bool EnumerateStep(size_t d, const TupleBatch& outer, uint32_t opos) {
+    const AccessStep& step = plan_.steps[d];
+    const Table& table = *step.table;
+    QueryStats* stats = ctx_.stats;
+
+    auto try_candidate = [&](RowId rid) -> bool {
+      for (const RowBitmap* bm : step.bitmap_filters) {
+        if (stats != nullptr) ++stats->bitmap_prefilter_tests;
+        if (!bm->Test(rid)) return true;
+        if (stats != nullptr) ++stats->bitmap_prefilter_hits;
+      }
+      return Append(d, outer, opos, rid);
+    };
+
+    switch (step.path) {
+      case AccessPathKind::kSeqScan: {
+        const size_t n = table.row_count();
+        if (!step.bitmap_filters.empty()) {
+          // Word-skip scan: AND the bitmap words and jump set bit to set
+          // bit, so a selective pre-filter costs one load per 64 rows.
+          const size_t nwords = (n + 63) / 64;
+          if (stats != nullptr) stats->bitmap_prefilter_tests += n;
+          for (size_t w = 0; w < nwords; ++w) {
+            uint64_t bits = step.bitmap_filters[0]->words[w];
+            for (size_t k = 1; k < step.bitmap_filters.size(); ++k) {
+              bits &= step.bitmap_filters[k]->words[w];
+            }
+            while (bits != 0) {
+              const RowId rid =
+                  static_cast<RowId>((w << 6) + std::countr_zero(bits));
+              bits &= bits - 1;
+              if (stats != nullptr) ++stats->bitmap_prefilter_hits;
+              if (!Append(d, outer, opos, rid)) return false;
+            }
+          }
+          return true;
+        }
+        for (RowId rid = 0; rid < n; ++rid) {
+          if (!Append(d, outer, opos, rid)) return false;
+        }
+        return true;
+      }
+      case AccessPathKind::kIndexPoint: {
+        KeyBufs kb(ctx_);
+        std::string& lo = kb.lo();
+        lo.clear();
+        for (size_t k = 0; k < step.cpoint_keys.size(); ++k) {
+          Value t0, t1;
+          const Value& v =
+              CoerceRef(EvalRef(*step.cpoint_keys[k], b_, ctx_, t0),
+                        step.point_key_types[k], t1);
+          if (v.is_null()) return true;  // NULL key matches nothing
+          AppendEncodedValue(v, lo);
+        }
+        if (stats != nullptr) ++stats->index_probes;
+        std::string& hi = kb.hi();
+        hi.assign(lo);
+        BumpToPrefixUpperBound(hi);
+        for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
+          if (!try_candidate(it.row())) return false;
+        }
+        return true;
+      }
+      case AccessPathKind::kIndexRange: {
+        KeyBufs kb(ctx_);
+        std::string& lo = kb.lo();
+        lo.clear();
+        if (step.crange_lo != nullptr) {
+          Value t0, t1;
+          const Value& v = CoerceRef(EvalRef(*step.crange_lo, b_, ctx_, t0),
+                                     step.range_type, t1);
+          if (v.is_null()) return true;
+          AppendEncodedValue(v, lo);
+          if (!step.range_lo_inclusive) BumpToPrefixUpperBound(lo);
+        }
+        if (stats != nullptr) ++stats->index_probes;
+        if (step.crange_hi != nullptr) {
+          Value t0, t1;
+          const Value& v = CoerceRef(EvalRef(*step.crange_hi, b_, ctx_, t0),
+                                     step.range_type, t1);
+          if (v.is_null()) return true;
+          std::string& hi = kb.hi();
+          hi.clear();
+          AppendEncodedValue(v, hi);
+          if (step.range_hi_inclusive) BumpToPrefixUpperBound(hi);
+          for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
+            if (!try_candidate(it.row())) return false;
+          }
+        } else {
+          for (auto it = step.index->ScanFrom(lo); it.Valid(); it.Next()) {
+            if (!try_candidate(it.row())) return false;
+          }
+        }
+        return true;
+      }
+      case AccessPathKind::kPrefixProbe: {
+        Value t0;
+        const Value& v = EvalRef(*step.cprobe_value, b_, ctx_, t0);
+        if (v.is_null() || !IsStringLike(v)) return true;
+        const std::string& dkey = v.AsStringLike();
+        KeyBufs kb(ctx_);
+        std::string& lo = kb.lo();
+        std::string& hi = kb.hi();
+        for (size_t len = 3; len <= dkey.size(); len += 3) {
+          if (stats != nullptr) ++stats->index_probes;
+          lo.clear();
+          AppendEncodedBytes(std::string_view(dkey.data(), len), lo);
+          hi.assign(lo);
+          BumpToPrefixUpperBound(hi);
+          for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
+            if (!try_candidate(it.row())) return false;
+          }
+        }
+        return true;
+      }
+      case AccessPathKind::kIndexUnion: {
+        std::set<RowId> rows;
+        KeyBufs kb(ctx_);
+        std::string& lo = kb.lo();
+        std::string& hi = kb.hi();
+        for (const AccessStep::UnionProbe& p : step.union_probes) {
+          Value t0, t1;
+          const Value& v =
+              CoerceRef(EvalRef(*p.ckey, b_, ctx_, t0), p.key_type, t1);
+          if (v.is_null()) continue;
+          if (stats != nullptr) ++stats->index_probes;
+          lo.clear();
+          AppendEncodedValue(v, lo);
+          hi.assign(lo);
+          BumpToPrefixUpperBound(hi);
+          for (auto it = p.index->Scan(lo, hi); it.Valid(); it.Next()) {
+            rows.insert(it.row());
+          }
+        }
+        for (RowId rid : rows) {
+          if (!try_candidate(rid)) return false;
+        }
+        return true;
+      }
+      case AccessPathKind::kHashProbe: {
+        ExecContext::HashTable* ht = EnsureHashTable(step, ctx_);
+        if (ht == nullptr) return false;
+        Value t0;
+        const Value& raw = EvalRef(*step.chash_key, b_, ctx_, t0);
+        if (raw.is_null()) return true;  // NULL key matches nothing
+        // A numeric probe against a text column compares by parsing each
+        // row's text; no single encoded key represents that, so fall back
+        // to the full scan — cfilters re-check the join conjunct.
+        if ((step.hash_key_type == ValueType::kString ||
+             step.hash_key_type == ValueType::kBytes) &&
+            !IsStringLike(raw)) {
+          for (RowId rid = 0; rid < table.row_count(); ++rid) {
+            if (!try_candidate(rid)) return false;
+          }
+          return true;
+        }
+        Value t1;
+        const Value& key = CoerceRef(raw, step.hash_key_type, t1);
+        if (key.is_null()) return true;
+        if (stats != nullptr) ++stats->hash_join_probes;
+        KeyBufs kb(ctx_);
+        std::string& kbuf = kb.lo();
+        kbuf.clear();
+        AppendEncodedValue(key, kbuf);
+        auto it = ht->map.find(kbuf);
+        if (it == ht->map.end()) return true;
+        for (RowId rid : it->second) {
+          if (!try_candidate(rid)) return false;
+        }
+        return true;
+      }
+      case AccessPathKind::kMergeJoin:
+        break;  // handled by CollectMerge/SweepMerge, never reached
+    }
+    return true;
+  }
+
+  // Accumulates one batch of merge-join outer tuples (keys evaluated while
+  // the binding is live); the sweep runs once, after all outers are in.
+  bool CollectMerge(size_t d, const TupleBatch& outer) {
+    const AccessStep& step = plan_.steps[d];
+    MergeState& ms = merge_[d];
+    const bool ancestor = step.merge_mode == MergeJoinMode::kAncestor;
+    size_t bytes = 0;
+    for (uint32_t pos : outer.sel) {
+      if (!ctx_.interrupt.ok()) return false;
+      BindOuter(d, outer, pos);
+      OuterTuple t;
+      if (ancestor) {
+        Value t0;
+        const Value& v = EvalRef(*step.cprobe_value, b_, ctx_, t0);
+        // A NULL or non-text key satisfies no prefix conjunct: drop it.
+        if (v.is_null() || !IsStringLike(v)) continue;
+        t.key.assign(v.AsStringLike());
+      } else {
+        if (step.crange_lo != nullptr) {
+          t.lo = CoerceForColumn(EvalExpr(*step.crange_lo, b_, ctx_),
+                                 step.range_type);
+          if (t.lo.is_null()) continue;  // unknown bound: no matches
+        }
+        if (step.crange_hi != nullptr) {
+          t.hi = CoerceForColumn(EvalExpr(*step.crange_hi, b_, ctx_),
+                                 step.range_type);
+          if (t.hi.is_null()) continue;
+        }
+      }
+      t.rids.reserve(d);
+      for (size_t s = 0; s < d; ++s) t.rids.push_back(outer.cols[s][pos]);
+      bytes += sizeof(OuterTuple) + t.key.size() + d * sizeof(RowId);
+      ms.outers.push_back(std::move(t));
+    }
+    return ChargeMem(ctx_, bytes, "merge join outer batch");
+  }
+
+  // Sweeps the pre-sorted inner rows against the collected outers in one
+  // synchronized pass. kAncestor mode keeps a stack of inner runs forming a
+  // prefix chain of the current (ascending) outer key; kRange mode keeps a
+  // monotone start frontier. Both only skip inner rows that provably cannot
+  // satisfy the join conjuncts — which stay in the step's cfilters and are
+  // re-checked per match, so the sweep may over-approximate freely.
+  bool SweepMerge(size_t d) {
+    const AccessStep& step = plan_.steps[d];
+    if (!FaultOk(ctx_, "rel.merge_collect")) return false;
+    if (ctx_.stats != nullptr) ++ctx_.stats->merge_join_rounds;
+    std::vector<OuterTuple>& outers = merge_[d].outers;
+    if (outers.empty()) return true;
+    const bool ancestor = step.merge_mode == MergeJoinMode::kAncestor;
+
+    if (ancestor) {
+      std::sort(outers.begin(), outers.end(),
+                [](const OuterTuple& a, const OuterTuple& b) {
+                  return a.key < b.key;
+                });
+    } else if (step.crange_lo != nullptr) {
+      std::sort(outers.begin(), outers.end(),
+                [](const OuterTuple& a, const OuterTuple& b) {
+                  auto c = CompareValues(a.lo, b.lo);
+                  return c.has_value() && *c < 0;
+                });
+    }
+
+    const std::vector<RowId>& inner = step.merge_order;
+    auto inner_val = [&](size_t idx) -> const Value& {
+      return step.table->at(inner[idx],
+                            static_cast<size_t>(step.merge_column));
+    };
+    // Appends one (outer, inner-match) tuple at depth d; residual cfilters
+    // run at flush like any other step.
+    auto emit_match = [&](const OuterTuple& t, size_t inner_idx) -> bool {
+      TupleBatch& tb = stage_[d];
+      for (size_t s = 0; s < d; ++s) tb.cols[s].push_back(t.rids[s]);
+      tb.cols[d].push_back(inner[inner_idx]);
+      if (++tb.rows < cap_) return true;
+      return Flush(d);
+    };
+
+    if (ancestor) {
+      // Inner rows sorted ascending; outer keys ascending. Maintain a stack
+      // of runs of equal inner values, each a (not necessarily proper)
+      // prefix of the current outer key — the candidate ancestors. Once an
+      // inner value stops being a prefix of the (ever-growing) outer key it
+      // can never be a prefix again, so each run is pushed and popped at
+      // most once: O(outer + inner) total.
+      struct InnerRun {
+        size_t begin, end;  // [begin, end) in `inner`, all equal values
+      };
+      std::vector<InnerRun> stack;
+      size_t pos = 0;
+      for (const OuterTuple& t : outers) {
+        if (Interrupted(ctx_)) return false;
+        std::string_view k = t.key;
+        while (!stack.empty()) {
+          std::string_view s = inner_val(stack.back().begin).AsStringLike();
+          if (s.size() <= k.size() && k.compare(0, s.size(), s) == 0) break;
+          stack.pop_back();
+        }
+        while (pos < inner.size()) {
+          const Value& v = inner_val(pos);
+          if (v.is_null() || !IsStringLike(v)) {
+            ++pos;  // cannot be anyone's prefix
+            continue;
+          }
+          std::string_view s = v.AsStringLike();
+          if (s > k) break;
+          size_t end = pos + 1;
+          while (end < inner.size()) {
+            const Value& w = inner_val(end);
+            if (w.is_null() || !IsStringLike(w) || w.AsStringLike() != s) {
+              break;
+            }
+            ++end;
+          }
+          if (s.size() <= k.size() && k.compare(0, s.size(), s) == 0) {
+            stack.push_back({pos, end});
+          }
+          pos = end;
+        }
+        for (const InnerRun& r : stack) {
+          for (size_t j = r.begin; j < r.end; ++j) {
+            if (!emit_match(t, j)) return false;
+          }
+        }
+      }
+      return true;
+    }
+
+    // Range mode: outers sorted by lower bound; a start frontier advances
+    // past inner rows below every later bound too (staircase skipping),
+    // then each tuple scans forward until its upper bound cuts off.
+    const bool has_lo = step.crange_lo != nullptr;
+    const bool has_hi = step.crange_hi != nullptr;
+    size_t start = 0;
+    for (const OuterTuple& t : outers) {
+      if (Interrupted(ctx_)) return false;
+      if (has_lo) {
+        while (start < inner.size()) {
+          const Value& v = inner_val(start);
+          if (!v.is_null() && v.type() == step.range_type) {
+            auto c = CompareValues(v, t.lo);
+            if (c.has_value() &&
+                (step.range_lo_inclusive ? *c >= 0 : *c > 0)) {
+              break;
+            }
+          }
+          ++start;
+        }
+      }
+      for (size_t j = start; j < inner.size(); ++j) {
+        const Value& v = inner_val(j);
+        // Foreign-type rows sort outside the column type's key region; they
+        // match nothing (same contract as an index range scan).
+        if (v.is_null() || v.type() != step.range_type) continue;
+        if (has_hi) {
+          auto c = CompareValues(v, t.hi);
+          if (!c.has_value()) continue;
+          if (*c > 0 || (*c == 0 && !step.range_hi_inclusive)) break;
+        }
+        if (!emit_match(t, j)) return false;
+      }
+    }
+    return true;
+  }
+
+  const Plan& plan_;
+  Binding& b_;
+  ExecContext& ctx_;
+  std::function<bool(const TupleBatch&)> sink_;
+  const uint32_t cap_;
+  std::vector<TupleBatch> stage_;     // stage_[d]: depth-d accumulator
+  std::vector<RowId> last_bound_;     // delta-binding cache, per step
+  std::vector<MergeState> merge_;     // merge_[d]: collected outers
+};
 
 // Folds the counters of a nested (build-plan) run into the outer stats.
 // ExecutePlan overwrites output_rows, so nested runs always use local stats.
@@ -959,6 +1385,8 @@ void MergeStats(const QueryStats& local, QueryStats* out) {
   out->bitmap_prefilter_tests += local.bitmap_prefilter_tests;
   out->bitmap_prefilter_hits += local.bitmap_prefilter_hits;
   out->exists_semijoin_builds += local.exists_semijoin_builds;
+  out->batches_emitted += local.batches_emitted;
+  out->batch_size = std::max(out->batch_size, local.batch_size);
   out->bytes_reserved_peak =
       std::max(out->bytes_reserved_peak, local.bytes_reserved_peak);
 }
@@ -1121,6 +1549,153 @@ std::optional<bool> ProbeSemiJoin(const Plan& sub, Binding& b,
   return set.keys.count(key) > 0;
 }
 
+// ---------------------------------------------------------------------------
+// Plan execution
+// ---------------------------------------------------------------------------
+
+uint32_t EffectiveBatchSize(const ExecControl* control) {
+  uint32_t bs = control != nullptr ? control->batch_size : 0;
+  if (bs == 0) bs = kDefaultBatchSize;
+  return std::clamp<uint32_t>(bs, 1, 65536);
+}
+
+// Returns every flushed reservation when the execution ends (all charged
+// state is per-execution) and records the budget high-water mark — on the
+// success and error paths alike.
+struct BudgetLease {
+  ExecContext& ctx;
+  ~BudgetLease() {
+    if (ctx.budget == nullptr) return;
+    if (ctx.mem_reserved > 0) ctx.budget->Release(ctx.mem_reserved);
+    if (ctx.stats != nullptr) {
+      ctx.stats->bytes_reserved_peak =
+          std::max(ctx.stats->bytes_reserved_peak, ctx.budget->peak());
+    }
+  }
+};
+
+// How one SELECT item is produced from a surviving batch. Plain column
+// references — the translators' entire output — copy straight out of
+// columnar storage without touching the binding; anything else evaluates
+// through the bound tuple.
+struct SelectSrc {
+  enum class Kind { kColumn, kLiteral, kEval };
+  Kind kind = Kind::kEval;
+  size_t step = 0;
+  size_t col = 0;
+  const CompiledExpr* expr = nullptr;
+};
+
+std::vector<SelectSrc> ComputeSelectSrcs(const Plan& plan) {
+  std::vector<SelectSrc> srcs(plan.compiled_select.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    const CompiledExpr* ce = plan.compiled_select[i];
+    srcs[i].expr = ce;
+    if (ce->kind == SqlExpr::Kind::kLiteral) {
+      srcs[i].kind = SelectSrc::Kind::kLiteral;
+      continue;
+    }
+    if (ce->kind != SqlExpr::Kind::kColumn) continue;
+    for (size_t s = 0; s < plan.steps.size(); ++s) {
+      const AccessStep& os = plan.steps[s];
+      const int ncols = static_cast<int>(os.table->schema().columns.size());
+      if (ce->slot >= os.bind_offset && ce->slot < os.bind_offset + ncols) {
+        srcs[i].kind = SelectSrc::Kind::kColumn;
+        srcs[i].step = s;
+        srcs[i].col = static_cast<size_t>(ce->slot - os.bind_offset);
+        break;
+      }
+    }
+  }
+  return srcs;
+}
+
+// Streaming (chunk) execution of one plan: surviving batches are projected
+// column-wise into reused scratch vectors and handed to `sink`. No Row
+// materialization, no ORDER BY, no DISTINCT dedup — callers post-process —
+// but the emit/distinct fault points stay in place, so failure behavior
+// matches the materializing path. `stopped` reports a sink-requested stop
+// (distinct from an error).
+Status ExecutePlanChunks(const Plan& plan, const ChunkSink& sink,
+                         QueryStats* stats, const ExecControl* control,
+                         std::vector<std::vector<Value>>& scratch,
+                         bool& stopped) {
+  ExecContext ctx;
+  ctx.stats = stats;
+  ctx.control = control;
+  ctx.budget = control != nullptr ? control->budget : nullptr;
+  ctx.batch_size = EffectiveBatchSize(control);
+  if (stats != nullptr) stats->batch_size = ctx.batch_size;
+  BudgetLease lease{ctx};
+  if (CheckControlNow(ctx)) return ctx.interrupt;
+
+  const SelectStmt& stmt = *plan.stmt;
+  Binding binding(
+      static_cast<size_t>(std::max(plan.max_slots, plan.layout.total_slots)),
+      &kNullValue);
+  for (const CompiledExpr* f : plan.compiled_post_filters) {
+    if (TruthOf(EvalExpr(*f, binding, ctx)) != Truth::kTrue) {
+      return Status::Ok();
+    }
+  }
+
+  const std::vector<SelectSrc> srcs = ComputeSelectSrcs(plan);
+  const size_t ncols = srcs.size();
+  const size_t last = plan.steps.size() - 1;
+  scratch.resize(ncols);
+  size_t total_rows = 0;
+
+  BatchDriver* drv = nullptr;
+  auto bsink = [&](const TupleBatch& tb) -> bool {
+    if (!FaultOk(ctx, "rel.emit_row")) return false;
+    // The DISTINCT obligation transfers to the chunk consumer; the fault
+    // point fires per batch so its reach does not depend on the sink mode.
+    if (stmt.distinct && !FaultOk(ctx, "rel.distinct")) return false;
+    if (stats != nullptr) ++stats->batches_emitted;
+    for (size_t c = 0; c < ncols; ++c) scratch[c].clear();
+    size_t bytes = tb.sel.size() * sizeof(Row);
+    for (uint32_t pos : tb.sel) {
+      for (size_t c = 0; c < ncols; ++c) {
+        const SelectSrc& s = srcs[c];
+        switch (s.kind) {
+          case SelectSrc::Kind::kColumn:
+            scratch[c].push_back(
+                plan.steps[s.step].table->at(tb.cols[s.step][pos], s.col));
+            break;
+          case SelectSrc::Kind::kLiteral:
+            scratch[c].push_back(s.expr->literal);
+            break;
+          case SelectSrc::Kind::kEval:
+            drv->BindTuple(last, tb, pos);
+            scratch[c].push_back(EvalExpr(*s.expr, binding, ctx));
+            break;
+        }
+        const Value& v = scratch[c].back();
+        bytes +=
+            sizeof(Value) + (IsStringLike(v) ? v.AsStringLike().size() : 0);
+      }
+    }
+    if (!ChargeMem(ctx, bytes, "result rows")) return false;
+    total_rows += tb.sel.size();
+    RowChunk chunk;
+    chunk.columns = scratch.data();
+    chunk.column_count = ncols;
+    chunk.rows = tb.sel.size();
+    if (!sink(chunk)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  };
+
+  BatchDriver driver(plan, binding, ctx, bsink);
+  drv = &driver;
+  driver.Run();
+  if (!ctx.interrupt.ok()) return ctx.interrupt;
+  if (stats != nullptr) stats->output_rows = total_rows;
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
@@ -1130,34 +1705,12 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
   ctx.stats = stats;
   ctx.control = control;
   ctx.budget = control != nullptr ? control->budget : nullptr;
-  // Returns every flushed reservation when the execution ends (all charged
-  // state is per-execution) and records the budget high-water mark — on the
-  // success and error paths alike.
-  struct BudgetLease {
-    ExecContext& ctx;
-    ~BudgetLease() {
-      if (ctx.budget == nullptr) return;
-      if (ctx.mem_reserved > 0) ctx.budget->Release(ctx.mem_reserved);
-      if (ctx.stats != nullptr) {
-        ctx.stats->bytes_reserved_peak =
-            std::max(ctx.stats->bytes_reserved_peak, ctx.budget->peak());
-      }
-    }
-  } lease{ctx};
+  ctx.batch_size = EffectiveBatchSize(control);
+  if (stats != nullptr) stats->batch_size = ctx.batch_size;
+  BudgetLease lease{ctx};
   // Check once before touching any rows, so a request that spent its whole
   // deadline queued (or was cancelled while queued) fails immediately.
   if (CheckControlNow(ctx)) return ctx.interrupt;
-
-  // Merge joins snapshot the outer tuple feeding them via the step trace.
-  bool has_merge = false;
-  for (const AccessStep& s : plan.steps) {
-    if (s.path == AccessPathKind::kMergeJoin) has_merge = true;
-  }
-  std::vector<RowId> trace;
-  if (has_merge) {
-    trace.assign(plan.steps.size(), 0);
-    ctx.trace = &trace;
-  }
 
   const SelectStmt& stmt = *plan.stmt;
   QueryResult result;
@@ -1174,24 +1727,84 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
     }
   }
 
-  std::vector<Row> emitted;
+  const std::vector<SelectSrc> srcs = ComputeSelectSrcs(plan);
+  const size_t last = plan.steps.size() - 1;
   const bool want_sort = need_ordered_rows && !stmt.order_by.empty();
   const bool fast_order = !want_sort || plan.order_by_mapped;
+  // On the fast-order path DISTINCT dedups incrementally per batch (the
+  // mapped sort is stable and runs over already-distinct rows, so the output
+  // is identical to the old post-sort dedup); an unmapped sort key keeps the
+  // post-sort dedup below.
+  const bool inline_distinct = stmt.distinct && fast_order;
+
+  BatchDriver* drv = nullptr;
+  auto project = [&](const TupleBatch& tb, uint32_t pos, Row& out) {
+    for (const SelectSrc& s : srcs) {
+      switch (s.kind) {
+        case SelectSrc::Kind::kColumn:
+          out.push_back(
+              plan.steps[s.step].table->at(tb.cols[s.step][pos], s.col));
+          break;
+        case SelectSrc::Kind::kLiteral:
+          out.push_back(s.expr->literal);
+          break;
+        case SelectSrc::Kind::kEval:
+          drv->BindTuple(last, tb, pos);
+          out.push_back(EvalExpr(*s.expr, binding, ctx));
+          break;
+      }
+    }
+  };
+
+  std::vector<Row> emitted;
+  std::unordered_set<Row, RowHash> seen;  // inline DISTINCT dedup table
+  struct Keyed {
+    Row projected;
+    Row sort_key;
+  };
+  std::vector<Keyed> keyed;  // unmapped-ORDER-BY path only
+
+  auto sink = [&](const TupleBatch& tb) -> bool {
+    if (!FaultOk(ctx, "rel.emit_row")) return false;
+    if (inline_distinct && !FaultOk(ctx, "rel.distinct")) return false;
+    if (stats != nullptr) ++stats->batches_emitted;
+    size_t bytes = 0;
+    for (uint32_t pos : tb.sel) {
+      Row projected;
+      projected.reserve(srcs.size());
+      project(tb, pos, projected);
+      bytes += ApproxRowBytes(projected);
+      if (fast_order) {
+        if (inline_distinct) {
+          if (!seen.insert(projected).second) continue;
+          bytes += ApproxRowBytes(projected);  // the dedup table's copy
+        }
+        emitted.push_back(std::move(projected));
+      } else {
+        // ORDER BY expressions that are not projected: materialize a sort
+        // key alongside each projected row.
+        Keyed e;
+        e.projected = std::move(projected);
+        e.sort_key.reserve(plan.compiled_order_by.size());
+        drv->BindTuple(last, tb, pos);
+        for (const CompiledExpr* ce : plan.compiled_order_by) {
+          e.sort_key.push_back(EvalExpr(*ce, binding, ctx));
+        }
+        bytes += ApproxRowBytes(e.sort_key);
+        keyed.push_back(std::move(e));
+      }
+    }
+    return ChargeMem(ctx, bytes, "result rows");
+  };
+
+  BatchDriver driver(plan, binding, ctx, sink);
+  drv = &driver;
+  driver.Run();
+  // Enumeration unwinds through the abort path on interruption; surface the
+  // recorded status instead of a truncated (wrong) result.
+  if (!ctx.interrupt.ok()) return ctx.interrupt;
 
   if (fast_order) {
-    ExecSteps(plan, 0, binding, ctx, [&]() {
-      if (!FaultOk(ctx, "rel.emit_row")) return false;
-      Row projected;
-      projected.reserve(plan.compiled_select.size());
-      for (const CompiledExpr* ce : plan.compiled_select) {
-        projected.push_back(EvalExpr(*ce, binding, ctx));
-      }
-      if (!ChargeMem(ctx, ApproxRowBytes(projected), "result rows")) {
-        return false;
-      }
-      emitted.push_back(std::move(projected));
-      return true;
-    });
     if (want_sort && !plan.order_by_select_positions.empty()) {
       std::stable_sort(
           emitted.begin(), emitted.end(), [&](const Row& a, const Row& b) {
@@ -1206,34 +1819,8 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
           });
     }
   } else {
-    // ORDER BY expressions that are not projected: materialize a sort key
-    // alongside each projected row.
-    struct Emitted {
-      Row projected;
-      Row sort_key;
-    };
-    std::vector<Emitted> keyed;
-    ExecSteps(plan, 0, binding, ctx, [&]() {
-      if (!FaultOk(ctx, "rel.emit_row")) return false;
-      Emitted e;
-      e.projected.reserve(plan.compiled_select.size());
-      for (const CompiledExpr* ce : plan.compiled_select) {
-        e.projected.push_back(EvalExpr(*ce, binding, ctx));
-      }
-      e.sort_key.reserve(plan.compiled_order_by.size());
-      for (const CompiledExpr* ce : plan.compiled_order_by) {
-        e.sort_key.push_back(EvalExpr(*ce, binding, ctx));
-      }
-      if (!ChargeMem(ctx,
-                     ApproxRowBytes(e.projected) + ApproxRowBytes(e.sort_key),
-                     "result rows")) {
-        return false;
-      }
-      keyed.push_back(std::move(e));
-      return true;
-    });
     std::stable_sort(keyed.begin(), keyed.end(),
-                     [&](const Emitted& a, const Emitted& b) {
+                     [&](const Keyed& a, const Keyed& b) {
                        for (size_t k = 0; k < a.sort_key.size(); ++k) {
                          bool asc = stmt.order_by[k].ascending;
                          if (a.sort_key[k] < b.sort_key[k]) return asc;
@@ -1242,20 +1829,16 @@ Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
                        return false;
                      });
     emitted.reserve(keyed.size());
-    for (Emitted& e : keyed) emitted.push_back(std::move(e.projected));
+    for (Keyed& e : keyed) emitted.push_back(std::move(e.projected));
   }
 
-  // Enumeration unwinds through the abort path on interruption; surface the
-  // recorded status instead of a truncated (wrong) result.
-  if (!ctx.interrupt.ok()) return ctx.interrupt;
-
-  if (stmt.distinct) {
+  if (stmt.distinct && !inline_distinct) {
     if (!FaultOk(ctx, "rel.distinct")) return ctx.interrupt;
-    std::unordered_set<Row, RowHash> seen;
-    seen.reserve(emitted.size());
+    std::unordered_set<Row, RowHash> post_seen;
+    post_seen.reserve(emitted.size());
     result.rows.reserve(emitted.size());
     for (Row& e : emitted) {
-      if (seen.insert(e).second) {
+      if (post_seen.insert(e).second) {
         // The dedup table holds a second copy of every distinct row.
         if (!ChargeMem(ctx, ApproxRowBytes(e), "DISTINCT dedup")) {
           return ctx.interrupt;
@@ -1309,21 +1892,7 @@ Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
     auto r = ExecutePlan(*plans[b], &local, /*need_ordered_rows=*/false,
                          control);
     if (!r.ok()) return r.status();
-    if (stats != nullptr) {
-      stats->rows_scanned += local.rows_scanned;
-      stats->index_probes += local.index_probes;
-      stats->subquery_evals += local.subquery_evals;
-      stats->exists_cache_hits += local.exists_cache_hits;
-      stats->exists_cache_misses += local.exists_cache_misses;
-      stats->hash_tables_built += local.hash_tables_built;
-      stats->hash_join_probes += local.hash_join_probes;
-      stats->merge_join_rounds += local.merge_join_rounds;
-      stats->bitmap_prefilter_tests += local.bitmap_prefilter_tests;
-      stats->bitmap_prefilter_hits += local.bitmap_prefilter_hits;
-      stats->exists_semijoin_builds += local.exists_semijoin_builds;
-      stats->bytes_reserved_peak =
-          std::max(stats->bytes_reserved_peak, local.bytes_reserved_peak);
-    }
+    MergeStats(local, stats);
     if (b == 0) {
       combined.column_labels = r.value().column_labels;
     }
@@ -1370,6 +1939,27 @@ Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
   }
   if (stats != nullptr) stats->output_rows = combined.rows.size();
   return combined;
+}
+
+Status ExecutePlannedQueryChunks(const std::vector<const Plan*>& plans,
+                                 const ChunkSink& sink, QueryStats* stats,
+                                 const ExecControl* control) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  // The scratch columns are shared across UNION blocks, so a multi-block
+  // query still reuses one set of buffers.
+  std::vector<std::vector<Value>> scratch;
+  bool stopped = false;
+  for (const Plan* p : plans) {
+    QueryStats local;
+    Status s = ExecutePlanChunks(*p, sink, &local, control, scratch, stopped);
+    MergeStats(local, stats);
+    if (stats != nullptr) stats->output_rows += local.output_rows;
+    if (!s.ok()) return s;
+    if (stopped) break;
+  }
+  return Status::Ok();
 }
 
 Result<QueryResult> ExecuteQuery(const Database& db, const SqlQuery& query,

@@ -158,14 +158,17 @@ constexpr size_t kBitmapMaxRows = size_t{1} << 16;
 // values match on their payload, other values match on their text rendering.
 void BuildRegexBitmap(const Table& table, int col, const rex::Regex& re,
                       RowBitmap& bm) {
-  const std::vector<Row>& rows = table.rows();
+  // Dictionary encoding makes this cheap: the regex runs once per distinct
+  // value, and the verdicts expand over the code vector.
+  const size_t c = static_cast<size_t>(col);
+  const size_t dict_n = table.dict_size(c);
   std::vector<std::string_view> texts;
-  std::vector<RowId> rids;
-  texts.reserve(rows.size());
-  rids.reserve(rows.size());
+  std::vector<uint32_t> text_codes;
+  texts.reserve(dict_n);
+  text_codes.reserve(dict_n);
   std::deque<std::string> formatted;  // stable storage for rendered values
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const Value& v = rows[r][static_cast<size_t>(col)];
+  for (uint32_t code = 0; code < dict_n; ++code) {
+    const Value& v = table.dict_value(c, code);
     if (v.is_null()) continue;
     if (v.type() == ValueType::kString || v.type() == ValueType::kBytes) {
       texts.push_back(v.AsStringLike());
@@ -175,12 +178,17 @@ void BuildRegexBitmap(const Table& table, int col, const rex::Regex& re,
       formatted.push_back(std::move(*t));
       texts.push_back(formatted.back());
     }
-    rids.push_back(static_cast<RowId>(r));
+    text_codes.push_back(code);
   }
-  bm.Reset(rows.size());
   std::vector<bool> hits = re.MatchMany(texts);
-  for (size_t i = 0; i < rids.size(); ++i) {
-    if (hits[i]) bm.Set(rids[i]);
+  std::vector<char> verdict(dict_n, 0);
+  for (size_t i = 0; i < text_codes.size(); ++i) {
+    if (hits[i]) verdict[text_codes[i]] = 1;
+  }
+  bm.Reset(table.row_count());
+  const std::vector<uint32_t>& codes = table.codes(c);
+  for (size_t r = 0; r < codes.size(); ++r) {
+    if (verdict[codes[r]]) bm.Set(static_cast<RowId>(r));
   }
 }
 
@@ -931,6 +939,24 @@ void AnalyzeSemiJoin(const Database& db, Plan& plan, ExprCompiler& comp) {
   plan.semijoin_decorrelated = true;
 }
 
+// Collects the column slots a compiled filter reads. EXISTS nodes are not
+// descended into (their slots belong to the subplan's layout); the flag
+// alone forces the filter onto the per-row path.
+void CollectFilterSlots(const CompiledExpr& e, std::vector<int>& slots,
+                        bool& has_exists) {
+  if (e.kind == SqlExpr::Kind::kColumn) {
+    slots.push_back(e.slot);
+    return;
+  }
+  if (e.kind == SqlExpr::Kind::kExists) {
+    has_exists = true;
+    return;
+  }
+  for (const CompiledExpr* a : e.args) {
+    CollectFilterSlots(*a, slots, has_exists);
+  }
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
@@ -939,6 +965,9 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
   XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("rel.plan_select"));
   auto plan = std::make_unique<Plan>();
   plan->stmt = &stmt;
+  // Correlated subplans run on the executor's row-at-a-time path; top-level
+  // plans (including semi-join build plans) run vectorized.
+  plan->is_subplan = outer != nullptr;
 
   // Layout: outer entries first, then our FROM aliases.
   if (outer != nullptr) {
@@ -1161,6 +1190,36 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
     }
   }
   if (!comp.status.ok()) return comp.status;
+
+  // Classify each residual filter for the batch executor: a filter reading
+  // exactly one column slot (and no subplan) is evaluated once per distinct
+  // dictionary value of that column; everything else runs per row.
+  for (AccessStep& st : plan->steps) {
+    st.cfilter_info.resize(st.cfilters.size());
+    for (size_t fi = 0; fi < st.cfilters.size(); ++fi) {
+      AccessStep::FilterInfo& info = st.cfilter_info[fi];
+      std::vector<int> slots;
+      CollectFilterSlots(*st.cfilters[fi], slots, info.has_exists);
+      std::sort(slots.begin(), slots.end());
+      slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+      if (info.has_exists || slots.size() != 1) continue;
+      const int slot = slots[0];
+      for (size_t oj = 0; oj < plan->steps.size(); ++oj) {
+        const AccessStep& os = plan->steps[oj];
+        const int ncols =
+            static_cast<int>(os.table->schema().columns.size());
+        if (slot >= os.bind_offset && slot < os.bind_offset + ncols) {
+          info.single_slot = slot;
+          info.owner_step = static_cast<int>(oj);
+          info.owner_col = slot - os.bind_offset;
+          break;
+        }
+      }
+      // Correlated slots (subplan filters over outer aliases) find no owner
+      // step here and stay on the per-row path.
+    }
+  }
+
   if (outer != nullptr) AnalyzeSemiJoin(db, *plan, comp);
   if (!comp.status.ok()) return comp.status;
 
@@ -1209,6 +1268,10 @@ std::string Plan::Describe() const {
       }
       os << "]";
     }
+    // Execution mode, so a regression to the scalar path is visible in
+    // EXPLAIN output: every top-level step runs vectorized; EXISTS subplan
+    // steps run row-at-a-time (first-witness short-circuit + memoization).
+    os << (is_subplan ? " exec=row" : " exec=vec");
     os << "\n";
   }
   for (const auto& [expr, sub] : subplans) {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -187,6 +188,19 @@ struct AccessStep {
   // plan's post_filters), so access paths may safely over-approximate.
   std::vector<const SqlExpr*> filters;
   std::vector<const CompiledExpr*> cfilters;
+
+  // Plan-time classification of each cfilter (parallel to `cfilters`),
+  // resolved once so the batch executor can pick its filter strategy without
+  // walking the expression tree per execution. A filter that reads exactly
+  // one column slot (and no subplan) is evaluated once per dictionary code
+  // of that column instead of once per row.
+  struct FilterInfo {
+    int single_slot = -1;  // the only slot read, or -1 if several / none
+    int owner_step = -1;   // step index owning single_slot
+    int owner_col = -1;    // column of single_slot in the owner's table
+    bool has_exists = false;  // contains an EXISTS: always row-at-a-time
+  };
+  std::vector<FilterInfo> cfilter_info;
 };
 
 // A compiled SELECT block. Owns compiled regexes, subquery plans and the
@@ -227,6 +241,12 @@ struct Plan {
   // Outer slots referenced anywhere in this block (including by nested
   // subplans); parents use this as the EXISTS memoization key.
   std::vector<int> correlated_slots;
+
+  // True for EXISTS subplans: they run row-at-a-time (first-witness
+  // short-circuit + memoization beat batching there), while every top-level
+  // plan — including semi-join build plans — runs vectorized. Describe()
+  // reports the mode per step.
+  bool is_subplan = false;
 
   // ---- Decorrelated EXISTS (build-once semi-join) ----
   // An EXISTS subplan whose every correlated conjunct is either an equality
@@ -293,14 +313,26 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
 // Status::DeadlineExceeded instead of a result. The object is read-only to
 // the executor and may be shared across the UNION blocks of one query; it
 // must outlive the execution.
+// Rows per executor batch when ExecControl does not override it. 1K rows
+// keeps a batch's row-id columns and projection scratch comfortably inside
+// L2 while amortizing per-batch costs (control probe, budget charge, fault
+// point) to noise.
+inline constexpr uint32_t kDefaultBatchSize = 1024;
+
 struct ExecControl {
   const std::atomic<bool>* cancel = nullptr;  // set to true to cancel
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
-  // Rows enumerated between checks. The per-row cost of an armed control is
-  // one counter increment; the clock is only read every `check_interval`
+  // Rows enumerated between checks. Batch execution accumulates whole-batch
+  // row counts into the same counter, so the configured cadence holds
+  // regardless of batch size; the clock is only read every `check_interval`
   // rows, so small values tighten latency and large values tighten overhead.
   uint32_t check_interval = 1024;
+
+  // Rows per executor batch; 0 uses kDefaultBatchSize. Values are clamped to
+  // [1, 65536]. Exposed mainly for tests that sweep batch-boundary edge
+  // cases; the default is right for production use.
+  uint32_t batch_size = 0;
 
   // Optional memory budget for this execution's transient state: hash-join
   // builds, EXISTS memos, semi-join key sets, merge-join outer batches,
@@ -339,6 +371,12 @@ struct QueryStats {
   // UNION-block runs share one budget.
   size_t bytes_reserved_peak = 0;
   size_t output_rows = 0;
+  // Batches handed to the result sink (vectorized executor only; EXISTS
+  // subplans run row-at-a-time and emit no batches).
+  size_t batches_emitted = 0;
+  // Effective rows-per-batch this execution ran with (kDefaultBatchSize
+  // unless ExecControl overrode it); 0 if nothing executed.
+  uint32_t batch_size = 0;
 };
 
 struct QueryResult {
@@ -368,6 +406,30 @@ Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
                                         QueryStats* stats = nullptr,
                                         bool need_ordered_rows = true,
                                         const ExecControl* control = nullptr);
+
+// A batch of result rows handed to a ChunkSink: `columns[c][r]` for
+// c < column_count, r < rows. The vectors are owned by the executor and
+// reused across batches — a sink must copy out what it keeps.
+struct RowChunk {
+  const std::vector<Value>* columns = nullptr;
+  size_t column_count = 0;
+  size_t rows = 0;
+};
+
+// Returns false to stop the execution early (surfaces as an OK, truncated
+// consumption — the executor stops feeding, not an error).
+using ChunkSink = std::function<bool(const RowChunk&)>;
+
+// Streaming execution of a planned UNION: every block's result rows are fed
+// to `sink` in batches, without materializing Rows, without ORDER BY, and
+// without DISTINCT/UNION dedup — for callers that post-process the result
+// set anyway (the XPath engine sorts + dedups node ids, so executor-side
+// dedup of id rows is wasted work on its path). Same concurrency contract
+// as ExecutePlannedQuery.
+Status ExecutePlannedQueryChunks(const std::vector<const Plan*>& plans,
+                                 const ChunkSink& sink,
+                                 QueryStats* stats = nullptr,
+                                 const ExecControl* control = nullptr);
 
 // Convenience: plan + execute a full query (UNION of selects). UNION applies
 // set semantics; ORDER BY of the first block orders the combined result (the

@@ -14,6 +14,7 @@ int TableSchema::ColumnIndex(std::string_view column) const {
 }
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  cols_.resize(schema_.columns.size());
   indexes_.reserve(schema_.indexes.size());
   for (size_t i = 0; i < schema_.indexes.size(); ++i) {
     indexes_.push_back(std::make_unique<BTree>());
@@ -27,7 +28,7 @@ Status Table::Insert(Row row) {
                                    " values, expected " +
                                    std::to_string(schema_.columns.size()));
   }
-  RowId id = static_cast<RowId>(rows_.size());
+  RowId id = static_cast<RowId>(row_count_);
   for (size_t i = 0; i < schema_.indexes.size(); ++i) {
     const IndexDef& def = schema_.indexes[i];
     std::string key;
@@ -41,7 +42,14 @@ Status Table::Insert(Row row) {
     }
     indexes_[i]->Insert(key, id);
   }
-  rows_.push_back(std::move(row));
+  for (size_t c = 0; c < row.size(); ++c) {
+    ColumnData& col = cols_[c];
+    auto [it, inserted] =
+        col.intern.try_emplace(row[c], static_cast<uint32_t>(col.dict.size()));
+    if (inserted) col.dict.push_back(std::move(row[c]));
+    col.codes.push_back(it->second);
+  }
+  ++row_count_;
   return Status::Ok();
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -34,8 +35,17 @@ struct TableSchema {
   int ColumnIndex(std::string_view column) const;
 };
 
-// A heap table plus its B+-tree indexes. Rows are identified by insertion
-// order (RowId). Append-only, like the paper's bulk-loaded document store.
+// A column-major table plus its B+-tree indexes. Rows are identified by
+// insertion order (RowId). Append-only, like the paper's bulk-loaded
+// document store.
+//
+// Each column is dictionary-encoded: a dense uint32 code per row plus a
+// dictionary of the distinct values. The dictionary gives three things the
+// batch executor leans on: (1) stable `Value` addresses during execution, so
+// slot bindings stay copy-free `const Value*`s; (2) per-distinct-value
+// predicate evaluation (a filter over a batch only evaluates once per
+// dictionary code, not once per row); (3) a compact 4-byte-per-cell code
+// vector that scans touch instead of 40-byte Values.
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -46,13 +56,28 @@ class Table {
 
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name; }
-  size_t row_count() const { return rows_.size(); }
+  size_t row_count() const { return row_count_; }
 
   // Appends a row (must match the column count) and maintains all indexes.
   Status Insert(Row row);
 
-  const Row& row(RowId id) const { return rows_[id]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  // Cell access. The returned reference points into the column dictionary
+  // and stays valid until the next Insert (tables are load-once before
+  // queries run, so executions never race an append).
+  const Value& at(RowId id, size_t col) const {
+    const ColumnData& c = cols_[col];
+    return c.dict[c.codes[id]];
+  }
+
+  // Dictionary access for the batch executor's memoized filters.
+  uint32_t code(RowId id, size_t col) const { return cols_[col].codes[id]; }
+  const std::vector<uint32_t>& codes(size_t col) const {
+    return cols_[col].codes;
+  }
+  size_t dict_size(size_t col) const { return cols_[col].dict.size(); }
+  const Value& dict_value(size_t col, uint32_t code) const {
+    return cols_[col].dict[code];
+  }
 
   // Index whose column list *starts with* the given columns, or nullptr.
   // The planner uses this to find an index scannable for a bound prefix.
@@ -66,8 +91,17 @@ class Table {
   size_t TotalIndexEntries() const;
 
  private:
+  struct ColumnData {
+    std::vector<uint32_t> codes;
+    std::vector<Value> dict;
+    // Owned copies of the distinct values -> dictionary code. Only touched
+    // at load time.
+    std::unordered_map<Value, uint32_t, ValueHash> intern;
+  };
+
   TableSchema schema_;
-  std::vector<Row> rows_;
+  std::vector<ColumnData> cols_;  // parallel to schema_.columns
+  size_t row_count_ = 0;
   std::vector<std::unique_ptr<BTree>> indexes_;  // parallel to schema_.indexes
 };
 

@@ -525,20 +525,22 @@ bool Regex::Matches(std::string_view text) const {
 std::vector<bool> Regex::MatchMany(
     const std::vector<std::string_view>& texts) const {
   std::vector<bool> out(texts.size(), false);
-  std::vector<int> current, next;
-  std::vector<uint32_t> mark(states_.size(), 0);
-  uint32_t gen = 1;
+  BatchMatcher m(*this);
   for (size_t i = 0; i < texts.size(); ++i) {
-    // The generation counter advances once per consumed byte; guard against
-    // wraparound on absurdly large batches by resetting the marks.
-    if (gen > 0xF0000000u) {
-      std::fill(mark.begin(), mark.end(), 0u);
-      gen = 1;
-    }
-    out[i] = RunWith(texts[i], /*anchored_start=*/false, current, next, mark,
-                     gen);
+    out[i] = m.Match(texts[i]);
   }
   return out;
+}
+
+bool BatchMatcher::Match(std::string_view text) {
+  // The generation counter advances once per consumed byte; guard against
+  // wraparound on long-lived matchers by resetting the marks.
+  if (gen_ > 0xF0000000u) {
+    std::fill(mark_.begin(), mark_.end(), 0u);
+    gen_ = 1;
+  }
+  return re_->RunWith(text, /*anchored_start=*/false, current_, next_, mark_,
+                      gen_);
 }
 
 bool Regex::FullMatch(std::string_view text) const {

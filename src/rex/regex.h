@@ -28,6 +28,8 @@ namespace xprel::rex {
 // This class stands in for Oracle 10g's REGEXP_LIKE in the relational
 // engine: Matches() has substring-search semantics (the pattern may match
 // anywhere unless anchored), exactly like REGEXP_LIKE(text, pattern).
+class BatchMatcher;
+
 class Regex {
  public:
   static Result<Regex> Compile(std::string_view pattern);
@@ -84,6 +86,30 @@ class Regex {
   std::string pattern_;
   std::vector<State> states_;
   int start_ = 0;
+
+  friend class BatchMatcher;
+};
+
+// A reusable matching context bound to one Regex. The NFA state lists are
+// allocated once at construction and reused across Match() calls, so
+// evaluating a pattern over a stream of texts (the batch executor's
+// REGEXP_LIKE filters) costs only the simulation per call — MatchMany with
+// the batching turned inside out, for callers that produce their texts
+// incrementally. Not thread-safe: create one per execution. The Regex must
+// outlive the matcher.
+class BatchMatcher {
+ public:
+  explicit BatchMatcher(const Regex& re)
+      : re_(&re), mark_(re.states_.size(), 0) {}
+
+  // Matches(text) with REGEXP_LIKE substring semantics.
+  bool Match(std::string_view text);
+
+ private:
+  const Regex* re_;
+  std::vector<int> current_, next_;
+  std::vector<uint32_t> mark_;
+  uint32_t gen_ = 1;
 };
 
 }  // namespace xprel::rex

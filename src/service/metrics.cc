@@ -45,6 +45,7 @@ std::string MetricsRegistry::Dump() const {
       "requests: submitted=%llu completed=%llu rejected=%llu cancelled=%llu "
       "timed_out=%llu resource_exhausted=%llu errors=%llu\n"
       "result cache: hits=%llu misses=%llu hit_rate=%.1f%%\n"
+      "executor: batches_emitted=%llu\n"
       "memory: used=%llu peak=%llu\n",
       static_cast<unsigned long long>(submitted.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(completed.load(std::memory_order_relaxed)),
@@ -58,6 +59,8 @@ std::string MetricsRegistry::Dump() const {
       static_cast<unsigned long long>(
           cache_misses.load(std::memory_order_relaxed)),
       100.0 * CacheHitRate(),
+      static_cast<unsigned long long>(
+          batches_emitted.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(mem_used.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(mem_peak.load(std::memory_order_relaxed)));
   std::string out = buf;

@@ -67,6 +67,12 @@ class MetricsRegistry {
   // separately from `rejected`, which is admission-queue overflow.
   std::atomic<uint64_t> resource_exhausted{0};
 
+  // Cumulative batches the vectorized executor handed to result sinks
+  // across all completed (uncached) queries; batches / completed ≈ batches
+  // per query, a rough read on how well the batch pipeline amortizes
+  // per-batch costs at the serving layer.
+  std::atomic<uint64_t> batches_emitted{0};
+
   // Gauges sampled from the service-wide memory budget after each query:
   // bytes currently reserved and the high-water mark since startup.
   std::atomic<uint64_t> mem_used{0};

@@ -139,6 +139,8 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
       cache_.Put(key, std::move(entry));
     }
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.batches_emitted.fetch_add(outcome.stats.batches_emitted,
+                                       std::memory_order_relaxed);
     QueryResponse resp;
     resp.nodes = std::move(outcome.nodes);
     resp.stats = outcome.stats;

@@ -151,6 +151,12 @@ TEST_F(JoinEngineTest, AncestorQueryUsesAllThreeSubstrates) {
   EXPECT_NE(plan.value().find("HashProbe("), std::string::npos)
       << plan.value();
   EXPECT_NE(plan.value().find("bitmap ("), std::string::npos) << plan.value();
+  // The plan header reports the executor batch size, and every step says
+  // whether it runs vectorized or falls back to row-at-a-time, so scalar
+  // regressions are visible in sql_explorer.
+  EXPECT_NE(plan.value().find("batch size: 1024"), std::string::npos)
+      << plan.value();
+  EXPECT_NE(plan.value().find("exec=vec"), std::string::npos) << plan.value();
 
   auto out = engine_->Run(engine::Backend::kPpf, q);
   ASSERT_TRUE(out.ok()) << out.status().ToString();

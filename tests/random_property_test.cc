@@ -222,15 +222,22 @@ TEST_P(RandomPropertyTest, AllBackendsMatchOracle) {
 
   QueryGen gen(seed * 7919 + 13);
   int checked = 0;
+  // Rotate the executor batch size per query so the sweep hits batch-
+  // boundary edge cases: 1 (every batch is a partial final batch), 3
+  // (misaligned with every join fan-out), 64, 4096 (most queries fit one
+  // batch) and 0 (the production default).
+  constexpr uint32_t kBatchSizes[] = {0, 1, 3, 64, 4096};
   for (int q = 0; q < 60; ++q) {
     std::string xpath = gen.Query(4, /*allow_predicates=*/true);
     auto expected = oracle.EvaluateString(xpath);
     if (!expected.ok()) continue;  // oracle-unsupported shape
+    rel::ExecControl control;
+    control.batch_size = kBatchSizes[q % 5];
     for (engine::Backend b :
          {engine::Backend::kPpf, engine::Backend::kEdgePpf,
           engine::Backend::kAccelerator, engine::Backend::kStaircase,
           engine::Backend::kNaive}) {
-      auto actual = engine.value()->Run(b, xpath);
+      auto actual = engine.value()->Run(b, xpath, &control);
       if (!actual.ok()) {
         // Backends may reject unsupported shapes, never mis-answer.
         EXPECT_EQ(actual.status().code(), StatusCode::kUnsupported)
@@ -243,8 +250,12 @@ TEST_P(RandomPropertyTest, AllBackendsMatchOracle) {
       ++checked;
       // Run again: the second execution reuses the cached plan and must
       // agree (guards the plan cache and the per-execution EXISTS memo /
-      // hash-table state against leaking between runs).
-      auto again = engine.value()->Run(b, xpath);
+      // hash-table state against leaking between runs). It also runs at a
+      // different batch size than the first, so batch-spanning dedup and
+      // partial final batches cannot change the answer.
+      rel::ExecControl recontrol;
+      recontrol.batch_size = kBatchSizes[(q + 2) % 5];
+      auto again = engine.value()->Run(b, xpath, &recontrol);
       ASSERT_TRUE(again.ok()) << xpath << " on " << BackendName(b)
                               << " (cached): " << again.status().ToString();
       EXPECT_EQ(expected.value(), again.value().nodes)
