@@ -6,7 +6,11 @@
 // backend and writes BENCH_micro.json (one record per query: id, backend,
 // avg ms, result nodes, rows_scanned, index_probes, EXISTS-memo hits and
 // misses) so successive PRs have a machine-readable perf trajectory.
-// Knobs: XPREL_REPS, XPREL_XMARK_SMALL_SCALE (see bench/harness.h).
+// `--threads=N` runs each query with N-way intra-query morsel parallelism
+// (default 1 = serial); `--scale=F` overrides the corpus scale. Both are
+// recorded in every JSON record so check_regression.py can refuse to
+// compare runs taken under different configurations.
+// Env knobs: XPREL_REPS, XPREL_XMARK_SMALL_SCALE (see bench/harness.h).
 
 #include <benchmark/benchmark.h>
 
@@ -18,7 +22,9 @@
 #include "encoding/dewey.h"
 #include "rel/btree.h"
 #include "rel/key_codec.h"
+#include "rel/query.h"
 #include "rex/regex.h"
+#include "service/thread_pool.h"
 
 namespace xprel {
 namespace {
@@ -118,10 +124,24 @@ namespace {
 
 // --json mode: per-query timing + executor counters on the PPF backend,
 // written to BENCH_micro.json.
-int RunJsonMode() {
+int RunJsonMode(int threads, double scale_override) {
   int reps = EnvInt("XPREL_REPS", 3);
-  double scale = EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+  double scale = scale_override > 0
+                     ? scale_override
+                     : EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+  if (threads < 1) threads = 1;
   auto corpus = BuildXMark("XMark small", scale);
+
+  // threads > 1: morsels fan out over a pool via the helper lane; the
+  // timing thread itself always drains morsels too (caller-runs), so a
+  // pool of threads-1 helpers yields N-way execution.
+  service::ThreadPool pool(threads > 1 ? threads - 1 : 1);
+  rel::ExecControl control;
+  if (threads > 1) {
+    control.runner = &pool.intra_runner();
+    control.parallelism = threads;
+  }
+  const rel::ExecControl* ctl = threads > 1 ? &control : nullptr;
 
   FILE* f = std::fopen("BENCH_micro.json", "w");
   if (f == nullptr) {
@@ -143,9 +163,9 @@ int RunJsonMode() {
     bool ok = true;
     // One untimed warm-up run per query so the timed reps measure
     // steady-state execution (plan cache warm), not one-off translate+plan.
-    { auto warm = corpus->engine->Run(engine::Backend::kPpf, q.xpath); }
+    { auto warm = corpus->engine->Run(engine::Backend::kPpf, q.xpath, ctl); }
     for (int r = 0; r < reps; ++r) {
-      auto out = corpus->engine->Run(engine::Backend::kPpf, q.xpath);
+      auto out = corpus->engine->Run(engine::Backend::kPpf, q.xpath, ctl);
       if (!out.ok()) {
         std::fprintf(stderr, "%s: %s\n", q.id, out.status().ToString().c_str());
         ok = false;
@@ -170,13 +190,13 @@ int RunJsonMode() {
     std::fprintf(
         f,
         "  {\"query\": \"%s\", \"backend\": \"PPF\", \"scale\": %g, "
-        "\"ms\": %.4f, "
+        "\"threads\": %d, \"ms\": %.4f, "
         "\"nodes\": %zu, \"rows_scanned\": %zu, \"index_probes\": %zu, "
         "\"exists_cache_hits\": %zu, \"exists_cache_misses\": %zu, "
         "\"hash_join_probes\": %zu, \"merge_join_rounds\": %zu, "
         "\"bitmap_prefilter_hits\": %zu, \"exists_semijoin_builds\": %zu, "
         "\"batches_emitted\": %zu, \"batch_size\": %u}%s\n",
-        q.id, scale, ms, last.nodes.size(), last.stats.rows_scanned,
+        q.id, scale, threads, ms, last.nodes.size(), last.stats.rows_scanned,
         last.stats.index_probes, last.stats.exists_cache_hits,
         last.stats.exists_cache_misses, last.stats.hash_join_probes,
         last.stats.merge_join_rounds, last.stats.bitmap_prefilter_hits,
@@ -186,8 +206,10 @@ int RunJsonMode() {
   std::fprintf(f, "]\n");
   std::fclose(f);
   if (timed > 0) {
-    std::printf("geomean ms: %.3f over %d queries (avg of %d reps)\n",
-                std::exp(log_ms_sum / timed), timed, reps);
+    std::printf("geomean ms: %.3f over %d queries (avg of %d reps, "
+                "%d thread%s)\n",
+                std::exp(log_ms_sum / timed), timed, reps, threads,
+                threads == 1 ? "" : "s");
   }
   std::printf("wrote BENCH_micro.json\n");
   return 0;
@@ -198,11 +220,23 @@ int RunJsonMode() {
 }  // namespace xprel
 
 int main(int argc, char** argv) {
+  bool json = false;
+  int threads = 1;
+  double scale = 0;  // 0 = env default
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      return xprel::bench::RunJsonMode();
+      json = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    } else {
+      argv[kept++] = argv[i];  // leave the rest for google-benchmark
     }
   }
+  argc = kept;
+  if (json) return xprel::bench::RunJsonMode(threads, scale);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

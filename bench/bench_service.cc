@@ -9,19 +9,32 @@
 // checks the control paths: a cancelled and a deadline-expired request must
 // come back as error statuses without wedging a pool slot.
 //
-// Knobs: XPREL_XMARK_SMALL_SCALE (corpus; must match the baseline's),
+// A scaling-curve phase then measures uncached single-stream latency with
+// 1/2/4/8-way intra-query morsel parallelism (geomean ms over the mix,
+// node sets checked against serial) and records it under "scaling" —
+// big-document latency, not cached QPS, is the production headline.
+//
+// Flags: --threads=N sets ServiceOptions::parallelism for the throughput
+// passes (0 = auto = pool width); --scale=F overrides the corpus scale.
+// Both land in BENCH_service.json so check_regression.py can refuse
+// cross-configuration comparisons.
+// Env knobs: XPREL_XMARK_SMALL_SCALE (corpus; must match the baseline's),
 // XPREL_REPS (serial passes over the mix), XPREL_SERVICE_CLIENTS,
 // XPREL_SERVICE_REPS (mix replays per client).
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench/harness.h"
+#include "rel/query.h"
 #include "service/query_service.h"
+#include "service/thread_pool.h"
 
 namespace xprel::bench {
 namespace {
@@ -142,11 +155,53 @@ bool CheckControlPaths(const engine::XPathEngine& eng) {
   return true;
 }
 
-int RunBench() {
+// Uncached single-stream latency with `threads`-way intra-query morsel
+// parallelism: geomean over the mix of per-query average ms. Every run's
+// node set is checked against the serial `expected` sets — a scaling curve
+// that changes answers measures nothing.
+double ScalingGeomeanMs(const engine::XPathEngine& eng, int threads, int reps,
+                        const std::vector<std::vector<xml::NodeId>>& expected,
+                        std::atomic<size_t>& mismatches) {
+  // The timing thread drains morsels itself (caller-runs), so threads-1
+  // pool helpers give threads-way execution.
+  service::ThreadPool pool(threads > 1 ? threads - 1 : 1);
+  rel::ExecControl control;
+  if (threads > 1) {
+    control.runner = &pool.intra_runner();
+    control.parallelism = threads;
+  }
+  const rel::ExecControl* ctl = threads > 1 ? &control : nullptr;
+  double log_sum = 0;
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    double total = 0;
+    for (int r = 0; r < reps; ++r) {
+      auto out = eng.Run(engine::Backend::kPpf, kXMarkQueries[i].xpath, ctl);
+      if (!out.ok()) {
+        std::fprintf(stderr, "scaling t%d %s: %s\n", threads,
+                     kXMarkQueries[i].id, out.status().ToString().c_str());
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      total += out.value().elapsed_ms;
+      if (r == 0 && out.value().nodes != expected[i]) {
+        std::fprintf(stderr, "scaling t%d %s: node set diverged from serial\n",
+                     threads, kXMarkQueries[i].id);
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    double ms = total / reps;
+    log_sum += std::log(ms > 1e-6 ? ms : 1e-6);
+  }
+  return std::exp(log_sum / static_cast<double>(kNumQueries));
+}
+
+int RunBench(int threads, double scale_override) {
   int reps = EnvInt("XPREL_REPS", 3);
   int clients = EnvInt("XPREL_SERVICE_CLIENTS", 8);
   int client_reps = EnvInt("XPREL_SERVICE_REPS", 4);
-  double scale = EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+  double scale = scale_override > 0
+                     ? scale_override
+                     : EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
   auto corpus = BuildXMark("XMark small", scale);
   const engine::XPathEngine& eng = *corpus->engine;
 
@@ -162,6 +217,7 @@ int RunBench() {
   service::ServiceOptions opt;
   opt.workers = 8;
   opt.queue_capacity = 256;
+  opt.parallelism = threads;  // 0 = auto (pool width)
   std::atomic<size_t> mismatches{0};
 
   service::QueryService svc(eng, opt);
@@ -179,6 +235,15 @@ int RunBench() {
   timed_out += uncached.metrics().timed_out.load(std::memory_order_relaxed);
 
   bool control_ok = CheckControlPaths(eng);
+
+  // Scaling curve: uncached single-stream geomean latency at 1/2/4/8-way
+  // intra-query parallelism.
+  constexpr int kScalingThreads[] = {1, 2, 4, 8};
+  double scaling_ms[4];
+  for (size_t t = 0; t < 4; ++t) {
+    scaling_ms[t] =
+        ScalingGeomeanMs(eng, kScalingThreads[t], reps, expected, mismatches);
+  }
   size_t bad = mismatches.load();
 
   double speedup = service_qps / serial_qps;
@@ -187,12 +252,18 @@ int RunBench() {
               speedup);
   std::printf("service (bypass):  %8.1f QPS  -> %.2fx serial\n", uncached_qps,
               uncached_qps / serial_qps);
-  std::printf("clients=%d workers=%d cache_hit_rate=%.1f%% rejected=%llu "
-              "timed_out=%llu mismatches=%zu control_ok=%d\n",
-              clients, opt.workers, 100.0 * hit_rate,
+  std::printf("clients=%d workers=%d threads=%d cache_hit_rate=%.1f%% "
+              "rejected=%llu timed_out=%llu mismatches=%zu control_ok=%d\n",
+              clients, opt.workers, threads, 100.0 * hit_rate,
               static_cast<unsigned long long>(rejected),
               static_cast<unsigned long long>(timed_out), bad,
               control_ok ? 1 : 0);
+  std::printf("scaling (uncached geomean ms):");
+  for (size_t t = 0; t < 4; ++t) {
+    std::printf("  %dT %.3f (%.2fx)", kScalingThreads[t], scaling_ms[t],
+                scaling_ms[0] / (scaling_ms[t] > 1e-9 ? scaling_ms[t] : 1e-9));
+  }
+  std::printf("\n");
   std::puts(svc.DumpMetrics().c_str());
 
   FILE* f = std::fopen("BENCH_service.json", "w");
@@ -204,6 +275,7 @@ int RunBench() {
       f,
       "{\n"
       "  \"scale\": %g,\n"
+      "  \"threads\": %d,\n"
       "  \"workers\": %d,\n"
       "  \"clients\": %d,\n"
       "  \"queries\": %zu,\n"
@@ -215,13 +287,16 @@ int RunBench() {
       "  \"rejected\": %llu,\n"
       "  \"timed_out\": %llu,\n"
       "  \"mismatches\": %zu,\n"
-      "  \"control_paths_ok\": %s\n"
+      "  \"control_paths_ok\": %s,\n"
+      "  \"scaling\": {\"t1\": %.4f, \"t2\": %.4f, \"t4\": %.4f, "
+      "\"t8\": %.4f}\n"
       "}\n",
-      scale, opt.workers, clients, kNumQueries, serial_qps, service_qps,
-      uncached_qps, speedup, hit_rate,
+      scale, threads, opt.workers, clients, kNumQueries, serial_qps,
+      service_qps, uncached_qps, speedup, hit_rate,
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(timed_out), bad,
-      control_ok ? "true" : "false");
+      control_ok ? "true" : "false", scaling_ms[0], scaling_ms[1],
+      scaling_ms[2], scaling_ms[3]);
   std::fclose(f);
   std::printf("wrote BENCH_service.json\n");
   return (bad == 0 && control_ok) ? 0 : 1;
@@ -230,4 +305,19 @@ int RunBench() {
 }  // namespace
 }  // namespace xprel::bench
 
-int main() { return xprel::bench::RunBench(); }
+int main(int argc, char** argv) {
+  int threads = 0;   // 0 = auto (pool width)
+  double scale = 0;  // 0 = env default
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (expected --threads=N or "
+                   "--scale=F)\n", argv[i]);
+      return 2;
+    }
+  }
+  return xprel::bench::RunBench(threads, scale);
+}

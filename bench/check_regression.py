@@ -15,6 +15,18 @@ throughput (QPS) regresses by more than --threshold, when any request was
 rejected or timed out at the default load, or when a response diverged
 from the serial node sets.
 
+Both comparison modes refuse to compare runs taken at different corpus
+scales or intra-query thread counts (--scale / --threads on the bench
+binaries) — mismatched configurations measure nothing.
+
+Scaling mode (--scaling): gates the intra-query morsel-parallelism curve
+recorded in BENCH_service.json. The 4-thread uncached geomean must be at
+least --scaling-min (default 2.0) times faster than 1-thread, and the
+1-thread geomean must not regress more than --serial-threshold (default
+10%) vs the committed baseline. The speedup half is enforced only on
+hosts with >= 4 cores — with fewer cores the caller-runs fallback
+serializes morsels and the target is physically unreachable.
+
 Tsan mode (--tsan): runs the executor test targets (shared cached plans
 under concurrent execution) from the `tsan` preset build, so batch-local
 executor state is proven re-entrant by ThreadSanitizer on every gate run.
@@ -30,6 +42,7 @@ Usage:
   bench/check_regression.py --candidate build/bench/BENCH_micro.json
   bench/check_regression.py --service --candidate BENCH_service.json
   bench/check_regression.py --service --bench-bin build/bench/bench_service
+  bench/check_regression.py --scaling --candidate BENCH_service.json
   bench/check_regression.py --hardening
   bench/check_regression.py --hardening --hardening-bin build-fault/tests/hardening_test
   bench/check_regression.py --tsan
@@ -90,16 +103,19 @@ def check_micro(args):
     shared = sorted(set(baseline) & set(candidate))
 
     # Timings and node counts are only comparable at the same corpus scale
-    # (XPREL_XMARK_SMALL_SCALE). Older baselines predate the field.
-    scale_diffs = [q for q in shared
-                   if "scale" in baseline[q] and "scale" in candidate[q]
-                   and baseline[q]["scale"] != candidate[q]["scale"]]
-    if scale_diffs:
-        q = scale_diffs[0]
-        print(f"FAIL: corpus scale mismatch ({candidate[q]['scale']} vs "
-              f"baseline {baseline[q]['scale']}); set "
-              f"XPREL_XMARK_SMALL_SCALE to the baseline's scale.")
-        return 1
+    # (XPREL_XMARK_SMALL_SCALE / --scale) and the same intra-query thread
+    # count (--threads). Older baselines predate the fields.
+    for field, knob in (("scale", "--scale (or XPREL_XMARK_SMALL_SCALE)"),
+                        ("threads", "--threads")):
+        diffs = [q for q in shared
+                 if field in baseline[q] and field in candidate[q]
+                 and baseline[q][field] != candidate[q][field]]
+        if diffs:
+            q = diffs[0]
+            print(f"FAIL: {field} mismatch ({candidate[q][field]} vs "
+                  f"baseline {baseline[q][field]}); rerun with {knob} set "
+                  f"to the baseline's value.")
+            return 1
 
     mismatched = [q for q in shared
                   if baseline[q]["nodes"] != candidate[q]["nodes"]]
@@ -143,7 +159,16 @@ def check_service(args):
     if baseline.get("scale") != candidate.get("scale"):
         print(f"FAIL: corpus scale mismatch ({candidate.get('scale')} vs "
               f"baseline {baseline.get('scale')}); set "
-              f"XPREL_XMARK_SMALL_SCALE to the baseline's scale.")
+              f"XPREL_XMARK_SMALL_SCALE (or --scale) to the baseline's "
+              f"scale.")
+        fail = True
+    # Throughput is only comparable at the same intra-query parallelism
+    # setting. Absent on either side = older record, not an error.
+    if ("threads" in baseline and "threads" in candidate
+            and baseline["threads"] != candidate["threads"]):
+        print(f"FAIL: threads mismatch ({candidate['threads']} vs baseline "
+              f"{baseline['threads']}); rerun bench_service with --threads "
+              f"set to the baseline's value.")
         fail = True
     # At the default closed-loop load the admission queue is far larger than
     # the client count and no deadlines are set, so any rejection or timeout
@@ -174,6 +199,71 @@ def check_service(args):
             fail = True
     print(f"speedup over serial: baseline {baseline.get('speedup', 0):.2f}x, "
           f"candidate {candidate.get('speedup', 0):.2f}x")
+    if fail:
+        return 1
+    print("OK")
+    return 0
+
+
+def check_scaling(args):
+    """Gates the intra-query scaling curve in BENCH_service.json: the
+    4-thread uncached geomean must be at least --scaling-min times faster
+    than the 1-thread geomean, and the 1-thread (serial) geomean must not
+    regress more than --serial-threshold vs. the committed baseline. On a
+    host with fewer than 4 cores the speedup target is physically
+    unreachable (the caller-runs fallback degrades every morsel to the
+    submitting thread), so the ratio is reported but only the serial
+    non-regression half of the gate is enforced."""
+    baseline = load_obj(args.baseline)
+    if args.candidate:
+        candidate = load_obj(args.candidate)
+    else:
+        candidate = run_bench(args.bench_bin, "BENCH_service.json", [])
+
+    scaling = candidate.get("scaling")
+    if not scaling or "t1" not in scaling or "t4" not in scaling:
+        print("FAIL: no scaling curve in candidate record (regenerate "
+              "BENCH_service.json with the current bench_service)")
+        return 1
+
+    fail = False
+    t1, t4 = scaling["t1"], scaling["t4"]
+    ratio = t1 / max(t4, 1e-6)
+    for key in sorted(scaling):
+        print(f"scaling {key}: {scaling[key]:.3f} ms geomean "
+              f"(x{t1 / max(scaling[key], 1e-6):.2f} vs t1)")
+    cores = os.cpu_count() or 1
+    if ratio < args.scaling_min:
+        if cores < 4:
+            print(f"SKIP speedup half of the gate: host has {cores} core(s); "
+                  f"4-thread execution cannot beat 1-thread here "
+                  f"(measured x{ratio:.2f}, want >= x{args.scaling_min:.2f} "
+                  f"on a >=4-core host)")
+        else:
+            print(f"FAIL: 4-thread speedup x{ratio:.2f} < "
+                  f"x{args.scaling_min:.2f} over 1-thread")
+            fail = True
+    else:
+        print(f"4-thread speedup: x{ratio:.2f} (>= x{args.scaling_min:.2f})")
+
+    base_scaling = baseline.get("scaling")
+    if base_scaling and "t1" in base_scaling:
+        if baseline.get("scale") != candidate.get("scale"):
+            print(f"FAIL: corpus scale mismatch ({candidate.get('scale')} vs "
+                  f"baseline {baseline.get('scale')}); serial comparison "
+                  f"would be meaningless.")
+            fail = True
+        else:
+            serial_ratio = t1 / max(base_scaling["t1"], 1e-6)
+            print(f"serial (t1) geomean: {base_scaling['t1']:.3f} -> "
+                  f"{t1:.3f} ms (x{serial_ratio:.2f})")
+            if serial_ratio > 1.0 + args.serial_threshold:
+                print(f"FAIL: serial geomean regressed more than "
+                      f"{args.serial_threshold:.0%}")
+                fail = True
+    else:
+        print("note: baseline has no scaling record (predates the curve); "
+              "serial non-regression check skipped")
     if fail:
         return 1
     print("OK")
@@ -246,6 +336,15 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--service", action="store_true",
                     help="gate BENCH_service.json instead of BENCH_micro.json")
+    ap.add_argument("--scaling", action="store_true",
+                    help="gate the intra-query scaling curve in "
+                         "BENCH_service.json (4-thread vs 1-thread geomean)")
+    ap.add_argument("--scaling-min", type=float, default=2.0,
+                    help="required 4-thread speedup over 1-thread "
+                         "(default 2.0; enforced on hosts with >= 4 cores)")
+    ap.add_argument("--serial-threshold", type=float, default=0.10,
+                    help="allowed fractional regression of the 1-thread "
+                         "scaling geomean vs the baseline (default 0.10)")
     ap.add_argument("--hardening", action="store_true",
                     help="run the fault-injection hardening gate instead of "
                          "a bench comparison")
@@ -279,13 +378,16 @@ def main():
     if args.tsan:
         return check_tsan(args)
 
-    name = "BENCH_service.json" if args.service else "BENCH_micro.json"
-    binname = "bench_service" if args.service else "bench_micro"
+    service_like = args.service or args.scaling
+    name = "BENCH_service.json" if service_like else "BENCH_micro.json"
+    binname = "bench_service" if service_like else "bench_micro"
     if args.baseline is None:
         args.baseline = os.path.join(REPO_ROOT, name)
     if args.bench_bin is None:
         args.bench_bin = os.path.join(REPO_ROOT, "build", "bench", binname)
 
+    if args.scaling:
+        return check_scaling(args)
     return check_service(args) if args.service else check_micro(args)
 
 

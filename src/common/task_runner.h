@@ -1,0 +1,34 @@
+#ifndef XPREL_COMMON_TASK_RUNNER_H_
+#define XPREL_COMMON_TASK_RUNNER_H_
+
+#include <functional>
+
+namespace xprel {
+
+// Minimal scheduling interface the executor uses to fan one query out over
+// worker threads without depending on the serving layer (src/rel cannot link
+// src/service). Implementations must be safe to call from any thread,
+// including from inside a task the runner itself is executing — the morsel
+// scheduler submits nested work from pooled threads.
+//
+// TrySubmit is allowed to refuse (return false) at any time; callers must
+// treat a refusal as "run it yourself" (caller-runs fallback), never as an
+// error. That contract is what makes nested submission deadlock-free: a
+// saturated pool degrades to serial execution on the submitting thread.
+class TaskRunner {
+ public:
+  virtual ~TaskRunner() = default;
+
+  // Attempts to schedule `task` on another thread; returns false if the
+  // runner cannot take it (saturated or shutting down). When it returns
+  // true the task will eventually run exactly once.
+  virtual bool TrySubmit(std::function<void()> task) = 0;
+
+  // Number of threads the runner multiplexes onto — the natural fan-out for
+  // "auto" parallelism.
+  virtual int width() const = 0;
+};
+
+}  // namespace xprel
+
+#endif  // XPREL_COMMON_TASK_RUNNER_H_

@@ -272,7 +272,20 @@ Result<std::string> XPathEngine::ExplainPlan(Backend backend,
       out += "-- block " + std::to_string(i + 1) + " of " +
              std::to_string(cq.plans.size()) + "\n";
     }
-    out += cq.plans[i]->Describe();
+    // Parallel shape: which step (if any) the morsel scheduler partitions
+    // when the query runs with a TaskRunner and parallelism >= 2.
+    const rel::Plan& plan = *cq.plans[i];
+    int pstep = rel::PartitionStep(plan);
+    if (pstep >= 0) {
+      const rel::AccessStep& s = plan.steps[static_cast<size_t>(pstep)];
+      out += "-- parallel: Dewey-range morsels over step " +
+             std::to_string(pstep + 1) + " (" + s.alias + " on " +
+             s.table->schema().name + ", " +
+             std::to_string(s.table->row_count()) + " rows)\n";
+    } else {
+      out += "-- parallel: serial (no step large enough to shard)\n";
+    }
+    out += plan.Describe();
   }
   return out;
 }
@@ -293,6 +306,16 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
     if (control != nullptr) budgeted_control = *control;
     budgeted_control.budget = &default_budget;
     control = &budgeted_control;
+  }
+  // Engine-level parallelism default: applies only to controls that carry a
+  // runner but left the knob at auto (the engine itself spawns no threads).
+  if (options_.parallelism != 0 && control != nullptr &&
+      control->runner != nullptr && control->parallelism == 0) {
+    if (control != &budgeted_control) {
+      budgeted_control = *control;
+      control = &budgeted_control;
+    }
+    budgeted_control.parallelism = options_.parallelism;
   }
 
   if (backend == Backend::kStaircase) {

@@ -55,6 +55,11 @@ struct EngineOptions {
   // When an insert would exceed it, LRU entries are evicted first; if the
   // entry alone exceeds the budget it is simply not cached. 0 = unbounded.
   size_t plan_cache_memory_cap = size_t{128} << 20;
+  // Default intra-query parallelism for Run() calls whose ExecControl
+  // carries a TaskRunner but leaves parallelism at 0 (auto). 0 keeps auto
+  // (the runner's width); N caps every such query at N threads. Queries
+  // without a runner always run serial — the engine spawns no threads.
+  int parallelism = 0;
   translate::TranslateOptions ppf_options;
 };
 

@@ -1,10 +1,13 @@
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -12,6 +15,7 @@
 
 #include "common/fault_injection.h"
 #include "rel/key_codec.h"
+#include "rel/parallel.h"
 #include "rel/query.h"
 
 namespace xprel::rel {
@@ -113,6 +117,8 @@ struct ExecContext {
   // keys (an empty table) is not re-run on every probe.
   struct HashTable {
     bool built = false;
+    bool failed = false;  // shared-mode only: build aborted, see `error`
+    Status error;         // shared-mode only: why the build failed
     std::unordered_map<std::string, std::vector<RowId>> map;
   };
   std::unordered_map<const AccessStep*, HashTable> hash_tables;
@@ -130,9 +136,24 @@ struct ExecContext {
   struct SemiSet {
     bool built = false;
     bool failed = false;  // build plan errored: always fall back
+    Status error;         // shared-mode only: why the build failed
     std::unordered_set<std::string> keys;
   };
   std::unordered_map<const Plan*, SemiSet> semi_sets;
+
+  // Plan-wide state shared by all morsels of one parallel execution (hash
+  // tables and semi-join key sets are built once per query, not once per
+  // morsel). Null for serial executions. See SharedPlanState below.
+  struct SharedPlanState* shared = nullptr;
+
+  // Per-context view of shared semi-sets that are known fully built, so the
+  // probe fast path skips the shared mutex after the first touch.
+  std::unordered_map<const Plan*, const SemiSet*> semi_view;
+
+  // When set, ChargeMem routes to the shared state's reservation (held until
+  // the coordinator releases it) instead of this context's transient lease.
+  // Only the builder of a shared structure flips this, under the shared lock.
+  bool charge_shared = false;
 
   // Memory governance (see ExecControl::budget). Charges accumulate in
   // `mem_pending` and flush to the shared budget in kBudgetChunk steps, so
@@ -186,15 +207,55 @@ class KeyBufs {
   std::array<std::string, 2>* bufs_;
 };
 
+// State shared by every morsel of one parallel plan execution. Hash-join
+// build sides and decorrelated semi-join key sets are query-level artifacts:
+// building them per morsel would multiply both time and memory by the shard
+// count, so the first morsel to need one builds it under `mu` (itself
+// fanning the hash build out over Dewey-range shards) and the rest reuse it.
+// Reservations for shared structures outlive any single morsel's lease, so
+// they are tracked here and released by the coordinator after the run.
+struct SharedPlanState {
+  std::mutex mu;
+  TaskRunner* runner = nullptr;  // for nested fan-out of the hash build
+  int parallelism = 1;
+  MemoryBudget* budget = nullptr;  // the query budget (nullable)
+  size_t mem_pending = 0;          // guarded by mu
+  size_t reserved = 0;             // guarded by mu; released by coordinator
+  std::unordered_map<const AccessStep*, ExecContext::HashTable> hash_tables;
+  std::unordered_map<const Plan*, ExecContext::SemiSet> semi_sets;
+};
+
 // Budget charges flush to the shared MemoryBudget in chunks of this size;
 // totals below it are never refused, which keeps tiny queries entirely off
 // the atomic counters.
 constexpr size_t kBudgetChunk = 64 * 1024;
 
+// Charges `bytes` against the shared plan state's reservation. Caller must
+// hold ctx.shared->mu. Mirrors ChargeMem's chunked flush; on refusal the
+// interrupt is armed and the builder unwinds like any other morsel failure.
+bool ChargeShared(ExecContext& ctx, size_t bytes, const char* what) {
+  SharedPlanState& sh = *ctx.shared;
+  if (sh.budget == nullptr) return true;
+  sh.mem_pending += bytes;
+  if (sh.mem_pending < kBudgetChunk) return true;
+  size_t take = sh.mem_pending;
+  sh.mem_pending = 0;
+  Status s = sh.budget->Reserve(take, what);
+  if (!s.ok()) {
+    if (ctx.interrupt.ok()) ctx.interrupt = std::move(s);
+    return false;
+  }
+  sh.reserved += take;
+  return true;
+}
+
 // Charges `bytes` of transient execution memory. Returns false (and arms
 // ctx.interrupt with ResourceExhausted) when the budget refuses, so callers
 // unwind through the same abort path as a cancellation.
 bool ChargeMem(ExecContext& ctx, size_t bytes, const char* what) {
+  if (ctx.charge_shared && ctx.shared != nullptr) {
+    return ChargeShared(ctx, bytes, what);
+  }
   if (ctx.budget == nullptr) return true;
   ctx.mem_pending += bytes;
   if (ctx.mem_pending < kBudgetChunk) return true;
@@ -241,6 +302,13 @@ bool CheckControlNow(ExecContext& ctx) {
   }
   if (c->has_deadline && std::chrono::steady_clock::now() >= c->deadline) {
     ctx.interrupt = Status::DeadlineExceeded("query deadline exceeded");
+    return true;
+  }
+  if (c->group_abort != nullptr &&
+      c->group_abort->load(std::memory_order_relaxed)) {
+    // A sibling morsel failed first; the coordinator reports the sibling's
+    // status and drops this one (see ExecutePlanChunksParallel).
+    ctx.interrupt = Status::Cancelled("sibling morsel aborted");
     return true;
   }
   return false;
@@ -582,212 +650,109 @@ ExecContext::HashTable* EnsureHashTable(const AccessStep& step,
   return &ht;
 }
 
-// Runs steps [i..end) of the plan row-at-a-time; calls `emit` on every
-// binding covering them. `emit` returns false to abort enumeration (EXISTS
-// short-circuit). Returns false if enumeration was aborted. This is the
-// EXISTS-subplan path (first-witness semantics make batching pointless);
-// top-level plans run through the vectorized BatchDriver below.
-bool RunSteps(const Plan& plan, size_t i, size_t end, Binding& b,
-              ExecContext& ctx, const std::function<bool()>& emit) {
-  if (i == end) return emit();
-  const AccessStep& step = plan.steps[i];
+// Shared-mode hash build: the build side is itself partitioned into
+// Dewey-range shards, each swept into a private map, merged in shard order
+// (so per-key row-id lists stay in ascending document order — identical to
+// the serial build). Caller holds ctx.shared->mu; shard bodies touch no
+// shared state and poll only the immutable control block, so fanning out
+// while holding the lock is safe.
+bool BuildSharedHashTable(const AccessStep& step, ExecContext& ctx,
+                          ExecContext::HashTable& ht) {
+  SharedPlanState& sh = *ctx.shared;
   const Table& table = *step.table;
-
-  // Control probes are hoisted to one per 64 candidate rows; off-stride rows
-  // pay only the sticky-interrupt flag check.
-  uint32_t probe_cnt = 0;
-  auto try_row = [&](RowId rid) -> bool {
-    if ((probe_cnt++ & 63u) == 0 ? BatchInterrupted(ctx, 64)
-                                 : !ctx.interrupt.ok()) {
-      return false;
-    }
-    for (const RowBitmap* bm : step.bitmap_filters) {
-      if (ctx.stats != nullptr) ++ctx.stats->bitmap_prefilter_tests;
-      if (!bm->Test(rid)) return true;
-      if (ctx.stats != nullptr) ++ctx.stats->bitmap_prefilter_hits;
-    }
-    if (ctx.stats != nullptr) ++ctx.stats->rows_scanned;
-    BindRow(table, rid, step.bind_offset, b);
-    for (const CompiledExpr* f : step.cfilters) {
-      if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return true;
-    }
-    return RunSteps(plan, i + 1, end, b, ctx, emit);
+  const size_t col = static_cast<size_t>(step.hash_column);
+  const size_t dict_n = table.dict_size(col);
+  std::vector<std::string> enc(dict_n);
+  std::vector<char> keyed(dict_n, 0);
+  for (size_t code = 0; code < dict_n; ++code) {
+    const Value& v = table.dict_value(col, static_cast<uint32_t>(code));
+    if (v.is_null() || v.type() != step.hash_key_type) continue;
+    AppendEncodedValue(v, enc[code]);
+    keyed[code] = 1;
+  }
+  const std::vector<uint32_t>& codes = table.codes(col);
+  std::vector<MorselRange> ranges =
+      ComputeMorselRanges(codes.size(), sh.parallelism);
+  struct Shard {
+    std::unordered_map<std::string, std::vector<RowId>> map;
+    size_t bytes = 0;
   };
-
-  switch (step.path) {
-    case AccessPathKind::kSeqScan: {
-      for (RowId rid = 0; rid < table.row_count(); ++rid) {
-        if (!try_row(rid)) return false;
+  std::vector<Shard> shards(ranges.size());
+  const ExecControl* control = ctx.control;
+  std::atomic<bool> aborted{false};
+  RunMorsels(ranges.size(), sh.parallelism, sh.runner, [&](size_t i) {
+    Shard& shard = shards[i];
+    size_t tick = 0;
+    for (RowId rid = ranges[i].lo; rid < ranges[i].hi; ++rid) {
+      const uint32_t code = codes[rid];
+      if (keyed[code]) {
+        shard.bytes += enc[code].size() + sizeof(RowId) + 48;
+        shard.map[enc[code]].push_back(rid);
       }
-      return true;
+      if ((++tick & 4095u) == 0 &&
+          ((control != nullptr && control->Expired()) ||
+           aborted.load(std::memory_order_relaxed))) {
+        aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
-    case AccessPathKind::kIndexPoint: {
-      // Encode keys directly into the pooled buffer as they are evaluated;
-      // key column types were resolved by the planner.
-      KeyBufs kb(ctx);
-      std::string& lo = kb.lo();
-      lo.clear();
-      for (size_t k = 0; k < step.cpoint_keys.size(); ++k) {
-        Value t0, t1;
-        const Value& v =
-            CoerceRef(EvalRef(*step.cpoint_keys[k], b, ctx, t0),
-                      step.point_key_types[k], t1);
-        if (v.is_null()) return true;  // NULL key matches nothing
-        AppendEncodedValue(v, lo);
-      }
-      if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-      std::string& hi = kb.hi();
-      hi.assign(lo);
-      BumpToPrefixUpperBound(hi);
-      for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
-        if (!try_row(it.row())) return false;
-      }
-      return true;
-    }
-    case AccessPathKind::kIndexRange: {
-      // Bounds are on the first index column, whose type the planner stored.
-      KeyBufs kb(ctx);
-      std::string& lo = kb.lo();
-      lo.clear();
-      if (step.crange_lo != nullptr) {
-        Value t0, t1;
-        const Value& v = CoerceRef(EvalRef(*step.crange_lo, b, ctx, t0),
-                                   step.range_type, t1);
-        if (v.is_null()) return true;
-        AppendEncodedValue(v, lo);
-        if (!step.range_lo_inclusive) BumpToPrefixUpperBound(lo);
-      }
-      if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-      if (step.crange_hi != nullptr) {
-        Value t0, t1;
-        const Value& v = CoerceRef(EvalRef(*step.crange_hi, b, ctx, t0),
-                                   step.range_type, t1);
-        if (v.is_null()) return true;
-        std::string& hi = kb.hi();
-        hi.clear();
-        AppendEncodedValue(v, hi);
-        if (step.range_hi_inclusive) BumpToPrefixUpperBound(hi);
-        for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
-          if (!try_row(it.row())) return false;
-        }
-      } else {
-        for (auto it = step.index->ScanFrom(lo); it.Valid(); it.Next()) {
-          if (!try_row(it.row())) return false;
-        }
-      }
-      return true;
-    }
-    case AccessPathKind::kPrefixProbe: {
-      Value t0;
-      const Value& v = EvalRef(*step.cprobe_value, b, ctx, t0);
-      if (v.is_null() || !IsStringLike(v)) return true;
-      const std::string& d = v.AsStringLike();
-      // Probe each Dewey prefix (ancestors are exactly the prefixes whose
-      // length is a multiple of the 3-byte component size). One pair of
-      // buffers serves every probe.
-      KeyBufs kb(ctx);
-      std::string& lo = kb.lo();
-      std::string& hi = kb.hi();
-      for (size_t len = 3; len <= d.size(); len += 3) {
-        if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-        lo.clear();
-        AppendEncodedBytes(std::string_view(d.data(), len), lo);
-        hi.assign(lo);
-        BumpToPrefixUpperBound(hi);
-        for (auto it = step.index->Scan(lo, hi); it.Valid(); it.Next()) {
-          if (!try_row(it.row())) return false;
-        }
-      }
-      return true;
-    }
-    case AccessPathKind::kIndexUnion: {
-      std::set<RowId> rows;
-      KeyBufs kb(ctx);
-      std::string& lo = kb.lo();
-      std::string& hi = kb.hi();
-      for (const AccessStep::UnionProbe& p : step.union_probes) {
-        Value t0, t1;
-        const Value& v =
-            CoerceRef(EvalRef(*p.ckey, b, ctx, t0), p.key_type, t1);
-        if (v.is_null()) continue;
-        if (ctx.stats != nullptr) ++ctx.stats->index_probes;
-        lo.clear();
-        AppendEncodedValue(v, lo);
-        hi.assign(lo);
-        BumpToPrefixUpperBound(hi);
-        for (auto it = p.index->Scan(lo, hi); it.Valid(); it.Next()) {
-          rows.insert(it.row());
-        }
-      }
-      for (RowId rid : rows) {
-        if (!try_row(rid)) return false;
-      }
-      return true;
-    }
-    case AccessPathKind::kHashProbe: {
-      ExecContext::HashTable* htp = EnsureHashTable(step, ctx);
-      if (htp == nullptr) return false;
-      ExecContext::HashTable& ht = *htp;
-      Value t0;
-      const Value& raw = EvalRef(*step.chash_key, b, ctx, t0);
-      if (raw.is_null()) return true;  // NULL key matches nothing
-      // A numeric probe against a text column compares by parsing each row's
-      // text (CompareValues semantics); no single encoded key represents
-      // that, so fall back to the full scan — cfilters re-check the join
-      // conjunct, so this is slow, never wrong.
-      if ((step.hash_key_type == ValueType::kString ||
-           step.hash_key_type == ValueType::kBytes) &&
-          !IsStringLike(raw)) {
-        for (RowId rid = 0; rid < table.row_count(); ++rid) {
-          if (!try_row(rid)) return false;
-        }
-        return true;
-      }
-      Value t1;
-      const Value& key = CoerceRef(raw, step.hash_key_type, t1);
-      if (key.is_null()) return true;
-      if (ctx.stats != nullptr) ++ctx.stats->hash_join_probes;
-      KeyBufs kb(ctx);
-      std::string& kbuf = kb.lo();
-      kbuf.clear();
-      AppendEncodedValue(key, kbuf);
-      auto it = ht.map.find(kbuf);
-      if (it == ht.map.end()) return true;
-      for (RowId rid : it->second) {
-        if (!try_row(rid)) return false;
-      }
-      return true;
-    }
-    case AccessPathKind::kMergeJoin: {
-      // Reached only when the merge driver is bypassed (defensive fallback):
-      // enumerate the pre-sorted inner rows; cfilters carry the original
-      // join conjuncts, so this degrades to a filtered scan, not a wrong
-      // answer.
-      for (RowId rid : step.merge_order) {
-        if (!try_row(rid)) return false;
-      }
-      return true;
+  });
+  if (aborted.load(std::memory_order_relaxed)) {
+    CheckControlNow(ctx);
+    if (ctx.interrupt.ok()) ctx.interrupt = Status::Cancelled("query cancelled");
+    return false;
+  }
+  size_t bytes = 0;
+  for (Shard& shard : shards) {
+    bytes += shard.bytes;
+    for (auto& [key, rids] : shard.map) {
+      std::vector<RowId>& dst = ht.map[key];
+      dst.insert(dst.end(), rids.begin(), rids.end());
     }
   }
-  return true;
+  if (!ChargeShared(ctx, bytes, "hash join build")) return false;
+  return BatchInterrupted(ctx, codes.size()) ? false : ctx.interrupt.ok();
 }
 
-// Evaluates EXISTS for `subplan` in the shared binding. The binding spans
-// the subplan's layout (which extends the outer layout), so the outer
-// binding is read in place — no per-evaluation row copy. Subplan steps bind
-// only their own slots (beyond the caller's), so the caller's binding is
-// intact on return.
-bool ExecExists(const Plan& subplan, Binding& b, ExecContext& ctx) {
-  // Filters that involve only outer aliases.
-  for (const CompiledExpr* f : subplan.compiled_post_filters) {
-    if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return false;
+// Shared-mode entry: the first morsel to probe a step builds its table under
+// the plan-wide lock (the build itself fans out, above); later morsels reuse
+// it. A failed build is poisoned so no morsel ever probes a partial map —
+// late arrivals re-arm their own interrupt from the stored error.
+ExecContext::HashTable* EnsureSharedHashTable(const AccessStep& step,
+                                              ExecContext& ctx) {
+  SharedPlanState& sh = *ctx.shared;
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ExecContext::HashTable& ht = sh.hash_tables[&step];
+  if (ht.built) {
+    if (ht.failed) {
+      if (ctx.interrupt.ok()) {
+        ctx.interrupt = ht.error.ok()
+                            ? Status::Cancelled("sibling morsel aborted")
+                            : ht.error;
+      }
+      return nullptr;
+    }
+    return &ht;
   }
-  bool found = false;
-  RunSteps(subplan, 0, subplan.steps.size(), b, ctx, [&]() {
-    found = true;
-    return false;  // abort on first witness
-  });
-  return found;
+  ht.built = true;
+  if (!FaultOk(ctx, "rel.hash_build")) {
+    ht.failed = true;
+    ht.error = ctx.interrupt;
+    return nullptr;
+  }
+  if (ctx.stats != nullptr) ++ctx.stats->hash_tables_built;
+  if (!BuildSharedHashTable(step, ctx, ht)) {
+    ht.failed = true;
+    ht.error = ctx.interrupt;
+    ht.map.clear();
+    return nullptr;
+  }
+  return &ht;
+}
+
+ExecContext::HashTable* GetHashTable(const AccessStep& step, ExecContext& ctx) {
+  return ctx.shared != nullptr ? EnsureSharedHashTable(step, ctx)
+                               : EnsureHashTable(step, ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -829,13 +794,25 @@ class BatchDriver {
   // `sink` receives every surviving full-width batch (cols sized to the plan
   // depth, sel selecting the survivors). Returning false stops the run;
   // ctx.interrupt distinguishes an abort from a voluntary stop.
+  //
+  // When `partition_step >= 0` the driver executes one morsel of a parallel
+  // run: enumeration at that step is restricted to row ids in `range`
+  // (a Dewey range — see parallel.h). Every other step runs in full, so the
+  // union over a partition of ranges reproduces the serial output exactly.
+  //
+  // `cap_override`, when non-zero, replaces ctx.batch_size as the flush
+  // granularity (EXISTS runs with small batches to keep early exit cheap).
   BatchDriver(const Plan& plan, Binding& b, ExecContext& ctx,
-              std::function<bool(const TupleBatch&)> sink)
+              std::function<bool(const TupleBatch&)> sink,
+              int partition_step = -1, MorselRange range = {},
+              uint32_t cap_override = 0)
       : plan_(plan),
         b_(b),
         ctx_(ctx),
         sink_(std::move(sink)),
-        cap_(ctx.batch_size) {
+        cap_(cap_override != 0 ? cap_override : ctx.batch_size),
+        pstep_(partition_step),
+        range_(range) {
     const size_t n = plan.steps.size();
     stage_.resize(n);
     for (size_t d = 0; d < n; ++d) stage_[d].cols.resize(d + 1);
@@ -1022,7 +999,11 @@ class BatchDriver {
     const Table& table = *step.table;
     QueryStats* stats = ctx_.stats;
 
+    // Morsel restriction: at the partition step, only rows in this morsel's
+    // Dewey range are enumerated (other morsels own the rest).
+    const bool sharded = static_cast<int>(d) == pstep_;
     auto try_candidate = [&](RowId rid) -> bool {
+      if (sharded && (rid < range_.lo || rid >= range_.hi)) return true;
       for (const RowBitmap* bm : step.bitmap_filters) {
         if (stats != nullptr) ++stats->bitmap_prefilter_tests;
         if (!bm->Test(rid)) return true;
@@ -1033,16 +1014,26 @@ class BatchDriver {
 
     switch (step.path) {
       case AccessPathKind::kSeqScan: {
-        const size_t n = table.row_count();
+        const RowId scan_lo = sharded ? range_.lo : 0;
+        const RowId scan_hi =
+            sharded ? range_.hi : static_cast<RowId>(table.row_count());
         if (!step.bitmap_filters.empty()) {
           // Word-skip scan: AND the bitmap words and jump set bit to set
-          // bit, so a selective pre-filter costs one load per 64 rows.
-          const size_t nwords = (n + 63) / 64;
-          if (stats != nullptr) stats->bitmap_prefilter_tests += n;
-          for (size_t w = 0; w < nwords; ++w) {
+          // bit, so a selective pre-filter costs one load per 64 rows. The
+          // morsel range clamps to whole words; edge words are masked.
+          const size_t w_lo = scan_lo >> 6;
+          const size_t w_hi = (static_cast<size_t>(scan_hi) + 63) / 64;
+          if (stats != nullptr) stats->bitmap_prefilter_tests += scan_hi - scan_lo;
+          for (size_t w = w_lo; w < w_hi; ++w) {
             uint64_t bits = step.bitmap_filters[0]->words[w];
             for (size_t k = 1; k < step.bitmap_filters.size(); ++k) {
               bits &= step.bitmap_filters[k]->words[w];
+            }
+            if (w == w_lo && (scan_lo & 63u) != 0) {
+              bits &= ~0ull << (scan_lo & 63u);
+            }
+            if (w == w_hi - 1 && (scan_hi & 63u) != 0) {
+              bits &= ~(~0ull << (scan_hi & 63u));
             }
             while (bits != 0) {
               const RowId rid =
@@ -1054,7 +1045,7 @@ class BatchDriver {
           }
           return true;
         }
-        for (RowId rid = 0; rid < n; ++rid) {
+        for (RowId rid = scan_lo; rid < scan_hi; ++rid) {
           if (!Append(d, outer, opos, rid)) return false;
         }
         return true;
@@ -1157,7 +1148,7 @@ class BatchDriver {
         return true;
       }
       case AccessPathKind::kHashProbe: {
-        ExecContext::HashTable* ht = EnsureHashTable(step, ctx_);
+        ExecContext::HashTable* ht = GetHashTable(step, ctx_);
         if (ht == nullptr) return false;
         Value t0;
         const Value& raw = EvalRef(*step.chash_key, b_, ctx_, t0);
@@ -1168,7 +1159,10 @@ class BatchDriver {
         if ((step.hash_key_type == ValueType::kString ||
              step.hash_key_type == ValueType::kBytes) &&
             !IsStringLike(raw)) {
-          for (RowId rid = 0; rid < table.row_count(); ++rid) {
+          const RowId scan_lo = sharded ? range_.lo : 0;
+          const RowId scan_hi =
+              sharded ? range_.hi : static_cast<RowId>(table.row_count());
+          for (RowId rid = scan_lo; rid < scan_hi; ++rid) {
             if (!try_candidate(rid)) return false;
           }
           return true;
@@ -1183,8 +1177,16 @@ class BatchDriver {
         AppendEncodedValue(key, kbuf);
         auto it = ht->map.find(kbuf);
         if (it == ht->map.end()) return true;
-        for (RowId rid : it->second) {
-          if (!try_candidate(rid)) return false;
+        const std::vector<RowId>& rids = it->second;
+        // Per-key row-id lists are ascending (build order), so the morsel
+        // range restriction is two binary searches, not a full filter pass.
+        auto first = rids.begin(), last = rids.end();
+        if (sharded) {
+          first = std::lower_bound(rids.begin(), rids.end(), range_.lo);
+          last = std::lower_bound(first, rids.end(), range_.hi);
+        }
+        for (auto rit = first; rit != last; ++rit) {
+          if (!try_candidate(*rit)) return false;
         }
         return true;
       }
@@ -1264,8 +1266,16 @@ class BatchDriver {
                             static_cast<size_t>(step.merge_column));
     };
     // Appends one (outer, inner-match) tuple at depth d; residual cfilters
-    // run at flush like any other step.
+    // run at flush like any other step. When the merge step is itself the
+    // partition step, each morsel runs the full sweep but emits only inner
+    // rows in its Dewey range (the sweep is cheap relative to downstream
+    // filter/emit work, which this divides).
+    const bool sharded = static_cast<int>(d) == pstep_;
     auto emit_match = [&](const OuterTuple& t, size_t inner_idx) -> bool {
+      if (sharded && (inner[inner_idx] < range_.lo ||
+                      inner[inner_idx] >= range_.hi)) {
+        return true;
+      }
       TupleBatch& tb = stage_[d];
       for (size_t s = 0; s < d; ++s) tb.cols[s].push_back(t.rids[s]);
       tb.cols[d].push_back(inner[inner_idx]);
@@ -1365,10 +1375,44 @@ class BatchDriver {
   ExecContext& ctx_;
   std::function<bool(const TupleBatch&)> sink_;
   const uint32_t cap_;
+  const int pstep_;                   // partition step index, -1 = whole plan
+  const MorselRange range_;           // this morsel's rows at pstep_
   std::vector<TupleBatch> stage_;     // stage_[d]: depth-d accumulator
   std::vector<RowId> last_bound_;     // delta-binding cache, per step
   std::vector<MergeState> merge_;     // merge_[d]: collected outers
 };
+
+// Number of rows per EXISTS batch. Small on purpose: first-witness semantics
+// mean most batches stop after the first flush, and 64 rows per flush keeps
+// the interruption-probe cadence of the old row-at-a-time scan (one real
+// control check every 64 candidate rows).
+constexpr uint32_t kExistsBatchRows = 64;
+
+// Evaluates EXISTS for `subplan` in the shared binding. The binding spans
+// the subplan's layout (which extends the outer layout), so the outer
+// binding is read in place — no per-evaluation row copy. Subplan steps bind
+// only their own slots (beyond the caller's), so the caller's binding is
+// intact on return.
+//
+// Runs batch-at-a-time through the same vectorized driver as top-level
+// plans (dict-memoized filters, merge-join sweeps), with a 64-row batch so
+// the first flush that produces a survivor ends the run.
+bool ExecExists(const Plan& subplan, Binding& b, ExecContext& ctx) {
+  // Filters that involve only outer aliases.
+  for (const CompiledExpr* f : subplan.compiled_post_filters) {
+    if (TruthOf(EvalExpr(*f, b, ctx)) != Truth::kTrue) return false;
+  }
+  bool found = false;
+  BatchDriver driver(
+      subplan, b, ctx,
+      [&found](const TupleBatch&) {
+        found = true;
+        return false;  // first witness: stop the run
+      },
+      /*partition_step=*/-1, MorselRange{}, kExistsBatchRows);
+  driver.Run();
+  return found && ctx.interrupt.ok();
+}
 
 // Folds the counters of a nested (build-plan) run into the outer stats.
 // ExecutePlan overwrites output_rows, so nested runs always use local stats.
@@ -1386,6 +1430,10 @@ void MergeStats(const QueryStats& local, QueryStats* out) {
   out->bitmap_prefilter_hits += local.bitmap_prefilter_hits;
   out->exists_semijoin_builds += local.exists_semijoin_builds;
   out->batches_emitted += local.batches_emitted;
+  out->morsels_scheduled += local.morsels_scheduled;
+  out->morsel_steals += local.morsel_steals;
+  out->parallel_threads =
+      std::max(out->parallel_threads, local.parallel_threads);
   out->batch_size = std::max(out->batch_size, local.batch_size);
   out->bytes_reserved_peak =
       std::max(out->bytes_reserved_peak, local.bytes_reserved_peak);
@@ -1466,10 +1514,72 @@ void LoadSemiKeys(const Plan& sub, const QueryResult& built,
   }
 }
 
+// Shared-mode decorrelated EXISTS: the key set is a query-level artifact,
+// built once under the plan-wide lock by the first morsel to probe it.
+// Returns nullptr with ctx.interrupt armed when the build failed (hard
+// errors only — benign key-mapping fallbacks never reach here). `built_now`
+// reports whether this probe paid for the build, so the caller counts one
+// cache miss exactly like the serial first probe.
+const ExecContext::SemiSet* EnsureSharedSemiSet(const Plan& sub,
+                                                ExecContext& ctx,
+                                                bool* built_now) {
+  *built_now = false;
+  auto cached = ctx.semi_view.find(&sub);
+  if (cached != ctx.semi_view.end()) return cached->second;
+  SharedPlanState& sh = *ctx.shared;
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ExecContext::SemiSet& set = sh.semi_sets[&sub];
+  if (!set.built && !set.failed) {
+    if (!FaultOk(ctx, "rel.semijoin_build")) {
+      set.failed = true;
+      set.error = ctx.interrupt;
+    } else {
+      QueryStats local;
+      auto r = ExecutePlan(*sub.semijoin_plan, &local,
+                           /*need_ordered_rows=*/false, ctx.control);
+      MergeStats(local, ctx.stats);
+      if (!r.ok()) {
+        if (ctx.interrupt.ok()) ctx.interrupt = r.status();
+        set.failed = true;
+        set.error = r.status();
+      } else {
+        set.built = true;
+        ctx.charge_shared = true;  // the key set outlives this morsel
+        LoadSemiKeys(sub, r.value(), set, ctx);
+        ctx.charge_shared = false;
+        if (!ctx.interrupt.ok()) {
+          set.keys.clear();
+          set.failed = true;
+          set.error = ctx.interrupt;
+        } else {
+          *built_now = true;
+          if (ctx.stats != nullptr) ++ctx.stats->exists_semijoin_builds;
+        }
+      }
+    }
+  }
+  if (set.failed) {
+    if (ctx.interrupt.ok()) {
+      ctx.interrupt = set.error.ok()
+                          ? Status::Cancelled("sibling morsel aborted")
+                          : set.error;
+    }
+    return nullptr;
+  }
+  // Node-stable map: the pointer stays valid for the whole execution, so
+  // later probes from this morsel skip the lock entirely.
+  ctx.semi_view[&sub] = &set;
+  return &set;
+}
+
 std::optional<bool> ProbeSemiJoin(const Plan& sub, Binding& b,
                                   ExecContext& ctx) {
-  auto& set = ctx.semi_sets[&sub];
-  if (set.failed) return std::nullopt;
+  const bool use_shared = ctx.shared != nullptr;
+  ExecContext::SemiSet* local_set = nullptr;
+  if (!use_shared) {
+    local_set = &ctx.semi_sets[&sub];
+    if (local_set->failed) return std::nullopt;
+  }
   auto definite = [&](bool v) -> std::optional<bool> {
     // Answered from the probe key alone (no subplan run): a cache hit.
     if (ctx.stats != nullptr) ++ctx.stats->exists_cache_hits;
@@ -1512,6 +1622,20 @@ std::optional<bool> ProbeSemiJoin(const Plan& sub, Binding& b,
       AppendEncodedBytes(p, key);
     }
   }
+  if (use_shared) {
+    bool built_now = false;
+    const ExecContext::SemiSet* ss = EnsureSharedSemiSet(sub, ctx, &built_now);
+    if (ss == nullptr) return std::nullopt;  // interrupt armed
+    if (ctx.stats != nullptr) {
+      if (built_now) {
+        ++ctx.stats->exists_cache_misses;
+      } else {
+        ++ctx.stats->exists_cache_hits;
+      }
+    }
+    return ss->keys.count(key) > 0;
+  }
+  ExecContext::SemiSet& set = *local_set;
   if (!set.built) {
     if (!FaultOk(ctx, "rel.semijoin_build")) {
       set.failed = true;
@@ -1616,15 +1740,21 @@ std::vector<SelectSrc> ComputeSelectSrcs(const Plan& plan) {
 // but the emit/distinct fault points stay in place, so failure behavior
 // matches the materializing path. `stopped` reports a sink-requested stop
 // (distinct from an error).
+//
+// A parallel run calls this once per morsel with `pstep`/`range` narrowing
+// the partition step and `shared` pointing at the plan-wide build state
+// (see ExecutePlanChunksParallel below); serial callers leave the defaults.
 Status ExecutePlanChunks(const Plan& plan, const ChunkSink& sink,
                          QueryStats* stats, const ExecControl* control,
                          std::vector<std::vector<Value>>& scratch,
-                         bool& stopped) {
+                         bool& stopped, int pstep = -1, MorselRange range = {},
+                         SharedPlanState* shared = nullptr) {
   ExecContext ctx;
   ctx.stats = stats;
   ctx.control = control;
   ctx.budget = control != nullptr ? control->budget : nullptr;
   ctx.batch_size = EffectiveBatchSize(control);
+  ctx.shared = shared;
   if (stats != nullptr) stats->batch_size = ctx.batch_size;
   BudgetLease lease{ctx};
   if (CheckControlNow(ctx)) return ctx.interrupt;
@@ -1688,11 +1818,128 @@ Status ExecutePlanChunks(const Plan& plan, const ChunkSink& sink,
     return true;
   };
 
-  BatchDriver driver(plan, binding, ctx, bsink);
+  BatchDriver driver(plan, binding, ctx, bsink, pstep, range);
   drv = &driver;
   driver.Run();
   if (!ctx.interrupt.ok()) return ctx.interrupt;
   if (stats != nullptr) stats->output_rows = total_rows;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel plan execution
+// ---------------------------------------------------------------------------
+//
+// The plan's partition step is split into Dewey-range morsels (parallel.h);
+// each morsel runs the full pipeline restricted to its range, in its own
+// ExecContext with its own ExecControl copy and its own MemoryBudget child
+// of the query budget, buffering its output columns. The coordinator then
+// feeds the buffered chunks to the sink in morsel (Dewey) order, so the
+// concatenated output is a reordering-free partition of the serial output
+// for scan-partitioned plans, and a per-morsel-sorted partition for
+// merge-join plans — either way the engine's final sort+unique over node
+// ids makes results bit-identical to serial execution.
+//
+// Failure: the first morsel to fail records its status and raises the group
+// abort flag; sibling morsels observe it at their next control probe and
+// unwind exactly like a cancellation. The coordinator reports the recorded
+// (real) status, never the sibling-abort one.
+Status ExecutePlanChunksParallel(const Plan& plan, const ChunkSink& sink,
+                                 QueryStats* stats,
+                                 const ExecControl* control, int pstep,
+                                 const std::vector<MorselRange>& ranges,
+                                 int parallelism, bool& stopped) {
+  struct MorselOut {
+    std::unique_ptr<MemoryBudget> budget;
+    std::vector<std::vector<Value>> cols;
+    size_t rows = 0;
+    QueryStats stats;
+    Status status;
+  };
+  std::vector<MorselOut> outs(ranges.size());
+
+  SharedPlanState shared;
+  shared.runner = control->runner;
+  shared.parallelism = parallelism;
+  shared.budget = control->budget;
+
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  Status first_error;
+
+  auto body = [&](size_t i) {
+    MorselOut& out = outs[i];
+    ExecControl mc = *control;
+    mc.runner = nullptr;  // morsels never fan out again (no nested groups)
+    mc.parallelism = 1;
+    mc.group_abort = &abort;
+    if (control->budget != nullptr) {
+      // Sub-reservation: charges flow through to the query budget (which
+      // holds the cap), but this morsel's ledger releases independently.
+      out.budget =
+          std::make_unique<MemoryBudget>(/*cap=*/0, control->budget);
+      mc.budget = out.budget.get();
+    }
+    std::vector<std::vector<Value>> scratch;
+    bool local_stop = false;
+    ChunkSink buffer = [&out](const RowChunk& chunk) {
+      out.cols.resize(chunk.column_count);
+      for (size_t c = 0; c < chunk.column_count; ++c) {
+        out.cols[c].insert(out.cols[c].end(), chunk.columns[c].begin(),
+                           chunk.columns[c].begin() +
+                               static_cast<ptrdiff_t>(chunk.rows));
+      }
+      out.rows += chunk.rows;
+      return true;
+    };
+    out.status = ExecutePlanChunks(plan, buffer, &out.stats, &mc, scratch,
+                                   local_stop, pstep, ranges[i], &shared);
+    if (!out.status.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      // Record before raising the flag: any morsel that aborts *because* of
+      // the flag therefore always finds a real error already recorded.
+      if (first_error.ok()) first_error = out.status;
+      abort.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  ParallelRunStats prs =
+      RunMorsels(ranges.size(), parallelism, control->runner, body);
+
+  size_t total_rows = 0;
+  for (MorselOut& out : outs) {
+    MergeStats(out.stats, stats);
+    total_rows += out.rows;
+  }
+  if (stats != nullptr) {
+    stats->morsels_scheduled += prs.morsels;
+    stats->morsel_steals += prs.steals;
+    stats->parallel_threads = std::max(stats->parallel_threads, prs.threads);
+  }
+
+  // Shared build structures (hash tables, semi-join key sets) die with
+  // `shared` here; give their reservation back to the query budget.
+  if (shared.budget != nullptr && shared.reserved > 0) {
+    shared.budget->Release(shared.reserved);
+  }
+
+  if (!first_error.ok()) return first_error;
+
+  for (MorselOut& out : outs) {
+    if (stopped || out.rows == 0) continue;
+    RowChunk chunk;
+    chunk.columns = out.cols.data();
+    chunk.column_count = out.cols.size();
+    chunk.rows = out.rows;
+    if (!sink(chunk)) stopped = true;
+  }
+  if (stats != nullptr) {
+    stats->output_rows = total_rows;
+    if (control->budget != nullptr) {
+      stats->bytes_reserved_peak =
+          std::max(stats->bytes_reserved_peak, control->budget->peak());
+    }
+  }
   return Status::Ok();
 }
 
@@ -1941,6 +2188,36 @@ Result<QueryResult> ExecutePlannedQuery(const std::vector<const Plan*>& plans,
   return combined;
 }
 
+int EffectiveParallelism(const ExecControl* control) {
+  if (control == nullptr || control->runner == nullptr) return 1;
+  int p = control->parallelism;
+  if (p <= 0) p = control->runner->width();
+  return std::max(1, p);
+}
+
+int PartitionStep(const Plan& plan) {
+  for (size_t d = 0; d < plan.steps.size(); ++d) {
+    const AccessStep& s = plan.steps[d];
+    switch (s.path) {
+      // Paths whose enumeration a row-id range genuinely divides: a scan
+      // iterates only its range, a hash probe binary-searches its slice of
+      // each (ascending) row-id list, a merge sweep shards its emissions.
+      // Index probes are excluded — a B-tree walk cannot seek by row id, so
+      // every morsel would repeat the full traversal.
+      case AccessPathKind::kSeqScan:
+      case AccessPathKind::kHashProbe:
+      case AccessPathKind::kMergeJoin:
+        if (s.table->row_count() >= 2 * kMorselMinRows) {
+          return static_cast<int>(d);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return -1;
+}
+
 Status ExecutePlannedQueryChunks(const std::vector<const Plan*>& plans,
                                  const ChunkSink& sink, QueryStats* stats,
                                  const ExecControl* control) {
@@ -1951,9 +2228,26 @@ Status ExecutePlannedQueryChunks(const std::vector<const Plan*>& plans,
   // query still reuses one set of buffers.
   std::vector<std::vector<Value>> scratch;
   bool stopped = false;
+  const int parallelism = EffectiveParallelism(control);
   for (const Plan* p : plans) {
     QueryStats local;
-    Status s = ExecutePlanChunks(*p, sink, &local, control, scratch, stopped);
+    Status s;
+    std::vector<MorselRange> ranges;
+    int pstep = -1;
+    if (parallelism > 1) {
+      pstep = PartitionStep(*p);
+      if (pstep >= 0) {
+        ranges = ComputeMorselRanges(
+            p->steps[static_cast<size_t>(pstep)].table->row_count(),
+            parallelism);
+      }
+    }
+    if (ranges.size() > 1) {
+      s = ExecutePlanChunksParallel(*p, sink, &local, control, pstep, ranges,
+                                    parallelism, stopped);
+    } else {
+      s = ExecutePlanChunks(*p, sink, &local, control, scratch, stopped);
+    }
     MergeStats(local, stats);
     if (stats != nullptr) stats->output_rows += local.output_rows;
     if (!s.ok()) return s;

@@ -1,0 +1,109 @@
+#include "rel/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+namespace xprel::rel {
+
+std::vector<MorselRange> ComputeMorselRanges(size_t rows, int parallelism) {
+  std::vector<MorselRange> out;
+  if (rows == 0) return out;
+  size_t n = 1;
+  if (parallelism > 1 && rows >= 2 * kMorselMinRows) {
+    n = (rows + kMorselTargetRows - 1) / kMorselTargetRows;
+    // Oversplit relative to the thread count so the dispenser can rebalance
+    // skewed morsels, but never shard below the minimum worthwhile size.
+    size_t want = std::min(static_cast<size_t>(parallelism) * 4,
+                           rows / kMorselMinRows);
+    n = std::max(n, want);
+    n = std::max<size_t>(n, 1);
+    n = std::min(n, rows);
+  }
+  out.reserve(n);
+  size_t base = rows / n, extra = rows % n;
+  size_t lo = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t len = base + (i < extra ? 1 : 0);
+    out.push_back({static_cast<RowId>(lo), static_cast<RowId>(lo + len)});
+    lo += len;
+  }
+  return out;
+}
+
+namespace {
+
+// Shared state of one RunMorsels call. Heap-allocated and reference-counted
+// by every helper task: a helper that the pool only gets around to running
+// after the coordinator has already returned (because the caller drained
+// the dispenser first) still finds valid memory, sees an empty dispenser,
+// and exits without touching anything.
+struct MorselGroup {
+  std::atomic<size_t> next{0};
+  size_t total = 0;
+  const std::function<void(size_t)>* body = nullptr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+  size_t steals = 0;
+  std::unordered_set<std::thread::id> thread_ids;
+};
+
+// Drains the dispenser from the current thread. `stealer` marks helper
+// threads for the steal counter.
+void DrainMorsels(const std::shared_ptr<MorselGroup>& g, bool stealer) {
+  for (;;) {
+    size_t i = g->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= g->total) break;
+    (*g->body)(i);
+    {
+      std::lock_guard<std::mutex> lock(g->mu);
+      ++g->completed;
+      if (stealer) ++g->steals;
+      g->thread_ids.insert(std::this_thread::get_id());
+    }
+    g->cv.notify_all();
+  }
+}
+
+}  // namespace
+
+ParallelRunStats RunMorsels(size_t total, int parallelism, TaskRunner* runner,
+                            const std::function<void(size_t)>& body) {
+  ParallelRunStats stats;
+  stats.morsels = total;
+  if (total == 0) return stats;
+  if (runner == nullptr || parallelism <= 1 || total == 1) {
+    for (size_t i = 0; i < total; ++i) body(i);
+    stats.threads = 1;
+    return stats;
+  }
+
+  auto group = std::make_shared<MorselGroup>();
+  group->total = total;
+  group->body = &body;
+
+  size_t helpers = std::min(static_cast<size_t>(parallelism - 1), total - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    // A refusal is fine — the caller's own drain below covers everything.
+    runner->TrySubmit([group]() { DrainMorsels(group, /*stealer=*/true); });
+  }
+  DrainMorsels(group, /*stealer=*/false);
+
+  // Every index handed out by the dispenser is being executed by some live
+  // thread (the caller or a helper holding a shared_ptr), so completed
+  // reaches total without needing the pool to pick up the remaining helper
+  // tasks — those find the dispenser empty and drop their reference.
+  std::unique_lock<std::mutex> lock(group->mu);
+  group->cv.wait(lock, [&]() { return group->completed == total; });
+  stats.steals = group->steals;
+  stats.threads = group->thread_ids.size();
+  return stats;
+}
+
+}  // namespace xprel::rel

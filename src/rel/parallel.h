@@ -1,0 +1,61 @@
+#ifndef XPREL_REL_PARALLEL_H_
+#define XPREL_REL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/task_runner.h"
+#include "rel/btree.h"
+
+namespace xprel::rel {
+
+// A half-open row-id interval [lo, hi) of one base table. Row ids are
+// assigned in document order by the shredder, so a contiguous RowId range
+// IS a Dewey range — partitioning by row id partitions by Dewey prefix
+// without looking at a single key.
+struct MorselRange {
+  RowId lo = 0;
+  RowId hi = 0;
+  size_t rows() const { return static_cast<size_t>(hi - lo); }
+};
+
+// Morsel sizing. ~64K rows keeps a morsel's working set (row-id columns,
+// filter scratch, output batch) around a few hundred KB — large enough to
+// amortize per-morsel setup, small enough that work-stealing balances skew.
+inline constexpr size_t kMorselTargetRows = 64 * 1024;
+// Below this many rows per shard, splitting costs more than it buys.
+inline constexpr size_t kMorselMinRows = 4096;
+
+// Splits [0, rows) into Dewey-range morsels: enough shards to aim at
+// kMorselTargetRows each, but at least `parallelism * 4` shards (when the
+// table can afford kMorselMinRows per shard) so the dispenser has slack to
+// balance uneven morsels across threads. Returns a single range covering
+// the whole table when sharding isn't worth it (small table or
+// parallelism <= 1).
+std::vector<MorselRange> ComputeMorselRanges(size_t rows, int parallelism);
+
+// What RunMorsels actually did, for QueryStats/metrics.
+struct ParallelRunStats {
+  size_t morsels = 0;  // ranges dispatched (scheduled + caller-run)
+  size_t steals = 0;   // morsels executed by a thread other than the caller
+  size_t threads = 0;  // distinct threads that ran at least one morsel
+};
+
+// Runs `body(i)` for every i in [0, total) across the caller plus up to
+// `parallelism - 1` pool threads obtained from `runner` (nullable: serial).
+// Scheduling is a shared atomic dispenser — each thread grabs the next
+// unclaimed index until none remain — so skewed morsels self-balance.
+// Submission failures are benign (caller-runs contract): the caller always
+// drains the dispenser itself, so completion never depends on the pool
+// accepting anything, and a pool thread calling RunMorsels nested inside a
+// task can never deadlock. Blocks until every dispatched body returned.
+//
+// `body` must be safe to call concurrently for distinct indices and must
+// not throw.
+ParallelRunStats RunMorsels(size_t total, int parallelism, TaskRunner* runner,
+                            const std::function<void(size_t)>& body);
+
+}  // namespace xprel::rel
+
+#endif  // XPREL_REL_PARALLEL_H_

@@ -1269,9 +1269,10 @@ std::string Plan::Describe() const {
       os << "]";
     }
     // Execution mode, so a regression to the scalar path is visible in
-    // EXPLAIN output: every top-level step runs vectorized; EXISTS subplan
-    // steps run row-at-a-time (first-witness short-circuit + memoization).
-    os << (is_subplan ? " exec=row" : " exec=vec");
+    // EXPLAIN output: every step runs vectorized. EXISTS subplans use the
+    // same batch driver with 64-row batches (first-witness short-circuit +
+    // memoization), hence the distinct label.
+    os << (is_subplan ? " exec=vec64" : " exec=vec");
     os << "\n";
   }
   for (const auto& [expr, sub] : subplans) {

@@ -13,6 +13,7 @@
 
 #include "common/memory_budget.h"
 #include "common/result.h"
+#include "common/task_runner.h"
 #include "rel/sql_ast.h"
 #include "rel/table.h"
 #include "rex/regex.h"
@@ -301,6 +302,14 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
                                          const SelectStmt& stmt,
                                          const Layout* outer);
 
+// Index of the step the morsel scheduler partitions this plan on: the
+// outermost shardable access path — seq scan, hash probe, or merge join
+// over a table big enough to split (outermost, so downstream merge-join
+// sweeps shard by outer Dewey range with per-shard frontiers). Returns -1
+// when every step is too small or point-shaped and the plan runs serial.
+// Used by ExplainPlan and by the executor's parallel dispatch.
+int PartitionStep(const Plan& plan);
+
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
@@ -342,14 +351,38 @@ struct ExecControl {
   // cancellation. Nullable; must outlive the execution.
   MemoryBudget* budget = nullptr;
 
+  // Morsel-driven intra-query parallelism. When `runner` is set and
+  // `parallelism` resolves to >= 2, the executor partitions the largest
+  // access path of each plan into Dewey-range morsels and fans them out on
+  // the runner (caller-runs fallback: a refusing/saturated runner degrades
+  // to serial on this thread, never an error). Results are merged back in
+  // Dewey order, so output is identical to the serial path. Nullable.
+  TaskRunner* runner = nullptr;
+  // 0 = auto (runner->width()); 1 = serial; N = at most N threads per query.
+  int parallelism = 0;
+
+  // Internal (set by the morsel coordinator on per-morsel control copies):
+  // sibling-failure broadcast. When a sibling morsel fails, every other
+  // morsel of the group sees this flag and unwinds like a cancellation; the
+  // coordinator keeps the first real error and drops the sibling aborts.
+  const std::atomic<bool>* group_abort = nullptr;
+
   // True when either trigger has already fired (one immediate sample).
   bool Expired() const {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       return true;
     }
+    if (group_abort != nullptr &&
+        group_abort->load(std::memory_order_relaxed)) {
+      return true;
+    }
     return has_deadline && std::chrono::steady_clock::now() >= deadline;
   }
 };
+
+// Threads this control may fan one query out to: 1 without a runner,
+// otherwise `parallelism` (0 = the runner's width), never below 1.
+int EffectiveParallelism(const ExecControl* control);
 
 struct QueryStats {
   size_t rows_scanned = 0;      // rows enumerated by access paths
@@ -371,9 +404,16 @@ struct QueryStats {
   // UNION-block runs share one budget.
   size_t bytes_reserved_peak = 0;
   size_t output_rows = 0;
-  // Batches handed to the result sink (vectorized executor only; EXISTS
-  // subplans run row-at-a-time and emit no batches).
+  // Batches handed to the result sink (top-level plans only; EXISTS
+  // subplans feed their first-witness sink, not the result).
   size_t batches_emitted = 0;
+  // Morsel parallelism: Dewey-range morsels dispatched (0 when the query
+  // ran serial), how many of them were executed by pool threads rather than
+  // the coordinating thread, and the peak distinct-thread fan-out of any
+  // one parallel plan (merged by max, like bytes_reserved_peak).
+  size_t morsels_scheduled = 0;
+  size_t morsel_steals = 0;
+  size_t parallel_threads = 0;
   // Effective rows-per-batch this execution ran with (kDefaultBatchSize
   // unless ExecControl overrode it); 0 if nothing executed.
   uint32_t batch_size = 0;

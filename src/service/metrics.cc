@@ -45,7 +45,8 @@ std::string MetricsRegistry::Dump() const {
       "requests: submitted=%llu completed=%llu rejected=%llu cancelled=%llu "
       "timed_out=%llu resource_exhausted=%llu errors=%llu\n"
       "result cache: hits=%llu misses=%llu hit_rate=%.1f%%\n"
-      "executor: batches_emitted=%llu\n"
+      "executor: batches_emitted=%llu morsels_scheduled=%llu "
+      "morsel_steals=%llu max_query_threads=%llu\n"
       "memory: used=%llu peak=%llu\n",
       static_cast<unsigned long long>(submitted.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(completed.load(std::memory_order_relaxed)),
@@ -61,6 +62,12 @@ std::string MetricsRegistry::Dump() const {
       100.0 * CacheHitRate(),
       static_cast<unsigned long long>(
           batches_emitted.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          morsels_scheduled.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          morsel_steals.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          max_query_threads.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(mem_used.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(mem_peak.load(std::memory_order_relaxed)));
   std::string out = buf;

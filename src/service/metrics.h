@@ -73,6 +73,14 @@ class MetricsRegistry {
   // per-batch costs at the serving layer.
   std::atomic<uint64_t> batches_emitted{0};
 
+  // Morsel-driven intra-query parallelism: Dewey-range morsels dispatched
+  // across all completed queries, how many ran on a thread other than the
+  // submitting worker (steals), and the largest per-query thread fan-out
+  // observed since startup.
+  std::atomic<uint64_t> morsels_scheduled{0};
+  std::atomic<uint64_t> morsel_steals{0};
+  std::atomic<uint64_t> max_query_threads{0};
+
   // Gauges sampled from the service-wide memory budget after each query:
   // bytes currently reserved and the high-water mark since startup.
   std::atomic<uint64_t> mem_used{0};

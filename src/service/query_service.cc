@@ -106,6 +106,11 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
     size_t cap = mem_cap != 0 ? mem_cap : options_.per_query_memory_cap;
     MemoryBudget query_budget(cap, &memory_);
     control.budget = &query_budget;
+    // Intra-query parallelism: morsels ride the pool's helper lane (separate
+    // from the admission queue, caller-runs when saturated), so a busy pool
+    // degrades every query to serial instead of rejecting or deadlocking.
+    control.runner = &pool_.intra_runner();
+    control.parallelism = options_.parallelism;
 
     auto out = engine_.Run(backend, xpath, &control);
     metrics_.latency.RecordUs(UsBetween(picked_up, std::chrono::steady_clock::now()));
@@ -141,6 +146,16 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
     metrics_.batches_emitted.fetch_add(outcome.stats.batches_emitted,
                                        std::memory_order_relaxed);
+    metrics_.morsels_scheduled.fetch_add(outcome.stats.morsels_scheduled,
+                                         std::memory_order_relaxed);
+    metrics_.morsel_steals.fetch_add(outcome.stats.morsel_steals,
+                                     std::memory_order_relaxed);
+    // Per-query thread fan-out high-water mark.
+    uint64_t fan = outcome.stats.parallel_threads;
+    uint64_t seen = metrics_.max_query_threads.load(std::memory_order_relaxed);
+    while (fan > seen && !metrics_.max_query_threads.compare_exchange_weak(
+                             seen, fan, std::memory_order_relaxed)) {
+    }
     QueryResponse resp;
     resp.nodes = std::move(outcome.nodes);
     resp.stats = outcome.stats;

@@ -36,6 +36,11 @@ struct ServiceOptions {
   // Default per-query allowance (a child of the service-wide budget);
   // QueryRequest::memory_cap overrides it per request. 0 = no per-query cap.
   size_t per_query_memory_cap = 0;
+  // Intra-query parallelism: each query may fan its morsels out over the
+  // pool's spare capacity (caller-runs when the pool is busy, so saturation
+  // degrades to serial instead of queueing). 0 = auto (the pool width);
+  // 1 = serial; N = at most N threads per query.
+  int parallelism = 0;
 };
 
 // Hand one to Submit() to be able to revoke the request later; Cancel() is

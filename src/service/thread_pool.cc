@@ -36,6 +36,16 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
   return true;
 }
 
+bool ThreadPool::TrySubmitHelper(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    helper_queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 size_t ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
@@ -46,10 +56,20 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this]() {
+        return stopping_ || !queue_.empty() || !helper_queue_.empty();
+      });
+      if (!helper_queue_.empty()) {
+        // Helpers first: a running query's morsels finish before new work
+        // starts, which bounds per-query latency under load.
+        task = std::move(helper_queue_.front());
+        helper_queue_.pop_front();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;  // stopping_ and both lanes fully drained
+      }
     }
     task();
   }

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/task_runner.h"
+
 namespace xprel::service {
 
 // A fixed-size worker pool over a bounded FIFO work queue — the execution
@@ -17,6 +19,15 @@ namespace xprel::service {
 // so overload surfaces as backpressure at the caller instead of unbounded
 // queue growth. Destruction drains: tasks already admitted still run before
 // the workers join, so every admitted promise gets fulfilled.
+//
+// A second, unbounded "helper" lane carries intra-query morsels. It is
+// separate from the admission queue on purpose: morsels spawned by a query
+// that is already running must never count against (or be refused by) the
+// admission capacity meant for whole queries, and workers drain helpers
+// first so a query's own shards jump ahead of queued new work. Helper
+// submission still refuses during shutdown — callers fall back to running
+// the task inline (see TaskRunner's caller-runs contract), which is also
+// what keeps nested submission from a pooled thread deadlock-free.
 class ThreadPool {
  public:
   // `workers` is clamped to at least 1. `queue_capacity` bounds the number
@@ -32,20 +43,52 @@ class ThreadPool {
   // down; returns whether the task was admitted.
   bool TrySubmit(std::function<void()> task);
 
-  // Tasks admitted but not yet picked up by a worker.
+  // Enqueues on the helper lane (no capacity bound; drained before the main
+  // queue); refuses only during shutdown.
+  bool TrySubmitHelper(std::function<void()> task);
+
+  // Caller-runs fallback: admit `task` to the helper lane, or execute it on
+  // the calling thread if the pool refuses. Either way the task runs exactly
+  // once before or concurrently with this call returning work to the caller,
+  // so a pool thread submitting nested tasks can never deadlock — the worst
+  // case is serial execution on the submitter.
+  void TrySubmitOrRun(std::function<void()> task) {
+    if (!TrySubmitHelper(task)) task();
+  }
+
+  // Tasks admitted but not yet picked up by a worker (main lane only; the
+  // helper lane is not part of admission control).
   size_t queue_depth() const;
 
   int worker_count() const { return static_cast<int>(workers_.size()); }
   size_t queue_capacity() const { return queue_capacity_; }
 
+  // TaskRunner view of the helper lane, for handing to rel::ExecControl.
+  TaskRunner& intra_runner() { return intra_; }
+
  private:
+  // Adapts the helper lane to the executor-facing TaskRunner interface.
+  class IntraRunner : public TaskRunner {
+   public:
+    explicit IntraRunner(ThreadPool* pool) : pool_(pool) {}
+    bool TrySubmit(std::function<void()> task) override {
+      return pool_->TrySubmitHelper(std::move(task));
+    }
+    int width() const override { return pool_->worker_count(); }
+
+   private:
+    ThreadPool* pool_;
+  };
+
   void WorkerLoop();
 
   const size_t queue_capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> helper_queue_;
   bool stopping_ = false;
+  IntraRunner intra_{this};
   std::vector<std::thread> workers_;
 };
 

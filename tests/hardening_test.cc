@@ -382,6 +382,74 @@ TEST(FaultSweepTest, WarmEngineSurvivesMidExecutionFaults) {
   inj.DisarmAll();
 }
 
+// Morsel-parallel execution must unwind injected faults exactly like the
+// serial path: the first failing morsel's error surfaces (never the
+// sibling-abort status), every budget reservation — coordinator,
+// per-morsel children, shared hash/semi-join build state — is released,
+// and a clean re-run on the same warm engine is bit-identical. Runs at
+// scale 0.4 so the sweep queries genuinely shard into concurrent morsels.
+TEST(FaultSweepTest, ParallelExecutionReleasesBudgetOnEveryInjectedFault) {
+  if (!fault::FaultInjectionEnabled()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  data::XMarkOptions opt;
+  opt.scale = 0.4;
+  xml::Document doc = data::GenerateXMark(opt);
+  xsd::Schema schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  xsd::SchemaGraph graph = xsd::SchemaGraph::Build(schema).value();
+  auto engine = XPathEngine::Build(doc, graph).value();
+
+  service::ThreadPool pool(4);
+  MemoryBudget meter(0);
+  rel::ExecControl control;
+  control.budget = &meter;
+  control.runner = &pool.intra_runner();
+  control.parallelism = 4;
+
+  auto& inj = fault::FaultInjector::Instance();
+  inj.Clear();
+
+  // Both queries shard at this scale (merge-join staircase; seq scan under
+  // a semi-join) and together cross the hash/merge/semi-join/emit points.
+  const char* const queries[] = {
+      "//keyword/ancestor::listitem",
+      "/site/people/person[not(homepage)]",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    auto base = engine->Run(Backend::kPpf, q, &control);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    ASSERT_GT(base.value().stats.morsels_scheduled, 1u)
+        << "query did not shard - the parallel sweep would test nothing";
+    ASSERT_EQ(meter.used(), 0u);
+
+    for (const std::string& point : inj.RegisteredPoints()) {
+      if (point.rfind("rel.", 0) != 0) continue;  // executor points only
+      for (uint64_t nth : {uint64_t{1}, uint64_t{5}}) {
+        SCOPED_TRACE(point + " nth=" + std::to_string(nth));
+        inj.DisarmAll();
+        inj.ResetCounts();
+        inj.Arm(point, nth, StatusCode::kResourceExhausted);
+        auto r = engine->Run(Backend::kPpf, q, &control);
+        if (inj.FiredCount(point) > 0) {
+          EXPECT_FALSE(r.ok()) << "fired fault did not surface";
+          EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+              << r.status().ToString();
+        }
+        // Whatever happened, every reservation made by the coordinator,
+        // the morsel sub-budgets, and the shared build state is gone.
+        EXPECT_EQ(meter.used(), 0u);
+        inj.DisarmAll();
+        auto again = engine->Run(Backend::kPpf, q, &control);
+        ASSERT_TRUE(again.ok()) << again.status().ToString();
+        EXPECT_EQ(again.value().nodes, base.value().nodes);
+        EXPECT_EQ(meter.used(), 0u);
+      }
+    }
+  }
+  inj.DisarmAll();
+}
+
 // A query that fails mid-execution must not leave a poisoned result-cache
 // entry in the serving layer: the next identical request re-executes and
 // caches the correct result.

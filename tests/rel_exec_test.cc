@@ -9,9 +9,11 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "rel/key_codec.h"
+#include "rel/parallel.h"
 #include "rel/query.h"
 
 namespace xprel::rel {
@@ -405,6 +407,64 @@ TEST_F(RelExecTest, MidBatchCancellationUnwindsViaAbortPath) {
   // near the full 9M-row cross product.
   EXPECT_GT(stats.rows_scanned, 0u);
   EXPECT_LT(stats.rows_scanned, 9000u * 3000u);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel partitioning
+// ---------------------------------------------------------------------------
+
+// The ranges must always be an exact ascending partition of [0, rows).
+void ExpectPartition(const std::vector<MorselRange>& ranges, size_t rows) {
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().lo, 0u);
+  EXPECT_EQ(ranges.back().hi, rows);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].lo, ranges[i - 1].hi);
+    EXPECT_GT(ranges[i].hi, ranges[i].lo);
+  }
+}
+
+TEST(MorselRangesTest, SmallTablesAndSerialRunsStayWhole) {
+  for (auto [rows, parallelism] : {std::pair<size_t, int>{100, 4},
+                                   {2 * kMorselMinRows - 1, 4},
+                                   {1 << 20, 1},
+                                   {1 << 20, 0}}) {
+    auto ranges = ComputeMorselRanges(rows, parallelism);
+    ASSERT_EQ(ranges.size(), 1u) << rows << "/" << parallelism;
+    ExpectPartition(ranges, rows);
+  }
+}
+
+TEST(MorselRangesTest, LargeTableSplitsIntoBalancedDeweyRanges) {
+  const size_t rows = 1 << 20;
+  auto ranges = ComputeMorselRanges(rows, 4);
+  ExpectPartition(ranges, rows);
+  EXPECT_EQ(ranges.size(), rows / kMorselTargetRows);
+  size_t lo = ranges.front().rows(), hi = lo;
+  for (const auto& r : ranges) {
+    lo = std::min(lo, r.rows());
+    hi = std::max(hi, r.rows());
+  }
+  EXPECT_LE(hi - lo, 1u);  // even split up to rounding
+}
+
+TEST(MorselRangesTest, JustAboveFloorSplitsByMinRows) {
+  // 9000 rows can't afford 4*parallelism shards of 4096; the shard count
+  // is clamped to rows / kMorselMinRows.
+  auto ranges = ComputeMorselRanges(9000, 4);
+  ExpectPartition(ranges, 9000);
+  EXPECT_EQ(ranges.size(), 2u);
+  for (const auto& r : ranges) EXPECT_GE(r.rows(), kMorselMinRows);
+}
+
+TEST(MorselRangesTest, RunMorselsWithoutRunnerIsSerialAndComplete) {
+  std::atomic<size_t> sum{0};
+  ParallelRunStats st =
+      RunMorsels(17, 4, nullptr, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(st.morsels, 17u);
+  EXPECT_EQ(st.steals, 0u);
+  EXPECT_EQ(st.threads, 1u);
+  EXPECT_EQ(sum.load(), size_t{17 * 16 / 2});
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 
 #include "data/xmark.h"
 #include "engine/engine.h"
+#include "rel/parallel.h"
 #include "service/metrics.h"
 #include "service/query_service.h"
 #include "service/result_cache.h"
@@ -128,6 +129,51 @@ TEST(ThreadPoolTest, DrainsQueuedTasksOnDestruction) {
     gate.Open();
   }
   EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, HelperLaneBypassesFullAdmissionQueue) {
+  // The helper lane is unbounded and separate from admission control:
+  // TrySubmitOrRun admits (and eventually runs, exactly once) even when the
+  // main lane is saturated and rejecting whole queries.
+  std::atomic<int> ran{0};
+  Gate gate;  // outlives the pool: queued gate tasks run during drain
+  {
+    ThreadPool pool(1, 1);
+    ASSERT_TRUE(pool.TrySubmit(gate.Task()));  // occupies the only worker
+    gate.AwaitEntered(1);
+    ASSERT_TRUE(pool.TrySubmit(gate.Task()));  // fills the main lane
+    ASSERT_FALSE(pool.TrySubmit([]() {}));     // admission rejects
+    for (int i = 0; i < 8; ++i) {
+      pool.TrySubmitOrRun([&]() { ran.fetch_add(1); });
+    }
+    gate.Open();
+  }  // destructor drains both lanes
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedMorselSubmissionIntoSaturatedPoolCompletes) {
+  // The regression the caller-runs contract exists for: every worker of an
+  // already-full pool simultaneously fans nested morsels back into the same
+  // pool. No helper may ever be free, so completion must never depend on
+  // the pool accepting anything — RunMorsels' submitting thread drains the
+  // dispenser itself. A deadlock here hangs the test.
+  constexpr int kOuter = 4;
+  constexpr size_t kMorselsPerOuter = 64;
+  std::atomic<size_t> bodies{0};
+  std::atomic<int> outer_done{0};
+  {
+    ThreadPool pool(2, 0);
+    for (int t = 0; t < kOuter; ++t) {
+      ASSERT_TRUE(pool.TrySubmit([&]() {
+        rel::ParallelRunStats st = rel::RunMorsels(
+            kMorselsPerOuter, 4, &pool.intra_runner(),
+            [&](size_t) { bodies.fetch_add(1); });
+        if (st.morsels == kMorselsPerOuter) outer_done.fetch_add(1);
+      }));
+    }
+  }  // destructor drains: joins only after every nested morsel ran
+  EXPECT_EQ(bodies.load(), kOuter * kMorselsPerOuter);
+  EXPECT_EQ(outer_done.load(), kOuter);
 }
 
 // ---------------------------------------------------------------------------
@@ -548,6 +594,109 @@ TEST(QueryServiceTest, CancelledQueryDoesNotPoisonResultCache) {
   ASSERT_TRUE(r3.ok());
   EXPECT_TRUE(r3.value().cache_hit);
   EXPECT_EQ(r3.value().nodes, expected.value().nodes);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven intra-query parallelism
+// ---------------------------------------------------------------------------
+
+// The PPF backend shreds into one table per element tag and reaches most
+// of them through path-id index points (which never shard — a B-tree walk
+// can't seek by row id). Sharding engages where a big table is reached by
+// a scan, hash probe, or merge sweep, which needs per-tag tables past the
+// 2*kMorselMinRows floor: scale 0.4.
+BigCorpus& ParallelCorpus() {
+  static BigCorpus* corpus = [] {
+    auto* c = new BigCorpus();
+    data::XMarkOptions opt;
+    opt.scale = 0.4;
+    c->doc = data::GenerateXMark(opt);
+    c->schema = xsd::ParseXsd(data::XMarkXsd()).value();
+    c->graph = std::make_unique<xsd::SchemaGraph>(
+        xsd::SchemaGraph::Build(c->schema).value());
+    c->engine = XPathEngine::Build(c->doc, *c->graph).value();
+    return c;
+  }();
+  return *corpus;
+}
+
+// Queries whose plans shard at scale 0.4, covering every shardable access
+// path: the Table-2 staircase merge join (Q6), plain sequential scans over
+// the biggest per-tag tables (Q13), and semi-join/EXISTS plans above a
+// sharded outer scan (Q23/Q24).
+const char* const kParallelQueries[] = {
+    "//keyword/ancestor::listitem",
+    "//*[@id]",
+    "/site/people/person[address and (phone or homepage)]",
+    "/site/people/person[not(homepage)]",
+};
+
+TEST(MorselParallelismTest, ParallelExecutionMatchesSerialAndShardsWork) {
+  BigCorpus& c = ParallelCorpus();
+  ThreadPool pool(4);
+  for (const char* q : kParallelQueries) {
+    auto serial = c.engine->Run(Backend::kPpf, q);
+    ASSERT_TRUE(serial.ok()) << q << ": " << serial.status().ToString();
+    EXPECT_EQ(serial.value().stats.morsels_scheduled, 0u) << q;
+
+    rel::ExecControl control;
+    control.runner = &pool.intra_runner();
+    control.parallelism = 4;
+    auto par = c.engine->Run(Backend::kPpf, q, &control);
+    ASSERT_TRUE(par.ok()) << q << ": " << par.status().ToString();
+    // The determinism contract: node sets bit-identical to serial.
+    EXPECT_EQ(par.value().nodes, serial.value().nodes) << q;
+    // Every one of these plans has a step past the split floor, so the
+    // execution genuinely sharded and reported its fan-out.
+    EXPECT_GE(par.value().stats.morsels_scheduled, 2u) << q;
+    EXPECT_GE(par.value().stats.parallel_threads, 1u) << q;
+  }
+}
+
+TEST(MorselParallelismTest, ExplainPlanShowsParallelOperators) {
+  BigCorpus& c = ParallelCorpus();
+  auto plan = c.engine->ExplainPlan(Backend::kPpf, "//*[@id]");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().find("-- parallel:"), std::string::npos)
+      << plan.value();
+  EXPECT_NE(plan.value().find("Dewey-range morsels"), std::string::npos)
+      << plan.value();
+}
+
+// Eight pool threads each running the same shared cached plan, each
+// fanning its own morsels into the same pool's helper lane — the
+// intra-query extension of SharedPlanTest, and the main tsan target for
+// this layer.
+TEST(SharedPlanTest, ConcurrentParallelExecutionOfOneCachedPlanMatchesSerial) {
+  BigCorpus& c = ParallelCorpus();
+  ServiceOptions opts;
+  opts.workers = 8;
+  opts.queue_capacity = 0;
+  opts.parallelism = 8;
+  QueryService svc(*c.engine, opts);
+
+  for (const char* q : kParallelQueries) {
+    auto serial = c.engine->Run(Backend::kPpf, q);
+    ASSERT_TRUE(serial.ok()) << q << ": " << serial.status().ToString();
+    // Warm the plan cache, then hammer the one shared plan from 8 clients
+    // whose executions each shard into concurrent morsels.
+    std::vector<std::future<Result<QueryResponse>>> futs;
+    for (int t = 0; t < 8; ++t) {
+      for (int rep = 0; rep < 3; ++rep) {
+        QueryRequest req;
+        req.xpath = q;
+        req.bypass_cache = true;
+        futs.push_back(svc.Submit(std::move(req)));
+      }
+    }
+    for (auto& f : futs) {
+      auto r = f.get();
+      ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+      EXPECT_EQ(r.value().nodes, serial.value().nodes) << q;
+    }
+  }
+  EXPECT_GT(svc.metrics().morsels_scheduled.load(), 0u);
+  EXPECT_GE(svc.metrics().max_query_threads.load(), 1u);
 }
 
 // ---------------------------------------------------------------------------
