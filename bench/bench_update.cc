@@ -1,0 +1,385 @@
+// Update-workload benchmark for the DML layer (src/dml): measures subtree
+// insert/delete/text-update latency with incremental index maintenance,
+// the read-only query mix before any mutation (the non-regression anchor),
+// and a mixed 90/10 read-write workload served through the QueryService
+// twice — once with path-id-scoped ("surgical") result-cache invalidation
+// and once with the generation-bump fallback — so the cache-hit-rate win
+// of surgical invalidation is a measured, gated number.
+//
+// Writes BENCH_update.json; bench/check_regression.py --update gates it:
+// the read-only geomean must not regress more than the threshold, and the
+// surgical hit rate must beat the generation-bump hit rate on the same
+// operation sequence. A final mutate-vs-reshred spot check (oracle_ok)
+// guards against a benchmark that got fast by answering wrong.
+//
+// Flags: --threads=N (ServiceOptions::parallelism; recorded), --scale=F
+// (corpus scale, default 0.1 — the paper's 12 MB analogue).
+// Env: XPREL_REPS (read-only timing passes), XPREL_UPDATE_MUTATIONS
+// (latency-phase mutation count), XPREL_UPDATE_MIXED_OPS (mixed-phase ops).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "data/rng.h"
+#include "dml/mutator.h"
+#include "service/query_service.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xprel::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count() * 1e3;
+}
+
+constexpr size_t kNumQueries = sizeof(kXMarkQueries) / sizeof(kXMarkQueries[0]);
+
+// Read mix for the 90/10 phase: half the queries never touch item paths
+// (people/auctions), so surgical invalidation can keep them cached across
+// item mutations; the other half go stale on every item write either way.
+constexpr const char* kMixedReads[] = {
+    "/site/people/person/name",
+    "/site/people/person[address and (phone or homepage)]",
+    "/site/open_auctions/open_auction/bidder",
+    "/site/closed_auctions/closed_auction/price",
+    "/site/regions/*/item",
+    "//item[@featured='yes']",
+    "/site/regions/africa/item/name",
+    "//keyword",
+};
+constexpr size_t kNumMixedReads =
+    sizeof(kMixedReads) / sizeof(kMixedReads[0]);
+
+std::string ItemFragment(int id) {
+  return "<item id=\"upd" + std::to_string(id) + "\">"
+         "<location>Honduras</location><quantity>1</quantity>"
+         "<name>update bench item " + std::to_string(id) + "</name>"
+         "<payment>Cash</payment>"
+         "<description><text>update bench payload</text></description>"
+         "<shipping>Will ship only within country</shipping></item>";
+}
+
+const char* kRegions[] = {"africa", "asia",     "australia",
+                          "europe", "namerica", "samerica"};
+
+struct LatencyStats {
+  double mean_ms = 0;
+  double p95_ms = 0;
+};
+
+LatencyStats Summarize(std::vector<double>& ms) {
+  LatencyStats s;
+  if (ms.empty()) return s;
+  double total = 0;
+  for (double v : ms) total += v;
+  s.mean_ms = total / static_cast<double>(ms.size());
+  std::sort(ms.begin(), ms.end());
+  s.p95_ms = ms[std::min(ms.size() - 1, ms.size() * 95 / 100)];
+  return s;
+}
+
+// Geomean ms over the XPathMark mix on the bare engine; also sums result
+// nodes as a cheap cross-run identity check.
+double ReadOnlyGeomean(const engine::XPathEngine& eng, int reps,
+                       size_t* nodes_total, size_t* failures) {
+  double log_sum = 0;
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    double total = 0;
+    for (int r = 0; r < reps; ++r) {
+      auto out = eng.Run(engine::Backend::kPpf, kXMarkQueries[i].xpath);
+      if (!out.ok()) {
+        std::fprintf(stderr, "read-only %s: %s\n", kXMarkQueries[i].id,
+                     out.status().ToString().c_str());
+        ++*failures;
+        return 0;
+      }
+      total += out.value().elapsed_ms;
+      if (r == 0) *nodes_total += out.value().nodes.size();
+    }
+    double ms = total / reps;
+    log_sum += std::log(ms > 1e-6 ? ms : 1e-6);
+  }
+  return std::exp(log_sum / static_cast<double>(kNumQueries));
+}
+
+struct MixedResult {
+  double qps = 0;
+  double hit_rate = 0;
+  uint64_t invalidated = 0;
+  size_t failures = 0;
+};
+
+// Replays `ops` operations (every 10th a mutation, same Rng seed for every
+// mode) through a fresh QueryService over `corpus`. `surgical` selects
+// path-id-scoped invalidation; otherwise every mutation bumps the cache
+// generation.
+MixedResult RunMixed(Corpus& corpus, int ops, int threads, bool surgical) {
+  service::ServiceOptions opt;
+  opt.workers = 4;
+  opt.parallelism = threads;
+  service::QueryService svc(*corpus.engine, opt);
+  dml::DocumentMutator mut(corpus.doc, *corpus.engine);
+  data::Rng rng(0xBEEF);
+
+  MixedResult res;
+  std::deque<int> inserted;
+  int next_id = 0;
+  auto start = Clock::now();
+  for (int i = 0; i < ops; ++i) {
+    if (i % 10 == 9) {
+      // Write op: alternate insert and delete of bench-owned items so the
+      // document size stays stable and no path is ever created or retired.
+      auto mutate = [&]() -> Result<dml::MutationResult> {
+        if (inserted.size() < 2 || rng.Below(2) == 0) {
+          const char* region = kRegions[rng.Below(6)];
+          int id = next_id++;
+          auto r = mut.InsertFragmentAt(
+              std::string("/site/regions/") + region, 0, ItemFragment(id));
+          if (r.ok()) inserted.push_back(id);
+          return r;
+        }
+        int id = inserted.front();
+        inserted.pop_front();
+        return mut.DeleteSubtreeAt("//item[@id='upd" + std::to_string(id) +
+                                   "']");
+      };
+      auto r = mutate();
+      if (!r.ok()) {
+        std::fprintf(stderr, "mixed mutation %d: %s\n", i,
+                     r.status().ToString().c_str());
+        ++res.failures;
+        continue;
+      }
+      if (surgical) {
+        svc.InvalidateMutation(r.value().affected);
+      } else {
+        svc.InvalidateResults();
+      }
+    } else {
+      service::QueryRequest req;
+      req.xpath = kMixedReads[rng.Below(kNumMixedReads)];
+      auto resp = svc.Run(std::move(req));
+      if (!resp.ok()) {
+        std::fprintf(stderr, "mixed read %d: %s\n", i,
+                     resp.status().ToString().c_str());
+        ++res.failures;
+      }
+    }
+  }
+  res.qps = static_cast<double>(ops) / (MsSince(start) / 1e3);
+  res.hit_rate = svc.metrics().CacheHitRate();
+  res.invalidated = svc.metrics().cache_entries_invalidated.load();
+  return res;
+}
+
+// Serializes the mutated document, reshreds from scratch, and compares a
+// few query node-counts — a cheap end-of-run consistency oracle.
+bool OracleCheck(Corpus& mutated) {
+  auto parsed = xml::ParseXml(xml::SerializeXml(mutated.doc));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "oracle reparse: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  auto fresh = BuildCorpus("reshred", std::move(parsed).value(),
+                           data::XMarkXsd());
+  const char* queries[] = {"//item", "//item/name", "//keyword",
+                           "/site/people/person/name"};
+  for (const char* q : queries) {
+    auto a = mutated.engine->Run(engine::Backend::kPpf, q);
+    auto b = fresh->engine->Run(engine::Backend::kPpf, q);
+    if (!a.ok() || !b.ok() ||
+        a.value().nodes.size() != b.value().nodes.size()) {
+      std::fprintf(stderr, "oracle: %s diverged from reshred (%zu vs %zu)\n",
+                   q, a.ok() ? a.value().nodes.size() : 0,
+                   b.ok() ? b.value().nodes.size() : 0);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunBench(int threads, double scale_override) {
+  const int reps = EnvInt("XPREL_REPS", 3);
+  const int mutations = EnvInt("XPREL_UPDATE_MUTATIONS", 50);
+  const int mixed_ops = EnvInt("XPREL_UPDATE_MIXED_OPS", 600);
+  const double scale = scale_override > 0
+                           ? scale_override
+                           : EnvDouble("XPREL_XMARK_SMALL_SCALE", 0.1);
+
+  auto corpus = BuildXMark("update", scale);
+  size_t failures = 0;
+
+  // Phase 1: read-only anchor on the pristine engine.
+  size_t nodes_total = 0;
+  double read_geomean =
+      ReadOnlyGeomean(*corpus->engine, reps, &nodes_total, &failures);
+  std::printf("read-only geomean: %.3f ms over %zu queries "
+              "(%zu result nodes)\n",
+              read_geomean, kNumQueries, nodes_total);
+
+  // Phase 2: insert latency (timed mutation only; target resolution is
+  // off the clock).
+  dml::DocumentMutator mut(corpus->doc, *corpus->engine);
+  std::vector<double> insert_ms, delete_ms, update_ms;
+  std::vector<xml::NodeId> bench_items;
+  for (int i = 0; i < mutations; ++i) {
+    auto parent = mut.ResolveTarget(std::string("/site/regions/") +
+                                    kRegions[i % 6]);
+    if (!parent.ok()) {
+      ++failures;
+      continue;
+    }
+    std::string frag = ItemFragment(100000 + i);
+    auto t0 = Clock::now();
+    auto r = mut.InsertFragment(*parent, 0, frag);
+    if (!r.ok()) {
+      std::fprintf(stderr, "insert %d: %s\n", i,
+                   r.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    insert_ms.push_back(MsSince(t0));
+    bench_items.push_back(r.value().node);
+  }
+
+  // Phase 3: text-update latency on the freshly inserted items.
+  for (size_t i = 0; i < bench_items.size(); i += 2) {
+    auto target = mut.ResolveTarget(
+        "//item[@id='upd" + std::to_string(100000 + i) + "']/name");
+    if (!target.ok()) continue;
+    auto t0 = Clock::now();
+    auto r = mut.UpdateText(*target, "retitled " + std::to_string(i));
+    if (!r.ok()) {
+      ++failures;
+      continue;
+    }
+    update_ms.push_back(MsSince(t0));
+  }
+
+  // Phase 4: delete latency (removes everything phase 2 added).
+  for (xml::NodeId node : bench_items) {
+    auto t0 = Clock::now();
+    auto r = mut.DeleteSubtree(node);
+    if (!r.ok()) {
+      std::fprintf(stderr, "delete: %s\n", r.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    delete_ms.push_back(MsSince(t0));
+  }
+
+  LatencyStats ins = Summarize(insert_ms);
+  LatencyStats del = Summarize(delete_ms);
+  LatencyStats upd = Summarize(update_ms);
+  const dml::MutationStats& ms = mut.stats();
+  std::printf("insert: mean %.3f ms p95 %.3f ms (%zu ops)\n", ins.mean_ms,
+              ins.p95_ms, insert_ms.size());
+  std::printf("update: mean %.3f ms p95 %.3f ms (%zu ops)\n", upd.mean_ms,
+              upd.p95_ms, update_ms.size());
+  std::printf("delete: mean %.3f ms p95 %.3f ms (%zu ops)\n", del.mean_ms,
+              del.p95_ms, delete_ms.size());
+  std::printf("dewey_renumbers=%llu paths_added=%llu paths_retired=%llu "
+              "rollbacks=%llu\n",
+              static_cast<unsigned long long>(ms.dewey_renumbers),
+              static_cast<unsigned long long>(ms.paths_added),
+              static_cast<unsigned long long>(ms.paths_retired),
+              static_cast<unsigned long long>(ms.rollbacks));
+
+  // Phase 5: mixed 90/10 read-write, surgical vs generation-bump — same
+  // seed, same op sequence, fresh service each. The surgical run reuses
+  // this corpus (document content is back to baseline after phase 4); the
+  // generation run gets an identical fresh corpus.
+  MixedResult surgical = RunMixed(*corpus, mixed_ops, threads, true);
+  auto corpus_gen = BuildXMark("update-genbump", scale);
+  MixedResult genbump = RunMixed(*corpus_gen, mixed_ops, threads, false);
+  failures += surgical.failures + genbump.failures;
+  std::printf("mixed 90/10 surgical:   %7.1f ops/s  hit_rate=%.1f%% "
+              "entries_invalidated=%llu\n",
+              surgical.qps, 100 * surgical.hit_rate,
+              static_cast<unsigned long long>(surgical.invalidated));
+  std::printf("mixed 90/10 gen-bump:   %7.1f ops/s  hit_rate=%.1f%%\n",
+              genbump.qps, 100 * genbump.hit_rate);
+
+  // Phase 6: consistency oracle on the mutated corpus.
+  bool oracle_ok = OracleCheck(*corpus);
+  std::printf("oracle_ok=%d failures=%zu\n", oracle_ok ? 1 : 0, failures);
+
+  FILE* f = std::fopen("BENCH_update.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_update.json for writing\n");
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"scale\": %g,\n"
+      "  \"threads\": %d,\n"
+      "  \"mutations\": %d,\n"
+      "  \"mixed_ops\": %d,\n"
+      "  \"read_only_geomean_ms\": %.4f,\n"
+      "  \"read_only_nodes\": %zu,\n"
+      "  \"insert_mean_ms\": %.4f,\n"
+      "  \"insert_p95_ms\": %.4f,\n"
+      "  \"update_mean_ms\": %.4f,\n"
+      "  \"update_p95_ms\": %.4f,\n"
+      "  \"delete_mean_ms\": %.4f,\n"
+      "  \"delete_p95_ms\": %.4f,\n"
+      "  \"dewey_renumbers\": %llu,\n"
+      "  \"paths_added\": %llu,\n"
+      "  \"paths_retired\": %llu,\n"
+      "  \"mixed\": {\n"
+      "    \"write_fraction\": 0.1,\n"
+      "    \"surgical_qps\": %.2f,\n"
+      "    \"surgical_hit_rate\": %.4f,\n"
+      "    \"surgical_entries_invalidated\": %llu,\n"
+      "    \"generation_qps\": %.2f,\n"
+      "    \"generation_hit_rate\": %.4f\n"
+      "  },\n"
+      "  \"failures\": %zu,\n"
+      "  \"oracle_ok\": %s\n"
+      "}\n",
+      scale, threads, mutations, mixed_ops, read_geomean, nodes_total,
+      ins.mean_ms, ins.p95_ms, upd.mean_ms, upd.p95_ms, del.mean_ms,
+      del.p95_ms, static_cast<unsigned long long>(ms.dewey_renumbers),
+      static_cast<unsigned long long>(ms.paths_added),
+      static_cast<unsigned long long>(ms.paths_retired), surgical.qps,
+      surgical.hit_rate,
+      static_cast<unsigned long long>(surgical.invalidated), genbump.qps,
+      genbump.hit_rate, failures, oracle_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_update.json\n");
+  return (failures == 0 && oracle_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xprel::bench
+
+int main(int argc, char** argv) {
+  int threads = 0;
+  double scale = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (expected --threads=N or --scale=F)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  return xprel::bench::RunBench(threads, scale);
+}

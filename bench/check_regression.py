@@ -27,6 +27,14 @@ least --scaling-min (default 2.0) times faster than 1-thread, and the
 hosts with >= 4 cores — with fewer cores the caller-runs fallback
 serializes morsels and the target is physically unreachable.
 
+Update mode (--update): compares BENCH_update.json (from `bench_update`)
+against the committed baseline. Fails when the read-only query geomean
+regresses by more than --threshold, when the mixed 90/10 read-write
+workload's surgical (path-id-scoped) cache hit rate fails to beat the
+generation-bump fallback's on the identical operation sequence, when any
+operation failed, or when the end-of-run mutate-vs-reshred oracle
+diverged. Mutation latencies are reported for trend-watching.
+
 Tsan mode (--tsan): runs the executor test targets (shared cached plans
 under concurrent execution) from the `tsan` preset build, so batch-local
 executor state is proven re-entrant by ThreadSanitizer on every gate run.
@@ -43,6 +51,8 @@ Usage:
   bench/check_regression.py --service --candidate BENCH_service.json
   bench/check_regression.py --service --bench-bin build/bench/bench_service
   bench/check_regression.py --scaling --candidate BENCH_service.json
+  bench/check_regression.py --update --candidate BENCH_update.json
+  bench/check_regression.py --update --bench-bin build/bench/bench_update
   bench/check_regression.py --hardening
   bench/check_regression.py --hardening --hardening-bin build-fault/tests/hardening_test
   bench/check_regression.py --tsan
@@ -270,10 +280,77 @@ def check_scaling(args):
     return 0
 
 
+def check_update(args):
+    """Gates BENCH_update.json (from bench_update): correctness first
+    (zero failed operations, mutate-vs-reshred oracle green), then the
+    read-only geomean non-regression, then the cache-invalidation claim —
+    surgical must beat generation-bump on the identical op sequence."""
+    baseline = load_obj(args.baseline)
+    if args.candidate:
+        candidate = load_obj(args.candidate)
+    else:
+        candidate = run_bench(args.bench_bin, "BENCH_update.json", [])
+
+    for field, knob in (("scale", "--scale"), ("threads", "--threads")):
+        if (field in baseline and field in candidate
+                and baseline[field] != candidate[field]):
+            print(f"FAIL: {field} mismatch ({candidate[field]} vs baseline "
+                  f"{baseline[field]}); rerun bench_update with {knob} set "
+                  f"to the baseline's value.")
+            return 1
+
+    fail = False
+    # A fast but wrong DML layer measures nothing: every operation must
+    # have applied cleanly and the mutated engine must equal a from-scratch
+    # reshred of the mutated document.
+    if candidate.get("failures", 1) != 0:
+        print(f"FAIL: failures = {candidate.get('failures')} (must be 0)")
+        fail = True
+    if not candidate.get("oracle_ok", False):
+        print("FAIL: mutate-vs-reshred oracle diverged (or is missing from "
+              "the record); regenerate with the current bench_update")
+        fail = True
+
+    b = baseline.get("read_only_geomean_ms")
+    c = candidate.get("read_only_geomean_ms")
+    if b is not None and c is not None:
+        ratio = c / max(b, 1e-6)
+        print(f"read-only geomean: {b:.3f} -> {c:.3f} ms (x{ratio:.2f})")
+        if ratio > 1.0 + args.threshold:
+            print(f"FAIL: read-only geomean regressed more than "
+                  f"{args.threshold:.0%}")
+            fail = True
+
+    mixed = candidate.get("mixed", {})
+    surgical = mixed.get("surgical_hit_rate")
+    genbump = mixed.get("generation_hit_rate")
+    if surgical is None or genbump is None:
+        print("FAIL: mixed hit rates missing from candidate record "
+              "(regenerate BENCH_update.json with the current bench_update)")
+        fail = True
+    else:
+        print(f"mixed 90/10 hit rate: surgical {surgical:.1%} vs "
+              f"generation-bump {genbump:.1%}")
+        if surgical <= genbump:
+            print("FAIL: path-id-scoped invalidation must beat the "
+                  "generation-bump hit rate on the same op sequence")
+            fail = True
+
+    for key in ("insert_mean_ms", "update_mean_ms", "delete_mean_ms"):
+        if key in baseline and key in candidate:
+            print(f"{key}: {baseline[key]:.3f} -> {candidate[key]:.3f} ms")
+    if fail:
+        return 1
+    print("OK")
+    return 0
+
+
 # The executor test targets that exercise shared cached plans from
 # concurrent executions — the surface where batch-local state could race.
+# dml_test adds the writer-excludes-readers discipline: concurrent Run()
+# against a mutating DocumentMutator on the engine's shared_mutex.
 TSAN_TEST_BINS = ("rel_exec_test", "join_engine_test",
-                  "random_property_test", "service_test")
+                  "random_property_test", "service_test", "dml_test")
 
 
 def check_tsan(args):
@@ -313,22 +390,39 @@ def check_hardening(args):
               f"(cmake --preset fault-injection && "
               f"cmake --build build-fault -j)")
         return 1
+    # The DML fault points (dml.*) are swept by the fault-gated cases in
+    # the dml tests: every point must roll the mutation back to a state
+    # indistinguishable from a from-scratch reshred, leak-free under asan.
+    bins = [args.hardening_bin]
+    tests_dir = os.path.dirname(args.hardening_bin)
+    for extra in ("dml_test", "dml_oracle_test"):
+        path = os.path.join(tests_dir, extra)
+        if not os.path.exists(path):
+            print(f"FAIL: {path} not found; rebuild the `fault-injection` "
+                  f"preset (cmake --preset fault-injection && "
+                  f"cmake --build build-fault -j)")
+            return 1
+        bins.append(path)
     env = dict(os.environ)
     # Leaks on error paths are the whole point of this gate.
     env.setdefault("ASAN_OPTIONS", "detect_leaks=1")
     env.setdefault("UBSAN_OPTIONS", "print_stacktrace=1:halt_on_error=1")
-    proc = subprocess.run([os.path.abspath(args.hardening_bin)],
-                          capture_output=True, text=True, env=env)
-    sys.stdout.write(proc.stdout)
-    sys.stderr.write(proc.stderr)
-    if proc.returncode != 0:
-        print(f"FAIL: hardening_test exited {proc.returncode}")
-        return 1
-    if "fault injection compiled out" in proc.stdout + proc.stderr:
-        print("FAIL: fault sweep skipped — the binary was built without "
-              "XPREL_FAULT_INJECTION; use the `fault-injection` preset")
-        return 1
-    print("OK: hardening gate passed (fault sweep ran, no leaks, no crashes)")
+    for b in bins:
+        name = os.path.basename(b)
+        print(f"-- {name} (fault-injection preset)")
+        proc = subprocess.run([os.path.abspath(b)],
+                              capture_output=True, text=True, env=env)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            print(f"FAIL: {name} exited {proc.returncode}")
+            return 1
+        if "fault injection compiled out" in proc.stdout + proc.stderr:
+            print(f"FAIL: {name} fault sweep skipped — the binary was built "
+                  f"without XPREL_FAULT_INJECTION; use the `fault-injection` "
+                  f"preset")
+            return 1
+    print("OK: hardening gate passed (fault sweeps ran, no leaks, no crashes)")
     return 0
 
 
@@ -339,6 +433,10 @@ def main():
     ap.add_argument("--scaling", action="store_true",
                     help="gate the intra-query scaling curve in "
                          "BENCH_service.json (4-thread vs 1-thread geomean)")
+    ap.add_argument("--update", action="store_true",
+                    help="gate BENCH_update.json (DML latency, read-only "
+                         "non-regression, surgical vs generation-bump "
+                         "cache hit rate)")
     ap.add_argument("--scaling-min", type=float, default=2.0,
                     help="required 4-thread speedup over 1-thread "
                          "(default 2.0; enforced on hosts with >= 4 cores)")
@@ -378,14 +476,19 @@ def main():
     if args.tsan:
         return check_tsan(args)
 
-    service_like = args.service or args.scaling
-    name = "BENCH_service.json" if service_like else "BENCH_micro.json"
-    binname = "bench_service" if service_like else "bench_micro"
+    if args.update:
+        name, binname = "BENCH_update.json", "bench_update"
+    elif args.service or args.scaling:
+        name, binname = "BENCH_service.json", "bench_service"
+    else:
+        name, binname = "BENCH_micro.json", "bench_micro"
     if args.baseline is None:
         args.baseline = os.path.join(REPO_ROOT, name)
     if args.bench_bin is None:
         args.bench_bin = os.path.join(REPO_ROOT, "build", "bench", binname)
 
+    if args.update:
+        return check_update(args)
     if args.scaling:
         return check_scaling(args)
     return check_service(args) if args.service else check_micro(args)

@@ -22,10 +22,20 @@ Result<std::unique_ptr<AccelStore>> AccelStore::Create(
     int32_t parent_pre;
     int32_t level;
   };
+  // Preorder DFS over the live tree (NOT the id range: after DML, ids are
+  // no longer in document order and dead nodes linger in the array).
   std::vector<Elem> elems;
-  for (xml::NodeId id = 1; id <= doc.size(); ++id) {
-    if (!doc.IsElement(id)) continue;
-    elems.push_back({id, -1, doc.node(id).depth});
+  if (doc.root() != xml::kNoNode) {
+    std::vector<xml::NodeId> dfs{doc.root()};
+    while (!dfs.empty()) {
+      xml::NodeId id = dfs.back();
+      dfs.pop_back();
+      elems.push_back({id, -1, doc.node(id).depth});
+      const std::vector<xml::NodeId>& ch = doc.node(id).children;
+      for (auto it = ch.rbegin(); it != ch.rend(); ++it) {
+        if (doc.IsElement(*it)) dfs.push_back(*it);
+      }
+    }
   }
   std::map<xml::NodeId, int32_t> pre_of;
   for (size_t i = 0; i < elems.size(); ++i) {

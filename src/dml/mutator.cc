@@ -1,0 +1,343 @@
+#include "dml/mutator.h"
+
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/fault_injection.h"
+#include "encoding/dewey.h"
+#include "xml/parser.h"
+
+namespace xprel::dml {
+
+using encoding::Dewey;
+
+namespace {
+
+// Both stores shred the engine's single document under doc id 1.
+constexpr int64_t kDocId = 1;
+
+// Rough resident bytes of a subtree across the document and its two
+// shredded images (rows + index entries + dictionary copies). Coarse on
+// purpose — the budget needs proportionality, not byte exactness.
+size_t ApproxSubtreeBytes(const xml::Document& doc, xml::NodeId root) {
+  size_t bytes = 0;
+  std::vector<xml::NodeId> stack{root};
+  while (!stack.empty()) {
+    xml::NodeId cur = stack.back();
+    stack.pop_back();
+    const xml::Node& n = doc.node(cur);
+    bytes += sizeof(xml::Node) + n.name.size() + n.text.size();
+    for (const xml::Attribute& a : n.attributes) {
+      bytes += a.name.size() + a.value.size() + 2 * sizeof(std::string);
+    }
+    for (xml::NodeId c : n.children) stack.push_back(c);
+  }
+  return bytes * 3;
+}
+
+void SortUnique(std::vector<int64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+Status DocumentMutator::CheckBinding() const {
+  if (&doc_ != &engine_.document()) {
+    return Status::InvalidArgument(
+        "dml: mutator document is not the engine's document");
+  }
+  return Status::Ok();
+}
+
+Status DocumentMutator::ValidateElement(xml::NodeId id) const {
+  if (id < 1 || id > doc_.size()) {
+    return Status::InvalidArgument("dml: node id " + std::to_string(id) +
+                                   " out of range");
+  }
+  if (!doc_.IsElement(id)) {
+    return Status::InvalidArgument("dml: node " + std::to_string(id) +
+                                   " is not an element");
+  }
+  if (!doc_.alive(id)) {
+    return Status::InvalidArgument("dml: node " + std::to_string(id) +
+                                   " was already removed");
+  }
+  return Status::Ok();
+}
+
+Result<xml::NodeId> DocumentMutator::ResolveTarget(
+    std::string_view xpath) const {
+  engine::Backend backend =
+      engine_.ppf_store() != nullptr    ? engine::Backend::kPpf
+      : engine_.edge_store() != nullptr ? engine::Backend::kEdgePpf
+                                        : engine::Backend::kStaircase;
+  auto out = engine_.Run(backend, xpath);
+  if (!out.ok()) return out.status();
+  if (out.value().nodes.empty()) {
+    return Status::InvalidArgument("dml: xpath target matched no node: " +
+                                   std::string(xpath));
+  }
+  return out.value().nodes.front();
+}
+
+void DocumentMutator::ReassignSubtreeDeweys(xml::NodeId node,
+                                            std::string new_dewey,
+                                            int32_t old_size,
+                                            std::vector<xml::NodeId>* changed) {
+  // Descendant keys derive from the root key: an unchanged root means the
+  // whole subtree is already keyed consistently.
+  if (doc_.node(node).dewey == new_dewey) return;
+  doc_.MutableNode(node).dewey = std::move(new_dewey);
+  if (node <= old_size && changed != nullptr) changed->push_back(node);
+  uint32_t idx = 0;
+  for (xml::NodeId c : doc_.node(node).children) {
+    if (!doc_.IsElement(c)) continue;
+    ReassignSubtreeDeweys(c, Dewey::StridedChild(doc_.dewey(node), idx++),
+                          old_size, changed);
+  }
+}
+
+Status DocumentMutator::RebuildStoresFromDocument() {
+  // Cached plans point into the tables being replaced; drop everything and
+  // move the generation so result caches miss too.
+  {
+    std::lock_guard<std::mutex> lock(engine_.cache_mu_);
+    engine_.ClearPlanCacheLocked();
+  }
+  engine_.BumpGeneration();
+  doc_.RefreshOrderRanks();
+  if (engine_.ppf_store_ != nullptr) {
+    auto store = shred::SchemaAwareStore::Create(*engine_.graph_);
+    if (!store.ok()) return store.status();
+    auto fresh = std::move(store).value();
+    auto id = fresh->LoadDocument(doc_);
+    if (!id.ok()) return id.status();
+    engine_.ppf_store_ = std::move(fresh);
+  }
+  if (engine_.edge_store_ != nullptr) {
+    auto store = shred::EdgeStore::Create();
+    if (!store.ok()) return store.status();
+    auto fresh = std::move(store).value();
+    auto id = fresh->LoadDocument(doc_);
+    if (!id.ok()) return id.status();
+    engine_.edge_store_ = std::move(fresh);
+  }
+  engine_.MarkAccelStale();
+  return Status::Ok();
+}
+
+MutationResult DocumentMutator::Finalize(const shred::MutationEffects& ppf,
+                                         const shred::MutationEffects& edge,
+                                         bool renumbered, xml::NodeId node) {
+  doc_.RefreshOrderRanks();
+
+  MutationResult res;
+  res.node = node;
+  res.renumbered = renumbered;
+  res.affected.ppf = ppf.paths;
+  res.affected.edge = edge.paths;
+  SortUnique(res.affected.ppf);
+  SortUnique(res.affected.edge);
+  res.affected.paths_changed = ppf.changed() || edge.changed();
+
+  engine_.MarkAccelStale();
+  engine_.InvalidateForMutation(res.affected);
+
+  // Counters: both stores intern the same root-to-node paths, so the
+  // schema-aware store's counts are the canonical ones (Edge's when PPF is
+  // disabled).
+  const shred::MutationEffects& primary =
+      engine_.ppf_store_ != nullptr ? ppf : edge;
+  ++stats_.mutations_applied;
+  if (renumbered) ++stats_.dewey_renumbers;
+  stats_.paths_added += static_cast<uint64_t>(primary.paths_added);
+  stats_.paths_retired += static_cast<uint64_t>(primary.paths_retired);
+
+  engine::MutationCounters& mc = engine_.mutation_counters_;
+  mc.mutations_applied.fetch_add(1, std::memory_order_relaxed);
+  if (renumbered) mc.dewey_renumbers.fetch_add(1, std::memory_order_relaxed);
+  mc.paths_added.fetch_add(static_cast<uint64_t>(primary.paths_added),
+                           std::memory_order_relaxed);
+  mc.paths_retired.fetch_add(static_cast<uint64_t>(primary.paths_retired),
+                             std::memory_order_relaxed);
+  return res;
+}
+
+Result<MutationResult> DocumentMutator::InsertFragment(
+    xml::NodeId parent, size_t child_index, std::string_view fragment_xml) {
+  XPREL_RETURN_IF_ERROR(CheckBinding());
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.apply"));
+  XPREL_RETURN_IF_ERROR(ValidateElement(parent));
+  auto frag = xml::ParseXml(fragment_xml);
+  if (!frag.ok()) return frag.status();
+  const xml::Document& fdoc = frag.value();
+  if (fdoc.root() == xml::kNoNode) {
+    return Status::InvalidArgument("dml: empty fragment");
+  }
+  const size_t charge = ApproxSubtreeBytes(fdoc, fdoc.root());
+  if (budget_ != nullptr) {
+    XPREL_RETURN_IF_ERROR(budget_->Reserve(charge, "dml insert"));
+  }
+
+  std::unique_lock<std::shared_mutex> writer(engine_.rw_mu_);
+
+  // Dewey caret (ORDPATH-style): midpoint ordinal between the neighbouring
+  // element siblings' last components; appends take their own trailing gap.
+  const std::vector<xml::NodeId>& siblings = doc_.node(parent).children;
+  child_index = std::min(child_index, siblings.size());
+  uint32_t before = 0;
+  uint32_t after = Dewey::kNoSibling;
+  for (size_t i = child_index; i-- > 0;) {
+    if (doc_.IsElement(siblings[i])) {
+      before = Dewey::LastOrdinal(doc_.dewey(siblings[i]));
+      break;
+    }
+  }
+  for (size_t i = child_index; i < siblings.size(); ++i) {
+    if (doc_.IsElement(siblings[i])) {
+      after = Dewey::LastOrdinal(doc_.dewey(siblings[i]));
+      break;
+    }
+  }
+  uint32_t ordinal = 0;
+  const bool renumbered = !Dewey::OrdinalBetween(before, after, &ordinal);
+  std::string root_dewey =
+      renumbered ? std::string() : Dewey::Child(doc_.dewey(parent), ordinal);
+
+  const int32_t old_size = doc_.size();
+  xml::NodeId new_root = doc_.AdoptSubtree(fdoc, fdoc.root(), parent,
+                                           child_index,
+                                           std::move(root_dewey));
+
+  std::vector<xml::NodeId> rekeyed;
+  if (renumbered) {
+    // Gap exhausted: fresh strided keys for every element child of the
+    // parent (subtrees whose root key comes out unchanged are skipped).
+    uint32_t idx = 0;
+    for (xml::NodeId c : doc_.node(parent).children) {
+      if (!doc_.IsElement(c)) continue;
+      ReassignSubtreeDeweys(c, Dewey::StridedChild(doc_.dewey(parent), idx++),
+                            old_size, &rekeyed);
+    }
+  }
+
+  shred::MutationEffects ppf_eff, edge_eff;
+  Status s = Status::Ok();
+  if (engine_.ppf_store_ != nullptr) {
+    s = engine_.ppf_store_->InsertSubtree(doc_, kDocId, new_root, &ppf_eff);
+  }
+  if (s.ok() && engine_.edge_store_ != nullptr) {
+    s = engine_.edge_store_->InsertSubtree(doc_, kDocId, new_root, &edge_eff);
+  }
+  if (s.ok() && !rekeyed.empty()) {
+    if (engine_.ppf_store_ != nullptr) {
+      s = engine_.ppf_store_->UpdateDeweys(doc_, kDocId, rekeyed);
+    }
+    if (s.ok() && engine_.edge_store_ != nullptr) {
+      s = engine_.edge_store_->UpdateDeweys(doc_, kDocId, rekeyed);
+    }
+  }
+  if (!s.ok()) {
+    // Partial failure: restore the document (renumbered keys stay — they
+    // are self-consistent) and rebuild the stores from it.
+    doc_.TruncateTo(old_size);
+    ++stats_.rollbacks;
+    if (budget_ != nullptr) budget_->Release(charge);
+    XPREL_RETURN_IF_ERROR(RebuildStoresFromDocument());
+    return s;
+  }
+  return Finalize(ppf_eff, edge_eff, renumbered, new_root);
+}
+
+Result<MutationResult> DocumentMutator::InsertFragmentAt(
+    std::string_view parent_xpath, size_t child_index,
+    std::string_view fragment_xml) {
+  auto target = ResolveTarget(parent_xpath);
+  if (!target.ok()) return target.status();
+  return InsertFragment(*target, child_index, fragment_xml);
+}
+
+Result<MutationResult> DocumentMutator::DeleteSubtree(xml::NodeId target) {
+  XPREL_RETURN_IF_ERROR(CheckBinding());
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.apply"));
+  XPREL_RETURN_IF_ERROR(ValidateElement(target));
+  if (doc_.node(target).parent == xml::kNoNode) {
+    return Status::InvalidArgument("dml: cannot delete the document root");
+  }
+  const size_t credit = ApproxSubtreeBytes(doc_, target);
+
+  std::unique_lock<std::shared_mutex> writer(engine_.rw_mu_);
+
+  // Stores first (the subtree's child links must still be walkable, and a
+  // failure leaves the document untouched for the rebuild).
+  shred::MutationEffects ppf_eff, edge_eff;
+  Status s = Status::Ok();
+  if (engine_.ppf_store_ != nullptr) {
+    s = engine_.ppf_store_->DeleteSubtree(doc_, kDocId, target, &ppf_eff);
+  }
+  if (s.ok() && engine_.edge_store_ != nullptr) {
+    s = engine_.edge_store_->DeleteSubtree(doc_, kDocId, target, &edge_eff);
+  }
+  if (!s.ok()) {
+    ++stats_.rollbacks;
+    XPREL_RETURN_IF_ERROR(RebuildStoresFromDocument());
+    return s;
+  }
+  doc_.RemoveSubtree(target);
+  if (engine_.ppf_store_ != nullptr) engine_.ppf_store_->CompactIfNeeded();
+  if (engine_.edge_store_ != nullptr) engine_.edge_store_->CompactIfNeeded();
+  if (budget_ != nullptr) budget_->Release(credit);
+  return Finalize(ppf_eff, edge_eff, /*renumbered=*/false, xml::kNoNode);
+}
+
+Result<MutationResult> DocumentMutator::DeleteSubtreeAt(
+    std::string_view target_xpath) {
+  auto target = ResolveTarget(target_xpath);
+  if (!target.ok()) return target.status();
+  return DeleteSubtree(*target);
+}
+
+Result<MutationResult> DocumentMutator::UpdateText(xml::NodeId target,
+                                                   std::string_view new_text) {
+  XPREL_RETURN_IF_ERROR(CheckBinding());
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.apply"));
+  XPREL_RETURN_IF_ERROR(ValidateElement(target));
+
+  std::unique_lock<std::shared_mutex> writer(engine_.rw_mu_);
+
+  std::string old_text;
+  for (xml::NodeId c : doc_.node(target).children) {
+    if (doc_.node(c).kind == xml::NodeKind::kText) {
+      old_text += doc_.node(c).text;
+    }
+  }
+  doc_.SetDirectText(target, new_text);
+
+  shred::MutationEffects ppf_eff, edge_eff;
+  Status s = Status::Ok();
+  if (engine_.ppf_store_ != nullptr) {
+    s = engine_.ppf_store_->UpdateDirectText(doc_, kDocId, target, &ppf_eff);
+  }
+  if (s.ok() && engine_.edge_store_ != nullptr) {
+    s = engine_.edge_store_->UpdateDirectText(doc_, kDocId, target,
+                                              &edge_eff);
+  }
+  if (!s.ok()) {
+    doc_.SetDirectText(target, old_text);
+    ++stats_.rollbacks;
+    XPREL_RETURN_IF_ERROR(RebuildStoresFromDocument());
+    return s;
+  }
+  return Finalize(ppf_eff, edge_eff, /*renumbered=*/false, target);
+}
+
+Result<MutationResult> DocumentMutator::UpdateTextAt(
+    std::string_view target_xpath, std::string_view new_text) {
+  auto target = ResolveTarget(target_xpath);
+  if (!target.ok()) return target.status();
+  return UpdateText(*target, new_text);
+}
+
+}  // namespace xprel::dml

@@ -1,0 +1,130 @@
+#ifndef XPREL_DML_MUTATOR_H_
+#define XPREL_DML_MUTATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/result.h"
+#include "engine/engine.h"
+#include "shred/schema_map.h"
+#include "xml/document.h"
+
+namespace xprel::dml {
+
+// Monotonic per-mutator statistics (single writer: mutations serialize on
+// the engine's writer lock).
+struct MutationStats {
+  uint64_t mutations_applied = 0;
+  // Insertions that exhausted their Dewey gap and fell back to renumbering
+  // the parent's children locally.
+  uint64_t dewey_renumbers = 0;
+  uint64_t paths_added = 0;
+  uint64_t paths_retired = 0;
+  uint64_t rollbacks = 0;  // failed mutations rolled back to consistency
+};
+
+// What one applied mutation reports back to serving layers.
+struct MutationResult {
+  // Root of the inserted subtree (InsertFragment only).
+  xml::NodeId node = xml::kNoNode;
+  // Path ids touched, per backend Paths space — feed this to
+  // XPathEngine::InvalidateForMutation (done automatically) and
+  // service::QueryService::InvalidateMutation (caller's job).
+  engine::AffectedPaths affected;
+  // The insert fell back to a local sibling renumber.
+  bool renumbered = false;
+};
+
+// Subtree insert / delete / text update on a document loaded into an
+// XPathEngine, with incremental maintenance of every derived structure:
+//
+//   * the document tree itself (stable node ids; grafted nodes append to
+//     the array, OrderRank() keeps document order),
+//   * gap-strided Dewey keys (caret into the gap, ORDPATH-style; local
+//     renumber only when a gap is exhausted, counted in stats),
+//   * the shredded relations + B-tree indexes of both PPF stores
+//     (tombstone deletes, append inserts, threshold compaction),
+//   * the Paths summary (refcounted: new paths get new ids, deletes retire
+//     them),
+//   * plan- and result-cache invalidation scoped to the affected path ids
+//     (generation bump only when the path summary itself changed),
+//   * the accelerator pre/post image is marked stale and lazily rebuilt —
+//     it cannot be maintained incrementally (the paper's Section 2
+//     contrast with Dewey order keys).
+//
+// Writer-excludes-readers: every mutation holds the engine's writer lock,
+// so concurrent Run() calls observe either the full pre- or post-mutation
+// state. A mutation that fails part-way (schema violation, injected fault,
+// budget refusal) rolls the document back and rebuilds the stores from it,
+// so the engine is always consistent.
+//
+// `doc` must be the same (non-const) document the engine was built over
+// and must outlive the mutator.
+class DocumentMutator {
+ public:
+  DocumentMutator(xml::Document& doc, engine::XPathEngine& engine,
+                  MemoryBudget* budget = nullptr)
+      : doc_(doc), engine_(engine), budget_(budget) {}
+
+  // Parses `fragment_xml` (one well-formed element) and inserts it as a
+  // child of `parent` at `child_index` (clamped to the child count).
+  Result<MutationResult> InsertFragment(xml::NodeId parent,
+                                        size_t child_index,
+                                        std::string_view fragment_xml);
+  // Same, with the parent named by an XPath whose first result is used.
+  Result<MutationResult> InsertFragmentAt(std::string_view parent_xpath,
+                                          size_t child_index,
+                                          std::string_view fragment_xml);
+
+  // Removes the subtree rooted at `target` (must not be the root).
+  Result<MutationResult> DeleteSubtree(xml::NodeId target);
+  Result<MutationResult> DeleteSubtreeAt(std::string_view target_xpath);
+
+  // Replaces the direct text of element `target`.
+  Result<MutationResult> UpdateText(xml::NodeId target,
+                                    std::string_view new_text);
+  Result<MutationResult> UpdateTextAt(std::string_view target_xpath,
+                                      std::string_view new_text);
+
+  // Resolves an XPath to its first result node (used by the *At variants).
+  Result<xml::NodeId> ResolveTarget(std::string_view xpath) const;
+
+  const MutationStats& stats() const { return stats_; }
+
+ private:
+  Status CheckBinding() const;
+  Status ValidateElement(xml::NodeId id) const;
+
+  // Assigns fresh strided Dewey keys to `node`'s subtree under
+  // `new_dewey`, collecting pre-existing element nodes whose key changed
+  // into `changed` (new nodes — id > old_size — get their keys but are not
+  // collected; they are inserted fresh). Skips subtrees whose root key is
+  // already equal (descendant keys derive from it).
+  void ReassignSubtreeDeweys(xml::NodeId node, std::string new_dewey,
+                             int32_t old_size,
+                             std::vector<xml::NodeId>* changed);
+
+  // Rolls the engine back to a consistent state after a partial failure:
+  // clears the plan cache, bumps the generation, reloads both shredded
+  // stores from the (already restored) document, and marks the
+  // accelerator stale.
+  Status RebuildStoresFromDocument();
+
+  // Common tail of every successful mutation: refresh order ranks, mark
+  // the accelerator stale, invalidate plan-cache entries by path id, and
+  // fold the per-store effects into counters + the returned result.
+  MutationResult Finalize(const shred::MutationEffects& ppf,
+                          const shred::MutationEffects& edge,
+                          bool renumbered, xml::NodeId node);
+
+  xml::Document& doc_;
+  engine::XPathEngine& engine_;
+  MemoryBudget* budget_;
+  MutationStats stats_;
+};
+
+}  // namespace xprel::dml
+
+#endif  // XPREL_DML_MUTATOR_H_

@@ -86,6 +86,25 @@ std::string Dewey::ToDotted(std::string_view pos) {
   return out;
 }
 
+bool Dewey::OrdinalBetween(uint32_t before, uint32_t after, uint32_t* out) {
+  if (after == kNoSibling) {
+    // Appending past the last sibling: keep striding so later appends have
+    // their own gaps, degrade to +1 near the component ceiling.
+    if (before + kGapStride <= kMaxComponent) {
+      *out = before + kGapStride;
+      return true;
+    }
+    if (before + 1 <= kMaxComponent) {
+      *out = before + 1;
+      return true;
+    }
+    return false;
+  }
+  if (after <= before + 1) return false;  // no integer strictly between
+  *out = before + (after - before) / 2;
+  return true;
+}
+
 Result<std::string> Dewey::FromDotted(std::string_view dotted) {
   std::string pos;
   if (dotted.empty()) return pos;

@@ -74,6 +74,33 @@ class Dewey {
   static std::string ToDotted(std::string_view pos);
   // Parses "1.1.2" back to the binary form.
   static Result<std::string> FromDotted(std::string_view dotted);
+
+  // --- Gap allocation (ORDPATH-style careting) ---
+  //
+  // Bulk loads assign child ordinals in strides of kGapStride (8, 16, 24,
+  // ...), leaving 7 unused ordinals between adjacent siblings. A later
+  // insertion between two siblings takes the midpoint of the surrounding
+  // ordinals; only when a gap is exhausted does the owner fall back to
+  // renumbering the parent's children (tracked as `dewey_renumbers`).
+
+  static constexpr uint32_t kGapStride = 8;
+
+  // Ordinal for the child at 0-based bulk-load position `index`:
+  // (index + 1) * kGapStride. kMaxComponent / kGapStride ≈ 1M children.
+  static uint32_t StridedOrdinal(uint32_t index) {
+    return (index + 1) * kGapStride;
+  }
+  static std::string StridedChild(std::string_view parent, uint32_t index) {
+    return Child(parent, StridedOrdinal(index));
+  }
+
+  // Ordinal strictly between `before` and `after` (both exclusive). Pass
+  // before = 0 to insert in front of the first sibling; pass
+  // after = kNoSibling to append past the last one (which takes
+  // before + kGapStride when it fits, so appends keep their own gaps).
+  // Returns false when the gap is exhausted and the caller must renumber.
+  static constexpr uint32_t kNoSibling = 0xFFFFFFFF;
+  static bool OrdinalBetween(uint32_t before, uint32_t after, uint32_t* out);
 };
 
 }  // namespace xprel::encoding

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 
 #include "accel/accel_translator.h"
 #include "accel/staircase.h"
@@ -52,6 +53,60 @@ size_t ApproxPlanBytes(const rel::Plan& plan) {
   }
   if (plan.semijoin_plan != nullptr) n += ApproxPlanBytes(*plan.semijoin_plan);
   return n;
+}
+
+// Collects the distinct tables `plan` (and its subplans) touches, and the
+// Paths rows selected by its plan-time bitmaps. Returns true when the
+// plan's path set is fully attributable: it has at least one Paths-table
+// step and every Paths step carries a bitmap (the regex was evaluated at
+// plan time), so the bitmap rows ARE the paths the query can see.
+bool CollectPlanFootprint(const rel::Plan& plan,
+                          std::set<const rel::Table*>& tables,
+                          std::set<int64_t>& paths) {
+  bool attributed = false;
+  for (const rel::AccessStep& s : plan.steps) {
+    if (s.table == nullptr) continue;
+    tables.insert(s.table);
+    if (s.table->schema().name != shred::kPathsTable) continue;
+    if (s.bitmap_filters.empty()) return false;
+    attributed = true;
+    for (const rel::RowBitmap* bm : s.bitmap_filters) {
+      for (size_t w = 0; w < bm->words.size(); ++w) {
+        uint64_t word = bm->words[w];
+        for (int b = 0; word != 0; ++b, word >>= 1) {
+          if ((word & 1) == 0) continue;
+          rel::RowId rid = static_cast<rel::RowId>(w * 64 + b);
+          paths.insert(s.table->at(rid, 0).AsInt());
+        }
+      }
+    }
+  }
+  for (const auto& [expr, sub] : plan.subplans) {
+    if (sub != nullptr && !CollectPlanFootprint(*sub, tables, paths)) {
+      attributed = false;
+    }
+  }
+  if (plan.semijoin_plan != nullptr &&
+      !CollectPlanFootprint(*plan.semijoin_plan, tables, paths)) {
+    attributed = false;
+  }
+  return attributed;
+}
+
+// True when two sorted id vectors share an element.
+bool SortedIntersect(const std::vector<int64_t>& a,
+                     const std::vector<int64_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -167,8 +222,17 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
-      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-      return it->second->query;
+      // Revalidate against the tables the plans were compiled over: DML
+      // moves table versions on, making plan-time RowId bitmaps and merge
+      // orders physically stale. A stale entry is dropped and rebuilt —
+      // returning it would silently serve pre-mutation results.
+      if (it->second->query->VersionsCurrent()) {
+        cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+        return it->second->query;
+      }
+      plan_cache_budget_.Release(it->second->charge);
+      cache_lru_.erase(it->second);
+      plan_cache_.erase(it);
     }
   }
 
@@ -208,6 +272,7 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
   if (!q.ok()) return q.status();
 
   auto entry = std::make_shared<CachedQuery>();
+  entry->backend = backend;
   entry->translated = std::move(q).value();
   entry->sql_text = entry->translated.ToSqlString();
   if (!entry->translated.statically_empty) {
@@ -216,6 +281,28 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
       auto plan = rel::PlanSelect(*db, *stmt, nullptr);
       if (!plan.ok()) return plan.status();
       entry->plans.push_back(std::move(plan).value());
+    }
+  }
+
+  // Version snapshot + path footprint for DML revalidation/invalidation.
+  {
+    std::set<const rel::Table*> tables;
+    std::set<int64_t> paths;
+    bool attributed = true;
+    for (const auto& plan : entry->plans) {
+      attributed &= CollectPlanFootprint(*plan, tables, paths);
+    }
+    for (const rel::Table* t : tables) {
+      entry->table_versions.emplace_back(t, t->version());
+    }
+    // Path attribution only makes sense for the PPF translations, whose
+    // every step is path-filtered through a plan-time Paths bitmap; a
+    // statically empty query has an empty (exact) footprint — it can only
+    // become non-empty when a new path appears, which bumps the generation.
+    if ((backend == Backend::kPpf || backend == Backend::kEdgePpf) &&
+        (attributed || entry->translated.statically_empty)) {
+      entry->full_footprint = false;
+      entry->path_footprint.assign(paths.begin(), paths.end());
     }
   }
 
@@ -259,6 +346,10 @@ Result<std::string> XPathEngine::ExplainPlan(Backend backend,
     return Status::InvalidArgument(
         "the staircase backend evaluates natively, without SQL plans");
   }
+  if (backend == Backend::kAccelerator) {
+    XPREL_RETURN_IF_ERROR(RebuildAccelIfStale());
+  }
+  std::shared_lock<std::shared_mutex> rw_lock(rw_mu_);
   auto cached = GetOrBuildQuery(backend, xpath);
   if (!cached.ok()) return cached.status();
   const CachedQuery& cq = *cached.value();
@@ -267,6 +358,30 @@ Result<std::string> XPathEngine::ExplainPlan(Backend backend,
   }
   std::string out = "-- batch size: " + std::to_string(rel::kDefaultBatchSize) +
                     " rows (vectorized executor; per-step exec= below)\n";
+  if (cq.full_footprint) {
+    out += "-- invalidation: full footprint (any mutation invalidates)\n";
+  } else {
+    out += "-- invalidation: path footprint = " +
+           std::to_string(cq.path_footprint.size()) + " path id(s)\n";
+  }
+  const uint64_t applied =
+      mutation_counters_.mutations_applied.load(std::memory_order_relaxed);
+  if (applied > 0) {
+    out += "-- mutations: applied=" + std::to_string(applied) +
+           " dewey_renumbers=" +
+           std::to_string(mutation_counters_.dewey_renumbers.load(
+               std::memory_order_relaxed)) +
+           " paths_added=" +
+           std::to_string(mutation_counters_.paths_added.load(
+               std::memory_order_relaxed)) +
+           " paths_retired=" +
+           std::to_string(mutation_counters_.paths_retired.load(
+               std::memory_order_relaxed)) +
+           " plan_entries_invalidated=" +
+           std::to_string(mutation_counters_.plan_entries_invalidated.load(
+               std::memory_order_relaxed)) +
+           "\n";
+  }
   for (size_t i = 0; i < cq.plans.size(); ++i) {
     if (cq.plans.size() > 1) {
       out += "-- block " + std::to_string(i + 1) + " of " +
@@ -292,6 +407,18 @@ Result<std::string> XPathEngine::ExplainPlan(Backend backend,
 
 Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
                                       const rel::ExecControl* control) const {
+  // The accelerator image cannot be maintained incrementally (pre/post
+  // ranks shift globally on any insert — the paper's Section 2 contrast
+  // with Dewey keys), so mutations mark it stale and the next query pays a
+  // full rebuild. Must happen before the reader lock: the rebuild takes
+  // the writer lock.
+  if (backend == Backend::kAccelerator || backend == Backend::kStaircase) {
+    XPREL_RETURN_IF_ERROR(RebuildAccelIfStale());
+  }
+  // Writer-excludes-readers: mutations hold this exclusively, so every
+  // derived structure read below is consistent for the whole execution.
+  std::shared_lock<std::shared_mutex> rw_lock(rw_mu_);
+
   QueryOutcome out;
   auto start = std::chrono::steady_clock::now();
 
@@ -338,6 +465,8 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
     if (!cached.ok()) return cached.status();
     const CachedQuery& cq = *cached.value();
     out.sql = cq.sql_text;
+    out.path_footprint = cq.path_footprint;
+    out.full_footprint = cq.full_footprint;
     if (!cq.translated.statically_empty) {
       std::vector<const rel::Plan*> plans;
       plans.reserve(cq.plans.size());
@@ -382,11 +511,97 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
     }
   }
 
-  std::sort(out.nodes.begin(), out.nodes.end());
+  // Document order: ids coincide with preorder only until the first
+  // mutation; OrderRank() is the authority either way (and equals the id
+  // for an unmutated document).
+  const xml::Document& doc = *doc_;
+  std::sort(out.nodes.begin(), out.nodes.end(),
+            [&doc](xml::NodeId a, xml::NodeId b) {
+              return doc.OrderRank(a) < doc.OrderRank(b);
+            });
   out.nodes.erase(std::unique(out.nodes.begin(), out.nodes.end()),
                   out.nodes.end());
   out.elapsed_ms = MsSince(start);
   return out;
+}
+
+void XPathEngine::InvalidateForMutation(const AffectedPaths& affected) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (affected.paths_changed) {
+    // Structural edit: the path summary changed, so statically-empty
+    // verdicts and every path-scoped footprint are suspect. Clear
+    // everything and move the generation so result caches miss too.
+    BumpGeneration();
+    mutation_counters_.plan_entries_invalidated.fetch_add(
+        cache_lru_.size(), std::memory_order_relaxed);
+    ClearPlanCacheLocked();
+    return;
+  }
+  uint64_t dropped = 0;
+  for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
+    const CachedQuery& q = *it->query;
+    const std::vector<int64_t>* space = nullptr;
+    switch (q.backend) {
+      case Backend::kPpf:
+      case Backend::kNaive:
+        space = &affected.ppf;
+        break;
+      case Backend::kEdgePpf:
+        space = &affected.edge;
+        break;
+      default:
+        break;  // accelerator entries are never path-attributed
+    }
+    const bool stale = q.full_footprint || space == nullptr ||
+                       SortedIntersect(q.path_footprint, *space);
+    if (stale) {
+      plan_cache_budget_.Release(it->charge);
+      plan_cache_.erase(it->key);
+      it = cache_lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  mutation_counters_.plan_entries_invalidated.fetch_add(
+      dropped, std::memory_order_relaxed);
+}
+
+void XPathEngine::MarkAccelStale() {
+  if (accel_store_ == nullptr) return;
+  accel_stale_.store(true, std::memory_order_release);
+  // Purge accelerator plan entries immediately: their Table pointers lead
+  // into the store instance the rebuild will replace.
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
+    if (it->query->backend == Backend::kAccelerator) {
+      plan_cache_budget_.Release(it->charge);
+      plan_cache_.erase(it->key);
+      it = cache_lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status XPathEngine::RebuildAccelIfStale() const {
+  if (accel_store_ == nullptr ||
+      !accel_stale_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  if (!accel_stale_.load(std::memory_order_acquire)) return Status::Ok();
+  auto store = accel::AccelStore::Create(*doc_);
+  if (!store.ok()) return store.status();
+  accel_store_ = std::move(store).value();
+  accel_stale_.store(false, std::memory_order_release);
+  return Status::Ok();
+}
+
+void XPathEngine::ClearPlanCacheLocked() {
+  for (const CacheEntry& e : cache_lru_) plan_cache_budget_.Release(e.charge);
+  cache_lru_.clear();
+  plan_cache_.clear();
 }
 
 }  // namespace xprel::engine

@@ -5,9 +5,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "accel/accel_store.h"
@@ -19,6 +21,10 @@
 #include "translate/translator.h"
 #include "xml/document.h"
 #include "xsd/schema_graph.h"
+
+namespace xprel::dml {
+class DocumentMutator;
+}  // namespace xprel::dml
 
 namespace xprel::engine {
 
@@ -68,6 +74,35 @@ struct QueryOutcome {
   std::string sql;                 // empty for the staircase backend
   rel::QueryStats stats;
   double elapsed_ms = 0;
+  // Path ids (of the backend's Paths space) the compiled plans touch,
+  // sorted and deduplicated — the key for path-scoped result caching.
+  // `full_footprint` means attribution was not possible (staircase /
+  // accelerator backends, or a plan block without a Paths bitmap) and the
+  // result must be treated as touching every path.
+  std::vector<int64_t> path_footprint;
+  bool full_footprint = true;
+};
+
+// Path ids one mutation touched, per Paths id space (the schema-aware and
+// Edge stores intern paths independently). Produced by dml::DocumentMutator,
+// consumed by the engine's and the service's surgical invalidation.
+struct AffectedPaths {
+  std::vector<int64_t> ppf;   // sorted, deduplicated
+  std::vector<int64_t> edge;  // sorted, deduplicated
+  // The Paths summary itself changed (a path was created or retired):
+  // path-scoped invalidation is insufficient, fall back to clearing caches
+  // and bumping the document generation.
+  bool paths_changed = false;
+};
+
+// Monotonic DML statistics, surfaced by ExplainPlan (engine view) and the
+// query service's DumpMetrics.
+struct MutationCounters {
+  std::atomic<uint64_t> mutations_applied{0};
+  std::atomic<uint64_t> dewey_renumbers{0};
+  std::atomic<uint64_t> paths_added{0};
+  std::atomic<uint64_t> paths_retired{0};
+  std::atomic<uint64_t> plan_entries_invalidated{0};
 };
 
 // One document loaded under every enabled storage mapping, queryable
@@ -122,16 +157,46 @@ class XPathEngine {
     generation_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  // Surgical plan-cache invalidation after a mutation: drops only entries
+  // whose path footprint intersects the affected set (entries that could
+  // not be attributed to specific paths are treated as touching every
+  // path). When the mutation changed the Paths summary itself, falls back
+  // to clearing the whole cache and bumping the generation. Thread-safe.
+  void InvalidateForMutation(const AffectedPaths& affected);
+
+  const MutationCounters& mutation_counters() const {
+    return mutation_counters_;
+  }
+
  private:
+  friend class xprel::dml::DocumentMutator;
+
   XPathEngine() = default;
 
   // A translated + planned query, reusable across Run() calls. Owns the
   // SqlQuery (the statements the plans borrow), so entries are immutable
   // and shared_ptr-held executions survive cache eviction.
   struct CachedQuery {
+    Backend backend = Backend::kPpf;
     translate::TranslatedQuery translated;
     std::string sql_text;
     std::vector<std::unique_ptr<rel::Plan>> plans;
+    // Versions of every table the plans touch, snapshotted at build time.
+    // A cache hit whose snapshot is stale (DML moved a table on) is
+    // discarded and rebuilt — this is what makes a cached plan's RowId
+    // bitmaps and merge orders safe to reuse at all.
+    std::vector<std::pair<const rel::Table*, uint64_t>> table_versions;
+    // Path ids selected by the plans' Paths-table bitmaps (sorted,
+    // deduplicated); meaningful only when !full_footprint.
+    std::vector<int64_t> path_footprint;
+    bool full_footprint = true;
+
+    bool VersionsCurrent() const {
+      for (const auto& [table, version] : table_versions) {
+        if (table->version() != version) return false;
+      }
+      return true;
+    }
   };
 
   // Translates and plans `xpath` for a SQL-executing backend, or returns
@@ -141,13 +206,32 @@ class XPathEngine {
 
   const rel::Database* BackendDb(Backend backend) const;
 
+  // Marks the accelerator image stale (pre/post regions cannot be
+  // maintained incrementally — the paper's Section 2 contrast) and purges
+  // its plan-cache entries; the next accel/staircase query rebuilds it.
+  void MarkAccelStale();
+  // Takes the writer lock, rebuilds the accelerator image from the (already
+  // mutated) document, and clears the stale flag. No-op if already fresh.
+  Status RebuildAccelIfStale() const;
+
+  // Drops every cached plan entry (with budget release); caller holds
+  // cache_mu_.
+  void ClearPlanCacheLocked();
+
   const xml::Document* doc_ = nullptr;
   const xsd::SchemaGraph* graph_ = nullptr;
   EngineOptions options_;
   std::atomic<uint64_t> generation_{0};
   std::unique_ptr<shred::SchemaAwareStore> ppf_store_;
   std::unique_ptr<shred::EdgeStore> edge_store_;
-  std::unique_ptr<accel::AccelStore> accel_store_;
+  mutable std::unique_ptr<accel::AccelStore> accel_store_;
+  mutable std::atomic<bool> accel_stale_{false};
+  mutable MutationCounters mutation_counters_;
+
+  // Writer-excludes-readers: every query path holds this shared; the DML
+  // layer (and the lazy accelerator rebuild) holds it exclusive while any
+  // derived structure is in motion. Acquired before cache_mu_.
+  mutable std::shared_mutex rw_mu_;
 
   // Plan cache, keyed by backend + '\n' + xpath. Guarded by cache_mu_ so
   // concurrent readers of one engine stay safe; execution happens outside

@@ -188,6 +188,30 @@ void BTree::Iterator::Next() {
   CheckEnd();
 }
 
+bool BTree::Delete(std::string_view key, RowId row) {
+  // Duplicates of one key can span leaves (splits leave equal keys on both
+  // sides of a separator), so walk the leaf links from the leftmost
+  // candidate until the key range ends.
+  LeafNode* leaf = FindLeaf(key);
+  size_t i = LowerBound(leaf->keys, key);
+  while (leaf != nullptr) {
+    if (i >= leaf->keys.size()) {
+      leaf = leaf->next;
+      i = 0;
+      continue;
+    }
+    if (std::string_view(leaf->keys[i]) != key) return false;
+    if (leaf->rows[i] == row) {
+      leaf->keys.erase(leaf->keys.begin() + static_cast<ptrdiff_t>(i));
+      leaf->rows.erase(leaf->rows.begin() + static_cast<ptrdiff_t>(i));
+      --size_;
+      return true;
+    }
+    ++i;
+  }
+  return false;
+}
+
 BTree::Iterator BTree::Scan(std::string_view lower,
                             std::string_view upper) const {
   Iterator it;

@@ -17,8 +17,7 @@ using RowId = uint32_t;
 // composite (dewey_pos, path_id) (Section 3.1).
 //
 // Duplicate keys are allowed. Entries with equal keys are returned in
-// insertion order. The tree supports insertion and range scans; the loaders
-// are append-only so deletion is not implemented.
+// insertion order. The tree supports insertion, deletion, and range scans.
 class BTree {
  public:
   static constexpr size_t kLeafCapacity = 64;
@@ -32,6 +31,12 @@ class BTree {
   BTree& operator=(const BTree&) = delete;
 
   void Insert(std::string_view key, RowId row);
+
+  // Removes the entry (key, row); returns false when no such entry exists.
+  // Leaves are never merged or rebalanced — DML deletes are a tiny fraction
+  // of bulk-loaded entries, and scans skip empty leaves through the links —
+  // so deletion cannot invalidate live iterators' leaf pointers.
+  bool Delete(std::string_view key, RowId row);
 
   size_t size() const { return size_; }
   int height() const { return height_; }

@@ -818,6 +818,10 @@ class BatchDriver {
     for (size_t d = 0; d < n; ++d) stage_[d].cols.resize(d + 1);
     last_bound_.assign(n, kNoRowBound);
     merge_.resize(n);
+    dead_rows_.resize(n);
+    for (size_t d = 0; d < n; ++d) {
+      dead_rows_[d] = plan.steps[d].table->has_dead_rows();
+    }
   }
 
   bool Run() {
@@ -870,8 +874,13 @@ class BatchDriver {
   }
 
   // Appends one candidate tuple (outer prefix + rid at depth d), flushing
-  // when the accumulator reaches the batch size.
+  // when the accumulator reaches the batch size. Tombstoned rows are
+  // rejected here — the single admission chokepoint for seq scans, index
+  // probes, hash probes, and index unions. (Merge joins emit from the
+  // plan-time merge_order, which the planner rebuilds from the indexes —
+  // already tombstone-free — whenever a table version changes.)
   bool Append(size_t d, const TupleBatch& outer, uint32_t opos, RowId rid) {
+    if (dead_rows_[d] && plan_.steps[d].table->row_dead(rid)) return true;
     TupleBatch& tb = stage_[d];
     for (size_t s = 0; s < d; ++s) tb.cols[s].push_back(outer.cols[s][opos]);
     tb.cols[d].push_back(rid);
@@ -1377,6 +1386,9 @@ class BatchDriver {
   const uint32_t cap_;
   const int pstep_;                   // partition step index, -1 = whole plan
   const MorselRange range_;           // this morsel's rows at pstep_
+  // Per-depth: whether the step's table has tombstones (cached so Append
+  // pays the bitmap test only on mutated tables).
+  std::vector<char> dead_rows_;
   std::vector<TupleBatch> stage_;     // stage_[d]: depth-d accumulator
   std::vector<RowId> last_bound_;     // delta-binding cache, per step
   std::vector<MergeState> merge_;     // merge_[d]: collected outers

@@ -187,7 +187,9 @@ void BuildRegexBitmap(const Table& table, int col, const rex::Regex& re,
   }
   bm.Reset(table.row_count());
   const std::vector<uint32_t>& codes = table.codes(c);
+  const bool dead = table.has_dead_rows();
   for (size_t r = 0; r < codes.size(); ++r) {
+    if (dead && table.row_dead(static_cast<RowId>(r))) continue;
     if (verdict[codes[r]]) bm.Set(static_cast<RowId>(r));
   }
 }

@@ -50,7 +50,79 @@ Status Table::Insert(Row row) {
     col.codes.push_back(it->second);
   }
   ++row_count_;
+  ++version_;
   return Status::Ok();
+}
+
+std::string Table::IndexKeyOfRow(size_t i, RowId id) const {
+  std::string key;
+  for (int c : schema_.indexes[i].column_indexes) {
+    AppendEncodedValue(at(id, static_cast<size_t>(c)), key);
+  }
+  return key;
+}
+
+Status Table::Delete(RowId id) {
+  if (static_cast<size_t>(id) >= row_count_) {
+    return Status::InvalidArgument("table " + schema_.name + ": delete of " +
+                                   std::to_string(id) + " out of range");
+  }
+  if (row_dead(id)) {
+    return Status::InvalidArgument("table " + schema_.name + ": row " +
+                                   std::to_string(id) + " already deleted");
+  }
+  for (size_t i = 0; i < schema_.indexes.size(); ++i) {
+    indexes_[i]->Delete(IndexKeyOfRow(i, id), id);
+  }
+  size_t w = static_cast<size_t>(id) >> 6;
+  if (w >= dead_.size()) dead_.resize(w + 1, 0);
+  dead_[w] |= uint64_t{1} << (id & 63);
+  ++dead_count_;
+  ++version_;
+  return Status::Ok();
+}
+
+void Table::Compact() {
+  if (dead_count_ == 0) return;
+  // Re-intern every live row into fresh column storage; dictionary codes
+  // referenced only by dead rows disappear with them.
+  std::vector<ColumnData> fresh(cols_.size());
+  for (RowId id = 0; id < static_cast<RowId>(row_count_); ++id) {
+    if (row_dead(id)) continue;
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      ColumnData& col = fresh[c];
+      const Value& v = at(id, c);
+      auto [it, inserted] =
+          col.intern.try_emplace(v, static_cast<uint32_t>(col.dict.size()));
+      if (inserted) col.dict.push_back(v);
+      col.codes.push_back(it->second);
+    }
+  }
+  cols_ = std::move(fresh);
+  row_count_ -= dead_count_;
+  dead_count_ = 0;
+  dead_.clear();
+  for (size_t i = 0; i < schema_.indexes.size(); ++i) {
+    auto rebuilt = std::make_unique<BTree>();
+    for (RowId id = 0; id < static_cast<RowId>(row_count_); ++id) {
+      rebuilt->Insert(IndexKeyOfRow(i, id), id);
+    }
+    indexes_[i] = std::move(rebuilt);
+  }
+  ++version_;
+}
+
+Row Table::ReadRow(RowId id) const {
+  Row row;
+  row.reserve(cols_.size());
+  for (size_t c = 0; c < cols_.size(); ++c) row.push_back(at(id, c));
+  return row;
+}
+
+Result<RowId> Table::RewriteRow(RowId id, Row row) {
+  XPREL_RETURN_IF_ERROR(Delete(id));
+  XPREL_RETURN_IF_ERROR(Insert(std::move(row)));
+  return static_cast<RowId>(row_count_ - 1);
 }
 
 const BTree* Table::FindIndexWithPrefix(const std::vector<int>& columns,

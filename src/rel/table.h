@@ -36,8 +36,10 @@ struct TableSchema {
 };
 
 // A column-major table plus its B+-tree indexes. Rows are identified by
-// insertion order (RowId). Append-only, like the paper's bulk-loaded
-// document store.
+// insertion order (RowId). Bulk-loaded like the paper's document store,
+// then mutable under DML: Insert appends, Delete tombstones (the row keeps
+// its RowId but loses its index entries and is skipped by scans), and
+// Compact() rebuilds the physical storage once tombstones accumulate.
 //
 // Each column is dictionary-encoded: a dense uint32 code per row plus a
 // dictionary of the distinct values. The dictionary gives three things the
@@ -56,10 +58,45 @@ class Table {
 
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name; }
+  // Physical rows, including tombstoned ones (the scanable RowId range).
   size_t row_count() const { return row_count_; }
+  size_t live_row_count() const { return row_count_ - dead_count_; }
+  size_t dead_row_count() const { return dead_count_; }
+
+  // Bumped by every physical change (Insert/Delete/Compact). Cached plans
+  // snapshot the versions of the tables they touch and are rebuilt when a
+  // snapshot goes stale — plan-time row bitmaps and merge orders reference
+  // RowIds, which mutations invalidate.
+  uint64_t version() const { return version_; }
 
   // Appends a row (must match the column count) and maintains all indexes.
   Status Insert(Row row);
+
+  // Tombstones row `id`: removes its entries from every index and marks it
+  // dead, so scans and bitmap builds skip it. The RowId stays allocated
+  // (cell reads keep working) until Compact().
+  Status Delete(RowId id);
+
+  // True when row `id` has been tombstoned.
+  bool row_dead(RowId id) const {
+    size_t w = static_cast<size_t>(id) >> 6;
+    return w < dead_.size() && ((dead_[w] >> (id & 63)) & 1) != 0;
+  }
+  bool has_dead_rows() const { return dead_count_ > 0; }
+
+  // Rebuilds codes and indexes without the tombstoned rows, compacting the
+  // RowId space (live rows keep their relative order). Dictionaries are
+  // rebuilt too, dropping values only dead rows referenced.
+  void Compact();
+
+  // Copy of the stored row (for DML read-modify-write).
+  Row ReadRow(RowId id) const;
+
+  // Replaces row `id` with `row`: tombstones the old row and appends the
+  // new one, returning the new RowId. The DML layer uses this for in-place
+  // column updates (text, dewey); readers key on column values (pk probes),
+  // not RowIds, so the moved row is found again transparently.
+  Result<RowId> RewriteRow(RowId id, Row row);
 
   // Cell access. The returned reference points into the column dictionary
   // and stays valid until the next Insert (tables are load-once before
@@ -99,9 +136,15 @@ class Table {
     std::unordered_map<Value, uint32_t, ValueHash> intern;
   };
 
+  // Encodes the key of index `i` for the stored row `id`.
+  std::string IndexKeyOfRow(size_t i, RowId id) const;
+
   TableSchema schema_;
   std::vector<ColumnData> cols_;  // parallel to schema_.columns
   size_t row_count_ = 0;
+  size_t dead_count_ = 0;
+  uint64_t version_ = 0;
+  std::vector<uint64_t> dead_;  // tombstone bitmap, 64 rows per word
   std::vector<std::unique_ptr<BTree>> indexes_;  // parallel to schema_.indexes
 };
 

@@ -44,7 +44,8 @@ std::string MetricsRegistry::Dump() const {
       buf, sizeof(buf),
       "requests: submitted=%llu completed=%llu rejected=%llu cancelled=%llu "
       "timed_out=%llu resource_exhausted=%llu errors=%llu\n"
-      "result cache: hits=%llu misses=%llu hit_rate=%.1f%%\n"
+      "result cache: hits=%llu misses=%llu hit_rate=%.1f%% "
+      "entries_invalidated=%llu\n"
       "executor: batches_emitted=%llu morsels_scheduled=%llu "
       "morsel_steals=%llu max_query_threads=%llu\n"
       "memory: used=%llu peak=%llu\n",
@@ -60,6 +61,8 @@ std::string MetricsRegistry::Dump() const {
       static_cast<unsigned long long>(
           cache_misses.load(std::memory_order_relaxed)),
       100.0 * CacheHitRate(),
+      static_cast<unsigned long long>(
+          cache_entries_invalidated.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           batches_emitted.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(

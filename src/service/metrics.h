@@ -67,6 +67,11 @@ class MetricsRegistry {
   // separately from `rejected`, which is admission-queue overflow.
   std::atomic<uint64_t> resource_exhausted{0};
 
+  // Result-cache entries dropped by path-id-scoped mutation invalidation
+  // (QueryService::InvalidateMutation), including generation-bump
+  // fallbacks, which count every entry alive at the time.
+  std::atomic<uint64_t> cache_entries_invalidated{0};
+
   // Cumulative batches the vectorized executor handed to result sinks
   // across all completed (uncached) queries; batches / completed ≈ batches
   // per query, a rough read on how well the batch pipeline amortizes

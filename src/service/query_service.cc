@@ -17,6 +17,21 @@ uint64_t UsBetween(std::chrono::steady_clock::time_point a,
   return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
 }
 
+// Both vectors sorted ascending.
+bool SortedIntersect(const std::vector<int64_t>& a,
+                     const std::vector<int64_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 QueryService::QueryService(const engine::XPathEngine& engine,
@@ -141,6 +156,9 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
       entry->nodes = outcome.nodes;
       entry->stats = outcome.stats;
       entry->build_ms = outcome.elapsed_ms;
+      entry->backend = static_cast<int>(backend);
+      entry->path_footprint = outcome.path_footprint;
+      entry->full_footprint = outcome.full_footprint;
       cache_.Put(key, std::move(entry));
     }
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
@@ -173,6 +191,39 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
   return fut;
 }
 
+void QueryService::InvalidateMutation(const engine::AffectedPaths& affected) {
+  if (affected.paths_changed) {
+    // The Paths summary moved: footprints of surviving entries may name
+    // retired ids or miss new ones, so every entry goes. The engine already
+    // bumped its generation (orphaning the keys); Clear() frees the memory
+    // now instead of letting dead entries age out of the LRU.
+    metrics_.cache_entries_invalidated.fetch_add(cache_.size(),
+                                                 std::memory_order_relaxed);
+    InvalidateResults();
+    cache_.Clear();
+    return;
+  }
+  size_t dropped = cache_.EraseIf([&affected](const ResultCache::Entry& e) {
+    if (e.full_footprint) return true;
+    // Each backend reads its own store, so footprints are matched against
+    // that store's Paths id space.
+    const std::vector<int64_t>* space = nullptr;
+    switch (static_cast<engine::Backend>(e.backend)) {
+      case engine::Backend::kPpf:
+        space = &affected.ppf;
+        break;
+      case engine::Backend::kEdgePpf:
+        space = &affected.edge;
+        break;
+      default:
+        return true;  // unattributable backend: conservative drop
+    }
+    return SortedIntersect(e.path_footprint, *space);
+  });
+  metrics_.cache_entries_invalidated.fetch_add(dropped,
+                                               std::memory_order_relaxed);
+}
+
 std::string QueryService::DumpMetrics() const {
   std::string out = "-- query service --\n";
   out += "workers=" + std::to_string(pool_.worker_count()) +
@@ -181,6 +232,24 @@ std::string QueryService::DumpMetrics() const {
          " cache_entries=" + std::to_string(cache_.size()) + "/" +
          std::to_string(cache_.capacity()) + "\n";
   out += metrics_.Dump();
+  const engine::MutationCounters& mc = engine_.mutation_counters();
+  uint64_t applied = mc.mutations_applied.load(std::memory_order_relaxed);
+  if (applied > 0) {
+    out += "mutations: applied=" + std::to_string(applied) +
+           " dewey_renumbers=" +
+           std::to_string(mc.dewey_renumbers.load(std::memory_order_relaxed)) +
+           " paths_added=" +
+           std::to_string(mc.paths_added.load(std::memory_order_relaxed)) +
+           " paths_retired=" +
+           std::to_string(mc.paths_retired.load(std::memory_order_relaxed)) +
+           " plan_entries_invalidated=" +
+           std::to_string(
+               mc.plan_entries_invalidated.load(std::memory_order_relaxed)) +
+           " result_entries_invalidated=" +
+           std::to_string(metrics_.cache_entries_invalidated.load(
+               std::memory_order_relaxed)) +
+           "\n";
+  }
   return out;
 }
 

@@ -110,6 +110,14 @@ class QueryService {
     cache_generation_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  // Path-id-scoped invalidation after a document mutation (feed it the
+  // AffectedPaths from dml::MutationResult). Entries whose plan footprint
+  // intersects the affected path ids — or that could not be attributed —
+  // are dropped; the rest keep serving. When the mutation changed the Paths
+  // summary itself (paths_changed), falls back to the generation bump.
+  // Dropped-entry counts land in metrics().cache_entries_invalidated.
+  void InvalidateMutation(const engine::AffectedPaths& affected);
+
   const MetricsRegistry& metrics() const { return metrics_; }
   const ResultCache& result_cache() const { return cache_; }
   // Service-wide memory accounting (per-query budgets chain to it).

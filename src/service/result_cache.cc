@@ -8,6 +8,7 @@ namespace {
 // budget wants proportionality, not exactness.
 size_t ApproxEntryBytes(const std::string& key, const ResultCache::Entry& e) {
   return key.size() + e.nodes.size() * sizeof(xml::NodeId) +
+         e.path_footprint.size() * sizeof(int64_t) +
          sizeof(ResultCache::Entry) + 64;
 }
 
@@ -62,6 +63,22 @@ void ResultCache::Put(const std::string& key,
 size_t ResultCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return map_.size();
+}
+
+size_t ResultCache::EraseIf(const std::function<bool(const Entry&)>& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (!pred(*it->entry)) {
+      ++it;
+      continue;
+    }
+    if (budget_ != nullptr) budget_->Release(it->charge);
+    map_.erase(it->key);
+    it = lru_.erase(it);
+    ++dropped;
+  }
+  return dropped;
 }
 
 void ResultCache::Clear() {

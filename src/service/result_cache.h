@@ -2,6 +2,8 @@
 #define XPREL_SERVICE_RESULT_CACHE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -29,6 +31,13 @@ class ResultCache {
     std::vector<xml::NodeId> nodes;  // document order
     rel::QueryStats stats;           // counters of the run that produced it
     double build_ms = 0;             // execution time of that run
+    // Invalidation scope, copied from the engine's QueryOutcome: the
+    // backend that ran, and the sorted Paths ids the plan touched when the
+    // engine could attribute them (full_footprint=false). Entries with
+    // full_footprint=true must be dropped on every mutation.
+    int backend = 0;  // engine::Backend, widened to avoid the header dep
+    std::vector<int64_t> path_footprint;
+    bool full_footprint = true;
   };
 
   // capacity 0 disables the cache entirely (Get always misses, Put drops).
@@ -46,6 +55,11 @@ class ResultCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
   void Clear();
+
+  // Path-id-scoped invalidation: drops every entry for which `pred` returns
+  // true (releasing its budget reservation) and returns how many were
+  // dropped. The predicate runs under the cache lock — keep it cheap.
+  size_t EraseIf(const std::function<bool(const Entry&)>& pred);
 
  private:
   struct LruEntry {

@@ -1,11 +1,10 @@
 #include "shred/edge_loader.h"
 
 #include "common/fault_injection.h"
-#include "encoding/dewey.h"
+#include "rel/key_codec.h"
 
 namespace xprel::shred {
 
-using encoding::Dewey;
 using rel::ColumnDef;
 using rel::TableSchema;
 using rel::Value;
@@ -66,23 +65,29 @@ Result<int64_t> EdgeStore::LoadDocument(const xml::Document& doc) {
     return Status::InvalidArgument("empty document");
   }
   int64_t doc_id = next_doc_id_++;
-  std::string dewey = Dewey::FromComponents({1});
   XPREL_RETURN_IF_ERROR(LoadElement(doc, doc.root(), /*parent_id=*/-1,
-                                    /*parent_path=*/"", dewey, doc_id));
+                                    /*parent_path=*/"", doc_id,
+                                    /*effects=*/nullptr));
   return doc_id;
 }
 
 Status EdgeStore::LoadElement(const xml::Document& doc, xml::NodeId node,
                               int64_t parent_id,
-                              const std::string& parent_path,
-                              std::string_view dewey, int64_t doc_id) {
+                              const std::string& parent_path, int64_t doc_id,
+                              MutationEffects* effects) {
   const xml::Node& xnode = doc.node(node);
   std::string path = parent_path + "/" + xnode.name;
-  auto path_id = paths_->Intern(path);
+  bool created = false;
+  auto path_id = paths_->Intern(path, &created);
   if (!path_id.ok()) return path_id.status();
+  if (effects != nullptr) {
+    effects->paths.push_back(*path_id);
+    if (created) ++effects->paths_added;
+  }
 
   int64_t element_id = next_element_id_++;
   origins_.push_back({doc_id, node});
+  node_to_id_.emplace(std::make_pair(doc_id, node), element_id);
 
   std::string text;
   for (xml::NodeId c : xnode.children) {
@@ -93,7 +98,7 @@ Status EdgeStore::LoadElement(const xml::Document& doc, xml::NodeId node,
   XPREL_RETURN_IF_ERROR(edge->Insert(
       {Value::Int(element_id), Value::Int(doc_id),
        parent_id >= 0 ? Value::Int(parent_id) : Value::Null(),
-       Value::Str(xnode.name), Value::Bytes(std::string(dewey)),
+       Value::Str(xnode.name), Value::Bytes(doc.dewey(node)),
        Value::Int(*path_id), Value::Str(std::move(text))}));
 
   rel::Table* attr = db_.FindTable(kAttrTable);
@@ -102,15 +107,139 @@ Status EdgeStore::LoadElement(const xml::Document& doc, xml::NodeId node,
         {Value::Int(element_id), Value::Str(a.name), Value::Str(a.value)}));
   }
 
-  uint32_t child_ordinal = 0;
   for (xml::NodeId c : xnode.children) {
     if (doc.node(c).kind != xml::NodeKind::kElement) continue;
-    ++child_ordinal;
-    std::string child_dewey = Dewey::Child(dewey, child_ordinal);
     XPREL_RETURN_IF_ERROR(
-        LoadElement(doc, c, element_id, path, child_dewey, doc_id));
+        LoadElement(doc, c, element_id, path, doc_id, effects));
   }
   return Status::Ok();
+}
+
+Result<rel::RowId> EdgeStore::RowOf(int64_t element_id) const {
+  std::string key;
+  rel::AppendEncodedValue(Value::Int(element_id), key);
+  const rel::Table* edge = db_.FindTable(kEdgeTable);
+  std::vector<rel::RowId> rows = edge->FindIndex("pk_Edge")->Lookup(key);
+  if (rows.empty()) {
+    return Status::InvalidArgument("edge: no row for element id " +
+                                   std::to_string(element_id));
+  }
+  return rows[0];
+}
+
+Status EdgeStore::InsertSubtree(const xml::Document& doc, int64_t doc_id,
+                                xml::NodeId subtree_root,
+                                MutationEffects* effects) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.edge_insert"));
+  xml::NodeId parent = doc.node(subtree_root).parent;
+  if (parent == xml::kNoNode) {
+    return Status::InvalidArgument("edge dml: cannot insert a new root");
+  }
+  int64_t parent_id = ElementIdOf(doc_id, parent);
+  if (parent_id < 0) {
+    return Status::InvalidArgument("edge dml: parent node not in store");
+  }
+  auto parent_path = doc.RootToNodePath(parent);
+  if (!parent_path.ok()) return parent_path.status();
+  return LoadElement(doc, subtree_root, parent_id, *parent_path, doc_id,
+                     effects);
+}
+
+Status EdgeStore::DeleteSubtree(const xml::Document& doc, int64_t doc_id,
+                                xml::NodeId subtree_root,
+                                MutationEffects* effects) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.edge_delete"));
+  rel::Table* edge = db_.FindTable(kEdgeTable);
+  rel::Table* attr = db_.FindTable(kAttrTable);
+  const int path_col = edge->schema().ColumnIndex(kPathIdColumn);
+  std::vector<xml::NodeId> stack{subtree_root};
+  while (!stack.empty()) {
+    xml::NodeId cur = stack.back();
+    stack.pop_back();
+    if (doc.node(cur).kind != xml::NodeKind::kElement) continue;
+    int64_t eid = ElementIdOf(doc_id, cur);
+    if (eid < 0) {
+      return Status::InvalidArgument("edge dml: subtree node not in store");
+    }
+    auto rid = RowOf(eid);
+    if (!rid.ok()) return rid.status();
+    int64_t path_id = edge->at(*rid, static_cast<size_t>(path_col)).AsInt();
+    XPREL_RETURN_IF_ERROR(edge->Delete(*rid));
+    std::string key;
+    rel::AppendEncodedValue(Value::Int(eid), key);
+    for (rel::RowId arid : attr->FindIndex("idx_Attr_elem")->Lookup(key)) {
+      XPREL_RETURN_IF_ERROR(attr->Delete(arid));
+    }
+    bool retired = false;
+    XPREL_RETURN_IF_ERROR(paths_->Release(path_id, &retired));
+    if (effects != nullptr) {
+      effects->paths.push_back(path_id);
+      if (retired) ++effects->paths_retired;
+    }
+    node_to_id_.erase(std::make_pair(doc_id, cur));
+    for (xml::NodeId c : doc.node(cur).children) stack.push_back(c);
+  }
+  return Status::Ok();
+}
+
+Status EdgeStore::UpdateDirectText(const xml::Document& doc, int64_t doc_id,
+                                   xml::NodeId node,
+                                   MutationEffects* effects) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.edge_text"));
+  int64_t eid = ElementIdOf(doc_id, node);
+  if (eid < 0) {
+    return Status::InvalidArgument("edge dml: node not in store");
+  }
+  auto rid = RowOf(eid);
+  if (!rid.ok()) return rid.status();
+  rel::Table* edge = db_.FindTable(kEdgeTable);
+  const int path_col = edge->schema().ColumnIndex(kPathIdColumn);
+  const int text_col = edge->schema().ColumnIndex(kTextColumn);
+  int64_t path_id = edge->at(*rid, static_cast<size_t>(path_col)).AsInt();
+  std::string text;
+  for (xml::NodeId c : doc.node(node).children) {
+    if (doc.node(c).kind == xml::NodeKind::kText) text += doc.node(c).text;
+  }
+  rel::Row row = edge->ReadRow(*rid);
+  row[static_cast<size_t>(text_col)] = Value::Str(std::move(text));
+  auto moved = edge->RewriteRow(*rid, std::move(row));
+  if (!moved.ok()) return moved.status();
+  if (effects != nullptr) effects->paths.push_back(path_id);
+  return Status::Ok();
+}
+
+Status EdgeStore::UpdateDeweys(const xml::Document& doc, int64_t doc_id,
+                               const std::vector<xml::NodeId>& nodes) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.edge_dewey"));
+  rel::Table* edge = db_.FindTable(kEdgeTable);
+  const int dewey_col = edge->schema().ColumnIndex(kDeweyColumn);
+  for (xml::NodeId node : nodes) {
+    if (doc.node(node).kind != xml::NodeKind::kElement) continue;
+    int64_t eid = ElementIdOf(doc_id, node);
+    if (eid < 0) {
+      return Status::InvalidArgument("edge dml: node not in store");
+    }
+    auto rid = RowOf(eid);
+    if (!rid.ok()) return rid.status();
+    rel::Row row = edge->ReadRow(*rid);
+    row[static_cast<size_t>(dewey_col)] = Value::Bytes(doc.dewey(node));
+    auto moved = edge->RewriteRow(*rid, std::move(row));
+    if (!moved.ok()) return moved.status();
+  }
+  return Status::Ok();
+}
+
+size_t EdgeStore::CompactIfNeeded() {
+  size_t compacted = 0;
+  for (const char* name : {kEdgeTable, kAttrTable}) {
+    rel::Table* t = db_.FindTable(name);
+    if (t->dead_row_count() >= 64 &&
+        t->dead_row_count() * 4 >= t->row_count()) {
+      t->Compact();
+      ++compacted;
+    }
+  }
+  return compacted;
 }
 
 const EdgeStore::ElementOrigin* EdgeStore::FindOrigin(
@@ -120,6 +249,11 @@ const EdgeStore::ElementOrigin* EdgeStore::FindOrigin(
     return nullptr;
   }
   return &origins_[static_cast<size_t>(element_id - 1)];
+}
+
+int64_t EdgeStore::ElementIdOf(int64_t doc_id, xml::NodeId node) const {
+  auto it = node_to_id_.find(std::make_pair(doc_id, node));
+  return it == node_to_id_.end() ? -1 : it->second;
 }
 
 }  // namespace xprel::shred

@@ -1,8 +1,10 @@
 #ifndef XPREL_SHRED_EDGE_LOADER_H_
 #define XPREL_SHRED_EDGE_LOADER_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -45,19 +47,54 @@ class EdgeStore {
     xml::NodeId node;
   };
   const ElementOrigin* FindOrigin(int64_t element_id) const;
+  // Element id assigned to a document node, or -1.
+  int64_t ElementIdOf(int64_t doc_id, xml::NodeId node) const;
+
+  // --- Incremental maintenance (used by dml::DocumentMutator). The
+  // document tree has already been mutated; these bring the relations, the
+  // indexes and the Paths summary in line with it. ---
+
+  // Shreds the subtree rooted at `subtree_root` (already grafted into
+  // `doc`) under its parent's existing element row.
+  Status InsertSubtree(const xml::Document& doc, int64_t doc_id,
+                       xml::NodeId subtree_root, MutationEffects* effects);
+
+  // Removes every element row of the subtree rooted at `subtree_root`
+  // (already unlinked in `doc`, but nodes still readable) and releases
+  // their path references.
+  Status DeleteSubtree(const xml::Document& doc, int64_t doc_id,
+                       xml::NodeId subtree_root, MutationEffects* effects);
+
+  // Rewrites the text column of one element row from the document.
+  Status UpdateDirectText(const xml::Document& doc, int64_t doc_id,
+                          xml::NodeId node, MutationEffects* effects);
+
+  // Rewrites the dewey_pos of the given element rows from the document
+  // (after a local renumber spent their gaps).
+  Status UpdateDeweys(const xml::Document& doc, int64_t doc_id,
+                      const std::vector<xml::NodeId>& nodes);
+
+  // Compacts Edge/Attr tables whose tombstone share crossed the threshold
+  // (Paths is never compacted — the registry stores RowIds into it).
+  // Returns the number of tables compacted.
+  size_t CompactIfNeeded();
+
+  size_t live_paths() const { return paths_->live_paths(); }
 
  private:
   EdgeStore() = default;
 
   Status LoadElement(const xml::Document& doc, xml::NodeId node,
                      int64_t parent_id, const std::string& parent_path,
-                     std::string_view dewey, int64_t doc_id);
+                     int64_t doc_id, MutationEffects* effects);
+  Result<rel::RowId> RowOf(int64_t element_id) const;
 
   rel::Database db_;
   std::unique_ptr<PathsRegistry> paths_;
   int64_t next_doc_id_ = 1;
   int64_t next_element_id_ = 1;
   std::vector<ElementOrigin> origins_;
+  std::map<std::pair<int64_t, xml::NodeId>, int64_t> node_to_id_;
 };
 
 }  // namespace xprel::shred

@@ -1,11 +1,10 @@
 #include "shred/schema_loader.h"
 
 #include "common/fault_injection.h"
-#include "encoding/dewey.h"
+#include "rel/key_codec.h"
 
 namespace xprel::shred {
 
-using encoding::Dewey;
 using rel::Value;
 
 Result<std::unique_ptr<SchemaAwareStore>> SchemaAwareStore::Create(
@@ -53,10 +52,10 @@ Result<int64_t> SchemaAwareStore::LoadDocument(const xml::Document& doc) {
                                    "> matches no schema root");
   }
   int64_t doc_id = next_doc_id_++;
-  std::string dewey = Dewey::FromComponents({1});
   XPREL_RETURN_IF_ERROR(LoadElement(doc, doc.root(), root_schema_node,
                                     /*parent_id=*/-1, /*parent_relation=*/"",
-                                    /*parent_path=*/"", dewey, doc_id));
+                                    /*parent_path=*/"", doc_id,
+                                    /*effects=*/nullptr));
   return doc_id;
 }
 
@@ -65,7 +64,8 @@ Status SchemaAwareStore::LoadElement(const xml::Document& doc,
                                      int64_t parent_id,
                                      const std::string& parent_relation,
                                      const std::string& parent_path,
-                                     std::string_view dewey, int64_t doc_id) {
+                                     int64_t doc_id,
+                                     MutationEffects* effects) {
   const xsd::GraphNode& snode = graph().node(schema_node);
   const xml::Node& xnode = doc.node(node);
   const std::string& relation = mapping_.RelationOf(schema_node);
@@ -76,8 +76,13 @@ Status SchemaAwareStore::LoadElement(const xml::Document& doc,
   }
 
   std::string path = parent_path + "/" + xnode.name;
-  auto path_id = paths_->Intern(path);
+  bool created = false;
+  auto path_id = paths_->Intern(path, &created);
   if (!path_id.ok()) return path_id.status();
+  if (effects != nullptr) {
+    effects->paths.push_back(*path_id);
+    if (created) ++effects->paths_added;
+  }
 
   int64_t element_id = next_element_id_++;
   origins_.push_back({doc_id, node});
@@ -96,7 +101,7 @@ Status SchemaAwareStore::LoadElement(const xml::Document& doc,
       row.push_back(Value::Null());
     }
   }
-  row.push_back(Value::Bytes(std::string(dewey)));
+  row.push_back(Value::Bytes(doc.dewey(node)));
   row.push_back(Value::Int(*path_id));
   if (info->has_text) {
     row.push_back(Value::Str(DirectText(doc, node)));
@@ -117,10 +122,8 @@ Status SchemaAwareStore::LoadElement(const xml::Document& doc,
   }
 
   // Recurse into element children, resolving each tag against the schema.
-  uint32_t child_ordinal = 0;
   for (xml::NodeId c : xnode.children) {
     if (doc.node(c).kind != xml::NodeKind::kElement) continue;
-    ++child_ordinal;
     const std::string& tag = doc.node(c).name;
     int child_schema = -1;
     for (int cs : snode.children) {
@@ -134,11 +137,178 @@ Status SchemaAwareStore::LoadElement(const xml::Document& doc,
                                      "> not allowed under <" + xnode.name +
                                      "> by the schema");
     }
-    std::string child_dewey = Dewey::Child(dewey, child_ordinal);
     XPREL_RETURN_IF_ERROR(LoadElement(doc, c, child_schema, element_id,
-                                      relation, path, child_dewey, doc_id));
+                                      relation, path, doc_id, effects));
   }
   return Status::Ok();
+}
+
+Result<int> SchemaAwareStore::ResolveSchemaNode(const xml::Document& doc,
+                                                xml::NodeId node) const {
+  std::vector<const std::string*> tags;
+  for (xml::NodeId cur = node; cur != xml::kNoNode;
+       cur = doc.node(cur).parent) {
+    tags.push_back(&doc.node(cur).name);
+  }
+  auto it = tags.rbegin();
+  int sn = -1;
+  for (int r : graph().roots()) {
+    if (graph().node(r).tag == **it) {
+      sn = r;
+      break;
+    }
+  }
+  if (sn < 0) {
+    return Status::InvalidArgument("document root <" + **it +
+                                   "> matches no schema root");
+  }
+  for (++it; it != tags.rend(); ++it) {
+    int next = -1;
+    for (int cs : graph().node(sn).children) {
+      if (graph().node(cs).tag == **it) {
+        next = cs;
+        break;
+      }
+    }
+    if (next < 0) {
+      return Status::InvalidArgument("element <" + **it +
+                                     "> not allowed under <" +
+                                     graph().node(sn).tag +
+                                     "> by the schema");
+    }
+    sn = next;
+  }
+  return sn;
+}
+
+Result<std::pair<rel::Table*, rel::RowId>> SchemaAwareStore::FindRow(
+    int64_t element_id) {
+  std::string key;
+  rel::AppendEncodedValue(Value::Int(element_id), key);
+  for (const auto& [name, info] : mapping_.relations()) {
+    rel::Table* t = db_.FindTable(name);
+    std::vector<rel::RowId> rows = t->FindIndex("pk_" + name)->Lookup(key);
+    if (!rows.empty()) return std::make_pair(t, rows[0]);
+  }
+  return Status::InvalidArgument("schema dml: no row for element id " +
+                                 std::to_string(element_id));
+}
+
+Status SchemaAwareStore::InsertSubtree(const xml::Document& doc,
+                                       int64_t doc_id,
+                                       xml::NodeId subtree_root,
+                                       MutationEffects* effects) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.ppf_insert"));
+  xml::NodeId parent = doc.node(subtree_root).parent;
+  if (parent == xml::kNoNode) {
+    return Status::InvalidArgument("schema dml: cannot insert a new root");
+  }
+  int64_t parent_id = ElementIdOf(doc_id, parent);
+  if (parent_id < 0) {
+    return Status::InvalidArgument("schema dml: parent node not in store");
+  }
+  auto schema_node = ResolveSchemaNode(doc, subtree_root);
+  if (!schema_node.ok()) return schema_node.status();
+  auto parent_schema = ResolveSchemaNode(doc, parent);
+  if (!parent_schema.ok()) return parent_schema.status();
+  auto parent_path = doc.RootToNodePath(parent);
+  if (!parent_path.ok()) return parent_path.status();
+  return LoadElement(doc, subtree_root, *schema_node, parent_id,
+                     mapping_.RelationOf(*parent_schema), *parent_path,
+                     doc_id, effects);
+}
+
+Status SchemaAwareStore::DeleteSubtree(const xml::Document& doc,
+                                       int64_t doc_id,
+                                       xml::NodeId subtree_root,
+                                       MutationEffects* effects) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.ppf_delete"));
+  std::vector<xml::NodeId> stack{subtree_root};
+  while (!stack.empty()) {
+    xml::NodeId cur = stack.back();
+    stack.pop_back();
+    if (doc.node(cur).kind != xml::NodeKind::kElement) continue;
+    int64_t eid = ElementIdOf(doc_id, cur);
+    if (eid < 0) {
+      return Status::InvalidArgument("schema dml: subtree node not in store");
+    }
+    auto loc = FindRow(eid);
+    if (!loc.ok()) return loc.status();
+    auto [table, rid] = *loc;
+    const int path_col = table->schema().ColumnIndex(kPathIdColumn);
+    int64_t path_id = table->at(rid, static_cast<size_t>(path_col)).AsInt();
+    XPREL_RETURN_IF_ERROR(table->Delete(rid));
+    bool retired = false;
+    XPREL_RETURN_IF_ERROR(paths_->Release(path_id, &retired));
+    if (effects != nullptr) {
+      effects->paths.push_back(path_id);
+      if (retired) ++effects->paths_retired;
+    }
+    node_to_id_.erase(std::make_pair(doc_id, cur));
+    for (xml::NodeId c : doc.node(cur).children) stack.push_back(c);
+  }
+  return Status::Ok();
+}
+
+Status SchemaAwareStore::UpdateDirectText(const xml::Document& doc,
+                                          int64_t doc_id, xml::NodeId node,
+                                          MutationEffects* effects) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.ppf_text"));
+  int64_t eid = ElementIdOf(doc_id, node);
+  if (eid < 0) {
+    return Status::InvalidArgument("schema dml: node not in store");
+  }
+  auto loc = FindRow(eid);
+  if (!loc.ok()) return loc.status();
+  auto [table, rid] = *loc;
+  const int text_col = table->schema().ColumnIndex(kTextColumn);
+  if (text_col < 0) {
+    return Status::InvalidArgument("schema dml: relation " + table->name() +
+                                   " has no text column");
+  }
+  const int path_col = table->schema().ColumnIndex(kPathIdColumn);
+  int64_t path_id = table->at(rid, static_cast<size_t>(path_col)).AsInt();
+  rel::Row row = table->ReadRow(rid);
+  row[static_cast<size_t>(text_col)] = Value::Str(DirectText(doc, node));
+  auto moved = table->RewriteRow(rid, std::move(row));
+  if (!moved.ok()) return moved.status();
+  if (effects != nullptr) effects->paths.push_back(path_id);
+  return Status::Ok();
+}
+
+Status SchemaAwareStore::UpdateDeweys(const xml::Document& doc,
+                                      int64_t doc_id,
+                                      const std::vector<xml::NodeId>& nodes) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("dml.ppf_dewey"));
+  for (xml::NodeId node : nodes) {
+    if (doc.node(node).kind != xml::NodeKind::kElement) continue;
+    int64_t eid = ElementIdOf(doc_id, node);
+    if (eid < 0) {
+      return Status::InvalidArgument("schema dml: node not in store");
+    }
+    auto loc = FindRow(eid);
+    if (!loc.ok()) return loc.status();
+    auto [table, rid] = *loc;
+    const int dewey_col = table->schema().ColumnIndex(kDeweyColumn);
+    rel::Row row = table->ReadRow(rid);
+    row[static_cast<size_t>(dewey_col)] = Value::Bytes(doc.dewey(node));
+    auto moved = table->RewriteRow(rid, std::move(row));
+    if (!moved.ok()) return moved.status();
+  }
+  return Status::Ok();
+}
+
+size_t SchemaAwareStore::CompactIfNeeded() {
+  size_t compacted = 0;
+  for (const auto& [name, info] : mapping_.relations()) {
+    rel::Table* t = db_.FindTable(name);
+    if (t->dead_row_count() >= 64 &&
+        t->dead_row_count() * 4 >= t->row_count()) {
+      t->Compact();
+      ++compacted;
+    }
+  }
+  return compacted;
 }
 
 const SchemaAwareStore::ElementOrigin* SchemaAwareStore::FindOrigin(

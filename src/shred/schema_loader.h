@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -42,14 +43,39 @@ class SchemaAwareStore {
   // Element id assigned to a document node, or -1.
   int64_t ElementIdOf(int64_t doc_id, xml::NodeId node) const;
 
+  // --- Incremental maintenance (used by dml::DocumentMutator). The
+  // document tree has already been mutated; these bring the relations, the
+  // indexes and the Paths summary in line with it. Every inserted element
+  // is validated against the schema graph exactly as in LoadDocument. ---
+
+  Status InsertSubtree(const xml::Document& doc, int64_t doc_id,
+                       xml::NodeId subtree_root, MutationEffects* effects);
+  Status DeleteSubtree(const xml::Document& doc, int64_t doc_id,
+                       xml::NodeId subtree_root, MutationEffects* effects);
+  Status UpdateDirectText(const xml::Document& doc, int64_t doc_id,
+                          xml::NodeId node, MutationEffects* effects);
+  Status UpdateDeweys(const xml::Document& doc, int64_t doc_id,
+                      const std::vector<xml::NodeId>& nodes);
+  // Compacts mapping relations whose tombstone share crossed the threshold
+  // (Paths is never compacted — the registry stores RowIds into it).
+  size_t CompactIfNeeded();
+
+  size_t live_paths() const { return paths_->live_paths(); }
+
  private:
   SchemaAwareStore() = default;
 
   Status LoadElement(const xml::Document& doc, xml::NodeId node,
                      int schema_node, int64_t parent_id,
                      const std::string& parent_relation,
-                     const std::string& parent_path, std::string_view dewey,
-                     int64_t doc_id);
+                     const std::string& parent_path, int64_t doc_id,
+                     MutationEffects* effects);
+
+  // Schema-graph node matched by the root-to-node tag chain of `node`.
+  Result<int> ResolveSchemaNode(const xml::Document& doc,
+                                xml::NodeId node) const;
+  // Table + row storing the given element id (pk probe across relations).
+  Result<std::pair<rel::Table*, rel::RowId>> FindRow(int64_t element_id);
 
   SchemaAwareMapping mapping_;
   rel::Database db_;

@@ -155,14 +155,39 @@ Status SchemaAwareMapping::CreateTables(rel::Database& db) const {
   return Status::Ok();
 }
 
-Result<int64_t> PathsRegistry::Intern(const std::string& path) {
+Result<int64_t> PathsRegistry::Intern(const std::string& path, bool* created) {
+  if (created != nullptr) *created = false;
   auto it = cache_.find(path);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    ++it->second.refs;
+    return it->second.id;
+  }
+  // Physical row count only grows (Paths is never compacted), so this id is
+  // fresh even after earlier paths were retired.
   int64_t id = static_cast<int64_t>(table_->row_count()) + 1;
+  rel::RowId row = static_cast<rel::RowId>(table_->row_count());
   XPREL_RETURN_IF_ERROR(table_->Insert(
       {rel::Value::Int(id), rel::Value::Str(path)}));
-  cache_.emplace(path, id);
+  cache_.emplace(path, Entry{id, row, 1});
+  by_id_.emplace(id, path);
+  if (created != nullptr) *created = true;
   return id;
+}
+
+Status PathsRegistry::Release(int64_t id, bool* retired) {
+  if (retired != nullptr) *retired = false;
+  auto idit = by_id_.find(id);
+  if (idit == by_id_.end()) {
+    return Status::InvalidArgument("paths: release of unknown path id " +
+                                   std::to_string(id));
+  }
+  auto it = cache_.find(idit->second);
+  if (--it->second.refs > 0) return Status::Ok();
+  XPREL_RETURN_IF_ERROR(table_->Delete(it->second.row));
+  cache_.erase(it);
+  by_id_.erase(idit);
+  if (retired != nullptr) *retired = true;
+  return Status::Ok();
 }
 
 }  // namespace xprel::shred

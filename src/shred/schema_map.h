@@ -71,18 +71,51 @@ class SchemaAwareMapping {
   std::map<std::string, RelationInfo> relations_;
 };
 
+// What one store-level mutation touched — the raw material for path-scoped
+// cache invalidation (engine::AffectedPaths aggregates one of these per
+// backend store).
+struct MutationEffects {
+  // Path ids of element rows inserted, deleted, or text-updated. May repeat.
+  std::vector<int64_t> paths;
+  // Paths created / retired by the mutation. Nonzero means the path
+  // summary itself changed, so plans compiled against it (regex path
+  // filters, bitmaps, statically-empty verdicts) are structurally stale
+  // beyond any one path id.
+  int64_t paths_added = 0;
+  int64_t paths_retired = 0;
+  bool changed() const { return paths_added != 0 || paths_retired != 0; }
+};
+
 // Keeps the `Paths` relation and its in-memory cache in sync while loading
-// (paper Section 3.1: filled gradually during insertions).
+// (paper Section 3.1: filled gradually during insertions) and under DML:
+// every Intern adds one reference (one stored element row), Release drops
+// one, and a path whose last reference goes away is retired — its Paths
+// row is tombstoned so fresh plans stop matching it. Retired ids are never
+// reused.
 class PathsRegistry {
  public:
   explicit PathsRegistry(rel::Table* paths_table) : table_(paths_table) {}
 
-  // Id of `path`, inserting it on first sight.
-  Result<int64_t> Intern(const std::string& path);
+  // Id of `path`, inserting it on first sight. `created` (nullable)
+  // reports whether this call added a new path to the summary — the signal
+  // that makes a mutation structural for cache invalidation.
+  Result<int64_t> Intern(const std::string& path, bool* created = nullptr);
+
+  // Drops one reference to path id `id`; at zero the path is retired.
+  // `retired` (nullable) reports whether that happened here.
+  Status Release(int64_t id, bool* retired = nullptr);
+
+  size_t live_paths() const { return by_id_.size(); }
 
  private:
+  struct Entry {
+    int64_t id = 0;
+    rel::RowId row = 0;  // Paths row; valid while live (Paths never compacts)
+    int64_t refs = 0;
+  };
   rel::Table* table_;
-  std::map<std::string, int64_t> cache_;
+  std::map<std::string, Entry> cache_;          // live paths by string
+  std::map<int64_t, std::string> by_id_;        // live path id -> string
 };
 
 }  // namespace xprel::shred

@@ -1,6 +1,13 @@
 #include "xml/document.h"
 
+#include <algorithm>
+#include <cstddef>
+
+#include "encoding/dewey.h"
+
 namespace xprel::xml {
+
+using encoding::Dewey;
 
 const std::string* Document::FindAttribute(NodeId id,
                                            std::string_view name) const {
@@ -11,17 +18,29 @@ const std::string* Document::FindAttribute(NodeId id,
   return nullptr;
 }
 
+namespace {
+
+void AppendDescendantText(const Document& doc, NodeId id, std::string& out) {
+  for (NodeId c : doc.node(id).children) {
+    const Node& cn = doc.node(c);
+    if (cn.kind == NodeKind::kText) {
+      out += cn.text;
+    } else {
+      AppendDescendantText(doc, c, out);
+    }
+  }
+}
+
+}  // namespace
+
 std::string Document::StringValue(NodeId id) const {
   const Node& n = node(id);
   if (n.kind == NodeKind::kText) return n.text;
+  // Walk the child lists rather than the id range: after DML, descendants
+  // are no longer a contiguous id run. Depth is parser-bounded, so the
+  // recursion is shallow.
   std::string out;
-  // Descendants of a preorder node are the contiguous id range following it,
-  // bounded by the first node that is not deeper than it.
-  for (NodeId d = id + 1; d <= size(); ++d) {
-    const Node& dn = node(d);
-    if (dn.depth <= n.depth) break;
-    if (dn.kind == NodeKind::kText) out += dn.text;
-  }
+  AppendDescendantText(*this, id, out);
   return out;
 }
 
@@ -49,9 +68,132 @@ Result<std::string> Document::RootToNodePath(NodeId id) const {
 int32_t Document::CountElements() const {
   int32_t n = 0;
   for (const Node& node : nodes_) {
-    if (node.kind == NodeKind::kElement) ++n;
+    if (node.kind == NodeKind::kElement && node.alive) ++n;
   }
   return n;
+}
+
+NodeId Document::AdoptSubtree(const Document& src, NodeId src_root,
+                              NodeId parent, size_t child_index,
+                              std::string root_dewey) {
+  auto copy = [&](auto&& self, NodeId sid, NodeId dst_parent,
+                  std::string dewey) -> NodeId {
+    const Node& sn = src.node(sid);
+    Node n;
+    n.kind = sn.kind;
+    n.name = sn.name;
+    n.text = sn.text;
+    n.attributes = sn.attributes;
+    n.parent = dst_parent;
+    n.depth = dst_parent == kNoNode
+                  ? 1
+                  : nodes_[static_cast<size_t>(dst_parent - 1)].depth + 1;
+    n.dewey = std::move(dewey);
+    nodes_.push_back(std::move(n));
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    uint32_t elem_idx = 0;
+    for (NodeId c : sn.children) {
+      std::string child_dewey;
+      if (src.node(c).kind == NodeKind::kElement) {
+        // Re-index nodes_ on every access: push_back below reallocates.
+        child_dewey = Dewey::StridedChild(
+            nodes_[static_cast<size_t>(id - 1)].dewey, elem_idx++);
+      }
+      NodeId cid = self(self, c, id, std::move(child_dewey));
+      nodes_[static_cast<size_t>(id - 1)].children.push_back(cid);
+      nodes_[static_cast<size_t>(cid - 1)].sibling_ordinal =
+          static_cast<int32_t>(
+              nodes_[static_cast<size_t>(id - 1)].children.size());
+    }
+    return id;
+  };
+  NodeId new_root = copy(copy, src_root, parent, std::move(root_dewey));
+  std::vector<NodeId>& siblings =
+      nodes_[static_cast<size_t>(parent - 1)].children;
+  child_index = std::min(child_index, siblings.size());
+  siblings.insert(siblings.begin() + static_cast<ptrdiff_t>(child_index),
+                  new_root);
+  return new_root;
+}
+
+void Document::RemoveSubtree(NodeId id) {
+  Node& n = nodes_[static_cast<size_t>(id - 1)];
+  if (n.parent != kNoNode) {
+    std::vector<NodeId>& siblings =
+        nodes_[static_cast<size_t>(n.parent - 1)].children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), id),
+                   siblings.end());
+  }
+  std::vector<NodeId> stack{id};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    Node& c = nodes_[static_cast<size_t>(cur - 1)];
+    c.alive = false;
+    for (NodeId k : c.children) stack.push_back(k);
+  }
+}
+
+void Document::SetDirectText(NodeId id, std::string_view text) {
+  Node& n = nodes_[static_cast<size_t>(id - 1)];
+  NodeId first_text = kNoNode;
+  std::vector<NodeId> surplus;
+  for (NodeId c : n.children) {
+    if (nodes_[static_cast<size_t>(c - 1)].kind != NodeKind::kText) continue;
+    if (first_text == kNoNode) {
+      first_text = c;
+    } else {
+      surplus.push_back(c);
+    }
+  }
+  if (first_text != kNoNode && text.empty()) {
+    surplus.push_back(first_text);
+    first_text = kNoNode;
+  }
+  for (NodeId c : surplus) {
+    nodes_[static_cast<size_t>(c - 1)].alive = false;
+    std::vector<NodeId>& ch = n.children;
+    ch.erase(std::remove(ch.begin(), ch.end(), c), ch.end());
+  }
+  if (first_text != kNoNode) {
+    nodes_[static_cast<size_t>(first_text - 1)].text = std::string(text);
+  } else if (!text.empty()) {
+    Node t;
+    t.kind = NodeKind::kText;
+    t.text = std::string(text);
+    t.parent = id;
+    t.depth = n.depth + 1;
+    nodes_.push_back(std::move(t));
+    // Re-index: push_back may have moved the node array.
+    nodes_[static_cast<size_t>(id - 1)].children.push_back(
+        static_cast<NodeId>(nodes_.size()));
+  }
+}
+
+void Document::TruncateTo(int32_t old_size) {
+  for (size_t i = 0; i < static_cast<size_t>(old_size); ++i) {
+    std::vector<NodeId>& ch = nodes_[i].children;
+    ch.erase(std::remove_if(ch.begin(), ch.end(),
+                            [&](NodeId c) { return c > old_size; }),
+             ch.end());
+  }
+  nodes_.resize(static_cast<size_t>(old_size));
+  if (!ranks_.empty()) ranks_.resize(static_cast<size_t>(old_size));
+}
+
+void Document::RefreshOrderRanks() {
+  ranks_.assign(nodes_.size(), 0);
+  if (root() == kNoNode) return;
+  int32_t next = 0;
+  std::vector<NodeId> stack{root()};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    ranks_[static_cast<size_t>(cur - 1)] = ++next;
+    const std::vector<NodeId>& ch =
+        nodes_[static_cast<size_t>(cur - 1)].children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
 }
 
 void Builder::Fail(const char* what) {
@@ -129,6 +271,22 @@ Result<Document> Builder::Finish() && {
     return Status::ParseError("xml builder: Finish() with " +
                               std::to_string(stack_.size()) +
                               " unclosed element(s)");
+  }
+  // Assign gap-strided Dewey keys in one preorder pass (parents precede
+  // children in the build array, so a single forward sweep sees every
+  // parent's key before its children need it). The root is "1", exactly as
+  // in the paper; children take strided ordinals so DML can caret into the
+  // gaps without renumbering.
+  std::vector<uint32_t> elem_children(doc_.nodes_.size(), 0);
+  for (size_t i = 0; i < doc_.nodes_.size(); ++i) {
+    Node& n = doc_.nodes_[i];
+    if (n.kind != NodeKind::kElement) continue;
+    if (n.parent == kNoNode) {
+      n.dewey = Dewey::FromComponents({1});
+    } else {
+      const size_t p = static_cast<size_t>(n.parent - 1);
+      n.dewey = Dewey::StridedChild(doc_.nodes_[p].dewey, elem_children[p]++);
+    }
   }
   return std::move(doc_);
 }

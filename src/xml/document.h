@@ -38,14 +38,25 @@ struct Node {
   NodeId parent = kNoNode;
   std::vector<NodeId> children;  // in document order
   int32_t depth = 0;             // root element = 1
-  // Position among the parent's children, 1-based (the "local order" that
-  // Dewey components encode).
+  // Position among the parent's children at build time, 1-based. Not
+  // maintained under DML (nothing reads it after construction); the dewey
+  // key below is the document-order authority.
   int32_t sibling_ordinal = 1;
+  // Binary Dewey order key (encoding::Dewey), elements only. Assigned with
+  // gap-strided ordinals by Builder::Finish and maintained by the DML
+  // layer; the shred loaders read it instead of recomputing, so document
+  // and stores always agree on order keys.
+  std::string dewey;
+  // False once the node's subtree was removed by DML. Dead nodes keep
+  // their slot (ids are stable) but are unlinked from the tree.
+  bool alive = true;
 };
 
-// A parsed XML document: an ordered, labeled tree stored as a preorder array
-// of nodes, so that node ids coincide with document order. The tree shape is
-// immutable after construction; use XmlBuilder or ParseXml to create one.
+// A parsed XML document: an ordered, labeled tree stored as an array of
+// nodes. At construction node ids coincide with document order (preorder);
+// DML (src/dml) may later graft subtrees at the end of the array and
+// tombstone removed ones — ids stay stable, and OrderRank() gives the
+// current document-order position. Use Builder or ParseXml to create one.
 class Document {
  public:
   Document() = default;
@@ -74,12 +85,53 @@ class Document {
   // able to crash a release build.
   Result<std::string> RootToNodePath(NodeId id) const;
 
-  // Number of element nodes (text nodes excluded).
+  // Number of live element nodes (text and removed nodes excluded).
   int32_t CountElements() const;
+
+  // --- DML support (used by dml::DocumentMutator) ---
+
+  // Binary Dewey order key of an element (empty for text nodes).
+  const std::string& dewey(NodeId id) const { return node(id).dewey; }
+  bool alive(NodeId id) const { return node(id).alive; }
+
+  // Document-order position of `id` among live nodes: equals the id for a
+  // freshly built document, and is refreshed by RefreshOrderRanks() after
+  // mutations (grafted nodes live at the end of the array regardless of
+  // their tree position, so ids alone no longer sort correctly).
+  int32_t OrderRank(NodeId id) const {
+    return ranks_.empty() ? id : ranks_[static_cast<size_t>(id - 1)];
+  }
+
+  // Direct node access for the DML layer (text updates, dewey rewrites).
+  Node& MutableNode(NodeId id) { return nodes_[static_cast<size_t>(id - 1)]; }
+
+  // Copies the subtree rooted at `src_root` of `src` into this document as
+  // fresh ids appended at the array end, linked under `parent` at position
+  // `child_index` of its child list. The new root takes `root_dewey`;
+  // descendants get gap-strided child keys below it. Returns the new root's
+  // id.
+  NodeId AdoptSubtree(const Document& src, NodeId src_root, NodeId parent,
+                      size_t child_index, std::string root_dewey);
+
+  // Unlinks `id` from its parent and marks the whole subtree dead.
+  void RemoveSubtree(NodeId id);
+
+  // Replaces the direct text of element `id`: the first text child takes
+  // `text` (one is appended if none exists and `text` is non-empty),
+  // surplus text children are removed. Element children are untouched.
+  void SetDirectText(NodeId id, std::string_view text);
+
+  // Rolls back AdoptSubtree: drops every node with id > old_size and any
+  // child links pointing at them.
+  void TruncateTo(int32_t old_size);
+
+  // Recomputes OrderRank() by a preorder walk over the live tree.
+  void RefreshOrderRanks();
 
  private:
   friend class Builder;
   std::vector<Node> nodes_;
+  std::vector<int32_t> ranks_;  // empty until the first RefreshOrderRanks
 };
 
 // Incremental preorder construction of a Document. Used both by the XML

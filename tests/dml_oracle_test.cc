@@ -1,0 +1,241 @@
+// Randomized mutate-vs-reshred oracle: a long random sequence of subtree
+// inserts, deletes and text updates applied incrementally must leave the
+// engine indistinguishable from shredding the mutated document from
+// scratch — same query results on every backend, same live Paths summary.
+// The fault-injection preset additionally arms each DML fault point mid-
+// sequence, so rolled-back mutations are part of the checked history.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "data/rng.h"
+#include "data/xmark.h"
+#include "dml/mutator.h"
+#include "engine/engine.h"
+#include "shred/schema_map.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel {
+namespace {
+
+using dml::DocumentMutator;
+using engine::Backend;
+using engine::XPathEngine;
+
+struct Corpus {
+  xml::Document doc;
+  xsd::Schema schema;
+  std::unique_ptr<xsd::SchemaGraph> graph;
+  std::unique_ptr<XPathEngine> engine;
+};
+
+std::unique_ptr<Corpus> MakeCorpus(xml::Document doc) {
+  auto c = std::make_unique<Corpus>();
+  c->doc = std::move(doc);
+  auto schema = xsd::ParseXsd(data::XMarkXsd());
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  if (!schema.ok()) return nullptr;
+  c->schema = std::move(schema).value();
+  auto graph = xsd::SchemaGraph::Build(c->schema);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  if (!graph.ok()) return nullptr;
+  c->graph = std::make_unique<xsd::SchemaGraph>(std::move(graph).value());
+  auto eng = XPathEngine::Build(c->doc, *c->graph);
+  EXPECT_TRUE(eng.ok()) << eng.status().ToString();
+  if (!eng.ok()) return nullptr;
+  c->engine = std::move(eng).value();
+  return c;
+}
+
+// Serialized live subtree of each result node, sorted — a node-id-free
+// fingerprint comparable between the mutated and the reshredded engines.
+std::vector<std::string> Shapes(const xml::Document& doc,
+                                const std::vector<xml::NodeId>& nodes) {
+  struct Ser {
+    const xml::Document& d;
+    void Node(xml::NodeId n, std::string& s) const {
+      const xml::Node& node = d.node(n);
+      if (node.kind == xml::NodeKind::kText) {
+        s += xml::EscapeXml(node.text);
+        return;
+      }
+      s += '<';
+      s += node.name;
+      for (const xml::Attribute& a : node.attributes) {
+        s += ' ';
+        s += a.name;
+        s += "=\"";
+        s += xml::EscapeXml(a.value);
+        s += '"';
+      }
+      s += '>';
+      for (xml::NodeId c : node.children) Node(c, s);
+      s += "</";
+      s += node.name;
+      s += '>';
+    }
+  };
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (xml::NodeId id : nodes) {
+    std::string frag;
+    Ser{doc}.Node(id, frag);
+    out.push_back(std::move(frag));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Live path strings of a store's Paths table (ids are allocation-order
+// dependent and legitimately differ between incremental and from-scratch).
+std::multiset<std::string> LivePathSet(const rel::Database& db) {
+  std::multiset<std::string> out;
+  const rel::Table* paths = db.FindTable(shred::kPathsTable);
+  if (paths == nullptr) return out;
+  for (rel::RowId r = 0; r < static_cast<rel::RowId>(paths->row_count());
+       ++r) {
+    if (paths->row_dead(r)) continue;
+    out.insert(paths->at(r, 1).AsString());
+  }
+  return out;
+}
+
+std::string ItemFragment(int id, bool keyword, int incategories) {
+  std::string s = "<item id=\"oracle" + std::to_string(id) + "\">";
+  s += "<location>Honduras</location><quantity>2</quantity>";
+  s += "<name>oracle item " + std::to_string(id) + "</name>";
+  s += "<payment>Cash</payment><description><text>generated ";
+  if (keyword) s += "<keyword>oraclekw</keyword> ";
+  s += "payload</text></description>";
+  s += "<shipping>Will ship only within country</shipping>";
+  for (int i = 0; i < incategories; ++i) {
+    s += "<incategory category=\"category0\"/>";
+  }
+  s += "</item>";
+  return s;
+}
+
+const char* kRegions[] = {"africa", "asia",     "australia",
+                          "europe", "namerica", "samerica"};
+
+const char* kQueries[] = {
+    "//item",
+    "//item/name",
+    "//keyword",
+    "/site/regions/africa/item",
+    "/site/regions/samerica/item/location",
+    "//item[incategory/@category = 'category0']/name",
+    "//description//keyword",
+    "/site/people/person/name",
+};
+
+void RunOracle(int mutations, bool sweep_faults) {
+  data::XMarkOptions opt;
+  opt.scale = 0.004;
+  auto live = MakeCorpus(data::GenerateXMark(opt));
+  ASSERT_NE(live, nullptr);
+  DocumentMutator mut(live->doc, *live->engine);
+  data::Rng rng(0xD31);
+
+  std::vector<const char*> fault_points = {
+      "dml.apply",      "dml.ppf_insert", "dml.edge_insert",
+      "dml.ppf_delete", "dml.edge_delete", "dml.ppf_dewey",
+      "dml.edge_dewey", "dml.ppf_text",   "dml.edge_text"};
+  size_t next_fault = 0;
+
+  for (int i = 0; i < mutations; ++i) {
+    if (sweep_faults && !fault_points.empty()) {
+      // Arm a different point each round; whichever op crosses it first
+      // fails and must roll back without corrupting the history.
+      fault::FaultInjector::Instance().Arm(
+          fault_points[next_fault++ % fault_points.size()]);
+    }
+    const uint64_t dice = rng.Below(10);
+    if (dice < 5) {
+      const char* region = kRegions[rng.Below(6)];
+      std::string parent = std::string("/site/regions/") + region;
+      auto r = mut.InsertFragmentAt(
+          parent, static_cast<size_t>(rng.Below(4)),
+          ItemFragment(i, rng.Below(2) == 0,
+                       static_cast<int>(rng.Below(3))));
+      if (!sweep_faults) {
+        ASSERT_TRUE(r.ok()) << "insert " << i << ": "
+                            << r.status().ToString();
+      }
+    } else if (dice < 8) {
+      const char* region = kRegions[rng.Below(6)];
+      auto r = mut.DeleteSubtreeAt(std::string("/site/regions/") + region +
+                                   "/item");
+      // A region can legitimately run out of items; only hard errors count.
+      if (!sweep_faults && !r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+            << r.status().ToString();
+      }
+    } else {
+      auto r = mut.UpdateTextAt("//item/name",
+                                "updated name " + std::to_string(i));
+      if (!sweep_faults) {
+        ASSERT_TRUE(r.ok()) << "update " << i << ": "
+                            << r.status().ToString();
+      }
+    }
+  }
+  if (sweep_faults) fault::FaultInjector::Instance().DisarmAll();
+  EXPECT_GE(mut.stats().mutations_applied, 1u);
+
+  // Ground truth: serialize the mutated document, reparse, reshred.
+  auto parsed = xml::ParseXml(xml::SerializeXml(live->doc));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto fresh = MakeCorpus(std::move(parsed).value());
+  ASSERT_NE(fresh, nullptr);
+
+  // Paths summaries must agree exactly (as path-string sets).
+  EXPECT_EQ(LivePathSet(live->engine->ppf_store()->db()),
+            LivePathSet(fresh->engine->ppf_store()->db()))
+      << "schema-aware Paths diverged from reshred";
+  EXPECT_EQ(LivePathSet(live->engine->edge_store()->db()),
+            LivePathSet(fresh->engine->edge_store()->db()))
+      << "Edge Paths diverged from reshred";
+  EXPECT_EQ(live->engine->ppf_store()->live_paths(),
+            fresh->engine->ppf_store()->live_paths());
+
+  // Every backend of the mutated engine must match the reshredded truth.
+  const Backend backends[] = {Backend::kPpf, Backend::kEdgePpf,
+                              Backend::kAccelerator, Backend::kStaircase,
+                              Backend::kNaive};
+  for (const char* q : kQueries) {
+    auto expected_out = fresh->engine->Run(Backend::kPpf, q);
+    ASSERT_TRUE(expected_out.ok()) << q << ": "
+                                   << expected_out.status().ToString();
+    auto expected = Shapes(fresh->doc, expected_out.value().nodes);
+    for (Backend b : backends) {
+      auto out = live->engine->Run(b, q);
+      ASSERT_TRUE(out.ok())
+          << q << " on " << BackendName(b) << ": " << out.status().ToString();
+      EXPECT_EQ(Shapes(live->doc, out.value().nodes), expected)
+          << q << " on " << BackendName(b) << " diverges from reshred";
+    }
+  }
+}
+
+TEST(DmlOracle, RandomMutationsMatchFromScratchShred) {
+  RunOracle(/*mutations=*/60, /*sweep_faults=*/false);
+}
+
+TEST(DmlOracle, RandomMutationsUnderFaultSweepStayConsistent) {
+  if (!fault::FaultInjectionEnabled()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  RunOracle(/*mutations=*/30, /*sweep_faults=*/true);
+}
+
+}  // namespace
+}  // namespace xprel
