@@ -4,7 +4,8 @@
 // a single-threaded engine->Run baseline, query for query, node for node.
 //
 // Writes BENCH_service.json with serial QPS, service QPS (cached and
-// cache-bypassing), the speedup ratio, and the admission/deadline counters
+// cache-bypassing), the speedup ratio, the admission/deadline counters, and
+// p50/p95/p99 queue-wait and execute-span durations from the bypass pass,
 // so bench/check_regression.py --service can gate the numbers. Also smoke-
 // checks the control paths: a cancelled and a deadline-expired request must
 // come back as error statuses without wedging a pool slot.
@@ -234,6 +235,18 @@ int RunBench(int threads, double scale_override) {
   rejected += uncached.metrics().rejected.load(std::memory_order_relaxed);
   timed_out += uncached.metrics().timed_out.load(std::memory_order_relaxed);
 
+  // Span-duration percentiles from the bypass pass, where every request
+  // really queues and executes (the cached pass answers most requests at
+  // admission, so its histograms are mostly empty). queue_wait covers
+  // admission -> worker pickup; execute covers pickup -> terminal status.
+  const service::MetricsRegistry& mu = uncached.metrics();
+  uint64_t queue_p50 = mu.queue_wait.PercentileUs(0.50);
+  uint64_t queue_p95 = mu.queue_wait.PercentileUs(0.95);
+  uint64_t queue_p99 = mu.queue_wait.PercentileUs(0.99);
+  uint64_t exec_p50 = mu.latency.PercentileUs(0.50);
+  uint64_t exec_p95 = mu.latency.PercentileUs(0.95);
+  uint64_t exec_p99 = mu.latency.PercentileUs(0.99);
+
   bool control_ok = CheckControlPaths(eng);
 
   // Scaling curve: uncached single-stream geomean latency at 1/2/4/8-way
@@ -264,6 +277,14 @@ int RunBench(int threads, double scale_override) {
                 scaling_ms[0] / (scaling_ms[t] > 1e-9 ? scaling_ms[t] : 1e-9));
   }
   std::printf("\n");
+  std::printf("bypass spans (us): queue p50/p95/p99 %llu/%llu/%llu  "
+              "execute p50/p95/p99 %llu/%llu/%llu\n",
+              static_cast<unsigned long long>(queue_p50),
+              static_cast<unsigned long long>(queue_p95),
+              static_cast<unsigned long long>(queue_p99),
+              static_cast<unsigned long long>(exec_p50),
+              static_cast<unsigned long long>(exec_p95),
+              static_cast<unsigned long long>(exec_p99));
   std::puts(svc.DumpMetrics().c_str());
 
   FILE* f = std::fopen("BENCH_service.json", "w");
@@ -288,6 +309,8 @@ int RunBench(int threads, double scale_override) {
       "  \"timed_out\": %llu,\n"
       "  \"mismatches\": %zu,\n"
       "  \"control_paths_ok\": %s,\n"
+      "  \"queue_wait_us\": {\"p50\": %llu, \"p95\": %llu, \"p99\": %llu},\n"
+      "  \"execute_us\": {\"p50\": %llu, \"p95\": %llu, \"p99\": %llu},\n"
       "  \"scaling\": {\"t1\": %.4f, \"t2\": %.4f, \"t4\": %.4f, "
       "\"t8\": %.4f}\n"
       "}\n",
@@ -295,7 +318,13 @@ int RunBench(int threads, double scale_override) {
       service_qps, uncached_qps, speedup, hit_rate,
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(timed_out), bad,
-      control_ok ? "true" : "false", scaling_ms[0], scaling_ms[1],
+      control_ok ? "true" : "false",
+      static_cast<unsigned long long>(queue_p50),
+      static_cast<unsigned long long>(queue_p95),
+      static_cast<unsigned long long>(queue_p99),
+      static_cast<unsigned long long>(exec_p50),
+      static_cast<unsigned long long>(exec_p95),
+      static_cast<unsigned long long>(exec_p99), scaling_ms[0], scaling_ms[1],
       scaling_ms[2], scaling_ms[3]);
   std::fclose(f);
   std::printf("wrote BENCH_service.json\n");

@@ -35,6 +35,14 @@ generation-bump fallback's on the identical operation sequence, when any
 operation failed, or when the end-of-run mutate-vs-reshred oracle
 diverged. Mutation latencies are reported for trend-watching.
 
+Trace-overhead mode (--trace-overhead): gates the observability tax
+recorded in BENCH_micro.json. Every record carries a per-query
+`trace_overhead` ratio (avg traced ms / avg untraced ms, measured
+back-to-back by `bench_micro --json`); the geomean must stay within
+--trace-threshold (default 5%) of untraced execution, so per-step
+EXPLAIN ANALYZE instrumentation can never quietly become a tax on
+ordinary queries.
+
 Tsan mode (--tsan): runs the executor test targets (shared cached plans
 under concurrent execution) from the `tsan` preset build, so batch-local
 executor state is proven re-entrant by ThreadSanitizer on every gate run.
@@ -53,6 +61,8 @@ Usage:
   bench/check_regression.py --scaling --candidate BENCH_service.json
   bench/check_regression.py --update --candidate BENCH_update.json
   bench/check_regression.py --update --bench-bin build/bench/bench_update
+  bench/check_regression.py --trace-overhead --candidate BENCH_micro.json
+  bench/check_regression.py --trace-overhead --bench-bin build/bench/bench_micro
   bench/check_regression.py --hardening
   bench/check_regression.py --hardening --hardening-bin build-fault/tests/hardening_test
   bench/check_regression.py --tsan
@@ -345,12 +355,50 @@ def check_update(args):
     return 0
 
 
+def check_trace_overhead(args):
+    """Gates the tracing overhead in BENCH_micro.json: the geomean of
+    per-query ms_traced / ms (traced pass vs untraced pass of the same
+    bench run) must stay within --trace-threshold of 1.0. No baseline is
+    involved — both passes come from one binary on one host, so the ratio
+    is self-normalizing."""
+    if args.candidate:
+        candidate = load(args.candidate)
+    else:
+        records = run_bench(args.bench_bin, "BENCH_micro.json", ["--json"])
+        candidate = {rec["query"]: rec for rec in records}
+
+    queries = sorted(q for q in candidate if "trace_overhead" in candidate[q])
+    if not queries:
+        print("FAIL: no trace_overhead fields in candidate record "
+              "(regenerate BENCH_micro.json with the current bench_micro)")
+        return 1
+    log_sum = sum(math.log(max(candidate[q]["trace_overhead"], 1e-6))
+                  for q in queries)
+    geo = math.exp(log_sum / len(queries))
+    worst = max(queries, key=lambda q: candidate[q]["trace_overhead"])
+    print(f"traced/untraced geomean: x{geo:.3f} over {len(queries)} queries "
+          f"(>1 means tracing costs time)")
+    print(f"worst query: {worst} "
+          f"(x{candidate[worst]['trace_overhead']:.3f}, "
+          f"{candidate[worst]['ms']:.3f} -> "
+          f"{candidate[worst].get('ms_traced', 0):.3f} ms)")
+    if geo > 1.0 + args.trace_threshold:
+        print(f"FAIL: tracing overhead geomean exceeds "
+              f"{args.trace_threshold:.0%}")
+        return 1
+    print("OK")
+    return 0
+
+
 # The executor test targets that exercise shared cached plans from
 # concurrent executions — the surface where batch-local state could race.
 # dml_test adds the writer-excludes-readers discipline: concurrent Run()
 # against a mutating DocumentMutator on the engine's shared_mutex.
+# observability_test races the trace ring, the TraceContext span tree, and
+# per-morsel StepStats accumulation at parallelism=4.
 TSAN_TEST_BINS = ("rel_exec_test", "join_engine_test",
-                  "random_property_test", "service_test", "dml_test")
+                  "random_property_test", "service_test", "dml_test",
+                  "observability_test")
 
 
 def check_tsan(args):
@@ -443,6 +491,13 @@ def main():
     ap.add_argument("--serial-threshold", type=float, default=0.10,
                     help="allowed fractional regression of the 1-thread "
                          "scaling geomean vs the baseline (default 0.10)")
+    ap.add_argument("--trace-overhead", action="store_true",
+                    dest="trace_overhead",
+                    help="gate the traced/untraced geomean ratio recorded "
+                         "in BENCH_micro.json")
+    ap.add_argument("--trace-threshold", type=float, default=0.05,
+                    help="allowed fractional tracing overhead for "
+                         "--trace-overhead (default 0.05)")
     ap.add_argument("--hardening", action="store_true",
                     help="run the fault-injection hardening gate instead of "
                          "a bench comparison")
@@ -491,6 +546,8 @@ def main():
         return check_update(args)
     if args.scaling:
         return check_scaling(args)
+    if args.trace_overhead:
+        return check_trace_overhead(args)
     return check_service(args) if args.service else check_micro(args)
 
 

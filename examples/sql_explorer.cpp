@@ -7,8 +7,15 @@
 // line (or uses a default), against the XMark schema.
 //
 //   ./examples/sql_explorer "//keyword/ancestor::listitem"
+//
+// Observability subcommands:
+//
+//   ./examples/sql_explorer explain analyze "//keyword"   per-step actuals
+//   ./examples/sql_explorer trace last ["<xpath>"]        last span tree
+//   ./examples/sql_explorer metrics --prometheus          scrape format
 
 #include <cstdio>
+#include <cstring>
 
 #include "data/xmark.h"
 #include "engine/engine.h"
@@ -16,11 +23,40 @@
 #include "xsd/schema_graph.h"
 #include "xsd/xsd_parser.h"
 
+namespace {
+
+constexpr const char* kDefaultXPath = "/site/regions/*/item[parent::namerica]";
+
+constexpr xprel::engine::Backend kSqlBackends[] = {
+    xprel::engine::Backend::kPpf,
+    xprel::engine::Backend::kEdgePpf,
+    xprel::engine::Backend::kAccelerator,
+    xprel::engine::Backend::kNaive,
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace xprel;
 
-  const char* xpath =
-      argc > 1 ? argv[1] : "/site/regions/*/item[parent::namerica]";
+  enum class Mode { kDefault, kExplainAnalyze, kTraceLast, kMetricsProm };
+  Mode mode = Mode::kDefault;
+  const char* xpath = kDefaultXPath;
+  if (argc >= 3 && std::strcmp(argv[1], "explain") == 0 &&
+      std::strcmp(argv[2], "analyze") == 0) {
+    mode = Mode::kExplainAnalyze;
+    if (argc > 3) xpath = argv[3];
+  } else if (argc >= 3 && std::strcmp(argv[1], "trace") == 0 &&
+             std::strcmp(argv[2], "last") == 0) {
+    mode = Mode::kTraceLast;
+    if (argc > 3) xpath = argv[3];
+  } else if (argc >= 3 && std::strcmp(argv[1], "metrics") == 0 &&
+             std::strcmp(argv[2], "--prometheus") == 0) {
+    mode = Mode::kMetricsProm;
+    if (argc > 3) xpath = argv[3];
+  } else if (argc > 1) {
+    xpath = argv[1];
+  }
 
   data::XMarkOptions opt;
   opt.scale = 0.002;  // tiny: only needed so stores exist
@@ -37,14 +73,45 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (mode == Mode::kExplainAnalyze) {
+    std::printf("XPath: %s\n", xpath);
+    for (engine::Backend b : kSqlBackends) {
+      std::printf("\n--- %s ---\n", engine::BackendName(b));
+      auto analyzed = engine.value()->ExplainAnalyze(b, xpath);
+      if (analyzed.ok()) {
+        std::printf("%s", analyzed.value().c_str());
+      } else {
+        std::printf("(%s)\n", analyzed.status().ToString().c_str());
+      }
+    }
+    return 0;
+  }
+
+  if (mode == Mode::kTraceLast || mode == Mode::kMetricsProm) {
+    // Drive a couple of requests through the serving layer so the trace
+    // ring / registry have something to show. The second run bypasses the
+    // result cache, so the most recent trace is a full execution (queue,
+    // plan, execute spans) rather than a bare cache-lookup hit.
+    service::ServiceOptions sopt;
+    sopt.workers = 2;
+    service::QueryService svc(*engine.value(), sopt);
+    for (int i = 0; i < 2; ++i) {
+      auto r = svc.Run({.xpath = xpath, .bypass_cache = i == 1});
+      if (!r.ok()) {
+        std::fprintf(stderr, "service: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (mode == Mode::kTraceLast) {
+      std::printf("%s", svc.RenderLastTrace().c_str());
+    } else {
+      std::printf("%s", svc.RenderPrometheus().c_str());
+    }
+    return 0;
+  }
+
   std::printf("XPath: %s\n", xpath);
-  const engine::Backend backends[] = {
-      engine::Backend::kPpf,
-      engine::Backend::kEdgePpf,
-      engine::Backend::kAccelerator,
-      engine::Backend::kNaive,
-  };
-  for (engine::Backend b : backends) {
+  for (engine::Backend b : kSqlBackends) {
     std::printf("\n--- %s ---\n", engine::BackendName(b));
     auto sql = engine.value()->TranslateToSql(b, xpath);
     if (sql.ok()) {

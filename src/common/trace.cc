@@ -1,0 +1,96 @@
+#include "common/trace.h"
+
+#include <cstdio>
+
+namespace xprel {
+
+int TraceContext::BeginSpan(const char* name, int parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) return -1;
+  Span s;
+  s.name = name;
+  s.parent = parent >= 0 && static_cast<size_t>(parent) < spans_.size()
+                 ? parent
+                 : -1;
+  s.start_us = TraceClock::NowUs();
+  s.end_us = 0;
+  spans_.push_back(std::move(s));
+  return static_cast<int>(spans_.size() - 1);
+}
+
+void TraceContext::EndSpan(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  Span& s = spans_[static_cast<size_t>(id)];
+  if (s.end_us == 0) s.end_us = TraceClock::NowUs();
+}
+
+void TraceContext::Annotate(int id, const std::string& note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  Span& s = spans_[static_cast<size_t>(id)];
+  if (!s.note.empty()) s.note += ", ";
+  s.note += note;
+}
+
+size_t TraceContext::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceContext::Span> TraceContext::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceContext::Render() const {
+  std::vector<Span> snap = Snapshot();
+  // Depth of each span = depth(parent) + 1; parents always precede children
+  // (append-only tree), so one forward pass suffices.
+  std::vector<int> depth(snap.size(), 0);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    depth[i] = snap[i].parent >= 0 ? depth[static_cast<size_t>(snap[i].parent)] + 1 : 0;
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line), "trace %llu\n",
+                static_cast<unsigned long long>(trace_id_));
+  std::string out = line;
+  // Children are indented under their parent; render in recorded order,
+  // which is open order — close order does not matter for the tree shape.
+  // To keep children grouped under parents we emit spans in DFS order.
+  std::vector<std::vector<size_t>> kids(snap.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < snap.size(); ++i) {
+    if (snap[i].parent >= 0) {
+      kids[static_cast<size_t>(snap[i].parent)].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::vector<std::pair<size_t, int>> stack;  // (span, depth), reversed push
+  for (size_t r = roots.size(); r-- > 0;) stack.push_back({roots[r], 0});
+  while (!stack.empty()) {
+    auto [i, d] = stack.back();
+    stack.pop_back();
+    const Span& s = snap[i];
+    out.append(static_cast<size_t>(d) * 2, ' ');
+    out += s.name;
+    if (s.end_us >= s.start_us && s.end_us != 0) {
+      std::snprintf(line, sizeof(line), " %lluµs",
+                    static_cast<unsigned long long>(s.end_us - s.start_us));
+      out += line;
+    } else {
+      out += " ...";
+    }
+    if (!s.note.empty()) {
+      out += " [";
+      out += s.note;
+      out += "]";
+    }
+    out += "\n";
+    for (size_t k = kids[i].size(); k-- > 0;) stack.push_back({kids[i][k], d + 1});
+  }
+  return out;
+}
+
+}  // namespace xprel

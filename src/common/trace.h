@@ -1,0 +1,117 @@
+#ifndef XPREL_COMMON_TRACE_H_
+#define XPREL_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xprel {
+
+// The sampling clock behind all observability timings. At XPREL_TRACE_LEVEL
+// >= 1 (the build default) NowUs() reads the steady clock; at level 0 it
+// compiles down to `return 0`, so a binary built with -DXPREL_TRACE_LEVEL=0
+// pays literally nothing for timing even when a trace sink is attached.
+// Callers must treat a 0 return as "clock disabled", never as an epoch.
+//
+// The executor only reads the clock at batch/phase boundaries (one read per
+// phase switch, never per row), which is what keeps traced execution within
+// the ≤5% overhead budget enforced by `check_regression.py --trace-overhead`.
+struct TraceClock {
+#if XPREL_TRACE_LEVEL > 0
+  static constexpr bool kEnabled = true;
+  static uint64_t NowUs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+#else
+  static constexpr bool kEnabled = false;
+  static uint64_t NowUs() { return 0; }
+#endif
+};
+
+// A per-query span tree: named intervals (queue wait, plan-cache lookup,
+// build, execute, per-morsel work) hung off a query-assigned trace id. The
+// context travels admission → queue → execution → morsel workers on
+// rel::ExecControl, so spans may be opened from several threads at once —
+// all mutation is behind one mutex, which is fine because spans open at
+// query/morsel granularity, not per row or per batch.
+//
+// Span names must be string literals (the context stores the pointer).
+// The tree is bounded: once kMaxSpans spans exist, BeginSpan drops the
+// request and returns -1 (EndSpan/Annotate on -1 are no-ops), so a
+// pathological query cannot grow a trace without bound.
+class TraceContext {
+ public:
+  static constexpr size_t kMaxSpans = 256;
+
+  struct Span {
+    const char* name;       // static string
+    int parent;             // index into spans(), -1 for roots
+    uint64_t start_us;      // TraceClock::NowUs() at open (0 if clock off)
+    uint64_t end_us;        // 0 while open
+    std::string note;       // free-form annotation ("cache=hit", counts...)
+  };
+
+  explicit TraceContext(uint64_t trace_id) : trace_id_(trace_id) {}
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+
+  // Opens a span under `parent` (-1 = root) and returns its id, or -1 when
+  // the tree is full. Thread-safe.
+  int BeginSpan(const char* name, int parent = -1);
+
+  // Closes span `id`; no-op for -1 or already-closed spans. Thread-safe.
+  void EndSpan(int id);
+
+  // Appends to span `id`'s note (spans keep one note line). Thread-safe.
+  void Annotate(int id, const std::string& note);
+
+  // Number of spans recorded so far.
+  size_t span_count() const;
+
+  // Snapshot of the span tree (indices are stable: spans are append-only).
+  std::vector<Span> Snapshot() const;
+
+  // Renders the tree as indented text, one span per line:
+  //   "queue 1234µs" / "  execute 987µs [cache=miss]". Open spans render
+  //   with "..." in place of a duration.
+  std::string Render() const;
+
+ private:
+  const uint64_t trace_id_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+// RAII helper: opens a span on construction (if `ctx` is non-null) and
+// closes it on destruction. Safe to construct with a null context.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* ctx, const char* name, int parent = -1)
+      : ctx_(ctx), id_(ctx != nullptr ? ctx->BeginSpan(name, parent) : -1) {}
+  ~ScopedSpan() {
+    if (ctx_ != nullptr) ctx_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  int id() const { return id_; }
+  void Annotate(const std::string& note) {
+    if (ctx_ != nullptr) ctx_->Annotate(id_, note);
+  }
+
+ private:
+  TraceContext* ctx_;
+  int id_;
+};
+
+}  // namespace xprel
+
+#endif  // XPREL_COMMON_TRACE_H_

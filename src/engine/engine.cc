@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <set>
 
 #include "accel/accel_translator.h"
@@ -215,7 +216,9 @@ size_t XPathEngine::plan_cache_size() const {
 }
 
 Result<std::shared_ptr<const XPathEngine::CachedQuery>>
-XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
+XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath,
+                             bool* cache_hit) const {
+  if (cache_hit != nullptr) *cache_hit = false;
   std::string key =
       std::to_string(static_cast<int>(backend)) + "\n" + std::string(xpath);
   if (options_.enable_plan_cache) {
@@ -228,6 +231,7 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
       // returning it would silently serve pre-mutation results.
       if (it->second->query->VersionsCurrent()) {
         cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+        if (cache_hit != nullptr) *cache_hit = true;
         return it->second->query;
       }
       plan_cache_budget_.Release(it->second->charge);
@@ -340,22 +344,8 @@ XPathEngine::GetOrBuildQuery(Backend backend, std::string_view xpath) const {
   return std::shared_ptr<const CachedQuery>(entry);
 }
 
-Result<std::string> XPathEngine::ExplainPlan(Backend backend,
-                                             std::string_view xpath) const {
-  if (backend == Backend::kStaircase) {
-    return Status::InvalidArgument(
-        "the staircase backend evaluates natively, without SQL plans");
-  }
-  if (backend == Backend::kAccelerator) {
-    XPREL_RETURN_IF_ERROR(RebuildAccelIfStale());
-  }
-  std::shared_lock<std::shared_mutex> rw_lock(rw_mu_);
-  auto cached = GetOrBuildQuery(backend, xpath);
-  if (!cached.ok()) return cached.status();
-  const CachedQuery& cq = *cached.value();
-  if (cq.translated.statically_empty) {
-    return std::string("(statically empty: no rows can match)\n");
-  }
+std::string XPathEngine::RenderPlans(const CachedQuery& cq,
+                                     const rel::ExecTrace* trace) const {
   std::string out = "-- batch size: " + std::to_string(rel::kDefaultBatchSize) +
                     " rows (vectorized executor; per-step exec= below)\n";
   if (cq.full_footprint) {
@@ -400,13 +390,69 @@ Result<std::string> XPathEngine::ExplainPlan(Backend backend,
     } else {
       out += "-- parallel: serial (no step large enough to shard)\n";
     }
-    out += plan.Describe();
+    // With a trace, annotate each step with the actuals recorded for this
+    // block; a block the trace never reached (earlier error) stays bare.
+    if (trace != nullptr && i < trace->blocks.size()) {
+      const std::vector<rel::StepStats>& steps = trace->blocks[i];
+      out += plan.DescribeWithActuals(steps.data(), steps.size());
+    } else {
+      out += plan.Describe();
+    }
   }
   return out;
 }
 
+Result<std::string> XPathEngine::ExplainPlan(Backend backend,
+                                             std::string_view xpath) const {
+  if (backend == Backend::kStaircase) {
+    return Status::InvalidArgument(
+        "the staircase backend evaluates natively, without SQL plans");
+  }
+  if (backend == Backend::kAccelerator) {
+    XPREL_RETURN_IF_ERROR(RebuildAccelIfStale());
+  }
+  std::shared_lock<std::shared_mutex> rw_lock(rw_mu_);
+  auto cached = GetOrBuildQuery(backend, xpath);
+  if (!cached.ok()) return cached.status();
+  const CachedQuery& cq = *cached.value();
+  if (cq.translated.statically_empty) {
+    return std::string("(statically empty: no rows can match)\n");
+  }
+  return RenderPlans(cq, nullptr);
+}
+
+Result<std::string> XPathEngine::ExplainAnalyze(
+    Backend backend, std::string_view xpath,
+    const rel::ExecControl* control) const {
+  if (backend == Backend::kStaircase) {
+    return Status::InvalidArgument(
+        "the staircase backend evaluates natively, without SQL plans");
+  }
+  rel::ExecTrace trace;
+  auto run = Run(backend, xpath, control, &trace);
+  if (!run.ok()) return run.status();
+  const QueryOutcome& out = run.value();
+
+  // Re-fetch the compiled entry to render the tree the run just executed.
+  // Run() left it hot in the plan cache; if a concurrent mutation slipped
+  // in between, RenderPlans guards the trace by block index, so the worst
+  // case is a freshly built tree with fewer annotated blocks.
+  std::shared_lock<std::shared_mutex> rw_lock(rw_mu_);
+  auto cached = GetOrBuildQuery(backend, xpath);
+  if (!cached.ok()) return cached.status();
+  const CachedQuery& cq = *cached.value();
+  if (cq.translated.statically_empty) {
+    return std::string("(statically empty: no rows can match)\n");
+  }
+  char summary[96];
+  std::snprintf(summary, sizeof(summary), "-- actual: %zu node(s) in %.3f ms\n",
+                out.nodes.size(), out.elapsed_ms);
+  return std::string(summary) + RenderPlans(cq, &trace);
+}
+
 Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
-                                      const rel::ExecControl* control) const {
+                                      const rel::ExecControl* control,
+                                      rel::ExecTrace* trace) const {
   // The accelerator image cannot be maintained incrementally (pre/post
   // ranks shift globally on any insert — the paper's Section 2 contrast
   // with Dewey keys), so mutations mark it stale and the next query pays a
@@ -445,10 +491,15 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
     budgeted_control.parallelism = options_.parallelism;
   }
 
+  // Coarse engine spans hang off the caller's TraceContext (if any); the
+  // budgeted_control copies above preserve the pointer.
+  TraceContext* tctx = control != nullptr ? control->trace : nullptr;
+
   if (backend == Backend::kStaircase) {
     if (accel_store_ == nullptr) {
       return Status::InvalidArgument("Accelerator backend disabled");
     }
+    ScopedSpan exec_span(tctx, "execute");
     // The staircase evaluator has no per-row interruption hooks; honour the
     // control at the two step boundaries it does cross.
     XPREL_RETURN_IF_ERROR(ControlStatus(control));
@@ -461,7 +512,13 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
     }
     out.stats.output_rows = out.nodes.size();
   } else {
-    auto cached = GetOrBuildQuery(backend, xpath);
+    bool cache_hit = false;
+    const int plan_span = tctx != nullptr ? tctx->BeginSpan("plan") : -1;
+    auto cached = GetOrBuildQuery(backend, xpath, &cache_hit);
+    if (plan_span >= 0) {
+      tctx->Annotate(plan_span, cache_hit ? "cache=hit" : "cache=miss");
+      tctx->EndSpan(plan_span);
+    }
     if (!cached.ok()) return cached.status();
     const CachedQuery& cq = *cached.value();
     out.sql = cq.sql_text;
@@ -505,8 +562,12 @@ Result<QueryOutcome> XPathEngine::Run(Backend backend, std::string_view xpath,
         }
         return true;
       };
-      XPREL_RETURN_IF_ERROR(
-          rel::ExecutePlannedQueryChunks(plans, sink, &out.stats, control));
+      {
+        ScopedSpan exec_span(tctx, "execute");
+        XPREL_RETURN_IF_ERROR(rel::ExecutePlannedQueryChunks(
+            plans, sink, &out.stats, control, trace));
+        exec_span.Annotate("rows=" + std::to_string(out.stats.output_rows));
+      }
       if (unknown_id) return Status::Internal("unknown element id in result");
     }
   }

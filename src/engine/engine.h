@@ -120,8 +120,13 @@ class XPathEngine {
   // engine. `control` (nullable) arms per-query cancellation and deadline
   // checks inside the executor (see rel::ExecControl); an interrupted query
   // returns Status::Cancelled / Status::DeadlineExceeded.
+  // `trace` (nullable) opts into per-step actuals (rel::ExecTrace, one
+  // StepStats vector per SQL block); leaving it null keeps the execution
+  // entirely untraced — no clock reads, no extra work. If the control also
+  // carries a TraceContext, the engine hangs plan/execute spans on it.
   Result<QueryOutcome> Run(Backend backend, std::string_view xpath,
-                           const rel::ExecControl* control = nullptr) const;
+                           const rel::ExecControl* control = nullptr,
+                           rel::ExecTrace* trace = nullptr) const;
 
   // Translation only (no execution); not meaningful for kStaircase.
   Result<std::string> TranslateToSql(Backend backend,
@@ -132,6 +137,16 @@ class XPathEngine {
   // Not meaningful for kStaircase.
   Result<std::string> ExplainPlan(Backend backend,
                                   std::string_view xpath) const;
+
+  // EXPLAIN ANALYZE: executes the query with per-step tracing and renders
+  // the same tree as ExplainPlan with each step annotated by its actuals —
+  // rows in/out, batches, probe counts, phase-attributed wall time, and
+  // per-morsel skew on parallel runs — plus a one-line run summary. The
+  // "est=?" slot on every step is reserved for planner estimates (the
+  // cost-based planning PR fills it). Not meaningful for kStaircase.
+  Result<std::string> ExplainAnalyze(
+      Backend backend, std::string_view xpath,
+      const rel::ExecControl* control = nullptr) const;
 
   const shred::SchemaAwareStore* ppf_store() const { return ppf_store_.get(); }
   const shred::EdgeStore* edge_store() const { return edge_store_.get(); }
@@ -200,9 +215,17 @@ class XPathEngine {
   };
 
   // Translates and plans `xpath` for a SQL-executing backend, or returns
-  // the cached result. Not meaningful for kStaircase.
+  // the cached result. Not meaningful for kStaircase. `cache_hit`
+  // (nullable) reports whether the entry came straight from the plan cache
+  // — the signal behind the "plan" trace span's hit/miss annotation.
   Result<std::shared_ptr<const CachedQuery>> GetOrBuildQuery(
-      Backend backend, std::string_view xpath) const;
+      Backend backend, std::string_view xpath,
+      bool* cache_hit = nullptr) const;
+
+  // Shared EXPLAIN renderer: header lines + per-block plan tree, annotated
+  // with actuals when `trace` is non-null (see ExplainAnalyze).
+  std::string RenderPlans(const CachedQuery& cq,
+                          const rel::ExecTrace* trace) const;
 
   const rel::Database* BackendDb(Backend backend) const;
 

@@ -802,17 +802,24 @@ class BatchDriver {
   //
   // `cap_override`, when non-zero, replaces ctx.batch_size as the flush
   // granularity (EXISTS runs with small batches to keep early exit cheap).
+  //
+  // `steps`, when set, is an array of plan.steps.size() StepStats this run
+  // accumulates per-step actuals into (see ExecTrace in query.h). EXISTS
+  // subplan drivers always run with steps == nullptr — their wall time and
+  // row work attribute to the step owning the EXISTS filter, because the
+  // owner's phase clock keeps running while the subplan executes.
   BatchDriver(const Plan& plan, Binding& b, ExecContext& ctx,
               std::function<bool(const TupleBatch&)> sink,
               int partition_step = -1, MorselRange range = {},
-              uint32_t cap_override = 0)
+              uint32_t cap_override = 0, StepStats* steps = nullptr)
       : plan_(plan),
         b_(b),
         ctx_(ctx),
         sink_(std::move(sink)),
         cap_(cap_override != 0 ? cap_override : ctx.batch_size),
         pstep_(partition_step),
-        range_(range) {
+        range_(range),
+        steps_(steps) {
     const size_t n = plan.steps.size();
     stage_.resize(n);
     for (size_t d = 0; d < n; ++d) stage_[d].cols.resize(d + 1);
@@ -825,6 +832,28 @@ class BatchDriver {
   }
 
   bool Run() {
+    const bool ok = RunInner();
+    // Flush the last open phase into its step so traced totals cover the
+    // whole run (no-op without a trace: Attribute is never entered).
+    if (steps_ != nullptr) Attribute(-1);
+    return ok;
+  }
+
+  // Points the binding at tuple `pos` of the depth-d batch `tb`, rebinding
+  // only steps whose row changed — batches are outer-major, so outer slots
+  // rebind once per run of inner rows.
+  void BindTuple(size_t d, const TupleBatch& tb, uint32_t pos) {
+    for (size_t s = 0; s <= d; ++s) {
+      const RowId rid = tb.cols[s][pos];
+      if (last_bound_[s] == rid) continue;
+      const AccessStep& os = plan_.steps[s];
+      BindRow(*os.table, rid, os.bind_offset, b_);
+      last_bound_[s] = rid;
+    }
+  }
+
+ private:
+  bool RunInner() {
     // A virtual width-0 outer tuple seeds the pipeline, so step 0 needs no
     // special-casing (even a merge join at depth 0 collects one outer).
     TupleBatch seed;
@@ -844,20 +873,21 @@ class BatchDriver {
     return ctx_.interrupt.ok();
   }
 
-  // Points the binding at tuple `pos` of the depth-d batch `tb`, rebinding
-  // only steps whose row changed — batches are outer-major, so outer slots
-  // rebind once per run of inner rows.
-  void BindTuple(size_t d, const TupleBatch& tb, uint32_t pos) {
-    for (size_t s = 0; s <= d; ++s) {
-      const RowId rid = tb.cols[s][pos];
-      if (last_bound_[s] == rid) continue;
-      const AccessStep& os = plan_.steps[s];
-      BindRow(*os.table, rid, os.bind_offset, b_);
-      last_bound_[s] = rid;
+  // Phase-switching wall-time attribution: charges the time since the last
+  // switch to the step that was current, then makes `next` current. Called
+  // only at batch boundaries (feed, flush, merge sweep) — one clock read
+  // per switch, never per row — and only when a trace is attached, which is
+  // what keeps traced runs within the ≤5% overhead budget and untraced
+  // runs at zero clock reads.
+  void Attribute(int next) {
+    const uint64_t now = TraceClock::NowUs();
+    if (cur_step_ >= 0 && now >= phase_start_us_) {
+      steps_[cur_step_].time_us += now - phase_start_us_;
     }
+    phase_start_us_ = now;
+    cur_step_ = next;
   }
 
- private:
   // One collected merge-join outer tuple: the rows bound for the steps above
   // the merge plus its join key, evaluated at collection time.
   struct OuterTuple {
@@ -890,6 +920,7 @@ class BatchDriver {
 
   // Feeds every selected tuple of `outer` into step d's enumeration.
   bool Feed(size_t d, const TupleBatch& outer) {
+    if (steps_ != nullptr) Attribute(static_cast<int>(d));
     if (plan_.steps[d].path == AccessPathKind::kMergeJoin) {
       return CollectMerge(d, outer);
     }
@@ -906,17 +937,27 @@ class BatchDriver {
   bool Flush(size_t d) {
     TupleBatch& tb = stage_[d];
     if (tb.rows == 0) return true;
+    if (steps_ != nullptr) Attribute(static_cast<int>(d));
     if (BatchInterrupted(ctx_, tb.rows)) {
       tb.Clear();
       return false;
     }
     if (ctx_.stats != nullptr) ctx_.stats->rows_scanned += tb.rows;
     ApplyFilters(d, tb);
+    if (steps_ != nullptr) {
+      StepStats& ss = steps_[d];
+      ss.rows_in += tb.rows;
+      ss.rows_out += tb.sel.size();
+      ++ss.batches;
+    }
     bool ok = ctx_.interrupt.ok();
     if (ok && !tb.sel.empty()) {
       ok = d + 1 == plan_.steps.size() ? sink_(tb) : Feed(d + 1, tb);
     }
     tb.Clear();
+    // Work continuing after this flush (a mid-enumeration flush returns to
+    // step d's enumeration loop) belongs to step d again.
+    if (steps_ != nullptr) Attribute(static_cast<int>(d));
     return ok;
   }
 
@@ -952,6 +993,9 @@ class BatchDriver {
       if (sel.empty()) break;
       const CompiledExpr& f = *step.cfilters[fi];
       const AccessStep::FilterInfo& info = step.cfilter_info[fi];
+      if (steps_ != nullptr && info.has_exists) {
+        steps_[d].exists_evals += sel.size();
+      }
       size_t out = 0;
       if (info.single_slot >= 0) {
         const AccessStep& owner =
@@ -1011,12 +1055,15 @@ class BatchDriver {
     // Morsel restriction: at the partition step, only rows in this morsel's
     // Dewey range are enumerated (other morsels own the rest).
     const bool sharded = static_cast<int>(d) == pstep_;
+    StepStats* const ss = steps_ != nullptr ? &steps_[d] : nullptr;
     auto try_candidate = [&](RowId rid) -> bool {
       if (sharded && (rid < range_.lo || rid >= range_.hi)) return true;
       for (const RowBitmap* bm : step.bitmap_filters) {
         if (stats != nullptr) ++stats->bitmap_prefilter_tests;
+        if (ss != nullptr) ++ss->bitmap_tests;
         if (!bm->Test(rid)) return true;
         if (stats != nullptr) ++stats->bitmap_prefilter_hits;
+        if (ss != nullptr) ++ss->bitmap_hits;
       }
       return Append(d, outer, opos, rid);
     };
@@ -1033,6 +1080,7 @@ class BatchDriver {
           const size_t w_lo = scan_lo >> 6;
           const size_t w_hi = (static_cast<size_t>(scan_hi) + 63) / 64;
           if (stats != nullptr) stats->bitmap_prefilter_tests += scan_hi - scan_lo;
+          if (ss != nullptr) ss->bitmap_tests += scan_hi - scan_lo;
           for (size_t w = w_lo; w < w_hi; ++w) {
             uint64_t bits = step.bitmap_filters[0]->words[w];
             for (size_t k = 1; k < step.bitmap_filters.size(); ++k) {
@@ -1049,6 +1097,7 @@ class BatchDriver {
                   static_cast<RowId>((w << 6) + std::countr_zero(bits));
               bits &= bits - 1;
               if (stats != nullptr) ++stats->bitmap_prefilter_hits;
+              if (ss != nullptr) ++ss->bitmap_hits;
               if (!Append(d, outer, opos, rid)) return false;
             }
           }
@@ -1072,6 +1121,7 @@ class BatchDriver {
           AppendEncodedValue(v, lo);
         }
         if (stats != nullptr) ++stats->index_probes;
+        if (ss != nullptr) ++ss->index_probes;
         std::string& hi = kb.hi();
         hi.assign(lo);
         BumpToPrefixUpperBound(hi);
@@ -1093,6 +1143,7 @@ class BatchDriver {
           if (!step.range_lo_inclusive) BumpToPrefixUpperBound(lo);
         }
         if (stats != nullptr) ++stats->index_probes;
+        if (ss != nullptr) ++ss->index_probes;
         if (step.crange_hi != nullptr) {
           Value t0, t1;
           const Value& v = CoerceRef(EvalRef(*step.crange_hi, b_, ctx_, t0),
@@ -1122,6 +1173,7 @@ class BatchDriver {
         std::string& hi = kb.hi();
         for (size_t len = 3; len <= dkey.size(); len += 3) {
           if (stats != nullptr) ++stats->index_probes;
+          if (ss != nullptr) ++ss->index_probes;
           lo.clear();
           AppendEncodedBytes(std::string_view(dkey.data(), len), lo);
           hi.assign(lo);
@@ -1143,6 +1195,7 @@ class BatchDriver {
               CoerceRef(EvalRef(*p.ckey, b_, ctx_, t0), p.key_type, t1);
           if (v.is_null()) continue;
           if (stats != nullptr) ++stats->index_probes;
+          if (ss != nullptr) ++ss->index_probes;
           lo.clear();
           AppendEncodedValue(v, lo);
           hi.assign(lo);
@@ -1180,6 +1233,7 @@ class BatchDriver {
         const Value& key = CoerceRef(raw, step.hash_key_type, t1);
         if (key.is_null()) return true;
         if (stats != nullptr) ++stats->hash_join_probes;
+        if (ss != nullptr) ++ss->hash_probes;
         KeyBufs kb(ctx_);
         std::string& kbuf = kb.lo();
         kbuf.clear();
@@ -1250,6 +1304,10 @@ class BatchDriver {
   // re-checked per match, so the sweep may over-approximate freely.
   bool SweepMerge(size_t d) {
     const AccessStep& step = plan_.steps[d];
+    if (steps_ != nullptr) {
+      Attribute(static_cast<int>(d));
+      ++steps_[d].merge_rounds;
+    }
     if (!FaultOk(ctx_, "rel.merge_collect")) return false;
     if (ctx_.stats != nullptr) ++ctx_.stats->merge_join_rounds;
     std::vector<OuterTuple>& outers = merge_[d].outers;
@@ -1392,6 +1450,12 @@ class BatchDriver {
   std::vector<TupleBatch> stage_;     // stage_[d]: depth-d accumulator
   std::vector<RowId> last_bound_;     // delta-binding cache, per step
   std::vector<MergeState> merge_;     // merge_[d]: collected outers
+
+  // Per-step actuals sink (null = untraced run, zero added work) and the
+  // phase clock behind Attribute().
+  StepStats* const steps_ = nullptr;
+  int cur_step_ = -1;
+  uint64_t phase_start_us_ = 0;
 };
 
 // Number of rows per EXISTS batch. Small on purpose: first-witness semantics
@@ -1428,27 +1492,10 @@ bool ExecExists(const Plan& subplan, Binding& b, ExecContext& ctx) {
 
 // Folds the counters of a nested (build-plan) run into the outer stats.
 // ExecutePlan overwrites output_rows, so nested runs always use local stats.
+// Thin null-tolerant shim over QueryStats::MergeFrom — the merge semantics
+// themselves live in one place (query.h / the member below).
 void MergeStats(const QueryStats& local, QueryStats* out) {
-  if (out == nullptr) return;
-  out->rows_scanned += local.rows_scanned;
-  out->index_probes += local.index_probes;
-  out->subquery_evals += local.subquery_evals;
-  out->exists_cache_hits += local.exists_cache_hits;
-  out->exists_cache_misses += local.exists_cache_misses;
-  out->hash_tables_built += local.hash_tables_built;
-  out->hash_join_probes += local.hash_join_probes;
-  out->merge_join_rounds += local.merge_join_rounds;
-  out->bitmap_prefilter_tests += local.bitmap_prefilter_tests;
-  out->bitmap_prefilter_hits += local.bitmap_prefilter_hits;
-  out->exists_semijoin_builds += local.exists_semijoin_builds;
-  out->batches_emitted += local.batches_emitted;
-  out->morsels_scheduled += local.morsels_scheduled;
-  out->morsel_steals += local.morsel_steals;
-  out->parallel_threads =
-      std::max(out->parallel_threads, local.parallel_threads);
-  out->batch_size = std::max(out->batch_size, local.batch_size);
-  out->bytes_reserved_peak =
-      std::max(out->bytes_reserved_peak, local.bytes_reserved_peak);
+  if (out != nullptr) out->MergeFrom(local);
 }
 
 // Loads the semi-join key set from the build plan's result rows, applying
@@ -1756,11 +1803,14 @@ std::vector<SelectSrc> ComputeSelectSrcs(const Plan& plan) {
 // A parallel run calls this once per morsel with `pstep`/`range` narrowing
 // the partition step and `shared` pointing at the plan-wide build state
 // (see ExecutePlanChunksParallel below); serial callers leave the defaults.
+// `steps` (nullable) receives per-step actuals; it must have room for
+// plan.steps.size() entries (see BatchDriver).
 Status ExecutePlanChunks(const Plan& plan, const ChunkSink& sink,
                          QueryStats* stats, const ExecControl* control,
                          std::vector<std::vector<Value>>& scratch,
                          bool& stopped, int pstep = -1, MorselRange range = {},
-                         SharedPlanState* shared = nullptr) {
+                         SharedPlanState* shared = nullptr,
+                         StepStats* steps = nullptr) {
   ExecContext ctx;
   ctx.stats = stats;
   ctx.control = control;
@@ -1830,7 +1880,8 @@ Status ExecutePlanChunks(const Plan& plan, const ChunkSink& sink,
     return true;
   };
 
-  BatchDriver driver(plan, binding, ctx, bsink, pstep, range);
+  BatchDriver driver(plan, binding, ctx, bsink, pstep, range,
+                     /*cap_override=*/0, steps);
   drv = &driver;
   driver.Run();
   if (!ctx.interrupt.ok()) return ctx.interrupt;
@@ -1856,16 +1907,23 @@ Status ExecutePlanChunks(const Plan& plan, const ChunkSink& sink,
 // abort flag; sibling morsels observe it at their next control probe and
 // unwind exactly like a cancellation. The coordinator reports the recorded
 // (real) status, never the sibling-abort one.
+// `steps` (nullable) receives per-step actuals. Each morsel accumulates its
+// own StepStats vector; the coordinator seals and merges them in morsel
+// (Dewey-concatenation) order, so per-step totals are deterministic and
+// rows-out sums match a serial run exactly, while min/max/mean rows per
+// morsel surface the skew of the partition.
 Status ExecutePlanChunksParallel(const Plan& plan, const ChunkSink& sink,
                                  QueryStats* stats,
                                  const ExecControl* control, int pstep,
                                  const std::vector<MorselRange>& ranges,
-                                 int parallelism, bool& stopped) {
+                                 int parallelism, bool& stopped,
+                                 StepStats* steps = nullptr) {
   struct MorselOut {
     std::unique_ptr<MemoryBudget> budget;
     std::vector<std::vector<Value>> cols;
     size_t rows = 0;
     QueryStats stats;
+    std::vector<StepStats> steps;
     Status status;
   };
   std::vector<MorselOut> outs(ranges.size());
@@ -1881,10 +1939,15 @@ Status ExecutePlanChunksParallel(const Plan& plan, const ChunkSink& sink,
 
   auto body = [&](size_t i) {
     MorselOut& out = outs[i];
+    // Morsel-level span: which thread ran this shard and how long it took.
+    // Open only when the query carries a TraceContext — morsel granularity,
+    // so the span mutex is touched a handful of times per query.
+    ScopedSpan span(control->trace, "morsel");
     ExecControl mc = *control;
     mc.runner = nullptr;  // morsels never fan out again (no nested groups)
     mc.parallelism = 1;
     mc.group_abort = &abort;
+    if (steps != nullptr) out.steps.resize(plan.steps.size());
     if (control->budget != nullptr) {
       // Sub-reservation: charges flow through to the query budget (which
       // holds the cap), but this morsel's ledger releases independently.
@@ -1905,7 +1968,12 @@ Status ExecutePlanChunksParallel(const Plan& plan, const ChunkSink& sink,
       return true;
     };
     out.status = ExecutePlanChunks(plan, buffer, &out.stats, &mc, scratch,
-                                   local_stop, pstep, ranges[i], &shared);
+                                   local_stop, pstep, ranges[i], &shared,
+                                   out.steps.empty() ? nullptr
+                                                     : out.steps.data());
+    if (control->trace != nullptr) {
+      span.Annotate("rows=" + std::to_string(out.rows));
+    }
     if (!out.status.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);
       // Record before raising the flag: any morsel that aborts *because* of
@@ -1919,9 +1987,32 @@ Status ExecutePlanChunksParallel(const Plan& plan, const ChunkSink& sink,
       RunMorsels(ranges.size(), parallelism, control->runner, body);
 
   size_t total_rows = 0;
-  for (MorselOut& out : outs) {
+  for (size_t m = 0; m < outs.size(); ++m) {
+    MorselOut& out = outs[m];
     MergeStats(out.stats, stats);
     total_rows += out.rows;
+    // Merge per-step actuals in morsel (Dewey) order. From the partition
+    // step down, each morsel handled a disjoint Dewey range: counters sum
+    // to the serial totals and each morsel contributes one skew sample.
+    // Steps shallower than the partition step were re-enumerated in full
+    // by every morsel, so their logical counters are taken from the first
+    // morsel only (they are identical across morsels — anything else would
+    // read as N× the serial actuals); only their wall time, which really
+    // was paid per morsel, is summed.
+    if (steps != nullptr && !out.steps.empty()) {
+      for (size_t s = 0; s < out.steps.size(); ++s) {
+        if (static_cast<int>(s) < pstep) {
+          if (m == 0) {
+            steps[s].MergeFrom(out.steps[s]);
+          } else {
+            steps[s].time_us += out.steps[s].time_us;
+          }
+        } else {
+          out.steps[s].SealMorsel();
+          steps[s].MergeFrom(out.steps[s]);
+        }
+      }
+    }
   }
   if (stats != nullptr) {
     stats->morsels_scheduled += prs.morsels;
@@ -1956,6 +2047,50 @@ Status ExecutePlanChunksParallel(const Plan& plan, const ChunkSink& sink,
 }
 
 }  // namespace
+
+void QueryStats::MergeFrom(const QueryStats& other) {
+  rows_scanned += other.rows_scanned;
+  index_probes += other.index_probes;
+  subquery_evals += other.subquery_evals;
+  exists_cache_hits += other.exists_cache_hits;
+  exists_cache_misses += other.exists_cache_misses;
+  hash_tables_built += other.hash_tables_built;
+  hash_join_probes += other.hash_join_probes;
+  merge_join_rounds += other.merge_join_rounds;
+  bitmap_prefilter_tests += other.bitmap_prefilter_tests;
+  bitmap_prefilter_hits += other.bitmap_prefilter_hits;
+  exists_semijoin_builds += other.exists_semijoin_builds;
+  batches_emitted += other.batches_emitted;
+  morsels_scheduled += other.morsels_scheduled;
+  morsel_steals += other.morsel_steals;
+  output_rows += other.output_rows;
+  // Maxes, not sums: nested/UNION runs share one budget (the same bytes
+  // would double-count), thread fan-out is a peak, and batch_size is a
+  // configuration echo.
+  parallel_threads = std::max(parallel_threads, other.parallel_threads);
+  batch_size = std::max(batch_size, other.batch_size);
+  bytes_reserved_peak =
+      std::max(bytes_reserved_peak, other.bytes_reserved_peak);
+}
+
+void StepStats::MergeFrom(const StepStats& other) {
+  rows_in += other.rows_in;
+  rows_out += other.rows_out;
+  batches += other.batches;
+  index_probes += other.index_probes;
+  hash_probes += other.hash_probes;
+  merge_rounds += other.merge_rounds;
+  bitmap_tests += other.bitmap_tests;
+  bitmap_hits += other.bitmap_hits;
+  exists_evals += other.exists_evals;
+  time_us += other.time_us;
+  if (other.morsels > 0) {
+    min_rows = morsels == 0 ? other.min_rows
+                            : std::min(min_rows, other.min_rows);
+    max_rows = std::max(max_rows, other.max_rows);
+    morsels += other.morsels;
+  }
+}
 
 Result<QueryResult> ExecutePlan(const Plan& plan, QueryStats* stats,
                                 bool need_ordered_rows,
@@ -2232,7 +2367,7 @@ int PartitionStep(const Plan& plan) {
 
 Status ExecutePlannedQueryChunks(const std::vector<const Plan*>& plans,
                                  const ChunkSink& sink, QueryStats* stats,
-                                 const ExecControl* control) {
+                                 const ExecControl* control, ExecTrace* trace) {
   if (plans.empty()) {
     return Status::InvalidArgument("empty query");
   }
@@ -2241,11 +2376,17 @@ Status ExecutePlannedQueryChunks(const std::vector<const Plan*>& plans,
   std::vector<std::vector<Value>> scratch;
   bool stopped = false;
   const int parallelism = EffectiveParallelism(control);
+  if (trace != nullptr) trace->blocks.clear();
   for (const Plan* p : plans) {
     QueryStats local;
     Status s;
     std::vector<MorselRange> ranges;
     int pstep = -1;
+    StepStats* bsteps = nullptr;
+    if (trace != nullptr) {
+      trace->blocks.emplace_back(p->steps.size());
+      bsteps = trace->blocks.back().data();
+    }
     if (parallelism > 1) {
       pstep = PartitionStep(*p);
       if (pstep >= 0) {
@@ -2256,12 +2397,15 @@ Status ExecutePlannedQueryChunks(const std::vector<const Plan*>& plans,
     }
     if (ranges.size() > 1) {
       s = ExecutePlanChunksParallel(*p, sink, &local, control, pstep, ranges,
-                                    parallelism, stopped);
+                                    parallelism, stopped, bsteps);
     } else {
-      s = ExecutePlanChunks(*p, sink, &local, control, scratch, stopped);
+      s = ExecutePlanChunks(*p, sink, &local, control, scratch, stopped,
+                            /*pstep=*/-1, MorselRange{}, /*shared=*/nullptr,
+                            bsteps);
     }
+    // MergeFrom sums output_rows too, so the per-block accumulation the old
+    // ad-hoc merge needed a separate line for is covered.
     MergeStats(local, stats);
-    if (stats != nullptr) stats->output_rows += local.output_rows;
     if (!s.ok()) return s;
     if (stopped) break;
   }

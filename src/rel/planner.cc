@@ -1239,9 +1239,17 @@ Result<std::unique_ptr<Plan>> PlanSelect(const Database& db,
   return plan;
 }
 
-std::string Plan::Describe() const {
+std::string Plan::Describe() const { return DescribeWithActuals(nullptr, 0); }
+
+// Shared renderer: `actuals == nullptr` gives plain Describe() output;
+// otherwise each step line gains an "| est=? act: ..." suffix (the estimate
+// slot is filled by the cost-based planner once it lands). The two variants
+// share one body so EXPLAIN and EXPLAIN ANALYZE can never drift apart.
+std::string Plan::DescribeWithActuals(const StepStats* actuals,
+                                      size_t n) const {
   std::ostringstream os;
-  for (const AccessStep& s : steps) {
+  for (size_t d = 0; d < steps.size(); ++d) {
+    const AccessStep& s = steps[d];
     os << s.alias << ": " << AccessPathKindName(s.path);
     if (s.path == AccessPathKind::kIndexPoint) {
       os << "(" << s.point_keys.size() << " key cols)";
@@ -1275,12 +1283,31 @@ std::string Plan::Describe() const {
     // same batch driver with 64-row batches (first-witness short-circuit +
     // memoization), hence the distinct label.
     os << (is_subplan ? " exec=vec64" : " exec=vec");
+    if (actuals != nullptr && d < n) {
+      const StepStats& a = actuals[d];
+      os << " | est=? act: in=" << a.rows_in << " out=" << a.rows_out
+         << " batches=" << a.batches;
+      if (a.index_probes > 0) os << " idx_probes=" << a.index_probes;
+      if (a.hash_probes > 0) os << " hash_probes=" << a.hash_probes;
+      if (a.merge_rounds > 0) os << " merge_rounds=" << a.merge_rounds;
+      if (a.bitmap_tests > 0) {
+        os << " bitmap=" << a.bitmap_hits << "/" << a.bitmap_tests;
+      }
+      if (a.exists_evals > 0) os << " exists_evals=" << a.exists_evals;
+      os << " time=" << a.time_us << "us";
+      if (a.morsels > 0) {
+        // Per-morsel skew over rows_out: min/mean/max across morsels.
+        os << " morsels=" << a.morsels << " rows/morsel=" << a.min_rows
+           << "/" << a.rows_out / a.morsels << "/" << a.max_rows;
+      }
+    }
     os << "\n";
   }
   for (const auto& [expr, sub] : subplans) {
-    os << "exists-subplan" << (sub->semijoin_decorrelated
-                                   ? " (decorrelated semi-join):\n"
-                                   : ":\n");
+    os << "exists-subplan"
+       << (sub->semijoin_decorrelated ? " (decorrelated semi-join)" : "");
+    if (actuals != nullptr) os << " (actuals attribute to the owning step)";
+    os << ":\n";
     std::istringstream is(sub->Describe());
     std::string line;
     while (std::getline(is, line)) os << "  " << line << "\n";

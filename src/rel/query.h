@@ -14,6 +14,7 @@
 #include "common/memory_budget.h"
 #include "common/result.h"
 #include "common/task_runner.h"
+#include "common/trace.h"
 #include "rel/sql_ast.h"
 #include "rel/table.h"
 #include "rex/regex.h"
@@ -72,6 +73,7 @@ enum class MergeJoinMode {
 const char* AccessPathKindName(AccessPathKind k);
 
 struct Plan;
+struct StepStats;
 
 // A per-RowId bitset over one table, materialized at plan time. The planner
 // rewrites REGEXP_LIKE(alias.col, 'literal') step filters over small
@@ -294,6 +296,15 @@ struct Plan {
   // Human-readable plan, one step per line — used in tests and EXPLAIN-style
   // debugging.
   std::string Describe() const;
+
+  // Describe() annotated with per-step actuals from an execution trace:
+  // `steps` is an array of `n` StepStats parallel to this plan's steps (as
+  // produced by ExecutePlannedQueryChunks with an ExecTrace). Each step line
+  // gains an "est=? act: ..." suffix — the estimate slot stays "?" until the
+  // cost-based planner lands and fills it. EXISTS subplan and semi-join
+  // build lines render unannotated (their work is attributed to the owning
+  // step). Extra array entries beyond the plan's steps are ignored.
+  std::string DescribeWithActuals(const StepStats* steps, size_t n) const;
 };
 
 // Compiles a SELECT against the database. `outer` (nullable) is the layout
@@ -367,6 +378,15 @@ struct ExecControl {
   // coordinator keeps the first real error and drops the sibling aborts.
   const std::atomic<bool>* group_abort = nullptr;
 
+  // Optional span-tree sink for this execution (see common/trace.h). The
+  // context is shared by every morsel of the query — TraceContext is
+  // thread-safe and spans open at morsel granularity, so contention is
+  // negligible. Does NOT enable per-step actuals (that is the ExecTrace
+  // parameter of ExecutePlannedQueryChunks); it only gives the executor a
+  // place to hang coarse spans (per-morsel work, semi-join builds).
+  // Nullable; must outlive the execution.
+  TraceContext* trace = nullptr;
+
   // True when either trigger has already fired (one immediate sample).
   bool Expired() const {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -417,6 +437,66 @@ struct QueryStats {
   // Effective rows-per-batch this execution ran with (kDefaultBatchSize
   // unless ExecControl overrode it); 0 if nothing executed.
   uint32_t batch_size = 0;
+
+  // Folds another execution's stats into this one. This is THE merge used
+  // everywhere stats cross an execution boundary — morsel → query, UNION
+  // block → query, semi-join build → owner — so the semantics live in one
+  // place: every counter sums, while `bytes_reserved_peak` (nested runs
+  // share one budget; summing would double-count the same bytes),
+  // `parallel_threads` (peak fan-out, not a total) and `batch_size` (a
+  // configuration echo) merge by max. `output_rows` also sums — callers
+  // that already accumulated their own output count (the chunked executor
+  // overwrites it after the merge) must not rely on it mid-merge.
+  void MergeFrom(const QueryStats& other);
+};
+
+// Per-plan-step actuals, collected only when the caller attaches an
+// ExecTrace to the execution (a null trace costs nothing on the hot path —
+// not even clock reads). One StepStats per AccessStep, in step order.
+// Wall time is attributed at batch granularity by a phase-switching clock:
+// the driver stamps TraceClock::NowUs() when execution moves between steps
+// (feed/flush/merge-sweep boundaries), so each step's `time_us` is the wall
+// time spent enumerating, filtering and emitting for that step — including
+// EXISTS subplan evaluation and semi-join builds, which attribute to the
+// step that owns the filter (their plans carry no StepStats of their own).
+struct StepStats {
+  uint64_t rows_in = 0;    // tuples entering the step's filter pipeline
+  uint64_t rows_out = 0;   // tuples surviving all the step's filters
+  uint64_t batches = 0;    // batches flushed through the step
+  uint64_t index_probes = 0;    // B-tree point/range/prefix probes
+  uint64_t hash_probes = 0;     // hash-join lookups
+  uint64_t merge_rounds = 0;    // merge-join batched sweeps
+  uint64_t bitmap_tests = 0;    // row ids tested against plan bitmaps
+  uint64_t bitmap_hits = 0;     // ...of which passed
+  uint64_t exists_evals = 0;    // EXISTS filter evaluations at this step
+  uint64_t time_us = 0;         // phase-attributed wall time (0 if clock off)
+
+  // Per-morsel skew, populated on parallel runs: how many morsels touched
+  // this step and the min/max rows_out any single morsel produced (mean =
+  // rows_out / morsels). 0 morsels = serial execution, no skew data.
+  uint64_t morsels = 0;
+  uint64_t min_rows = 0;
+  uint64_t max_rows = 0;
+
+  // Marks this StepStats as the yield of one finished morsel so MergeFrom
+  // can fold it into a query-level aggregate with skew tracking.
+  void SealMorsel() {
+    morsels = 1;
+    min_rows = max_rows = rows_out;
+  }
+
+  // Counters and time sum; morsel skew merges min/min, max/max. Merging is
+  // done in Dewey-concatenation (morsel) order by the coordinator, so the
+  // aggregate is deterministic and identical to a serial run's totals.
+  void MergeFrom(const StepStats& other);
+};
+
+// Per-step actuals for a whole planned query: one StepStats vector per
+// UNION block, parallel to the `plans` argument of
+// ExecutePlannedQueryChunks. Pass one to opt into per-step collection;
+// contents are cleared and refilled by the execution.
+struct ExecTrace {
+  std::vector<std::vector<StepStats>> blocks;
 };
 
 struct QueryResult {
@@ -466,10 +546,14 @@ using ChunkSink = std::function<bool(const RowChunk&)>;
 // set anyway (the XPath engine sorts + dedups node ids, so executor-side
 // dedup of id rows is wasted work on its path). Same concurrency contract
 // as ExecutePlannedQuery.
+// `trace` (nullable) opts into per-step actuals: it is cleared and refilled
+// with one StepStats vector per plan block (see ExecTrace). Tracing changes
+// no results and adds at most a few clock reads per batch.
 Status ExecutePlannedQueryChunks(const std::vector<const Plan*>& plans,
                                  const ChunkSink& sink,
                                  QueryStats* stats = nullptr,
-                                 const ExecControl* control = nullptr);
+                                 const ExecControl* control = nullptr,
+                                 ExecTrace* trace = nullptr);
 
 // Convenience: plan + execute a full query (UNION of selects). UNION applies
 // set semantics; ORDER BY of the first block orders the combined result (the

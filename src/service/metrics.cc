@@ -22,7 +22,15 @@ uint64_t LatencyHistogram::PercentileUs(double q) const {
   uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += snap[static_cast<size_t>(i)];
-    if (seen >= rank) return uint64_t{1} << (i + 1);  // upper bucket edge
+    if (seen < rank) continue;
+    if (total == 1) {
+      // One sample: the upper edge would report up to double the observed
+      // value, so answer with the bucket midpoint instead. Bucket 0 spans
+      // [0, 2) — midpoint 1; bucket i spans [2^i, 2^(i+1)) — midpoint
+      // 3·2^(i-1).
+      return i == 0 ? 1 : uint64_t{3} << (i - 1);
+    }
+    return uint64_t{1} << (i + 1);  // upper bucket edge
   }
   return uint64_t{1} << kBuckets;
 }
@@ -76,6 +84,134 @@ std::string MetricsRegistry::Dump() const {
   std::string out = buf;
   out += "queue wait: " + queue_wait.Summary() + "\n";
   out += "latency:    " + latency.Summary() + "\n";
+  return out;
+}
+
+namespace {
+
+// Positional names for the backend label; must track engine::Backend's enum
+// order (the registry stays engine-agnostic on purpose).
+constexpr const char* kBackendNames[] = {"ppf", "edge_ppf", "accelerator",
+                                         "staircase", "naive"};
+constexpr const char* kOutcomeNames[] = {
+    "ok",       "cache_hit",          "cancelled", "timed_out",
+    "resource_exhausted", "error",    "rejected"};
+static_assert(sizeof(kOutcomeNames) / sizeof(kOutcomeNames[0]) ==
+              MetricsRegistry::kOutcomes);
+
+std::string BackendLabel(int i) {
+  constexpr int kNamed = sizeof(kBackendNames) / sizeof(kBackendNames[0]);
+  if (i >= 0 && i < kNamed) return kBackendNames[i];
+  return "backend" + std::to_string(i);
+}
+
+void EmitCounter(std::string& out, const char* name, uint64_t value) {
+  out += "# TYPE ";
+  out += name;
+  out += " counter\n";
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void EmitGauge(std::string& out, const char* name, uint64_t value) {
+  out += "# TYPE ";
+  out += name;
+  out += " gauge\n";
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void EmitHistogram(std::string& out, const char* name,
+                   const LatencyHistogram& h) {
+  out += "# TYPE ";
+  out += name;
+  out += " histogram\n";
+  int last = -1;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (h.BucketCount(i) > 0) last = i;
+  }
+  uint64_t cum = 0;
+  for (int i = 0; i <= last; ++i) {
+    cum += h.BucketCount(i);
+    out += name;
+    out += "_bucket{le=\"";
+    out += std::to_string(uint64_t{1} << (i + 1));
+    out += "\"} ";
+    out += std::to_string(cum);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket{le=\"+Inf\"} ";
+  out += std::to_string(h.count());
+  out += '\n';
+  out += name;
+  out += "_sum ";
+  out += std::to_string(h.TotalUs());
+  out += '\n';
+  out += name;
+  out += "_count ";
+  out += std::to_string(h.count());
+  out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  auto load = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  std::string out;
+  out.reserve(2048);
+  EmitCounter(out, "xprel_queries_submitted_total", load(submitted));
+  EmitCounter(out, "xprel_queries_completed_total", load(completed));
+  EmitCounter(out, "xprel_queries_rejected_total", load(rejected));
+  EmitCounter(out, "xprel_queries_cancelled_total", load(cancelled));
+  EmitCounter(out, "xprel_queries_timed_out_total", load(timed_out));
+  EmitCounter(out, "xprel_queries_resource_exhausted_total",
+              load(resource_exhausted));
+  EmitCounter(out, "xprel_queries_errors_total", load(errors));
+  EmitCounter(out, "xprel_result_cache_hits_total", load(cache_hits));
+  EmitCounter(out, "xprel_result_cache_misses_total", load(cache_misses));
+  EmitCounter(out, "xprel_result_cache_invalidated_total",
+              load(cache_entries_invalidated));
+  EmitCounter(out, "xprel_executor_batches_emitted_total",
+              load(batches_emitted));
+  EmitCounter(out, "xprel_executor_morsels_scheduled_total",
+              load(morsels_scheduled));
+  EmitCounter(out, "xprel_executor_morsel_steals_total", load(morsel_steals));
+  EmitGauge(out, "xprel_max_query_threads", load(max_query_threads));
+  EmitGauge(out, "xprel_memory_used_bytes", load(mem_used));
+  EmitGauge(out, "xprel_memory_peak_bytes", load(mem_peak));
+
+  // Labeled series: only emitted once touched, so an idle registry renders
+  // compactly and scrapes stay proportional to actual traffic shape.
+  bool any = false;
+  for (int b = 0; b < kMaxBackends && !any; ++b) {
+    for (int o = 0; o < kOutcomes && !any; ++o) {
+      any = load(by_backend_outcome[static_cast<size_t>(b)]
+                                   [static_cast<size_t>(o)]) > 0;
+    }
+  }
+  if (any) {
+    out += "# TYPE xprel_queries_total counter\n";
+    for (int b = 0; b < kMaxBackends; ++b) {
+      for (int o = 0; o < kOutcomes; ++o) {
+        uint64_t v = load(by_backend_outcome[static_cast<size_t>(b)]
+                                            [static_cast<size_t>(o)]);
+        if (v == 0) continue;
+        out += "xprel_queries_total{backend=\"" + BackendLabel(b) +
+               "\",outcome=\"" + kOutcomeNames[o] + "\"} " +
+               std::to_string(v) + "\n";
+      }
+    }
+  }
+
+  EmitHistogram(out, "xprel_queue_wait_us", queue_wait);
+  EmitHistogram(out, "xprel_query_latency_us", latency);
   return out;
 }
 

@@ -13,7 +13,10 @@ namespace xprel::service {
 // samples). Percentile queries return the upper edge of the bucket holding
 // the requested quantile — at most 2x off, which is plenty for p50/p95/p99
 // service dashboards, and recording stays a single relaxed fetch_add on the
-// serving hot path.
+// serving hot path. Edge cases are pinned down: an empty histogram reports
+// every percentile as 0, and a single-sample histogram reports the
+// midpoint of the sample's bucket (the upper edge would double a lone
+// sample's apparent latency).
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 40;  // 2^40 µs ≈ 12.7 days: effectively ∞
@@ -37,11 +40,24 @@ class LatencyHistogram {
                         static_cast<double>(n);
   }
 
-  // Upper bucket edge (µs) containing quantile `q` in [0, 1]; 0 when empty.
+  // Upper bucket edge (µs) containing quantile `q` in [0, 1]; 0 when empty,
+  // the bucket midpoint when exactly one sample has been recorded.
   uint64_t PercentileUs(double q) const;
 
   // "p50=512µs p95=2048µs p99=4096µs mean=410µs n=1234"
   std::string Summary() const;
+
+  // Raw bucket count (relaxed read) and cumulative µs, for exporters that
+  // render the distribution themselves (Prometheus cumulative buckets).
+  uint64_t BucketCount(int i) const {
+    return i < 0 || i >= kBuckets
+               ? 0
+               : buckets_[static_cast<size_t>(i)].load(
+                     std::memory_order_relaxed);
+  }
+  uint64_t TotalUs() const {
+    return total_us_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
@@ -94,6 +110,31 @@ class MetricsRegistry {
   LatencyHistogram queue_wait;  // admission -> worker pickup
   LatencyHistogram latency;     // worker pickup -> terminal status
 
+  // Per-backend × per-outcome terminal counters, the labeled series behind
+  // xprel_queries_total{backend=...,outcome=...}. Backend indices follow
+  // engine::Backend's enum order (the registry deliberately doesn't include
+  // the engine header; RenderPrometheus names them positionally).
+  enum class Outcome {
+    kOk = 0,
+    kCacheHit,
+    kCancelled,
+    kTimedOut,
+    kResourceExhausted,
+    kError,
+    kRejected,
+  };
+  static constexpr int kOutcomes = 7;
+  static constexpr int kMaxBackends = 8;
+  std::array<std::array<std::atomic<uint64_t>, kOutcomes>, kMaxBackends>
+      by_backend_outcome{};
+
+  void RecordOutcome(int backend, Outcome outcome) {
+    if (backend < 0 || backend >= kMaxBackends) return;
+    by_backend_outcome[static_cast<size_t>(backend)]
+                      [static_cast<size_t>(outcome)]
+                          .fetch_add(1, std::memory_order_relaxed);
+  }
+
   double CacheHitRate() const {
     uint64_t h = cache_hits.load(std::memory_order_relaxed);
     uint64_t m = cache_misses.load(std::memory_order_relaxed);
@@ -103,6 +144,12 @@ class MetricsRegistry {
 
   // Multi-line human-readable dump of every counter and histogram.
   std::string Dump() const;
+
+  // Prometheus text exposition (version 0.0.4): every counter as
+  // xprel_*_total, the memory gauges, the labeled per-backend/per-outcome
+  // series, and both histograms as cumulative le-buckets with _sum/_count.
+  // Buckets above the highest populated one are collapsed into +Inf.
+  std::string RenderPrometheus() const;
 };
 
 }  // namespace xprel::service

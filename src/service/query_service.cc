@@ -1,5 +1,6 @@
 #include "service/query_service.h"
 
+#include <cstdio>
 #include <utility>
 
 namespace xprel::service {
@@ -15,6 +16,60 @@ uint64_t UsBetween(std::chrono::steady_clock::time_point a,
                    std::chrono::steady_clock::time_point b) {
   auto us = std::chrono::duration_cast<std::chrono::microseconds>(b - a);
   return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+}
+
+// Terminal status -> the outcome label used by trace records and the
+// labeled Prometheus counters.
+const char* OutcomeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "timed_out";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    default:
+      return "error";
+  }
+}
+
+MetricsRegistry::Outcome OutcomeKind(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return MetricsRegistry::Outcome::kOk;
+    case StatusCode::kCancelled:
+      return MetricsRegistry::Outcome::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return MetricsRegistry::Outcome::kTimedOut;
+    case StatusCode::kResourceExhausted:
+      return MetricsRegistry::Outcome::kResourceExhausted;
+    default:
+      return MetricsRegistry::Outcome::kError;
+  }
+}
+
+// Flat text rendering of per-step actuals, one step per line — the service
+// stores text (not StepStats) so trace records stay self-contained after
+// the plan that produced them is gone.
+std::string StepActualsSummary(const rel::ExecTrace& trace) {
+  std::string out;
+  for (size_t b = 0; b < trace.blocks.size(); ++b) {
+    if (trace.blocks.size() > 1) {
+      out += "block " + std::to_string(b + 1) + ":\n";
+    }
+    for (size_t s = 0; s < trace.blocks[b].size(); ++s) {
+      const rel::StepStats& a = trace.blocks[b][s];
+      out += "step " + std::to_string(s + 1) + ": in=" +
+             std::to_string(a.rows_in) + " out=" + std::to_string(a.rows_out) +
+             " batches=" + std::to_string(a.batches) +
+             " time=" + std::to_string(a.time_us) + "us";
+      if (a.morsels > 0) out += " morsels=" + std::to_string(a.morsels);
+      out += "\n";
+    }
+  }
+  return out;
 }
 
 // Both vectors sorted ascending.
@@ -72,19 +127,46 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
   std::future<Result<QueryResponse>> fut = promise->get_future();
 
   std::string xpath(NormalizeXPath(req.xpath));
+  // Per-query trace: a span tree shared by the submitting thread (admission,
+  // cache lookup, queue wait), the worker, and — via ExecControl — the
+  // engine and its morsel workers. Level 0 allocates nothing.
+  std::shared_ptr<TraceContext> tctx;
+  if (options_.trace_level > 0) {
+    tctx = std::make_shared<TraceContext>(
+        next_trace_id_.fetch_add(1, std::memory_order_relaxed));
+  }
   const bool cacheable = cache_.capacity() > 0;
   std::string key;
   if (cacheable) {
     key = CacheKey(req.backend, xpath);
     if (!req.bypass_cache) {
-      if (auto hit = cache_.Get(key)) {
+      const int lookup_span =
+          tctx != nullptr ? tctx->BeginSpan("cache-lookup") : -1;
+      auto hit = cache_.Get(key);
+      if (tctx != nullptr) {
+        tctx->Annotate(lookup_span, hit ? "hit" : "miss");
+        tctx->EndSpan(lookup_span);
+      }
+      if (hit) {
         metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
         metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+        metrics_.RecordOutcome(static_cast<int>(req.backend),
+                               MetricsRegistry::Outcome::kCacheHit);
         QueryResponse resp;
         resp.nodes = hit->nodes;
         resp.stats = hit->stats;
         resp.cache_hit = true;
         resp.elapsed_ms = hit->build_ms;
+        if (tctx != nullptr) {
+          resp.trace_id = tctx->trace_id();
+          TraceRecord rec;
+          rec.trace_id = tctx->trace_id();
+          rec.backend = static_cast<int>(req.backend);
+          rec.xpath = xpath;
+          rec.outcome = "cache_hit";
+          rec.spans = tctx->Render();
+          RecordTrace(std::move(rec), /*failed=*/false);
+        }
         promise->set_value(std::move(resp));
         return fut;
       }
@@ -98,15 +180,19 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
   const bool has_deadline = deadline_ms.count() > 0;
   const auto deadline_at = admitted_at + deadline_ms;
 
+  const int queue_span = tctx != nullptr ? tctx->BeginSpan("queue") : -1;
+
   bool admitted = pool_.TrySubmit([this, promise, backend = req.backend,
                                    xpath = std::move(xpath),
                                    cancel = std::move(req.cancel), cacheable,
                                    key = std::move(key), admitted_at,
                                    has_deadline, deadline_at,
-                                   mem_cap = req.memory_cap]() {
+                                   mem_cap = req.memory_cap, tctx,
+                                   queue_span]() {
     const auto picked_up = std::chrono::steady_clock::now();
     const uint64_t wait_us = UsBetween(admitted_at, picked_up);
     metrics_.queue_wait.RecordUs(wait_us);
+    if (tctx != nullptr) tctx->EndSpan(queue_span);
 
     rel::ExecControl control;
     control.check_interval = options_.check_interval;
@@ -126,9 +212,17 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
     // degrades every query to serial instead of rejecting or deadlocking.
     control.runner = &pool_.intra_runner();
     control.parallelism = options_.parallelism;
+    control.trace = tctx.get();
 
-    auto out = engine_.Run(backend, xpath, &control);
-    metrics_.latency.RecordUs(UsBetween(picked_up, std::chrono::steady_clock::now()));
+    // With tracing on, the run also collects per-step actuals so slow-query
+    // captures can say which step ate the time, not just that the query was
+    // slow.
+    rel::ExecTrace etrace;
+    auto out = engine_.Run(backend, xpath, &control,
+                           tctx != nullptr ? &etrace : nullptr);
+    const uint64_t exec_us =
+        UsBetween(picked_up, std::chrono::steady_clock::now());
+    metrics_.latency.RecordUs(exec_us);
     metrics_.mem_used.store(memory_.used(), std::memory_order_relaxed);
     metrics_.mem_peak.store(memory_.peak(), std::memory_order_relaxed);
     if (!out.ok()) {
@@ -145,6 +239,20 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
         default:
           metrics_.errors.fetch_add(1, std::memory_order_relaxed);
           break;
+      }
+      metrics_.RecordOutcome(static_cast<int>(backend),
+                             OutcomeKind(out.status().code()));
+      if (tctx != nullptr) {
+        TraceRecord rec;
+        rec.trace_id = tctx->trace_id();
+        rec.backend = static_cast<int>(backend);
+        rec.xpath = xpath;
+        rec.outcome = OutcomeName(out.status().code());
+        rec.queue_wait_ms = static_cast<double>(wait_us) / 1000.0;
+        rec.elapsed_ms = static_cast<double>(exec_us) / 1000.0;
+        rec.spans = tctx->Render();
+        rec.step_actuals = StepActualsSummary(etrace);
+        RecordTrace(std::move(rec), /*failed=*/true);
       }
       promise->set_value(out.status());
       return;
@@ -174,21 +282,122 @@ std::future<Result<QueryResponse>> QueryService::Submit(QueryRequest req) {
     while (fan > seen && !metrics_.max_query_threads.compare_exchange_weak(
                              seen, fan, std::memory_order_relaxed)) {
     }
+    metrics_.RecordOutcome(static_cast<int>(backend),
+                           MetricsRegistry::Outcome::kOk);
     QueryResponse resp;
     resp.nodes = std::move(outcome.nodes);
     resp.stats = outcome.stats;
     resp.elapsed_ms = outcome.elapsed_ms;
     resp.queue_wait_ms = static_cast<double>(wait_us) / 1000.0;
+    if (tctx != nullptr) {
+      resp.trace_id = tctx->trace_id();
+      TraceRecord rec;
+      rec.trace_id = tctx->trace_id();
+      rec.backend = static_cast<int>(backend);
+      rec.xpath = xpath;
+      rec.outcome = "ok";
+      rec.queue_wait_ms = resp.queue_wait_ms;
+      rec.elapsed_ms = static_cast<double>(exec_us) / 1000.0;
+      rec.spans = tctx->Render();
+      rec.step_actuals = StepActualsSummary(etrace);
+      RecordTrace(std::move(rec), /*failed=*/false);
+    }
     promise->set_value(std::move(resp));
   });
 
   if (!admitted) {
     metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics_.RecordOutcome(static_cast<int>(req.backend),
+                           MetricsRegistry::Outcome::kRejected);
+    if (tctx != nullptr) {
+      tctx->Annotate(queue_span, "rejected");
+      tctx->EndSpan(queue_span);
+      TraceRecord rec;
+      rec.trace_id = tctx->trace_id();
+      rec.backend = static_cast<int>(req.backend);
+      rec.xpath = std::string(NormalizeXPath(req.xpath));
+      rec.outcome = "rejected";
+      rec.spans = tctx->Render();
+      RecordTrace(std::move(rec), /*failed=*/true);
+    }
     promise->set_value(Status::ResourceExhausted(
         "admission queue full (" + std::to_string(pool_.queue_capacity()) +
         " waiting requests)"));
   }
   return fut;
+}
+
+void QueryService::RecordTrace(TraceRecord rec, bool failed) {
+  const bool slow =
+      options_.slow_query_threshold.count() > 0 &&
+      rec.elapsed_ms >=
+          static_cast<double>(options_.slow_query_threshold.count());
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  if (options_.trace_ring_capacity > 0) {
+    recent_traces_.push_back(rec);
+    while (recent_traces_.size() > options_.trace_ring_capacity) {
+      recent_traces_.pop_front();
+    }
+  }
+  if ((failed || slow) && options_.slow_log_capacity > 0) {
+    slow_queries_.push_back(std::move(rec));
+    while (slow_queries_.size() > options_.slow_log_capacity) {
+      slow_queries_.pop_front();
+    }
+  }
+}
+
+std::vector<TraceRecord> QueryService::RecentTraces() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return {recent_traces_.begin(), recent_traces_.end()};
+}
+
+std::vector<TraceRecord> QueryService::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return {slow_queries_.begin(), slow_queries_.end()};
+}
+
+std::string QueryService::RenderLastTrace() const {
+  TraceRecord rec;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    if (recent_traces_.empty()) return "(no traces recorded)\n";
+    rec = recent_traces_.back();
+  }
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "backend=%s outcome=%s queue_wait=%.3fms elapsed=%.3fms\n",
+                engine::BackendName(static_cast<engine::Backend>(rec.backend)),
+                rec.outcome.c_str(), rec.queue_wait_ms, rec.elapsed_ms);
+  std::string out = "query: " + rec.xpath + "\n";
+  out += head;
+  out += rec.spans;
+  if (!rec.step_actuals.empty()) {
+    out += "step actuals:\n";
+    out += rec.step_actuals;
+  }
+  return out;
+}
+
+std::string QueryService::RenderPrometheus() const {
+  std::string out = metrics_.RenderPrometheus();
+  auto gauge = [&out](const char* name, uint64_t v) {
+    out += "# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  gauge("xprel_queue_depth", pool_.queue_depth());
+  gauge("xprel_result_cache_entries", cache_.size());
+  out += "# TYPE xprel_pool_tasks_run_total counter\n";
+  out += "xprel_pool_tasks_run_total{lane=\"main\"} " +
+         std::to_string(pool_.tasks_run()) + "\n";
+  out += "xprel_pool_tasks_run_total{lane=\"helper\"} " +
+         std::to_string(pool_.helper_tasks_run()) + "\n";
+  return out;
 }
 
 void QueryService::InvalidateMutation(const engine::AffectedPaths& affected) {

@@ -3,14 +3,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/memory_budget.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "engine/engine.h"
 #include "service/metrics.h"
 #include "service/result_cache.h"
@@ -41,6 +44,19 @@ struct ServiceOptions {
   // degrades to serial instead of queueing). 0 = auto (the pool width);
   // 1 = serial; N = at most N threads per query.
   int parallelism = 0;
+  // Observability. trace_level 0 disables per-query tracing entirely (no
+  // TraceContext allocation, no ExecTrace, no ring-buffer writes); level 1
+  // records a span tree + per-step actuals for every query. Note the
+  // sampling clock itself is a build-time switch (XPREL_TRACE_LEVEL) — with
+  // the clock compiled out, spans still form but durations read as 0.
+  int trace_level = 1;
+  // A completed query slower than this (execution span, queue wait
+  // excluded) — or one ending in error/timeout/cancel — is captured in the
+  // slow-query log with its full span tree and per-step actuals. 0 disables
+  // the latency trigger (failures are still logged).
+  std::chrono::milliseconds slow_query_threshold{250};
+  size_t trace_ring_capacity = 64;  // most recent traces kept for `trace last`
+  size_t slow_log_capacity = 32;    // slow/failed queries kept
 };
 
 // Hand one to Submit() to be able to revoke the request later; Cancel() is
@@ -73,6 +89,21 @@ struct QueryResponse {
   bool cache_hit = false;
   double elapsed_ms = 0;     // execution time (the cached run's, on a hit)
   double queue_wait_ms = 0;  // admission -> worker pickup; 0 on a hit
+  uint64_t trace_id = 0;     // 0 when tracing is off
+};
+
+// One query's observability capture: where time went (span tree) and what
+// each plan step did (per-step actuals). Recent completions sit in a bounded
+// ring; slow or failed ones additionally land in the slow-query log.
+struct TraceRecord {
+  uint64_t trace_id = 0;
+  int backend = 0;  // engine::Backend as int
+  std::string xpath;
+  std::string outcome;  // "ok", "cache_hit", "cancelled", "timed_out", ...
+  double queue_wait_ms = 0;
+  double elapsed_ms = 0;  // worker pickup -> terminal status
+  std::string spans;      // TraceContext::Render() output
+  std::string step_actuals;  // per-block per-step counters, one line each
 };
 
 // The concurrent serving layer in front of one XPathEngine: a fixed worker
@@ -128,6 +159,22 @@ class QueryService {
   // depth, cache size) — the text block sql_explorer prints.
   std::string DumpMetrics() const;
 
+  // Prometheus text exposition: the registry's counters/gauges/histograms
+  // plus the service's point-in-time gauges (queue depth, cache entries,
+  // pool task counters). Scrape-safe while traffic is in flight.
+  std::string RenderPrometheus() const;
+
+  // Most recent completed traces, oldest first (bounded by
+  // trace_ring_capacity). Empty when trace_level == 0.
+  std::vector<TraceRecord> RecentTraces() const;
+
+  // Slow/failed captures, oldest first (bounded by slow_log_capacity).
+  std::vector<TraceRecord> SlowQueries() const;
+
+  // Human-readable rendering of the most recent trace (spans + per-step
+  // actuals), or a placeholder line when none has been captured.
+  std::string RenderLastTrace() const;
+
  private:
   // Leading/trailing ASCII whitespace never changes the meaning of an
   // XPath, so it is stripped before the expression becomes a cache key.
@@ -135,12 +182,20 @@ class QueryService {
 
   std::string CacheKey(engine::Backend backend, std::string_view xpath) const;
 
+  // Pushes `rec` into the recent-trace ring and, when it qualifies (slow or
+  // failed), the slow-query log. Thread-safe.
+  void RecordTrace(TraceRecord rec, bool failed);
+
   const engine::XPathEngine& engine_;
   const ServiceOptions options_;
   MetricsRegistry metrics_;
   MemoryBudget memory_;  // declared before cache_: the cache charges it
   ResultCache cache_;
   std::atomic<uint64_t> cache_generation_{0};
+  std::atomic<uint64_t> next_trace_id_{1};
+  mutable std::mutex trace_mu_;
+  std::deque<TraceRecord> recent_traces_;  // bounded by trace_ring_capacity
+  std::deque<TraceRecord> slow_queries_;   // bounded by slow_log_capacity
   ThreadPool pool_;  // last member: workers must die before the rest
 };
 

@@ -54,6 +54,7 @@ size_t ThreadPool::queue_depth() const {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    bool helper = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() {
@@ -64,6 +65,7 @@ void ThreadPool::WorkerLoop() {
         // starts, which bounds per-query latency under load.
         task = std::move(helper_queue_.front());
         helper_queue_.pop_front();
+        helper = true;
       } else if (!queue_.empty()) {
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -72,6 +74,8 @@ void ThreadPool::WorkerLoop() {
       }
     }
     task();
+    (helper ? helper_tasks_run_ : tasks_run_)
+        .fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,8 +1,10 @@
 #ifndef XPREL_SERVICE_THREAD_POOL_H_
 #define XPREL_SERVICE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -66,6 +68,15 @@ class ThreadPool {
   // TaskRunner view of the helper lane, for handing to rel::ExecControl.
   TaskRunner& intra_runner() { return intra_; }
 
+  // Monotonic counters of tasks a worker has finished running, per lane —
+  // the pool-utilization signal behind the Prometheus export. Relaxed reads.
+  uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+  uint64_t helper_tasks_run() const {
+    return helper_tasks_run_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Adapts the helper lane to the executor-facing TaskRunner interface.
   class IntraRunner : public TaskRunner {
@@ -88,6 +99,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::deque<std::function<void()>> helper_queue_;
   bool stopping_ = false;
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> helper_tasks_run_{0};
   IntraRunner intra_{this};
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,430 @@
+// Tests for end-to-end query observability: QueryStats/StepStats merge
+// semantics, per-step EXPLAIN ANALYZE actuals (serial == parallel), the
+// TraceContext span tree under concurrency, the service's trace ring and
+// slow-query log, histogram percentile edge cases, and the Prometheus
+// exposition. The concurrent sections double as the tsan targets for the
+// trace ring and StepStats accumulation.
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/trace.h"
+#include "data/xmark.h"
+#include "engine/engine.h"
+#include "service/metrics.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "tests/queries.h"
+#include "xsd/xsd_parser.h"
+
+namespace xprel {
+namespace {
+
+using engine::Backend;
+using engine::XPathEngine;
+using service::LatencyHistogram;
+using service::MetricsRegistry;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::QueryService;
+using service::ServiceOptions;
+using service::ThreadPool;
+using service::TraceRecord;
+
+struct Corpus {
+  xml::Document doc;
+  xsd::Schema schema;
+  std::unique_ptr<xsd::SchemaGraph> graph;
+  std::unique_ptr<XPathEngine> engine;
+};
+
+Corpus* BuildCorpus(double scale) {
+  auto* c = new Corpus();
+  data::XMarkOptions opt;
+  opt.scale = scale;
+  c->doc = data::GenerateXMark(opt);
+  c->schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  c->graph = std::make_unique<xsd::SchemaGraph>(
+      xsd::SchemaGraph::Build(c->schema).value());
+  c->engine = XPathEngine::Build(c->doc, *c->graph).value();
+  return c;
+}
+
+Corpus& SmallCorpus() {
+  static Corpus* corpus = BuildCorpus(0.01);
+  return *corpus;
+}
+
+// Big enough that per-tag tables pass the morsel split floor, so parallel
+// runs genuinely shard (see service_test's ParallelCorpus).
+Corpus& BigCorpus() {
+  static Corpus* corpus = BuildCorpus(0.4);
+  return *corpus;
+}
+
+// ---------------------------------------------------------------------------
+// QueryStats / StepStats merge semantics
+// ---------------------------------------------------------------------------
+
+TEST(QueryStatsMergeTest, CountersSumAndHighWatersMax) {
+  rel::QueryStats a;
+  a.rows_scanned = 10;
+  a.output_rows = 3;
+  a.bytes_reserved_peak = 100;
+  a.parallel_threads = 2;
+  a.batch_size = 512;
+  rel::QueryStats b;
+  b.rows_scanned = 5;
+  b.output_rows = 4;
+  b.bytes_reserved_peak = 250;
+  b.parallel_threads = 1;
+  b.batch_size = 1024;
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.rows_scanned, 15u);
+  EXPECT_EQ(a.output_rows, 7u);       // counters sum, including output rows
+  EXPECT_EQ(a.bytes_reserved_peak, 250u);  // high-water marks take the max
+  EXPECT_EQ(a.parallel_threads, 2u);
+  EXPECT_EQ(a.batch_size, 1024u);
+}
+
+TEST(StepStatsMergeTest, SumsCountersAndTracksMorselSkew) {
+  rel::StepStats a;
+  a.rows_in = 100;
+  a.rows_out = 40;
+  a.batches = 2;
+  a.time_us = 10;
+  a.SealMorsel();  // morsels=1, min=max=40
+
+  rel::StepStats b;
+  b.rows_in = 50;
+  b.rows_out = 10;
+  b.batches = 1;
+  b.time_us = 5;
+  b.SealMorsel();
+
+  rel::StepStats total;
+  total.MergeFrom(a);
+  total.MergeFrom(b);
+  EXPECT_EQ(total.rows_in, 150u);
+  EXPECT_EQ(total.rows_out, 50u);
+  EXPECT_EQ(total.batches, 3u);
+  EXPECT_EQ(total.time_us, 15u);
+  EXPECT_EQ(total.morsels, 2u);
+  EXPECT_EQ(total.min_rows, 10u);
+  EXPECT_EQ(total.max_rows, 40u);
+}
+
+TEST(StepStatsMergeTest, MergingUnsealedStatsLeavesSkewUntouched) {
+  rel::StepStats total;
+  rel::StepStats serial;
+  serial.rows_out = 7;  // never sealed: a serial run has no morsels
+  total.MergeFrom(serial);
+  EXPECT_EQ(total.rows_out, 7u);
+  EXPECT_EQ(total.morsels, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentile edge cases
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeroPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileUs(0.50), 0u);
+  EXPECT_EQ(h.PercentileUs(0.95), 0u);
+  EXPECT_EQ(h.PercentileUs(0.99), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanUs(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleReportsBucketMidpoint) {
+  LatencyHistogram h;
+  h.RecordUs(100);  // bucket [64, 128): midpoint 96
+  EXPECT_EQ(h.PercentileUs(0.50), 96u);
+  EXPECT_EQ(h.PercentileUs(0.99), 96u);
+
+  LatencyHistogram h0;
+  h0.RecordUs(0);  // bucket [0, 2): midpoint 1
+  EXPECT_EQ(h0.PercentileUs(0.50), 1u);
+}
+
+TEST(LatencyHistogramTest, MultiSampleReportsUpperBucketEdge) {
+  LatencyHistogram h;
+  h.RecordUs(100);
+  h.RecordUs(100);
+  EXPECT_EQ(h.PercentileUs(0.50), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext
+// ---------------------------------------------------------------------------
+
+TEST(TraceContextTest, SpanTreeRendersNestingAndNotes) {
+  TraceContext ctx(42);
+  int root = ctx.BeginSpan("queue");
+  ctx.EndSpan(root);
+  int exec = ctx.BeginSpan("execute");
+  int child = ctx.BeginSpan("morsel", exec);
+  ctx.Annotate(child, "rows=5");
+  ctx.EndSpan(child);
+  ctx.EndSpan(exec);
+
+  std::string r = ctx.Render();
+  EXPECT_NE(r.find("trace 42"), std::string::npos) << r;
+  EXPECT_NE(r.find("queue"), std::string::npos) << r;
+  EXPECT_NE(r.find("  morsel"), std::string::npos) << r;  // indented child
+  EXPECT_NE(r.find("[rows=5]"), std::string::npos) << r;
+  // No-ops must not crash or add spans.
+  ctx.EndSpan(-1);
+  ctx.Annotate(-1, "ignored");
+  EXPECT_EQ(ctx.span_count(), 3u);
+}
+
+TEST(TraceContextTest, SpanCountIsBounded) {
+  TraceContext ctx(1);
+  for (size_t i = 0; i < TraceContext::kMaxSpans + 10; ++i) {
+    ctx.BeginSpan("s");
+  }
+  EXPECT_EQ(ctx.span_count(), TraceContext::kMaxSpans);
+  EXPECT_EQ(ctx.BeginSpan("overflow"), -1);
+}
+
+TEST(TraceContextTest, ConcurrentSpansFromManyThreadsStaySane) {
+  TraceContext ctx(7);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ctx]() {
+      for (int i = 0; i < 20; ++i) {
+        int id = ctx.BeginSpan("worker");
+        ctx.Annotate(id, "i");
+        ctx.EndSpan(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ctx.span_count(), 80u);
+  EXPECT_FALSE(ctx.Render().empty());
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+TEST(ExplainAnalyzeTest, AnnotatesEveryStepWithActuals) {
+  Corpus& c = SmallCorpus();
+  auto r = c.engine->ExplainAnalyze(Backend::kPpf, "//keyword");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string& text = r.value();
+  EXPECT_NE(text.find("-- actual:"), std::string::npos) << text;
+  EXPECT_NE(text.find("est=? act: in="), std::string::npos) << text;
+  EXPECT_NE(text.find("time="), std::string::npos) << text;
+}
+
+TEST(ExplainAnalyzeTest, StaircaseIsRejected) {
+  Corpus& c = SmallCorpus();
+  auto r = c.engine->ExplainAnalyze(Backend::kStaircase, "//keyword");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExplainAnalyzeTest, StaticallyEmptyQueryShortCircuits) {
+  Corpus& c = SmallCorpus();
+  auto r = c.engine->ExplainAnalyze(Backend::kPpf, "/site/nonexistent_tag");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().find("statically empty"), std::string::npos);
+}
+
+// The acceptance bar for parallel tracing: per-step rows in/out totals are
+// bit-identical between serial and parallelism=4 runs — morsel-local stats
+// merge in Dewey order, so only the skew fields may differ.
+TEST(ExplainAnalyzeTest, ParallelStepActualsMatchSerial) {
+  Corpus& c = BigCorpus();
+  ThreadPool pool(4);
+  for (const testutil::NamedQuery& q : testutil::kXMarkQueries) {
+    rel::ExecTrace serial_trace;
+    auto serial = c.engine->Run(Backend::kPpf, q.xpath, nullptr, &serial_trace);
+    ASSERT_TRUE(serial.ok()) << q.id << ": " << serial.status().ToString();
+
+    rel::ExecControl control;
+    control.runner = &pool.intra_runner();
+    control.parallelism = 4;
+    rel::ExecTrace par_trace;
+    auto par = c.engine->Run(Backend::kPpf, q.xpath, &control, &par_trace);
+    ASSERT_TRUE(par.ok()) << q.id << ": " << par.status().ToString();
+
+    ASSERT_EQ(par_trace.blocks.size(), serial_trace.blocks.size()) << q.id;
+    for (size_t b = 0; b < serial_trace.blocks.size(); ++b) {
+      ASSERT_EQ(par_trace.blocks[b].size(), serial_trace.blocks[b].size());
+      for (size_t s = 0; s < serial_trace.blocks[b].size(); ++s) {
+        EXPECT_EQ(par_trace.blocks[b][s].rows_out,
+                  serial_trace.blocks[b][s].rows_out)
+            << q.id << " block " << b << " step " << s;
+        EXPECT_EQ(par_trace.blocks[b][s].rows_in,
+                  serial_trace.blocks[b][s].rows_in)
+            << q.id << " block " << b << " step " << s;
+      }
+    }
+  }
+}
+
+TEST(ExplainAnalyzeTest, ParallelRunReportsMorselSkew) {
+  Corpus& c = BigCorpus();
+  ThreadPool pool(4);
+  rel::ExecControl control;
+  control.runner = &pool.intra_runner();
+  control.parallelism = 4;
+  auto r = c.engine->ExplainAnalyze(Backend::kPpf, "//*[@id]", &control);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().find("morsels="), std::string::npos) << r.value();
+  EXPECT_NE(r.value().find("rows/morsel="), std::string::npos) << r.value();
+}
+
+// ---------------------------------------------------------------------------
+// Service tracing: ring, slow-query log, Prometheus
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTraceTest, CompletedQueryLandsInTheRingWithSpans) {
+  Corpus& c = SmallCorpus();
+  ServiceOptions opts;
+  opts.workers = 2;
+  QueryService svc(*c.engine, opts);
+  auto r = svc.Run({.xpath = "//keyword"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().trace_id, 0u);
+
+  auto traces = svc.RecentTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceRecord& rec = traces.back();
+  EXPECT_EQ(rec.trace_id, r.value().trace_id);
+  EXPECT_EQ(rec.outcome, "ok");
+  EXPECT_NE(rec.spans.find("queue"), std::string::npos) << rec.spans;
+  EXPECT_NE(rec.spans.find("execute"), std::string::npos) << rec.spans;
+  EXPECT_NE(rec.step_actuals.find("step 1:"), std::string::npos)
+      << rec.step_actuals;
+  EXPECT_NE(svc.RenderLastTrace().find("outcome=ok"), std::string::npos);
+}
+
+TEST(ServiceTraceTest, TraceLevelZeroRecordsNothing) {
+  Corpus& c = SmallCorpus();
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.trace_level = 0;
+  QueryService svc(*c.engine, opts);
+  auto r = svc.Run({.xpath = "//keyword"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().trace_id, 0u);
+  EXPECT_TRUE(svc.RecentTraces().empty());
+  EXPECT_NE(svc.RenderLastTrace().find("no traces"), std::string::npos);
+}
+
+TEST(ServiceTraceTest, FailedQueryLandsInTheSlowLog) {
+  Corpus& c = SmallCorpus();
+  ServiceOptions opts;
+  opts.workers = 2;
+  QueryService svc(*c.engine, opts);
+
+  auto cancel = std::make_shared<service::CancelToken>();
+  cancel->Cancel();  // pre-cancelled: deterministic failure
+  QueryRequest req;
+  req.xpath = "//keyword";
+  req.cancel = cancel;
+  auto r = svc.Run(std::move(req));
+  ASSERT_FALSE(r.ok());
+
+  auto slow = svc.SlowQueries();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow.back().outcome, "cancelled");
+  EXPECT_FALSE(slow.back().spans.empty());
+}
+
+TEST(ServiceTraceTest, RingStaysBoundedUnderConcurrentTraffic) {
+  Corpus& c = SmallCorpus();
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 0;
+  opts.parallelism = 4;
+  opts.trace_ring_capacity = 8;
+  QueryService svc(*c.engine, opts);
+
+  std::vector<std::future<Result<QueryResponse>>> futs;
+  for (int i = 0; i < 32; ++i) {
+    QueryRequest req;
+    req.xpath = i % 2 == 0 ? "//keyword" : "//*[@id]";
+    req.bypass_cache = true;
+    futs.push_back(svc.Submit(std::move(req)));
+  }
+  for (auto& f : futs) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  auto traces = svc.RecentTraces();
+  EXPECT_EQ(traces.size(), 8u);
+  for (const TraceRecord& rec : traces) {
+    EXPECT_EQ(rec.outcome, "ok");
+    EXPECT_FALSE(rec.spans.empty());
+  }
+}
+
+TEST(ServiceTraceTest, PrometheusExportCoversCountersAndHistograms) {
+  Corpus& c = SmallCorpus();
+  ServiceOptions opts;
+  opts.workers = 2;
+  QueryService svc(*c.engine, opts);
+  ASSERT_TRUE(svc.Run({.xpath = "//keyword"}).ok());
+  ASSERT_TRUE(svc.Run({.xpath = "//keyword"}).ok());  // cache hit
+
+  std::string prom = svc.RenderPrometheus();
+  EXPECT_NE(prom.find("# TYPE xprel_queries_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("xprel_queries_submitted_total 2"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("xprel_result_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(
+      prom.find("xprel_queries_total{backend=\"ppf\",outcome=\"ok\"} 1"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("xprel_queries_total{backend=\"ppf\",outcome=\"cache_hit\"} 1"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE xprel_query_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("xprel_query_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("xprel_query_latency_us_count 1"), std::string::npos);
+  EXPECT_NE(prom.find("xprel_queue_depth"), std::string::npos);
+  EXPECT_NE(prom.find("xprel_pool_tasks_run_total{lane=\"main\"}"),
+            std::string::npos);
+}
+
+TEST(ServiceTraceTest, CumulativeBucketsAreMonotone) {
+  MetricsRegistry reg;
+  reg.latency.RecordUs(10);
+  reg.latency.RecordUs(100);
+  reg.latency.RecordUs(1000);
+  std::string prom = reg.RenderPrometheus();
+  // Parse the latency bucket lines and check monotonicity.
+  uint64_t prev = 0;
+  size_t pos = 0;
+  int seen = 0;
+  while ((pos = prom.find("xprel_query_latency_us_bucket{le=", pos)) !=
+         std::string::npos) {
+    size_t space = prom.find("} ", pos);
+    ASSERT_NE(space, std::string::npos);
+    uint64_t v = std::stoull(prom.substr(space + 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    ++seen;
+    pos = space;
+  }
+  EXPECT_GE(seen, 3);
+  EXPECT_EQ(prev, 3u);  // +Inf bucket equals count
+}
+
+}  // namespace
+}  // namespace xprel
