@@ -24,12 +24,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
 #include "data/rng.h"
 #include "dml/mutator.h"
+#include "durability/manager.h"
 #include "service/query_service.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -210,6 +212,316 @@ bool OracleCheck(Corpus& mutated) {
   return true;
 }
 
+struct DurabilityResult {
+  double plain_mut_ms = 0;         // mean plain-mutator latency
+  double durable_mut_ms = 0;       // mean WAL-logged latency, fsync off
+  double durable_fsync_ms = 0;     // mean WAL-logged latency, fsync on
+  double overhead_pct = 0;         // durable vs plain, fsync off
+  double checkpoint_ms = 0;        // full snapshot + rotation
+  double recover_ms = 0;           // OpenOrRecover: snapshot + empty tail
+  double reshred_ms = 0;           // OpenOrRecover: source.xml + full replay
+  uint64_t wal_bytes = 0;
+  uint64_t snapshot_bytes = 0;
+  bool recovered_ok = false;
+  size_t failures = 0;
+};
+
+// One corpus plus its mutator (and optionally a DurabilityManager) taking
+// timed insert/update pairs.
+struct MutationLane {
+  std::unique_ptr<Corpus> corpus;
+  std::unique_ptr<dml::DocumentMutator> mut;
+  std::unique_ptr<durability::DurabilityManager> mgr;  // null = plain lane
+  std::vector<double> ms;
+  size_t failures = 0;
+};
+
+void StepLane(MutationLane& lane, int i) {
+  auto parent = lane.mut->ResolveTarget(std::string("/site/regions/") +
+                                        kRegions[i % 6]);
+  if (!parent.ok()) {
+    ++lane.failures;
+    return;
+  }
+  std::string frag = ItemFragment(200000 + i);
+  auto t0 = Clock::now();
+  auto r = lane.mgr != nullptr ? lane.mgr->InsertFragment(*parent, 0, frag)
+                               : lane.mut->InsertFragment(*parent, 0, frag);
+  if (!r.ok()) {
+    ++lane.failures;
+    return;
+  }
+  lane.ms.push_back(MsSince(t0));
+  auto name = lane.mut->ResolveTarget(
+      "//item[@id='upd" + std::to_string(200000 + i) + "']/name");
+  if (!name.ok()) {
+    ++lane.failures;
+    return;
+  }
+  std::string text = "durable retitle " + std::to_string(i);
+  t0 = Clock::now();
+  auto u = lane.mgr != nullptr ? lane.mgr->UpdateText(*name, text)
+                               : lane.mut->UpdateText(*name, text);
+  if (!u.ok()) {
+    ++lane.failures;
+    return;
+  }
+  lane.ms.push_back(MsSince(t0));
+}
+
+// Releases a lane's stack in dependency order: the manager references the
+// engine and document, the mutator references both too.
+void DropLane(MutationLane& lane) {
+  lane.mgr.reset();
+  lane.mut.reset();
+  lane.corpus.reset();
+}
+
+// Overhead as the median of paired per-op ratios. Entry i of both vectors
+// is the same op shape on the same document milliseconds apart, so the
+// ratio isolates the WAL cost per op; the median then discards scheduler
+// spikes that a mean of either lane would absorb (observed swings of
+// ±30% on a single-core host with mean-of-lane timing).
+double MedianPairedOverheadPct(const std::vector<double>& base,
+                               const std::vector<double>& durable) {
+  if (base.size() != durable.size() || base.empty()) return 0;
+  std::vector<double> ratio;
+  ratio.reserve(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base[i] > 1e-6) ratio.push_back(durable[i] / base[i]);
+  }
+  if (ratio.empty()) return 0;
+  std::nth_element(ratio.begin(), ratio.begin() + ratio.size() / 2,
+                   ratio.end());
+  return 100.0 * (ratio[ratio.size() / 2] - 1.0);
+}
+
+// Phase 7: the durability economics. Prices the WAL on the mutation path
+// (fsync off and on) against the plain mutator, then a checkpoint, then
+// both recovery rungs: snapshot + empty tail vs reshred-from-XML + full
+// replay. check_regression.py --durability gates recover < reshred and
+// the fsync-off overhead.
+DurabilityResult RunDurability(double scale) {
+  namespace fs = std::filesystem;
+  const int n = EnvInt("XPREL_DURABILITY_MUTATIONS", 25);
+  DurabilityResult res;
+
+  // The durable document must be the fixed point of serialize-then-parse
+  // so the reshred fallback reproduces the node ids the WAL references.
+  data::XMarkOptions opt;
+  opt.scale = scale;
+  const std::string xml_src = xml::SerializeXml(data::GenerateXMark(opt));
+  auto reparse = [&]() {
+    auto parsed = xml::ParseXml(xml_src);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "durability reparse: %s\n",
+                   parsed.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(parsed).value();
+  };
+
+  fs::remove_all("bench_durability_tmp");
+  auto make_lane = [&](const char* label, const char* subdir,
+                       bool fsync) -> MutationLane {
+    MutationLane lane;
+    lane.corpus = BuildCorpus(label, reparse(), data::XMarkXsd());
+    lane.mut = std::make_unique<dml::DocumentMutator>(lane.corpus->doc,
+                                                      *lane.corpus->engine);
+    if (subdir != nullptr) {
+      durability::DurabilityOptions dopt;
+      dopt.fsync_wal = fsync;
+      dopt.checkpoint_wal_bytes = 0;  // only the explicit checkpoint below
+      auto mgr = durability::DurabilityManager::Create(
+          (fs::path("bench_durability_tmp") / subdir).string(),
+          lane.corpus->doc, *lane.corpus->engine, dopt);
+      if (!mgr.ok()) {
+        std::fprintf(stderr, "durability create: %s\n",
+                     mgr.status().ToString().c_str());
+        ++lane.failures;
+      } else {
+        lane.mgr = std::move(mgr).value();
+      }
+    }
+    return lane;
+  };
+
+  // Overhead lane: ONE corpus pays all three prices (bare mutator, WAL,
+  // WAL+fsync) in rotating order. Separately built corpora at this scale
+  // were measured to differ by up to 2x in bare mutation cost from
+  // allocation locality alone, swamping the WAL cost under test, so the
+  // comparison must share a document, engine, and allocator history. Two
+  // extra managers wrap the same corpus; their interleaved logs are never
+  // recovered — recovery economics use the fully logged lane below.
+  MutationLane alt = make_lane("durability-overhead", "alt", false);
+  std::unique_ptr<durability::DurabilityManager> altf;
+  {
+    durability::DurabilityOptions dopt;
+    dopt.fsync_wal = true;
+    dopt.checkpoint_wal_bytes = 0;
+    auto m = durability::DurabilityManager::Create(
+        (fs::path("bench_durability_tmp") / "altf").string(),
+        alt.corpus->doc, *alt.corpus->engine, dopt);
+    if (!m.ok()) {
+      std::fprintf(stderr, "durability create: %s\n",
+                   m.status().ToString().c_str());
+      ++res.failures;
+      return res;
+    }
+    altf = std::move(m).value();
+  }
+  if (alt.mgr == nullptr) {
+    ++res.failures;
+    return res;
+  }
+
+  std::vector<double> plain_ms, wal_ms, fsync_ms;
+  auto timed_pair = [&](durability::DurabilityManager* mgr,
+                        std::vector<double>& out, int id,
+                        const char* region) {
+    auto parent =
+        alt.mut->ResolveTarget(std::string("/site/regions/") + region);
+    if (!parent.ok()) {
+      ++res.failures;
+      return;
+    }
+    std::string frag = ItemFragment(id);
+    auto t0 = Clock::now();
+    auto r = mgr != nullptr ? mgr->InsertFragment(*parent, 0, frag)
+                            : alt.mut->InsertFragment(*parent, 0, frag);
+    if (!r.ok()) {
+      ++res.failures;
+      return;
+    }
+    out.push_back(MsSince(t0));
+    auto name = alt.mut->ResolveTarget("//item[@id='upd" + std::to_string(id) +
+                                       "']/name");
+    if (!name.ok()) {
+      ++res.failures;
+      return;
+    }
+    std::string text = "durable retitle " + std::to_string(id);
+    t0 = Clock::now();
+    auto u = mgr != nullptr ? mgr->UpdateText(*name, text)
+                            : alt.mut->UpdateText(*name, text);
+    if (!u.ok()) {
+      ++res.failures;
+      return;
+    }
+    out.push_back(MsSince(t0));
+  };
+  // Each round inserts three near-identical items into the same region,
+  // one per mode, rotating which mode goes first so position-in-round
+  // bias cancels across rounds.
+  for (int k = 0; k < n; ++k) {
+    const char* region = kRegions[k % 6];
+    struct Slot {
+      durability::DurabilityManager* mgr;
+      std::vector<double>* out;
+    };
+    const Slot slots[3] = {{nullptr, &plain_ms},
+                           {alt.mgr.get(), &wal_ms},
+                           {altf.get(), &fsync_ms}};
+    for (int s = 0; s < 3; ++s) {
+      const int mode = (s + k) % 3;
+      timed_pair(slots[mode].mgr, *slots[mode].out, 300000 + 3 * k + mode,
+                 region);
+    }
+  }
+  if (std::getenv("XPREL_DURABILITY_DEBUG") != nullptr) {
+    for (size_t i = 0; i < plain_ms.size(); ++i) {
+      std::fprintf(stderr, "[lane %zu] plain=%.3f wal=%.3f fsync=%.3f\n", i,
+                   plain_ms[i], i < wal_ms.size() ? wal_ms[i] : -1,
+                   i < fsync_ms.size() ? fsync_ms[i] : -1);
+    }
+  }
+  res.plain_mut_ms = Summarize(plain_ms).mean_ms;
+  res.durable_mut_ms = Summarize(wal_ms).mean_ms;
+  res.durable_fsync_ms = Summarize(fsync_ms).mean_ms;
+  res.overhead_pct = MedianPairedOverheadPct(plain_ms, wal_ms);
+  res.failures += alt.failures;
+  altf.reset();
+  DropLane(alt);
+
+  // Recovery lane: every op WAL-logged, then checkpointed, crashed, and
+  // recovered twice (snapshot rung, then reshred rung).
+  MutationLane walled = make_lane("durability-walled", "main", false);
+  if (walled.mgr == nullptr) {
+    ++res.failures;
+    return res;
+  }
+  for (int i = 0; i < n; ++i) StepLane(walled, i);
+  res.failures += walled.failures;
+  res.wal_bytes = walled.mgr->stats().wal_bytes.load();
+
+  const fs::path dir = fs::path("bench_durability_tmp") / "main";
+  auto counted = walled.corpus->engine->Run(engine::Backend::kPpf, "//item");
+  const size_t live_items =
+      counted.ok() ? counted.value().nodes.size() : 0;
+
+  {
+    auto t0 = Clock::now();
+    Status ck = walled.mgr->Checkpoint();
+    res.checkpoint_ms = MsSince(t0);
+    if (!ck.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", ck.ToString().c_str());
+      ++res.failures;
+    }
+    res.snapshot_bytes = walled.mgr->stats().snapshot_bytes.load();
+  }
+  // Drop the stack: recovery starts cold.
+  DropLane(walled);
+
+  // The graph keeps references into the schema, so the schema must outlive
+  // both recoveries below.
+  auto schema = xsd::ParseXsd(data::XMarkXsd());
+  if (!schema.ok()) {
+    ++res.failures;
+    return res;
+  }
+  auto graph = xsd::SchemaGraph::Build(schema.value());
+  if (!graph.ok()) {
+    ++res.failures;
+    return res;
+  }
+
+  auto check = [&](const Result<durability::RecoveredEngine>& rec) {
+    if (!rec.ok()) {
+      std::fprintf(stderr, "recover: %s\n", rec.status().ToString().c_str());
+      return false;
+    }
+    auto items =
+        rec.value().engine->Run(engine::Backend::kPpf, "//item");
+    return items.ok() && items.value().nodes.size() == live_items;
+  };
+
+  {
+    auto t0 = Clock::now();
+    auto rec = durability::OpenOrRecover(dir.string(), graph.value());
+    res.recover_ms = MsSince(t0);
+    res.recovered_ok = check(rec);
+    if (rec.ok()) rec.value().manager.reset();  // close the WAL
+  }
+
+  // Remove the snapshots: the same directory must now recover through the
+  // reshred-from-XML rung with a full WAL replay.
+  for (const auto& ent : fs::directory_iterator(dir)) {
+    if (ent.path().extension() == ".snap") fs::remove(ent.path());
+  }
+  {
+    auto t0 = Clock::now();
+    auto rec = durability::OpenOrRecover(dir.string(), graph.value());
+    res.reshred_ms = MsSince(t0);
+    res.recovered_ok =
+        res.recovered_ok && check(rec) &&
+        rec.value().report.reshred_fallback;
+  }
+  if (!res.recovered_ok) ++res.failures;
+
+  fs::remove_all("bench_durability_tmp");
+  return res;
+}
+
 int RunBench(int threads, double scale_override) {
   const int reps = EnvInt("XPREL_REPS", 3);
   const int mutations = EnvInt("XPREL_UPDATE_MUTATIONS", 50);
@@ -316,6 +628,21 @@ int RunBench(int threads, double scale_override) {
   bool oracle_ok = OracleCheck(*corpus);
   std::printf("oracle_ok=%d failures=%zu\n", oracle_ok ? 1 : 0, failures);
 
+  // Phase 7: durability economics (WAL overhead, checkpoint, recovery).
+  DurabilityResult dur = RunDurability(scale);
+  failures += dur.failures;
+  std::printf("durable mutation: plain %.3f ms, wal %.3f ms "
+              "(paired median %+.1f%%), wal+fsync %.3f ms\n",
+              dur.plain_mut_ms, dur.durable_mut_ms, dur.overhead_pct,
+              dur.durable_fsync_ms);
+  std::printf("checkpoint: %.1f ms (%llu snapshot bytes, %llu wal bytes)\n",
+              dur.checkpoint_ms,
+              static_cast<unsigned long long>(dur.snapshot_bytes),
+              static_cast<unsigned long long>(dur.wal_bytes));
+  std::printf("recovery: snapshot+tail %.1f ms vs reshred+replay %.1f ms "
+              "(recovered_ok=%d)\n",
+              dur.recover_ms, dur.reshred_ms, dur.recovered_ok ? 1 : 0);
+
   FILE* f = std::fopen("BENCH_update.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_update.json for writing\n");
@@ -347,6 +674,18 @@ int RunBench(int threads, double scale_override) {
       "    \"generation_qps\": %.2f,\n"
       "    \"generation_hit_rate\": %.4f\n"
       "  },\n"
+      "  \"durability\": {\n"
+      "    \"plain_mutation_mean_ms\": %.4f,\n"
+      "    \"durable_mutation_mean_ms\": %.4f,\n"
+      "    \"durable_overhead_pct\": %.2f,\n"
+      "    \"durable_fsync_mean_ms\": %.4f,\n"
+      "    \"wal_bytes\": %llu,\n"
+      "    \"checkpoint_ms\": %.2f,\n"
+      "    \"snapshot_bytes\": %llu,\n"
+      "    \"recover_ms\": %.2f,\n"
+      "    \"reshred_ms\": %.2f,\n"
+      "    \"recovered_ok\": %s\n"
+      "  },\n"
       "  \"failures\": %zu,\n"
       "  \"oracle_ok\": %s\n"
       "}\n",
@@ -357,7 +696,12 @@ int RunBench(int threads, double scale_override) {
       static_cast<unsigned long long>(ms.paths_retired), surgical.qps,
       surgical.hit_rate,
       static_cast<unsigned long long>(surgical.invalidated), genbump.qps,
-      genbump.hit_rate, failures, oracle_ok ? "true" : "false");
+      genbump.hit_rate, dur.plain_mut_ms, dur.durable_mut_ms,
+      dur.overhead_pct, dur.durable_fsync_ms,
+      static_cast<unsigned long long>(dur.wal_bytes), dur.checkpoint_ms,
+      static_cast<unsigned long long>(dur.snapshot_bytes), dur.recover_ms,
+      dur.reshred_ms, dur.recovered_ok ? "true" : "false", failures,
+      oracle_ok ? "true" : "false");
   std::fclose(f);
   std::printf("wrote BENCH_update.json\n");
   return (failures == 0 && oracle_ok) ? 0 : 1;

@@ -43,6 +43,14 @@ back-to-back by `bench_micro --json`); the geomean must stay within
 EXPLAIN ANALYZE instrumentation can never quietly become a tax on
 ordinary queries.
 
+Durability mode (--durability): gates the durability economics recorded
+in BENCH_update.json's "durability" section. Recovery from the newest
+snapshot plus the WAL tail must beat reshredding the saved XML with a
+full replay (otherwise snapshots are dead weight), the WAL's per-mutation
+overhead with fsync off must stay within --durability-overhead-max
+(default 15%) of the bare mutator, and the post-recovery consistency
+check must have passed.
+
 Tsan mode (--tsan): runs the executor test targets (shared cached plans
 under concurrent execution) from the `tsan` preset build, so batch-local
 executor state is proven re-entrant by ThreadSanitizer on every gate run.
@@ -61,6 +69,7 @@ Usage:
   bench/check_regression.py --scaling --candidate BENCH_service.json
   bench/check_regression.py --update --candidate BENCH_update.json
   bench/check_regression.py --update --bench-bin build/bench/bench_update
+  bench/check_regression.py --durability --candidate BENCH_update.json
   bench/check_regression.py --trace-overhead --candidate BENCH_micro.json
   bench/check_regression.py --trace-overhead --bench-bin build/bench/bench_micro
   bench/check_regression.py --hardening
@@ -355,6 +364,64 @@ def check_update(args):
     return 0
 
 
+def check_durability(args):
+    """Gates BENCH_update.json's "durability" section: recovery from
+    snapshot + WAL tail must beat reshred-from-XML + full replay, the
+    WAL's mutation-latency overhead (fsync off) must stay within
+    --durability-overhead-max, and the recovered engine's consistency
+    check must have passed."""
+    if args.candidate:
+        candidate = load_obj(args.candidate)
+    else:
+        candidate = run_bench(args.bench_bin, "BENCH_update.json", [])
+    dur = candidate.get("durability")
+    if not dur:
+        print("FAIL: no \"durability\" section in the record; regenerate "
+              "BENCH_update.json with the current bench_update")
+        return 1
+
+    fail = False
+    if not dur.get("recovered_ok", False):
+        print("FAIL: recovered engine failed the consistency check "
+              "(recovered_ok)")
+        fail = True
+
+    recover = dur.get("recover_ms")
+    reshred = dur.get("reshred_ms")
+    if recover is None or reshred is None:
+        print("FAIL: recover_ms / reshred_ms missing from the record")
+        fail = True
+    else:
+        print(f"recovery: snapshot+tail {recover:.1f} ms vs "
+              f"reshred+replay {reshred:.1f} ms")
+        if recover >= reshred:
+            print("FAIL: snapshot recovery must beat reshred-from-XML — "
+                  "otherwise checkpoints are pure overhead")
+            fail = True
+
+    overhead = dur.get("durable_overhead_pct")
+    if overhead is None:
+        print("FAIL: durable_overhead_pct missing from the record")
+        fail = True
+    else:
+        print(f"durable mutation overhead (fsync off): {overhead:+.1f}% "
+              f"(plain {dur.get('plain_mutation_mean_ms', 0):.3f} ms -> "
+              f"wal {dur.get('durable_mutation_mean_ms', 0):.3f} ms)")
+        if overhead > args.durability_overhead_max:
+            print(f"FAIL: WAL overhead exceeds "
+                  f"{args.durability_overhead_max:.0f}%")
+            fail = True
+
+    for key in ("durable_fsync_mean_ms", "checkpoint_ms", "snapshot_bytes",
+                "wal_bytes"):
+        if key in dur:
+            print(f"{key}: {dur[key]}")
+    if fail:
+        return 1
+    print("OK")
+    return 0
+
+
 def check_trace_overhead(args):
     """Gates the tracing overhead in BENCH_micro.json: the geomean of
     per-query ms_traced / ms (traced pass vs untraced pass of the same
@@ -395,10 +462,12 @@ def check_trace_overhead(args):
 # dml_test adds the writer-excludes-readers discipline: concurrent Run()
 # against a mutating DocumentMutator on the engine's shared_mutex.
 # observability_test races the trace ring, the TraceContext span tree, and
-# per-morsel StepStats accumulation at parallelism=4.
+# per-morsel StepStats accumulation at parallelism=4. durability_test
+# races the background checkpointer (WAL mutex + engine reader lock)
+# against durable mutations and concurrent readers.
 TSAN_TEST_BINS = ("rel_exec_test", "join_engine_test",
                   "random_property_test", "service_test", "dml_test",
-                  "observability_test")
+                  "observability_test", "durability_test")
 
 
 def check_tsan(args):
@@ -441,9 +510,11 @@ def check_hardening(args):
     # The DML fault points (dml.*) are swept by the fault-gated cases in
     # the dml tests: every point must roll the mutation back to a state
     # indistinguishable from a from-scratch reshred, leak-free under asan.
+    # durability_test adds the crash sweep: every wal./snap. point plus
+    # byte-granular torn tails must recover to the same oracle.
     bins = [args.hardening_bin]
     tests_dir = os.path.dirname(args.hardening_bin)
-    for extra in ("dml_test", "dml_oracle_test"):
+    for extra in ("dml_test", "dml_oracle_test", "durability_test"):
         path = os.path.join(tests_dir, extra)
         if not os.path.exists(path):
             print(f"FAIL: {path} not found; rebuild the `fault-injection` "
@@ -481,6 +552,13 @@ def main():
     ap.add_argument("--scaling", action="store_true",
                     help="gate the intra-query scaling curve in "
                          "BENCH_service.json (4-thread vs 1-thread geomean)")
+    ap.add_argument("--durability", action="store_true",
+                    help="gate BENCH_update.json's durability section: "
+                         "snapshot recovery beats reshred, WAL overhead "
+                         "within --durability-overhead-max")
+    ap.add_argument("--durability-overhead-max", type=float, default=15.0,
+                    help="max durable-mutation overhead vs the bare mutator "
+                         "in percent, fsync off (default 15)")
     ap.add_argument("--update", action="store_true",
                     help="gate BENCH_update.json (DML latency, read-only "
                          "non-regression, surgical vs generation-bump "
@@ -531,7 +609,7 @@ def main():
     if args.tsan:
         return check_tsan(args)
 
-    if args.update:
+    if args.update or args.durability:
         name, binname = "BENCH_update.json", "bench_update"
     elif args.service or args.scaling:
         name, binname = "BENCH_service.json", "bench_service"
@@ -542,6 +620,8 @@ def main():
     if args.bench_bin is None:
         args.bench_bin = os.path.join(REPO_ROOT, "build", "bench", binname)
 
+    if args.durability:
+        return check_durability(args)
     if args.update:
         return check_update(args)
     if args.scaling:

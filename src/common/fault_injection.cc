@@ -80,4 +80,56 @@ bool FaultInjectionEnabled() {
 #endif
 }
 
+const std::vector<std::string>& AllKnownPoints() {
+  static const std::vector<std::string> kPoints = {
+      // engine / relational execution
+      "accel.build",
+      "engine.plan_cache_insert",
+      "engine.translate",
+      "rel.distinct",
+      "rel.emit_row",
+      "rel.exists_memo_insert",
+      "rel.hash_build",
+      "rel.merge_collect",
+      "rel.plan_regex",
+      "rel.plan_select",
+      "rel.semijoin_build",
+      "rex.compile",
+      "shred.edge_load",
+      "shred.schema_load",
+      "xml.parse",
+      "xpath.parse",
+      // incremental DML
+      "dml.apply",
+      "dml.edge_delete",
+      "dml.edge_dewey",
+      "dml.edge_insert",
+      "dml.edge_text",
+      "dml.ppf_delete",
+      "dml.ppf_dewey",
+      "dml.ppf_insert",
+      "dml.ppf_text",
+      // durability: WAL + snapshots
+      "snap.load",
+      "snap.rename",
+      "snap.sync",
+      "snap.write",
+      "wal.append",
+      "wal.open",
+      "wal.sync",
+  };
+  return kPoints;
+}
+
+std::vector<std::string> KnownPointsWithPrefix(std::string_view prefix) {
+  std::vector<std::string> out;
+  for (const std::string& point : AllKnownPoints()) {
+    if (point.size() >= prefix.size() &&
+        std::string_view(point).substr(0, prefix.size()) == prefix) {
+      out.push_back(point);
+    }
+  }
+  return out;
+}
+
 }  // namespace xprel::fault

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -71,6 +72,20 @@ class FaultInjector {
 // True when XPREL_FAULT_POINT is live (the build defines
 // XPREL_FAULT_INJECTION); tests skip the sweep otherwise.
 bool FaultInjectionEnabled();
+
+// The canonical registry of every XPREL_FAULT_POINT in the codebase,
+// grouped by subsystem. RegisteredPoints() only knows points that were
+// *crossed*; sweeps
+// (hardening_test's FaultSweepTest, durability_test's crash sweep) walk
+// this list instead so that a point nobody exercises still fails loudly
+// (armed but never fired) rather than silently dropping out of coverage.
+// Adding a fault point means adding it here — hardening_test cross-checks
+// the two lists.
+const std::vector<std::string>& AllKnownPoints();
+
+// The subset of AllKnownPoints() starting with `prefix` (e.g. "wal." or
+// "snap." for the durability crash sweep, "dml." for the mutation sweep).
+std::vector<std::string> KnownPointsWithPrefix(std::string_view prefix);
 
 inline Status CheckPoint(const char* point) {
   return FaultInjector::Instance().OnPoint(point);

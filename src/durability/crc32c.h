@@ -1,0 +1,21 @@
+#ifndef XPREL_DURABILITY_CRC32C_H_
+#define XPREL_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xprel::durability {
+
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum the
+// WAL and snapshot formats use for every header and frame. Software
+// slice-by-one implementation; `seed` chains partial computations.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace xprel::durability
+
+#endif  // XPREL_DURABILITY_CRC32C_H_

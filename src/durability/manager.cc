@@ -1,0 +1,514 @@
+#include "durability/manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "durability/snapshot.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xprel::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string NumberedName(std::string_view prefix, uint64_t number,
+                         std::string_view suffix) {
+  std::ostringstream os;
+  os << prefix << std::setw(20) << std::setfill('0') << number << suffix;
+  return os.str();
+}
+
+struct NumberedFile {
+  uint64_t number = 0;
+  std::string path;
+};
+
+// Files named <prefix><digits><suffix> in `dir`, ascending by number.
+std::vector<NumberedFile> ListNumbered(const std::string& dir,
+                                       std::string_view prefix,
+                                       std::string_view suffix) {
+  std::vector<NumberedFile> out;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    out.push_back({std::strtoull(digits.c_str(), nullptr, 10),
+                   (fs::path(dir) / name).string()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NumberedFile& a, const NumberedFile& b) {
+              return a.number < b.number;
+            });
+  return out;
+}
+
+Status WriteRawFileDurably(const std::string& path, std::string_view bytes) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal("durability: open " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::Internal("durability: write " + path + ": " +
+                                  std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status s = Status::Internal("durability: fsync " + path + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+// Best-effort directory fsync after a rename, so the new name itself is
+// durable. Failure is not actionable (and some filesystems refuse it).
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::string DurabilityManager::SourceXmlPath(const std::string& dir) {
+  return (fs::path(dir) / "source.xml").string();
+}
+
+std::string DurabilityManager::WalSegmentPath(const std::string& dir,
+                                              uint64_t first_lsn) {
+  return (fs::path(dir) / NumberedName("wal-", first_lsn, ".wal")).string();
+}
+
+std::string DurabilityManager::SnapshotPath(const std::string& dir,
+                                            uint64_t lsn) {
+  return (fs::path(dir) / NumberedName("snap-", lsn, ".snap")).string();
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Create(
+    std::string dir, xml::Document& doc, engine::XPathEngine& engine,
+    DurabilityOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("durability: cannot create " + dir + ": " +
+                            ec.message());
+  }
+  if (!ListNumbered(dir, "wal-", ".wal").empty() ||
+      !ListNumbered(dir, "snap-", ".snap").empty()) {
+    return Status::InvalidArgument(
+        "durability: " + dir +
+        " already holds WAL/snapshot state; use OpenOrRecover");
+  }
+  const std::string source = SourceXmlPath(dir);
+  if (!fs::exists(source, ec)) {
+    XPREL_RETURN_IF_ERROR(WriteRawFileDurably(source, xml::SerializeXml(doc)));
+  }
+  std::unique_ptr<DurabilityManager> manager(
+      new DurabilityManager(std::move(dir), doc, engine, options));
+  XPREL_RETURN_IF_ERROR(manager->OpenSegment(1));
+  return manager;
+}
+
+DurabilityManager::~DurabilityManager() { StopCheckpointer(); }
+
+Status DurabilityManager::OpenSegment(uint64_t next_lsn) {
+  auto writer = WalWriter::Create(WalSegmentPath(dir_, next_lsn), next_lsn,
+                                  options_.fsync_wal);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(writer).value();
+  next_lsn_ = next_lsn;
+  return Status::Ok();
+}
+
+uint64_t DurabilityManager::wal_tail_offset() const {
+  std::lock_guard<std::mutex> lock(dml_mu_);
+  return wal_->tail_offset();
+}
+
+std::string DurabilityManager::wal_path() const {
+  std::lock_guard<std::mutex> lock(dml_mu_);
+  return wal_->path();
+}
+
+Result<dml::MutationResult> DurabilityManager::Durable(
+    WalRecord rec, const std::function<Result<dml::MutationResult>()>& apply) {
+  std::lock_guard<std::mutex> lock(dml_mu_);
+  const uint64_t pre = wal_->tail_offset();
+  rec.lsn = next_lsn_;
+  Result<uint64_t> tail = wal_->Append(rec);
+  if (!tail.ok()) {
+    // Nothing reached the log (Append truncates its own debris): reject the
+    // mutation before the apply so memory and disk agree.
+    stats_.wal_append_failures.fetch_add(1, std::memory_order_relaxed);
+    return tail.status();
+  }
+  ++next_lsn_;
+  stats_.wal_records.fetch_add(1, std::memory_order_relaxed);
+  stats_.wal_bytes.fetch_add(*tail - pre, std::memory_order_relaxed);
+  wal_bytes_since_checkpoint_.fetch_add(*tail - pre,
+                                        std::memory_order_relaxed);
+
+  Result<dml::MutationResult> result = apply();
+  if (!result.ok()) {
+    // The record is on disk but the mutation rolled back. Persist an abort
+    // marker so replay skips it; if even that fails, scrub both from the
+    // tail — either way the log replays to exactly the acknowledged state.
+    WalRecord abort;
+    abort.lsn = next_lsn_;
+    abort.type = WalRecordType::kAbort;
+    abort.aborted_lsn = rec.lsn;
+    Result<uint64_t> abort_tail = wal_->Append(abort);
+    if (abort_tail.ok()) {
+      ++next_lsn_;
+      stats_.wal_records.fetch_add(1, std::memory_order_relaxed);
+      stats_.wal_aborts.fetch_add(1, std::memory_order_relaxed);
+      stats_.wal_bytes.fetch_add(*abort_tail - *tail,
+                                 std::memory_order_relaxed);
+    } else {
+      (void)wal_->TruncateTo(pre);
+      next_lsn_ = rec.lsn;
+    }
+    return result;
+  }
+
+  applied_lsn_.store(rec.lsn, std::memory_order_release);
+  if (options_.checkpoint_wal_bytes > 0 &&
+      wal_bytes_since_checkpoint_.load(std::memory_order_relaxed) >=
+          options_.checkpoint_wal_bytes) {
+    (void)CheckpointLocked();  // failure recorded in stats, mutation succeeded
+  }
+  return result;
+}
+
+Result<dml::MutationResult> DurabilityManager::InsertFragment(
+    xml::NodeId parent, size_t child_index, std::string_view fragment_xml) {
+  WalRecord rec;
+  rec.type = WalRecordType::kInsertFragment;
+  rec.target = parent;
+  rec.child_index = child_index;
+  rec.payload.assign(fragment_xml.data(), fragment_xml.size());
+  return Durable(std::move(rec), [&] {
+    return mutator_.InsertFragment(parent, child_index, fragment_xml);
+  });
+}
+
+Result<dml::MutationResult> DurabilityManager::DeleteSubtree(
+    xml::NodeId target) {
+  WalRecord rec;
+  rec.type = WalRecordType::kDeleteSubtree;
+  rec.target = target;
+  return Durable(std::move(rec), [&] { return mutator_.DeleteSubtree(target); });
+}
+
+Result<dml::MutationResult> DurabilityManager::UpdateText(
+    xml::NodeId target, std::string_view new_text) {
+  WalRecord rec;
+  rec.type = WalRecordType::kUpdateText;
+  rec.target = target;
+  rec.payload.assign(new_text.data(), new_text.size());
+  return Durable(std::move(rec),
+                 [&] { return mutator_.UpdateText(target, new_text); });
+}
+
+Status DurabilityManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(dml_mu_);
+  return CheckpointLocked();
+}
+
+Status DurabilityManager::CheckpointLocked() {
+  const uint64_t applied = applied_lsn_.load(std::memory_order_acquire);
+  const uint64_t next = next_lsn_;
+  const std::string tmp = (fs::path(dir_) / "snap.tmp").string();
+  const std::string final_path = SnapshotPath(dir_, applied);
+
+  Status s;
+  {
+    // Exclude writers only for the serialization window; concurrent reads
+    // keep running (shared lock), and mutations are already excluded by
+    // dml_mu_ — the reader lock additionally fences the engine's lazy
+    // accelerator rebuild.
+    auto reader_lock = engine_.ReaderLock();
+    SnapshotMeta meta;
+    meta.applied_lsn = applied;
+    meta.next_lsn = next;
+    s = WriteSnapshotFile(tmp, doc_, engine_.ppf_store(), engine_.edge_store(),
+                          meta);
+  }
+  if (s.ok()) {
+    s = XPREL_FAULT_POINT("snap.rename");
+    if (s.ok() && std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+      s = Status::Internal("snapshot: rename " + tmp + " -> " + final_path +
+                           ": " + std::strerror(errno));
+    }
+  }
+  if (!s.ok()) {
+    stats_.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return s;
+  }
+  SyncDir(dir_);
+  std::error_code ec;
+  const auto snapshot_size = fs::file_size(final_path, ec);
+  if (!ec) {
+    stats_.snapshot_bytes.store(snapshot_size, std::memory_order_relaxed);
+  }
+  stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+
+  // Rotate to a fresh segment. Rotation failure is benign — the current
+  // segment keeps growing and replay still works; retry at the next
+  // checkpoint.
+  auto rotated = WalWriter::Create(WalSegmentPath(dir_, next), next,
+                                   options_.fsync_wal);
+  if (rotated.ok()) wal_ = std::move(rotated).value();
+  wal_bytes_since_checkpoint_.store(0, std::memory_order_relaxed);
+
+  if (!options_.retain_history) PruneLocked(applied, next);
+  return Status::Ok();
+}
+
+void DurabilityManager::PruneLocked(uint64_t keep_snapshot_lsn,
+                                    uint64_t keep_segment_lsn) {
+  std::error_code ec;
+  for (const auto& snap : ListNumbered(dir_, "snap-", ".snap")) {
+    if (snap.number != keep_snapshot_lsn) fs::remove(snap.path, ec);
+  }
+  for (const auto& seg : ListNumbered(dir_, "wal-", ".wal")) {
+    // Segments below the new snapshot's replay start are fully covered by
+    // it; never touch the segment the writer still appends to.
+    if (seg.number < keep_segment_lsn && seg.path != wal_->path()) {
+      fs::remove(seg.path, ec);
+    }
+  }
+}
+
+void DurabilityManager::StartCheckpointer() {
+  if (checkpointer_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(checkpointer_mu_);
+    checkpointer_stop_ = false;
+  }
+  checkpointer_ = std::thread([this] { CheckpointerLoop(); });
+}
+
+void DurabilityManager::StopCheckpointer() {
+  if (!checkpointer_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(checkpointer_mu_);
+    checkpointer_stop_ = true;
+  }
+  checkpointer_cv_.notify_all();
+  checkpointer_.join();
+  checkpointer_ = std::thread();
+}
+
+void DurabilityManager::CheckpointerLoop() {
+  std::unique_lock<std::mutex> lock(checkpointer_mu_);
+  while (!checkpointer_stop_) {
+    checkpointer_cv_.wait_for(lock, options_.checkpointer_interval);
+    if (checkpointer_stop_) break;
+    if (options_.checkpoint_wal_bytes > 0 &&
+        wal_bytes_since_checkpoint_.load(std::memory_order_relaxed) >=
+            options_.checkpoint_wal_bytes) {
+      lock.unlock();
+      (void)Checkpoint();
+      lock.lock();
+    }
+  }
+}
+
+Result<RecoveredEngine> OpenOrRecover(const std::string& dir,
+                                      const xsd::SchemaGraph& graph,
+                                      DurabilityOptions options,
+                                      engine::EngineOptions engine_options,
+                                      TraceContext* trace) {
+  TraceContext local_trace(1);
+  TraceContext* t = trace != nullptr ? trace : &local_trace;
+  const int recover_span = t->BeginSpan("recover");
+
+  RecoveryReport report;
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<engine::XPathEngine> eng;
+  SnapshotMeta meta;  // applied 0, next 1: full replay when no snapshot
+
+  {
+    ScopedSpan span(t, "recover.snapshot", recover_span);
+    auto snaps = ListNumbered(dir, "snap-", ".snap");
+    for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+      auto restored = ReadSnapshotFile(it->path, graph);
+      if (!restored.ok()) {
+        ++report.corrupt_snapshots;
+        continue;
+      }
+      auto built = engine::XPathEngine::BuildFromStores(
+          *restored->doc, graph, std::move(restored->ppf),
+          std::move(restored->edge), engine_options);
+      if (!built.ok()) {
+        ++report.corrupt_snapshots;
+        continue;
+      }
+      doc = std::move(restored->doc);
+      eng = std::move(built).value();
+      meta = restored->meta;
+      report.used_snapshot = true;
+      report.snapshot_lsn = meta.applied_lsn;
+      span.Annotate("lsn=" + std::to_string(meta.applied_lsn));
+      break;
+    }
+  }
+
+  if (eng == nullptr) {
+    // Degraded path: no usable snapshot. Reshred the pristine source and
+    // replay the entire log from LSN 1.
+    ScopedSpan span(t, "recover.reshred", recover_span);
+    report.reshred_fallback = true;
+    meta = SnapshotMeta{};
+    const std::string source = DurabilityManager::SourceXmlPath(dir);
+    std::ifstream in(source, std::ios::binary);
+    if (!in) {
+      t->EndSpan(recover_span);
+      return Status::NotFound(
+          "durability: no usable snapshot and no source.xml in " + dir);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = xml::ParseXml(buf.str());
+    if (!parsed.ok()) {
+      t->EndSpan(recover_span);
+      return parsed.status();
+    }
+    doc = std::make_unique<xml::Document>(std::move(parsed).value());
+    auto built = engine::XPathEngine::Build(*doc, graph, engine_options);
+    if (!built.ok()) {
+      t->EndSpan(recover_span);
+      return built.status();
+    }
+    eng = std::move(built).value();
+  }
+
+  report.recovered_lsn = meta.applied_lsn;
+  uint64_t expected = meta.next_lsn;
+  {
+    ScopedSpan span(t, "recover.replay", recover_span);
+    std::vector<WalRecord> records;
+    for (const auto& seg : ListNumbered(dir, "wal-", ".wal")) {
+      auto segment = ReadWalSegment(seg.path);
+      if (!segment.ok()) continue;  // corrupt header: no usable records
+      if (segment->torn) {
+        // Physically truncate the torn tail so the segment is clean for
+        // the next recovery.
+        ++report.torn_segments;
+        (void)::truncate(seg.path.c_str(),
+                         static_cast<off_t>(segment->valid_bytes));
+      }
+      for (auto& rec : segment->records) records.push_back(std::move(rec));
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const WalRecord& a, const WalRecord& b) {
+                       return a.lsn < b.lsn;
+                     });
+    std::set<uint64_t> aborted;
+    for (const auto& rec : records) {
+      if (rec.type == WalRecordType::kAbort) aborted.insert(rec.aborted_lsn);
+    }
+
+    dml::DocumentMutator replayer(*doc, *eng);
+    for (const auto& rec : records) {
+      if (rec.lsn < expected) continue;  // already folded into the snapshot
+      if (rec.lsn != expected) break;    // gap: nothing beyond is trustworthy
+      ++expected;
+      if (rec.type == WalRecordType::kAbort) continue;
+      if (aborted.count(rec.lsn) != 0) {
+        ++report.skipped_aborted;
+        continue;
+      }
+      Result<dml::MutationResult> applied = [&]() {
+        switch (rec.type) {
+          case WalRecordType::kInsertFragment:
+            return replayer.InsertFragment(
+                rec.target, static_cast<size_t>(rec.child_index), rec.payload);
+          case WalRecordType::kDeleteSubtree:
+            return replayer.DeleteSubtree(rec.target);
+          case WalRecordType::kUpdateText:
+            return replayer.UpdateText(rec.target, rec.payload);
+          case WalRecordType::kAbort:
+            break;
+        }
+        return Result<dml::MutationResult>(
+            Status::Internal("unreachable wal record type"));
+      }();
+      if (!applied.ok()) {
+        t->EndSpan(recover_span);
+        return Status::Internal(
+            "durability: replay failed at lsn " + std::to_string(rec.lsn) +
+            ": " + applied.status().message());
+      }
+      ++report.replayed;
+      report.recovered_lsn = rec.lsn;
+    }
+    span.Annotate("replayed=" + std::to_string(report.replayed));
+  }
+
+  std::unique_ptr<DurabilityManager> manager(
+      new DurabilityManager(dir, *doc, *eng, options));
+  Status opened = manager->OpenSegment(expected);
+  if (!opened.ok()) {
+    t->EndSpan(recover_span);
+    return opened;
+  }
+  manager->applied_lsn_.store(report.recovered_lsn, std::memory_order_release);
+  manager->stats_.recovery_replayed.store(report.replayed,
+                                          std::memory_order_relaxed);
+  manager->stats_.recovery_corrupt_snapshots.store(
+      report.corrupt_snapshots, std::memory_order_relaxed);
+  manager->stats_.recovery_reshred_fallbacks.store(
+      report.reshred_fallback ? 1 : 0, std::memory_order_relaxed);
+
+  t->EndSpan(recover_span);
+  report.trace = t->Render();
+  manager->recovery_report_ = std::make_unique<RecoveryReport>(report);
+
+  RecoveredEngine recovered;
+  recovered.doc = std::move(doc);
+  recovered.engine = std::move(eng);
+  recovered.manager = std::move(manager);
+  recovered.report = std::move(report);
+  return recovered;
+}
+
+}  // namespace xprel::durability

@@ -1,0 +1,228 @@
+#ifndef XPREL_DURABILITY_MANAGER_H_
+#define XPREL_DURABILITY_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/result.h"
+#include "common/trace.h"
+#include "dml/mutator.h"
+#include "durability/wal.h"
+#include "engine/engine.h"
+#include "xml/document.h"
+#include "xsd/schema_graph.h"
+
+namespace xprel::durability {
+
+struct DurabilityOptions {
+  // Fsync the WAL after every appended record before acknowledging the
+  // mutation. The torn-tail consistency story (recovery truncates at the
+  // last valid record) holds either way; fsync extends the no-loss
+  // guarantee from process crash to OS/power failure, at a per-mutation
+  // cost the bench quantifies.
+  bool fsync_wal = false;
+  // Auto-checkpoint once this many WAL bytes accumulated since the last
+  // snapshot (checked synchronously after each mutation and by the
+  // background checkpointer). 0 = only explicit Checkpoint() calls or the
+  // background thread's size check (which then never triggers) run.
+  uint64_t checkpoint_wal_bytes = 4u << 20;
+  // Keep superseded snapshots and fully-checkpointed WAL segments. With
+  // history retained, recovery degrades losslessly: newest snapshot + WAL
+  // tail, then any older snapshot + more segments, and ultimately a
+  // reshred of dir/source.xml plus a full replay from LSN 1. Turning this
+  // off prunes at each checkpoint (bounded disk, shallower ladder).
+  bool retain_history = true;
+  // Poll interval of the background checkpointer thread.
+  std::chrono::milliseconds checkpointer_interval{100};
+};
+
+// Monotonic counters, readable while the manager runs.
+struct DurabilityStats {
+  std::atomic<uint64_t> wal_records{0};
+  std::atomic<uint64_t> wal_bytes{0};
+  std::atomic<uint64_t> wal_aborts{0};           // apply-failed markers logged
+  std::atomic<uint64_t> wal_append_failures{0};  // mutation rejected pre-apply
+  std::atomic<uint64_t> checkpoints{0};
+  std::atomic<uint64_t> checkpoint_failures{0};
+  std::atomic<uint64_t> snapshot_bytes{0};  // size of the newest snapshot
+  // Set once at recovery time (see OpenOrRecover) so serving layers can
+  // export them as metrics.
+  std::atomic<uint64_t> recovery_replayed{0};
+  std::atomic<uint64_t> recovery_corrupt_snapshots{0};
+  std::atomic<uint64_t> recovery_reshred_fallbacks{0};
+};
+
+struct RecoveredEngine;
+
+// How one OpenOrRecover run rebuilt the engine.
+struct RecoveryReport {
+  bool used_snapshot = false;
+  uint64_t snapshot_lsn = 0;  // applied LSN of the snapshot used
+  uint64_t corrupt_snapshots = 0;
+  bool reshred_fallback = false;  // no usable snapshot: reshred source.xml
+  uint64_t replayed = 0;          // WAL records applied
+  uint64_t skipped_aborted = 0;   // records skipped via abort markers
+  uint64_t torn_segments = 0;     // segments whose tail was truncated
+  uint64_t recovered_lsn = 0;     // applied LSN after replay
+  std::string trace;              // rendered "recover" span tree
+};
+
+// Write-ahead durability for one engine + document. The logical record of
+// every mutation is appended to the WAL (and optionally fsynced) *before*
+// the DocumentMutator applies it; a mutation whose apply fails is marked
+// aborted in the log (or scrubbed from the tail when even that fails), so
+// replay applies exactly the acknowledged mutations. Checkpoints serialize
+// the full shredded state to a checksummed snapshot, atomically rename it
+// into place, and rotate the WAL.
+//
+// Directory layout under `dir`:
+//   source.xml            pristine document (reshred fallback), written once
+//   wal-<first_lsn>.wal   log segments
+//   snap-<lsn>.snap       snapshots, named by their applied LSN
+//
+// Thread-safety: mutations and checkpoints serialize on an internal mutex;
+// queries keep running against the engine except during the snapshot
+// serialization window, which holds the engine's reader lock (excluding
+// writers — compatible with concurrent Run()).
+class DurabilityManager {
+ public:
+  // Attaches durability to a live engine over `doc`, rooted at `dir`
+  // (created if needed): writes dir/source.xml and opens the first WAL
+  // segment. Refuses a directory that already holds WAL segments or
+  // snapshots — that state belongs to OpenOrRecover. `doc` and `engine`
+  // must outlive the manager.
+  static Result<std::unique_ptr<DurabilityManager>> Create(
+      std::string dir, xml::Document& doc, engine::XPathEngine& engine,
+      DurabilityOptions options = {});
+
+  ~DurabilityManager();
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  // Durable mutations: log first, then apply through dml::DocumentMutator.
+  // The returned result mirrors the mutator's (feed `affected` to the
+  // service's InvalidateMutation as usual).
+  Result<dml::MutationResult> InsertFragment(xml::NodeId parent,
+                                             size_t child_index,
+                                             std::string_view fragment_xml);
+  Result<dml::MutationResult> DeleteSubtree(xml::NodeId target);
+  Result<dml::MutationResult> UpdateText(xml::NodeId target,
+                                         std::string_view new_text);
+
+  // Snapshots the current state and rotates the WAL. The previous snapshot
+  // is only removed (retain_history off) after the new one is durable; a
+  // failed checkpoint leaves the old snapshot + full WAL intact and is
+  // reported in stats, never propagated into mutation results.
+  Status Checkpoint();
+
+  // Background checkpointer: polls every options().checkpointer_interval
+  // and checkpoints when the WAL grew past checkpoint_wal_bytes.
+  void StartCheckpointer();
+  void StopCheckpointer();
+
+  const DurabilityOptions& options() const { return options_; }
+  const DurabilityStats& stats() const { return stats_; }
+  const dml::MutationStats& mutation_stats() const { return mutator_.stats(); }
+  // Report of the recovery that produced this manager; null for a fresh
+  // Create().
+  const RecoveryReport* recovery_report() const {
+    return recovery_report_ ? recovery_report_.get() : nullptr;
+  }
+
+  uint64_t applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+  // Byte length of the current WAL segment (header included).
+  uint64_t wal_tail_offset() const;
+  std::string wal_path() const;
+  const std::string& dir() const { return dir_; }
+
+  static std::string SourceXmlPath(const std::string& dir);
+  static std::string WalSegmentPath(const std::string& dir,
+                                    uint64_t first_lsn);
+  static std::string SnapshotPath(const std::string& dir, uint64_t lsn);
+
+ private:
+  friend Result<RecoveredEngine> OpenOrRecover(
+      const std::string& dir, const xsd::SchemaGraph& graph,
+      DurabilityOptions options, engine::EngineOptions engine_options,
+      TraceContext* trace);
+
+  DurabilityManager(std::string dir, xml::Document& doc,
+                    engine::XPathEngine& engine, DurabilityOptions options)
+      : dir_(std::move(dir)),
+        doc_(doc),
+        engine_(engine),
+        options_(options),
+        mutator_(doc, engine) {}
+
+  // Shared tail of Create() and the recovery attach: opens the WAL segment
+  // whose header claims `next_lsn`.
+  Status OpenSegment(uint64_t next_lsn);
+
+  // The log-then-apply protocol, under dml_mu_.
+  Result<dml::MutationResult> Durable(
+      WalRecord rec, const std::function<Result<dml::MutationResult>()>& apply);
+
+  Status CheckpointLocked();
+  void PruneLocked(uint64_t keep_snapshot_lsn, uint64_t keep_segment_lsn);
+  void CheckpointerLoop();
+
+  const std::string dir_;
+  xml::Document& doc_;
+  engine::XPathEngine& engine_;
+  const DurabilityOptions options_;
+  dml::DocumentMutator mutator_;
+
+  // Serializes mutations and checkpoints (the engine's writer lock only
+  // covers the in-memory apply; the WAL append must order with it).
+  mutable std::mutex dml_mu_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t next_lsn_ = 1;
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<uint64_t> wal_bytes_since_checkpoint_{0};
+
+  DurabilityStats stats_;
+  std::unique_ptr<RecoveryReport> recovery_report_;
+
+  std::thread checkpointer_;
+  std::mutex checkpointer_mu_;
+  std::condition_variable checkpointer_cv_;
+  bool checkpointer_stop_ = false;
+};
+
+// A fully recovered engine stack. Members are declaration-ordered so the
+// manager (which references doc and engine) is destroyed first.
+struct RecoveredEngine {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<engine::XPathEngine> engine;
+  std::unique_ptr<DurabilityManager> manager;
+  RecoveryReport report;
+};
+
+// Opens a durability directory: loads the newest valid snapshot (corrupt
+// ones are counted and skipped — older snapshots are tried next), replays
+// the WAL tail through the DocumentMutator path, and returns the rebuilt
+// stack with a fresh WAL segment open. When no snapshot is usable it
+// degrades to reshredding dir/source.xml and replaying the entire log.
+// Torn WAL tails are truncated at the last valid record. Emits "recover",
+// "recover.snapshot", "recover.replay" and "recover.reshred" spans on
+// `trace` (an internal context is used when null; either way the rendered
+// tree lands in the report).
+Result<RecoveredEngine> OpenOrRecover(const std::string& dir,
+                                      const xsd::SchemaGraph& graph,
+                                      DurabilityOptions options = {},
+                                      engine::EngineOptions engine_options = {},
+                                      TraceContext* trace = nullptr);
+
+}  // namespace xprel::durability
+
+#endif  // XPREL_DURABILITY_MANAGER_H_

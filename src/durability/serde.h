@@ -1,0 +1,149 @@
+#ifndef XPREL_DURABILITY_SERDE_H_
+#define XPREL_DURABILITY_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "rel/value.h"
+
+namespace xprel::durability {
+
+// Little-endian byte serialization for WAL record payloads and snapshot
+// sections. ByteSink appends to a growing buffer; ByteReader is
+// bounds-checked and latches failure — any overrun or malformed tag flips
+// ok() to false and every later read returns a zero value, so frame
+// decoders can be written straight-line and check ok() once at the end.
+
+class ByteSink {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { AppendLe(&v, sizeof v); }
+  void U64(uint64_t v) { AppendLe(&v, sizeof v); }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void Raw(std::string_view s) { out_.append(s.data(), s.size()); }
+  void Val(const rel::Value& v) {
+    U8(static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case rel::ValueType::kNull:
+        break;
+      case rel::ValueType::kInt64:
+        I64(v.AsInt());
+        break;
+      case rel::ValueType::kDouble:
+        F64(v.AsDouble());
+        break;
+      case rel::ValueType::kString:
+        Str(v.AsString());
+        break;
+      case rel::ValueType::kBytes:
+        Str(v.AsBytes());
+        break;
+    }
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void AppendLe(const void* p, size_t n) {
+    // All supported targets are little-endian; serialize memory order.
+    out_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    ReadLe(&v, sizeof v);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    ReadLe(&v, sizeof v);
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() {
+    uint64_t bits = U64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  rel::Value Val() {
+    uint8_t tag = U8();
+    switch (tag) {
+      case static_cast<uint8_t>(rel::ValueType::kNull):
+        return rel::Value::Null();
+      case static_cast<uint8_t>(rel::ValueType::kInt64):
+        return rel::Value::Int(I64());
+      case static_cast<uint8_t>(rel::ValueType::kDouble):
+        return rel::Value::Real(F64());
+      case static_cast<uint8_t>(rel::ValueType::kString):
+        return rel::Value::Str(Str());
+      case static_cast<uint8_t>(rel::ValueType::kBytes):
+        return rel::Value::Bytes(Str());
+      default:
+        ok_ = false;
+        return rel::Value::Null();
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  void ReadLe(void* p, size_t n) {
+    if (!Need(n)) {
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace xprel::durability
+
+#endif  // XPREL_DURABILITY_SERDE_H_

@@ -1,0 +1,419 @@
+#include "durability/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "durability/crc32c.h"
+#include "durability/serde.h"
+#include "rel/table.h"
+
+namespace xprel::durability {
+namespace {
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("snapshot: " + path + ": " + what);
+}
+
+// --- encoding ---
+
+std::string EncodeDocument(const xml::Document& doc) {
+  ByteSink sink;
+  const auto& nodes = doc.raw_nodes();
+  sink.U32(static_cast<uint32_t>(nodes.size()));
+  for (const auto& node : nodes) {
+    sink.U8(static_cast<uint8_t>(node.kind));
+    sink.Str(node.name);
+    sink.Str(node.text);
+    sink.U32(static_cast<uint32_t>(node.attributes.size()));
+    for (const auto& attr : node.attributes) {
+      sink.Str(attr.name);
+      sink.Str(attr.value);
+    }
+    sink.I32(node.parent);
+    sink.U32(static_cast<uint32_t>(node.children.size()));
+    for (xml::NodeId child : node.children) sink.I32(child);
+    sink.I32(node.depth);
+    sink.I32(node.sibling_ordinal);
+    sink.Str(node.dewey);
+    sink.U8(node.alive ? 1 : 0);
+  }
+  return sink.Take();
+}
+
+template <typename State>
+void EncodeLoaderState(ByteSink& sink, const State& state) {
+  sink.I64(state.next_doc_id);
+  sink.I64(state.next_element_id);
+  sink.U32(static_cast<uint32_t>(state.origins.size()));
+  for (const auto& origin : state.origins) {
+    sink.I64(origin.doc_id);
+    sink.I32(origin.node);
+  }
+  sink.U32(static_cast<uint32_t>(state.node_ids.size()));
+  for (const auto& entry : state.node_ids) {
+    sink.I64(entry.first.first);
+    sink.I32(entry.first.second);
+    sink.I64(entry.second);
+  }
+  sink.U32(static_cast<uint32_t>(state.paths.size()));
+  for (const auto& path : state.paths) {
+    sink.Str(path.path);
+    sink.I64(path.id);
+    sink.U64(static_cast<uint64_t>(path.row));
+    sink.I64(path.refs);
+  }
+}
+
+void EncodeTables(ByteSink& sink, const rel::Database& db) {
+  auto tables = db.tables();  // sorted by name: deterministic bytes
+  sink.U32(static_cast<uint32_t>(tables.size()));
+  for (const rel::Table* table : tables) {
+    sink.Str(table->name());
+    rel::Table::Content content = table->ExportContent();
+    sink.U64(content.row_count);
+    sink.U32(static_cast<uint32_t>(content.columns.size()));
+    for (const auto& column : content.columns) {
+      sink.U32(static_cast<uint32_t>(column.dict.size()));
+      for (const auto& value : column.dict) sink.Val(value);
+      for (uint32_t code : column.codes) sink.U32(code);
+    }
+    sink.U32(static_cast<uint32_t>(content.dead_words.size()));
+    for (uint64_t word : content.dead_words) sink.U64(word);
+  }
+}
+
+template <typename Store>
+std::string EncodeStore(const Store* store) {
+  ByteSink sink;
+  sink.U8(store ? 1 : 0);
+  if (store) {
+    EncodeLoaderState(sink, store->ExportLoaderState());
+    EncodeTables(sink, store->db());
+  }
+  return sink.Take();
+}
+
+void AppendSection(ByteSink& out, const std::string& payload) {
+  out.U32(static_cast<uint32_t>(payload.size()));
+  out.U32(Crc32c(payload));
+  out.Raw(payload);
+}
+
+// --- decoding ---
+
+// Count fields gate loops; a garbage count must not turn into a
+// billion-iteration loop, so it is bounded by the bytes that remain
+// (every counted element occupies at least one byte).
+bool CountOk(const ByteReader& reader, uint64_t count) {
+  return count <= reader.remaining();
+}
+
+Result<std::vector<xml::Node>> DecodeDocumentNodes(std::string_view payload,
+                                                   const std::string& path) {
+  ByteReader reader(payload);
+  uint32_t count = reader.U32();
+  if (!CountOk(reader, count)) return Corrupt(path, "node count overflow");
+  std::vector<xml::Node> nodes;
+  nodes.reserve(count);
+  for (uint32_t i = 0; i < count && reader.ok(); ++i) {
+    xml::Node node;
+    uint8_t kind = reader.U8();
+    if (kind > static_cast<uint8_t>(xml::NodeKind::kText)) {
+      return Corrupt(path, "bad node kind");
+    }
+    node.kind = static_cast<xml::NodeKind>(kind);
+    node.name = reader.Str();
+    node.text = reader.Str();
+    uint32_t nattrs = reader.U32();
+    if (!CountOk(reader, nattrs)) return Corrupt(path, "attr count overflow");
+    for (uint32_t a = 0; a < nattrs && reader.ok(); ++a) {
+      xml::Attribute attr;
+      attr.name = reader.Str();
+      attr.value = reader.Str();
+      node.attributes.push_back(std::move(attr));
+    }
+    node.parent = reader.I32();
+    uint32_t nchildren = reader.U32();
+    if (!CountOk(reader, nchildren)) {
+      return Corrupt(path, "child count overflow");
+    }
+    for (uint32_t c = 0; c < nchildren && reader.ok(); ++c) {
+      node.children.push_back(reader.I32());
+    }
+    node.depth = reader.I32();
+    node.sibling_ordinal = reader.I32();
+    node.dewey = reader.Str();
+    node.alive = reader.U8() != 0;
+    nodes.push_back(std::move(node));
+  }
+  if (!reader.ok() || !reader.AtEnd()) {
+    return Corrupt(path, "malformed document section");
+  }
+  return nodes;
+}
+
+template <typename State>
+Status DecodeLoaderState(ByteReader& reader, State* state,
+                         const std::string& path) {
+  state->next_doc_id = reader.I64();
+  state->next_element_id = reader.I64();
+  uint32_t norigins = reader.U32();
+  if (!CountOk(reader, norigins)) return Corrupt(path, "origin count overflow");
+  for (uint32_t i = 0; i < norigins && reader.ok(); ++i) {
+    typename std::decay_t<decltype(state->origins)>::value_type origin;
+    origin.doc_id = reader.I64();
+    origin.node = reader.I32();
+    state->origins.push_back(origin);
+  }
+  uint32_t nids = reader.U32();
+  if (!CountOk(reader, nids)) return Corrupt(path, "node-id count overflow");
+  for (uint32_t i = 0; i < nids && reader.ok(); ++i) {
+    int64_t doc_id = reader.I64();
+    xml::NodeId node = reader.I32();
+    int64_t element_id = reader.I64();
+    state->node_ids.push_back({{doc_id, node}, element_id});
+  }
+  uint32_t npaths = reader.U32();
+  if (!CountOk(reader, npaths)) return Corrupt(path, "path count overflow");
+  for (uint32_t i = 0; i < npaths && reader.ok(); ++i) {
+    shred::PathsRegistry::PathState entry;
+    entry.path = reader.Str();
+    entry.id = reader.I64();
+    entry.row = static_cast<rel::RowId>(reader.U64());
+    entry.refs = reader.I64();
+    state->paths.push_back(std::move(entry));
+  }
+  if (!reader.ok()) return Corrupt(path, "malformed loader state");
+  return Status::Ok();
+}
+
+Status DecodeTables(ByteReader& reader, rel::Database& db,
+                    const std::string& path) {
+  uint32_t ntables = reader.U32();
+  if (!reader.ok()) return Corrupt(path, "malformed table section");
+  if (ntables != db.tables().size()) {
+    return Corrupt(path, "table count does not match schema");
+  }
+  std::set<std::string> seen;
+  for (uint32_t i = 0; i < ntables; ++i) {
+    std::string name = reader.Str();
+    if (!reader.ok()) return Corrupt(path, "malformed table name");
+    rel::Table* table = db.FindTable(name);
+    if (table == nullptr) return Corrupt(path, "unknown table " + name);
+    if (!seen.insert(name).second) {
+      return Corrupt(path, "duplicate table " + name);
+    }
+    rel::Table::Content content;
+    content.row_count = reader.U64();
+    if (!CountOk(reader, content.row_count)) {
+      return Corrupt(path, "row count overflow in " + name);
+    }
+    uint32_t ncols = reader.U32();
+    if (!CountOk(reader, ncols)) {
+      return Corrupt(path, "column count overflow in " + name);
+    }
+    for (uint32_t c = 0; c < ncols && reader.ok(); ++c) {
+      rel::Table::Content::Column column;
+      uint32_t dict_size = reader.U32();
+      if (!CountOk(reader, dict_size)) {
+        return Corrupt(path, "dict overflow in " + name);
+      }
+      column.dict.reserve(dict_size);
+      for (uint32_t d = 0; d < dict_size && reader.ok(); ++d) {
+        column.dict.push_back(reader.Val());
+      }
+      column.codes.reserve(content.row_count);
+      for (uint64_t r = 0; r < content.row_count && reader.ok(); ++r) {
+        column.codes.push_back(reader.U32());
+      }
+      content.columns.push_back(std::move(column));
+    }
+    uint32_t nwords = reader.U32();
+    if (!CountOk(reader, nwords)) {
+      return Corrupt(path, "dead bitmap overflow in " + name);
+    }
+    for (uint32_t w = 0; w < nwords && reader.ok(); ++w) {
+      content.dead_words.push_back(reader.U64());
+    }
+    if (!reader.ok()) return Corrupt(path, "malformed content of " + name);
+    Status restored = table->RestoreContent(std::move(content));
+    if (!restored.ok()) {
+      return Corrupt(path, restored.message());
+    }
+  }
+  return Status::Ok();
+}
+
+template <typename Store>
+Status ValidateNodeIds(const typename Store::LoaderState& state,
+                       const xml::Document& doc, const std::string& path) {
+  for (const auto& origin : state.origins) {
+    if (origin.node < 1 || origin.node > doc.size()) {
+      return Corrupt(path, "origin node id out of document range");
+    }
+  }
+  for (const auto& entry : state.node_ids) {
+    if (entry.first.second < 1 || entry.first.second > doc.size()) {
+      return Corrupt(path, "node-id map entry out of document range");
+    }
+  }
+  return Status::Ok();
+}
+
+// --- file IO ---
+
+Status WriteFileDurably(const std::string& path, const std::string& bytes) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("snap.write"));
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal("snapshot: open " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::Internal("snapshot: write " + path + ": " +
+                                  std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    done += static_cast<size_t>(n);
+  }
+  Status synced = XPREL_FAULT_POINT("snap.sync");
+  if (synced.ok() && ::fsync(fd) != 0) {
+    synced = Status::Internal("snapshot: fsync " + path + ": " +
+                              std::strerror(errno));
+  }
+  ::close(fd);
+  return synced;
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const std::string& path, const xml::Document& doc,
+                         const shred::SchemaAwareStore* ppf,
+                         const shred::EdgeStore* edge,
+                         const SnapshotMeta& meta) {
+  ByteSink out;
+  out.Raw(kSnapshotMagic);
+  out.U32(kSnapshotFormatVersion);
+  out.U64(meta.applied_lsn);
+  out.U64(meta.next_lsn);
+  out.U32(Crc32c(out.bytes()));
+  AppendSection(out, EncodeDocument(doc));
+  AppendSection(out, EncodeStore(ppf));
+  AppendSection(out, EncodeStore(edge));
+  return WriteFileDurably(path, out.bytes());
+}
+
+Result<RestoredState> ReadSnapshotFile(const std::string& path,
+                                       const xsd::SchemaGraph& graph) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("snap.load"));
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("snapshot: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+
+  if (data.size() < kSnapshotHeaderSize) {
+    return Corrupt(path, "truncated header");
+  }
+  if (std::string_view(data.data(), kSnapshotMagic.size()) != kSnapshotMagic) {
+    return Corrupt(path, "bad magic");
+  }
+  ByteReader header(
+      std::string_view(data.data() + kSnapshotMagic.size(), 24));
+  uint32_t version = header.U32();
+  SnapshotMeta meta;
+  meta.applied_lsn = header.U64();
+  meta.next_lsn = header.U64();
+  uint32_t stored_crc = header.U32();
+  if (stored_crc != Crc32c(data.data(), kSnapshotHeaderSize - 4)) {
+    return Corrupt(path, "header CRC mismatch");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return Corrupt(path, "unsupported format version " +
+                             std::to_string(version));
+  }
+
+  // Three length+CRC framed sections follow the header, nothing else.
+  std::string_view sections[3];
+  size_t pos = kSnapshotHeaderSize;
+  for (int i = 0; i < 3; ++i) {
+    if (data.size() - pos < 8) return Corrupt(path, "truncated section");
+    ByteReader frame(std::string_view(data.data() + pos, 8));
+    uint32_t len = frame.U32();
+    uint32_t crc = frame.U32();
+    if (data.size() - pos - 8 < len) {
+      return Corrupt(path, "section length runs past EOF");
+    }
+    sections[i] = std::string_view(data.data() + pos + 8, len);
+    if (crc != Crc32c(sections[i])) {
+      return Corrupt(path, "section CRC mismatch");
+    }
+    pos += 8 + len;
+  }
+  if (pos != data.size()) return Corrupt(path, "trailing bytes after sections");
+
+  std::vector<xml::Node> nodes;
+  XPREL_ASSIGN_OR_RETURN(nodes, DecodeDocumentNodes(sections[0], path));
+  auto restored_doc = xml::Document::FromRawNodes(std::move(nodes));
+  if (!restored_doc.ok()) {
+    return Corrupt(path, restored_doc.status().message());
+  }
+  RestoredState state;
+  state.doc = std::make_unique<xml::Document>(std::move(restored_doc).value());
+  state.meta = meta;
+
+  {
+    ByteReader reader(sections[1]);
+    if (reader.U8() != 0) {
+      shred::SchemaAwareStore::LoaderState loader;
+      XPREL_RETURN_IF_ERROR(DecodeLoaderState(reader, &loader, path));
+      XPREL_RETURN_IF_ERROR(
+          ValidateNodeIds<shred::SchemaAwareStore>(loader, *state.doc, path));
+      auto store = shred::SchemaAwareStore::Create(graph);
+      if (!store.ok()) return store.status();
+      XPREL_RETURN_IF_ERROR(DecodeTables(reader, (*store)->db(), path));
+      if (!reader.AtEnd()) return Corrupt(path, "trailing bytes in PPF store");
+      Status s = (*store)->RestoreLoaderState(std::move(loader));
+      if (!s.ok()) return Corrupt(path, s.message());
+      state.ppf = std::move(store).value();
+    } else if (!reader.AtEnd() || !reader.ok()) {
+      return Corrupt(path, "malformed PPF section");
+    }
+  }
+  {
+    ByteReader reader(sections[2]);
+    if (reader.U8() != 0) {
+      shred::EdgeStore::LoaderState loader;
+      XPREL_RETURN_IF_ERROR(DecodeLoaderState(reader, &loader, path));
+      XPREL_RETURN_IF_ERROR(
+          ValidateNodeIds<shred::EdgeStore>(loader, *state.doc, path));
+      auto store = shred::EdgeStore::Create();
+      if (!store.ok()) return store.status();
+      XPREL_RETURN_IF_ERROR(DecodeTables(reader, (*store)->db(), path));
+      if (!reader.AtEnd()) return Corrupt(path, "trailing bytes in Edge store");
+      Status s = (*store)->RestoreLoaderState(std::move(loader));
+      if (!s.ok()) return Corrupt(path, s.message());
+      state.edge = std::move(store).value();
+    } else if (!reader.AtEnd() || !reader.ok()) {
+      return Corrupt(path, "malformed Edge section");
+    }
+  }
+  return state;
+}
+
+}  // namespace xprel::durability

@@ -1,0 +1,71 @@
+#ifndef XPREL_DURABILITY_SNAPSHOT_H_
+#define XPREL_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "shred/edge_loader.h"
+#include "shred/schema_loader.h"
+#include "xml/document.h"
+#include "xsd/schema_graph.h"
+
+namespace xprel::durability {
+
+// Checksummed, versioned snapshot of the full shredded state:
+//
+//   header  := magic "XPSNAP01" (8) | format u32 | applied_lsn u64 |
+//              next_lsn u64 | crc32c(first 28) u32
+//   section := len u32 | crc32c(payload) u32 | payload      (x3)
+//
+// Sections, in order: the document's raw node array (verbatim, including
+// dead nodes — node ids must stay stable so WAL replay and origin maps
+// resolve), then the schema-aware PPF store, then the Edge store (each:
+// present flag, loader bookkeeping, per-table column dictionaries + codes
+// + tombstone bitmap). Derived structures — B-tree indexes, intern maps,
+// the accelerator pre/post image — are *not* stored; they are rebuilt
+// from the restored rows on load.
+//
+// `next_lsn` is the WAL expectation: replay after this snapshot starts at
+// exactly that LSN. It can exceed applied_lsn + 1 because aborted
+// mutations consume LSNs without advancing the applied position.
+//
+// Every corruption — bad magic or CRC, unknown format version, structural
+// inconsistency between sections — yields a clean InvalidArgument, never
+// UB; recovery treats that as "this snapshot is gone" and degrades.
+
+inline constexpr std::string_view kSnapshotMagic = "XPSNAP01";
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr size_t kSnapshotHeaderSize = 32;
+
+struct SnapshotMeta {
+  uint64_t applied_lsn = 0;  // last mutation folded into this snapshot
+  uint64_t next_lsn = 1;     // first LSN the WAL tail may continue with
+};
+
+// Writes the snapshot to `path` (truncating) and fsyncs it. The caller
+// (DurabilityManager) writes to a temp name and renames for atomicity.
+// Fault points: "snap.write", "snap.sync".
+Status WriteSnapshotFile(const std::string& path, const xml::Document& doc,
+                         const shred::SchemaAwareStore* ppf,
+                         const shred::EdgeStore* edge,
+                         const SnapshotMeta& meta);
+
+struct RestoredState {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<shred::SchemaAwareStore> ppf;  // null if absent at write
+  std::unique_ptr<shred::EdgeStore> edge;        // null if absent at write
+  SnapshotMeta meta;
+};
+
+// Reads and validates a snapshot, reconstructing the document and both
+// stores (schemas recreated from `graph`, contents restored, indexes
+// rebuilt). Fault point: "snap.load".
+Result<RestoredState> ReadSnapshotFile(const std::string& path,
+                                       const xsd::SchemaGraph& graph);
+
+}  // namespace xprel::durability
+
+#endif  // XPREL_DURABILITY_SNAPSHOT_H_

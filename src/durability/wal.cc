@@ -1,0 +1,228 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "durability/crc32c.h"
+#include "durability/serde.h"
+
+namespace xprel::durability {
+namespace {
+
+// Records larger than this are rejected by writer and reader alike; a
+// length field above it in a file is corruption, not a huge record.
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+Status Errno(const char* op, const std::string& path) {
+  std::ostringstream os;
+  os << "wal: " << op << " " << path << ": " << std::strerror(errno);
+  return Status::Internal(os.str());
+}
+
+Status WriteFully(int fd, const char* data, size_t size,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+std::string EncodePayload(const WalRecord& rec) {
+  ByteSink sink;
+  sink.U64(rec.lsn);
+  sink.U8(static_cast<uint8_t>(rec.type));
+  switch (rec.type) {
+    case WalRecordType::kInsertFragment:
+      sink.I32(rec.target);
+      sink.U64(rec.child_index);
+      sink.Str(rec.payload);
+      break;
+    case WalRecordType::kDeleteSubtree:
+      sink.I32(rec.target);
+      break;
+    case WalRecordType::kUpdateText:
+      sink.I32(rec.target);
+      sink.Str(rec.payload);
+      break;
+    case WalRecordType::kAbort:
+      sink.U64(rec.aborted_lsn);
+      break;
+  }
+  return sink.Take();
+}
+
+// Decodes one payload; false on unknown type / malformed fields.
+bool DecodePayload(std::string_view payload, WalRecord* rec) {
+  ByteReader reader(payload);
+  rec->lsn = reader.U64();
+  uint8_t type = reader.U8();
+  switch (type) {
+    case static_cast<uint8_t>(WalRecordType::kInsertFragment):
+      rec->type = WalRecordType::kInsertFragment;
+      rec->target = reader.I32();
+      rec->child_index = reader.U64();
+      rec->payload = reader.Str();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kDeleteSubtree):
+      rec->type = WalRecordType::kDeleteSubtree;
+      rec->target = reader.I32();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kUpdateText):
+      rec->type = WalRecordType::kUpdateText;
+      rec->target = reader.I32();
+      rec->payload = reader.Str();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kAbort):
+      rec->type = WalRecordType::kAbort;
+      rec->aborted_lsn = reader.U64();
+      break;
+    default:
+      return false;
+  }
+  return reader.ok() && reader.AtEnd();
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& rec) {
+  std::string payload = EncodePayload(rec);
+  ByteSink frame;
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32c(payload));
+  frame.Raw(payload);
+  return frame.Take();
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     uint64_t first_lsn,
+                                                     bool fsync_each) {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("wal.open"));
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Errno("open", path);
+
+  ByteSink header;
+  header.Raw(kWalMagic);
+  header.U64(first_lsn);
+  header.U32(Crc32c(header.bytes()));
+  Status s = WriteFully(fd, header.bytes().data(), header.bytes().size(), path);
+  if (s.ok() && fsync_each && ::fsync(fd) != 0) s = Errno("fsync", path);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(fd, path, fsync_each, kWalHeaderSize));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> WalWriter::Append(const WalRecord& rec) {
+  const uint64_t pre = offset_;
+  Status s = XPREL_FAULT_POINT("wal.append");
+  if (s.ok()) {
+    std::string frame = EncodeWalRecord(rec);
+    s = WriteFully(fd_, frame.data(), frame.size(), path_);
+    if (s.ok()) {
+      offset_ += frame.size();
+      if (fsync_each_) s = Sync();
+    }
+  }
+  if (!s.ok()) {
+    // Scrub whatever partially landed: an append that was not acknowledged
+    // must not be replayable.
+    (void)TruncateTo(pre);
+    return s;
+  }
+  return offset_;
+}
+
+Status WalWriter::Sync() {
+  XPREL_RETURN_IF_ERROR(XPREL_FAULT_POINT("wal.sync"));
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::Ok();
+}
+
+Status WalWriter::TruncateTo(uint64_t offset) {
+  if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    return Errno("lseek", path_);
+  }
+  offset_ = offset;
+  return Status::Ok();
+}
+
+Result<WalSegment> ReadWalSegment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("wal: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("wal: read failed for " + path);
+  }
+  const std::string data = buf.str();
+
+  if (data.size() < kWalHeaderSize) {
+    return Status::InvalidArgument("wal: " + path + ": truncated header");
+  }
+  if (std::string_view(data.data(), kWalMagic.size()) != kWalMagic) {
+    return Status::InvalidArgument("wal: " + path + ": bad magic");
+  }
+  ByteReader header(std::string_view(data.data() + kWalMagic.size(), 12));
+  uint64_t first_lsn = header.U64();
+  uint32_t stored_crc = header.U32();
+  if (stored_crc != Crc32c(data.data(), kWalHeaderSize - 4)) {
+    return Status::InvalidArgument("wal: " + path + ": header CRC mismatch");
+  }
+
+  WalSegment segment;
+  segment.first_lsn = first_lsn;
+  segment.valid_bytes = kWalHeaderSize;
+  size_t pos = kWalHeaderSize;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      segment.torn = true;  // frame header cut off mid-write
+      break;
+    }
+    ByteReader frame(std::string_view(data.data() + pos, 8));
+    uint32_t len = frame.U32();
+    uint32_t crc = frame.U32();
+    if (len > kMaxRecordPayload || data.size() - pos - 8 < len) {
+      segment.torn = true;  // length runs past EOF (or is garbage)
+      break;
+    }
+    std::string_view payload(data.data() + pos + 8, len);
+    if (crc != Crc32c(payload)) {
+      segment.torn = true;
+      break;
+    }
+    WalRecord rec;
+    if (!DecodePayload(payload, &rec)) {
+      segment.torn = true;  // CRC fine but structure bad: treat as corrupt tail
+      break;
+    }
+    pos += 8 + len;
+    segment.records.push_back(std::move(rec));
+    segment.valid_bytes = pos;
+    segment.valid_offsets.push_back(pos);
+  }
+  return segment;
+}
+
+}  // namespace xprel::durability

@@ -1,0 +1,121 @@
+#ifndef XPREL_DURABILITY_WAL_H_
+#define XPREL_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace xprel::durability {
+
+// Logical write-ahead log. One segment file per WAL rotation:
+//
+//   header  := magic "XPWAL001" (8) | first_lsn u64 | crc32c(first 16) u32
+//   record  := payload_len u32 | crc32c(payload) u32 | payload
+//   payload := lsn u64 | type u8 | type-specific fields
+//
+// Everything little-endian. Records describe *logical* mutations (the
+// DocumentMutator API surface), not physical table changes — replay goes
+// through the same mutator path as the original execution, so every
+// derived structure (Dewey keys, B-trees, Paths refcounts, caches) is
+// rebuilt by the code that owns it.
+//
+// A reader stops at the first record whose length runs past EOF or whose
+// CRC mismatches: that is the torn tail of a crashed writer, and the valid
+// prefix before it is exactly the set of acknowledged mutations.
+
+inline constexpr std::string_view kWalMagic = "XPWAL001";
+inline constexpr size_t kWalHeaderSize = 20;  // magic + first_lsn + crc
+
+enum class WalRecordType : uint8_t {
+  kInsertFragment = 1,  // target = parent, child_index, payload = fragment
+  kDeleteSubtree = 2,   // target
+  kUpdateText = 3,      // target, payload = new text
+  // The preceding record with LSN `aborted_lsn` was appended but its apply
+  // failed; replay must skip it. (Logged because the WAL is written before
+  // the apply — see DurabilityManager.)
+  kAbort = 4,
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kInsertFragment;
+  xml::NodeId target = xml::kNoNode;  // insert parent / delete / update target
+  uint64_t child_index = 0;           // kInsertFragment only
+  std::string payload;                // fragment XML / new text
+  uint64_t aborted_lsn = 0;           // kAbort only
+};
+
+// Appends records to one segment file. Not thread-safe; the
+// DurabilityManager serializes access under its mutation mutex.
+class WalWriter {
+ public:
+  // Creates (truncating any existing file) a segment whose header claims
+  // `first_lsn`. With `fsync_each`, every append is fsynced before it is
+  // acknowledged. Fault points: "wal.open", and per append "wal.append" /
+  // "wal.sync".
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   uint64_t first_lsn,
+                                                   bool fsync_each);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Appends one record and returns the new tail offset. On any failure
+  // (injected fault, short write, failed fsync) the file is truncated back
+  // to its pre-append length first: an unacknowledged mutation never
+  // survives on disk.
+  Result<uint64_t> Append(const WalRecord& rec);
+
+  // Explicit fsync (no-op value for callers that batch with fsync_each
+  // off). Fault point "wal.sync".
+  Status Sync();
+
+  // Truncates the segment back to `offset` (used by the manager to scrub
+  // a record whose abort marker could not be written).
+  Status TruncateTo(uint64_t offset);
+
+  uint64_t tail_offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(int fd, std::string path, bool fsync_each, uint64_t offset)
+      : fd_(fd),
+        path_(std::move(path)),
+        fsync_each_(fsync_each),
+        offset_(offset) {}
+
+  int fd_ = -1;
+  std::string path_;
+  bool fsync_each_ = false;
+  uint64_t offset_ = 0;
+};
+
+// Encodes one record as its framed on-disk bytes (len | crc | payload).
+// Exposed for tests that compute expected record boundaries.
+std::string EncodeWalRecord(const WalRecord& rec);
+
+struct WalSegment {
+  uint64_t first_lsn = 0;
+  std::vector<WalRecord> records;  // the valid prefix, in file order
+  bool torn = false;               // a torn/corrupt tail followed the prefix
+  uint64_t valid_bytes = 0;        // file offset just past the last good record
+  // File offset just past each valid record (valid_offsets[i] is the tail
+  // after records[i]); used by recovery tests to enumerate boundaries.
+  std::vector<uint64_t> valid_offsets;
+};
+
+// Reads a segment: validates the header, then collects records until EOF
+// or the first torn/corrupt record. A malformed header is an error (the
+// segment carries no usable data); a torn tail is not (the prefix is the
+// durable truth).
+Result<WalSegment> ReadWalSegment(const std::string& path);
+
+}  // namespace xprel::durability
+
+#endif  // XPREL_DURABILITY_WAL_H_

@@ -158,6 +158,27 @@ Result<std::unique_ptr<XPathEngine>> XPathEngine::Build(
   return engine;
 }
 
+Result<std::unique_ptr<XPathEngine>> XPathEngine::BuildFromStores(
+    const xml::Document& doc, const xsd::SchemaGraph& graph,
+    std::unique_ptr<shred::SchemaAwareStore> ppf_store,
+    std::unique_ptr<shred::EdgeStore> edge_store, EngineOptions options) {
+  std::unique_ptr<XPathEngine> engine(new XPathEngine());
+  engine->doc_ = &doc;
+  engine->graph_ = &graph;
+  engine->options_ = options;
+  engine->options_.enable_ppf = ppf_store != nullptr;
+  engine->options_.enable_edge = edge_store != nullptr;
+  engine->plan_cache_budget_.set_cap(options.plan_cache_memory_cap);
+  engine->ppf_store_ = std::move(ppf_store);
+  engine->edge_store_ = std::move(edge_store);
+  if (options.enable_accel) {
+    auto store = accel::AccelStore::Create(doc);
+    if (!store.ok()) return store.status();
+    engine->accel_store_ = std::move(store).value();
+  }
+  return engine;
+}
+
 Result<std::string> XPathEngine::TranslateToSql(Backend backend,
                                                 std::string_view xpath) const {
   switch (backend) {

@@ -116,6 +116,19 @@ class XPathEngine {
       const xml::Document& doc, const xsd::SchemaGraph& graph,
       EngineOptions options = {});
 
+  // Assembles an engine around already-populated stores — the durability
+  // layer's snapshot-restore path. The stores must hold the shredded image
+  // of exactly `doc` (same element ids, same Paths state); nothing is
+  // reloaded. A null store disables that backend, mirroring
+  // enable_ppf/enable_edge. The accelerator image cannot be snapshotted
+  // incrementally (pre/post regions, the paper's Section 2 contrast), so it
+  // is rebuilt from the document here when enabled.
+  static Result<std::unique_ptr<XPathEngine>> BuildFromStores(
+      const xml::Document& doc, const xsd::SchemaGraph& graph,
+      std::unique_ptr<shred::SchemaAwareStore> ppf_store,
+      std::unique_ptr<shred::EdgeStore> edge_store,
+      EngineOptions options = {});
+
   // Thread-safe: any number of threads may Run() concurrently on one
   // engine. `control` (nullable) arms per-query cancellation and deadline
   // checks inside the executor (see rel::ExecControl); an interrupted query
@@ -181,6 +194,14 @@ class XPathEngine {
 
   const MutationCounters& mutation_counters() const {
     return mutation_counters_;
+  }
+
+  // Shared (reader) side of the writer-excludes-readers mutex, for
+  // components outside the query path that must observe a quiescent store
+  // image — the durability checkpointer holds this while serializing a
+  // snapshot, so no mutation can move the tables mid-capture.
+  std::shared_lock<std::shared_mutex> ReaderLock() const {
+    return std::shared_lock<std::shared_mutex>(rw_mu_);
   }
 
  private:

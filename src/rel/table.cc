@@ -125,6 +125,105 @@ Result<RowId> Table::RewriteRow(RowId id, Row row) {
   return static_cast<RowId>(row_count_ - 1);
 }
 
+Table::Content Table::ExportContent() const {
+  Content out;
+  out.columns.reserve(cols_.size());
+  for (const ColumnData& col : cols_) {
+    Content::Column c;
+    c.dict = col.dict;
+    c.codes = col.codes;
+    out.columns.push_back(std::move(c));
+  }
+  out.row_count = row_count_;
+  out.dead_words = dead_;
+  return out;
+}
+
+Status Table::RestoreContent(Content content) {
+  auto reject = [this](const std::string& what) {
+    cols_.assign(schema_.columns.size(), ColumnData{});
+    row_count_ = 0;
+    dead_count_ = 0;
+    dead_.clear();
+    for (size_t i = 0; i < indexes_.size(); ++i) {
+      indexes_[i] = std::make_unique<BTree>();
+    }
+    ++version_;
+    return Status::InvalidArgument("table " + schema_.name + ": " + what);
+  };
+  if (content.columns.size() != schema_.columns.size()) {
+    return reject("snapshot has " + std::to_string(content.columns.size()) +
+                  " columns, schema has " +
+                  std::to_string(schema_.columns.size()));
+  }
+  const size_t rows = static_cast<size_t>(content.row_count);
+  for (size_t c = 0; c < content.columns.size(); ++c) {
+    const Content::Column& col = content.columns[c];
+    if (col.codes.size() != rows) {
+      return reject("column " + schema_.columns[c].name + " has " +
+                    std::to_string(col.codes.size()) + " codes for " +
+                    std::to_string(rows) + " rows");
+    }
+    for (uint32_t code : col.codes) {
+      if (code >= col.dict.size()) {
+        return reject("column " + schema_.columns[c].name +
+                      " code out of dictionary range");
+      }
+    }
+    const ValueType want = schema_.columns[c].type;
+    for (const Value& v : col.dict) {
+      if (v.type() != want && v.type() != ValueType::kNull) {
+        return reject("column " + schema_.columns[c].name +
+                      " dictionary value of type " + ValueTypeName(v.type()) +
+                      ", schema says " + ValueTypeName(want));
+      }
+    }
+  }
+  if (content.dead_words.size() > (rows + 63) / 64) {
+    return reject("tombstone bitmap wider than the row count");
+  }
+  size_t dead = 0;
+  for (size_t w = 0; w < content.dead_words.size(); ++w) {
+    uint64_t word = content.dead_words[w];
+    for (int b = 0; b < 64; ++b) {
+      if (((word >> b) & 1) == 0) continue;
+      if (w * 64 + static_cast<size_t>(b) >= rows) {
+        return reject("tombstone bit beyond the row count");
+      }
+      ++dead;
+    }
+  }
+
+  cols_.assign(schema_.columns.size(), ColumnData{});
+  for (size_t c = 0; c < content.columns.size(); ++c) {
+    ColumnData& col = cols_[c];
+    col.dict = std::move(content.columns[c].dict);
+    col.codes = std::move(content.columns[c].codes);
+    for (uint32_t i = 0; i < col.dict.size(); ++i) {
+      col.intern.try_emplace(col.dict[i], i);
+    }
+  }
+  row_count_ = rows;
+  dead_ = std::move(content.dead_words);
+  dead_count_ = dead;
+  for (size_t i = 0; i < schema_.indexes.size(); ++i) {
+    auto rebuilt = std::make_unique<BTree>();
+    const bool unique = schema_.indexes[i].unique;
+    for (RowId id = 0; id < static_cast<RowId>(row_count_); ++id) {
+      if (row_dead(id)) continue;
+      std::string key = IndexKeyOfRow(i, id);
+      if (unique && !rebuilt->Lookup(key).empty()) {
+        return reject("duplicate key in unique index " +
+                      schema_.indexes[i].name);
+      }
+      rebuilt->Insert(std::move(key), id);
+    }
+    indexes_[i] = std::move(rebuilt);
+  }
+  ++version_;
+  return Status::Ok();
+}
+
 const BTree* Table::FindIndexWithPrefix(const std::vector<int>& columns,
                                         const IndexDef** def) const {
   for (size_t i = 0; i < schema_.indexes.size(); ++i) {

@@ -98,6 +98,30 @@ class Table {
   // not RowIds, so the moved row is found again transparently.
   Result<RowId> RewriteRow(RowId id, Row row);
 
+  // Wholesale physical content of one table — what a durability snapshot
+  // serializes. Dead rows are carried verbatim (RowIds are positions, and
+  // the DML layer's origin maps reference them), so a restored table is
+  // bit-identical to the one snapshotted, tombstones included.
+  struct Content {
+    struct Column {
+      std::vector<Value> dict;
+      std::vector<uint32_t> codes;  // one per physical row
+    };
+    std::vector<Column> columns;  // parallel to the schema's column list
+    uint64_t row_count = 0;
+    std::vector<uint64_t> dead_words;  // tombstone bitmap, 64 rows per word
+  };
+  Content ExportContent() const;
+
+  // Replaces this table's physical content with `content` (snapshot
+  // restore). The schema is untouched; intern maps and every B-tree index
+  // are rebuilt from the restored live rows. Validates shape thoroughly —
+  // column count, code bounds, value types against the schema, bitmap
+  // width, unique-index integrity — and returns InvalidArgument on any
+  // mismatch so a corrupt snapshot can never install undefined state.
+  // On error the table is left empty (the caller discards the store).
+  Status RestoreContent(Content content);
+
   // Cell access. The returned reference points into the column dictionary
   // and stays valid until the next Insert (tables are load-once before
   // queries run, so executions never race an append).

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "durability/manager.h"
+
 namespace xprel::service {
 
 namespace {
@@ -397,6 +399,39 @@ std::string QueryService::RenderPrometheus() const {
          std::to_string(pool_.tasks_run()) + "\n";
   out += "xprel_pool_tasks_run_total{lane=\"helper\"} " +
          std::to_string(pool_.helper_tasks_run()) + "\n";
+  if (const durability::DurabilityManager* d = durability()) {
+    const durability::DurabilityStats& s = d->stats();
+    auto counter = [&out](const char* name, uint64_t v) {
+      out += "# TYPE ";
+      out += name;
+      out += " counter\n";
+      out += name;
+      out += ' ';
+      out += std::to_string(v);
+      out += '\n';
+    };
+    counter("xprel_wal_records_total",
+            s.wal_records.load(std::memory_order_relaxed));
+    counter("xprel_wal_bytes_total",
+            s.wal_bytes.load(std::memory_order_relaxed));
+    counter("xprel_wal_aborts_total",
+            s.wal_aborts.load(std::memory_order_relaxed));
+    counter("xprel_wal_append_failures_total",
+            s.wal_append_failures.load(std::memory_order_relaxed));
+    counter("xprel_checkpoints_total",
+            s.checkpoints.load(std::memory_order_relaxed));
+    counter("xprel_checkpoint_failures_total",
+            s.checkpoint_failures.load(std::memory_order_relaxed));
+    counter("xprel_recovery_replayed_total",
+            s.recovery_replayed.load(std::memory_order_relaxed));
+    counter("xprel_recovery_corrupt_snapshots_total",
+            s.recovery_corrupt_snapshots.load(std::memory_order_relaxed));
+    counter("xprel_recovery_reshred_fallbacks_total",
+            s.recovery_reshred_fallbacks.load(std::memory_order_relaxed));
+    gauge("xprel_snapshot_bytes",
+          s.snapshot_bytes.load(std::memory_order_relaxed));
+    gauge("xprel_applied_lsn", d->applied_lsn());
+  }
   return out;
 }
 
@@ -458,6 +493,37 @@ std::string QueryService::DumpMetrics() const {
            std::to_string(metrics_.cache_entries_invalidated.load(
                std::memory_order_relaxed)) +
            "\n";
+  }
+  if (const durability::DurabilityManager* d = durability()) {
+    const durability::DurabilityStats& s = d->stats();
+    out += "durability: wal_records=" +
+           std::to_string(s.wal_records.load(std::memory_order_relaxed)) +
+           " wal_bytes=" +
+           std::to_string(s.wal_bytes.load(std::memory_order_relaxed)) +
+           " wal_aborts=" +
+           std::to_string(s.wal_aborts.load(std::memory_order_relaxed)) +
+           " append_failures=" +
+           std::to_string(
+               s.wal_append_failures.load(std::memory_order_relaxed)) +
+           " checkpoints=" +
+           std::to_string(s.checkpoints.load(std::memory_order_relaxed)) +
+           " checkpoint_failures=" +
+           std::to_string(
+               s.checkpoint_failures.load(std::memory_order_relaxed)) +
+           " snapshot_bytes=" +
+           std::to_string(s.snapshot_bytes.load(std::memory_order_relaxed)) +
+           " applied_lsn=" + std::to_string(d->applied_lsn()) + "\n";
+    if (const durability::RecoveryReport* r = d->recovery_report()) {
+      out += "recovery: used_snapshot=" +
+             std::to_string(r->used_snapshot ? 1 : 0) +
+             " reshred_fallback=" +
+             std::to_string(r->reshred_fallback ? 1 : 0) +
+             " replayed=" + std::to_string(r->replayed) +
+             " skipped_aborted=" + std::to_string(r->skipped_aborted) +
+             " corrupt_snapshots=" + std::to_string(r->corrupt_snapshots) +
+             " torn_segments=" + std::to_string(r->torn_segments) +
+             " recovered_lsn=" + std::to_string(r->recovered_lsn) + "\n";
+    }
   }
   return out;
 }

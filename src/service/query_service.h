@@ -19,6 +19,10 @@
 #include "service/result_cache.h"
 #include "service/thread_pool.h"
 
+namespace xprel::durability {
+class DurabilityManager;
+}  // namespace xprel::durability
+
 namespace xprel::service {
 
 // Tuning knobs for one QueryService.
@@ -149,6 +153,18 @@ class QueryService {
   // Dropped-entry counts land in metrics().cache_entries_invalidated.
   void InvalidateMutation(const engine::AffectedPaths& affected);
 
+  // Attach a durability manager whose WAL/checkpoint/recovery counters
+  // should ride along in DumpMetrics() and RenderPrometheus(). Not owned;
+  // null detaches. The manager must outlive the service (or be detached
+  // before it dies); typical wiring attaches the manager returned by
+  // durability::OpenOrRecover right after constructing the service.
+  void AttachDurability(const durability::DurabilityManager* manager) {
+    durability_.store(manager, std::memory_order_release);
+  }
+  const durability::DurabilityManager* durability() const {
+    return durability_.load(std::memory_order_acquire);
+  }
+
   const MetricsRegistry& metrics() const { return metrics_; }
   const ResultCache& result_cache() const { return cache_; }
   // Service-wide memory accounting (per-query budgets chain to it).
@@ -192,6 +208,7 @@ class QueryService {
   MemoryBudget memory_;  // declared before cache_: the cache charges it
   ResultCache cache_;
   std::atomic<uint64_t> cache_generation_{0};
+  std::atomic<const durability::DurabilityManager*> durability_{nullptr};
   std::atomic<uint64_t> next_trace_id_{1};
   mutable std::mutex trace_mu_;
   std::deque<TraceRecord> recent_traces_;  // bounded by trace_ring_capacity

@@ -81,6 +81,19 @@ class EdgeStore {
 
   size_t live_paths() const { return paths_->live_paths(); }
 
+  // --- Snapshot support (used by the durability layer); see the
+  // SchemaAwareStore counterpart for the contract. ---
+
+  struct LoaderState {
+    int64_t next_doc_id = 1;
+    int64_t next_element_id = 1;
+    std::vector<ElementOrigin> origins;  // index = element id - 1
+    std::vector<std::pair<std::pair<int64_t, xml::NodeId>, int64_t>> node_ids;
+    std::vector<PathsRegistry::PathState> paths;
+  };
+  LoaderState ExportLoaderState() const;
+  Status RestoreLoaderState(LoaderState state);
+
  private:
   EdgeStore() = default;
 

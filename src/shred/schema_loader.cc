@@ -311,6 +311,39 @@ size_t SchemaAwareStore::CompactIfNeeded() {
   return compacted;
 }
 
+SchemaAwareStore::LoaderState SchemaAwareStore::ExportLoaderState() const {
+  LoaderState state;
+  state.next_doc_id = next_doc_id_;
+  state.next_element_id = next_element_id_;
+  state.origins = origins_;
+  state.node_ids.assign(node_to_id_.begin(), node_to_id_.end());
+  state.paths = paths_->ExportState();
+  return state;
+}
+
+Status SchemaAwareStore::RestoreLoaderState(LoaderState state) {
+  if (state.next_element_id < 1 || state.next_doc_id < 1 ||
+      state.origins.size() !=
+          static_cast<size_t>(state.next_element_id - 1)) {
+    return Status::InvalidArgument(
+        "schema store restore: origin count disagrees with the element id "
+        "counter");
+  }
+  for (const auto& [key, eid] : state.node_ids) {
+    if (eid < 1 || eid >= state.next_element_id || key.second < 1) {
+      return Status::InvalidArgument(
+          "schema store restore: node-id entry out of range");
+    }
+  }
+  XPREL_RETURN_IF_ERROR(paths_->RestoreState(state.paths));
+  next_doc_id_ = state.next_doc_id;
+  next_element_id_ = state.next_element_id;
+  origins_ = std::move(state.origins);
+  node_to_id_.clear();
+  node_to_id_.insert(state.node_ids.begin(), state.node_ids.end());
+  return Status::Ok();
+}
+
 const SchemaAwareStore::ElementOrigin* SchemaAwareStore::FindOrigin(
     int64_t element_id) const {
   if (element_id < 1 ||

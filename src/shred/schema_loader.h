@@ -62,6 +62,24 @@ class SchemaAwareStore {
 
   size_t live_paths() const { return paths_->live_paths(); }
 
+  // --- Snapshot support (used by the durability layer). Table contents
+  // travel separately (rel::Table::ExportContent per table of db()); this
+  // covers the loader bookkeeping that is not derivable from the tables. ---
+
+  struct LoaderState {
+    int64_t next_doc_id = 1;
+    int64_t next_element_id = 1;
+    std::vector<ElementOrigin> origins;  // index = element id - 1
+    // Live (doc_id, node) -> element id entries (deleted elements absent).
+    std::vector<std::pair<std::pair<int64_t, xml::NodeId>, int64_t>> node_ids;
+    std::vector<PathsRegistry::PathState> paths;
+  };
+  LoaderState ExportLoaderState() const;
+  // Installs `state` after the tables were restored; validates internal
+  // consistency (origin count vs id counter, ids in range, paths registry
+  // vs the Paths table) and returns InvalidArgument on a corrupt snapshot.
+  Status RestoreLoaderState(LoaderState state);
+
  private:
   SchemaAwareStore() = default;
 

@@ -190,4 +190,54 @@ Status PathsRegistry::Release(int64_t id, bool* retired) {
   return Status::Ok();
 }
 
+std::vector<PathsRegistry::PathState> PathsRegistry::ExportState() const {
+  std::vector<PathState> out;
+  out.reserve(cache_.size());
+  for (const auto& [path, e] : cache_) {
+    out.push_back({path, e.id, e.row, e.refs});
+  }
+  return out;
+}
+
+Status PathsRegistry::RestoreState(const std::vector<PathState>& entries) {
+  std::map<std::string, Entry> cache;
+  std::map<int64_t, std::string> by_id;
+  for (const PathState& p : entries) {
+    if (p.refs <= 0) {
+      return Status::InvalidArgument("paths restore: non-positive refcount");
+    }
+    if (static_cast<size_t>(p.row) >= table_->row_count() ||
+        table_->row_dead(p.row)) {
+      return Status::InvalidArgument("paths restore: entry row " +
+                                     std::to_string(p.row) +
+                                     " is not a live Paths row");
+    }
+    if (table_->at(p.row, 0).type() != rel::ValueType::kInt64 ||
+        table_->at(p.row, 0).AsInt() != p.id ||
+        table_->at(p.row, 1).type() != rel::ValueType::kString ||
+        table_->at(p.row, 1).AsString() != p.path) {
+      return Status::InvalidArgument(
+          "paths restore: entry disagrees with its Paths row");
+    }
+    if (!cache.emplace(p.path, Entry{p.id, p.row, p.refs}).second ||
+        !by_id.emplace(p.id, p.path).second) {
+      return Status::InvalidArgument("paths restore: duplicate path or id");
+    }
+  }
+  // Every live Paths row must be claimed by exactly one entry, or future
+  // Intern() calls could hand out an id the table already holds.
+  size_t live = 0;
+  for (rel::RowId r = 0; r < static_cast<rel::RowId>(table_->row_count());
+       ++r) {
+    if (!table_->row_dead(r)) ++live;
+  }
+  if (live != cache.size()) {
+    return Status::InvalidArgument(
+        "paths restore: entry count disagrees with live Paths rows");
+  }
+  cache_ = std::move(cache);
+  by_id_ = std::move(by_id);
+  return Status::Ok();
+}
+
 }  // namespace xprel::shred

@@ -107,6 +107,24 @@ class PathsRegistry {
 
   size_t live_paths() const { return by_id_.size(); }
 
+  // --- Snapshot support (used by the durability layer) ---
+
+  // One live path with its refcount — what a snapshot serializes per entry.
+  struct PathState {
+    std::string path;
+    int64_t id = 0;
+    rel::RowId row = 0;
+    int64_t refs = 0;
+  };
+  std::vector<PathState> ExportState() const;
+
+  // Replaces the in-memory cache with `entries`, cross-checking every one
+  // against the (already restored) Paths table: the row must be live and
+  // hold exactly this id and path, refs must be positive, and ids/paths
+  // must not repeat. InvalidArgument on any mismatch — a corrupt snapshot
+  // must not desynchronize the registry from its table.
+  Status RestoreState(const std::vector<PathState>& entries);
+
  private:
   struct Entry {
     int64_t id = 0;

@@ -196,6 +196,58 @@ void Document::RefreshOrderRanks() {
   }
 }
 
+Result<Document> Document::FromRawNodes(std::vector<Node> nodes) {
+  const NodeId size = static_cast<NodeId>(nodes.size());
+  for (NodeId id = 1; id <= size; ++id) {
+    const Node& n = nodes[static_cast<size_t>(id - 1)];
+    if (n.kind != NodeKind::kElement && n.kind != NodeKind::kText) {
+      return Status::InvalidArgument("document restore: node " +
+                                     std::to_string(id) +
+                                     " has an invalid kind");
+    }
+    if (n.parent < 0 || n.parent > size || n.parent == id) {
+      return Status::InvalidArgument("document restore: node " +
+                                     std::to_string(id) +
+                                     " has an out-of-range parent");
+    }
+    for (NodeId c : n.children) {
+      if (c < 1 || c > size) {
+        return Status::InvalidArgument("document restore: node " +
+                                       std::to_string(id) +
+                                       " has an out-of-range child");
+      }
+      if (nodes[static_cast<size_t>(c - 1)].parent != id) {
+        return Status::InvalidArgument(
+            "document restore: child link of node " + std::to_string(id) +
+            " disagrees with the child's parent pointer");
+      }
+    }
+  }
+  // The live tree reachable from the root must be acyclic: a child-link
+  // cycle would hang every preorder walk (RefreshOrderRanks, serialization).
+  if (size > 0) {
+    std::vector<bool> seen(static_cast<size_t>(size), false);
+    std::vector<NodeId> stack{1};
+    while (!stack.empty()) {
+      NodeId cur = stack.back();
+      stack.pop_back();
+      if (seen[static_cast<size_t>(cur - 1)]) {
+        return Status::InvalidArgument(
+            "document restore: child links form a cycle at node " +
+            std::to_string(cur));
+      }
+      seen[static_cast<size_t>(cur - 1)] = true;
+      for (NodeId c : nodes[static_cast<size_t>(cur - 1)].children) {
+        stack.push_back(c);
+      }
+    }
+  }
+  Document doc;
+  doc.nodes_ = std::move(nodes);
+  doc.RefreshOrderRanks();
+  return doc;
+}
+
 void Builder::Fail(const char* what) {
   if (error_.ok()) {
     error_ = Status::ParseError(std::string("xml builder: ") + what);

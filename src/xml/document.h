@@ -128,6 +128,21 @@ class Document {
   // Recomputes OrderRank() by a preorder walk over the live tree.
   void RefreshOrderRanks();
 
+  // --- Snapshot support (used by the durability layer) ---
+
+  // The raw node array verbatim, dead nodes included. Ids are positions
+  // (id = index + 1), so a durability snapshot that carries this array
+  // preserves the exact id assignment — the property that lets WAL records,
+  // which name nodes by id, replay against a restored document.
+  const std::vector<Node>& raw_nodes() const { return nodes_; }
+
+  // Rebuilds a document from a raw node array (the inverse of
+  // raw_nodes()). Validates the structure — parent/child ids in range,
+  // child links consistent with parent pointers, the live tree acyclic —
+  // and returns InvalidArgument on any violation, so a corrupt snapshot
+  // can never install a tree that later walks out of bounds or loops.
+  static Result<Document> FromRawNodes(std::vector<Node> nodes);
+
  private:
   friend class Builder;
   std::vector<Node> nodes_;

@@ -1,0 +1,815 @@
+// Durability subsystem tests: WAL and snapshot round trips, checkpointed
+// recovery, the deterministic crash-recovery sweep (every wal./snap. fault
+// point plus byte-granular torn-tail truncation — the recovered engine must
+// be indistinguishable from the dml_oracle reshred oracle on every
+// backend), the abort-marker protocol, and checkpoint-vs-mutator-vs-reader
+// concurrency (this binary is part of the TSAN suite).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "data/rng.h"
+#include "data/xmark.h"
+#include "dml/mutator.h"
+#include "durability/manager.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "engine/engine.h"
+#include "shred/schema_map.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xsd/xsd_parser.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define XPREL_TSAN_BUILD 1
+#endif
+#endif
+
+namespace xprel {
+namespace {
+
+using dml::DocumentMutator;
+using durability::DurabilityManager;
+using durability::DurabilityOptions;
+using durability::OpenOrRecover;
+using durability::RecoveredEngine;
+using engine::Backend;
+using engine::XPathEngine;
+
+namespace fs = std::filesystem;
+
+#ifdef XPREL_TSAN_BUILD
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+
+// --- oracle scaffolding (the dml_oracle_test methodology) ---
+
+struct Corpus {
+  xml::Document doc;
+  xsd::Schema schema;
+  std::unique_ptr<xsd::SchemaGraph> graph;
+  std::unique_ptr<XPathEngine> engine;
+};
+
+std::unique_ptr<Corpus> MakeCorpus(xml::Document doc) {
+  auto c = std::make_unique<Corpus>();
+  c->doc = std::move(doc);
+  auto schema = xsd::ParseXsd(data::XMarkXsd());
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  if (!schema.ok()) return nullptr;
+  c->schema = std::move(schema).value();
+  auto graph = xsd::SchemaGraph::Build(c->schema);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  if (!graph.ok()) return nullptr;
+  c->graph = std::make_unique<xsd::SchemaGraph>(std::move(graph).value());
+  auto eng = XPathEngine::Build(c->doc, *c->graph);
+  EXPECT_TRUE(eng.ok()) << eng.status().ToString();
+  if (!eng.ok()) return nullptr;
+  c->engine = std::move(eng).value();
+  return c;
+}
+
+// Serialized live subtree of each result node, sorted — a node-id-free
+// fingerprint comparable between independently shredded engines.
+std::vector<std::string> Shapes(const xml::Document& doc,
+                                const std::vector<xml::NodeId>& nodes) {
+  struct Ser {
+    const xml::Document& d;
+    void Node(xml::NodeId n, std::string& s) const {
+      const xml::Node& node = d.node(n);
+      if (node.kind == xml::NodeKind::kText) {
+        s += xml::EscapeXml(node.text);
+        return;
+      }
+      s += '<';
+      s += node.name;
+      for (const xml::Attribute& a : node.attributes) {
+        s += ' ';
+        s += a.name;
+        s += "=\"";
+        s += xml::EscapeXml(a.value);
+        s += '"';
+      }
+      s += '>';
+      for (xml::NodeId c : node.children) Node(c, s);
+      s += "</";
+      s += node.name;
+      s += '>';
+    }
+  };
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (xml::NodeId id : nodes) {
+    std::string frag;
+    Ser{doc}.Node(id, frag);
+    out.push_back(std::move(frag));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::multiset<std::string> LivePathSet(const rel::Database& db) {
+  std::multiset<std::string> out;
+  const rel::Table* paths = db.FindTable(shred::kPathsTable);
+  if (paths == nullptr) return out;
+  for (rel::RowId r = 0; r < static_cast<rel::RowId>(paths->row_count());
+       ++r) {
+    if (paths->row_dead(r)) continue;
+    out.insert(paths->at(r, 1).AsString());
+  }
+  return out;
+}
+
+const char* kRegions[] = {"africa", "asia",     "australia",
+                          "europe", "namerica", "samerica"};
+
+const char* kQueries[] = {
+    "//item",
+    "//item/name",
+    "//keyword",
+    "/site/regions/africa/item",
+    "/site/regions/samerica/item/location",
+    "//item[incategory/@category = 'category0']/name",
+    "//description//keyword",
+    "/site/people/person/name",
+};
+
+const Backend kBackends[] = {Backend::kPpf, Backend::kEdgePpf,
+                             Backend::kAccelerator, Backend::kStaircase,
+                             Backend::kNaive};
+
+std::string ItemFragment(int id, bool keyword, int incategories) {
+  std::string s = "<item id=\"dur" + std::to_string(id) + "\">";
+  s += "<location>Honduras</location><quantity>2</quantity>";
+  s += "<name>durable item " + std::to_string(id) + "</name>";
+  s += "<payment>Cash</payment><description><text>generated ";
+  if (keyword) s += "<keyword>durkw</keyword> ";
+  s += "payload</text></description>";
+  s += "<shipping>Will ship only within country</shipping>";
+  for (int i = 0; i < incategories; ++i) {
+    s += "<incategory category=\"category0\"/>";
+  }
+  s += "</item>";
+  return s;
+}
+
+// The recovered engine must be bit-identical to the oracle: same shapes for
+// every query on every backend, same live Paths multiset on both stores.
+void ExpectMatchesOracle(const xml::Document& got_doc, const XPathEngine& got,
+                         const xml::Document& want_doc,
+                         const XPathEngine& want, size_t nqueries) {
+  EXPECT_EQ(LivePathSet(got.ppf_store()->db()),
+            LivePathSet(want.ppf_store()->db()))
+      << "schema-aware Paths diverged from oracle";
+  EXPECT_EQ(LivePathSet(got.edge_store()->db()),
+            LivePathSet(want.edge_store()->db()))
+      << "Edge Paths diverged from oracle";
+  EXPECT_EQ(got.ppf_store()->live_paths(), want.ppf_store()->live_paths());
+  nqueries = std::min(nqueries, std::size(kQueries));
+  for (size_t qi = 0; qi < nqueries; ++qi) {
+    const char* q = kQueries[qi];
+    auto want_out = want.Run(Backend::kPpf, q);
+    ASSERT_TRUE(want_out.ok()) << q << ": " << want_out.status().ToString();
+    auto expected = Shapes(want_doc, want_out.value().nodes);
+    for (Backend b : kBackends) {
+      auto out = got.Run(b, q);
+      ASSERT_TRUE(out.ok())
+          << q << " on " << BackendName(b) << ": " << out.status().ToString();
+      EXPECT_EQ(Shapes(got_doc, out.value().nodes), expected)
+          << q << " on " << BackendName(b) << " diverges from oracle";
+    }
+  }
+}
+
+// --- recorded mutation scripts ---
+
+struct Op {
+  enum Kind { kInsert, kDelete, kUpdate };
+  Kind kind;
+  xml::NodeId target = xml::kNoNode;
+  size_t index = 0;
+  std::string payload;
+};
+
+xml::NodeId FirstResult(const XPathEngine& eng, const std::string& q) {
+  auto r = eng.Run(Backend::kPpf, q);
+  if (!r.ok() || r.value().nodes.empty()) return xml::kNoNode;
+  return r.value().nodes.front();
+}
+
+// Runs `n` random mutations through the durable manager (the
+// dml_oracle_test distribution: half inserts, then deletes, then text
+// updates) and records the ops the manager acknowledged. Ops whose target
+// resolution finds nothing are skipped entirely; ops the manager rejects
+// (injected faults) are attempted but not recorded — recovery must not
+// resurrect them.
+void RunDurableScript(DurabilityManager& mgr, const XPathEngine& eng,
+                      int n, uint64_t seed, std::vector<Op>* committed,
+                      std::vector<uint64_t>* tail_offsets = nullptr) {
+  data::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t dice = rng.Below(10);
+    Op op;
+    Result<dml::MutationResult> r = Status::Internal("unset");
+    if (dice < 5) {
+      const char* region = kRegions[rng.Below(6)];
+      op.kind = Op::kInsert;
+      op.target = FirstResult(eng, std::string("/site/regions/") + region);
+      op.index = static_cast<size_t>(rng.Below(4));
+      op.payload = ItemFragment(i, rng.Below(2) == 0,
+                                static_cast<int>(rng.Below(3)));
+      if (op.target == xml::kNoNode) continue;
+      r = mgr.InsertFragment(op.target, op.index, op.payload);
+    } else if (dice < 8) {
+      const char* region = kRegions[rng.Below(6)];
+      op.kind = Op::kDelete;
+      op.target =
+          FirstResult(eng, std::string("/site/regions/") + region + "/item");
+      if (op.target == xml::kNoNode) continue;  // region out of items
+      r = mgr.DeleteSubtree(op.target);
+    } else {
+      op.kind = Op::kUpdate;
+      op.target = FirstResult(eng, "//item/name");
+      op.payload = "updated name " + std::to_string(i);
+      if (op.target == xml::kNoNode) continue;
+      r = mgr.UpdateText(op.target, op.payload);
+    }
+    if (r.ok()) {
+      committed->push_back(std::move(op));
+      if (tail_offsets != nullptr) {
+        tail_offsets->push_back(mgr.wal_tail_offset());
+      }
+    }
+  }
+}
+
+// Applies a committed-op prefix to the oracle. Node ids are stable across
+// identically parsed documents, so recorded targets resolve unchanged.
+void ApplyOps(DocumentMutator& mut, const std::vector<Op>& ops, size_t from,
+              size_t to) {
+  for (size_t i = from; i < to; ++i) {
+    const Op& op = ops[i];
+    Result<dml::MutationResult> r = Status::Internal("unset");
+    switch (op.kind) {
+      case Op::kInsert:
+        r = mut.InsertFragment(op.target, op.index, op.payload);
+        break;
+      case Op::kDelete:
+        r = mut.DeleteSubtree(op.target);
+        break;
+      case Op::kUpdate:
+        r = mut.UpdateText(op.target, op.payload);
+        break;
+    }
+    ASSERT_TRUE(r.ok()) << "oracle apply " << i << ": "
+                        << r.status().ToString();
+  }
+}
+
+std::string FreshDir(const std::string& name) {
+  fs::path p = fs::path(::testing::TempDir()) / ("xprel_durability_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFile(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// The canonical pristine input: serialize-then-parse makes the in-memory
+// document the exact fixed point of SerializeXml, so the manager's
+// source.xml fallback reshreds to identical node ids.
+std::string PristineXml(double scale = 0.004) {
+  data::XMarkOptions opt;
+  opt.scale = scale;
+  return xml::SerializeXml(data::GenerateXMark(opt));
+}
+
+// --- unit round trips ---
+
+TEST(WalTest, RoundTripsRecordsAndDetectsTornTail) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  const std::string path = dir + "/seg.wal";
+  {
+    auto w = durability::WalWriter::Create(path, 7, /*fsync_each=*/false);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    durability::WalRecord ins;
+    ins.lsn = 7;
+    ins.type = durability::WalRecordType::kInsertFragment;
+    ins.target = 42;
+    ins.child_index = 3;
+    ins.payload = "<item/>";
+    ASSERT_TRUE(w.value()->Append(ins).ok());
+    durability::WalRecord del;
+    del.lsn = 8;
+    del.type = durability::WalRecordType::kDeleteSubtree;
+    del.target = 99;
+    ASSERT_TRUE(w.value()->Append(del).ok());
+    durability::WalRecord abort;
+    abort.lsn = 9;
+    abort.type = durability::WalRecordType::kAbort;
+    abort.aborted_lsn = 8;
+    ASSERT_TRUE(w.value()->Append(abort).ok());
+  }
+  auto seg = durability::ReadWalSegment(path);
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  EXPECT_EQ(seg.value().first_lsn, 7u);
+  EXPECT_FALSE(seg.value().torn);
+  ASSERT_EQ(seg.value().records.size(), 3u);
+  EXPECT_EQ(seg.value().records[0].payload, "<item/>");
+  EXPECT_EQ(seg.value().records[0].child_index, 3u);
+  EXPECT_EQ(seg.value().records[1].target, 99);
+  EXPECT_EQ(seg.value().records[2].aborted_lsn, 8u);
+
+  // Chop one byte off the tail: the last record is torn, the prefix stays.
+  std::string bytes = ReadFile(path);
+  WriteFile(path, std::string_view(bytes).substr(0, bytes.size() - 1));
+  auto torn = durability::ReadWalSegment(path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE(torn.value().torn);
+  EXPECT_EQ(torn.value().records.size(), 2u);
+
+  // Flip a payload byte in the middle: everything from that record on is
+  // gone, everything before survives.
+  bytes[durability::kWalHeaderSize + 12] ^= 0x40;
+  WriteFile(path, bytes);
+  auto flipped = durability::ReadWalSegment(path);
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_TRUE(flipped.value().torn);
+  EXPECT_EQ(flipped.value().records.size(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotTest, RoundTripRestoresMutatedEngine) {
+  auto live = MakeCorpus(xml::ParseXml(PristineXml()).value());
+  ASSERT_NE(live, nullptr);
+  DocumentMutator mut(live->doc, *live->engine);
+  ASSERT_TRUE(mut.InsertFragmentAt("/site/regions/africa", 0,
+                                   ItemFragment(1, true, 2))
+                  .ok());
+  ASSERT_TRUE(mut.DeleteSubtreeAt("/site/regions/asia/item").ok());
+  ASSERT_TRUE(mut.UpdateTextAt("//item/name", "snapped").ok());
+
+  const std::string dir = FreshDir("snap_roundtrip");
+  const std::string path = dir + "/state.snap";
+  durability::SnapshotMeta meta;
+  meta.applied_lsn = 3;
+  meta.next_lsn = 4;
+  ASSERT_TRUE(durability::WriteSnapshotFile(path, live->doc,
+                                            live->engine->ppf_store(),
+                                            live->engine->edge_store(), meta)
+                  .ok());
+
+  auto restored = durability::ReadSnapshotFile(path, *live->graph);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().meta.applied_lsn, 3u);
+  EXPECT_EQ(restored.value().meta.next_lsn, 4u);
+  auto rebuilt = XPathEngine::BuildFromStores(
+      *restored.value().doc, *live->graph, std::move(restored.value().ppf),
+      std::move(restored.value().edge));
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  ExpectMatchesOracle(*restored.value().doc, *rebuilt.value(), live->doc,
+                      *live->engine, std::size(kQueries));
+
+  // A flipped byte inside a section must be a clean InvalidArgument.
+  std::string bytes = ReadFile(path);
+  bytes[bytes.size() / 2] ^= 0x01;
+  WriteFile(path, bytes);
+  auto corrupt = durability::ReadSnapshotFile(path, *live->graph);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kInvalidArgument);
+  fs::remove_all(dir);
+}
+
+TEST(DurabilityManagerTest, CreateRefusesDirectoryWithExistingState) {
+  auto live = MakeCorpus(xml::ParseXml(PristineXml()).value());
+  ASSERT_NE(live, nullptr);
+  const std::string dir = FreshDir("create_refuses");
+  auto first =
+      DurabilityManager::Create(dir, live->doc, *live->engine, {});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second =
+      DurabilityManager::Create(dir, live->doc, *live->engine, {});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+  fs::remove_all(dir);
+}
+
+// --- checkpointed recovery against the oracle ---
+
+TEST(DurabilityRecoveryTest, CheckpointedRecoveryMatchesOracle) {
+  const std::string xml_src = PristineXml();
+  const std::string dir = FreshDir("checkpointed");
+  const int n = kTsan ? 10 : 25;
+
+  std::vector<Op> committed;
+  {
+    auto live = MakeCorpus(xml::ParseXml(xml_src).value());
+    ASSERT_NE(live, nullptr);
+    DurabilityOptions opts;
+    opts.fsync_wal = false;
+    opts.checkpoint_wal_bytes = 2048;  // several checkpoints mid-sequence
+    auto mgr =
+        DurabilityManager::Create(dir, live->doc, *live->engine, opts);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    RunDurableScript(**mgr, *live->engine, n, 0xD31, &committed);
+    ASSERT_GE(committed.size(), 5u);
+    EXPECT_GE(mgr.value()->stats().checkpoints.load(), 1u);
+  }  // simulated crash: no clean shutdown beyond closing fds
+
+  auto live2 = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(live2, nullptr);
+  auto recovered = OpenOrRecover(dir, *live2->graph);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered.value().report.used_snapshot);
+  EXPECT_FALSE(recovered.value().report.reshred_fallback);
+  EXPECT_NE(recovered.value().report.trace.find("recover.replay"),
+            std::string::npos);
+
+  auto oracle = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(oracle, nullptr);
+  DocumentMutator omut(oracle->doc, *oracle->engine);
+  ApplyOps(omut, committed, 0, committed.size());
+  ExpectMatchesOracle(*recovered.value().doc, *recovered.value().engine,
+                      oracle->doc, *oracle->engine, kTsan ? 4 : 8);
+
+  // Keep mutating through the recovered manager and recover again: the
+  // rotated segments and the second-generation snapshot must stay
+  // contiguous.
+  std::vector<Op> more;
+  RunDurableScript(*recovered.value().manager, *recovered.value().engine,
+                   kTsan ? 4 : 8, 0xBEEF, &more);
+  ASSERT_GE(more.size(), 1u);
+  ASSERT_TRUE(recovered.value().manager->Checkpoint().ok());
+  recovered.value().manager.reset();  // close the WAL before reopening
+
+  auto recovered2 = OpenOrRecover(dir, *live2->graph);
+  ASSERT_TRUE(recovered2.ok()) << recovered2.status().ToString();
+  ApplyOps(omut, more, 0, more.size());
+  ExpectMatchesOracle(*recovered2.value().doc, *recovered2.value().engine,
+                      oracle->doc, *oracle->engine, kTsan ? 4 : 8);
+}
+
+TEST(DurabilityRecoveryTest, DegradesToReshredWhenEverySnapshotCorrupt) {
+  const std::string xml_src = PristineXml();
+  const std::string dir = FreshDir("reshred");
+  const int n = kTsan ? 8 : 15;
+
+  std::vector<Op> committed;
+  {
+    auto live = MakeCorpus(xml::ParseXml(xml_src).value());
+    ASSERT_NE(live, nullptr);
+    DurabilityOptions opts;
+    opts.checkpoint_wal_bytes = 2048;
+    auto mgr =
+        DurabilityManager::Create(dir, live->doc, *live->engine, opts);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    RunDurableScript(**mgr, *live->engine, n, 0xD31, &committed);
+    EXPECT_GE(mgr.value()->stats().checkpoints.load(), 1u);
+  }
+
+  // Flip a byte in the middle of every snapshot: recovery must fall back
+  // to reshredding source.xml and replaying the whole log — losslessly,
+  // because history is retained.
+  int corrupted = 0;
+  for (const auto& ent : fs::directory_iterator(dir)) {
+    if (ent.path().extension() != ".snap") continue;
+    std::string bytes = ReadFile(ent.path().string());
+    bytes[bytes.size() / 2] ^= 0x10;
+    WriteFile(ent.path().string(), bytes);
+    ++corrupted;
+  }
+  ASSERT_GE(corrupted, 1);
+
+  auto live2 = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(live2, nullptr);
+  auto recovered = OpenOrRecover(dir, *live2->graph);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered.value().report.reshred_fallback);
+  EXPECT_GE(recovered.value().report.corrupt_snapshots,
+            static_cast<uint64_t>(corrupted));
+  EXPECT_EQ(recovered.value().report.replayed, committed.size());
+  EXPECT_NE(recovered.value().report.trace.find("recover.reshred"),
+            std::string::npos);
+  EXPECT_GE(
+      recovered.value().manager->stats().recovery_reshred_fallbacks.load(),
+      1u);
+
+  auto oracle = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(oracle, nullptr);
+  DocumentMutator omut(oracle->doc, *oracle->engine);
+  ApplyOps(omut, committed, 0, committed.size());
+  ExpectMatchesOracle(*recovered.value().doc, *recovered.value().engine,
+                      oracle->doc, *oracle->engine, kTsan ? 4 : 8);
+}
+
+// --- the crash sweep, phase A: every durability fault point ---
+
+TEST(CrashSweepTest, EveryDurabilityFaultPointRecoversToOracle) {
+  if (!fault::FaultInjectionEnabled()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  const std::string xml_src = PristineXml();
+  auto& inj = fault::FaultInjector::Instance();
+
+  std::vector<std::string> points = fault::KnownPointsWithPrefix("wal.");
+  for (const std::string& p : fault::KnownPointsWithPrefix("snap.")) {
+    points.push_back(p);
+  }
+  ASSERT_EQ(points.size(), 7u);
+
+  for (const std::string& point : points) {
+    SCOPED_TRACE(point);
+    inj.DisarmAll();
+    inj.ResetCounts();
+    const std::string dir = FreshDir("sweep_" + point);
+
+    // wal.open's first crossing is manager creation; arm the second so the
+    // fault lands on a mid-run segment rotation instead. wal.append and
+    // wal.sync cross on every record; 13 puts the failure mid-sequence.
+    // snap.* points fire at the first checkpoint (or, for snap.load, at
+    // recovery).
+    uint64_t nth = 1;
+    if (point == "wal.open") nth = 2;
+    if (point == "wal.append" || point == "wal.sync") nth = 13;
+    inj.Arm(point, nth);
+
+    std::vector<Op> committed;
+    {
+      auto live = MakeCorpus(xml::ParseXml(xml_src).value());
+      ASSERT_NE(live, nullptr);
+      DurabilityOptions opts;
+      opts.fsync_wal = true;  // wal.sync must be a live crossing
+      opts.checkpoint_wal_bytes = 2048;
+      auto mgr =
+          DurabilityManager::Create(dir, live->doc, *live->engine, opts);
+      ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+      RunDurableScript(**mgr, *live->engine, 30, 0xD31, &committed);
+    }  // crash
+
+    auto fresh = MakeCorpus(xml::ParseXml(xml_src).value());
+    ASSERT_NE(fresh, nullptr);
+    auto recovered = OpenOrRecover(dir, *fresh->graph);
+    ASSERT_TRUE(recovered.ok())
+        << point << ": " << recovered.status().ToString();
+    EXPECT_GE(inj.FiredCount(point), 1u)
+        << "the sweep never exercised " << point;
+
+    auto oracle = MakeCorpus(xml::ParseXml(xml_src).value());
+    ASSERT_NE(oracle, nullptr);
+    DocumentMutator omut(oracle->doc, *oracle->engine);
+    ApplyOps(omut, committed, 0, committed.size());
+    ExpectMatchesOracle(*recovered.value().doc, *recovered.value().engine,
+                        oracle->doc, *oracle->engine, std::size(kQueries));
+    fs::remove_all(dir);
+  }
+  inj.DisarmAll();
+}
+
+// Arm the in-memory apply itself: the WAL record lands, the apply rolls
+// back, the abort marker is appended — and recovery must skip exactly that
+// record.
+TEST(CrashSweepTest, AbortMarkerKeepsFailedMutationOutOfRecovery) {
+  if (!fault::FaultInjectionEnabled()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  const std::string xml_src = PristineXml();
+  const std::string dir = FreshDir("abort_marker");
+  auto& inj = fault::FaultInjector::Instance();
+  inj.DisarmAll();
+  inj.ResetCounts();
+
+  std::vector<Op> committed;
+  {
+    auto live = MakeCorpus(xml::ParseXml(xml_src).value());
+    ASSERT_NE(live, nullptr);
+    DurabilityOptions opts;
+    opts.checkpoint_wal_bytes = 0;  // keep everything in one segment
+    auto mgr = DurabilityManager::Create(dir, live->doc, *live->engine, opts);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+
+    xml::NodeId africa = FirstResult(*live->engine, "/site/regions/africa");
+    ASSERT_NE(africa, xml::kNoNode);
+
+    inj.Arm("dml.apply", 1);
+    auto failed =
+        mgr.value()->InsertFragment(africa, 0, ItemFragment(100, true, 1));
+    ASSERT_FALSE(failed.ok());
+    inj.DisarmAll();
+    EXPECT_EQ(mgr.value()->stats().wal_aborts.load(), 1u);
+
+    auto good =
+        mgr.value()->InsertFragment(africa, 0, ItemFragment(101, false, 2));
+    ASSERT_TRUE(good.ok()) << good.status().ToString();
+    Op op;
+    op.kind = Op::kInsert;
+    op.target = africa;
+    op.index = 0;
+    op.payload = ItemFragment(101, false, 2);
+    committed.push_back(op);
+  }
+
+  auto fresh = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(fresh, nullptr);
+  auto recovered = OpenOrRecover(dir, *fresh->graph);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().report.skipped_aborted, 1u);
+  EXPECT_EQ(recovered.value().report.replayed, 1u);
+
+  auto oracle = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(oracle, nullptr);
+  DocumentMutator omut(oracle->doc, *oracle->engine);
+  ApplyOps(omut, committed, 0, committed.size());
+  ExpectMatchesOracle(*recovered.value().doc, *recovered.value().engine,
+                      oracle->doc, *oracle->engine, 4);
+  fs::remove_all(dir);
+}
+
+// --- the crash sweep, phase B: byte-granular torn tails (all builds) ---
+
+TEST(CrashSweepTest, TornTailByteSweepRecoversEveryPrefix) {
+  const std::string xml_src = PristineXml();
+  const std::string run_dir = FreshDir("torn_run");
+  const int n = kTsan ? 6 : 12;
+
+  std::vector<Op> committed;
+  std::vector<uint64_t> boundaries;  // tail offset after each committed op
+  std::string wal_bytes;
+  {
+    auto live = MakeCorpus(xml::ParseXml(xml_src).value());
+    ASSERT_NE(live, nullptr);
+    DurabilityOptions opts;
+    opts.checkpoint_wal_bytes = 0;  // single segment, no snapshots
+    auto mgr = DurabilityManager::Create(run_dir, live->doc, *live->engine,
+                                         opts);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    RunDurableScript(**mgr, *live->engine, n, 0x7A11, &committed,
+                     &boundaries);
+    // Two short text updates close the sequence so the byte-granular tail
+    // window stays small enough to sweep exhaustively.
+    xml::NodeId name = FirstResult(*live->engine, "//item/name");
+    ASSERT_NE(name, xml::kNoNode);
+    for (int i = 0; i < 2; ++i) {
+      Op op;
+      op.kind = Op::kUpdate;
+      op.target = name;
+      op.payload = "torn" + std::to_string(i);
+      auto r = mgr.value()->UpdateText(op.target, op.payload);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      committed.push_back(op);
+      boundaries.push_back(mgr.value()->wal_tail_offset());
+    }
+    wal_bytes = ReadFile(mgr.value()->wal_path());
+  }
+  const size_t m = committed.size();
+  ASSERT_GE(m, 4u);
+  ASSERT_EQ(boundaries.size(), m);
+  ASSERT_EQ(boundaries.back(), wal_bytes.size());
+
+  // Crash points: every record boundary (including "no records yet"), plus
+  // every byte offset inside the last two records.
+  std::vector<std::pair<uint64_t, size_t>> cases;  // (offset, expected ops)
+  cases.push_back({durability::kWalHeaderSize, 0});
+  for (size_t i = 0; i < m; ++i) cases.push_back({boundaries[i], i + 1});
+  const uint64_t byte_sweep_from = boundaries[m - 2];
+  const uint64_t step = kTsan ? 7 : 1;
+  for (uint64_t t = byte_sweep_from + step; t < boundaries[m - 1];
+       t += step) {
+    if (t == boundaries[m - 2]) continue;
+    // Offsets strictly inside a record recover the ops before it.
+    size_t prefix = 0;
+    while (prefix < m && boundaries[prefix] <= t) ++prefix;
+    cases.push_back({t, prefix});
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  // One oracle, advanced incrementally as the expected prefix grows.
+  auto oracle = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(oracle, nullptr);
+  DocumentMutator omut(oracle->doc, *oracle->engine);
+  size_t oracle_applied = 0;
+
+  auto graph_holder = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(graph_holder, nullptr);
+  const std::string source_xml =
+      ReadFile(DurabilityManager::SourceXmlPath(run_dir));
+
+  size_t case_index = 0;
+  for (const auto& [offset, prefix] : cases) {
+    SCOPED_TRACE("offset=" + std::to_string(offset) +
+                 " prefix=" + std::to_string(prefix));
+    ASSERT_NO_FATAL_FAILURE(ApplyOps(omut, committed, oracle_applied, prefix));
+    oracle_applied = std::max(oracle_applied, prefix);
+
+    const std::string dir =
+        FreshDir("torn_case_" + std::to_string(case_index++));
+    WriteFile(DurabilityManager::SourceXmlPath(dir), source_xml);
+    WriteFile(DurabilityManager::WalSegmentPath(dir, 1),
+              std::string_view(wal_bytes).substr(0, offset));
+
+    auto recovered = OpenOrRecover(dir, *graph_holder->graph);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().report.replayed, prefix);
+    EXPECT_TRUE(recovered.value().report.reshred_fallback);
+    if (offset != durability::kWalHeaderSize &&
+        std::find(boundaries.begin(), boundaries.end(), offset) ==
+            boundaries.end()) {
+      EXPECT_EQ(recovered.value().report.torn_segments, 1u);
+    }
+    // Bit-identical to the oracle prefix — paths exactly, plus a query
+    // sample on every backend (the full query matrix per offset would
+    // dominate the suite's runtime; boundary cases get a deeper check).
+    const bool at_boundary = std::find(boundaries.begin(), boundaries.end(),
+                                       offset) != boundaries.end() ||
+                             offset == durability::kWalHeaderSize;
+    ExpectMatchesOracle(*recovered.value().doc, *recovered.value().engine,
+                        oracle->doc, *oracle->engine,
+                        at_boundary ? (kTsan ? 4 : 8) : 2);
+    fs::remove_all(dir);
+  }
+  fs::remove_all(run_dir);
+}
+
+// --- concurrency: checkpointer vs mutator vs readers (TSAN) ---
+
+TEST(DurabilityConcurrencyTest, CheckpointerMutatorAndReadersInterleave) {
+  const std::string xml_src = PristineXml(0.003);
+  const std::string dir = FreshDir("concurrent");
+  auto live = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(live, nullptr);
+
+  DurabilityOptions opts;
+  opts.checkpoint_wal_bytes = 16384;  // several checkpoints over the run
+  opts.checkpointer_interval = std::chrono::milliseconds(5);
+  auto mgr = DurabilityManager::Create(dir, live->doc, *live->engine, opts);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  mgr.value()->StartCheckpointer();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> reader_errors{0};
+  auto reader = [&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto r = live->engine->Run(Backend::kPpf, "//item/name");
+      if (!r.ok()) reader_errors.fetch_add(1, std::memory_order_relaxed);
+      auto e = live->engine->Run(Backend::kEdgePpf, "//keyword");
+      if (!e.ok()) reader_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader), r2(reader);
+
+  std::vector<Op> committed;
+  RunDurableScript(**mgr, *live->engine, kTsan ? 10 : 20, 0xC0C0,
+                   &committed);
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  mgr.value()->StopCheckpointer();
+  EXPECT_EQ(reader_errors.load(), 0);
+  ASSERT_GE(committed.size(), 5u);
+  // Explicit final checkpoint must succeed after the background thread is
+  // gone, and the recovered image must match the oracle.
+  ASSERT_TRUE(mgr.value()->Checkpoint().ok());
+  mgr.value().reset();  // release the WAL before reopening the directory
+
+  auto fresh = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(fresh, nullptr);
+  auto recovered = OpenOrRecover(dir, *fresh->graph);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  auto oracle = MakeCorpus(xml::ParseXml(xml_src).value());
+  ASSERT_NE(oracle, nullptr);
+  DocumentMutator omut(oracle->doc, *oracle->engine);
+  ApplyOps(omut, committed, 0, committed.size());
+  ExpectMatchesOracle(*recovered.value().doc, *recovered.value().engine,
+                      oracle->doc, *oracle->engine, kTsan ? 3 : 6);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace xprel

@@ -18,6 +18,8 @@
 #include "common/fault_injection.h"
 #include "common/memory_budget.h"
 #include "data/xmark.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
 #include "engine/engine.h"
 #include "rex/regex.h"
 #include "service/query_service.h"
@@ -229,6 +231,50 @@ TEST(CorpusTest, EveryMalformedRegexLineIsRejected) {
   EXPECT_GE(seen, 5);
 }
 
+// Every malformed snapshot in the corpus — truncated header, flipped magic,
+// bad header/section CRC, future format version — must yield a clean
+// InvalidArgument from the durability reader, never UB. (Recovery treats
+// exactly this status as "snapshot gone, degrade".)
+TEST(CorpusTest, EveryMalformedSnapshotIsRejectedCleanly) {
+  xsd::Schema schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  xsd::SchemaGraph graph = xsd::SchemaGraph::Build(schema).value();
+  int seen = 0;
+  for (const auto& ent :
+       std::filesystem::directory_iterator(XPREL_CORPUS_DIR)) {
+    if (ent.path().extension() != ".snap") continue;
+    ++seen;
+    auto r = durability::ReadSnapshotFile(ent.path().string(), graph);
+    ASSERT_FALSE(r.ok()) << ent.path().filename()
+                         << " loaded but the corpus says it must not";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << ent.path().filename() << ": " << r.status().ToString();
+  }
+  EXPECT_GE(seen, 4) << "snapshot corpus looks incomplete: "
+                     << XPREL_CORPUS_DIR;
+}
+
+// Malformed WAL segments either fail with a clean InvalidArgument (corrupt
+// header — nothing in the file is trustworthy) or truncate to the valid
+// record prefix with the torn flag set (corrupt tail — the defined crash
+// outcome). Nothing else.
+TEST(CorpusTest, EveryMalformedWalFailsOrTruncatesCleanly) {
+  int seen = 0;
+  for (const auto& ent :
+       std::filesystem::directory_iterator(XPREL_CORPUS_DIR)) {
+    if (ent.path().extension() != ".wal") continue;
+    ++seen;
+    auto r = durability::ReadWalSegment(ent.path().string());
+    if (r.ok()) {
+      EXPECT_TRUE(r.value().torn)
+          << ent.path().filename() << " read fully but the corpus is corrupt";
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+          << ent.path().filename() << ": " << r.status().ToString();
+    }
+  }
+  EXPECT_GE(seen, 4) << "wal corpus looks incomplete: " << XPREL_CORPUS_DIR;
+}
+
 // ---------------------------------------------------------------------------
 // The fault sweep
 // ---------------------------------------------------------------------------
@@ -282,16 +328,48 @@ WorkloadResult RunSweepWorkload(const xml::Document& doc,
   return out;
 }
 
-// Points the sweep workload is expected to reach; the sweep itself walks
-// whatever actually registered, this list guards against silently losing
-// coverage (a refactor that stops crossing a point fails here, not never).
-const char* const kExpectedPoints[] = {
-    "accel.build",      "engine.plan_cache_insert", "engine.translate",
-    "rel.distinct",     "rel.emit_row",             "rel.hash_build",
-    "rel.merge_collect", "rel.plan_select",         "rel.plan_regex",
-    "rel.semijoin_build", "rex.compile",            "shred.edge_load",
-    "shred.schema_load", "xml.parse",               "xpath.parse",
-};
+// True for points whose dedicated sweep lives elsewhere: "dml." points are
+// walked by dml_test / dml_oracle_test, "wal." / "snap." points by
+// durability_test's crash-recovery sweep. The read-only workload here is
+// not expected to reach them.
+bool HasDedicatedSweep(const std::string& point) {
+  return point.rfind("dml.", 0) == 0 || point.rfind("wal.", 0) == 0 ||
+         point.rfind("snap.", 0) == 0;
+}
+
+// Both directions of the registry cross-check: every point the workload
+// crossed must be in the canonical AllKnownPoints() list (a new
+// XPREL_FAULT_POINT without a registry entry fails here), and every known
+// point without a dedicated sweep must be crossed by the workload (a
+// refactor that stops reaching a point fails here, not never).
+TEST(FaultSweepTest, RegistryMatchesCrossedPoints) {
+  if (!fault::FaultInjectionEnabled()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  data::XMarkOptions opt;
+  opt.scale = 0.005;
+  xml::Document doc = data::GenerateXMark(opt);
+  xsd::Schema schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  xsd::SchemaGraph graph = xsd::SchemaGraph::Build(schema).value();
+
+  auto& inj = fault::FaultInjector::Instance();
+  inj.Clear();
+  WorkloadResult base = RunSweepWorkload(doc, graph);
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+
+  const std::vector<std::string>& known = fault::AllKnownPoints();
+  for (const std::string& crossed : inj.RegisteredPoints()) {
+    EXPECT_NE(std::find(known.begin(), known.end(), crossed), known.end())
+        << "fault point " << crossed
+        << " is not in AllKnownPoints() - add it to the registry";
+  }
+  std::vector<std::string> crossed = inj.RegisteredPoints();
+  for (const std::string& point : known) {
+    if (HasDedicatedSweep(point)) continue;
+    EXPECT_NE(std::find(crossed.begin(), crossed.end(), point), crossed.end())
+        << "workload no longer reaches fault point " << point;
+  }
+}
 
 TEST(FaultSweepTest, EveryRegisteredPointFailsCleanlyAndRecovers) {
   if (!fault::FaultInjectionEnabled()) {
@@ -310,11 +388,9 @@ TEST(FaultSweepTest, EveryRegisteredPointFailsCleanlyAndRecovers) {
   WorkloadResult base = RunSweepWorkload(doc, graph);
   ASSERT_TRUE(base.status.ok()) << base.status.ToString();
   ASSERT_FALSE(base.nodes.empty());
+  // (Coverage of the registered set against the canonical registry is
+  // asserted by RegistryMatchesCrossedPoints above.)
   std::vector<std::string> points = inj.RegisteredPoints();
-  for (const char* expected : kExpectedPoints) {
-    EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
-        << "workload no longer reaches fault point " << expected;
-  }
 
   for (const std::string& point : points) {
     SCOPED_TRACE(point);

@@ -5,6 +5,7 @@
 // exposition. The concurrent sections double as the tsan targets for the
 // trace ring and StepStats accumulation.
 
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
@@ -15,11 +16,14 @@
 
 #include "common/trace.h"
 #include "data/xmark.h"
+#include "durability/manager.h"
 #include "engine/engine.h"
 #include "service/metrics.h"
 #include "service/query_service.h"
 #include "service/thread_pool.h"
 #include "tests/queries.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
 #include "xsd/xsd_parser.h"
 
 namespace xprel {
@@ -400,6 +404,87 @@ TEST(ServiceTraceTest, PrometheusExportCoversCountersAndHistograms) {
   EXPECT_NE(prom.find("xprel_queue_depth"), std::string::npos);
   EXPECT_NE(prom.find("xprel_pool_tasks_run_total{lane=\"main\"}"),
             std::string::npos);
+}
+
+// An attached durability manager's WAL/checkpoint counters ride along in
+// both exports, and a recovery leaves its span tree and counters visible.
+TEST(DurabilityObservabilityTest, RecoveryMetricsAndSpansAreExported) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "xprel_obs_durability";
+  fs::remove_all(dir);
+
+  data::XMarkOptions opt;
+  opt.scale = 0.004;
+  const std::string xml_src = xml::SerializeXml(data::GenerateXMark(opt));
+  auto schema = xsd::ParseXsd(data::XMarkXsd()).value();
+  auto graph = xsd::SchemaGraph::Build(schema).value();
+
+  // A short durable run: one insert, one text update, one checkpoint.
+  {
+    xml::Document doc = xml::ParseXml(xml_src).value();
+    auto engine = XPathEngine::Build(doc, graph).value();
+    auto mgr = durability::DurabilityManager::Create(dir.string(), doc,
+                                                     *engine, {});
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    auto africa = engine->Run(Backend::kPpf, "/site/regions/africa");
+    ASSERT_TRUE(africa.ok());
+    ASSERT_FALSE(africa.value().nodes.empty());
+    ASSERT_TRUE(mgr.value()
+                    ->InsertFragment(africa.value().nodes[0], 0,
+                                     "<item id=\"obs1\"><name>obs</name>"
+                                     "</item>")
+                    .ok());
+    auto name = engine->Run(Backend::kPpf, "//item/name");
+    ASSERT_TRUE(name.ok());
+    ASSERT_FALSE(name.value().nodes.empty());
+    ASSERT_TRUE(
+        mgr.value()->UpdateText(name.value().nodes[0], "observed").ok());
+    ASSERT_TRUE(mgr.value()->Checkpoint().ok());
+
+    // Live counters surface through an attached service even pre-recovery.
+    QueryService svc(*engine, {.workers = 1});
+    svc.AttachDurability(mgr.value().get());
+    std::string dump = svc.DumpMetrics();
+    EXPECT_NE(dump.find("durability: wal_records=2"), std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("checkpoints=1"), std::string::npos) << dump;
+    svc.AttachDurability(nullptr);  // detach before the manager dies
+    EXPECT_EQ(svc.DumpMetrics().find("durability:"), std::string::npos);
+  }
+
+  // Recover with an external trace context: the span tree must show the
+  // recovery phases, and the report must land in the manager + exports.
+  TraceContext trace(0xD0D0);
+  auto recovered = durability::OpenOrRecover(dir.string(), graph, {}, {},
+                                             &trace);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const durability::RecoveryReport& report = recovered.value().report;
+  EXPECT_TRUE(report.used_snapshot);
+  EXPECT_NE(report.trace.find("recover"), std::string::npos) << report.trace;
+  EXPECT_NE(report.trace.find("recover.snapshot"), std::string::npos)
+      << report.trace;
+  EXPECT_NE(report.trace.find("recover.replay"), std::string::npos)
+      << report.trace;
+  std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("recover.snapshot"), std::string::npos)
+      << rendered;
+
+  QueryService svc(*recovered.value().engine, {.workers = 1});
+  svc.AttachDurability(recovered.value().manager.get());
+  ASSERT_TRUE(svc.Run({.xpath = "//item/name"}).ok());
+
+  std::string dump = svc.DumpMetrics();
+  EXPECT_NE(dump.find("recovery: used_snapshot=1"), std::string::npos)
+      << dump;
+  std::string prom = svc.RenderPrometheus();
+  EXPECT_NE(prom.find("# TYPE xprel_wal_records_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("xprel_checkpoints_total"), std::string::npos);
+  EXPECT_NE(prom.find("xprel_recovery_replayed_total"), std::string::npos);
+  EXPECT_NE(prom.find("xprel_applied_lsn"), std::string::npos);
+  fs::remove_all(dir);
 }
 
 TEST(ServiceTraceTest, CumulativeBucketsAreMonotone) {
